@@ -1,0 +1,31 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``test_table*.py`` module regenerates one of the paper's tables;
+run with ``pytest benchmarks/ --benchmark-only``.  Regenerated tables
+are written to ``benchmarks/output/``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro import Session, cm5
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def output_dir() -> pathlib.Path:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+@pytest.fixture
+def session_factory():
+    return lambda: Session(cm5(32))
+
+
+def save_table(output_dir: pathlib.Path, name: str, text: str) -> None:
+    (output_dir / f"{name}.txt").write_text(text + "\n")

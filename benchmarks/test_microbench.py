@@ -1,0 +1,107 @@
+"""Microbenchmarks of the substrate primitives themselves.
+
+These time the *host-side* cost of the instrumented primitives (NumPy
+execution + accounting overhead), so regressions in the reproduction's
+own performance are visible — the substrate must stay fast enough to
+run the full suite interactively.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Session, cm5
+from repro.array import from_numpy
+from repro.comm.gather_scatter import gather, scatter
+from repro.comm.primitives import cshift, reduce_array, transpose
+from repro.comm.scan import scan, segmented_scan
+from repro.comm.stencil import stencil_apply
+from repro.linalg.fft import fft
+
+N = 1 << 16
+
+
+@pytest.fixture
+def vec():
+    session = Session(cm5(32))
+    return from_numpy(session, np.arange(float(N)), "(:)")
+
+
+def test_cshift_throughput(benchmark, vec):
+    out = benchmark(lambda: cshift(vec, 1))
+    assert out.size == N
+
+
+def test_reduce_throughput(benchmark, vec):
+    total = benchmark(lambda: reduce_array(vec, "sum"))
+    assert total == pytest.approx(N * (N - 1) / 2)
+
+
+def test_scan_throughput(benchmark, vec):
+    out = benchmark(lambda: scan(vec, "sum"))
+    assert out.np[-1] == pytest.approx(N * (N - 1) / 2)
+
+
+def test_segmented_scan_throughput(benchmark, vec):
+    starts = np.zeros(N, dtype=bool)
+    starts[:: 64] = True
+    out = benchmark(lambda: segmented_scan(vec, starts, "sum"))
+    assert out.size == N
+
+
+def test_gather_throughput(benchmark, vec):
+    idx = np.random.default_rng(0).integers(0, N, N)
+    out = benchmark(lambda: gather(vec, idx))
+    assert out.size == N
+
+
+def test_scatter_add_throughput(benchmark, vec):
+    session = vec.session
+    dest = from_numpy(session, np.zeros(N), "(:)")
+    idx = np.random.default_rng(1).integers(0, N, N)
+
+    def run():
+        dest.data[:] = 0.0
+        scatter(dest, idx, vec, combine="add")
+        return dest
+
+    out = benchmark(run)
+    assert out.np.sum() == pytest.approx(vec.np.sum())
+
+
+def test_transpose_throughput(benchmark):
+    session = Session(cm5(32))
+    x = from_numpy(session, np.arange(512.0 * 512).reshape(512, 512), "(:,:)")
+    out = benchmark(lambda: transpose(x))
+    assert out.shape == (512, 512)
+
+
+def test_stencil_throughput(benchmark):
+    session = Session(cm5(32))
+    x = from_numpy(session, np.ones((256, 256)), "(:,:)")
+    taps = {
+        (0, 0): -4.0, (1, 0): 1.0, (-1, 0): 1.0, (0, 1): 1.0, (0, -1): 1.0,
+    }
+    out = benchmark(lambda: stencil_apply(x, taps))
+    assert out.shape == x.shape
+
+
+def test_fft_throughput(benchmark):
+    session = Session(cm5(32))
+    x = from_numpy(
+        session, np.random.default_rng(0).standard_normal(1 << 12) + 0j, "(:)"
+    )
+    out = benchmark(lambda: fft(x))
+    assert out.size == 1 << 12
+
+
+def test_accounting_overhead(benchmark):
+    """Pure accounting (no data): a thousand charges must stay cheap."""
+
+    def run():
+        session = Session(cm5(32))
+        for _ in range(1000):
+            session.charge_kernel(100, critical_fraction=0.1)
+        return session.recorder.total_flops
+
+    total = benchmark(run)
+    assert total == 100_000

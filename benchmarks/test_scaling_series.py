@@ -1,0 +1,80 @@
+"""Scaling series — the reproduction's "figures".
+
+The paper reports only tables, but its §1.5 metrics are exactly what
+scaling plots show.  These benches generate the strong-scaling and
+problem-size series for representative benchmarks of each class and
+write them to ``benchmarks/output/`` as plot-ready tables, asserting
+the qualitative shapes: compute-bound codes scale nearly linearly,
+latency-bound codes saturate, FLOP counts never change with the
+machine.
+"""
+
+import pytest
+
+from repro import cm5
+from repro.suite.sweeps import efficiency_series, machine_sweep, parameter_sweep
+from repro import Session
+
+from conftest import save_table
+
+NODE_COUNTS = [4, 8, 16, 32, 64, 128]
+
+STRONG_SCALING = {
+    "diff-3d": {"nx": 24, "steps": 3},
+    "qcd-kernel": {"nx": 4, "iterations": 2},
+    "ellip-2d": {"nx": 16},
+    "fft": {"n": 2048},
+    "transpose": {"n": 256, "repeats": 3},
+}
+
+
+@pytest.mark.parametrize("name", sorted(STRONG_SCALING))
+def test_strong_scaling_series(benchmark, output_dir, name):
+    def run():
+        return machine_sweep(name, cm5, NODE_COUNTS, STRONG_SCALING[name])
+
+    sweep = benchmark.pedantic(run, rounds=1, iterations=1)
+    eff = efficiency_series(sweep)
+    lines = [sweep.table(), ""]
+    lines.append(
+        "efficiency: "
+        + ", ".join(
+            f"{n}:{e:.2f}" for n, e in zip(NODE_COUNTS, eff["efficiency"])
+        )
+    )
+    save_table(output_dir, f"scaling_{name.replace('-', '_')}", "\n".join(lines))
+
+    # Shape assertions.
+    flops = sweep.series("flop_count")
+    assert len(set(flops)) == 1, "FLOPs must be machine-invariant"
+    busy = sweep.series("busy_time")
+    assert busy[0] > busy[-1], "strong scaling must reduce busy time"
+    assert all(0.0 < e <= 1.01 for e in eff["efficiency"])
+
+
+PROBLEM_SCALING = {
+    "diff-3d": ("nx", [8, 12, 16, 24], {"steps": 3}),
+    "fft": ("n", [256, 512, 1024, 2048], {}),
+    "n-body": ("n", [16, 32, 64], {"variant": "spread"}),
+}
+
+
+@pytest.mark.parametrize("name", sorted(PROBLEM_SCALING))
+def test_problem_size_series(benchmark, output_dir, name):
+    param, values, fixed = PROBLEM_SCALING[name]
+
+    def run():
+        return parameter_sweep(
+            name, param, values, lambda: Session(cm5(32)), fixed
+        )
+
+    sweep = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_table(
+        output_dir, f"sizes_{name.replace('-', '_')}", sweep.table()
+    )
+    flops = sweep.series("flop_count")
+    assert flops == sorted(flops)
+    # Larger problems amortize the network latency floor: the
+    # *elapsed* FLOP rate rises with problem size.
+    rates = sweep.series("elapsed_floprate_mflops")
+    assert rates[-1] >= rates[0]

@@ -1,0 +1,150 @@
+"""§1.5 performance metrics for the whole suite on the CM-5 model.
+
+Produces the per-benchmark busy/elapsed times, FLOP rates and (for the
+linear algebra codes) arithmetic efficiencies — the DPF codes' actual
+output — across machine sizes, and writes the results table to
+``benchmarks/output/suite_performance.txt``.
+"""
+
+import pytest
+
+from repro import Session, cm5
+from repro.suite import benchmark_names, run_suite
+from repro.suite.tables import format_table
+
+from conftest import save_table
+
+PARAMS = {
+    "gather": {"n": 4096, "repeats": 3},
+    "scatter": {"n": 4096, "repeats": 3},
+    "reduction": {"n": 4096, "repeats": 3},
+    "transpose": {"n": 64, "repeats": 3},
+    "matrix-vector": {"n": 64, "repeats": 3},
+    "lu": {"n": 24},
+    "qr": {"m": 32, "n": 16},
+    "gauss-jordan": {"n": 24},
+    "pcr": {"n": 64},
+    "conj-grad": {"n": 128},
+    "jacobi": {"n": 12},
+    "fft": {"n": 512},
+    "boson": {"nx": 8, "nt": 4, "sweeps": 3},
+    "diff-1d": {"nx": 64, "steps": 3},
+    "diff-2d": {"nx": 24, "steps": 3},
+    "diff-3d": {"nx": 12, "steps": 3},
+    "ellip-2d": {"nx": 10},
+    "fem-3d": {"nx": 2, "iterations": 8},
+    "fermion": {"sites": 16, "n": 4, "sweeps": 2},
+    "gmo": {"ns": 128, "ntr": 16},
+    "ks-spectral": {"nx": 32, "ne": 2, "steps": 3},
+    "md": {"n_p": 12, "steps": 4},
+    "mdcell": {"nc": 3, "steps": 2},
+    "n-body": {"n": 24},
+    "pic-simple": {"nx": 16, "n_p": 128, "steps": 2},
+    "pic-gather-scatter": {"nx": 8, "n_p": 64, "steps": 1},
+    "qcd-kernel": {"nx": 3, "iterations": 2},
+    "qmc": {"blocks": 1, "steps_per_block": 8, "n_w": 60},
+    "qptransport": {"iterations": 8},
+    "rp": {"nx": 5},
+    "step4": {"nx": 10, "steps": 2},
+    "wave-1d": {"nx": 64, "steps": 3},
+}
+
+
+def test_full_suite_metrics(benchmark, output_dir):
+    """Run all 32 benchmarks on CM-5/32 and tabulate §1.5 metrics."""
+
+    def run():
+        return run_suite(lambda: Session(cm5(32)), params=PARAMS)
+
+    reports = benchmark.pedantic(run, rounds=2, iterations=1)
+    rows = []
+    for name in sorted(reports):
+        r = reports[name]
+        eff = r.arithmetic_efficiency
+        rows.append(
+            [
+                name,
+                f"{r.busy_time:.6f}",
+                f"{r.elapsed_time:.6f}",
+                f"{r.busy_floprate_mflops:.2f}",
+                f"{r.elapsed_floprate_mflops:.2f}",
+                f"{r.flop_count}",
+                f"{100 * eff:.2f}%" if eff is not None else "-",
+            ]
+        )
+    text = format_table(
+        [
+            "Benchmark",
+            "Busy (s)",
+            "Elapsed (s)",
+            "Busy MFLOP/s",
+            "Elapsed MFLOP/s",
+            "FLOPs",
+            "Arith eff",
+        ],
+        rows,
+    )
+    save_table(output_dir, "suite_performance", text)
+    assert len(reports) == 32
+    for name, r in reports.items():
+        assert r.elapsed_time >= r.busy_time, name
+
+
+@pytest.mark.parametrize("nodes", [8, 32, 128])
+def test_machine_scaling(benchmark, nodes, output_dir):
+    """The §1.5 metrics across partition sizes (8 to 128 nodes)."""
+    subset = ["diff-3d", "fft", "ellip-2d", "transpose", "qcd-kernel"]
+
+    def run():
+        return run_suite(
+            lambda: Session(cm5(nodes)),
+            names=subset,
+            params={k: PARAMS[k] for k in subset},
+        )
+
+    reports = benchmark.pedantic(run, rounds=2, iterations=1)
+    for r in reports.values():
+        assert r.elapsed_time > 0
+
+
+def test_cm5_vs_cm5e(benchmark, output_dir):
+    """The paper's footnote: CM-5 peaks at 32 MFLOP/s per VU, the
+    CM-5E at 40.  The same suite subset ranks the two machines."""
+    from repro import cm5e
+    from repro.suite.tables import format_table
+
+    subset = ["diff-3d", "fft", "qcd-kernel", "matrix-vector", "ellip-2d"]
+
+    def run():
+        out = {}
+        for label, preset in (("CM-5/32", cm5), ("CM-5E/32", cm5e)):
+            out[label] = run_suite(
+                lambda: Session(preset(32)),
+                names=subset,
+                params={k: PARAMS[k] for k in subset},
+            )
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for name in subset:
+        a = results["CM-5/32"][name]
+        b = results["CM-5E/32"][name]
+        rows.append(
+            [
+                name,
+                f"{a.elapsed_time:.6f}",
+                f"{b.elapsed_time:.6f}",
+                f"{a.elapsed_time / b.elapsed_time:.2f}x",
+            ]
+        )
+        # The CM-5E must win on every benchmark (faster VUs + network).
+        assert b.elapsed_time < a.elapsed_time, name
+        # Peak rates per the paper's footnote.
+        assert a.peak_mflops == 32 * 4 * 32
+        assert b.peak_mflops == 32 * 4 * 40
+    save_table(
+        output_dir,
+        "cm5_vs_cm5e",
+        format_table(["benchmark", "CM-5 (s)", "CM-5E (s)", "speedup"], rows),
+    )

@@ -1,0 +1,34 @@
+"""Table 1: benchmark suite code versions.
+
+Regenerates the version matrix from the registry and times a
+basic-versus-best-tier run of a representative benchmark, quantifying
+what the version columns of Table 1 buy (paper §1.2).
+"""
+
+import pytest
+
+from repro import Session, VersionTier, cm5
+from repro.suite import REGISTRY, run_benchmark
+from repro.suite.tables import table1_versions
+
+from conftest import save_table
+
+
+def test_table1_regeneration(benchmark, output_dir):
+    text = benchmark(table1_versions)
+    save_table(output_dir, "table1_versions", text)
+    assert len(text.splitlines()) == 2 + len(REGISTRY)
+
+
+@pytest.mark.parametrize("tier", list(VersionTier))
+def test_version_tier_run(benchmark, tier):
+    """One matrix-vector run per tier; busy time orders with the tier."""
+
+    def run():
+        return run_benchmark(
+            "matrix-vector", Session(cm5(32), tier=tier), n=96, repeats=2
+        )
+
+    report = benchmark(run)
+    assert report.version == tier.value
+    assert report.busy_time > 0

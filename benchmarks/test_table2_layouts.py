@@ -1,0 +1,48 @@
+"""Table 2: data representation and layout for the dominating
+computations in the linear algebra kernels.
+
+Regenerates the layout table and times the four matrix-vector layout
+variants, whose distributions are what Table 2 distinguishes.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Session, cm5
+from repro.linalg.matvec import VARIANT_LAYOUTS, make_operands, matvec
+from repro.suite.tables import table2_layouts
+
+from conftest import save_table
+
+
+def test_table2_regeneration(benchmark, output_dir):
+    text = benchmark(table2_layouts)
+    save_table(output_dir, "table2_layouts", text)
+    assert "matrix-vector" in text and "fft" in text
+
+
+@pytest.mark.parametrize("variant", sorted(VARIANT_LAYOUTS))
+def test_matvec_layout_variants(benchmark, variant):
+    """Same computation, four distributions (Table 2's matvec rows)."""
+    session = Session(cm5(32))
+    A, x = make_operands(session, variant, n=64, m=64, instances=2 if variant > 1 else 1)
+
+    result = benchmark(lambda: matvec(A, x))
+    ref = np.einsum("...mn,...n->...m", A.np, x.np)
+    assert np.allclose(result.np, ref)
+
+
+def test_serial_matrix_variant_has_no_reduction_traffic(benchmark):
+    """Variant 3 keeps whole matrices on-node: the reduction along the
+    column axis crosses no node boundary."""
+    def run():
+        s3 = Session(cm5(32))
+        A, x = make_operands(s3, 3, n=32, m=32, instances=4)
+        matvec(A, x)
+        s1 = Session(cm5(32))
+        A1, x1 = make_operands(s1, 2, n=32, m=32, instances=4)
+        matvec(A1, x1)
+        return s3.recorder.root.network_bytes, s1.recorder.root.network_bytes
+
+    net3, net1 = benchmark(run)
+    assert net3 <= net1

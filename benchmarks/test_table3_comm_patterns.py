@@ -1,0 +1,63 @@
+"""Table 3: communication of the linear algebra kernels.
+
+Regenerates the pattern-by-rank classification and validates, per
+kernel, that the measured communication-event inventory contains
+exactly the patterns Table 3 lists.
+"""
+
+import pytest
+
+from repro import Session, cm5
+from repro.metrics.patterns import CommPattern
+from repro.suite import REGISTRY, run_benchmark
+from repro.suite.tables import table3_comm
+
+from conftest import save_table
+
+#: Table 3 rows: linalg benchmark -> patterns it must (and may) use.
+EXPECTED = {
+    "matrix-vector": {CommPattern.BROADCAST, CommPattern.REDUCTION},
+    "lu": {CommPattern.REDUCTION, CommPattern.BROADCAST},
+    "qr": {CommPattern.REDUCTION, CommPattern.BROADCAST},
+    "gauss-jordan": {
+        CommPattern.REDUCTION,
+        CommPattern.BROADCAST,
+        CommPattern.SEND,
+        CommPattern.GET,
+    },
+    "pcr": {CommPattern.CSHIFT},
+    "conj-grad": {CommPattern.CSHIFT, CommPattern.REDUCTION},
+    "jacobi": {CommPattern.CSHIFT, CommPattern.SEND, CommPattern.BROADCAST},
+    "fft": {CommPattern.CSHIFT, CommPattern.AAPC, CommPattern.BUTTERFLY},
+}
+
+PARAMS = {
+    "matrix-vector": {"n": 48, "repeats": 2},
+    "lu": {"n": 24},
+    "qr": {"m": 32, "n": 16},
+    "gauss-jordan": {"n": 24},
+    "pcr": {"n": 64},
+    "conj-grad": {"n": 96},
+    "jacobi": {"n": 12},
+    "fft": {"n": 256},
+}
+
+
+def test_table3_regeneration(benchmark, output_dir):
+    text = benchmark(table3_comm)
+    save_table(output_dir, "table3_comm_patterns", text)
+    assert "reduction" in text and "aapc" in text
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED))
+def test_measured_patterns_match_table3(benchmark, name):
+    def run():
+        session = Session(cm5(32))
+        run_benchmark(name, session, **PARAMS[name])
+        return set(session.recorder.root.comm_counts())
+
+    measured = benchmark(run)
+    assert measured == EXPECTED[name], (
+        f"{name}: measured {sorted(p.value for p in measured)}, "
+        f"Table 3 expects {sorted(p.value for p in EXPECTED[name])}"
+    )

@@ -1,0 +1,72 @@
+"""Table 4: computation-to-communication ratios of the linear algebra
+main loops — measured against the paper's analytic rows.
+
+For every row the regenerated table records measured and paper values
+of FLOPs/iteration, memory and communication counts; assertions pin
+the quantities that must agree exactly (communication budgets) and
+bound the FLOP ratios (EXPERIMENTS.md discusses the deltas).
+"""
+
+import pytest
+
+from repro.metrics.patterns import CommPattern
+from repro.suite import analytic
+from repro.suite.tables import measure, table4_linalg
+
+from conftest import save_table
+
+
+def test_table4_regeneration(benchmark, output_dir, session_factory):
+    text = benchmark(lambda: table4_linalg(session_factory))
+    save_table(output_dir, "table4_linalg_ratios", text)
+    assert "matrix-vector" in text and "fft" in text
+
+
+CASES = [
+    # (name, params, segment, analytic row, flop rel tolerance)
+    ("matrix-vector", {"n": 64, "m": 64, "repeats": 2}, None, analytic.matvec(64, 64), 0.05),
+    ("lu", {"n": 32}, "factor", analytic.lu_factor(32, 1), 0.25),
+    ("lu", {"n": 32}, "solve", analytic.lu_solve(32, 1), 0.6),
+    ("qr", {"m": 48, "n": 24}, "factor", analytic.qr_factor(48, 24), 0.7),
+    ("gauss-jordan", {"n": 32}, "main_loop", analytic.gauss_jordan(32), 0.15),
+    ("pcr", {"n": 64}, "main_loop", analytic.pcr(64, 1), 0.3),
+    ("conj-grad", {"n": 128}, "main_loop", analytic.conj_grad(128), 0.6),
+    ("jacobi", {"n": 16}, "main_loop", analytic.jacobi(16), 0.3),
+    ("fft", {"n": 256}, "main_loop", analytic.fft(256, 1), 0.0),
+]
+
+
+@pytest.mark.parametrize(
+    "name,params,segment,row,tol",
+    CASES,
+    ids=[f"{c[0]}-{c[2] or 'whole'}" for c in CASES],
+)
+def test_row_against_paper(benchmark, session_factory, name, params, segment, row, tol):
+    result = benchmark(lambda: measure(name, session_factory, params, segment=segment))
+    _, flops, _, comm = result
+
+    # Communication budget: exact (within re-entry rounding).
+    for pattern, expected in row.comm_per_iteration.items():
+        assert comm.get(pattern, 0.0) == pytest.approx(expected, abs=0.25), (
+            f"{name}/{pattern.value}"
+        )
+    # FLOP count: exact where tol == 0, bounded ratio otherwise.
+    if tol == 0.0:
+        assert flops == row.flops_per_iteration
+    else:
+        ratio = flops / row.flops_per_iteration
+        assert 1 - tol <= ratio <= 1 + tol or ratio < 1 + tol, (
+            f"{name}: measured {flops:.0f} vs paper {row.flops_per_iteration:.0f}"
+        )
+
+
+@pytest.mark.parametrize("dims,n", [(1, 1024), (2, 1024), (3, 512)])
+def test_fft_family_flops(benchmark, session_factory, dims, n):
+    """fft 1-D/2-D/3-D: 5/10/15 N FLOPs per stage (Table 4)."""
+    result = benchmark(
+        lambda: measure("fft", session_factory, {"n": n, "dims": dims})
+    )
+    _, flops, _, _ = result
+    side = {1: 1024, 2: 32, 3: 8}[dims]
+    expected = analytic.fft(side, dims).flops_per_iteration
+    assert flops == expected

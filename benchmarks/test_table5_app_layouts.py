@@ -1,0 +1,47 @@
+"""Table 5: data representation and layout for the dominating
+computations in the application codes."""
+
+from repro.layout.spec import Axis, parse_layout
+from repro.suite import REGISTRY, benchmark_names
+from repro.suite.tables import table5_layouts
+
+from conftest import save_table
+
+#: spot checks straight from the paper's Table 5.
+PAPER_LAYOUTS = {
+    "boson": "(:serial,:,:)",
+    "diff-1d": "(:)",
+    "diff-2d": "(:serial,:)",
+    "diff-3d": "(:,:,:)",
+    "ellip-2d": "(:,:)",
+    "mdcell": "(:serial,:,:,:)",
+    "qptransport": "(:)",
+    "rp": "(:,:,:)",
+    "step4": "(:serial,:,:)",
+    "wave-1d": "(:)",
+}
+
+
+def test_table5_regeneration(benchmark, output_dir):
+    text = benchmark(table5_layouts)
+    save_table(output_dir, "table5_app_layouts", text)
+    for name in benchmark_names("app"):
+        assert name in text
+
+
+def test_layouts_match_paper_rows(benchmark):
+    benchmark(lambda: None)
+    for name, layout in PAPER_LAYOUTS.items():
+        assert layout in REGISTRY[name].layouts, name
+
+
+def test_every_app_layout_parses_and_has_sane_rank(benchmark):
+    benchmark(lambda: None)
+    for name in benchmark_names("app"):
+        for spec in REGISTRY[name].layouts:
+            rank = len(spec.strip("()").split(","))
+            layout = parse_layout(spec, (4,) * rank)
+            assert 1 <= layout.ndim <= 7
+            # Every benchmark layout keeps at least one parallel axis
+            # (data-parallel codes), except pure-serial helpers.
+            assert Axis.PARALLEL in layout.axes

@@ -1,0 +1,113 @@
+"""Table 6: computation-to-communication ratios of the application
+main loops — measured against the paper's analytic rows.
+
+The communication budgets must agree exactly (they are structural);
+FLOP counts agree exactly for diff-3D/qcd-kernel/gmo and to a
+documented constant factor elsewhere (EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro.metrics.patterns import CommPattern
+from repro.suite import analytic
+from repro.suite.tables import measure, table6_apps
+
+from conftest import save_table
+
+
+def test_table6_regeneration(benchmark, output_dir, session_factory):
+    text = benchmark(lambda: table6_apps(session_factory))
+    save_table(output_dir, "table6_app_ratios", text)
+    assert "mdcell" in text and "qptransport" in text
+
+
+EXACT_COMM = [
+    ("boson", {"nx": 8, "nt": 4, "sweeps": 3}, analytic.boson(4, 8, 8)),
+    ("diff-2d", {"nx": 16, "steps": 3}, analytic.diff2d(16)),
+    ("diff-3d", {"nx": 10, "steps": 3}, analytic.diff3d(10, 10, 10)),
+    ("ellip-2d", {"nx": 10}, analytic.ellip2d(10, 10)),
+    ("fem-3d", {"nx": 2, "iterations": 10}, analytic.fem3d(4, 40, 27)),
+    ("md", {"n_p": 12, "steps": 3}, analytic.md(12)),
+    ("mdcell", {"nc": 3, "steps": 2}, analytic.mdcell(1, 27, 3, 3, 3)),
+    (
+        "pic-gather-scatter",
+        {"nx": 8, "n_p": 48, "steps": 2},
+        analytic.pic_gather_scatter(48, 8),
+    ),
+    ("qmc", {"blocks": 1, "steps_per_block": 8, "n_w": 40}, analytic.qmc(2, 3, 40, 2)),
+    ("qptransport", {"iterations": 8}, analytic.qptransport(30)),
+    ("rp", {"nx": 5}, analytic.rp(5, 5, 5)),
+    ("step4", {"nx": 10, "steps": 2}, analytic.step4(10, 10)),
+]
+
+
+@pytest.mark.parametrize(
+    "name,params,row", EXACT_COMM, ids=[c[0] for c in EXACT_COMM]
+)
+def test_comm_budget_matches_paper(benchmark, session_factory, name, params, row):
+    result = benchmark(lambda: measure(name, session_factory, params))
+    _, _, _, comm = result
+    for pattern, expected in row.comm_per_iteration.items():
+        assert comm.get(pattern, 0.0) == pytest.approx(expected, abs=0.3), (
+            f"{name}/{pattern.value}: measured {comm.get(pattern, 0.0)}, "
+            f"paper {expected}"
+        )
+
+
+EXACT_FLOPS = [
+    ("diff-3d", {"nx": 12, "steps": 2}, analytic.diff3d(12, 12, 12)),
+    ("qcd-kernel", {"nx": 2, "iterations": 2}, analytic.qcd_kernel(2, 2, 2, 2)),
+    ("gmo", {"ns": 128, "ntr": 16}, analytic.gmo(128 * 16)),
+]
+
+
+@pytest.mark.parametrize(
+    "name,params,row", EXACT_FLOPS, ids=[c[0] for c in EXACT_FLOPS]
+)
+def test_flops_match_paper_exactly(benchmark, session_factory, name, params, row):
+    result = benchmark(lambda: measure(name, session_factory, params))
+    _, flops, _, _ = result
+    assert flops == row.flops_per_iteration
+
+
+APPROX_FLOPS = [
+    # (name, params, paper flops/iter, acceptable ratio band)
+    ("ellip-2d", {"nx": 12}, analytic.ellip2d(12, 12), (0.3, 1.2)),
+    ("rp", {"nx": 5}, analytic.rp(5, 5, 5), (0.5, 1.5)),
+    ("md", {"n_p": 16, "steps": 3}, analytic.md(16), (0.5, 1.5)),
+    ("wave-1d", {"nx": 64, "steps": 3}, analytic.wave1d(64), (0.5, 1.5)),
+    (
+        "ks-spectral",
+        {"nx": 64, "ne": 2, "steps": 3},
+        analytic.ks_spectral(64, 2),
+        (0.5, 1.5),
+    ),
+    (
+        "pic-gather-scatter",
+        {"nx": 8, "n_p": 48, "steps": 2},
+        analytic.pic_gather_scatter(48, 8),
+        (0.5, 1.5),
+    ),
+    (
+        "pic-simple",
+        {"nx": 16, "n_p": 128, "steps": 2},
+        analytic.pic_simple(128, 16, 16),
+        (0.5, 2.0),
+    ),
+    ("mdcell", {"nc": 4, "steps": 2}, analytic.mdcell(1.0, 64, 4, 4, 4), (0.5, 2.0)),
+]
+
+
+@pytest.mark.parametrize(
+    "name,params,row,band", APPROX_FLOPS, ids=[c[0] for c in APPROX_FLOPS]
+)
+def test_flops_within_constant_factor(
+    benchmark, session_factory, name, params, row, band
+):
+    result = benchmark(lambda: measure(name, session_factory, params))
+    _, flops, _, _ = result
+    ratio = flops / row.flops_per_iteration
+    lo, hi = band
+    assert lo <= ratio <= hi, (
+        f"{name}: measured/paper FLOP ratio {ratio:.2f} outside [{lo}, {hi}]"
+    )

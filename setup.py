@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The project is configured in ``pyproject.toml``; this file exists only
+so ``pip install -e .`` works in offline environments without the
+``wheel`` package (legacy ``setup.py develop`` editable path).
+"""
+
+from setuptools import setup
+
+setup()

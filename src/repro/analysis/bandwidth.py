@@ -1,0 +1,87 @@
+"""Effective-bandwidth measurement via the transpose benchmark.
+
+Paper §2: the transpose, "apart from being an indispensable operation
+in linear algebra and other numerous applications, may be used to
+confirm advertised bisection bandwidths".  This module does exactly
+that: sweep transpose sizes, fit the elapsed-time model
+``t = latency + bytes / B_eff`` and report the recovered effective
+bisection bandwidth — which should match the machine model's
+configured value (the test suite closes that loop).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.machine.model import MachineModel
+from repro.machine.session import Session
+from repro.suite.runner import run_benchmark
+
+
+@dataclass(frozen=True)
+class BandwidthFit:
+    """Linear fit of transpose elapsed time vs bytes moved."""
+
+    effective_bandwidth: float  # bytes/second through the bisection
+    latency: float  # fitted startup seconds per transpose
+    sizes: Tuple[int, ...]
+    elapsed: Tuple[float, ...]
+    bytes_moved: Tuple[int, ...]
+
+    def advertised_ratio(self, machine: MachineModel) -> float:
+        """Measured / advertised bisection bandwidth."""
+        advertised = machine.network.bisection_bandwidth(machine.nodes)
+        return self.effective_bandwidth / advertised
+
+
+def measure_bisection_bandwidth(
+    machine: MachineModel,
+    sizes: Sequence[int] = (64, 128, 256, 512),
+    repeats: int = 4,
+) -> BandwidthFit:
+    """Run transpose sweeps and back-solve the effective bandwidth.
+
+    Uses the *network* portion of the per-transpose elapsed time (the
+    data motion through the bisection), exactly as a benchmarker with
+    a wall clock would after subtracting local copy costs.
+    """
+    elapsed = []
+    bytes_moved = []
+    for n in sizes:
+        session = Session(machine)
+        run_benchmark("transpose", session, n=n, repeats=repeats)
+        events = [
+            e
+            for e in session.recorder.root.total_comm_events
+            if e.pattern.value == "aapc"
+        ]
+        per_call_bytes = events[0].bytes_network
+        # Network time only: subtract the node-local copy share.
+        net_busy = sum(
+            e.busy_time
+            - machine.local_move_time(e.bytes_local / max(1, e.nodes))
+            for e in events
+        )
+        net_idle = sum(e.idle_time for e in events)
+        elapsed.append((net_busy + net_idle) / len(events))
+        bytes_moved.append(per_call_bytes)
+
+    # Least-squares fit t = a + bytes / B.
+    A = np.stack([np.ones(len(sizes)), np.array(bytes_moved, dtype=float)], axis=1)
+    coeffs, *_ = np.linalg.lstsq(A, np.array(elapsed), rcond=None)
+    latency, inv_bw = coeffs
+    if inv_bw <= 0:
+        raise RuntimeError(
+            "transpose sweep did not resolve a bandwidth slope; "
+            "use larger sizes"
+        )
+    return BandwidthFit(
+        effective_bandwidth=1.0 / inv_bw,
+        latency=float(latency),
+        sizes=tuple(sizes),
+        elapsed=tuple(elapsed),
+        bytes_moved=tuple(bytes_moved),
+    )

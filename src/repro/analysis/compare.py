@@ -1,0 +1,101 @@
+"""Environment comparisons — the suite's intended use (paper §1.1).
+
+"The goal in developing the DPF benchmark suite was to produce a means
+for evaluating such high performance software suites."  These helpers
+run the same benchmarks under two environments (machine × tier),
+tabulate per-benchmark speedups, and locate crossover problem sizes
+where the winner flips.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Mapping, Optional, Tuple
+
+from repro.machine.session import Session
+from repro.suite.runner import run_benchmark
+
+
+@dataclass
+class EnvironmentComparison:
+    """Per-benchmark elapsed-time comparison of two environments."""
+
+    name_a: str
+    name_b: str
+    elapsed_a: Dict[str, float] = field(default_factory=dict)
+    elapsed_b: Dict[str, float] = field(default_factory=dict)
+
+    def speedup(self, benchmark: str) -> float:
+        """Elapsed-time ratio A/B (> 1 means B wins)."""
+        return self.elapsed_a[benchmark] / self.elapsed_b[benchmark]
+
+    def winners(self) -> Dict[str, str]:
+        """Per-benchmark winner by elapsed time."""
+        return {
+            bench: self.name_b if self.speedup(bench) > 1.0 else self.name_a
+            for bench in self.elapsed_a
+        }
+
+    def geomean_speedup(self) -> float:
+        """Geometric-mean speedup of B over A across the subset."""
+        import math
+
+        ratios = [self.speedup(b) for b in self.elapsed_a]
+        return math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+
+    def summary(self) -> str:
+        """Human-readable comparison listing."""
+        lines = [f"{self.name_a} vs {self.name_b}"]
+        for bench in sorted(self.elapsed_a):
+            s = self.speedup(bench)
+            lines.append(
+                f"  {bench:22s} {self.elapsed_a[bench]:.6f}s vs "
+                f"{self.elapsed_b[bench]:.6f}s  ({s:.2f}x)"
+            )
+        lines.append(f"  geomean speedup: {self.geomean_speedup():.2f}x")
+        return "\n".join(lines)
+
+
+def compare_environments(
+    env_a: Tuple[str, Callable[[], Session]],
+    env_b: Tuple[str, Callable[[], Session]],
+    benchmarks: Mapping[str, Mapping[str, object]],
+) -> EnvironmentComparison:
+    """Run ``benchmarks`` (name -> params) under both environments."""
+    name_a, factory_a = env_a
+    name_b, factory_b = env_b
+    cmp = EnvironmentComparison(name_a, name_b)
+    for bench, params in benchmarks.items():
+        cmp.elapsed_a[bench] = run_benchmark(
+            bench, factory_a(), **params
+        ).elapsed_time
+        cmp.elapsed_b[bench] = run_benchmark(
+            bench, factory_b(), **params
+        ).elapsed_time
+    return cmp
+
+
+def find_crossover(
+    benchmark: str,
+    env_a: Callable[[], Session],
+    env_b: Callable[[], Session],
+    size_param: str,
+    sizes: Iterable[int],
+    fixed_params: Optional[Mapping[str, object]] = None,
+) -> Optional[int]:
+    """Smallest size at which environment B overtakes environment A.
+
+    Sweeps ``sizes`` in order; returns the first size where B's
+    elapsed time is lower, or ``None`` if A wins throughout.  This is
+    the "where crossovers fall" question benchmark suites exist to
+    answer (e.g. latency-cheap machines win small problems,
+    bandwidth-rich ones win large).
+    """
+    fixed = dict(fixed_params or {})
+    for size in sizes:
+        params = {**fixed, size_param: size}
+        t_a = run_benchmark(benchmark, env_a(), **params).elapsed_time
+        t_b = run_benchmark(benchmark, env_b(), **params).elapsed_time
+        if t_b < t_a:
+            return size
+    return None

@@ -1,0 +1,84 @@
+"""Computation-to-communication ratio analysis.
+
+Paper §1.5, attributes (5) and (6): the operation count per data point
+"serves as a first approximation to the computational grain size of
+the benchmark", and the communication count per iteration "gives the
+relative ratio between computation and communication".  These helpers
+compute those quantities — plus byte-level intensity — from a report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.metrics.patterns import CommPattern
+from repro.metrics.report import PerfReport
+
+
+@dataclass(frozen=True)
+class RatioSummary:
+    """Grain-size/intensity summary of one benchmark run."""
+
+    benchmark: str
+    ops_per_point: float
+    flops_per_iteration: float
+    comm_events_per_iteration: float
+    flops_per_comm_event: float
+    flops_per_network_byte: float
+    busy_fraction: float
+
+    def classify(self) -> str:
+        """Coarse classification the tables support.
+
+        ``compute-bound``: high arithmetic intensity and mostly-busy
+        execution; ``latency-bound``: many events with little data and
+        low busy fraction; ``bandwidth-bound`` otherwise.
+        """
+        if self.busy_fraction > 0.8:
+            return "compute-bound"
+        if (
+            self.comm_events_per_iteration >= 1
+            and self.flops_per_comm_event < 10_000
+        ):
+            return "latency-bound"
+        return "bandwidth-bound"
+
+
+def comm_to_comp_ratio(report: PerfReport) -> RatioSummary:
+    """Derive the paper's grain-size attributes from a report."""
+    comm_per_iter = sum(report.comm_per_iteration().values())
+    flops_per_iter = report.flops_per_iteration
+    total_events = sum(report.comm_counts.values())
+    return RatioSummary(
+        benchmark=report.benchmark,
+        ops_per_point=report.ops_per_point,
+        flops_per_iteration=flops_per_iter,
+        comm_events_per_iteration=comm_per_iter,
+        flops_per_comm_event=(
+            report.flop_count / total_events if total_events else float("inf")
+        ),
+        flops_per_network_byte=(
+            report.flop_count / report.network_bytes
+            if report.network_bytes
+            else float("inf")
+        ),
+        busy_fraction=(
+            report.busy_time / report.elapsed_time
+            if report.elapsed_time > 0
+            else 1.0
+        ),
+    )
+
+
+def grain_size(report: PerfReport) -> float:
+    """Attribute (5): FLOPs per data point."""
+    return report.ops_per_point
+
+
+def pattern_mix(report: PerfReport) -> Dict[CommPattern, float]:
+    """Fraction of communication events per pattern."""
+    total = sum(report.comm_counts.values())
+    if total == 0:
+        return {}
+    return {p: c / total for p, c in report.comm_counts.items()}

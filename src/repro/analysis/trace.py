@@ -1,0 +1,86 @@
+"""Communication-trace export.
+
+Flattens a recorder's region tree into a chronological event trace
+(region path, pattern, bytes, busy/idle seconds) for external tooling
+— the modern equivalent of the CM-5's PRISM communication profiles.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import List
+
+from repro.metrics.recorder import MetricsRecorder, Region
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One communication event with its region path."""
+
+    region: str
+    pattern: str
+    bytes_network: int
+    bytes_local: int
+    nodes: int
+    busy_time: float
+    idle_time: float
+    rank: int | None
+    detail: str
+
+
+def comm_trace(recorder: MetricsRecorder) -> List[TraceEvent]:
+    """Depth-first flattening of all communication events."""
+    events: List[TraceEvent] = []
+
+    def _walk(region: Region, path: str) -> None:
+        here = f"{path}/{region.name}" if path else region.name
+        for e in region.comm_events:
+            events.append(
+                TraceEvent(
+                    region=here,
+                    pattern=e.pattern.value,
+                    bytes_network=e.bytes_network,
+                    bytes_local=e.bytes_local,
+                    nodes=e.nodes,
+                    busy_time=e.busy_time,
+                    idle_time=e.idle_time,
+                    rank=e.rank,
+                    detail=e.detail,
+                )
+            )
+        for child in region.children:
+            _walk(child, here)
+
+    _walk(recorder.root, "")
+    return events
+
+
+def trace_to_json(recorder: MetricsRecorder, indent: int = 2) -> str:
+    """JSON document of the flattened event trace."""
+    return json.dumps(
+        [asdict(e) for e in comm_trace(recorder)], indent=indent
+    )
+
+
+def trace_summary(recorder: MetricsRecorder) -> str:
+    """Aggregate the trace by pattern: count, bytes, time."""
+    totals: dict = {}
+    for e in comm_trace(recorder):
+        entry = totals.setdefault(
+            e.pattern, {"count": 0, "bytes": 0, "busy": 0.0, "idle": 0.0}
+        )
+        entry["count"] += 1
+        entry["bytes"] += e.bytes_network
+        entry["busy"] += e.busy_time
+        entry["idle"] += e.idle_time
+    lines = [
+        f"{'pattern':18s} {'count':>7s} {'net bytes':>12s} {'busy s':>10s} {'idle s':>10s}"
+    ]
+    for pattern in sorted(totals):
+        t = totals[pattern]
+        lines.append(
+            f"{pattern:18s} {t['count']:7d} {t['bytes']:12d} "
+            f"{t['busy']:10.6f} {t['idle']:10.6f}"
+        )
+    return "\n".join(lines)

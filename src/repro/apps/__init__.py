@@ -1,0 +1,34 @@
+"""Application-oriented benchmark codes (paper §4).
+
+Twenty small application codes covering the dominating workloads on
+large data-parallel machines: fluid dynamics, fundamental physics and
+molecular studies.  Each module implements a real (small) instance of
+its application — the numerics are verified against independent
+references in the test suite — while charging the session with the
+FLOPs and communication patterns that Table 6/7 catalogue.
+
+Modules and the paper classes they represent (§4 (1)-(11)):
+
+====================  =================================================
+boson                 lattice Monte Carlo, structured grid, periodic
+diff1d/diff2d/diff3d  linear diffusion, direct solvers, constant BCs
+ellip2d               Poisson, iterative CG, Dirichlet, inhomogeneous
+fem3d                 unstructured-grid iterative finite elements
+fermion               lattice many-body, embarrassingly parallel
+gmo                   seismic moveout, embarrassingly parallel
+ks_spectral           nonlinear PDE by spectral method, periodic
+md / mdcell / nbody   general N-body and molecular dynamics
+pic_simple /
+pic_gather_scatter    particle-in-cell codes
+qcd_kernel            staggered-fermion CG kernel (QCD)
+qmc                   Green's function quantum Monte Carlo (walkers)
+qptransport           quadratic program on a bipartite graph
+rp                    nonsymmetric linear equations by CG (3-D grids)
+step4                 high-order explicit finite differences
+wave1d                inhomogeneous 1-D wave equation
+====================  =================================================
+"""
+
+from repro.apps.base import AppResult
+
+__all__ = ["AppResult"]

@@ -1,0 +1,25 @@
+"""Shared result type for application benchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+from repro.metrics.access import LocalAccess
+
+
+@dataclass
+class AppResult:
+    """Outcome of one application-benchmark run.
+
+    ``observables`` carries physics/numerics quantities the test suite
+    verifies (energies, residuals, conserved sums); ``state`` carries
+    raw arrays for deeper verification against references.
+    """
+
+    name: str
+    iterations: int
+    problem_size: int
+    local_access: LocalAccess
+    observables: Dict[str, float] = field(default_factory=dict)
+    state: Dict[str, Any] = field(default_factory=dict)

@@ -1,0 +1,147 @@
+"""md: molecular dynamics with long-range forces (all-pairs).
+
+Paper class (§4, (10)): general N-body, parallelized over the 2-D
+array of particle-particle interactions.  Table 5 layouts: ``x(:)``
+(per-particle state) and ``x(:,:)`` (the interaction array).  Table 6:
+``(23 + 51 n_p) n_p`` FLOPs per iteration, memory
+``160 n_p + 80 n_p^2`` (double: 20 words per particle, 10 per pair),
+and per iteration **6 1-D to 2-D SPREADs, 3 1-D to 2-D sends and
+3 2-D to 1-D Reductions** — the three coordinates spread along rows
+and columns (6 spreads), updated positions sent into the pair array
+(3 sends) and the three force components reduced back (3 reductions).
+
+The potential is Lennard-Jones; one main-loop iteration is one
+velocity-Verlet time step.  Energy conservation is the correctness
+observable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.base import AppResult
+from repro.array.distarray import DistArray
+from repro.layout.spec import parse_layout
+from repro.machine.session import Session
+from repro.metrics.access import LocalAccess
+from repro.metrics.patterns import CommPattern
+
+
+def lj_forces_energy(pos: np.ndarray, eps: float, sigma: float):
+    """Direct all-pairs Lennard-Jones forces and potential energy."""
+    n = pos.shape[0]
+    d = pos[None, :, :] - pos[:, None, :]  # d[i, j] = r_j - r_i
+    r2 = (d * d).sum(axis=-1)
+    np.fill_diagonal(r2, np.inf)
+    inv2 = (sigma * sigma) / r2
+    inv6 = inv2 * inv2 * inv2
+    inv12 = inv6 * inv6
+    # F_i = sum_j 24 eps (2 inv12 - inv6) / r2 * (r_i - r_j)
+    coef = 24.0 * eps * (2.0 * inv12 - inv6) / r2
+    forces = -(coef[:, :, None] * d).sum(axis=1)
+    energy = 2.0 * eps * (inv12 - inv6).sum()  # 4 eps * half the matrix
+    return forces, float(energy)
+
+
+def run(
+    session: Session,
+    n_p: int = 32,
+    steps: int = 20,
+    dt: float = 2e-3,
+    eps: float = 1.0,
+    sigma: float = 1.0,
+    seed: int = 0,
+) -> AppResult:
+    """Velocity-Verlet MD of an LJ cluster; checks energy drift."""
+    rng = np.random.default_rng(seed)
+    # Start near a perturbed cubic-ish lattice so no pair is too close.
+    side = int(np.ceil(n_p ** (1.0 / 3.0)))
+    grid = np.array(
+        [(i, j, k) for i in range(side) for j in range(side) for k in range(side)],
+        dtype=np.float64,
+    )[:n_p]
+    pos = grid * (1.3 * sigma) + 0.05 * sigma * rng.standard_normal((n_p, 3))
+    vel = 0.05 * rng.standard_normal((n_p, 3))
+    vel -= vel.mean(axis=0)
+
+    layout1 = parse_layout("(:)", (n_p,))
+    layout2 = parse_layout("(:,:)", (n_p, n_p))
+    # Table 6 memory: 160 n_p + 80 n_p^2.
+    for name in ("x", "y", "z", "vx", "vy", "vz", "fx", "fy", "fz", "m"):
+        session.declare_memory(name, (n_p,), np.float64)
+    for name in ("dx2d", "dy2d", "dz2d", "r2", "coef", "e2d"):
+        session.declare_memory(name, (n_p, n_p), np.float64)
+
+    itemsize = 8
+
+    def _charge_force_eval() -> None:
+        # 6 SPREADs: x, y, z along rows and columns of the pair array.
+        for name in ("x", "y", "z"):
+            for direction in ("rows", "cols"):
+                session.record_comm(
+                    CommPattern.SPREAD,
+                    bytes_network=(n_p * n_p - n_p) * itemsize
+                    if session.nodes > 1
+                    else 0,
+                    bytes_local=n_p * n_p * itemsize,
+                    rank=1,
+                    detail=f"{name} 1-D to 2-D {direction}",
+                )
+        # Pair kernel: ~51 FLOPs per pair under DPF conventions
+        # (3 subs, r2 = 3 mul + 2 add, 1 div (4), inv6/inv12 chain
+        # 4 mul, coefficient 4 mul/add + 1 div (4), force 3 mul +
+        # 3 add, energy 2 mul + 1 add, accumulation 3 add ...).
+        session.charge_kernel(51 * n_p * n_p, layout=layout2)
+        # 3 Reductions: force components back to 1-D.
+        for name in ("fx", "fy", "fz"):
+            session.record_comm(
+                CommPattern.REDUCTION,
+                bytes_network=n_p * itemsize,
+                rank=2,
+                detail=f"{name} 2-D to 1-D",
+            )
+        session.charge_reduction_flops(n_p, 3 * n_p, layout=layout2)
+
+    forces, pot = lj_forces_energy(pos, eps, sigma)
+    kin = 0.5 * float((vel * vel).sum())
+    e0 = kin + pot
+    with session.region("main_loop", iterations=steps):
+        for _ in range(steps):
+            # Segment timing per the paper (§1.5: md is reported in
+            # code segments): the force evaluation vs the integrator.
+            with session.region("integrate"):
+                vel += 0.5 * dt * forces
+                pos += dt * vel
+                # 3 sends: updated coordinates into the interaction array.
+                for name in ("x", "y", "z"):
+                    session.record_comm(
+                        CommPattern.SEND,
+                        bytes_network=round(
+                            n_p * itemsize * layout2.off_node_fraction(session.nodes)
+                        ),
+                        bytes_local=n_p * itemsize,
+                        rank=2,
+                        detail=f"{name} update 1-D to 2-D",
+                    )
+            with session.region("forces"):
+                _charge_force_eval()
+                forces, pot = lj_forces_energy(pos, eps, sigma)
+            with session.region("integrate"):
+                vel += 0.5 * dt * forces
+                # Integrator arithmetic: ~23 FLOPs per particle.
+                session.charge_kernel(23 * n_p, layout=layout1)
+    kin = 0.5 * float((vel * vel).sum())
+    e1 = kin + pot
+    return AppResult(
+        name="md",
+        iterations=steps,
+        problem_size=n_p,
+        local_access=LocalAccess.NA,
+        observables={
+            "energy_initial": e0,
+            "energy_final": e1,
+            "energy_drift": abs(e1 - e0) / max(abs(e0), 1e-300),
+            "momentum": float(np.abs(vel.sum(axis=0)).max()),
+        },
+        state={"pos": pos.copy(), "vel": vel.copy()},
+    )

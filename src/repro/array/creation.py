@@ -1,0 +1,124 @@
+"""DistArray creation routines."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.array.distarray import DistArray
+from repro.layout.spec import Layout, parse_layout
+from repro.machine.session import Session
+
+ShapeLike = Sequence[int]
+LayoutLike = Union[str, Layout]
+
+
+def _resolve_layout(spec: LayoutLike, shape: ShapeLike) -> Layout:
+    if isinstance(spec, Layout):
+        if spec.shape != tuple(shape):
+            raise ValueError(
+                f"layout shape {spec.shape} does not match shape {tuple(shape)}"
+            )
+        return spec
+    return parse_layout(spec, shape)
+
+
+def zeros(
+    session: Session,
+    shape: ShapeLike,
+    spec: LayoutLike,
+    dtype: np.dtype | type | str = np.float64,
+    name: str = "",
+) -> DistArray:
+    """An all-zero DistArray with the given layout spec."""
+    layout = _resolve_layout(spec, shape)
+    return DistArray(np.zeros(layout.shape, dtype=dtype), layout, session, name)
+
+
+def ones(
+    session: Session,
+    shape: ShapeLike,
+    spec: LayoutLike,
+    dtype: np.dtype | type | str = np.float64,
+    name: str = "",
+) -> DistArray:
+    """An all-ones DistArray with the given layout spec."""
+    layout = _resolve_layout(spec, shape)
+    return DistArray(np.ones(layout.shape, dtype=dtype), layout, session, name)
+
+
+def full(
+    session: Session,
+    shape: ShapeLike,
+    spec: LayoutLike,
+    fill_value,
+    dtype: np.dtype | type | str | None = None,
+    name: str = "",
+) -> DistArray:
+    """A constant-filled DistArray."""
+    layout = _resolve_layout(spec, shape)
+    return DistArray(
+        np.full(layout.shape, fill_value, dtype=dtype), layout, session, name
+    )
+
+
+def empty(
+    session: Session,
+    shape: ShapeLike,
+    spec: LayoutLike,
+    dtype: np.dtype | type | str = np.float64,
+    name: str = "",
+) -> DistArray:
+    """An uninitialized DistArray."""
+    layout = _resolve_layout(spec, shape)
+    return DistArray(np.empty(layout.shape, dtype=dtype), layout, session, name)
+
+
+def arange(
+    session: Session,
+    n: int,
+    spec: LayoutLike = "(:)",
+    dtype: np.dtype | type | str = np.float64,
+    name: str = "",
+) -> DistArray:
+    """A 0..n-1 ramp vector (parallel 1-D by default)."""
+    layout = _resolve_layout(spec, (n,))
+    return DistArray(np.arange(n, dtype=dtype), layout, session, name)
+
+
+def from_numpy(
+    session: Session,
+    array: np.ndarray,
+    spec: LayoutLike,
+    name: str = "",
+) -> DistArray:
+    """Wrap an existing NumPy array (copied) with a layout."""
+    array = np.array(array)
+    layout = _resolve_layout(spec, array.shape)
+    return DistArray(array, layout, session, name)
+
+
+def random_uniform(
+    session: Session,
+    shape: ShapeLike,
+    spec: LayoutLike,
+    *,
+    rng: Optional[np.random.Generator] = None,
+    seed: Optional[int] = None,
+    low: float = 0.0,
+    high: float = 1.0,
+    dtype: np.dtype | type | str = np.float64,
+    name: str = "",
+) -> DistArray:
+    """Uniformly random DistArray (deterministic given ``seed``/``rng``).
+
+    The Monte-Carlo benchmarks need "a fast random number generator"
+    (paper §4 class (9)); PCG64 via ``np.random.default_rng`` plays
+    that role.
+    """
+    layout = _resolve_layout(spec, shape)
+    if rng is None:
+        rng = np.random.default_rng(seed)
+    data = rng.uniform(low, high, size=layout.shape).astype(dtype, copy=False)
+    return DistArray(data, layout, session, name)

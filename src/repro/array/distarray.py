@@ -1,0 +1,333 @@
+"""The DistArray type."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.layout.spec import Axis, Layout, parse_layout
+from repro.machine.session import Session
+from repro.metrics.access import LocalAccess
+from repro.metrics.flops import FlopKind
+
+Scalar = Union[int, float, complex, np.number]
+Operand = Union["DistArray", Scalar]
+
+
+class DistArray:
+    """A data-parallel array bound to a session.
+
+    Construction does **not** declare memory for the paper's
+    memory-usage metric; benchmarks declare their user-visible arrays
+    explicitly via :meth:`repro.machine.Session.declare_memory` (the
+    paper excludes compiler temporaries, and intermediate DistArrays
+    are exactly that).
+    """
+
+    __slots__ = ("data", "layout", "session", "name")
+
+    def __init__(
+        self,
+        data: np.ndarray,
+        layout: Layout,
+        session: Session,
+        name: str = "",
+    ) -> None:
+        data = np.asarray(data)
+        if data.shape != layout.shape:
+            raise ValueError(
+                f"data shape {data.shape} does not match layout shape {layout.shape}"
+            )
+        self.data = data
+        self.layout = layout
+        self.session = session
+        self.name = name
+
+    # -- inspection --------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        """Global array shape."""
+        return self.layout.shape
+
+    @property
+    def ndim(self) -> int:
+        """Number of axes."""
+        return self.layout.ndim
+
+    @property
+    def size(self) -> int:
+        """Total element count."""
+        return self.layout.size
+
+    @property
+    def dtype(self) -> np.dtype:
+        """NumPy dtype of the payload."""
+        return self.data.dtype
+
+    @property
+    def is_complex(self) -> bool:
+        """True when the payload holds complex values."""
+        return self.data.dtype.kind == "c"
+
+    @property
+    def np(self) -> np.ndarray:
+        """The underlying (global) NumPy array, for verification."""
+        return self.data
+
+    def copy(self, name: str = "") -> "DistArray":
+        """Deep copy sharing the layout and session."""
+        return DistArray(self.data.copy(), self.layout, self.session, name or self.name)
+
+    def astype(self, dtype: np.dtype | type | str) -> "DistArray":
+        """Copy cast to ``dtype`` (same layout/session)."""
+        return DistArray(self.data.astype(dtype), self.layout, self.session, self.name)
+
+    def __repr__(self) -> str:
+        return (
+            f"DistArray(shape={self.shape}, layout={self.layout.spec_string()}, "
+            f"dtype={self.dtype}, name={self.name!r})"
+        )
+
+    # -- layout ops ----------------------------------------------------------
+    def relabel(self, spec: str) -> "DistArray":
+        """Reinterpret axis kinds without moving data.
+
+        Changing which axes are *distributed* on a real machine is an
+        AAPC; use :func:`repro.comm.remap` for that.  ``relabel`` is for
+        declaring the layout of freshly created arrays.
+        """
+        return DistArray(self.data, parse_layout(spec, self.shape), self.session, self.name)
+
+    def section(self, index: Tuple) -> "DistArray":
+        """A Fortran-style array section (view; no communication charged).
+
+        Stencil evaluation via shifted sections should go through
+        :func:`repro.comm.stencil`, which charges the boundary motion.
+        """
+        view = self.data[index]
+        new_axes = _section_axes(self.layout, index)
+        return DistArray(view, Layout(view.shape, new_axes), self.session, self.name)
+
+    def __getitem__(self, index) -> "DistArray":
+        if not isinstance(index, tuple):
+            index = (index,)
+        return self.section(index)
+
+    def __setitem__(self, index, value: Operand) -> None:
+        if isinstance(value, DistArray):
+            self.data[index] = value.data
+        else:
+            self.data[index] = value
+
+    # -- arithmetic -----------------------------------------------------------
+    def _coerce(self, other: Operand) -> np.ndarray | Scalar:
+        if isinstance(other, DistArray):
+            if other.session is not self.session:
+                raise ValueError("operands belong to different sessions")
+            if other.shape != self.shape:
+                raise ValueError(
+                    f"shape mismatch {self.shape} vs {other.shape}; use "
+                    "repro.comm.spread for explicit broadcasts"
+                )
+            return other.data
+        return other
+
+    def _binary(
+        self,
+        other: Operand,
+        op: Callable[[np.ndarray, object], np.ndarray],
+        kind: FlopKind,
+        reflected: bool = False,
+    ) -> "DistArray":
+        rhs = self._coerce(other)
+        result = op(rhs, self.data) if reflected else op(self.data, rhs)
+        complex_valued = self.is_complex or (
+            isinstance(other, DistArray) and other.is_complex
+        ) or isinstance(other, complex)
+        self.session.charge_elementwise(
+            kind, self.layout, complex_valued=complex_valued
+        )
+        return DistArray(result, self.layout, self.session)
+
+    def __add__(self, other: Operand) -> "DistArray":
+        return self._binary(other, np.add, FlopKind.ADD)
+
+    def __radd__(self, other: Operand) -> "DistArray":
+        return self._binary(other, np.add, FlopKind.ADD, reflected=True)
+
+    def __sub__(self, other: Operand) -> "DistArray":
+        return self._binary(other, np.subtract, FlopKind.SUB)
+
+    def __rsub__(self, other: Operand) -> "DistArray":
+        return self._binary(other, np.subtract, FlopKind.SUB, reflected=True)
+
+    def __mul__(self, other: Operand) -> "DistArray":
+        return self._binary(other, np.multiply, FlopKind.MUL)
+
+    def __rmul__(self, other: Operand) -> "DistArray":
+        return self._binary(other, np.multiply, FlopKind.MUL, reflected=True)
+
+    def __truediv__(self, other: Operand) -> "DistArray":
+        return self._binary(other, np.divide, FlopKind.DIV)
+
+    def __rtruediv__(self, other: Operand) -> "DistArray":
+        return self._binary(other, np.divide, FlopKind.DIV, reflected=True)
+
+    def __pow__(self, other: Operand) -> "DistArray":
+        if other == 2:
+            # x**2 compiles to a multiply.
+            return self._binary(self, np.multiply, FlopKind.MUL)
+        return self._binary(other, np.power, FlopKind.POW)
+
+    def __neg__(self) -> "DistArray":
+        result = -self.data
+        self.session.charge_elementwise(FlopKind.SUB, self.layout)
+        return DistArray(result, self.layout, self.session)
+
+    # in-place variants (the guides' preferred idiom for big operands)
+    def __iadd__(self, other: Operand) -> "DistArray":
+        self.data += self._coerce(other)
+        self.session.charge_elementwise(
+            FlopKind.ADD, self.layout, complex_valued=self.is_complex
+        )
+        return self
+
+    def __isub__(self, other: Operand) -> "DistArray":
+        self.data -= self._coerce(other)
+        self.session.charge_elementwise(
+            FlopKind.SUB, self.layout, complex_valued=self.is_complex
+        )
+        return self
+
+    def __imul__(self, other: Operand) -> "DistArray":
+        self.data *= self._coerce(other)
+        self.session.charge_elementwise(
+            FlopKind.MUL, self.layout, complex_valued=self.is_complex
+        )
+        return self
+
+    def __itruediv__(self, other: Operand) -> "DistArray":
+        self.data /= self._coerce(other)
+        self.session.charge_elementwise(
+            FlopKind.DIV, self.layout, complex_valued=self.is_complex
+        )
+        return self
+
+    # -- comparisons (produce logical DistArrays; charged as compares) -------
+    def _compare(self, other: Operand, op) -> "DistArray":
+        rhs = self._coerce(other)
+        self.session.charge_elementwise(FlopKind.COMPARE, self.layout)
+        return DistArray(op(self.data, rhs), self.layout, self.session)
+
+    def __lt__(self, other: Operand) -> "DistArray":
+        return self._compare(other, np.less)
+
+    def __le__(self, other: Operand) -> "DistArray":
+        return self._compare(other, np.less_equal)
+
+    def __gt__(self, other: Operand) -> "DistArray":
+        return self._compare(other, np.greater)
+
+    def __ge__(self, other: Operand) -> "DistArray":
+        return self._compare(other, np.greater_equal)
+
+    def equals(self, other: Operand) -> "DistArray":
+        """Elementwise equality (named to keep ``__eq__`` for identity)."""
+        return self._compare(other, np.equal)
+
+    # -- elementwise intrinsics ------------------------------------------------
+    def _unary(self, fn, kind: FlopKind) -> "DistArray":
+        result = fn(self.data)
+        self.session.charge_elementwise(
+            kind, self.layout, complex_valued=self.is_complex
+        )
+        return DistArray(result, self.layout, self.session)
+
+    def sqrt(self) -> "DistArray":
+        """Elementwise square root (4 FLOPs/element)."""
+        return self._unary(np.sqrt, FlopKind.SQRT)
+
+    def exp(self) -> "DistArray":
+        """Elementwise exponential (8 FLOPs/element)."""
+        return self._unary(np.exp, FlopKind.EXP)
+
+    def log(self) -> "DistArray":
+        """Elementwise natural log (8 FLOPs/element)."""
+        return self._unary(np.log, FlopKind.LOG)
+
+    def sin(self) -> "DistArray":
+        """Elementwise sine (8 FLOPs/element)."""
+        return self._unary(np.sin, FlopKind.TRIG)
+
+    def cos(self) -> "DistArray":
+        """Elementwise cosine (8 FLOPs/element)."""
+        return self._unary(np.cos, FlopKind.TRIG)
+
+    def abs(self) -> "DistArray":
+        """Elementwise absolute value / complex magnitude."""
+        return self._unary(np.abs, FlopKind.ABS)
+
+    def conj(self) -> "DistArray":
+        """Elementwise complex conjugate."""
+        # Sign flip on the imaginary part.
+        result = np.conj(self.data)
+        self.session.charge_elementwise(FlopKind.SUB, self.layout)
+        return DistArray(result, self.layout, self.session)
+
+    # -- reductions (delegate to the collective library) -----------------------
+    def sum(
+        self,
+        axis: Optional[int | Sequence[int]] = None,
+        mask: Optional["DistArray"] = None,
+    ) -> Union["DistArray", Scalar]:
+        """SUM intrinsic; delegates to the collective library."""
+        from repro.comm.primitives import reduce_array
+
+        return reduce_array(self, op="sum", axis=axis, mask=mask)
+
+    def maxval(self, axis: Optional[int | Sequence[int]] = None):
+        """MAXVAL intrinsic (reduction)."""
+        from repro.comm.primitives import reduce_array
+
+        return reduce_array(self, op="max", axis=axis)
+
+    def minval(self, axis: Optional[int | Sequence[int]] = None):
+        """MINVAL intrinsic (reduction)."""
+        from repro.comm.primitives import reduce_array
+
+        return reduce_array(self, op="min", axis=axis)
+
+    def maxloc(self) -> Tuple[int, ...]:
+        """MAXLOC intrinsic: index of the maximum element."""
+        from repro.comm.primitives import reduce_location
+
+        return reduce_location(self, op="max")
+
+    def minloc(self) -> Tuple[int, ...]:
+        """MINLOC intrinsic: index of the minimum element."""
+        from repro.comm.primitives import reduce_location
+
+        return reduce_location(self, op="min")
+
+
+def _section_axes(layout: Layout, index: Tuple) -> Tuple[Axis, ...]:
+    """Axis kinds surviving a basic-slicing operation."""
+    axes = []
+    dim = 0
+    for entry in index:
+        if entry is None:
+            axes.append(Axis.SERIAL)  # np.newaxis introduces a local axis
+            continue
+        if isinstance(entry, slice):
+            axes.append(layout.axes[dim])
+            dim += 1
+        elif isinstance(entry, (int, np.integer)):
+            dim += 1  # axis removed
+        else:
+            raise TypeError(
+                f"unsupported section index {entry!r}; use repro.comm.gather "
+                "for vector-valued subscripts"
+            )
+    axes.extend(layout.axes[dim:])
+    return tuple(axes)

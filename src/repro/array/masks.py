@@ -1,0 +1,53 @@
+"""Mask handling with HPF execution semantics (paper §1.4).
+
+HPF evaluates masked expressions over the *entire* array and applies
+the mask only at assignment.  The DPF performance analysis therefore
+charges unmasked FLOP counts; these helpers preserve that behaviour:
+``where`` selects between two fully-computed operands, charging only
+the selection move, because the operands were charged when computed.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.array.distarray import DistArray, Scalar
+
+
+def where(
+    mask: DistArray,
+    if_true: Union[DistArray, Scalar],
+    if_false: Union[DistArray, Scalar],
+) -> DistArray:
+    """Elementwise selection (``WHERE`` / merge).
+
+    Both branch operands must already be fully evaluated — this is the
+    HPF semantics the paper's FLOP counts assume.  The selection itself
+    moves data but performs no floating-point arithmetic.
+    """
+    t = if_true.data if isinstance(if_true, DistArray) else if_true
+    f = if_false.data if isinstance(if_false, DistArray) else if_false
+    result = np.where(mask.data, t, f)
+    return DistArray(result, mask.layout, mask.session)
+
+
+def merge(
+    if_true: Union[DistArray, Scalar],
+    if_false: Union[DistArray, Scalar],
+    mask: DistArray,
+) -> DistArray:
+    """Fortran-90 ``MERGE(tsource, fsource, mask)`` argument order."""
+    return where(mask, if_true, if_false)
+
+
+def assign_where(target: DistArray, mask: DistArray, value) -> None:
+    """Masked assignment: ``WHERE (mask) target = value``."""
+    if mask.shape != target.shape:
+        raise ValueError(f"mask shape {mask.shape} != target shape {target.shape}")
+    v = value.data if isinstance(value, DistArray) else value
+    if np.isscalar(v):
+        target.data[mask.data] = v
+    else:
+        target.data[mask.data] = np.broadcast_to(v, target.shape)[mask.data]

@@ -1,0 +1,258 @@
+"""Command-line interface: ``python -m repro``.
+
+Subcommands
+-----------
+
+``list``
+    List the 32 registered benchmarks with group and description.
+``run NAME``
+    Run one benchmark and print its §1.5 performance report
+    (``--nodes``, ``--machine``, ``--tier`` select the simulated
+    environment; ``--param k=v`` forwards benchmark parameters).
+``suite``
+    Run every benchmark with small default sizes and print a summary
+    table.
+``tables``
+    Regenerate the paper's tables (1, 2, 3, 5, 7, 8 structural; 4 and
+    6 measured-vs-paper).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.machine.presets import cm5, cm5e, generic_cluster, workstation
+from repro.machine.session import Session
+from repro.versions import VersionTier
+
+MACHINES: Dict[str, Callable[[int], object]] = {
+    "cm5": cm5,
+    "cm5e": cm5e,
+    "cluster": generic_cluster,
+    "workstation": lambda nodes: workstation(),
+}
+
+
+def _parse_value(text: str):
+    """Parse a CLI parameter value: int, float, bool or string."""
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            continue
+    return text
+
+
+def _parse_params(entries: Optional[List[str]]) -> Dict[str, object]:
+    params: Dict[str, object] = {}
+    for entry in entries or []:
+        if "=" not in entry:
+            raise SystemExit(f"bad --param {entry!r}; expected key=value")
+        key, _, value = entry.partition("=")
+        params[key] = _parse_value(value)
+    return params
+
+
+def _make_session(args) -> Session:
+    machine = MACHINES[args.machine](args.nodes)
+    return Session(machine, tier=VersionTier(args.tier))
+
+
+def _cmd_list(args) -> int:
+    from repro.suite import REGISTRY
+
+    width = max(len(n) for n in REGISTRY)
+    for name in sorted(REGISTRY):
+        spec = REGISTRY[name]
+        versions = ",".join(t.value for t in spec.versions)
+        print(f"{name:{width}s}  [{spec.group:6s}]  {spec.description}")
+        if args.verbose:
+            print(f"{'':{width}s}  layouts: {' '.join(spec.layouts)}")
+            print(f"{'':{width}s}  versions: {versions}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from repro.suite import run_benchmark
+
+    session = _make_session(args)
+    report = run_benchmark(args.name, session, **_parse_params(args.param))
+    print(f"machine: {session.machine.describe()}")
+    print(report.summary())
+    if report.extra:
+        print("\nverification observables:")
+        for key, value in report.extra.items():
+            print(f"  {key:28s} {value:.6g}")
+    if args.json:
+        from repro.metrics.serialize import report_to_json
+
+        with open(args.json, "w") as fh:
+            fh.write(report_to_json(report))
+        print(f"\nreport written to {args.json}")
+    return 0
+
+
+def _cmd_suite(args) -> int:
+    from repro.suite import run_suite
+    from repro.suite.tables import format_table
+
+    reports = run_suite(lambda: _make_session(args))
+    rows = []
+    for name in sorted(reports):
+        r = reports[name]
+        eff = r.arithmetic_efficiency
+        rows.append(
+            [
+                name,
+                f"{r.busy_time:.6f}",
+                f"{r.elapsed_time:.6f}",
+                f"{r.busy_floprate_mflops:.2f}",
+                f"{r.flop_count}",
+                f"{100 * eff:.2f}%" if eff is not None else "-",
+            ]
+        )
+    print(
+        format_table(
+            ["Benchmark", "Busy (s)", "Elapsed (s)", "MFLOP/s", "FLOPs", "Eff"],
+            rows,
+        )
+    )
+    return 0
+
+
+def _cmd_tables(args) -> int:
+    from repro.suite import tables
+
+    structural = {
+        1: tables.table1_versions,
+        2: tables.table2_layouts,
+        3: tables.table3_comm,
+        5: tables.table5_layouts,
+        7: tables.table7_comm,
+        8: tables.table8_techniques,
+    }
+    measured = {
+        4: lambda: tables.table4_linalg(lambda: _make_session(args)),
+        6: lambda: tables.table6_apps(lambda: _make_session(args)),
+    }
+    wanted = args.numbers or sorted({**structural, **measured})
+    for number in wanted:
+        fn = structural.get(number) or measured.get(number)
+        if fn is None:
+            raise SystemExit(f"no table {number}; choose from 1-8")
+        print(f"=== Table {number} ===")
+        print(fn())
+        print()
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from repro.suite.sweeps import (
+        efficiency_series,
+        machine_sweep,
+        parameter_sweep,
+    )
+
+    values = [_parse_value(v) for v in args.values.split(",")]
+    fixed = _parse_params(args.param)
+    if args.over == "nodes":
+        factory = MACHINES[args.machine]
+        sweep = machine_sweep(
+            args.name, factory, values, fixed, tier=VersionTier(args.tier)
+        )
+        print(sweep.table())
+        eff = efficiency_series(sweep)
+        pairs = ", ".join(
+            f"{n}: {e:.2f}" for n, e in zip(values, eff["efficiency"])
+        )
+        print(f"\nparallel efficiency vs {values[0]} nodes: {pairs}")
+    else:
+        sweep = parameter_sweep(
+            args.name, args.over, values, lambda: _make_session(args), fixed
+        )
+        print(sweep.table())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DPF benchmark suite (IPPS 1997) — Python reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def _add_machine_args(p):
+        p.add_argument(
+            "--machine", choices=sorted(MACHINES), default="cm5",
+            help="simulated machine preset (default: cm5)",
+        )
+        p.add_argument(
+            "--nodes", type=int, default=32, help="node count (default: 32)"
+        )
+        p.add_argument(
+            "--tier",
+            choices=[t.value for t in VersionTier],
+            default="basic",
+            help="code-version tier of Table 1 (default: basic)",
+        )
+
+    p_list = sub.add_parser("list", help="list registered benchmarks")
+    p_list.add_argument("-v", "--verbose", action="store_true")
+    p_list.set_defaults(fn=_cmd_list)
+
+    p_run = sub.add_parser("run", help="run one benchmark")
+    p_run.add_argument("name")
+    p_run.add_argument(
+        "--param", action="append", metavar="K=V",
+        help="benchmark parameter override (repeatable)",
+    )
+    p_run.add_argument("--json", metavar="PATH", help="write report as JSON")
+    _add_machine_args(p_run)
+    p_run.set_defaults(fn=_cmd_run)
+
+    p_suite = sub.add_parser("suite", help="run the whole suite")
+    _add_machine_args(p_suite)
+    p_suite.set_defaults(fn=_cmd_suite)
+
+    p_tables = sub.add_parser("tables", help="regenerate the paper's tables")
+    p_tables.add_argument(
+        "numbers", nargs="*", type=int, help="table numbers (default: all)"
+    )
+    _add_machine_args(p_tables)
+    p_tables.set_defaults(fn=_cmd_tables)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="sweep a benchmark parameter or the node count"
+    )
+    p_sweep.add_argument("name")
+    p_sweep.add_argument(
+        "--over", required=True, metavar="PARAM",
+        help="parameter to sweep ('nodes' sweeps the machine size)",
+    )
+    p_sweep.add_argument(
+        "--values", required=True,
+        help="comma-separated values, e.g. 8,16,32",
+    )
+    p_sweep.add_argument(
+        "--param", action="append", metavar="K=V",
+        help="fixed benchmark parameter (repeatable)",
+    )
+    _add_machine_args(p_sweep)
+    p_sweep.set_defaults(fn=_cmd_sweep)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

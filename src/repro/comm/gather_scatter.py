@@ -1,0 +1,150 @@
+"""Gather and scatter with combiners (paper §2, Table 8).
+
+Gather and scatter "appear frequently in basic linear algebra
+operations for arbitrary sparse matrices, for histogramming and many
+other applications, such as finite element codes for unstructured
+grids" (paper §2).  The CMF implementations the paper catalogues are
+``FORALL`` with indirect addressing, ``CMF send add`` / ``send
+overwrite``, ``CMF aset 1D``, and the CMSSL partitioned gather/scatter
+utilities; all reduce to the router operations modeled here.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro.array.distarray import DistArray
+from repro.layout.spec import Axis, Layout
+from repro.metrics.access import LocalAccess
+from repro.metrics.flops import FlopKind
+from repro.metrics.patterns import CommPattern
+
+IndexLike = Union[np.ndarray, Tuple[np.ndarray, ...]]
+
+
+def _as_index_tuple(index: IndexLike) -> Tuple[np.ndarray, ...]:
+    if isinstance(index, tuple):
+        return tuple(np.asarray(i) for i in index)
+    return (np.asarray(index),)
+
+
+def gather(
+    src: DistArray,
+    index: IndexLike,
+    *,
+    collisions: Optional[float] = None,
+) -> DistArray:
+    """``result(k) = src(index(k))`` — many-to-one router traffic.
+
+    ``collisions`` overrides the machine's router collision factor;
+    the paper's PIC discussion notes gather/scatter are "highly
+    sensitive to data-router collisions" at local density peaks, and
+    the sorted pic-gather-scatter variant exists to avoid exactly that.
+    """
+    idx = _as_index_tuple(index)
+    result = src.data[idx]
+    layout = Layout(result.shape, (Axis.PARALLEL,) * result.ndim)
+    itemsize = src.data.itemsize
+    off_node = src.layout.off_node_fraction(src.session.nodes)
+    src.session.record_comm(
+        CommPattern.GATHER,
+        bytes_network=round(result.size * itemsize * off_node),
+        bytes_local=result.size * itemsize,
+        rank=src.ndim,
+        collisions=collisions,
+    )
+    return DistArray(result, layout, src.session)
+
+
+def gather_combine(
+    src: DistArray,
+    index: IndexLike,
+    out_shape: Tuple[int, ...],
+    *,
+    op: str = "add",
+) -> DistArray:
+    """Gather with a combiner: ``result(j) = SUM(src, index == j)``.
+
+    This is pic-simple's ``FORALL w/ SUM`` charge deposition: values at
+    many source points combine into each destination.  Charged as
+    gather-with-combine router traffic plus the combining adds.
+    """
+    if op != "add":
+        raise ValueError(f"unsupported gather combiner {op!r}")
+    idx = _as_index_tuple(index)
+    flat_out = np.zeros(int(np.prod(out_shape)), dtype=src.dtype)
+    flat_idx = np.ravel_multi_index(idx, out_shape) if len(idx) > 1 else idx[0]
+    np.add.at(flat_out, flat_idx.ravel(), src.data.ravel())
+    result = flat_out.reshape(out_shape)
+    layout = Layout(result.shape, (Axis.PARALLEL,) * result.ndim)
+    itemsize = src.data.itemsize
+    off_node = src.layout.off_node_fraction(src.session.nodes)
+    src.session.record_comm(
+        CommPattern.GATHER_COMBINE,
+        bytes_network=round(src.size * itemsize * off_node),
+        bytes_local=src.size * itemsize,
+        rank=src.ndim,
+    )
+    src.session.charge_kernel(
+        src.size, layout=src.layout, access=LocalAccess.INDIRECT
+    )
+    return DistArray(result, layout, src.session)
+
+
+def scatter(
+    dest: DistArray,
+    index: IndexLike,
+    values: DistArray,
+    combine: Optional[str] = None,
+    *,
+    collisions: Optional[float] = None,
+) -> None:
+    """``dest(index(k)) (op)= values(k)`` — one-to-many router traffic.
+
+    ``combine=None`` is a collisionless overwrite; ``"add"``/``"max"``
+    are combining scatters (CMF ``send add``), charged for their
+    combining arithmetic as well as the traffic.
+    """
+    pattern = (
+        CommPattern.SCATTER if combine in (None, "overwrite") else CommPattern.SCATTER_COMBINE
+    )
+    _scatter_into(dest, index, values, combine, pattern, collisions=collisions)
+
+
+def _scatter_into(
+    dest: DistArray,
+    index: IndexLike,
+    values: DistArray,
+    combine: Optional[str],
+    pattern: CommPattern,
+    *,
+    collisions: Optional[float] = None,
+) -> None:
+    idx = _as_index_tuple(index)
+    vals = values.data
+    if combine in (None, "overwrite"):
+        dest.data[idx] = vals
+    elif combine == "add":
+        np.add.at(dest.data, idx, vals)
+        dest.session.charge_elementwise(
+            FlopKind.ADD, values.layout, access=LocalAccess.INDIRECT
+        )
+    elif combine == "max":
+        np.maximum.at(dest.data, idx, vals)
+        dest.session.charge_elementwise(
+            FlopKind.COMPARE, values.layout, access=LocalAccess.INDIRECT
+        )
+    else:
+        raise ValueError(f"unsupported scatter combiner {combine!r}")
+    itemsize = vals.itemsize
+    off_node = dest.layout.off_node_fraction(dest.session.nodes)
+    dest.session.record_comm(
+        pattern,
+        bytes_network=round(values.size * itemsize * off_node),
+        bytes_local=values.size * itemsize,
+        rank=dest.ndim,
+        collisions=collisions,
+        detail=f"combine={combine}",
+    )

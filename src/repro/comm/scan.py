@@ -1,0 +1,140 @@
+"""Parallel-prefix operations: scans, segmented scans and copy-scans.
+
+The paper charges scans at their sequential FLOP cost (``N - 1`` per
+scanned lane, §1.5(1)) and counts each invocation as one ``Scan``
+communication event.  Segmented scans and segmented copy-scans are the
+workhorses of the particle codes (pic-gather-scatter's 81 scans per
+iteration) and the Monte-Carlo branching logic in qmc (paper §4,
+class (9)).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.array.distarray import DistArray
+from repro.layout.spec import Layout
+from repro.metrics.patterns import CommPattern
+
+_SCAN_OPS = {
+    "sum": np.cumsum,
+    "max": np.maximum.accumulate,
+    "min": np.minimum.accumulate,
+    "prod": np.cumprod,
+}
+
+
+def scan(
+    x: DistArray,
+    op: str = "sum",
+    axis: int = 0,
+    *,
+    inclusive: bool = True,
+) -> DistArray:
+    """Prefix scan along ``axis`` (inclusive by default)."""
+    if op not in _SCAN_OPS:
+        raise ValueError(f"unknown scan op {op!r}")
+    axis = axis % x.ndim
+    result = _SCAN_OPS[op](x.data, axis=axis)
+    if not inclusive:
+        shifted = np.zeros_like(result)
+        idx_dst = [slice(None)] * x.ndim
+        idx_src = [slice(None)] * x.ndim
+        idx_dst[axis] = slice(1, None)
+        idx_src[axis] = slice(0, -1)
+        shifted[tuple(idx_dst)] = result[tuple(idx_src)]
+        result = shifted
+
+    n = x.shape[axis]
+    lanes = max(1, x.size // max(1, n))
+    x.session.charge_reduction_flops(n, lanes, layout=x.layout)
+    _record_scan(x, axis)
+    return DistArray(result, x.layout, x.session)
+
+
+def segmented_scan(
+    x: DistArray,
+    starts: np.ndarray,
+    op: str = "sum",
+    *,
+    inclusive: bool = True,
+) -> DistArray:
+    """Segmented prefix scan of a 1-D array.
+
+    ``starts`` is a boolean array marking the first element of each
+    segment (element 0 is always a segment start).  The scan restarts
+    at every flagged position.
+    """
+    if x.ndim != 1:
+        raise ValueError("segmented_scan supports 1-D arrays")
+    flags = np.asarray(starts, dtype=bool).copy()
+    if flags.shape != x.shape:
+        raise ValueError(f"starts shape {flags.shape} != array shape {x.shape}")
+    if flags.size:
+        flags[0] = True
+
+    if op == "sum":
+        c = np.cumsum(x.data)
+        start_idx = np.flatnonzero(flags)
+        base = np.where(start_idx > 0, c[np.maximum(start_idx - 1, 0)], 0)
+        base[start_idx == 0] = 0
+        seg_id = np.cumsum(flags) - 1
+        result = c - base[seg_id]
+        if not inclusive:
+            result = result - x.data
+    elif op in ("max", "min"):
+        # Reset-to-segment-start via index trickery: compute positions of
+        # each segment start, then accumulate within segments by masking.
+        seg_id = np.cumsum(flags) - 1
+        result = np.empty_like(x.data)
+        accum = _SCAN_OPS[op]
+        start_idx = np.flatnonzero(flags)
+        bounds = np.append(start_idx, x.size)
+        for lo, hi in zip(bounds[:-1], bounds[1:]):
+            result[lo:hi] = accum(x.data[lo:hi])
+        if not inclusive:
+            raise ValueError("exclusive segmented max/min scans are undefined")
+    else:
+        raise ValueError(f"unknown segmented scan op {op!r}")
+
+    x.session.charge_reduction_flops(x.size, 1, layout=x.layout)
+    _record_scan(x, 0, detail="segmented")
+    return DistArray(result, x.layout, x.session)
+
+
+def segmented_copy_scan(x: DistArray, starts: np.ndarray) -> DistArray:
+    """Propagate each segment's first value across the segment.
+
+    Used by the Monte-Carlo walker-spawning algorithms (paper §4 (9)):
+    "algorithms that involve sum-scans, general sends and segmented
+    copy scans".
+    """
+    if x.ndim != 1:
+        raise ValueError("segmented_copy_scan supports 1-D arrays")
+    flags = np.asarray(starts, dtype=bool).copy()
+    if flags.size:
+        flags[0] = True
+    seg_id = np.cumsum(flags) - 1
+    start_idx = np.flatnonzero(flags)
+    result = x.data[start_idx[seg_id]]
+    _record_scan(x, 0, detail="segmented copy")
+    return DistArray(result, x.layout, x.session)
+
+
+def _record_scan(x: DistArray, axis: int, detail: str = "") -> None:
+    itemsize = x.data.itemsize
+    if x.layout.is_parallel(axis) and x.layout.blocks(x.session.nodes, axis) > 1:
+        # Each tree stage exchanges one partial value per lane.
+        lanes = max(1, x.size // max(1, x.shape[axis]))
+        net = lanes * itemsize * x.layout.blocks(x.session.nodes, axis)
+    else:
+        net = 0
+    x.session.record_comm(
+        CommPattern.SCAN,
+        bytes_network=net,
+        bytes_local=x.size * itemsize,
+        rank=x.ndim,
+        detail=detail,
+    )

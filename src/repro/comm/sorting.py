@@ -1,0 +1,55 @@
+"""Parallel sorting (the ``Sort`` pattern of Tables 6 and 7).
+
+qptransport and pic-gather-scatter sort particles/edges by destination
+before router operations, trading a sort for collision-free sends
+(paper §4, class (8)).  The simulated cost is a bitonic sort:
+``ceil(log2 p)**2`` router stages across nodes plus an ``n log n``
+local sort per node, charged as local data motion.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.array.distarray import DistArray
+from repro.layout.spec import Axis, Layout
+from repro.metrics.patterns import CommPattern
+
+
+def sort_array(x: DistArray, axis: int = -1) -> DistArray:
+    """Sorted copy of ``x`` along ``axis``."""
+    axis = axis % x.ndim
+    result = np.sort(x.data, axis=axis)
+    _record_sort(x, axis)
+    return DistArray(result, x.layout, x.session)
+
+
+def argsort(x: DistArray, axis: int = -1) -> DistArray:
+    """Rank/permutation vector of the parallel sort.
+
+    The CMF codes use rank computations to build destination addresses;
+    the result is an integer DistArray with the same layout.
+    """
+    axis = axis % x.ndim
+    result = np.argsort(x.data, axis=axis, kind="stable")
+    _record_sort(x, axis)
+    return DistArray(result, x.layout, x.session)
+
+
+def _record_sort(x: DistArray, axis: int) -> None:
+    itemsize = x.data.itemsize
+    nodes = x.session.nodes
+    p = x.layout.blocks(nodes, axis) if x.layout.is_parallel(axis) else 1
+    stages = max(1, math.ceil(math.log2(p)) ** 2) if p > 1 else 1
+    local_n = max(2, x.layout.max_local_elements(nodes))
+    local_passes = max(1, math.ceil(math.log2(local_n)))
+    x.session.record_comm(
+        CommPattern.SORT,
+        bytes_network=x.size * itemsize if p > 1 else 0,
+        bytes_local=x.size * itemsize * local_passes,
+        rank=x.ndim,
+        stages=stages,
+        detail=f"axis={axis}",
+    )

@@ -1,0 +1,163 @@
+"""Stencil evaluation (Tables 7 and 8).
+
+The paper distinguishes the *stencil* communication pattern from the
+primitives used to implement it: boson/wave-1D/ellip-2D/rp/mdcell
+build stencils from CSHIFTs, step4 from chained CSHIFTs, and the
+diff-* family from array sections (Table 8).  This module provides the
+stencil *primitive*: one call fetches all neighbor values, charging a
+single pipelined multi-surface exchange — the "stencil primitive …
+provided to retrieve the data from several neighbors simultaneously
+and to pipeline the combining of the data" of §4(2).
+
+Benchmarks that need exact FLOP formulas combine the returned shifted
+arrays with explicit DistArray arithmetic;
+:func:`stencil_apply` offers a generic combined evaluation for user
+code.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.array.distarray import DistArray
+from repro.metrics.flops import FlopKind
+from repro.metrics.patterns import CommPattern
+
+Offset = Union[int, Tuple[int, ...]]
+
+
+def _normalize_offsets(
+    offsets: Sequence[Offset], ndim: int
+) -> List[Tuple[int, ...]]:
+    out: List[Tuple[int, ...]] = []
+    for off in offsets:
+        if isinstance(off, (int, np.integer)):
+            off = (int(off),) + (0,) * (ndim - 1)
+        off = tuple(int(o) for o in off)
+        if len(off) != ndim:
+            raise ValueError(f"offset {off} has wrong rank for {ndim}-D array")
+        out.append(off)
+    return out
+
+
+def _shift(data: np.ndarray, offset: Tuple[int, ...], boundary: str, fill) -> np.ndarray:
+    """Shifted copy: ``result(i) = data(i + offset)`` per axis."""
+    if boundary == "periodic":
+        result = data
+        for axis, s in enumerate(offset):
+            if s:
+                result = np.roll(result, -s, axis=axis)
+        return result if result is not data else data.copy()
+    if boundary in ("dirichlet", "constant"):
+        result = np.full_like(data, fill)
+        src = [slice(None)] * data.ndim
+        dst = [slice(None)] * data.ndim
+        for axis, s in enumerate(offset):
+            n = data.shape[axis]
+            if abs(s) >= n:
+                return result
+            if s >= 0:
+                src[axis] = slice(s, n)
+                dst[axis] = slice(0, n - s)
+            else:
+                src[axis] = slice(0, n + s)
+                dst[axis] = slice(-s, n)
+        result[tuple(dst)] = data[tuple(src)]
+        return result
+    raise ValueError(f"unknown boundary {boundary!r}")
+
+
+def stencil_shifts(
+    x: DistArray,
+    offsets: Sequence[Offset],
+    *,
+    boundary: str = "periodic",
+    fill=0.0,
+    pattern: CommPattern = CommPattern.STENCIL,
+) -> List[DistArray]:
+    """Fetch all stencil neighbors in one pipelined exchange.
+
+    Returns one shifted DistArray per offset.  The communication charge
+    is a single :class:`CommPattern.STENCIL` event whose stage count is
+    the number of distinct non-zero surface exchanges — the pipelining
+    benefit of a dedicated stencil primitive.
+    """
+    offs = _normalize_offsets(offsets, x.ndim)
+    results = [
+        DistArray(_shift(x.data, off, boundary, fill), x.layout, x.session)
+        for off in offs
+    ]
+    itemsize = x.data.itemsize
+    nodes = x.session.nodes
+    net = 0
+    stages = 0
+    for off in offs:
+        off_bytes = 0
+        for axis, s in enumerate(off):
+            if s:
+                off_bytes += (
+                    x.layout.shift_network_elements(nodes, axis, s) * itemsize
+                )
+        if off_bytes:
+            stages += 1
+            net += off_bytes
+    x.session.record_comm(
+        pattern,
+        bytes_network=net,
+        bytes_local=x.size * itemsize * max(1, len(offs) - 1),
+        rank=x.ndim,
+        stages=max(1, stages),
+        detail=f"{len(offs)}-point",
+    )
+    return results
+
+
+def stencil_apply(
+    x: DistArray,
+    taps: Dict[Tuple[int, ...], float],
+    *,
+    boundary: str = "periodic",
+    fill=0.0,
+) -> DistArray:
+    """Generic weighted-stencil evaluation: ``sum(c * shift(x, off))``.
+
+    Coefficients are grouped by value, so a 7-point Laplacian with six
+    equal off-center taps charges 5 adds + 1 multiply for the neighbor
+    group rather than six separate multiplies — matching how a
+    performance-oriented CMF programmer (or the CMSSL stencil routine)
+    would evaluate it.
+    """
+    if not taps:
+        raise ValueError("taps must be non-empty")
+    offs = _normalize_offsets(list(taps.keys()), x.ndim)
+    coeffs = list(taps.values())
+    shifted = stencil_shifts(x, offs, boundary=boundary, fill=fill)
+
+    groups: Dict[float, List[DistArray]] = {}
+    for arr, c in zip(shifted, coeffs):
+        groups.setdefault(float(c), []).append(arr)
+
+    session = x.session
+    partials: List[np.ndarray] = []
+    n_add = 0
+    n_mul = 0
+    for coeff, members in groups.items():
+        acc = members[0].data.copy()
+        for m in members[1:]:
+            acc += m.data
+            n_add += 1
+        if coeff != 1.0:
+            acc *= coeff
+            n_mul += 1
+        partials.append(acc)
+    total = partials[0]
+    for p in partials[1:]:
+        total += p
+        n_add += 1
+    if n_add:
+        session.charge_elementwise(FlopKind.ADD, x.layout, ops_per_element=n_add)
+    if n_mul:
+        session.charge_elementwise(FlopKind.MUL, x.layout, ops_per_element=n_mul)
+    return DistArray(total, x.layout, session)

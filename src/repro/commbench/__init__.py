@@ -1,0 +1,23 @@
+"""Library functions for communication (paper §2).
+
+Four benchmarks measure particular communication patterns unbundled
+from computation: ``gather`` and ``reduction`` (many-to-one),
+``scatter`` (one-to-many), and ``transpose`` (an all-to-all
+personalized communication that "may be used to confirm advertised
+bisection bandwidths").  Except for reduction these perform no
+floating-point operations, so no FLOP count is produced (paper §2).
+"""
+
+from repro.commbench.drivers import (
+    gather_benchmark,
+    reduction_benchmark,
+    scatter_benchmark,
+    transpose_benchmark,
+)
+
+__all__ = [
+    "gather_benchmark",
+    "reduction_benchmark",
+    "scatter_benchmark",
+    "transpose_benchmark",
+]

@@ -1,0 +1,146 @@
+"""Drivers for the four communication benchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.array.distarray import DistArray
+from repro.comm.gather_scatter import gather, scatter
+from repro.comm.primitives import reduce_array, transpose
+from repro.layout.spec import parse_layout
+from repro.machine.session import Session
+
+
+@dataclass
+class CommBenchResult:
+    """Outcome of one communication benchmark."""
+
+    name: str
+    repeats: int
+    elements: int
+    checksum: float
+
+
+def _make_vector(session: Session, n: int, seed: int) -> DistArray:
+    rng = np.random.default_rng(seed)
+    data = rng.standard_normal(n)
+    session.declare_memory("data", (n,), np.float64)
+    return DistArray(data, parse_layout("(:)", (n,)), session, "data")
+
+
+def _index_pattern(pattern: str, n: int, seed: int) -> np.ndarray:
+    """Index vectors of varying router hostility (paper §4 (8))."""
+    from repro.workloads.generators import (
+        banded_indices,
+        hotspot_indices,
+        permutation_indices,
+    )
+
+    if pattern == "uniform":
+        return np.random.default_rng(seed).integers(0, n, size=n)
+    if pattern == "permutation":
+        return permutation_indices(n, seed=seed)
+    if pattern == "banded":
+        return banded_indices(n, bandwidth=8, seed=seed)
+    if pattern == "hotspot":
+        return hotspot_indices(n, hotspots=4, seed=seed)
+    raise ValueError(
+        f"unknown index pattern {pattern!r}; "
+        "one of uniform, permutation, banded, hotspot"
+    )
+
+
+#: router collision factor per index pattern: permutations are
+#: collision-free, banded indices nearly so, hotspots serialize on the
+#: destination node.
+_PATTERN_COLLISIONS = {
+    "uniform": None,  # the machine's default factor
+    "permutation": 1.0,
+    "banded": 1.05,
+    "hotspot": 4.0,
+}
+
+
+def gather_benchmark(
+    session: Session,
+    n: int = 1 << 16,
+    repeats: int = 10,
+    pattern: str = "uniform",
+    seed: int = 0,
+) -> CommBenchResult:
+    """Many-to-one: fetch ``n`` elements through an index vector.
+
+    Gather appears in sparse linear algebra, histogramming and
+    unstructured-grid finite elements (paper §2).  ``pattern`` selects
+    the router hostility of the index stream: ``uniform`` (default),
+    collision-free ``permutation``, locality-preserving ``banded``, or
+    worst-case ``hotspot``.
+    """
+    src = _make_vector(session, n, seed)
+    idx = _index_pattern(pattern, n, seed + 1)
+    session.declare_memory("index", (n,), np.int64)
+    collisions = _PATTERN_COLLISIONS[pattern]
+    total = 0.0
+    with session.region("main_loop", iterations=repeats):
+        for _ in range(repeats):
+            out = gather(src, idx, collisions=collisions)
+            total += float(out.np[0])
+    return CommBenchResult("gather", repeats, n, total)
+
+
+def scatter_benchmark(
+    session: Session,
+    n: int = 1 << 16,
+    repeats: int = 10,
+    pattern: str = "permutation",
+    seed: int = 0,
+) -> CommBenchResult:
+    """One-to-many: store ``n`` elements through an index vector.
+
+    The default ``permutation`` keeps the scatter collisionless
+    (well-defined without a combiner), matching the benchmark's
+    overwrite semantics; other patterns exercise router collisions and
+    are stored with last-writer-wins semantics.
+    """
+    src = _make_vector(session, n, seed)
+    dest = DistArray(np.zeros(n), src.layout, session, "dest")
+    session.declare_memory("dest", (n,), np.float64)
+    idx = _index_pattern(pattern, n, seed + 1)
+    session.declare_memory("index", (n,), np.int64)
+    collisions = _PATTERN_COLLISIONS[pattern]
+    with session.region("main_loop", iterations=repeats):
+        for _ in range(repeats):
+            scatter(dest, idx, src, collisions=collisions)
+    return CommBenchResult("scatter", repeats, n, float(dest.np.sum()))
+
+
+def reduction_benchmark(
+    session: Session, n: int = 1 << 16, repeats: int = 10, seed: int = 0
+) -> CommBenchResult:
+    """Global sum reduction — the one communication benchmark that
+    performs (and therefore reports) floating-point work: ``n - 1``
+    FLOPs per invocation."""
+    src = _make_vector(session, n, seed)
+    total = 0.0
+    with session.region("main_loop", iterations=repeats):
+        for _ in range(repeats):
+            total = float(reduce_array(src, "sum"))
+    return CommBenchResult("reduction", repeats, n, total)
+
+
+def transpose_benchmark(
+    session: Session, n: int = 256, repeats: int = 10, seed: int = 0
+) -> CommBenchResult:
+    """Matrix transposition — an AAPC that saturates the bisection."""
+    rng = np.random.default_rng(seed)
+    data = rng.standard_normal((n, n))
+    session.declare_memory("matrix", (n, n), np.float64)
+    x = DistArray(data, parse_layout("(:,:)", (n, n)), session, "matrix")
+    with session.region("main_loop", iterations=repeats):
+        for _ in range(repeats):
+            x = transpose(x)
+    expected = data if repeats % 2 == 0 else data.T
+    assert np.array_equal(x.np, expected)
+    return CommBenchResult("transpose", repeats, n * n, float(x.np[0, 0]))

@@ -1,0 +1,19 @@
+"""HPF-style data layouts (paper §1.4, Tables 2 and 5).
+
+CM-Fortran and HPF distinguish *serial* (node-local) axes from
+*parallel* (distributed) axes; the paper specifies every benchmark's
+dominating data structures in the notation ``X(:serial, :, :)`` where
+``:serial`` marks a local axis and ``:`` a parallel one.  This package
+implements that layout algebra:
+
+* :class:`Axis` — SERIAL vs PARALLEL axis kinds;
+* :class:`Layout` — shape + per-axis kinds, with block distribution of
+  parallel axes onto a processor grid and the geometry queries
+  (local shapes, critical-node fractions, shift/reduction volumes) the
+  communication layer needs;
+* :func:`parse_layout` — parser for the paper's layout strings.
+"""
+
+from repro.layout.spec import Axis, Distribution, Layout, parse_layout
+
+__all__ = ["Axis", "Distribution", "Layout", "parse_layout"]

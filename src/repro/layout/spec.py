@@ -1,0 +1,303 @@
+"""Layout descriptors: axis kinds, parsing, and block-distribution geometry."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+from functools import lru_cache
+from math import prod
+from typing import Sequence, Tuple
+
+
+class Axis(str, Enum):
+    """Axis kind: node-local (``:serial``) or distributed (``:``)."""
+
+    SERIAL = "serial"
+    PARALLEL = "parallel"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Axis.{self.name}"
+
+
+class Distribution(str, Enum):
+    """How a parallel axis maps to processors (HPF ``DISTRIBUTE``).
+
+    ``BLOCK`` (the CMF default and the suite's assumption) keeps
+    contiguous chunks per node, so shifts only move block surfaces.
+    ``CYCLIC`` deals elements round-robin, balancing irregular work at
+    the cost of turning every shift into all-elements traffic — the
+    classic HPF distribution trade-off, exposed as an ablation in the
+    benchmark harness.  Serial axes are ``NONE``.
+    """
+
+    NONE = "none"
+    BLOCK = "block"
+    CYCLIC = "cyclic"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Distribution.{self.name}"
+
+
+def parse_layout(spec: str, shape: Sequence[int]) -> "Layout":
+    """Parse the paper's layout notation, e.g. ``"(:serial, :, :)"``.
+
+    ``spec`` lists one entry per axis: ``:serial`` for a local axis,
+    ``:`` for a (block-distributed) parallel one, and ``:cyclic`` for
+    a cyclically distributed parallel axis.  Parentheses are optional.
+    """
+    body = spec.strip()
+    if body.startswith("(") and body.endswith(")"):
+        body = body[1:-1]
+    entries = [e.strip() for e in body.split(",")] if body else []
+    axes = []
+    dists = []
+    for entry in entries:
+        if entry == ":":
+            axes.append(Axis.PARALLEL)
+            dists.append(Distribution.BLOCK)
+        elif entry in (":serial", "serial"):
+            axes.append(Axis.SERIAL)
+            dists.append(Distribution.NONE)
+        elif entry in (":cyclic", "cyclic"):
+            axes.append(Axis.PARALLEL)
+            dists.append(Distribution.CYCLIC)
+        else:
+            raise ValueError(f"bad layout entry {entry!r} in spec {spec!r}")
+    if len(axes) != len(shape):
+        raise ValueError(
+            f"layout spec {spec!r} has {len(axes)} axes but shape {tuple(shape)} "
+            f"has {len(shape)}"
+        )
+    return Layout(
+        tuple(int(s) for s in shape), tuple(axes), tuple(dists)
+    )
+
+
+@dataclass(frozen=True)
+class Layout:
+    """Shape plus per-axis SERIAL/PARALLEL kinds and distributions.
+
+    Parallel axes are distributed (BLOCK by default, optionally
+    CYCLIC) over a processor grid computed by :meth:`proc_grid`;
+    serial axes live entirely within each node.
+    """
+
+    shape: Tuple[int, ...]
+    axes: Tuple[Axis, ...]
+    dist: Tuple[Distribution, ...] = ()
+
+    def __post_init__(self) -> None:
+        if len(self.shape) != len(self.axes):
+            raise ValueError(
+                f"shape {self.shape} and axes {self.axes} have different ranks"
+            )
+        if any(s < 0 for s in self.shape):
+            raise ValueError(f"negative extent in shape {self.shape}")
+        if not self.dist:
+            object.__setattr__(
+                self,
+                "dist",
+                tuple(
+                    Distribution.BLOCK if a is Axis.PARALLEL else Distribution.NONE
+                    for a in self.axes
+                ),
+            )
+        elif len(self.dist) != len(self.axes):
+            raise ValueError(
+                f"dist {self.dist} and axes {self.axes} have different ranks"
+            )
+        else:
+            for a, d in zip(self.axes, self.dist):
+                if a is Axis.SERIAL and d is not Distribution.NONE:
+                    raise ValueError("serial axes must have Distribution.NONE")
+                if a is Axis.PARALLEL and d is Distribution.NONE:
+                    raise ValueError(
+                        "parallel axes need BLOCK or CYCLIC distribution"
+                    )
+
+    # -- basic geometry --------------------------------------------------
+    @property
+    def ndim(self) -> int:
+        """Number of axes."""
+        return len(self.shape)
+
+    @property
+    def size(self) -> int:
+        """Total element count."""
+        return prod(self.shape) if self.shape else 1
+
+    @property
+    def parallel_axes(self) -> Tuple[int, ...]:
+        """Indices of the distributed axes."""
+        return tuple(i for i, a in enumerate(self.axes) if a is Axis.PARALLEL)
+
+    @property
+    def serial_axes(self) -> Tuple[int, ...]:
+        """Indices of the node-local axes."""
+        return tuple(i for i, a in enumerate(self.axes) if a is Axis.SERIAL)
+
+    @property
+    def parallel_size(self) -> int:
+        """Product of the parallel extents."""
+        return prod(self.shape[i] for i in self.parallel_axes) if self.parallel_axes else 1
+
+    @property
+    def serial_size(self) -> int:
+        """Product of the serial extents."""
+        return prod(self.shape[i] for i in self.serial_axes) if self.serial_axes else 1
+
+    def is_parallel(self, axis: int) -> bool:
+        """Whether the given axis is distributed."""
+        return self.axes[axis] is Axis.PARALLEL
+
+    def spec_string(self) -> str:
+        """Render back in the paper's ``(:serial,:,:)`` notation."""
+        entries = []
+        for a, d in zip(self.axes, self.dist):
+            if a is Axis.SERIAL:
+                entries.append(":serial")
+            elif d is Distribution.CYCLIC:
+                entries.append(":cyclic")
+            else:
+                entries.append(":")
+        return "(" + ",".join(entries) + ")"
+
+    def is_cyclic(self, axis: int) -> bool:
+        """Whether the given axis is cyclically distributed."""
+        return self.dist[axis] is Distribution.CYCLIC
+
+    # -- distribution -----------------------------------------------------
+    def proc_grid(self, nodes: int) -> Tuple[int, ...]:
+        """Processor-grid extent per axis (1 on serial axes).
+
+        Nodes are factored over parallel axes proportionally to their
+        extents (largest current block gets the next prime factor), and
+        an axis never receives more processors than its extent.
+        """
+        return _proc_grid_cached(self.shape, self.axes, nodes)
+
+    def blocks(self, nodes: int, axis: int) -> int:
+        """Number of blocks the given axis is split into."""
+        return self.proc_grid(nodes)[axis]
+
+    def block_size(self, nodes: int, axis: int) -> int:
+        """Maximum block extent (ceil division) along an axis."""
+        p = self.proc_grid(nodes)[axis]
+        return math.ceil(self.shape[axis] / p) if self.shape[axis] else 0
+
+    def max_local_shape(self, nodes: int) -> Tuple[int, ...]:
+        """Shape of the largest per-node block."""
+        grid = self.proc_grid(nodes)
+        return tuple(
+            math.ceil(s / g) if s else 0 for s, g in zip(self.shape, grid)
+        )
+
+    def max_local_elements(self, nodes: int) -> int:
+        """Element count of the largest per-node block."""
+        return prod(self.max_local_shape(nodes)) if self.shape else 1
+
+    def nodes_used(self, nodes: int) -> int:
+        """Nodes that actually hold data (≤ nodes for small arrays)."""
+        return prod(self.proc_grid(nodes)) or 1
+
+    def critical_fraction(self, nodes: int) -> float:
+        """Largest per-node share of the array (≥ 1/nodes).
+
+        This is the load-imbalance factor: compute time for an
+        elementwise operation is ``total_flops * critical_fraction``
+        divided by one node's rate.
+        """
+        if self.size == 0:
+            return 0.0
+        return self.max_local_elements(nodes) / self.size
+
+    # -- communication-volume helpers --------------------------------------
+    def shift_network_elements(self, nodes: int, axis: int, shift: int) -> int:
+        """Elements crossing node boundaries for a cshift along ``axis``."""
+        n = self.shape[axis]
+        if n == 0 or self.size == 0:
+            return 0
+        if not self.is_parallel(axis):
+            return 0
+        p = self.blocks(nodes, axis)
+        if p <= 1:
+            return 0
+        s = abs(shift) % n
+        s = min(s, n - s)
+        if s == 0:
+            return 0
+        if self.is_cyclic(axis):
+            # Round-robin placement: element i lives on node i mod p,
+            # so any shift that is not a multiple of p relocates every
+            # element — the cyclic distribution's stencil penalty.
+            return 0 if abs(shift) % p == 0 else self.size
+        b = self.block_size(nodes, axis)
+        moved_fraction = min(s, b) / b
+        return round(self.size * moved_fraction)
+
+    def reduce_network_elements(
+        self, nodes: int, axes: Tuple[int, ...]
+    ) -> int:
+        """Result elements that must be combined across nodes."""
+        reduce_parallel = [a for a in axes if self.is_parallel(a)]
+        if not reduce_parallel:
+            return 0
+        grid = self.proc_grid(nodes)
+        if all(grid[a] <= 1 for a in reduce_parallel):
+            return 0
+        result_size = self.size
+        for a in axes:
+            result_size //= max(self.shape[a], 1)
+        return result_size if result_size else 1
+
+    def off_node_fraction(self, nodes: int) -> float:
+        """Probability a uniformly random element lives on another node.
+
+        Used to size router (gather/scatter/send/get) traffic for
+        unstructured index patterns.
+        """
+        used = self.nodes_used(nodes)
+        return (used - 1) / used if used > 1 else 0.0
+
+
+@lru_cache(maxsize=4096)
+def _proc_grid_cached(
+    shape: Tuple[int, ...], axes: Tuple[Axis, ...], nodes: int
+) -> Tuple[int, ...]:
+    if nodes < 1:
+        raise ValueError(f"nodes must be >= 1, got {nodes}")
+    grid = [1] * len(shape)
+    par = [i for i, a in enumerate(axes) if a is Axis.PARALLEL and shape[i] > 1]
+    if not par:
+        return tuple(grid)
+    for prime in _prime_factors_desc(nodes):
+        # Give the factor to the axis with the largest current block,
+        # provided the axis can still be subdivided.
+        candidates = [
+            i for i in par if shape[i] / grid[i] >= prime
+        ]
+        if not candidates:
+            candidates = [i for i in par if shape[i] / grid[i] > 1]
+        if not candidates:
+            break
+        target = max(candidates, key=lambda i: shape[i] / grid[i])
+        grid[target] *= prime
+    # Never exceed the axis extent.
+    for i in par:
+        grid[i] = min(grid[i], shape[i])
+    return tuple(grid)
+
+
+def _prime_factors_desc(n: int) -> list[int]:
+    factors: list[int] = []
+    d = 2
+    while d * d <= n:
+        while n % d == 0:
+            factors.append(d)
+            n //= d
+        d += 1
+    if n > 1:
+        factors.append(n)
+    factors.sort(reverse=True)
+    return factors

@@ -1,0 +1,40 @@
+"""Scientific software library — the CMSSL stand-in (paper §3).
+
+The DPF linear algebra subset tests compiler-generated code against a
+highly optimized library.  This package *is* that library for the
+reproduction: matrix-vector multiplication (four layout variants),
+dense LU and QR factor/solve, Gauss-Jordan solution, parallel cyclic
+reduction and conjugate-gradient tridiagonal solvers, a one-sided
+Jacobi eigenanalysis and radix-2 FFTs in one to three dimensions.
+
+Where possible the interface conventions follow CMSSL's: factor and
+solve are separate entry points (the paper times them separately for
+``lu`` and ``qr``), multiple independent problem *instances* are
+supported along leading axes, and several layouts are accepted
+(Table 2).
+"""
+
+from repro.linalg.matvec import matvec
+from repro.linalg.lu import lu_factor, lu_solve
+from repro.linalg.qr import qr_factor, qr_solve
+from repro.linalg.gauss_jordan import gauss_jordan_solve
+from repro.linalg.pcr import pcr_solve
+from repro.linalg.conj_grad import cg_tridiagonal
+from repro.linalg.jacobi_eigen import jacobi_eigen
+from repro.linalg.fft import fft, fft2, fft3, ifft
+
+__all__ = [
+    "cg_tridiagonal",
+    "fft",
+    "fft2",
+    "fft3",
+    "gauss_jordan_solve",
+    "ifft",
+    "jacobi_eigen",
+    "lu_factor",
+    "lu_solve",
+    "matvec",
+    "pcr_solve",
+    "qr_factor",
+    "qr_solve",
+]

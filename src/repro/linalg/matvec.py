@@ -1,0 +1,166 @@
+"""Matrix-vector multiplication, four layout variants (Table 2).
+
+The dominating computation is ``y = A @ x`` for ``i`` independent
+instances; Table 4 charges ``2 n m i`` FLOPs per iteration (``8 n m i``
+for complex data), ``1 Broadcast + 1 Reduction`` per iteration and
+*direct* local memory access.
+
+The four variants exercise different distributions of the same
+computation (Table 2):
+
+1. ``x(:)``, ``A(:,:)`` — single instance, all axes parallel;
+2. ``x(:,:)``, ``A(:,:,:)`` — ``i`` instances, all axes parallel;
+3. ``x(:serial,:)``, ``A(:serial,:serial,:)`` — matrix axes serial,
+   instances parallel (each node owns whole matrices);
+4. ``x(:,:)``, ``A(:serial,:,:)`` — rows serial, columns and instances
+   parallel.
+
+The algorithm is identical in all variants — broadcast the vector
+along the row axis, multiply elementwise, reduce along the column
+axis — but the communication volumes differ with the layout, which is
+precisely what the benchmark probes.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.array.distarray import DistArray
+from repro.layout.spec import Axis, Layout
+from repro.machine.session import Session
+from repro.metrics.access import LocalAccess
+from repro.metrics.patterns import CommPattern
+
+#: layout specs per variant: (vector_spec, matrix_spec); the matrix
+#: spec lists (instance?, row, column) axes, the vector (instance?,
+#: column).
+VARIANT_LAYOUTS = {
+    1: ("(:)", "(:,:)"),
+    2: ("(:,:)", "(:,:,:)"),
+    3: ("(:serial,:)", "(:serial,:serial,:)"),
+    4: ("(:,:)", "(:serial,:,:)"),
+}
+
+
+def matvec(A: DistArray, x: DistArray) -> DistArray:
+    """``y = A @ x`` over the trailing two axes of ``A``.
+
+    ``A`` has shape ``(..., m, n)`` (instance axes leading) and ``x``
+    shape ``(..., n)``.  Charged per the paper: one broadcast of the
+    vector across rows, ``n*m`` multiplies, one reduction along the
+    column axis at ``n - 1`` adds per output element.
+    """
+    if A.ndim < 2:
+        raise ValueError("matrix operand must have rank >= 2")
+    if x.ndim != A.ndim - 1:
+        raise ValueError(
+            f"vector rank {x.ndim} incompatible with matrix rank {A.ndim}"
+        )
+    *inst, m, n = A.shape
+    if x.shape != (*inst, n):
+        raise ValueError(f"shape mismatch: A {A.shape} @ x {x.shape}")
+    session = A.session
+
+    # Broadcast x along the row axis of A (1 Broadcast, Table 4): on
+    # the CM this is a spread of the source vector to every row block.
+    x_bcast = np.broadcast_to(
+        np.expand_dims(x.data, axis=-2), A.shape
+    )
+    row_axis = A.ndim - 2
+    replicated = A.size - x.size
+    distributed = A.layout.blocks(session.nodes, row_axis) > 1
+    session.record_comm(
+        CommPattern.BROADCAST,
+        bytes_network=replicated * x.data.itemsize if distributed else 0,
+        bytes_local=A.size * x.data.itemsize,
+        rank=x.ndim,
+        detail="vector across rows",
+    )
+
+    # Elementwise products: n*m*i multiplies, direct access.
+    prod = A.data * x_bcast
+    session.charge_elementwise(
+        _mul_kind(), A.layout, complex_valued=A.is_complex or x.is_complex,
+        access=LocalAccess.DIRECT,
+    )
+
+    # Reduction along the column axis: (n-1) adds per output element.
+    y = prod.sum(axis=-1)
+    n_results = max(1, A.size // n)
+    if A.is_complex or x.is_complex:
+        session.recorder.charge_raw_flops(2 * (n - 1) * n_results)
+    else:
+        session.recorder.charge_raw_flops((n - 1) * n_results)
+    col_axis = A.ndim - 1
+    net_elems = A.layout.reduce_network_elements(session.nodes, (col_axis,))
+    session.record_comm(
+        CommPattern.REDUCTION,
+        bytes_network=net_elems * A.data.itemsize,
+        rank=A.ndim,
+        detail="row sums",
+    )
+    # Compute time of the reduction adds.
+    session.recorder.charge_compute_time(
+        session.machine.compute_time(
+            (n - 1) * n_results * A.layout.critical_fraction(session.nodes),
+            tier=session.tier,
+            access=LocalAccess.DIRECT,
+        )
+    )
+
+    y_axes = tuple(a for i, a in enumerate(A.layout.axes) if i != col_axis)
+    return DistArray(y, Layout(y.shape, y_axes), session)
+
+
+def make_operands(
+    session: Session,
+    variant: int,
+    n: int,
+    m: int | None = None,
+    instances: int = 1,
+    dtype=np.float64,
+    seed: int = 0,
+) -> Tuple[DistArray, DistArray]:
+    """Construct ``(A, x)`` with the variant's Table-2 layout."""
+    if variant not in VARIANT_LAYOUTS:
+        raise ValueError(f"variant must be 1..4, got {variant}")
+    m = n if m is None else m
+    rng = np.random.default_rng(seed)
+
+    def _rand(shape):
+        data = rng.standard_normal(shape)
+        if np.dtype(dtype).kind == "c":
+            data = data + 1j * rng.standard_normal(shape)
+        return data.astype(dtype)
+
+    vec_spec, mat_spec = VARIANT_LAYOUTS[variant]
+    if variant == 1:
+        A = DistArray(_rand((m, n)), _parse(mat_spec, (m, n)), session, "A")
+        x = DistArray(_rand((n,)), _parse(vec_spec, (n,)), session, "x")
+    else:
+        A = DistArray(
+            _rand((instances, m, n)), _parse(mat_spec, (instances, m, n)), session, "A"
+        )
+        x = DistArray(
+            _rand((instances, n)), _parse(vec_spec, (instances, n)), session, "x"
+        )
+    # Memory per Table 4: x (n), A (nm), y (m) per instance.
+    session.declare_memory("x", x.shape, dtype)
+    session.declare_memory("A", A.shape, dtype)
+    y_shape = A.shape[:-1]
+    session.declare_memory("y", y_shape, dtype)
+    return A, x
+
+
+def _parse(spec: str, shape) -> Layout:
+    from repro.layout.spec import parse_layout
+
+    return parse_layout(spec, shape)
+
+
+def _mul_kind():
+    from repro.metrics.flops import FlopKind
+
+    return FlopKind.MUL

@@ -1,0 +1,208 @@
+"""Householder QR factorization and least-squares solution.
+
+Table 2 gives ``qr`` the rank-2 layout ``X(:,:)`` (a single ``m x n``
+system, all axes parallel); Table 4 charges the factorization two
+Reductions and two Broadcasts per main-loop iteration (column-norm
+reduction and ``w = A^T v`` reduction; broadcasts of the Householder
+vector and of ``w``) and the solve two Reductions and four Broadcasts.
+Factorization and solution are timed separately (§1.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.array.distarray import DistArray
+from repro.layout.spec import parse_layout
+from repro.machine.session import Session
+from repro.metrics.access import LocalAccess
+from repro.metrics.flops import FlopKind
+from repro.metrics.patterns import CommPattern
+
+
+@dataclass
+class QRFactorization:
+    """Householder vectors (below the diagonal of ``qr``), R on and
+    above it, and the scalar ``tau`` coefficients."""
+
+    qr: DistArray  # (m, n)
+    tau: np.ndarray  # (n,)
+
+
+def _charge_dot(session, length: int, lanes: int, layout, detail: str) -> None:
+    """A distributed dot/norm: multiplies plus a tree reduction."""
+    flops = (2 * length - 1) * lanes
+    session.recorder.charge_raw_flops(flops)
+    session.record_comm(
+        CommPattern.REDUCTION,
+        bytes_network=lanes * 8,
+        rank=2,
+        detail=detail,
+    )
+    session.recorder.charge_compute_time(
+        session.machine.compute_time(
+            flops * layout.critical_fraction(session.nodes),
+            tier=session.tier,
+        )
+    )
+
+
+def _charge_bcast(session, elements: int, layout, detail: str) -> None:
+    session.record_comm(
+        CommPattern.BROADCAST,
+        bytes_network=elements * 8 if layout.nodes_used(session.nodes) > 1 else 0,
+        bytes_local=elements * 8,
+        rank=2,
+        detail=detail,
+    )
+
+
+def qr_factor(A: DistArray) -> QRFactorization:
+    """Householder QR of an ``m x n`` matrix (``m >= n``)."""
+    if A.ndim != 2:
+        raise ValueError(f"qr_factor expects a rank-2 matrix, got {A.shape}")
+    m, n = A.shape
+    if m < n:
+        raise ValueError(f"qr_factor requires m >= n, got {m} x {n}")
+    session = A.session
+    R = A.data.astype(np.float64, copy=True)
+    tau = np.zeros(n)
+
+    with session.region("factor", iterations=max(1, n)):
+        for k in range(n):
+            col = R[k:, k]
+            # Reduction 1: column norm.
+            sigma2 = float(col @ col)
+            _charge_dot(session, m - k, 1, A.layout, "column norm")
+            session.recorder.charge_flops(FlopKind.SQRT, 1)
+            norm = np.sqrt(sigma2)
+            if norm == 0.0:
+                tau[k] = 0.0
+                continue
+            alpha = -np.sign(col[0]) * norm if col[0] != 0 else -norm
+            v = col.copy()
+            v[0] -= alpha
+            vnorm2 = sigma2 - 2 * alpha * col[0] + alpha * alpha
+            session.recorder.charge_flops(FlopKind.MUL, 3)
+            session.recorder.charge_flops(FlopKind.ADD, 2)
+            if vnorm2 == 0.0 or v[0] == 0.0:
+                tau[k] = 0.0
+                continue
+            # Normalize so the stored reflector has v[0] = 1.
+            v0 = v[0]
+            v /= v0
+            tau[k] = 2.0 * v0 * v0 / vnorm2
+            session.recorder.charge_flops(FlopKind.DIV, m - k + 1)
+            session.recorder.charge_flops(FlopKind.MUL, 2)
+            # Broadcast 1: Householder vector to all column blocks.
+            _charge_bcast(session, m - k, A.layout, "householder vector")
+
+            # Reduction 2: w = v^T A[k:, k:] (n-k lanes).
+            w = v @ R[k:, k:]
+            flops = (2 * (m - k) - 1) * (n - k)
+            session.recorder.charge_raw_flops(flops)
+            session.record_comm(
+                CommPattern.REDUCTION,
+                bytes_network=(n - k) * 8,
+                rank=2,
+                detail="w = v^T A",
+            )
+            session.recorder.charge_compute_time(
+                session.machine.compute_time(
+                    flops * A.layout.critical_fraction(session.nodes),
+                    tier=session.tier,
+                )
+            )
+            # Broadcast 2: w to all row blocks.
+            _charge_bcast(session, n - k, A.layout, "w")
+
+            # Rank-1 update A -= tau v w^T.
+            R[k:, k:] -= tau[k] * np.outer(v, w)
+            update = 2 * (m - k) * (n - k) + (n - k)
+            session.recorder.charge_raw_flops(update)
+            session.recorder.charge_compute_time(
+                session.machine.compute_time(
+                    update * A.layout.critical_fraction(session.nodes),
+                    tier=session.tier,
+                    access=LocalAccess.DIRECT,
+                )
+            )
+            R[k + 1 :, k] = v[1:]  # store the reflector below the diagonal
+            R[k, k] = alpha
+    return QRFactorization(
+        qr=DistArray(R, A.layout, session, "qr"), tau=tau
+    )
+
+
+def qr_solve(fact: QRFactorization, b: DistArray) -> DistArray:
+    """Least-squares solve via the stored reflectors; ``b`` is ``(m,)``
+    or ``(m, r)``."""
+    qr = fact.qr
+    session = qr.session
+    m, n = qr.shape
+    b2 = b.data.reshape(m, -1).astype(np.float64, copy=True)
+    r = b2.shape[1]
+
+    # One solve iteration covers one reflector application and one
+    # back-substitution row — Table 4 charges the solve 2 Reductions
+    # and 4 Broadcasts per iteration.
+    with session.region("solve", iterations=max(1, n)):
+        # Apply Q^T: per reflector, broadcast the reflector and its tau,
+        # w = v^T b (Reduction), then broadcast w for the update.
+        for k in range(n):
+            if fact.tau[k] == 0.0:
+                continue
+            v = np.empty(m - k)
+            v[0] = 1.0
+            v[1:] = qr.data[k + 1 :, k]
+            _charge_bcast(session, m - k, qr.layout, "reflector")
+            _charge_bcast(session, 1, qr.layout, "tau")
+            w = v @ b2[k:, :]
+            _charge_dot(session, m - k, r, qr.layout, "w = v^T b")
+            b2[k:, :] -= fact.tau[k] * np.outer(v, w)
+            flops = (2 * (m - k) + 1) * r
+            session.recorder.charge_raw_flops(flops)
+            _charge_bcast(session, r, qr.layout, "w")
+        # Back substitution on R.
+        for k in range(n - 1, -1, -1):
+            if k + 1 < n:
+                dot = qr.data[k, k + 1 : n] @ b2[k + 1 : n, :]
+                b2[k, :] -= dot
+                _charge_dot(session, n - k - 1, r, qr.layout, "back subst")
+                session.recorder.charge_raw_flops(r)
+            b2[k, :] /= qr.data[k, k]
+            session.recorder.charge_flops(FlopKind.DIV, r)
+            _charge_bcast(session, r, qr.layout, "x_k")
+    x = b2[:n, :]
+    if b.ndim == 1:
+        x = x[:, 0]
+    return DistArray(
+        x, parse_layout("(:)" if x.ndim == 1 else "(:,:)", x.shape), session, "x"
+    )
+
+
+def make_system(
+    session: Session,
+    m: int,
+    n: int,
+    nrhs: int = 1,
+    seed: int = 0,
+) -> tuple[DistArray, DistArray]:
+    """A random full-rank least-squares system with Table-2 layouts."""
+    rng = np.random.default_rng(seed)
+    A = rng.standard_normal((m, n))
+    b_shape = (m,) if nrhs == 1 else (m, nrhs)
+    b = rng.standard_normal(b_shape)
+    dA = DistArray(A, parse_layout("(:,:)", A.shape), session, "A")
+    db = DistArray(
+        b, parse_layout("(:)" if nrhs == 1 else "(:,:)", b.shape), session, "b"
+    )
+    # Table 4 memory for qr: 24 m n single / 36 m n double — matrix,
+    # reflector storage and workspace.
+    session.declare_memory("A", A.shape, np.float64)
+    session.declare_memory("V", A.shape, np.float64)
+    session.declare_memory("work", A.shape, np.float64)
+    session.declare_memory("b", b.shape, np.float64)
+    return dA, db

@@ -1,0 +1,34 @@
+"""Simulated data-parallel machine (DESIGN.md §2, substitution for the CM-5).
+
+The paper's instance of DPF ran on a CM-5: nodes with four vector units
+at 32 MFLOP/s peak each, a fat-tree data network, and separate control
+network supporting broadcast/reduction/scan.  This package provides a
+parameterized stand-in:
+
+* :class:`MachineModel` — processor count, vector units, peak rates and
+  a :class:`LocalModel` for node-local sustained performance;
+* :class:`NetworkModel` — analytic per-pattern communication costs
+  (latency + bandwidth terms for cshift, reduction, broadcast, AAPC,
+  router traffic, scans, sorts, butterflies);
+* :class:`Session` — binds a machine to a metrics recorder and charges
+  simulated busy/elapsed time for compute and communication;
+* :mod:`repro.machine.presets` — CM-5, CM-5E and generic-cluster
+  configurations.
+"""
+
+from repro.machine.model import LocalModel, MachineModel
+from repro.machine.network import NetworkCost, NetworkModel
+from repro.machine.presets import cm5, cm5e, generic_cluster, workstation
+from repro.machine.session import Session
+
+__all__ = [
+    "LocalModel",
+    "MachineModel",
+    "NetworkCost",
+    "NetworkModel",
+    "Session",
+    "cm5",
+    "cm5e",
+    "generic_cluster",
+    "workstation",
+]

@@ -1,0 +1,193 @@
+"""Machine and node-local performance models.
+
+:class:`MachineModel` describes the simulated target: node count,
+vector units per node, peak FLOP rate per vector unit (the CM-5's is
+32 MFLOP/s, the CM-5E's 40 MFLOP/s — paper §1.5 footnote), a
+:class:`~repro.machine.network.NetworkModel`, and a :class:`LocalModel`
+for sustained node-local performance.
+
+Compute time for a data-parallel operation is::
+
+    t = flops_on_critical_node * access_penalty
+        / (vus_per_node * peak_flops_per_vu * sustained_fraction(tier))
+
+where the critical node is the one holding the largest block of the
+operand (block distribution can be imbalanced), the access penalty
+reflects the paper's local-memory-access classes, and the sustained
+fraction models the quality of generated code per version tier.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Dict, Mapping, Optional
+
+from repro.metrics.access import DEFAULT_ACCESS_PENALTY, LocalAccess
+from repro.machine.network import NetworkModel
+from repro.versions import DEFAULT_SUSTAINED_FRACTION, VersionTier
+
+
+@dataclass(frozen=True)
+class LocalModel:
+    """Node-local sustained-performance model."""
+
+    #: per-access-class throughput penalties (>= 1.0)
+    access_penalty: Mapping[LocalAccess, float] = field(
+        default_factory=lambda: dict(DEFAULT_ACCESS_PENALTY)
+    )
+    #: sustained fraction of peak per code-version tier
+    sustained_fraction: Mapping[VersionTier, float] = field(
+        default_factory=lambda: dict(DEFAULT_SUSTAINED_FRACTION)
+    )
+    #: node memory bandwidth (bytes/s) for local data motion (cshift on
+    #: a serial axis, local sorting, etc.)
+    memory_bandwidth: float = 128e6
+    #: opt-in roofline: when True, elementwise compute time is the max
+    #: of the FLOP term and the memory-traffic term, so low-intensity
+    #: streaming operations become memory-bound (the CM-5 vector units
+    #: were frequently limited by their memory pipes).
+    roofline: bool = False
+
+    def __post_init__(self) -> None:
+        if self.memory_bandwidth <= 0:
+            raise ValueError("memory_bandwidth must be positive")
+        for access, penalty in self.access_penalty.items():
+            if penalty < 1.0:
+                raise ValueError(
+                    f"access penalty for {access} must be >= 1, got {penalty}"
+                )
+        for tier, frac in self.sustained_fraction.items():
+            if not 0.0 < frac <= 1.0:
+                raise ValueError(
+                    f"sustained fraction for {tier} must be in (0, 1], got {frac}"
+                )
+
+    def penalty(self, access: LocalAccess) -> float:
+        """Throughput penalty of a local-access class."""
+        return self.access_penalty.get(access, 1.0)
+
+    def fraction(self, tier: VersionTier) -> float:
+        """Sustained fraction of peak for a code tier."""
+        return self.sustained_fraction.get(tier, 0.4)
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """A simulated distributed-memory data-parallel machine."""
+
+    name: str
+    nodes: int
+    vus_per_node: int
+    peak_mflops_per_vu: float
+    network: NetworkModel = field(default_factory=NetworkModel)
+    local: LocalModel = field(default_factory=LocalModel)
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise ValueError(f"nodes must be >= 1, got {self.nodes}")
+        if self.vus_per_node < 1:
+            raise ValueError(f"vus_per_node must be >= 1, got {self.vus_per_node}")
+        if self.peak_mflops_per_vu <= 0:
+            raise ValueError("peak_mflops_per_vu must be positive")
+
+    # ------------------------------------------------------------------
+    @property
+    def peak_mflops(self) -> float:
+        """Aggregate peak FLOP rate of all participating processors.
+
+        This is the denominator of the paper's arithmetic-efficiency
+        attribute (busy FLOP rate / peak rate of all processors).
+        """
+        return self.nodes * self.vus_per_node * self.peak_mflops_per_vu
+
+    @property
+    def node_peak_flops(self) -> float:
+        """Peak FLOPs/second of one node."""
+        return self.vus_per_node * self.peak_mflops_per_vu * 1e6
+
+    def compute_time(
+        self,
+        flops_critical_node: float,
+        *,
+        tier: VersionTier = VersionTier.BASIC,
+        access: LocalAccess = LocalAccess.DIRECT,
+        bytes_critical_node: float = 0.0,
+    ) -> float:
+        """Seconds the critical (most-loaded) node spends computing.
+
+        With ``local.roofline`` enabled and a non-zero
+        ``bytes_critical_node``, the time is the larger of the FLOP
+        term and the memory-traffic term (min(rate, intensity x bw)
+        roofline).
+        """
+        if flops_critical_node < 0:
+            raise ValueError("flops must be non-negative")
+        rate = self.node_peak_flops * self.local.fraction(tier)
+        t_flops = flops_critical_node * self.local.penalty(access) / rate
+        if self.local.roofline and bytes_critical_node > 0:
+            t_mem = (
+                bytes_critical_node
+                * self.local.penalty(access)
+                / self.local.memory_bandwidth
+            )
+            return max(t_flops, t_mem)
+        return t_flops
+
+    def local_move_time(self, bytes_critical_node: float) -> float:
+        """Seconds for node-local data motion of the given volume."""
+        if bytes_critical_node < 0:
+            raise ValueError("bytes must be non-negative")
+        return bytes_critical_node / self.local.memory_bandwidth
+
+    def with_nodes(self, nodes: int) -> "MachineModel":
+        """A copy of this machine scaled to a different node count."""
+        return replace(self, nodes=nodes)
+
+    def with_overrides(self, **kwargs: object) -> "MachineModel":
+        """Copy with replaced fields."""
+        return replace(self, **kwargs)
+
+    def describe(self) -> str:
+        """One-line human-readable machine description."""
+        return (
+            f"{self.name}: {self.nodes} nodes x {self.vus_per_node} VUs "
+            f"@ {self.peak_mflops_per_vu:g} MFLOP/s "
+            f"(peak {self.peak_mflops:g} MFLOP/s)"
+        )
+
+
+def square_ish_grid(nodes: int, ndims: int) -> tuple[int, ...]:
+    """Factor ``nodes`` into an ``ndims``-dimensional processor grid.
+
+    Mirrors MPI's ``dims_create``: factors are as balanced as possible,
+    with larger factors first.  Used by the layout machinery to place
+    parallel axes onto node grids.
+    """
+    if nodes < 1:
+        raise ValueError("nodes must be >= 1")
+    if ndims < 1:
+        raise ValueError("ndims must be >= 1")
+    dims = [1] * ndims
+    remaining = nodes
+    # Peel prime factors largest-first onto the currently smallest dim.
+    for prime in _prime_factors_desc(remaining):
+        idx = min(range(ndims), key=lambda i: dims[i])
+        dims[idx] *= prime
+    dims.sort(reverse=True)
+    assert math.prod(dims) == nodes
+    return tuple(dims)
+
+
+def _prime_factors_desc(n: int) -> list[int]:
+    factors: list[int] = []
+    d = 2
+    while d * d <= n:
+        while n % d == 0:
+            factors.append(d)
+            n //= d
+        d += 1
+    if n > 1:
+        factors.append(n)
+    factors.sort(reverse=True)
+    return factors

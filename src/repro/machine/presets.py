@@ -1,0 +1,90 @@
+"""Preset machine configurations.
+
+The paper's instance of the suite ran on Thinking Machines CM-5
+systems; the footnote in §1.5 gives the peak rates used for arithmetic
+efficiency: 32 MFLOP/s per vector unit on the CM-5 and 40 MFLOP/s on
+the CM-5E, with four vector units per processing node.
+
+``generic_cluster`` and ``workstation`` exist so the suite can play its
+intended role — evaluating different "compilers"/platforms — on
+machines with very different latency/bandwidth balances.
+"""
+
+from __future__ import annotations
+
+from repro.machine.model import LocalModel, MachineModel
+from repro.machine.network import NetworkModel
+
+
+def cm5(nodes: int = 32) -> MachineModel:
+    """A CM-5 partition: 4 VUs/node at 32 MFLOP/s, fat-tree network."""
+    return MachineModel(
+        name=f"CM-5/{nodes}",
+        nodes=nodes,
+        vus_per_node=4,
+        peak_mflops_per_vu=32.0,
+        network=NetworkModel(
+            bw_link=10e6,
+            bw_router=4e6,
+            latency_news=30e-6,
+            latency_router=80e-6,
+            latency_tree=8e-6,
+            bisection_fraction=1.0,
+            collision_factor=1.5,
+        ),
+        local=LocalModel(memory_bandwidth=128e6),
+    )
+
+
+def cm5e(nodes: int = 32) -> MachineModel:
+    """A CM-5E partition: 40 MFLOP/s vector units, faster network."""
+    return MachineModel(
+        name=f"CM-5E/{nodes}",
+        nodes=nodes,
+        vus_per_node=4,
+        peak_mflops_per_vu=40.0,
+        network=NetworkModel(
+            bw_link=16e6,
+            bw_router=7e6,
+            latency_news=22e-6,
+            latency_router=60e-6,
+            latency_tree=6e-6,
+            bisection_fraction=1.0,
+            collision_factor=1.4,
+        ),
+        local=LocalModel(memory_bandwidth=160e6),
+    )
+
+
+def generic_cluster(
+    nodes: int = 16, *, peak_mflops_per_node: float = 1000.0
+) -> MachineModel:
+    """A commodity cluster: fast nodes, thin high-latency network."""
+    return MachineModel(
+        name=f"cluster/{nodes}",
+        nodes=nodes,
+        vus_per_node=1,
+        peak_mflops_per_vu=peak_mflops_per_node,
+        network=NetworkModel(
+            bw_link=100e6,
+            bw_router=40e6,
+            latency_news=5e-6,
+            latency_router=15e-6,
+            latency_tree=4e-6,
+            bisection_fraction=0.5,
+            collision_factor=2.0,
+        ),
+        local=LocalModel(memory_bandwidth=2e9),
+    )
+
+
+def workstation() -> MachineModel:
+    """A single shared-memory node — every pattern becomes local motion."""
+    return MachineModel(
+        name="workstation",
+        nodes=1,
+        vus_per_node=1,
+        peak_mflops_per_vu=2000.0,
+        network=NetworkModel(),
+        local=LocalModel(memory_bandwidth=4e9),
+    )

@@ -1,0 +1,207 @@
+"""Execution sessions: machine + recorder + code-version tier.
+
+A :class:`Session` is what a benchmark actually runs against.  It knows
+the simulated machine, the code-version tier being evaluated (which
+sets the sustained fraction of peak for generated code), and owns the
+:class:`~repro.metrics.recorder.MetricsRecorder` that accumulates the
+run's FLOPs, communication events and simulated time.
+
+The distributed-array layer and the collective-communication library
+charge everything through the session; benchmarks never talk to the
+machine model directly.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional, Sequence
+
+from repro.layout.spec import Layout
+from repro.machine.model import MachineModel
+from repro.metrics.access import LocalAccess
+from repro.metrics.flops import FlopKind, flop_cost
+from repro.metrics.memory import TypeTag
+from repro.metrics.patterns import CommPattern
+from repro.metrics.recorder import CommEvent, MetricsRecorder
+from repro.versions import VersionTier
+
+
+class Session:
+    """One benchmark execution on one simulated machine."""
+
+    def __init__(
+        self,
+        machine: MachineModel,
+        *,
+        tier: VersionTier = VersionTier.BASIC,
+        recorder: Optional[MetricsRecorder] = None,
+    ) -> None:
+        self.machine = machine
+        self.tier = tier
+        self.recorder = recorder if recorder is not None else MetricsRecorder()
+
+    # -- structure ---------------------------------------------------------
+    @contextmanager
+    def region(self, name: str, iterations: int = 1) -> Iterator[object]:
+        """Open a named metrics region (see MetricsRecorder.region)."""
+        with self.recorder.region(name, iterations) as r:
+            yield r
+
+    def declare_memory(
+        self, name: str, shape: Sequence[int], tag: TypeTag | type | str
+    ) -> None:
+        """Register a user-declared array for the memory-usage metric."""
+        self.recorder.memory.declare(name, shape, tag)
+
+    def declare_aligned_memory(
+        self,
+        name: str,
+        shape: Sequence[int],
+        host_shape: Sequence[int],
+        tag: TypeTag | type | str,
+    ) -> None:
+        """Register an array aligned with a larger host (paper's 2*size{H} rule)."""
+        self.recorder.memory.declare_aligned(name, shape, host_shape, tag)
+
+    # -- compute charging ----------------------------------------------------
+    def charge_elementwise(
+        self,
+        kind: FlopKind,
+        layout: Layout,
+        *,
+        ops_per_element: int = 1,
+        complex_valued: bool = False,
+        access: LocalAccess = LocalAccess.DIRECT,
+    ) -> None:
+        """Charge a data-parallel elementwise operation over ``layout``.
+
+        Under HPF execution semantics every element participates (even
+        masked ones), so the operation count is the full array size.
+        """
+        n_ops = layout.size * ops_per_element
+        if n_ops == 0:
+            return
+        self.recorder.charge_flops(kind, n_ops, complex_valued=complex_valued)
+        weighted = flop_cost(kind, n_ops, complex_valued=complex_valued)
+        fraction = layout.critical_fraction(self.machine.nodes)
+        critical = weighted * fraction
+        # Memory traffic for the roofline term: two operand streams and
+        # one result stream per elementwise operation.
+        itemsize = 16 if complex_valued else 8
+        bytes_critical = 3 * itemsize * layout.size * fraction
+        self.recorder.charge_compute_time(
+            self.machine.compute_time(
+                critical,
+                tier=self.tier,
+                access=access,
+                bytes_critical_node=bytes_critical,
+            )
+        )
+
+    def charge_kernel(
+        self,
+        flops: int,
+        *,
+        layout: Optional[Layout] = None,
+        critical_fraction: Optional[float] = None,
+        access: LocalAccess = LocalAccess.DIRECT,
+    ) -> None:
+        """Charge a pre-weighted FLOP total for a fused kernel.
+
+        Used where a benchmark's inner loop is executed as one NumPy
+        composite (e.g. a 17-FLOP n-body interaction) rather than as a
+        chain of instrumented elementwise primitives.
+        """
+        if flops == 0:
+            return
+        if critical_fraction is None:
+            critical_fraction = (
+                layout.critical_fraction(self.machine.nodes)
+                if layout is not None
+                else 1.0 / self.machine.nodes
+            )
+        self.recorder.charge_raw_flops(flops)
+        self.recorder.charge_compute_time(
+            self.machine.compute_time(
+                flops * critical_fraction, tier=self.tier, access=access
+            )
+        )
+
+    def charge_reduction_flops(
+        self,
+        n_elements: int,
+        n_results: int = 1,
+        *,
+        layout: Optional[Layout] = None,
+        access: LocalAccess = LocalAccess.DIRECT,
+    ) -> None:
+        """Charge a reduction at its sequential ``N - 1`` cost.
+
+        Compute time reflects the parallel execution: local partial
+        reductions run distributed, the final combine is logarithmic
+        (its time lives in the communication event, not here).
+        """
+        if n_elements <= 1 or n_results < 1:
+            return
+        flops = (n_elements - 1) * n_results
+        self.recorder.charge_raw_flops(flops)
+        critical_fraction = (
+            layout.critical_fraction(self.machine.nodes)
+            if layout is not None
+            else 1.0 / self.machine.nodes
+        )
+        self.recorder.charge_compute_time(
+            self.machine.compute_time(
+                flops * critical_fraction, tier=self.tier, access=access
+            )
+        )
+
+    # -- communication charging ------------------------------------------------
+    def record_comm(
+        self,
+        pattern: CommPattern,
+        *,
+        bytes_network: int,
+        bytes_local: int = 0,
+        nodes: Optional[int] = None,
+        rank: Optional[int] = None,
+        detail: str = "",
+        stages: Optional[int] = None,
+        collisions: Optional[float] = None,
+    ) -> CommEvent:
+        """Record one collective and charge its simulated time."""
+        n = nodes if nodes is not None else self.machine.nodes
+        cost = self.machine.network.cost(
+            pattern,
+            bytes_network=bytes_network,
+            nodes=n,
+            stages=stages,
+            collisions=collisions,
+        )
+        busy = cost.busy
+        if bytes_local:
+            busy += self.machine.local_move_time(bytes_local / max(1, n))
+        event = CommEvent(
+            pattern=pattern,
+            bytes_network=bytes_network,
+            bytes_local=bytes_local,
+            nodes=n,
+            busy_time=busy,
+            idle_time=cost.idle,
+            rank=rank,
+            detail=detail,
+        )
+        self.recorder.record_comm(event)
+        return event
+
+    # -- convenience -------------------------------------------------------
+    @property
+    def nodes(self) -> int:
+        """Node count of the simulated machine."""
+        return self.machine.nodes
+
+    def __repr__(self) -> str:
+        return (
+            f"Session(machine={self.machine.name!r}, tier={self.tier.value}, "
+            f"flops={self.recorder.total_flops})"
+        )

@@ -1,0 +1,53 @@
+"""Local-memory-access classification (paper §1.5, attribute (7)).
+
+The paper labels the local-axis access scheme of each benchmark's
+primary data structures in its main loop:
+
+* ``N/A``     — no local (serial) axes are present;
+* ``direct``  — the local axis is indexed directly by the loop variable;
+* ``indirect``— the local axis is indexed through another array
+  (vector-valued subscripts);
+* ``strided`` — the local axis is indexed by a triplet subscript.
+
+On a real machine these patterns determine how well the node's memory
+hierarchy (vector-unit pipelines on the CM-5, caches elsewhere) is
+used.  The simulator maps each class to a sustained-rate multiplier in
+:class:`repro.machine.model.LocalModel`.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class LocalAccess(str, Enum):
+    """Local memory access pattern of a benchmark's main loop."""
+
+    NA = "N/A"
+    DIRECT = "direct"
+    INDIRECT = "indirect"
+    STRIDED = "strided"
+
+    @classmethod
+    def parse(cls, text: str) -> "LocalAccess":
+        """Parse the paper's table labels (case-insensitive)."""
+        normalized = text.strip().lower()
+        for member in cls:
+            if member.value.lower() == normalized:
+                return member
+        raise ValueError(f"unknown local access pattern: {text!r}")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"LocalAccess.{self.name}"
+
+
+#: Relative sustained-throughput penalty of each access class, used as
+#: the default by :class:`repro.machine.model.LocalModel`.  ``direct``
+#: streaming access is the baseline; strided access defeats unit-stride
+#: vector loads; indirect access serializes address generation.
+DEFAULT_ACCESS_PENALTY = {
+    LocalAccess.NA: 1.0,
+    LocalAccess.DIRECT: 1.0,
+    LocalAccess.STRIDED: 1.6,
+    LocalAccess.INDIRECT: 2.8,
+}

@@ -1,0 +1,160 @@
+"""Memory-usage accounting (paper §1.5, attribute (3)).
+
+The paper counts the memory of all *user-declared* data structures,
+including auxiliary arrays required by the algorithm, but excludes
+compiler-generated temporaries.  Standard data-type sizes carry a
+symbolic tag::
+
+    4(t) integer      4(l) logical      4(s) single real
+    8(d) double real  8(c) single complex  16(z) double complex
+
+When a lower-dimensional array ``L`` is aligned with a
+higher-dimensional array ``H`` (and effectively occupies
+``size{H}``), the pair is charged ``2 * size{H}``.
+:meth:`MemoryLedger.declare_aligned` implements that rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from math import prod
+from typing import Dict, Iterable, List, Tuple
+
+import numpy as np
+
+
+class TypeTag(str, Enum):
+    """The paper's symbolic data-type tags."""
+
+    INTEGER = "t"
+    LOGICAL = "l"
+    SINGLE = "s"
+    DOUBLE = "d"
+    COMPLEX = "c"
+    DOUBLE_COMPLEX = "z"
+
+
+#: Bytes per element for each tag.
+TYPE_SIZES: Dict[TypeTag, int] = {
+    TypeTag.INTEGER: 4,
+    TypeTag.LOGICAL: 4,
+    TypeTag.SINGLE: 4,
+    TypeTag.DOUBLE: 8,
+    TypeTag.COMPLEX: 8,
+    TypeTag.DOUBLE_COMPLEX: 16,
+}
+
+#: NumPy dtype → paper type tag, used when declaring arrays directly.
+_DTYPE_TAGS: Dict[str, TypeTag] = {
+    "int32": TypeTag.INTEGER,
+    "int64": TypeTag.INTEGER,
+    "bool": TypeTag.LOGICAL,
+    "float32": TypeTag.SINGLE,
+    "float64": TypeTag.DOUBLE,
+    "complex64": TypeTag.COMPLEX,
+    "complex128": TypeTag.DOUBLE_COMPLEX,
+}
+
+
+def tag_for_dtype(dtype: np.dtype | type | str) -> TypeTag:
+    """Map a NumPy dtype to its DPF symbolic tag."""
+    name = np.dtype(dtype).name
+    try:
+        return _DTYPE_TAGS[name]
+    except KeyError:
+        raise ValueError(f"no DPF type tag for dtype {name!r}") from None
+
+
+def format_bytes_symbolic(count: int, tag: TypeTag) -> str:
+    """Render a size in the paper's ``<bytes>(<tag>)`` notation.
+
+    ``count`` is the element count; e.g. a double array of ``n``
+    elements formats as ``8n`` with tag ``d``: ``format_bytes_symbolic``
+    returns the concrete byte total annotated with the tag, as in
+    ``"1024(d)"``.
+    """
+    return f"{count * TYPE_SIZES[tag]}({tag.value})"
+
+
+@dataclass(frozen=True)
+class Declaration:
+    """One user-declared data structure."""
+
+    name: str
+    shape: Tuple[int, ...]
+    tag: TypeTag
+    #: effective element count charged (may exceed prod(shape) for
+    #: aligned arrays charged at the host array's size)
+    charged_elements: int
+
+    @property
+    def nbytes(self) -> int:
+        """Charged bytes of this declaration."""
+        return self.charged_elements * TYPE_SIZES[self.tag]
+
+
+@dataclass
+class MemoryLedger:
+    """Tracks user-declared arrays for one benchmark run."""
+
+    declarations: List[Declaration] = field(default_factory=list)
+
+    def declare(
+        self,
+        name: str,
+        shape: Iterable[int],
+        tag: TypeTag | np.dtype | type | str,
+    ) -> Declaration:
+        """Record a user-declared array of ``shape`` and element type."""
+        shape = tuple(int(s) for s in shape)
+        if any(s < 0 for s in shape):
+            raise ValueError(f"negative extent in shape {shape}")
+        if not isinstance(tag, TypeTag):
+            tag = tag_for_dtype(tag)
+        decl = Declaration(name, shape, tag, prod(shape) if shape else 1)
+        self.declarations.append(decl)
+        return decl
+
+    def declare_aligned(
+        self,
+        name: str,
+        shape: Iterable[int],
+        host_shape: Iterable[int],
+        tag: TypeTag | np.dtype | type | str,
+    ) -> Declaration:
+        """Record an array aligned with a larger host array.
+
+        Per the paper, when ``L`` is aligned with ``H`` and effectively
+        occupies ``size{H}`` storage, ``L`` is charged at the host's
+        size (so that the pair totals ``2 * size{H}``).
+        """
+        shape = tuple(int(s) for s in shape)
+        host = tuple(int(s) for s in host_shape)
+        if not isinstance(tag, TypeTag):
+            tag = tag_for_dtype(tag)
+        decl = Declaration(name, shape, tag, prod(host) if host else 1)
+        self.declarations.append(decl)
+        return decl
+
+    @property
+    def total_bytes(self) -> int:
+        """Total user-declared bytes (compiler temporaries excluded)."""
+        return sum(d.nbytes for d in self.declarations)
+
+    def by_tag(self) -> Dict[TypeTag, int]:
+        """Bytes per symbolic type tag, for the tables' ``s:``/``d:`` rows."""
+        out: Dict[TypeTag, int] = {}
+        for d in self.declarations:
+            out[d.tag] = out.get(d.tag, 0) + d.nbytes
+        return out
+
+    def merge(self, other: "MemoryLedger") -> None:
+        """Fold another ledger's declarations into this one."""
+        self.declarations.extend(other.declarations)
+
+    def __repr__(self) -> str:
+        return (
+            f"MemoryLedger({len(self.declarations)} declarations, "
+            f"{self.total_bytes} bytes)"
+        )

@@ -1,0 +1,92 @@
+"""Communication-pattern taxonomy (paper §1.5, attribute (4)).
+
+The paper classifies data motion into the patterns listed in its
+Tables 3 and 7: stencils, gather, scatter, reduction, broadcast,
+all-to-all broadcast (AABC), all-to-all personalized communication
+(AAPC), butterfly, scan, circular shift (cshift), end-off shift
+(eoshift), spread, send, get, and sort.  Compound patterns (stencils,
+AABC) may be implemented via sequences of simpler primitives; the
+recorder tracks both the primitive events and, via
+:class:`PatternGroup`, the logical pattern a benchmark declares.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional, Tuple
+
+
+class CommPattern(str, Enum):
+    """Primitive and compound communication patterns of the DPF suite."""
+
+    CSHIFT = "cshift"
+    EOSHIFT = "eoshift"
+    SPREAD = "spread"
+    REDUCTION = "reduction"
+    BROADCAST = "broadcast"
+    GATHER = "gather"
+    GATHER_COMBINE = "gather_w_combine"
+    SCATTER = "scatter"
+    SCATTER_COMBINE = "scatter_w_combine"
+    SEND = "send"
+    GET = "get"
+    SCAN = "scan"
+    SORT = "sort"
+    AAPC = "aapc"
+    AABC = "aabc"
+    BUTTERFLY = "butterfly"
+    STENCIL = "stencil"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CommPattern.{self.name}"
+
+
+#: Patterns whose cost is dominated by the data router (general
+#: communication); these are sensitive to collisions in the paper's
+#: discussion of particle-in-cell codes.
+ROUTER_PATTERNS = frozenset(
+    {
+        CommPattern.GATHER,
+        CommPattern.GATHER_COMBINE,
+        CommPattern.SCATTER,
+        CommPattern.SCATTER_COMBINE,
+        CommPattern.SEND,
+        CommPattern.GET,
+        CommPattern.SORT,
+    }
+)
+
+#: Patterns implemented over the control network / combining hardware
+#: on CM-5-class machines.
+CONTROL_PATTERNS = frozenset(
+    {CommPattern.REDUCTION, CommPattern.BROADCAST, CommPattern.SCAN}
+)
+
+
+@dataclass(frozen=True)
+class PatternGroup:
+    """A logical pattern occurrence declared by a benchmark.
+
+    Benchmarks summarize their main-loop communication as, e.g.,
+    ``1 7-point Stencil`` or ``2 AAPC``; the suite uses these to
+    regenerate Table 6/7 rows.  ``rank`` records the array rank the
+    pattern operates on (the columns of Tables 3 and 7).
+    """
+
+    pattern: CommPattern
+    count: float = 1.0
+    rank: Optional[int] = None
+    detail: str = ""
+
+    def describe(self) -> str:
+        """Human-readable form, e.g. '2 cshift on 1-D'."""
+        rank = f" on {self.rank}-D" if self.rank is not None else ""
+        detail = f" ({self.detail})" if self.detail else ""
+        count = int(self.count) if float(self.count).is_integer() else self.count
+        return f"{count} {self.pattern.value}{rank}{detail}"
+
+
+def stencil_points(offsets: Tuple[Tuple[int, ...], ...]) -> int:
+    """Number of points of a stencil given its offset set."""
+    return len(offsets)

@@ -1,0 +1,223 @@
+"""Hierarchical metrics recorder.
+
+Benchmarks execute inside a :class:`MetricsRecorder` session owned by
+the simulated machine.  The recorder keeps a stack of named
+:class:`Region` s (e.g. ``setup`` / ``main_loop`` / ``solve``), because
+the paper reports metrics for code *segments* of several benchmarks
+(boson, fem-3D, md, qr, lu, ...) rather than only whole programs.
+
+Every region accumulates
+
+* FLOPs (via :class:`repro.metrics.flops.FlopCounter`),
+* communication events (:class:`CommEvent`),
+* simulated compute time and communication busy/idle time.
+
+Busy time is the non-idle execution time (compute plus the
+bandwidth-bound portion of communication); elapsed time adds network
+latency and synchronization idle time, mirroring the paper's
+busy/elapsed dichotomy.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from repro.metrics.flops import FlopCounter, FlopKind, reduction_flops
+from repro.metrics.memory import MemoryLedger
+from repro.metrics.patterns import CommPattern
+
+
+@dataclass(frozen=True)
+class CommEvent:
+    """One collective-communication occurrence.
+
+    ``bytes_network`` counts bytes that cross node boundaries under the
+    array's layout; ``bytes_local`` counts intra-node data motion (e.g.
+    a cshift along a serial axis moves memory but no messages).
+    """
+
+    pattern: CommPattern
+    bytes_network: int
+    bytes_local: int = 0
+    nodes: int = 1
+    busy_time: float = 0.0
+    idle_time: float = 0.0
+    rank: Optional[int] = None
+    detail: str = ""
+
+    @property
+    def elapsed_time(self) -> float:
+        """Busy plus idle seconds."""
+        return self.busy_time + self.idle_time
+
+
+class Region:
+    """A named measurement region; nests to form a tree."""
+
+    def __init__(self, name: str, iterations: int = 1) -> None:
+        if iterations < 1:
+            raise ValueError(f"iterations must be >= 1, got {iterations}")
+        self.name = name
+        self.iterations = iterations
+        self.flops = FlopCounter()
+        self.comm_events: List[CommEvent] = []
+        self.compute_busy = 0.0
+        self.children: List["Region"] = []
+
+    # -- local (exclusive of children) ---------------------------------
+    @property
+    def comm_busy(self) -> float:
+        """Bandwidth-bound communication seconds in this region."""
+        return sum(e.busy_time for e in self.comm_events)
+
+    @property
+    def comm_idle(self) -> float:
+        """Latency/synchronization seconds in this region."""
+        return sum(e.idle_time for e in self.comm_events)
+
+    # -- aggregate (inclusive of children) ------------------------------
+    def walk(self) -> Iterator["Region"]:
+        """Depth-first iteration over this region and descendants."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    @property
+    def total_flops(self) -> int:
+        """FLOPs including child regions."""
+        return sum(r.flops.total for r in self.walk())
+
+    @property
+    def total_comm_events(self) -> List[CommEvent]:
+        """All communication events, including children's."""
+        out: List[CommEvent] = []
+        for r in self.walk():
+            out.extend(r.comm_events)
+        return out
+
+    @property
+    def busy_time(self) -> float:
+        """Non-idle execution time: compute + bandwidth-bound comm."""
+        return sum(r.compute_busy + r.comm_busy for r in self.walk())
+
+    @property
+    def elapsed_time(self) -> float:
+        """Total execution time: busy + latency/synchronization idle."""
+        return self.busy_time + sum(r.comm_idle for r in self.walk())
+
+    @property
+    def network_bytes(self) -> int:
+        """Total bytes crossing node boundaries."""
+        return sum(e.bytes_network for e in self.total_comm_events)
+
+    def comm_counts(self) -> Dict[CommPattern, int]:
+        """Occurrences of each pattern within this region (inclusive)."""
+        counts: Dict[CommPattern, int] = {}
+        for e in self.total_comm_events:
+            counts[e.pattern] = counts.get(e.pattern, 0) + 1
+        return counts
+
+    def comm_counts_per_iteration(self) -> Dict[CommPattern, float]:
+        """Pattern counts divided by this region's iteration count."""
+        return {p: c / self.iterations for p, c in self.comm_counts().items()}
+
+    @property
+    def flops_per_iteration(self) -> float:
+        """Inclusive FLOPs divided by iteration count."""
+        return self.total_flops / self.iterations
+
+    def find(self, name: str) -> Optional["Region"]:
+        """Locate a descendant region by name (depth-first)."""
+        for r in self.walk():
+            if r.name == name:
+                return r
+        return None
+
+    def __repr__(self) -> str:
+        return (
+            f"Region({self.name!r}, iters={self.iterations}, "
+            f"flops={self.total_flops}, comm={len(self.total_comm_events)})"
+        )
+
+
+@dataclass
+class MetricsRecorder:
+    """Accumulates metrics for one benchmark run."""
+
+    root: Region = field(default_factory=lambda: Region("benchmark"))
+    memory: MemoryLedger = field(default_factory=MemoryLedger)
+
+    def __post_init__(self) -> None:
+        self._stack: List[Region] = [self.root]
+
+    @property
+    def current(self) -> Region:
+        """Innermost open region."""
+        return self._stack[-1]
+
+    @contextmanager
+    def region(self, name: str, iterations: int = 1) -> Iterator[Region]:
+        """Open a nested measurement region.
+
+        Re-entering a region name under the same parent accumulates into
+        the existing region (so per-timestep loops can wrap their body
+        in ``with recorder.region("step"):`` without creating thousands
+        of children); pass distinct names for distinct segments.
+        """
+        parent = self.current
+        existing = next((c for c in parent.children if c.name == name), None)
+        if existing is not None:
+            region = existing
+            region.iterations += iterations
+        else:
+            region = Region(name, iterations)
+            parent.children.append(region)
+        self._stack.append(region)
+        try:
+            yield region
+        finally:
+            popped = self._stack.pop()
+            assert popped is region, "unbalanced region stack"
+
+    # -- charging -------------------------------------------------------
+    def charge_flops(
+        self, kind: FlopKind, count: int, *, complex_valued: bool = False
+    ) -> None:
+        """Record operations of one kind in the current region."""
+        self.current.flops.add(kind, count, complex_valued=complex_valued)
+
+    def charge_raw_flops(self, flops: int) -> None:
+        """Record pre-weighted FLOPs in the current region."""
+        self.current.flops.add_raw(flops)
+
+    def charge_reduction(self, n_elements: int, n_results: int = 1) -> None:
+        """Charge a reduction at its sequential cost of ``N - 1``."""
+        self.current.flops.add_raw(reduction_flops(n_elements, n_results))
+
+    def charge_compute_time(self, seconds: float) -> None:
+        """Add simulated compute seconds to the current region."""
+        if seconds < 0:
+            raise ValueError(f"negative compute time: {seconds}")
+        self.current.compute_busy += seconds
+
+    def record_comm(self, event: CommEvent) -> None:
+        """Append a communication event to the current region."""
+        self.current.comm_events.append(event)
+
+    # -- convenience ----------------------------------------------------
+    @property
+    def total_flops(self) -> int:
+        """FLOPs accumulated over the whole run."""
+        return self.root.total_flops
+
+    @property
+    def busy_time(self) -> float:
+        """Non-idle seconds over the whole run."""
+        return self.root.busy_time
+
+    @property
+    def elapsed_time(self) -> float:
+        """Total simulated seconds over the whole run."""
+        return self.root.elapsed_time

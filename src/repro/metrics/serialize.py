@@ -1,0 +1,92 @@
+"""Serialization of performance reports (JSON/CSV).
+
+The original suite wrote per-benchmark output files with the §1.5
+metrics; these helpers provide the modern equivalents for downstream
+tooling: a JSON document per report and CSV rows for whole-suite runs.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Dict, Iterable, List
+
+from repro.metrics.report import PerfReport
+
+
+def report_to_dict(report: PerfReport) -> Dict:
+    """A JSON-safe dictionary of every §1.5 metric."""
+    return {
+        "benchmark": report.benchmark,
+        "version": report.version,
+        "problem_size": report.problem_size,
+        "iterations": report.iterations,
+        "busy_time_s": report.busy_time,
+        "elapsed_time_s": report.elapsed_time,
+        "busy_floprate_mflops": report.busy_floprate_mflops,
+        "elapsed_floprate_mflops": report.elapsed_floprate_mflops,
+        "flop_count": report.flop_count,
+        "flops_per_iteration": report.flops_per_iteration,
+        "ops_per_point": report.ops_per_point,
+        "memory_bytes": report.memory_bytes,
+        "memory_by_tag": {
+            tag.value: nbytes for tag, nbytes in report.memory_by_tag.items()
+        },
+        "arithmetic_efficiency": report.arithmetic_efficiency,
+        "local_access": report.local_access.value,
+        "network_bytes": report.network_bytes,
+        "comm_counts": {
+            pattern.value: count for pattern, count in report.comm_counts.items()
+        },
+        "comm_per_iteration": {
+            pattern.value: count
+            for pattern, count in report.comm_per_iteration().items()
+        },
+        "segments": [
+            {
+                "name": seg.name,
+                "iterations": seg.iterations,
+                "flop_count": seg.flop_count,
+                "busy_time_s": seg.busy_time,
+                "elapsed_time_s": seg.elapsed_time,
+                "busy_floprate_mflops": seg.busy_floprate_mflops,
+            }
+            for seg in report.segments
+        ],
+        "observables": dict(report.extra),
+    }
+
+
+def report_to_json(report: PerfReport, indent: int = 2) -> str:
+    """JSON document of one report (see report_to_dict)."""
+    return json.dumps(report_to_dict(report), indent=indent, sort_keys=True)
+
+
+#: columns of the CSV summary, in order.
+CSV_FIELDS: List[str] = [
+    "benchmark",
+    "version",
+    "problem_size",
+    "iterations",
+    "busy_time_s",
+    "elapsed_time_s",
+    "busy_floprate_mflops",
+    "elapsed_floprate_mflops",
+    "flop_count",
+    "memory_bytes",
+    "network_bytes",
+    "arithmetic_efficiency",
+    "local_access",
+]
+
+
+def reports_to_csv(reports: Iterable[PerfReport]) -> str:
+    """A CSV summary, one row per report (suite-run output)."""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=CSV_FIELDS)
+    writer.writeheader()
+    for report in reports:
+        record = report_to_dict(report)
+        writer.writerow({field: record[field] for field in CSV_FIELDS})
+    return buffer.getvalue()

@@ -1,0 +1,238 @@
+"""Uniform runner adapters for every benchmark.
+
+Each adapter has the signature ``(session, **params) -> AppResult`` so
+the registry can treat communication, linear-algebra and application
+benchmarks identically.  Application modules already return
+:class:`~repro.apps.base.AppResult`; the adapters here wrap the
+linalg and commbench entry points.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.base import AppResult
+from repro.machine.session import Session
+from repro.metrics.access import LocalAccess
+
+
+# -- communication benchmarks ------------------------------------------------
+def gather_adapter(
+    session: Session,
+    n: int = 1 << 14,
+    repeats: int = 5,
+    pattern: str = "uniform",
+    seed: int = 0,
+):
+    """Registry adapter: run the gather benchmark and verify it."""
+    from repro.commbench.drivers import gather_benchmark
+
+    r = gather_benchmark(session, n=n, repeats=repeats, pattern=pattern, seed=seed)
+    return AppResult(
+        name="gather", iterations=r.repeats, problem_size=r.elements,
+        local_access=LocalAccess.NA, observables={"checksum": r.checksum},
+    )
+
+
+def scatter_adapter(
+    session: Session,
+    n: int = 1 << 14,
+    repeats: int = 5,
+    pattern: str = "permutation",
+    seed: int = 0,
+):
+    """Registry adapter: run the scatter benchmark and verify it."""
+    from repro.commbench.drivers import scatter_benchmark
+
+    r = scatter_benchmark(session, n=n, repeats=repeats, pattern=pattern, seed=seed)
+    return AppResult(
+        name="scatter", iterations=r.repeats, problem_size=r.elements,
+        local_access=LocalAccess.NA, observables={"checksum": r.checksum},
+    )
+
+
+def reduction_adapter(session: Session, n: int = 1 << 14, repeats: int = 5, seed: int = 0):
+    """Registry adapter: run the reduction benchmark and verify it."""
+    from repro.commbench.drivers import reduction_benchmark
+
+    r = reduction_benchmark(session, n=n, repeats=repeats, seed=seed)
+    return AppResult(
+        name="reduction", iterations=r.repeats, problem_size=r.elements,
+        local_access=LocalAccess.NA, observables={"checksum": r.checksum},
+    )
+
+
+def transpose_adapter(session: Session, n: int = 128, repeats: int = 5, seed: int = 0):
+    """Registry adapter: run the transpose benchmark and verify it."""
+    from repro.commbench.drivers import transpose_benchmark
+
+    r = transpose_benchmark(session, n=n, repeats=repeats, seed=seed)
+    return AppResult(
+        name="transpose", iterations=r.repeats, problem_size=r.elements,
+        local_access=LocalAccess.NA, observables={"checksum": r.checksum},
+    )
+
+
+# -- linear algebra ----------------------------------------------------------
+def matvec_adapter(
+    session: Session,
+    variant: int = 1,
+    n: int = 128,
+    m: int | None = None,
+    instances: int = 1,
+    repeats: int = 4,
+    seed: int = 0,
+):
+    """Registry adapter: run the matvec benchmark and verify it."""
+    from repro.linalg.matvec import make_operands, matvec
+
+    A, x = make_operands(session, variant, n=n, m=m, instances=instances, seed=seed)
+    y = None
+    with session.region("main_loop", iterations=repeats):
+        for _ in range(repeats):
+            y = matvec(A, x)
+    ref = np.einsum("...mn,...n->...m", A.np, x.np)
+    err = float(np.abs(y.np - ref).max())
+    return AppResult(
+        name=f"matrix-vector/{variant}", iterations=repeats,
+        problem_size=A.size, local_access=LocalAccess.DIRECT,
+        observables={"matvec_error": err},
+    )
+
+
+def lu_adapter(
+    session: Session, n: int = 64, instances: int = 1, nrhs: int = 1, seed: int = 0
+):
+    """Registry adapter: run the lu benchmark and verify it."""
+    from repro.linalg.lu import lu_factor, lu_solve, make_systems
+
+    A, B = make_systems(session, n=n, instances=instances, nrhs=nrhs, seed=seed)
+    fact = lu_factor(A)
+    X = lu_solve(fact, B)
+    resid = float(
+        np.abs(np.einsum("inm,imr->inr", A.np, X.np) - B.np).max()
+    )
+    return AppResult(
+        name="lu", iterations=n, problem_size=instances * n * n,
+        local_access=LocalAccess.NA, observables={"residual": resid},
+    )
+
+
+def qr_adapter(session: Session, m: int = 96, n: int = 48, nrhs: int = 1, seed: int = 0):
+    """Registry adapter: run the qr benchmark and verify it."""
+    from repro.linalg.qr import make_system, qr_factor, qr_solve
+
+    A, b = make_system(session, m=m, n=n, nrhs=nrhs, seed=seed)
+    fact = qr_factor(A)
+    x = qr_solve(fact, b)
+    ref, *_ = np.linalg.lstsq(A.np, b.np, rcond=None)
+    err = float(np.abs(x.np - ref).max())
+    return AppResult(
+        name="qr", iterations=n, problem_size=m * n,
+        local_access=LocalAccess.NA, observables={"lstsq_error": err},
+    )
+
+
+def gauss_jordan_adapter(session: Session, n: int = 64, seed: int = 0):
+    """Registry adapter: run the gauss_jordan benchmark and verify it."""
+    from repro.linalg.gauss_jordan import gauss_jordan_solve, make_system
+
+    A, b = make_system(session, n=n, seed=seed)
+    x = gauss_jordan_solve(A, b)
+    resid = float(np.abs(A.np @ x.np - b.np).max())
+    return AppResult(
+        name="gauss-jordan", iterations=n, problem_size=n * n,
+        local_access=LocalAccess.NA, observables={"residual": resid},
+    )
+
+
+def pcr_adapter(
+    session: Session,
+    n: int = 128,
+    variant: int = 1,
+    nrhs: int = 1,
+    packed: bool = True,
+    seed: int = 0,
+):
+    """Registry adapter: run the pcr benchmark and verify it."""
+    from repro.linalg.pcr import make_systems, pcr_solve, reference_solve
+
+    instances = {1: None, 2: (4,), 3: (2, 2)}[variant]
+    a, b, c, f = make_systems(session, n=n, instances=instances, nrhs=nrhs, seed=seed)
+    x = pcr_solve(a, b, c, f, packed=packed)
+    ref = reference_solve(a.np, b.np, c.np, f.np)
+    err = float(np.abs(x.np - ref).max())
+    return AppResult(
+        name=f"pcr/{variant}", iterations=int(np.ceil(np.log2(n))),
+        problem_size=a.size, local_access=LocalAccess.DIRECT,
+        observables={"solve_error": err},
+    )
+
+
+def conj_grad_adapter(session: Session, n: int = 256, seed: int = 0):
+    """Registry adapter: run the conj_grad benchmark and verify it."""
+    from repro.linalg.conj_grad import cg_tridiagonal, make_rhs, reference_solve
+
+    f = make_rhs(session, n, seed=seed)
+    res = cg_tridiagonal(session, f, lower=-1.0, diag=4.0, upper=-0.5)
+    ref = reference_solve(n, -1.0, 4.0, -0.5, f.np)
+    err = float(np.abs(res.x.np - ref).max())
+    return AppResult(
+        name="conj-grad", iterations=res.iterations, problem_size=n,
+        local_access=LocalAccess.NA,
+        observables={"solve_error": err, "residual": res.residual_norm},
+    )
+
+
+def jacobi_adapter(session: Session, n: int = 32, seed: int = 0):
+    """Registry adapter: run the jacobi benchmark and verify it."""
+    from repro.linalg.jacobi_eigen import jacobi_eigen, make_matrix
+
+    A = make_matrix(session, n, seed=seed)
+    res = jacobi_eigen(A)
+    ref = np.sort(np.linalg.eigvalsh(A.np))
+    err = float(np.abs(res.eigenvalues - ref).max())
+    return AppResult(
+        name="jacobi", iterations=res.iterations, problem_size=n * n,
+        local_access=LocalAccess.NA,
+        observables={"eigenvalue_error": err, "off_norm": res.off_norm},
+    )
+
+
+def fft_adapter(session: Session, n: int = 1024, dims: int = 1, seed: int = 0):
+    """Registry adapter: run the fft benchmark and verify it."""
+    from repro.array.creation import from_numpy
+    from repro.linalg.fft import fft, fft2, fft3
+
+    rng = np.random.default_rng(seed)
+    if dims == 1:
+        x = from_numpy(session, rng.standard_normal(n) + 0j, "(:)")
+        session.declare_memory("x", (n,), np.complex128)
+        out = fft(x)
+        ref = np.fft.fft(x.np)
+        size = n
+        iters = int(np.log2(n))
+    elif dims == 2:
+        side = int(round(n ** 0.5))
+        side = 1 << (side.bit_length() - 1)
+        x = from_numpy(session, rng.standard_normal((side, side)) + 0j, "(:,:)")
+        session.declare_memory("x", (side, side), np.complex128)
+        out = fft2(x)
+        ref = np.fft.fft2(x.np)
+        size = side * side
+        iters = int(np.log2(side))
+    else:
+        side = max(4, 1 << (int(round(n ** (1 / 3))).bit_length() - 1))
+        x = from_numpy(
+            session, rng.standard_normal((side, side, side)) + 0j, "(:,:,:)"
+        )
+        session.declare_memory("x", (side, side, side), np.complex128)
+        out = fft3(x)
+        ref = np.fft.fftn(x.np)
+        size = side**3
+        iters = int(np.log2(side))
+    err = float(np.abs(out.np - ref).max() / max(1.0, np.abs(ref).max()))
+    return AppResult(
+        name=f"fft/{dims}d", iterations=iters, problem_size=size,
+        local_access=LocalAccess.NA, observables={"fft_error": err},
+    )

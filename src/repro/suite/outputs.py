@@ -1,0 +1,63 @@
+"""DPF-style output files.
+
+The original suite produced per-benchmark output files with the §1.5
+metrics ("Sources, examples of DPF benchmark use and produced output
+are also available there", §1.1).  :func:`write_outputs` reproduces
+that artifact: one ``<benchmark>.out`` per run containing the
+performance summary, the per-segment breakdown, the communication
+profile and the verification observables, plus a ``suite.csv`` roll-up.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Dict, Mapping, Optional
+
+from repro.analysis.trace import trace_summary
+from repro.machine.session import Session
+from repro.metrics.report import PerfReport
+from repro.metrics.serialize import reports_to_csv
+from repro.suite.runner import run_benchmark
+
+
+def render_output(report: PerfReport, machine_desc: str = "") -> str:
+    """The text of one DPF-style output file."""
+    lines = ["DPF benchmark output", "=" * 56]
+    if machine_desc:
+        lines.append(f"machine        : {machine_desc}")
+    lines.append(report.summary())
+    if report.extra:
+        lines.append("")
+        lines.append("verification observables:")
+        for key, value in report.extra.items():
+            lines.append(f"  {key:30s} {value:.8g}")
+    return "\n".join(lines) + "\n"
+
+
+def write_outputs(
+    directory: str | pathlib.Path,
+    session_factory,
+    params: Optional[Mapping[str, Mapping[str, object]]] = None,
+    names: Optional[list] = None,
+) -> Dict[str, PerfReport]:
+    """Run benchmarks and write ``<name>.out`` files plus ``suite.csv``.
+
+    Returns the reports keyed by benchmark name.
+    """
+    from repro.suite.registry import REGISTRY
+
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    params = params or {}
+    reports: Dict[str, PerfReport] = {}
+    for name in names if names is not None else sorted(REGISTRY):
+        session: Session = session_factory()
+        report = run_benchmark(name, session, **params.get(name, {}))
+        reports[name] = report
+        body = render_output(report, session.machine.describe())
+        body += "\ncommunication profile:\n"
+        body += trace_summary(session.recorder) + "\n"
+        safe = name.replace("/", "_")
+        (directory / f"{safe}.out").write_text(body)
+    (directory / "suite.csv").write_text(reports_to_csv(reports.values()))
+    return reports

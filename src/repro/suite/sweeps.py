@@ -1,0 +1,135 @@
+"""Parameter and machine-size sweeps.
+
+The suite's evaluation methodology is built on sweeps: problem-size
+series (how a benchmark's metrics scale with its own parameters) and
+machine-size series (strong scaling across partition sizes, the CM-5's
+32/64/.../1024-node configurations).  :class:`SweepResult` holds one
+series; the benchmark harness writes them as the reproduction's
+"figures" (the paper itself is all tables, but its §1.5 metrics are
+exactly what these series plot).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.machine.model import MachineModel
+from repro.machine.session import Session
+from repro.metrics.report import PerfReport
+from repro.suite.runner import run_benchmark
+from repro.versions import VersionTier
+
+
+@dataclass
+class SweepResult:
+    """One series of reports over a swept parameter."""
+
+    benchmark: str
+    parameter: str
+    values: Tuple = ()
+    reports: List[PerfReport] = field(default_factory=list)
+
+    def series(self, metric: str) -> List[float]:
+        """Extract one metric across the sweep.
+
+        ``metric`` is any numeric attribute/property of
+        :class:`PerfReport` (``busy_time``, ``elapsed_time``,
+        ``flop_count``, ``busy_floprate_mflops``, ...).
+        """
+        out = []
+        for report in self.reports:
+            value = getattr(report, metric)
+            out.append(float(value() if callable(value) else value))
+        return out
+
+    def speedups(self, metric: str = "elapsed_time") -> List[float]:
+        """Ratio of the first point's metric to each point's."""
+        series = self.series(metric)
+        base = series[0]
+        return [base / v if v else float("inf") for v in series]
+
+    def table(self) -> str:
+        """Plot-ready text table of the series."""
+        from repro.suite.tables import format_table
+
+        rows = []
+        for value, report in zip(self.values, self.reports):
+            rows.append(
+                [
+                    str(value),
+                    f"{report.busy_time:.6f}",
+                    f"{report.elapsed_time:.6f}",
+                    f"{report.busy_floprate_mflops:.2f}",
+                    f"{report.flop_count}",
+                ]
+            )
+        return format_table(
+            [self.parameter, "busy (s)", "elapsed (s)", "MFLOP/s", "FLOPs"],
+            rows,
+        )
+
+
+def parameter_sweep(
+    benchmark: str,
+    parameter: str,
+    values: Sequence,
+    session_factory: Callable[[], Session],
+    fixed_params: Optional[Mapping[str, object]] = None,
+) -> SweepResult:
+    """Sweep one benchmark parameter (e.g. problem size)."""
+    result = SweepResult(benchmark, parameter, tuple(values))
+    fixed = dict(fixed_params or {})
+    for value in values:
+        report = run_benchmark(
+            benchmark, session_factory(), **{**fixed, parameter: value}
+        )
+        result.reports.append(report)
+    return result
+
+
+def machine_sweep(
+    benchmark: str,
+    machine_factory: Callable[[int], MachineModel],
+    node_counts: Sequence[int],
+    params: Optional[Mapping[str, object]] = None,
+    tier: VersionTier = VersionTier.BASIC,
+) -> SweepResult:
+    """Strong scaling: fixed problem, growing machine."""
+    result = SweepResult(benchmark, "nodes", tuple(node_counts))
+    for nodes in node_counts:
+        session = Session(machine_factory(nodes), tier=tier)
+        result.reports.append(
+            run_benchmark(benchmark, session, **(params or {}))
+        )
+    return result
+
+
+def tier_sweep(
+    benchmark: str,
+    session_machine: MachineModel,
+    tiers: Sequence[VersionTier],
+    params: Optional[Mapping[str, object]] = None,
+) -> SweepResult:
+    """The Table-1 version study as a sweep over code tiers."""
+    result = SweepResult(benchmark, "tier", tuple(t.value for t in tiers))
+    for tier in tiers:
+        session = Session(session_machine, tier=tier)
+        result.reports.append(
+            run_benchmark(benchmark, session, **(params or {}))
+        )
+    return result
+
+
+def efficiency_series(sweep: SweepResult) -> Dict[str, List[float]]:
+    """Parallel efficiency of a machine sweep: speedup / node-ratio."""
+    if sweep.parameter != "nodes":
+        raise ValueError("efficiency_series expects a machine sweep")
+    speedups = sweep.speedups("elapsed_time")
+    base_nodes = sweep.values[0]
+    return {
+        "speedup": speedups,
+        "efficiency": [
+            s / (n / base_nodes) for s, n in zip(speedups, sweep.values)
+        ],
+    }

@@ -1,0 +1,343 @@
+"""Regenerate the paper's Tables 1-8.
+
+Tables 1, 2, 3, 5, 7 and 8 are *structural* — they describe the suite
+itself and regenerate from the registry metadata.  Tables 4 and 6 are
+*quantitative* — per-iteration FLOP counts, memory and communication —
+and regenerate from instrumented runs compared against the analytic
+formulas of :mod:`repro.suite.analytic`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.machine.session import Session
+from repro.metrics.patterns import CommPattern
+from repro.suite import analytic
+from repro.suite.registry import REGISTRY
+from repro.suite.runner import run_benchmark
+from repro.versions import VersionTier
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Plain-text table with aligned columns."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(str(cell)))
+    def fmt(cells):  # noqa: D103 - local helper
+        return "  ".join(str(c).ljust(w) for c, w in zip(cells, widths))
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+def table1_versions() -> str:
+    """Table 1: benchmark suite code versions."""
+    tiers = list(VersionTier)
+    headers = ["Benchmark"] + [t.value for t in tiers]
+    rows = []
+    for name in sorted(REGISTRY):
+        spec = REGISTRY[name]
+        rows.append(
+            [name] + ["x" if t in spec.versions else "" for t in tiers]
+        )
+    return format_table(headers, rows)
+
+
+def _layout_table(group_filter) -> str:
+    headers = ["Code", "1-D", "2-D", "3-D", "4-D+"]
+    rows = []
+    for name in sorted(REGISTRY):
+        spec = REGISTRY[name]
+        if not group_filter(spec.group):
+            continue
+        by_rank = {1: [], 2: [], 3: [], 4: []}
+        for layout in spec.layouts:
+            rank = layout.count(":") - layout.count(":serial") + layout.count(":serial")
+            rank = len([e for e in layout.strip("()").split(",") if e.strip()])
+            by_rank[min(rank, 4)].append(layout)
+        rows.append(
+            [name]
+            + [" ".join(by_rank[r]) for r in (1, 2, 3, 4)]
+        )
+    return format_table(headers, rows)
+
+
+def table2_layouts() -> str:
+    """Table 2: data representation/layout, linear algebra kernels."""
+    return _layout_table(lambda g: g == "linalg")
+
+
+def table5_layouts() -> str:
+    """Table 5: data representation/layout, application codes."""
+    return _layout_table(lambda g: g == "app")
+
+
+def _comm_table(group_filter) -> str:
+    patterns = sorted(
+        {
+            p
+            for spec in REGISTRY.values()
+            if group_filter(spec.group)
+            for p in spec.comm_patterns
+        },
+        key=lambda p: p.value,
+    )
+    headers = ["Pattern"] + ["1-D", "2-D", "3-D", "4-D+"]
+    rows = []
+    for p in patterns:
+        cells = {1: [], 2: [], 3: [], 4: []}
+        for name in sorted(REGISTRY):
+            spec = REGISTRY[name]
+            if not group_filter(spec.group):
+                continue
+            for rank in spec.comm_patterns.get(p, ()):
+                cells[min(rank, 4)].append(name)
+        rows.append(
+            [p.value] + [" ".join(cells[r]) for r in (1, 2, 3, 4)]
+        )
+    return format_table(headers, rows)
+
+
+def table3_comm() -> str:
+    """Table 3: communication of linear algebra kernels."""
+    return _comm_table(lambda g: g in ("linalg", "comm"))
+
+
+def table7_comm() -> str:
+    """Table 7: communication patterns in application codes."""
+    return _comm_table(lambda g: g == "app")
+
+
+def table8_techniques() -> str:
+    """Table 8: implementation techniques for stencil/gather/scatter/AABC."""
+    headers = ["Pattern", "Code", "Implementation technique"]
+    rows = []
+    for name in sorted(REGISTRY):
+        spec = REGISTRY[name]
+        for pattern, technique in spec.techniques.items():
+            rows.append([pattern, name, technique])
+    return format_table(headers, rows)
+
+
+# ---------------------------------------------------------------------------
+# Tables 4 and 6: measured vs analytic.
+# ---------------------------------------------------------------------------
+MeasuredRow = Tuple[str, float, float, Dict[CommPattern, float]]
+
+
+def measure(
+    name: str,
+    session_factory: Callable[[], Session],
+    params: Optional[dict] = None,
+    segment: Optional[str] = None,
+) -> MeasuredRow:
+    """Run one benchmark and extract (flops/iter, memory, comm/iter).
+
+    ``segment`` narrows the measurement to one named code segment —
+    the paper reports ``lu``/``qr`` factorization and solution
+    separately (§1.5), so their Table-4 rows are per-segment.
+    """
+    session = session_factory()
+    report = run_benchmark(name, session, **(params or {}))
+    if segment is None:
+        # Prefer the main_loop segment: several benchmarks verify their
+        # numerics outside the loop, and the paper's per-iteration
+        # attributes describe the main loop only.
+        if any(s.name == "main_loop" for s in report.segments):
+            segment = "main_loop"
+    if segment is not None:
+        seg = report.segment(segment)
+        return (
+            f"{name}:{segment}" if segment != "main_loop" else name,
+            seg.flops_per_iteration,
+            float(report.memory_bytes),
+            seg.comm_per_iteration(),
+        )
+    return (
+        name,
+        report.flops_per_iteration,
+        float(report.memory_bytes),
+        report.comm_per_iteration(),
+    )
+
+
+def _comm_str(comm: Dict[CommPattern, float]) -> str:
+    return ", ".join(
+        f"{v:g} {k.value}" for k, v in sorted(comm.items(), key=lambda kv: kv[0].value)
+    )
+
+
+def comparison_table(
+    entries: List[Tuple[MeasuredRow, analytic.AnalyticRow]]
+) -> str:
+    """Side-by-side measured vs paper-analytic table."""
+    headers = [
+        "Code",
+        "FLOPs/iter (meas)",
+        "FLOPs/iter (paper)",
+        "Memory (meas)",
+        "Memory (paper)",
+        "Comm/iter (meas)",
+        "Comm/iter (paper)",
+    ]
+    rows = []
+    for (name, flops, mem, comm), ref in entries:
+        rows.append(
+            [
+                name,
+                f"{flops:.0f}",
+                f"{ref.flops_per_iteration:.0f}",
+                f"{mem:.0f}",
+                f"{ref.memory_bytes:.0f}",
+                _comm_str(comm),
+                _comm_str(ref.comm_per_iteration),
+            ]
+        )
+    return format_table(headers, rows)
+
+
+def table4_linalg(session_factory: Callable[[], Session]) -> str:
+    """Table 4: computation/communication ratios, linear algebra."""
+    n = 64
+    entries = [
+        (
+            measure("matrix-vector", session_factory, {"n": n, "m": n, "repeats": 2}),
+            analytic.matvec(n, n),
+        ),
+        (
+            measure("lu", session_factory, {"n": 32}, segment="factor"),
+            analytic.lu_factor(32, 1),
+        ),
+        (
+            measure("lu", session_factory, {"n": 32}, segment="solve"),
+            analytic.lu_solve(32, 1),
+        ),
+        (
+            measure("qr", session_factory, {"m": 48, "n": 24}, segment="factor"),
+            analytic.qr_factor(48, 24),
+        ),
+        (
+            measure("qr", session_factory, {"m": 48, "n": 24}, segment="solve"),
+            analytic.qr_solve(48, 24),
+        ),
+        (
+            measure("gauss-jordan", session_factory, {"n": 32}),
+            analytic.gauss_jordan(32),
+        ),
+        (
+            measure("pcr", session_factory, {"n": 64, "variant": 1}),
+            analytic.pcr(64, 1),
+        ),
+        (
+            measure("conj-grad", session_factory, {"n": 128}),
+            analytic.conj_grad(128),
+        ),
+        (measure("jacobi", session_factory, {"n": 16}), analytic.jacobi(16)),
+        (
+            measure("fft", session_factory, {"n": 256, "dims": 1}),
+            analytic.fft(256, 1),
+        ),
+    ]
+    return comparison_table(entries)
+
+
+def table6_apps(session_factory: Callable[[], Session]) -> str:
+    """Table 6: computation/communication ratios, application codes."""
+    entries = [
+        (
+            measure("boson", session_factory, {"nx": 8, "nt": 4, "sweeps": 4}),
+            analytic.boson(4, 8, 8),
+        ),
+        (
+            measure("diff-1d", session_factory, {"nx": 64, "steps": 3}),
+            analytic.diff1d(64, 32),
+        ),
+        (
+            measure("diff-2d", session_factory, {"nx": 32, "steps": 4}),
+            analytic.diff2d(32),
+        ),
+        (
+            measure("diff-3d", session_factory, {"nx": 12, "steps": 3}),
+            analytic.diff3d(12, 12, 12),
+        ),
+        (
+            measure("ellip-2d", session_factory, {"nx": 12}),
+            analytic.ellip2d(12, 12),
+        ),
+        (
+            measure("fem-3d", session_factory, {"nx": 2, "iterations": 10}),
+            analytic.fem3d(4, 40, 27),
+        ),
+        (
+            measure("md", session_factory, {"n_p": 16, "steps": 4}),
+            analytic.md(16),
+        ),
+        (
+            measure("mdcell", session_factory, {"nc": 4, "steps": 2}),
+            analytic.mdcell(1.0, 64, 4, 4, 4),
+        ),
+        (
+            measure("n-body", session_factory, {"n": 16, "variant": "spread"}),
+            analytic.nbody(16, "spread"),
+        ),
+        (
+            measure(
+                "pic-simple",
+                session_factory,
+                {"nx": 16, "n_p": 128, "steps": 2},
+            ),
+            analytic.pic_simple(128, 16, 16),
+        ),
+        (
+            measure(
+                "pic-gather-scatter",
+                session_factory,
+                {"nx": 8, "n_p": 64, "steps": 2},
+            ),
+            analytic.pic_gather_scatter(64, 8),
+        ),
+        (
+            measure("qcd-kernel", session_factory, {"nx": 4, "iterations": 2}),
+            analytic.qcd_kernel(4, 4, 4, 4),
+        ),
+        (
+            measure(
+                "qmc",
+                session_factory,
+                {"blocks": 1, "steps_per_block": 10, "n_w": 50},
+            ),
+            analytic.qmc(2, 3, 50, 2),
+        ),
+        (
+            measure("qptransport", session_factory, {"iterations": 10}),
+            analytic.qptransport(33),
+        ),
+        (
+            measure("rp", session_factory, {"nx": 6}),
+            analytic.rp(6, 6, 6),
+        ),
+        (
+            measure("step4", session_factory, {"nx": 12, "steps": 2}),
+            analytic.step4(12, 12),
+        ),
+        (
+            measure("wave-1d", session_factory, {"nx": 64, "steps": 4}),
+            analytic.wave1d(64),
+        ),
+        (
+            measure("ks-spectral", session_factory, {"nx": 32, "ne": 2, "steps": 3}),
+            analytic.ks_spectral(32, 2),
+        ),
+        (
+            measure("gmo", session_factory, {"ns": 128, "ntr": 16}),
+            analytic.gmo(128 * 16),
+        ),
+        (
+            measure("fermion", session_factory, {"sites": 16, "n": 4, "sweeps": 2}),
+            analytic.AnalyticRow("fermion", float("nan"), float("nan"), {}),
+        ),
+    ]
+    return comparison_table(entries)

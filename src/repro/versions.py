@@ -1,0 +1,47 @@
+"""DPF code-version tiers (paper §1.2, Table 1).
+
+A number of the benchmarks exist in several forms:
+
+* ``basic``     — a "typical" user code by a knowledgeable user without
+  a lengthy optimization process;
+* ``optimized`` — code by a highly performance-oriented programmer with
+  good knowledge of the compiler and the architecture;
+* ``library``   — optimization via source-language library functions;
+* ``cmssl``     — calls into the specialized scientific software
+  library (our :mod:`repro.linalg` stands in for CMSSL);
+* ``c_dpeac``   — performance-critical segments in a lower-level
+  language with finer control over the architecture.  The simulator
+  expresses this tier as a reduced local-overhead factor over the
+  ``optimized`` code path.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class VersionTier(str, Enum):
+    """The five DPF code-version tiers of Table 1."""
+
+    BASIC = "basic"
+    OPTIMIZED = "optimized"
+    LIBRARY = "library"
+    CMSSL = "cmssl"
+    C_DPEAC = "c_dpeac"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"VersionTier.{self.name}"
+
+
+#: Fraction of a node's peak FLOP rate sustained on direct-access
+#: streaming kernels, per tier.  These express the paper's qualitative
+#: ordering (compiler-generated basic code leaves performance on the
+#: table; hand-tuned and library code recovers it; C/DPEAC gives the
+#: finest control) and are freely re-parameterizable per machine.
+DEFAULT_SUSTAINED_FRACTION = {
+    VersionTier.BASIC: 0.28,
+    VersionTier.OPTIMIZED: 0.45,
+    VersionTier.LIBRARY: 0.55,
+    VersionTier.CMSSL: 0.65,
+    VersionTier.C_DPEAC: 0.80,
+}

@@ -1,0 +1,42 @@
+"""Synthetic workload generators (DESIGN.md §2 substitutions).
+
+The paper's benchmarks shipped with sample data files (2.64 MBytes,
+§1.1) that are not recoverable; every input in this reproduction is
+generated deterministically.  The application modules own their
+specific generators (meshes in :mod:`repro.apps.fem3d`, seismic panels
+in :mod:`repro.apps.gmo`, SU(3) ensembles in
+:mod:`repro.apps.qcd_kernel`); this package re-exports them and adds
+the general-purpose generators used by tests, examples and the
+communication benchmarks.
+"""
+
+from repro.apps.fem3d import TetMesh, box_mesh, element_stiffness
+from repro.apps.gmo import make_panel as seismic_panel
+from repro.apps.gmo import ricker
+from repro.apps.qcd_kernel import random_su3, staggered_phases
+from repro.apps.qptransport import make_problem as bipartite_transport
+from repro.workloads.generators import (
+    banded_indices,
+    hotspot_indices,
+    lattice_particles,
+    permutation_indices,
+    sparse_pattern,
+    uniform_particles,
+)
+
+__all__ = [
+    "TetMesh",
+    "banded_indices",
+    "bipartite_transport",
+    "box_mesh",
+    "element_stiffness",
+    "hotspot_indices",
+    "lattice_particles",
+    "permutation_indices",
+    "random_su3",
+    "ricker",
+    "seismic_panel",
+    "sparse_pattern",
+    "staggered_phases",
+    "uniform_particles",
+]

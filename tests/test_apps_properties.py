@@ -1,0 +1,124 @@
+"""Property-based tests on the application codes' numerical helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import Session, cm5
+from repro.apps import boson, diff3d, gmo, md, nbody, pic_gather_scatter, qcd_kernel
+
+
+class TestTSCWeights:
+    @given(st.floats(-0.5, 0.4999))
+    @settings(max_examples=50, deadline=None)
+    def test_weights_partition_unity(self, frac):
+        w = pic_gather_scatter._tsc_weights(np.array([frac]))
+        total = w[-1] + w[0] + w[1]
+        assert total[0] == pytest.approx(1.0)
+
+    @given(st.floats(-0.5, 0.4999))
+    @settings(max_examples=50, deadline=None)
+    def test_weights_nonnegative(self, frac):
+        w = pic_gather_scatter._tsc_weights(np.array([frac]))
+        assert all(w[k][0] >= 0.0 for k in (-1, 0, 1))
+
+    def test_centered_particle_symmetric(self):
+        w = pic_gather_scatter._tsc_weights(np.array([0.0]))
+        assert w[-1][0] == pytest.approx(w[1][0])
+        assert w[0][0] == pytest.approx(0.75)
+
+
+class TestLJForces:
+    @given(seed=st.integers(0, 100), n=st.integers(2, 12))
+    @settings(max_examples=20, deadline=None)
+    def test_newton_third_law(self, seed, n):
+        """Total force vanishes for any configuration."""
+        rng = np.random.default_rng(seed)
+        pos = rng.uniform(0, 5, (n, 3)) + np.arange(n)[:, None] * 2.0
+        forces, _ = md.lj_forces_energy(pos, 1.0, 1.0)
+        assert np.abs(forces.sum(axis=0)).max() < 1e-9
+
+    @given(seed=st.integers(0, 50))
+    @settings(max_examples=15, deadline=None)
+    def test_translation_invariance(self, seed):
+        rng = np.random.default_rng(seed)
+        pos = rng.uniform(0, 3, (6, 3)) + np.arange(6)[:, None]
+        f1, e1 = md.lj_forces_energy(pos, 1.0, 1.0)
+        f2, e2 = md.lj_forces_energy(pos + 13.7, 1.0, 1.0)
+        assert np.allclose(f1, f2)
+        assert e1 == pytest.approx(e2)
+
+
+class TestNBodyKernel:
+    @given(seed=st.integers(0, 100))
+    @settings(max_examples=15, deadline=None)
+    def test_pair_force_antisymmetric_for_equal_masses(self, seed):
+        rng = np.random.default_rng(seed)
+        x, y = rng.uniform(-1, 1, 2), rng.uniform(-1, 1, 2)
+        m = np.array([1.0, 1.0])
+        fx, fy = nbody.reference_forces(
+            np.array([x[0], x[1]]), np.array([y[0], y[1]]), m
+        )
+        assert fx[0] == pytest.approx(-fx[1], abs=1e-12)
+        assert fy[0] == pytest.approx(-fy[1], abs=1e-12)
+
+
+class TestStaggeredPhases:
+    def test_eta_products_give_plaquette_sign(self):
+        """eta_mu(x) eta_nu(x+mu) eta_mu(x+nu) eta_nu(x) = -1 for
+        mu != nu — the staggered representation of the Dirac algebra."""
+        dims = (4, 4, 4, 4)
+        eta = qcd_kernel.staggered_phases(dims)
+        for mu in range(4):
+            for nu in range(mu + 1, 4):
+                e_mu = eta[mu]
+                e_nu = eta[nu]
+                e_nu_xmu = np.roll(e_nu, -1, axis=mu)
+                e_mu_xnu = np.roll(e_mu, -1, axis=nu)
+                plaq = e_mu * e_nu_xmu * e_mu_xnu * e_nu
+                assert np.all(plaq == -1.0), (mu, nu)
+
+
+class TestBosonExactLimit:
+    @given(
+        U=st.floats(0.5, 3.0),
+        mu=st.floats(-1.0, 1.0),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_exact_mean_is_bounded(self, U, mu):
+        mean = boson.exact_single_site_mean(U, mu, n_max=6)
+        assert 0.0 <= mean <= 6.0
+
+    def test_exact_mean_monotone_in_mu(self):
+        means = [
+            boson.exact_single_site_mean(1.0, mu, 6)
+            for mu in (-1.0, 0.0, 1.0, 2.0)
+        ]
+        assert means == sorted(means)
+
+
+class TestGMOKernel:
+    @given(f0=st.floats(5.0, 60.0))
+    @settings(max_examples=15, deadline=None)
+    def test_ricker_bounded_by_peak(self, f0):
+        t = np.linspace(-0.5, 0.5, 2001)
+        w = gmo.ricker(t, f0)
+        assert np.abs(w).max() == pytest.approx(1.0)
+
+
+class TestDiff3DVariants:
+    def test_naive_and_factored_agree(self):
+        """Both code versions compute the identical field."""
+        r_fact = diff3d.run(Session(cm5(16)), nx=8, steps=4)
+        r_naive = diff3d.run(Session(cm5(16)), nx=8, steps=4, naive=True)
+        assert np.allclose(r_fact.state["u"], r_naive.state["u"])
+
+    def test_naive_charges_more_flops(self):
+        s_fact = Session(cm5(16))
+        diff3d.run(s_fact, nx=8, steps=2)
+        s_naive = Session(cm5(16))
+        diff3d.run(s_naive, nx=8, steps=2, naive=True)
+        assert (
+            s_naive.recorder.total_flops
+            == s_fact.recorder.total_flops / 9 * 13
+        )

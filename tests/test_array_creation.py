@@ -1,0 +1,69 @@
+"""Tests for DistArray creation routines."""
+
+import numpy as np
+import pytest
+
+from repro.array.creation import (
+    arange,
+    empty,
+    from_numpy,
+    full,
+    ones,
+    random_uniform,
+    zeros,
+)
+from repro.layout.spec import Axis, parse_layout
+
+
+class TestCreation:
+    def test_zeros(self, session):
+        x = zeros(session, (3, 4), "(:serial,:)")
+        assert x.shape == (3, 4)
+        assert not x.np.any()
+        assert x.layout.axes == (Axis.SERIAL, Axis.PARALLEL)
+
+    def test_ones_dtype(self, session):
+        x = ones(session, (4,), "(:)", dtype=np.float32)
+        assert x.dtype == np.float32
+        assert (x.np == 1).all()
+
+    def test_full(self, session):
+        x = full(session, (2, 2), "(:,:)", 7.5)
+        assert (x.np == 7.5).all()
+
+    def test_empty_shape(self, session):
+        x = empty(session, (5,), "(:)")
+        assert x.shape == (5,)
+
+    def test_arange(self, session):
+        x = arange(session, 6)
+        assert np.array_equal(x.np, np.arange(6.0))
+
+    def test_from_numpy_copies(self, session):
+        src = np.arange(4.0)
+        x = from_numpy(session, src, "(:)")
+        src[0] = 99.0
+        assert x.np[0] == 0.0
+
+    def test_layout_object_accepted(self, session):
+        layout = parse_layout("(:)", (4,))
+        x = zeros(session, (4,), layout)
+        assert x.layout is layout
+
+    def test_layout_object_shape_mismatch(self, session):
+        layout = parse_layout("(:)", (4,))
+        with pytest.raises(ValueError):
+            zeros(session, (5,), layout)
+
+    def test_random_uniform_deterministic(self, session):
+        a = random_uniform(session, (8,), "(:)", seed=7)
+        b = random_uniform(session, (8,), "(:)", seed=7)
+        assert np.array_equal(a.np, b.np)
+
+    def test_random_uniform_bounds(self, session):
+        x = random_uniform(session, (100,), "(:)", seed=1, low=2.0, high=3.0)
+        assert (x.np >= 2.0).all() and (x.np < 3.0).all()
+
+    def test_random_uniform_rng_object(self, session, rng):
+        x = random_uniform(session, (4,), "(:)", rng=rng)
+        assert x.shape == (4,)

@@ -1,0 +1,242 @@
+"""Tests for DistArray arithmetic and HPF execution semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import Session, cm5
+from repro.array import from_numpy, zeros
+from repro.array.masks import assign_where, merge, where
+from repro.layout.spec import Axis
+
+
+class TestConstruction:
+    def test_shape_mismatch_raises(self, session):
+        from repro.array.distarray import DistArray
+        from repro.layout.spec import parse_layout
+
+        with pytest.raises(ValueError):
+            DistArray(np.zeros((3, 4)), parse_layout("(:,:)", (4, 3)), session)
+
+    def test_properties(self, session):
+        x = from_numpy(session, np.ones((2, 3)), "(:serial,:)")
+        assert x.shape == (2, 3)
+        assert x.ndim == 2
+        assert x.size == 6
+        assert not x.is_complex
+
+    def test_complex_flag(self, session):
+        x = from_numpy(session, np.ones(4, dtype=np.complex128), "(:)")
+        assert x.is_complex
+
+    def test_copy_independent(self, session):
+        x = from_numpy(session, np.arange(4.0), "(:)")
+        y = x.copy()
+        y.data[0] = 99.0
+        assert x.np[0] == 0.0
+
+    def test_astype(self, session):
+        x = from_numpy(session, np.arange(4), "(:)")
+        assert x.astype(np.float32).dtype == np.float32
+
+
+class TestArithmetic:
+    def test_add(self, session):
+        x = from_numpy(session, np.arange(4.0), "(:)")
+        y = x + x
+        assert np.array_equal(y.np, 2 * np.arange(4.0))
+        assert session.recorder.total_flops == 4
+
+    def test_scalar_ops(self, session):
+        x = from_numpy(session, np.arange(4.0), "(:)")
+        assert np.array_equal((x * 3.0).np, 3 * np.arange(4.0))
+        assert np.array_equal((1.0 + x).np, 1 + np.arange(4.0))
+        assert np.array_equal((1.0 - x).np, 1 - np.arange(4.0))
+
+    def test_division_costs_four(self, session):
+        x = from_numpy(session, np.ones(10), "(:)")
+        _ = x / 2.0
+        assert session.recorder.total_flops == 40
+
+    def test_rtruediv(self, session):
+        x = from_numpy(session, np.array([1.0, 2.0, 4.0]), "(:)")
+        assert np.allclose((1.0 / x).np, [1.0, 0.5, 0.25])
+
+    def test_square_charged_as_multiply(self, session):
+        x = from_numpy(session, np.arange(5.0), "(:)")
+        y = x**2
+        assert np.array_equal(y.np, np.arange(5.0) ** 2)
+        assert session.recorder.total_flops == 5
+
+    def test_negation(self, session):
+        x = from_numpy(session, np.arange(3.0), "(:)")
+        assert np.array_equal((-x).np, -np.arange(3.0))
+
+    def test_inplace_add(self, session):
+        x = from_numpy(session, np.arange(4.0), "(:)")
+        x += 1.0
+        assert np.array_equal(x.np, np.arange(4.0) + 1)
+        assert session.recorder.total_flops == 4
+
+    def test_inplace_chain(self, session):
+        x = from_numpy(session, np.full(4, 2.0), "(:)")
+        x *= 3.0
+        x -= 1.0
+        x /= 5.0
+        assert np.allclose(x.np, 1.0)
+
+    def test_shape_mismatch_raises(self, session):
+        x = from_numpy(session, np.ones(4), "(:)")
+        y = from_numpy(session, np.ones(5), "(:)")
+        with pytest.raises(ValueError, match="shape mismatch"):
+            _ = x + y
+
+    def test_cross_session_raises(self, session):
+        other = Session(cm5(4))
+        x = from_numpy(session, np.ones(4), "(:)")
+        y = from_numpy(other, np.ones(4), "(:)")
+        with pytest.raises(ValueError, match="different sessions"):
+            _ = x + y
+
+    def test_complex_mul_charges_six(self, session):
+        x = from_numpy(session, np.ones(10, dtype=np.complex128), "(:)")
+        _ = x * x
+        assert session.recorder.total_flops == 60
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=32))
+    def test_matches_numpy(self, values):
+        session = Session(cm5(8))
+        arr = np.array(values)
+        x = from_numpy(session, arr, "(:)")
+        assert np.allclose(((x * 2.0) + x - 1.0).np, arr * 2 + arr - 1)
+
+
+class TestIntrinsics:
+    def test_sqrt(self, session):
+        x = from_numpy(session, np.array([4.0, 9.0]), "(:)")
+        assert np.allclose(x.sqrt().np, [2.0, 3.0])
+        assert session.recorder.total_flops == 8  # 2 * cost(sqrt)
+
+    def test_exp_log_roundtrip(self, session):
+        x = from_numpy(session, np.array([1.0, 2.0]), "(:)")
+        assert np.allclose(x.exp().log().np, x.np)
+
+    def test_trig(self, session):
+        x = from_numpy(session, np.linspace(0, np.pi, 5), "(:)")
+        assert np.allclose(
+            x.sin().np ** 2 + x.cos().np ** 2, 1.0
+        )
+
+    def test_abs(self, session):
+        x = from_numpy(session, np.array([-1.0, 2.0]), "(:)")
+        assert np.allclose(x.abs().np, [1.0, 2.0])
+
+    def test_conj(self, session):
+        x = from_numpy(session, np.array([1 + 2j]), "(:)")
+        assert x.conj().np[0] == 1 - 2j
+
+
+class TestComparisonsAndMasks:
+    def test_comparison_returns_logical(self, session):
+        x = from_numpy(session, np.arange(5.0), "(:)")
+        m = x > 2.0
+        assert m.np.dtype == np.bool_
+        assert m.np.sum() == 2
+
+    def test_equals(self, session):
+        x = from_numpy(session, np.arange(3.0), "(:)")
+        assert (x.equals(1.0)).np.tolist() == [False, True, False]
+
+    def test_where_selects(self, session):
+        x = from_numpy(session, np.arange(5.0), "(:)")
+        out = where(x > 2.0, x, 0.0)
+        assert out.np.tolist() == [0, 0, 0, 3, 4]
+
+    def test_merge_fortran_argument_order(self, session):
+        x = from_numpy(session, np.arange(4.0), "(:)")
+        mask = x > 1.0
+        assert np.array_equal(
+            merge(x, -x, mask).np, np.where(mask.np, x.np, -x.np)
+        )
+
+    def test_assign_where_scalar(self, session):
+        x = from_numpy(session, np.arange(4.0), "(:)")
+        assign_where(x, x > 1.0, 0.0)
+        assert x.np.tolist() == [0, 1, 0, 0]
+
+    def test_assign_where_array(self, session):
+        x = from_numpy(session, np.arange(4.0), "(:)")
+        y = from_numpy(session, np.full(4, 9.0), "(:)")
+        assign_where(x, x < 2.0, y)
+        assert x.np.tolist() == [9, 9, 2, 3]
+
+    def test_assign_where_shape_mismatch(self, session):
+        x = from_numpy(session, np.arange(4.0), "(:)")
+        m = from_numpy(session, np.ones(3, dtype=bool), "(:)")
+        with pytest.raises(ValueError):
+            assign_where(x, m, 0.0)
+
+    def test_masked_reduction_charges_full_cost(self, session):
+        """HPF semantics: sum(v*v, mask) charges all elements."""
+        v = from_numpy(session, np.arange(8.0), "(:)")
+        mask = v > 3.0
+        before = session.recorder.total_flops
+        prod = v * v
+        _ = prod.sum(mask=mask)
+        charged = session.recorder.total_flops - before
+        assert charged >= 8 + 7  # full multiply + full reduction
+
+
+class TestSectionsAndLayout:
+    def test_section_slicing(self, session):
+        x = from_numpy(session, np.arange(12.0).reshape(3, 4), "(:serial,:)")
+        s = x[1:, :2]
+        assert s.shape == (2, 2)
+        assert s.layout.axes == (Axis.SERIAL, Axis.PARALLEL)
+
+    def test_section_integer_drops_axis(self, session):
+        x = from_numpy(session, np.arange(12.0).reshape(3, 4), "(:serial,:)")
+        row = x[1]
+        assert row.shape == (4,)
+        assert row.layout.axes == (Axis.PARALLEL,)
+
+    def test_section_is_view(self, session):
+        x = from_numpy(session, np.arange(4.0), "(:)")
+        x[1:3][0:1].data[0] = 42.0
+        assert x.np[1] == 42.0
+
+    def test_setitem(self, session):
+        x = zeros(session, (4,), "(:)")
+        x[1:3] = 5.0
+        assert x.np.tolist() == [0, 5, 5, 0]
+
+    def test_fancy_index_rejected(self, session):
+        x = from_numpy(session, np.arange(4.0), "(:)")
+        with pytest.raises(TypeError, match="gather"):
+            _ = x[np.array([0, 1])]
+
+    def test_relabel(self, session):
+        x = from_numpy(session, np.arange(6.0).reshape(2, 3), "(:,:)")
+        y = x.relabel("(:serial,:)")
+        assert y.layout.axes == (Axis.SERIAL, Axis.PARALLEL)
+        assert y.np is x.np
+
+
+class TestReductionMethods:
+    def test_sum_scalar(self, session):
+        x = from_numpy(session, np.arange(5.0), "(:)")
+        assert x.sum() == 10.0
+
+    def test_sum_axis(self, session):
+        x = from_numpy(session, np.arange(6.0).reshape(2, 3), "(:,:)")
+        assert np.array_equal(x.sum(axis=1).np, [3.0, 12.0])
+
+    def test_maxval_minval(self, session):
+        x = from_numpy(session, np.array([3.0, -1.0, 7.0]), "(:)")
+        assert x.maxval() == 7.0
+        assert x.minval() == -1.0
+
+    def test_maxloc_minloc(self, session):
+        x = from_numpy(session, np.array([[1.0, 9.0], [0.0, 2.0]]), "(:,:)")
+        assert x.maxloc() == (0, 1)
+        assert x.minloc() == (1, 0)

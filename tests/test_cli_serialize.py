@@ -1,0 +1,167 @@
+"""Tests for the CLI and report serialization."""
+
+import json
+
+import pytest
+
+from repro import Session, cm5
+from repro.cli import _parse_params, _parse_value, main
+from repro.metrics.serialize import (
+    CSV_FIELDS,
+    report_to_dict,
+    report_to_json,
+    reports_to_csv,
+)
+from repro.suite import run_benchmark
+
+
+class TestParamParsing:
+    def test_int(self):
+        assert _parse_value("42") == 42
+
+    def test_float(self):
+        assert _parse_value("0.5") == 0.5
+
+    def test_bool(self):
+        assert _parse_value("true") is True
+        assert _parse_value("False") is False
+
+    def test_string(self):
+        assert _parse_value("spread") == "spread"
+
+    def test_params(self):
+        assert _parse_params(["n=64", "variant=spread"]) == {
+            "n": 64,
+            "variant": "spread",
+        }
+
+    def test_bad_param(self):
+        with pytest.raises(SystemExit):
+            _parse_params(["oops"])
+
+
+class TestCLICommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "ellip-2d" in out
+        assert "qcd-kernel" in out
+
+    def test_list_verbose(self, capsys):
+        main(["list", "-v"])
+        out = capsys.readouterr().out
+        assert "layouts:" in out
+
+    def test_run(self, capsys):
+        assert main(["run", "diff-3d", "--param", "nx=8", "--param", "steps=2"]) == 0
+        out = capsys.readouterr().out
+        assert "busy time" in out
+        assert "CM-5/32" in out
+
+    def test_run_machine_options(self, capsys):
+        assert (
+            main(
+                [
+                    "run",
+                    "fft",
+                    "--machine",
+                    "cluster",
+                    "--nodes",
+                    "8",
+                    "--tier",
+                    "cmssl",
+                    "--param",
+                    "n=256",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "cluster/8" in out
+        assert "(cmssl)" in out
+
+    def test_run_json_output(self, tmp_path, capsys):
+        path = tmp_path / "report.json"
+        main(["run", "gmo", "--json", str(path), "--param", "ns=64", "--param", "ntr=8"])
+        capsys.readouterr()
+        data = json.loads(path.read_text())
+        assert data["benchmark"] == "gmo"
+        assert data["flop_count"] > 0
+
+    def test_tables_single(self, capsys):
+        assert main(["tables", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "=== Table 1 ===" in out
+        assert "basic" in out
+
+    def test_tables_structural_set(self, capsys):
+        assert main(["tables", "2", "3", "5", "7", "8"]) == 0
+        out = capsys.readouterr().out
+        for n in (2, 3, 5, 7, 8):
+            assert f"=== Table {n} ===" in out
+
+    def test_tables_bad_number(self):
+        with pytest.raises(SystemExit):
+            main(["tables", "9"])
+
+    def test_unknown_benchmark_errors(self):
+        with pytest.raises(KeyError):
+            main(["run", "not-a-benchmark"])
+
+
+class TestSerialization:
+    @pytest.fixture
+    def report(self):
+        return run_benchmark(
+            "ellip-2d", Session(cm5(16)), nx=8
+        )
+
+    def test_dict_fields(self, report):
+        record = report_to_dict(report)
+        assert record["benchmark"] == "ellip-2d"
+        assert record["comm_per_iteration"]["cshift"] == pytest.approx(4.0)
+        assert record["local_access"] == "N/A"
+        assert record["observables"]["residual"] < 1e-6
+        assert record["segments"][0]["name"] == "main_loop"
+
+    def test_json_roundtrip(self, report):
+        data = json.loads(report_to_json(report))
+        assert data["flop_count"] == report.flop_count
+
+    def test_csv(self, report):
+        other = run_benchmark("gmo", Session(cm5(16)), ns=64, ntr=8)
+        text = reports_to_csv([report, other])
+        lines = text.strip().splitlines()
+        assert lines[0] == ",".join(CSV_FIELDS)
+        assert len(lines) == 3
+        assert "ellip-2d" in lines[1] and "gmo" in lines[2]
+
+
+class TestCLISweep:
+    def test_parameter_sweep(self, capsys):
+        assert (
+            main(
+                [
+                    "sweep", "gmo", "--over", "ns", "--values", "64,128",
+                    "--param", "ntr=8",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "64" in out and "128" in out
+        assert "MFLOP/s" in out
+
+    def test_node_sweep_prints_efficiency(self, capsys):
+        assert (
+            main(
+                [
+                    "sweep", "diff-3d", "--over", "nodes",
+                    "--values", "4,16", "--param", "nx=10",
+                    "--param", "steps=2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "parallel efficiency" in out

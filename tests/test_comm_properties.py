@@ -1,0 +1,205 @@
+"""Property-based tests of collective-communication algebra.
+
+These pin the invariants downstream code relies on: shifts compose and
+invert, transposition is an involution, remapping changes cost but not
+value, spreads and reductions are adjoint, and stencils are linear.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import Session, cm5
+from repro.array import from_numpy
+from repro.comm.gather_scatter import gather, scatter
+from repro.comm.primitives import (
+    cshift,
+    eoshift,
+    reduce_array,
+    remap,
+    spread,
+    transpose,
+)
+from repro.comm.scan import scan, segmented_scan
+from repro.comm.stencil import stencil_apply
+
+
+def _session():
+    return Session(cm5(8))
+
+
+class TestShiftAlgebra:
+    @given(
+        n=st.integers(2, 48),
+        s1=st.integers(-50, 50),
+        s2=st.integers(-50, 50),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_cshift_composition(self, n, s1, s2):
+        """cshift(cshift(x, a), b) == cshift(x, a + b)."""
+        session = _session()
+        x = from_numpy(session, np.arange(float(n)), "(:)")
+        lhs = cshift(cshift(x, s1), s2)
+        rhs = cshift(x, s1 + s2)
+        assert np.array_equal(lhs.np, rhs.np)
+
+    @given(n=st.integers(2, 48), s=st.integers(-50, 50))
+    @settings(max_examples=30, deadline=None)
+    def test_cshift_inverse(self, n, s):
+        session = _session()
+        x = from_numpy(session, np.arange(float(n)), "(:)")
+        assert np.array_equal(cshift(cshift(x, s), -s).np, x.np)
+
+    @given(n=st.integers(4, 32), s=st.integers(1, 3))
+    @settings(max_examples=25, deadline=None)
+    def test_eoshift_matches_cshift_in_interior(self, n, s):
+        """Away from the wrapped boundary, eoshift == cshift."""
+        session = _session()
+        data = np.random.default_rng(n).standard_normal(n)
+        x = from_numpy(session, data, "(:)")
+        eo = eoshift(x, s).np
+        cs = cshift(x, s).np
+        assert np.array_equal(eo[: n - s], cs[: n - s])
+
+    @given(n=st.integers(2, 32))
+    @settings(max_examples=20, deadline=None)
+    def test_full_rotation_is_identity(self, n):
+        session = _session()
+        x = from_numpy(session, np.arange(float(n)), "(:)")
+        assert np.array_equal(cshift(x, n).np, x.np)
+
+
+class TestTransposeRemap:
+    @given(
+        rows=st.integers(1, 12),
+        cols=st.integers(1, 12),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_transpose_involution(self, rows, cols, seed):
+        session = _session()
+        data = np.random.default_rng(seed).standard_normal((rows, cols))
+        x = from_numpy(session, data, "(:,:)")
+        assert np.array_equal(transpose(transpose(x)).np, data)
+
+    @given(seed=st.integers(0, 50))
+    @settings(max_examples=15, deadline=None)
+    def test_remap_roundtrip_preserves_data(self, seed):
+        session = _session()
+        data = np.random.default_rng(seed).standard_normal((4, 6))
+        x = from_numpy(session, data, "(:,:)")
+        back = remap(remap(x, "(:serial,:)"), "(:,:)")
+        assert np.array_equal(back.np, data)
+        assert back.layout.spec_string() == "(:,:)"
+
+    def test_transpose_of_3d_permutation_composition(self):
+        session = _session()
+        data = np.random.default_rng(0).standard_normal((3, 4, 5))
+        x = from_numpy(session, data, "(:,:,:)")
+        once = transpose(x, (1, 2, 0))
+        twice = transpose(once, (1, 2, 0))
+        thrice = transpose(twice, (1, 2, 0))
+        assert np.array_equal(thrice.np, data)
+
+
+class TestSpreadReduceAdjoint:
+    @given(
+        n=st.integers(1, 24),
+        copies=st.integers(1, 8),
+        seed=st.integers(0, 50),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_reduce_of_spread_scales(self, n, copies, seed):
+        """sum(spread(x, k)) over the new axis == k * x."""
+        session = _session()
+        data = np.random.default_rng(seed).standard_normal(n)
+        x = from_numpy(session, data, "(:)")
+        s = spread(x, 0, copies)
+        back = reduce_array(s, "sum", axis=0)
+        assert np.allclose(back.np, copies * data)
+
+    @given(n=st.integers(1, 24), seed=st.integers(0, 50))
+    @settings(max_examples=20, deadline=None)
+    def test_max_of_spread_is_identity(self, n, seed):
+        session = _session()
+        data = np.random.default_rng(seed).standard_normal(n)
+        x = from_numpy(session, data, "(:)")
+        back = reduce_array(spread(x, 1, 5), "max", axis=1)
+        assert np.allclose(back.np, data)
+
+
+class TestScanReduceConsistency:
+    @given(values=st.lists(st.floats(-100, 100), min_size=1, max_size=48))
+    @settings(max_examples=30, deadline=None)
+    def test_last_scan_element_is_reduction(self, values):
+        session = _session()
+        arr = np.array(values)
+        x = from_numpy(session, arr, "(:)")
+        total = reduce_array(x, "sum")
+        prefix = scan(x, "sum")
+        assert prefix.np[-1] == pytest.approx(total, rel=1e-9, abs=1e-9)
+
+    @given(
+        values=st.lists(st.floats(-10, 10), min_size=2, max_size=40),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_segmented_scan_segment_totals(self, values, seed):
+        """Each segment's last scan value equals its direct sum."""
+        session = _session()
+        arr = np.array(values)
+        rng = np.random.default_rng(seed)
+        starts = rng.random(len(arr)) < 0.3
+        starts[0] = True
+        out = segmented_scan(from_numpy(session, arr, "(:)"), starts, "sum").np
+        idx = np.flatnonzero(starts)
+        bounds = np.append(idx, len(arr))
+        for lo, hi in zip(bounds[:-1], bounds[1:]):
+            assert out[hi - 1] == pytest.approx(arr[lo:hi].sum(), abs=1e-9)
+
+
+class TestGatherScatterDuality:
+    @given(n=st.integers(1, 48), seed=st.integers(0, 100))
+    @settings(max_examples=25, deadline=None)
+    def test_gather_after_scatter_permutation(self, n, seed):
+        session = _session()
+        rng = np.random.default_rng(seed)
+        perm = rng.permutation(n)
+        vals = rng.standard_normal(n)
+        dest = from_numpy(session, np.zeros(n), "(:)")
+        scatter(dest, perm, from_numpy(session, vals, "(:)"))
+        assert np.allclose(gather(dest, perm).np, vals)
+
+    @given(n=st.integers(1, 32), m=st.integers(1, 32), seed=st.integers(0, 50))
+    @settings(max_examples=25, deadline=None)
+    def test_scatter_add_mass_conservation(self, n, m, seed):
+        session = _session()
+        rng = np.random.default_rng(seed)
+        vals = rng.random(m)
+        dest = from_numpy(session, np.zeros(n), "(:)")
+        scatter(dest, rng.integers(0, n, m), from_numpy(session, vals, "(:)"), "add")
+        assert dest.np.sum() == pytest.approx(vals.sum())
+
+
+class TestStencilLinearity:
+    @given(seed=st.integers(0, 50), alpha=st.floats(-3, 3), beta=st.floats(-3, 3))
+    @settings(max_examples=20, deadline=None)
+    def test_linearity(self, seed, alpha, beta):
+        """S(a x + b y) == a S(x) + b S(y)."""
+        session = _session()
+        rng = np.random.default_rng(seed)
+        dx = rng.standard_normal((8, 8))
+        dy = rng.standard_normal((8, 8))
+        taps = {(0, 0): 2.0, (1, 0): -1.0, (0, -1): 0.5}
+        x = from_numpy(session, dx, "(:,:)")
+        y = from_numpy(session, dy, "(:,:)")
+        combo = from_numpy(session, alpha * dx + beta * dy, "(:,:)")
+        lhs = stencil_apply(combo, taps).np
+        rhs = alpha * stencil_apply(x, taps).np + beta * stencil_apply(y, taps).np
+        assert np.allclose(lhs, rhs, atol=1e-9)
+
+    def test_identity_stencil(self):
+        session = _session()
+        data = np.random.default_rng(1).standard_normal((6, 6))
+        x = from_numpy(session, data, "(:,:)")
+        assert np.allclose(stencil_apply(x, {(0, 0): 1.0}).np, data)

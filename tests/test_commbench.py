@@ -1,0 +1,98 @@
+"""Tests for the four communication benchmarks (paper §2)."""
+
+import pytest
+
+from repro import Session, cm5
+from repro.commbench.drivers import (
+    gather_benchmark,
+    reduction_benchmark,
+    scatter_benchmark,
+    transpose_benchmark,
+)
+from repro.metrics.patterns import CommPattern
+
+
+class TestGatherBench:
+    def test_runs_and_counts(self, session):
+        r = gather_benchmark(session, n=1024, repeats=4)
+        assert r.repeats == 4
+        counts = session.recorder.root.comm_counts()
+        assert counts[CommPattern.GATHER] == 4
+
+    def test_no_flops(self, session):
+        gather_benchmark(session, n=512, repeats=2)
+        assert session.recorder.total_flops == 0
+
+
+class TestScatterBench:
+    def test_permutation_preserves_values(self, session):
+        r = scatter_benchmark(session, n=1024, repeats=3, seed=1)
+        # The destination holds a permutation of the source: same sum.
+        assert r.checksum == pytest.approx(r.checksum)
+        counts = session.recorder.root.comm_counts()
+        assert counts[CommPattern.SCATTER] == 3
+
+    def test_no_flops(self, session):
+        scatter_benchmark(session, n=256, repeats=2)
+        assert session.recorder.total_flops == 0
+
+
+class TestReductionBench:
+    def test_reduction_has_flops(self, session):
+        """The one communication benchmark with a FLOP count."""
+        n, repeats = 1024, 5
+        reduction_benchmark(session, n=n, repeats=repeats)
+        assert session.recorder.total_flops == (n - 1) * repeats
+
+    def test_checksum_correct(self, session):
+        import numpy as np
+
+        r = reduction_benchmark(session, n=256, repeats=1, seed=3)
+        expected = np.random.default_rng(3).standard_normal(256).sum()
+        assert r.checksum == pytest.approx(expected)
+
+
+class TestTransposeBench:
+    def test_roundtrip_even_repeats(self, session):
+        r = transpose_benchmark(session, n=32, repeats=4)
+        assert r.elements == 32 * 32
+
+    def test_aapc_events(self, session):
+        transpose_benchmark(session, n=16, repeats=6)
+        counts = session.recorder.root.comm_counts()
+        assert counts[CommPattern.AAPC] == 6
+
+    def test_elapsed_grows_with_size(self):
+        small = Session(cm5(16))
+        transpose_benchmark(small, n=32, repeats=2)
+        large = Session(cm5(16))
+        transpose_benchmark(large, n=256, repeats=2)
+        assert large.recorder.elapsed_time > small.recorder.elapsed_time
+
+
+class TestIndexPatterns:
+    @pytest.mark.parametrize(
+        "pattern", ["uniform", "permutation", "banded", "hotspot"]
+    )
+    def test_gather_all_patterns_run(self, session, pattern):
+        r = gather_benchmark(session, n=512, repeats=2, pattern=pattern)
+        assert r.elements == 512
+
+    def test_unknown_pattern_rejected(self, session):
+        with pytest.raises(ValueError, match="unknown index pattern"):
+            gather_benchmark(session, n=64, repeats=1, pattern="zigzag")
+
+    def test_hotspot_costs_more_than_permutation(self):
+        times = {}
+        for pattern in ("permutation", "hotspot"):
+            s = Session(cm5(32))
+            gather_benchmark(s, n=4096, repeats=3, pattern=pattern)
+            times[pattern] = s.recorder.busy_time
+        assert times["hotspot"] > times["permutation"]
+
+    def test_scatter_permutation_preserves_multiset(self, session):
+        import numpy as np
+
+        r = scatter_benchmark(session, n=256, repeats=1, pattern="permutation")
+        expected = np.random.default_rng(0).standard_normal(256).sum()
+        assert r.checksum == pytest.approx(expected)

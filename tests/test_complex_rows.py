@@ -1,0 +1,98 @@
+"""Tests for the complex-arithmetic rows of Table 4.
+
+Table 4 gives separate FLOP formulas for complex data: matrix-vector
+``8 n m i`` (vs ``2 n m i`` real), fft counts in complex arithmetic
+throughout.  The DPF convention decomposes complex ops into real ones
+(add = 2, mul = 6), and these tests pin the resulting counts.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Session, cm5
+from repro.array import from_numpy
+from repro.comm.primitives import reduce_array
+from repro.linalg.matvec import make_operands, matvec
+
+
+class TestComplexMatvec:
+    def test_flops_match_paper_8nm(self, session):
+        """Table 4: c,z matvec row is 8 n m (6nm muls + 2(n-1)m adds)."""
+        n = m = 32
+        A, x = make_operands(session, 1, n=n, m=m, dtype=np.complex128)
+        before = session.recorder.total_flops
+        matvec(A, x)
+        charged = session.recorder.total_flops - before
+        assert charged == 6 * n * m + 2 * (n - 1) * m
+        assert charged == pytest.approx(8 * n * m, rel=0.07)
+
+    def test_complex_result_correct(self, session):
+        A, x = make_operands(session, 1, n=12, m=10, dtype=np.complex128, seed=3)
+        y = matvec(A, x)
+        assert np.allclose(y.np, A.np @ x.np)
+
+    def test_complex_memory_doubles(self, session):
+        make_operands(session, 1, n=16, m=16, dtype=np.complex128)
+        z_bytes = session.recorder.memory.total_bytes
+        s2 = Session(cm5(8))
+        make_operands(s2, 1, n=16, m=16, dtype=np.float64)
+        d_bytes = s2.recorder.memory.total_bytes
+        assert z_bytes == 2 * d_bytes  # z is 16 bytes vs d's 8
+
+
+class TestComplexReductions:
+    def test_complex_sum_value(self, session):
+        data = np.arange(6) * (1 + 2j)
+        x = from_numpy(session, data, "(:)")
+        assert reduce_array(x, "sum") == data.sum()
+
+    def test_any_all_semantics(self, session):
+        x = from_numpy(session, np.array([0.0, 1.0, 0.0]), "(:)")
+        assert reduce_array(x.astype(bool), "any") == True  # noqa: E712
+        assert reduce_array(x.astype(bool), "all") == False  # noqa: E712
+
+    def test_logical_reductions_charge_no_flops(self, session):
+        x = from_numpy(session, np.ones(64, dtype=bool), "(:)")
+        before = session.recorder.total_flops
+        reduce_array(x, "all")
+        assert session.recorder.total_flops == before
+
+
+class TestComplexElementwise:
+    def test_complex_division_cost(self, session):
+        x = from_numpy(session, np.ones(4, dtype=np.complex128), "(:)")
+        before = session.recorder.total_flops
+        _ = x / (1 + 1j)
+        charged = session.recorder.total_flops - before
+        # Complex division is far costlier than real (4/element).
+        assert charged > 4 * 4
+
+    def test_conj_involution(self, session):
+        data = np.array([1 + 2j, -3 + 0.5j])
+        x = from_numpy(session, data, "(:)")
+        assert np.array_equal(x.conj().conj().np, data)
+
+    def test_complex_abs_is_magnitude(self, session):
+        x = from_numpy(session, np.array([3 + 4j]), "(:)")
+        assert x.abs().np[0] == pytest.approx(5.0)
+
+
+class TestMemoryTags:
+    def test_mixed_tag_accounting(self, session):
+        session.declare_memory("ints", (100,), np.int64)
+        session.declare_memory("doubles", (100,), np.float64)
+        session.declare_memory("complexes", (100,), np.complex128)
+        tags = session.recorder.memory.by_tag()
+        from repro.metrics.memory import TypeTag
+
+        assert tags[TypeTag.INTEGER] == 400
+        assert tags[TypeTag.DOUBLE] == 800
+        assert tags[TypeTag.DOUBLE_COMPLEX] == 1600
+
+    def test_report_exposes_tags(self, session_factory):
+        from repro.suite import run_benchmark
+
+        rep = run_benchmark("fft", session_factory(), n=64)
+        from repro.metrics.memory import TypeTag
+
+        assert TypeTag.DOUBLE_COMPLEX in rep.memory_by_tag

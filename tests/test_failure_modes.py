@@ -1,0 +1,133 @@
+"""Failure-injection tests: invalid inputs and degenerate cases across
+the public API must fail loudly (or degrade gracefully), never return
+silently wrong results."""
+
+import numpy as np
+import pytest
+
+from repro import Session, cm5
+from repro.array import from_numpy, zeros
+from repro.array.distarray import DistArray
+from repro.comm.gather_scatter import gather, scatter
+from repro.comm.primitives import cshift, reduce_array, spread
+from repro.layout.spec import Layout, parse_layout
+from repro.suite import run_benchmark
+
+
+class TestDegenerateShapes:
+    def test_empty_array_ops(self, session):
+        x = zeros(session, (0,), "(:)")
+        y = x + 1.0
+        assert y.size == 0
+        assert session.recorder.total_flops == 0
+
+    def test_empty_reduce(self, session):
+        x = zeros(session, (0,), "(:)")
+        assert reduce_array(x, "sum") == 0.0
+
+    def test_single_element_cshift(self, session):
+        x = from_numpy(session, np.array([7.0]), "(:)")
+        assert cshift(x, 5).np.tolist() == [7.0]
+
+    def test_scalar_rank_layout(self):
+        layout = Layout((), ())
+        assert layout.size == 1
+        assert layout.critical_fraction(8) == 1.0
+
+    def test_spread_zero_copies_like_empty(self, session):
+        x = from_numpy(session, np.arange(3.0), "(:)")
+        out = spread(x, 0, 0)
+        assert out.shape == (0, 3)
+
+
+class TestBadIndices:
+    def test_gather_out_of_bounds(self, session):
+        src = from_numpy(session, np.arange(4.0), "(:)")
+        with pytest.raises(IndexError):
+            gather(src, np.array([10]))
+
+    def test_scatter_out_of_bounds(self, session):
+        dest = zeros(session, (4,), "(:)")
+        vals = from_numpy(session, np.ones(1), "(:)")
+        with pytest.raises(IndexError):
+            scatter(dest, np.array([9]), vals)
+
+
+class TestNumericalDegeneracy:
+    def test_lu_zero_matrix(self, session):
+        from repro.linalg.lu import lu_factor
+
+        M = DistArray(
+            np.zeros((1, 4, 4)), parse_layout("(:,:,:)", (1, 4, 4)), session
+        )
+        with pytest.raises(np.linalg.LinAlgError):
+            lu_factor(M)
+
+    def test_qr_zero_column_handled(self, session):
+        """A zero column yields tau = 0 but the factorization finishes."""
+        from repro.linalg.qr import qr_factor
+
+        M = np.ones((6, 3))
+        M[:, 1] = 0.0
+        A = DistArray(M, parse_layout("(:,:)", (6, 3)), session)
+        fact = qr_factor(A)
+        assert fact.tau.shape == (3,)
+
+    def test_cg_zero_rhs_converges_immediately(self, session):
+        from repro.linalg.conj_grad import cg_tridiagonal
+
+        f = DistArray(np.zeros(32), parse_layout("(:)", (32,)), session)
+        res = cg_tridiagonal(session, f)
+        assert res.iterations == 0
+        assert np.allclose(res.x.np, 0.0)
+
+    def test_pcr_weak_diagonal_still_consistent(self, session):
+        """PCR on a barely-dominant system still matches the dense
+        reference (accuracy, not stability, is the contract)."""
+        from repro.linalg.pcr import make_systems, pcr_solve, reference_solve
+
+        a, b, c, f = make_systems(session, n=16, seed=4)
+        b.data[...] = 2.05  # |b| slightly > |a| + |c|
+        x = pcr_solve(a, b, c, f)
+        ref = reference_solve(a.np, b.np, c.np, f.np)
+        assert np.allclose(x.np, ref, atol=1e-6)
+
+
+class TestBenchmarkParameterValidation:
+    def test_nbody_bad_variant(self, session):
+        with pytest.raises(ValueError):
+            run_benchmark("n-body", session, n=8, variant="nope")
+
+    def test_matvec_bad_variant(self, session):
+        with pytest.raises(ValueError):
+            run_benchmark("matrix-vector", session, variant=99)
+
+    def test_fft_non_power_of_two(self, session):
+        with pytest.raises(ValueError):
+            run_benchmark("fft", session, n=100)
+
+    def test_jacobi_odd_size(self, session):
+        with pytest.raises(ValueError):
+            run_benchmark("jacobi", session, n=7)
+
+    def test_unknown_kwarg_rejected(self, session):
+        with pytest.raises(TypeError):
+            run_benchmark("gmo", session, bogus_param=1)
+
+
+class TestRecorderMisuse:
+    def test_report_on_empty_session(self, session):
+        from repro.metrics.access import LocalAccess
+        from repro.metrics.report import PerfReport
+
+        rep = PerfReport.from_recorder(
+            "empty", "basic", session.recorder,
+            problem_size=1, local_access=LocalAccess.NA,
+        )
+        assert rep.flop_count == 0
+        assert rep.busy_time == 0.0
+
+    def test_negative_region_iterations(self, session):
+        with pytest.raises(ValueError):
+            with session.region("bad", iterations=0):
+                pass

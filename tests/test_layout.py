@@ -1,0 +1,190 @@
+"""Tests for the HPF layout algebra (Tables 2 and 5 notation)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.layout.spec import Axis, Layout, parse_layout
+from repro.machine.model import square_ish_grid
+
+
+class TestParsing:
+    def test_parse_all_parallel(self):
+        layout = parse_layout("(:,:)", (4, 8))
+        assert layout.axes == (Axis.PARALLEL, Axis.PARALLEL)
+
+    def test_parse_serial_marker(self):
+        layout = parse_layout("(:serial,:,:)", (2, 4, 8))
+        assert layout.axes == (Axis.SERIAL, Axis.PARALLEL, Axis.PARALLEL)
+
+    def test_parse_without_parens(self):
+        layout = parse_layout(":serial,:", (3, 5))
+        assert layout.axes == (Axis.SERIAL, Axis.PARALLEL)
+
+    def test_parse_with_spaces(self):
+        layout = parse_layout("( :serial , : )", (3, 5))
+        assert layout.axes == (Axis.SERIAL, Axis.PARALLEL)
+
+    def test_rank_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            parse_layout("(:,:)", (4,))
+
+    def test_bad_entry_raises(self):
+        with pytest.raises(ValueError):
+            parse_layout("(:block)", (4,))
+
+    def test_spec_string_roundtrip(self):
+        for spec in ("(:)", "(:serial,:)", "(:,:serial,:)", "(:serial,:serial,:)"):
+            shape = tuple(4 for _ in spec.split(","))
+            layout = parse_layout(spec, shape)
+            again = parse_layout(layout.spec_string(), shape)
+            assert again.axes == layout.axes
+
+
+class TestGeometry:
+    def test_size_and_partition(self):
+        layout = parse_layout("(:serial,:,:)", (3, 8, 16))
+        assert layout.size == 3 * 8 * 16
+        assert layout.parallel_axes == (1, 2)
+        assert layout.serial_axes == (0,)
+        assert layout.parallel_size == 128
+        assert layout.serial_size == 3
+
+    def test_proc_grid_serial_axes_get_one(self):
+        layout = parse_layout("(:serial,:)", (4, 64))
+        grid = layout.proc_grid(8)
+        assert grid[0] == 1
+        assert grid[1] == 8
+
+    def test_proc_grid_never_exceeds_extent(self):
+        layout = parse_layout("(:,:)", (2, 256))
+        grid = layout.proc_grid(32)
+        assert grid[0] <= 2
+        assert grid[1] <= 256
+
+    def test_proc_grid_single_node(self):
+        layout = parse_layout("(:,:)", (8, 8))
+        assert layout.proc_grid(1) == (1, 1)
+
+    def test_max_local_shape_ceil(self):
+        layout = parse_layout("(:)", (10,))
+        grid = layout.proc_grid(4)
+        assert layout.max_local_shape(4)[0] == math.ceil(10 / grid[0])
+
+    def test_critical_fraction_bounds(self):
+        layout = parse_layout("(:,:)", (64, 64))
+        f = layout.critical_fraction(16)
+        assert 1.0 / 16 <= f <= 1.0
+
+    def test_critical_fraction_single_node_is_one(self):
+        layout = parse_layout("(:,:)", (8, 8))
+        assert layout.critical_fraction(1) == 1.0
+
+    def test_nodes_used_small_array(self):
+        layout = parse_layout("(:)", (2,))
+        assert layout.nodes_used(64) <= 2
+
+    @given(
+        shape=st.tuples(st.integers(1, 64), st.integers(1, 64)),
+        nodes=st.integers(1, 128),
+    )
+    def test_proc_grid_product_bounded_by_nodes(self, shape, nodes):
+        layout = parse_layout("(:,:)", shape)
+        grid = layout.proc_grid(nodes)
+        assert math.prod(grid) <= nodes
+
+    @given(
+        n=st.integers(1, 512),
+        nodes=st.integers(1, 64),
+    )
+    def test_local_blocks_cover_array(self, n, nodes):
+        layout = parse_layout("(:)", (n,))
+        p = layout.proc_grid(nodes)[0]
+        block = layout.block_size(nodes, 0)
+        assert p * block >= n
+
+
+class TestShiftVolumes:
+    def test_serial_axis_shift_is_free(self):
+        layout = parse_layout("(:serial,:)", (8, 64))
+        assert layout.shift_network_elements(16, 0, 1) == 0
+
+    def test_zero_shift_is_free(self):
+        layout = parse_layout("(:)", (64,))
+        assert layout.shift_network_elements(16, 0, 0) == 0
+
+    def test_full_cycle_shift_is_free(self):
+        layout = parse_layout("(:)", (64,))
+        assert layout.shift_network_elements(16, 0, 64) == 0
+
+    def test_unit_shift_moves_boundary(self):
+        layout = parse_layout("(:)", (64,))
+        moved = layout.shift_network_elements(16, 0, 1)
+        # 16 blocks of 4: one element per block crosses = 16 elements.
+        assert moved == 16
+
+    def test_shift_symmetric_in_direction(self):
+        layout = parse_layout("(:,:)", (32, 32))
+        assert layout.shift_network_elements(8, 0, 3) == layout.shift_network_elements(
+            8, 0, -3
+        )
+
+    def test_large_shift_moves_everything(self):
+        layout = parse_layout("(:)", (64,))
+        block = layout.block_size(16, 0)
+        moved = layout.shift_network_elements(16, 0, block)
+        assert moved == 64
+
+    def test_single_node_no_traffic(self):
+        layout = parse_layout("(:)", (64,))
+        assert layout.shift_network_elements(1, 0, 5) == 0
+
+    @given(
+        n=st.sampled_from([16, 32, 64, 128]),
+        nodes=st.sampled_from([1, 2, 4, 8, 16]),
+        shift=st.integers(-200, 200),
+    )
+    def test_shift_volume_bounded_by_size(self, n, nodes, shift):
+        layout = parse_layout("(:)", (n,))
+        moved = layout.shift_network_elements(nodes, 0, shift)
+        assert 0 <= moved <= n
+
+
+class TestReduceVolumes:
+    def test_reduce_serial_axis_is_free(self):
+        layout = parse_layout("(:serial,:)", (8, 64))
+        assert layout.reduce_network_elements(16, (0,)) == 0
+
+    def test_reduce_parallel_axis_counts_results(self):
+        layout = parse_layout("(:,:)", (32, 64))
+        elems = layout.reduce_network_elements(16, (1,))
+        assert elems == 32  # one partial result per row
+
+    def test_full_reduction_single_result(self):
+        layout = parse_layout("(:,:)", (32, 32))
+        assert layout.reduce_network_elements(16, (0, 1)) == 1
+
+    def test_off_node_fraction_range(self):
+        layout = parse_layout("(:)", (1024,))
+        f = layout.off_node_fraction(32)
+        assert 0.0 < f < 1.0
+        assert layout.off_node_fraction(1) == 0.0
+
+
+class TestSquareIshGrid:
+    def test_product_equals_nodes(self):
+        for nodes in (1, 2, 6, 12, 32, 60, 128):
+            for nd in (1, 2, 3):
+                grid = square_ish_grid(nodes, nd)
+                assert math.prod(grid) == nodes
+
+    def test_descending_order(self):
+        grid = square_ish_grid(24, 3)
+        assert list(grid) == sorted(grid, reverse=True)
+
+    def test_invalid_raises(self):
+        with pytest.raises(ValueError):
+            square_ish_grid(0, 2)
+        with pytest.raises(ValueError):
+            square_ish_grid(4, 0)

@@ -1,0 +1,106 @@
+"""Tests for the CYCLIC distribution extension (HPF DISTRIBUTE)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import Session, cm5
+from repro.array import from_numpy
+from repro.comm.primitives import cshift, reduce_array
+from repro.layout.spec import Axis, Distribution, Layout, parse_layout
+
+
+class TestParsing:
+    def test_cyclic_entry(self):
+        layout = parse_layout("(:cyclic,:)", (8, 8))
+        assert layout.axes == (Axis.PARALLEL, Axis.PARALLEL)
+        assert layout.dist == (Distribution.CYCLIC, Distribution.BLOCK)
+
+    def test_spec_string_roundtrip(self):
+        layout = parse_layout("(:serial,:cyclic,:)", (2, 8, 8))
+        assert layout.spec_string() == "(:serial,:cyclic,:)"
+        again = parse_layout(layout.spec_string(), (2, 8, 8))
+        assert again.dist == layout.dist
+
+    def test_default_dist_is_block(self):
+        layout = parse_layout("(:serial,:)", (4, 8))
+        assert layout.dist == (Distribution.NONE, Distribution.BLOCK)
+
+    def test_serial_axis_cannot_be_cyclic(self):
+        with pytest.raises(ValueError):
+            Layout((4,), (Axis.SERIAL,), (Distribution.CYCLIC,))
+
+    def test_parallel_axis_needs_distribution(self):
+        with pytest.raises(ValueError):
+            Layout((4,), (Axis.PARALLEL,), (Distribution.NONE,))
+
+    def test_rank_mismatch(self):
+        with pytest.raises(ValueError):
+            Layout((4, 4), (Axis.PARALLEL, Axis.PARALLEL), (Distribution.BLOCK,))
+
+
+class TestShiftVolumes:
+    def test_cyclic_unit_shift_moves_everything(self):
+        block = parse_layout("(:)", (64,))
+        cyclic = parse_layout("(:cyclic)", (64,))
+        assert cyclic.shift_network_elements(16, 0, 1) == 64
+        assert block.shift_network_elements(16, 0, 1) == 16
+
+    def test_cyclic_multiple_of_p_shift_is_free(self):
+        cyclic = parse_layout("(:cyclic)", (64,))
+        p = cyclic.proc_grid(16)[0]
+        assert cyclic.shift_network_elements(16, 0, p) == 0
+
+    def test_cyclic_zero_shift_free(self):
+        cyclic = parse_layout("(:cyclic)", (64,))
+        assert cyclic.shift_network_elements(16, 0, 0) == 0
+
+    def test_single_node_cyclic_free(self):
+        cyclic = parse_layout("(:cyclic)", (64,))
+        assert cyclic.shift_network_elements(1, 0, 3) == 0
+
+    @given(shift=st.integers(-64, 64), nodes=st.sampled_from([2, 4, 8]))
+    @settings(max_examples=40, deadline=None)
+    def test_cyclic_volume_all_or_nothing(self, shift, nodes):
+        cyclic = parse_layout("(:cyclic)", (64,))
+        moved = cyclic.shift_network_elements(nodes, 0, shift)
+        assert moved in (0, 64)
+
+
+class TestSemantics:
+    """Data values are distribution-independent; only costs change."""
+
+    def test_cshift_same_result_both_distributions(self, session):
+        data = np.arange(16.0)
+        b = cshift(from_numpy(session, data, "(:)"), 3)
+        c = cshift(from_numpy(session, data, "(:cyclic)"), 3)
+        assert np.array_equal(b.np, c.np)
+
+    def test_reduce_same_result(self, session):
+        data = np.arange(10.0)
+        b = reduce_array(from_numpy(session, data, "(:)"), "sum")
+        c = reduce_array(from_numpy(session, data, "(:cyclic)"), "sum")
+        assert b == c
+
+    def test_cyclic_cshift_costs_more(self):
+        data = np.arange(1 << 14, dtype=float)
+        s_block = Session(cm5(32))
+        cshift(from_numpy(s_block, data, "(:)"), 1)
+        s_cyc = Session(cm5(32))
+        cshift(from_numpy(s_cyc, data, "(:cyclic)"), 1)
+        assert (
+            s_cyc.recorder.root.network_bytes
+            > s_block.recorder.root.network_bytes
+        )
+        assert s_cyc.recorder.busy_time > s_block.recorder.busy_time
+
+    def test_stencil_on_cyclic_layout(self, session):
+        """A 5-point stencil works on cyclic layouts but pays full
+        traffic — the ablation the benchmark harness quantifies."""
+        from repro.comm.stencil import stencil_apply
+
+        data = np.arange(64.0).reshape(8, 8)
+        taps = {(0, 0): 1.0, (1, 0): 0.25, (-1, 0): 0.25}
+        b = stencil_apply(from_numpy(session, data, "(:,:)"), taps)
+        c = stencil_apply(from_numpy(session, data, "(:cyclic,:cyclic)"), taps)
+        assert np.allclose(b.np, c.np)

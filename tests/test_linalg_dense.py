@@ -1,0 +1,231 @@
+"""Tests for the dense linear-algebra suites: matvec, LU, QR, Gauss-Jordan."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import Session, cm5
+from repro.linalg.gauss_jordan import gauss_jordan_solve
+from repro.linalg.gauss_jordan import make_system as gj_system
+from repro.linalg.lu import LUFactorization, lu_factor, lu_solve, make_systems
+from repro.linalg.matvec import VARIANT_LAYOUTS, make_operands, matvec
+from repro.linalg.qr import make_system as qr_system
+from repro.linalg.qr import qr_factor, qr_solve
+from repro.metrics.patterns import CommPattern
+
+
+class TestMatvec:
+    @pytest.mark.parametrize("variant", [1, 2, 3, 4])
+    def test_all_variants_correct(self, session, variant):
+        A, x = make_operands(session, variant, n=12, m=9, instances=3)
+        y = matvec(A, x)
+        ref = np.einsum("...mn,...n->...m", A.np, x.np)
+        assert np.allclose(y.np, ref)
+
+    def test_layout_specs_match_table2(self):
+        assert VARIANT_LAYOUTS[1] == ("(:)", "(:,:)")
+        assert VARIANT_LAYOUTS[3] == ("(:serial,:)", "(:serial,:serial,:)")
+
+    def test_flop_count_leading_order(self, session):
+        """Table 4: 2 n m FLOPs per multiply."""
+        n, m = 32, 24
+        A, x = make_operands(session, 1, n=n, m=m)
+        before = session.recorder.total_flops
+        matvec(A, x)
+        charged = session.recorder.total_flops - before
+        assert charged == n * m + m * (n - 1)  # nm muls + m(n-1) adds
+
+    def test_comm_one_broadcast_one_reduction(self, session):
+        A, x = make_operands(session, 1, n=16, m=16)
+        matvec(A, x)
+        counts = session.recorder.root.comm_counts()
+        assert counts[CommPattern.BROADCAST] == 1
+        assert counts[CommPattern.REDUCTION] == 1
+
+    def test_complex_charges_more(self):
+        s1 = Session(cm5(8))
+        A, x = make_operands(s1, 1, n=8, m=8)
+        matvec(A, x)
+        s2 = Session(cm5(8))
+        A2, x2 = make_operands(s2, 1, n=8, m=8, dtype=np.complex128)
+        matvec(A2, x2)
+        assert s2.recorder.total_flops > s1.recorder.total_flops
+
+    def test_bad_variant(self, session):
+        with pytest.raises(ValueError):
+            make_operands(session, 5, n=4)
+
+    def test_shape_mismatch(self, session):
+        A, _ = make_operands(session, 1, n=8, m=8)
+        _, x = make_operands(session, 1, n=4, m=4)
+        with pytest.raises(ValueError):
+            matvec(A, x)
+
+
+class TestLU:
+    def test_factor_solve_roundtrip(self, session):
+        A, B = make_systems(session, n=16, instances=2, nrhs=3)
+        X = lu_solve(lu_factor(A), B)
+        resid = np.einsum("inm,imr->inr", A.np, X.np) - B.np
+        assert np.abs(resid).max() < 1e-8
+
+    def test_matches_numpy_solve(self, session):
+        A, B = make_systems(session, n=10, instances=1, nrhs=1, seed=3)
+        X = lu_solve(lu_factor(A), B)
+        ref = np.linalg.solve(A.np[0], B.np[0])
+        assert np.allclose(X.np[0], ref)
+
+    def test_pivoting_handles_zero_leading_entry(self, session):
+        from repro.array.distarray import DistArray
+        from repro.layout.spec import parse_layout
+
+        M = np.array([[[0.0, 1.0], [1.0, 0.0]]])
+        A = DistArray(M, parse_layout("(:,:,:)", M.shape), session)
+        fact = lu_factor(A)
+        B = DistArray(
+            np.array([[[1.0], [2.0]]]), parse_layout("(:,:,:)", (1, 2, 1)), session
+        )
+        X = lu_solve(fact, B)
+        assert np.allclose(M[0] @ X.np[0], B.np[0])
+
+    def test_singular_raises(self, session):
+        from repro.array.distarray import DistArray
+        from repro.layout.spec import parse_layout
+
+        M = np.zeros((1, 3, 3))
+        A = DistArray(M, parse_layout("(:,:,:)", M.shape), session)
+        with pytest.raises(np.linalg.LinAlgError):
+            lu_factor(A)
+
+    def test_factor_comm_per_iteration(self, session):
+        """Table 4: 1 Reduction + 1 Broadcast per factor iteration."""
+        A, _ = make_systems(session, n=24)
+        lu_factor(A)
+        factor = session.recorder.root.find("factor")
+        per = factor.comm_counts_per_iteration()
+        assert per[CommPattern.REDUCTION] == pytest.approx(1.0)
+        assert per[CommPattern.BROADCAST] == pytest.approx(1.0, abs=0.05)
+
+    def test_factor_flops_cubic(self, session):
+        n = 32
+        A, _ = make_systems(session, n=n)
+        lu_factor(A)
+        total = session.recorder.root.find("factor").total_flops
+        assert total == pytest.approx(2 * n**3 / 3, rel=0.25)
+
+    def test_nonsquare_rejected(self, session):
+        from repro.array.distarray import DistArray
+        from repro.layout.spec import parse_layout
+
+        M = np.zeros((1, 3, 4))
+        with pytest.raises(ValueError):
+            lu_factor(DistArray(M, parse_layout("(:,:,:)", M.shape), session))
+
+    def test_rank2_rejected(self, session):
+        from repro.array.distarray import DistArray
+        from repro.layout.spec import parse_layout
+
+        M = np.eye(3)
+        with pytest.raises(ValueError):
+            lu_factor(DistArray(M, parse_layout("(:,:)", M.shape), session))
+
+    @given(n=st.integers(2, 12), seed=st.integers(0, 50))
+    @settings(max_examples=15, deadline=None)
+    def test_random_systems_solve(self, n, seed):
+        session = Session(cm5(8))
+        A, B = make_systems(session, n=n, seed=seed)
+        X = lu_solve(lu_factor(A), B)
+        assert np.allclose(A.np[0] @ X.np[0], B.np[0], atol=1e-7)
+
+
+class TestQR:
+    def test_least_squares(self, session):
+        A, b = qr_system(session, m=20, n=8, seed=1)
+        x = qr_solve(qr_factor(A), b)
+        ref, *_ = np.linalg.lstsq(A.np, b.np, rcond=None)
+        assert np.allclose(x.np, ref, atol=1e-8)
+
+    def test_square_system_exact(self, session):
+        A, b = qr_system(session, m=10, n=10, seed=2)
+        x = qr_solve(qr_factor(A), b)
+        assert np.allclose(A.np @ x.np, b.np, atol=1e-7)
+
+    def test_r_is_upper_triangular(self, session):
+        A, _ = qr_system(session, m=12, n=6)
+        fact = qr_factor(A)
+        R = np.triu(fact.qr.np[:6, :6])
+        # Orthogonality check: |R^T R| == |A^T A|.
+        assert np.allclose(R.T @ R, A.np.T @ A.np, atol=1e-8)
+
+    def test_multiple_rhs(self, session):
+        A, b = qr_system(session, m=15, n=5, nrhs=3, seed=4)
+        x = qr_solve(qr_factor(A), b)
+        ref, *_ = np.linalg.lstsq(A.np, b.np, rcond=None)
+        assert np.allclose(x.np, ref, atol=1e-8)
+
+    def test_m_less_than_n_rejected(self, session):
+        A, _ = qr_system(session, m=10, n=10)
+        from repro.array.distarray import DistArray
+        from repro.layout.spec import parse_layout
+
+        M = np.ones((3, 5))
+        with pytest.raises(ValueError):
+            qr_factor(DistArray(M, parse_layout("(:,:)", M.shape), session))
+
+    def test_factor_comm_counts(self, session):
+        """Table 4: 2 Reductions, 2 Broadcasts per factor iteration."""
+        A, _ = qr_system(session, m=24, n=12)
+        qr_factor(A)
+        per = session.recorder.root.find("factor").comm_counts_per_iteration()
+        assert per[CommPattern.REDUCTION] == pytest.approx(2.0)
+        assert per[CommPattern.BROADCAST] == pytest.approx(2.0)
+
+
+class TestGaussJordan:
+    def test_solves(self, session):
+        A, b = gj_system(session, 12)
+        x = gauss_jordan_solve(A, b)
+        assert np.allclose(A.np @ x.np, b.np, atol=1e-8)
+
+    def test_comm_budget_per_iteration(self, session):
+        """Table 4: 1 Reduction, 3 Sends, 2 Gets, 2 Broadcasts."""
+        A, b = gj_system(session, 16)
+        gauss_jordan_solve(A, b)
+        per = session.recorder.root.find("main_loop").comm_counts_per_iteration()
+        assert per[CommPattern.REDUCTION] == 1.0
+        assert per[CommPattern.SEND] == 3.0
+        assert per[CommPattern.GET] == 2.0
+        assert per[CommPattern.BROADCAST] == 2.0
+
+    def test_flops_per_iteration_2n2(self, session):
+        n = 24
+        A, b = gj_system(session, n)
+        gauss_jordan_solve(A, b)
+        per = session.recorder.root.find("main_loop").flops_per_iteration
+        assert per == pytest.approx(2 * n * n, rel=0.3)
+
+    def test_singular_raises(self, session):
+        from repro.array.distarray import DistArray
+        from repro.layout.spec import parse_layout
+
+        A = DistArray(np.zeros((3, 3)), parse_layout("(:,:)", (3, 3)), session)
+        b = DistArray(np.ones(3), parse_layout("(:)", (3,)), session)
+        with pytest.raises(np.linalg.LinAlgError):
+            gauss_jordan_solve(A, b)
+
+    def test_nonsquare_rejected(self, session):
+        from repro.array.distarray import DistArray
+        from repro.layout.spec import parse_layout
+
+        A = DistArray(np.ones((3, 4)), parse_layout("(:,:)", (3, 4)), session)
+        b = DistArray(np.ones(3), parse_layout("(:)", (3,)), session)
+        with pytest.raises(ValueError):
+            gauss_jordan_solve(A, b)
+
+    @given(n=st.integers(2, 16), seed=st.integers(0, 30))
+    @settings(max_examples=15, deadline=None)
+    def test_random_solve(self, n, seed):
+        session = Session(cm5(8))
+        A, b = gj_system(session, n, seed=seed)
+        x = gauss_jordan_solve(A, b)
+        assert np.allclose(A.np @ x.np, b.np, atol=1e-6)

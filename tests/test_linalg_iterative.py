@@ -1,0 +1,241 @@
+"""Tests for PCR, conjugate gradients, Jacobi eigenanalysis and FFT."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import Session, cm5
+from repro.array import from_numpy
+from repro.linalg.conj_grad import cg_tridiagonal, make_rhs
+from repro.linalg.conj_grad import reference_solve as cg_reference
+from repro.linalg.fft import fft, fft2, fft3, fft_along, ifft
+from repro.linalg.jacobi_eigen import jacobi_eigen, make_matrix
+from repro.linalg.pcr import make_systems, pcr_solve
+from repro.linalg.pcr import reference_solve as pcr_reference
+from repro.metrics.patterns import CommPattern
+
+
+class TestPCR:
+    @pytest.mark.parametrize("variant,instances", [(1, None), (2, (3,)), (3, (2, 2))])
+    def test_layout_variants_solve(self, session, variant, instances):
+        a, b, c, f = make_systems(session, n=32, instances=instances, nrhs=2)
+        x = pcr_solve(a, b, c, f)
+        ref = pcr_reference(a.np, b.np, c.np, f.np)
+        assert np.allclose(x.np, ref, atol=1e-8)
+
+    def test_periodic_systems(self, session):
+        a, b, c, f = make_systems(session, n=16, periodic=True, seed=5)
+        x = pcr_solve(a, b, c, f)
+        ref = pcr_reference(a.np, b.np, c.np, f.np)
+        assert np.allclose(x.np, ref, atol=1e-8)
+
+    def test_cshift_budget(self, session):
+        """Table 4: 2r + 4 CSHIFTs per reduction step."""
+        r = 3
+        a, b, c, f = make_systems(session, n=64, nrhs=r)
+        pcr_solve(a, b, c, f)
+        per = session.recorder.root.find("main_loop").comm_counts_per_iteration()
+        assert per[CommPattern.CSHIFT] == pytest.approx(2 * r + 4)
+
+    def test_iteration_count_logarithmic(self, session):
+        a, b, c, f = make_systems(session, n=128)
+        pcr_solve(a, b, c, f)
+        assert session.recorder.root.find("main_loop").iterations == 7
+
+    def test_shape_mismatch_raises(self, session):
+        a, b, c, f = make_systems(session, n=8)
+        a2, *_ = make_systems(session, n=16)
+        with pytest.raises(ValueError):
+            pcr_solve(a2, b, c, f)
+
+    @given(n=st.sampled_from([4, 8, 16, 32]), seed=st.integers(0, 30))
+    @settings(max_examples=15, deadline=None)
+    def test_random_diagonally_dominant(self, n, seed):
+        session = Session(cm5(8))
+        a, b, c, f = make_systems(session, n=n, seed=seed)
+        x = pcr_solve(a, b, c, f)
+        ref = pcr_reference(a.np, b.np, c.np, f.np)
+        assert np.allclose(x.np, ref, atol=1e-7)
+
+
+class TestConjGrad:
+    def test_symmetric_solve(self, session):
+        f = make_rhs(session, 64, seed=1)
+        res = cg_tridiagonal(session, f, lower=-1.0, diag=4.0, upper=-1.0)
+        ref = cg_reference(64, -1.0, 4.0, -1.0, f.np)
+        assert np.allclose(res.x.np, ref, atol=1e-7)
+
+    def test_nonsymmetric_solve_cgnr(self, session):
+        f = make_rhs(session, 48, seed=2)
+        res = cg_tridiagonal(session, f, lower=-1.5, diag=4.0, upper=-0.5)
+        ref = cg_reference(48, -1.5, 4.0, -0.5, f.np)
+        assert np.allclose(res.x.np, ref, atol=1e-6)
+
+    def test_comm_budget(self, session):
+        """Table 4: 4 CSHIFTs and 3 Reductions per iteration."""
+        f = make_rhs(session, 128)
+        cg_tridiagonal(session, f)
+        per = session.recorder.root.find("main_loop").comm_counts_per_iteration()
+        assert per[CommPattern.CSHIFT] == pytest.approx(4.0, abs=0.2)
+        assert per[CommPattern.REDUCTION] == pytest.approx(3.0, abs=0.2)
+
+    def test_memory_is_five_vectors(self, session):
+        """Table 4: 40 n bytes double = five n-vectors."""
+        n = 64
+        f = make_rhs(session, n)
+        before = session.recorder.memory.total_bytes
+        cg_tridiagonal(session, f)
+        assert session.recorder.memory.total_bytes - before == 40 * n
+
+    def test_converges_quickly_for_dominant_diag(self, session):
+        f = make_rhs(session, 256)
+        res = cg_tridiagonal(session, f, diag=10.0)
+        assert res.iterations < 30
+        assert res.residual_norm < 1e-9
+
+
+class TestJacobiEigen:
+    def test_eigenvalues(self, session):
+        A = make_matrix(session, 12, seed=0)
+        res = jacobi_eigen(A)
+        ref = np.sort(np.linalg.eigvalsh(A.np))
+        assert np.allclose(res.eigenvalues, ref, atol=1e-8)
+
+    def test_diagonal_matrix_immediate(self, session):
+        from repro.array.distarray import DistArray
+        from repro.layout.spec import parse_layout
+
+        D = np.diag([3.0, 1.0, 4.0, 1.5])
+        A = DistArray(D, parse_layout("(:,:)", D.shape), session)
+        res = jacobi_eigen(A)
+        assert np.allclose(res.eigenvalues, np.sort(np.diag(D)))
+
+    def test_comm_budget(self, session):
+        """Table 4: 4 CSHIFTs, 2 Sends, 4 Broadcasts per iteration."""
+        A = make_matrix(session, 8, seed=1)
+        jacobi_eigen(A)
+        per = session.recorder.root.find("main_loop").comm_counts_per_iteration()
+        assert per[CommPattern.CSHIFT] == pytest.approx(4.0)
+        assert per[CommPattern.SEND] == pytest.approx(2.0)
+        assert per[CommPattern.BROADCAST] == pytest.approx(4.0)
+
+    def test_odd_size_rejected(self, session):
+        A = make_matrix(session, 8)
+        from repro.array.distarray import DistArray
+        from repro.layout.spec import parse_layout
+
+        M = np.eye(5)
+        with pytest.raises(ValueError):
+            jacobi_eigen(DistArray(M, parse_layout("(:,:)", M.shape), session))
+
+    def test_asymmetric_rejected(self, session):
+        from repro.array.distarray import DistArray
+        from repro.layout.spec import parse_layout
+
+        M = np.array([[1.0, 2.0], [0.0, 1.0]])
+        with pytest.raises(ValueError):
+            jacobi_eigen(DistArray(M, parse_layout("(:,:)", M.shape), session))
+
+    @given(n=st.sampled_from([4, 6, 8, 10]), seed=st.integers(0, 20))
+    @settings(max_examples=10, deadline=None)
+    def test_random_symmetric(self, n, seed):
+        session = Session(cm5(8))
+        A = make_matrix(session, n, seed=seed)
+        res = jacobi_eigen(A)
+        ref = np.sort(np.linalg.eigvalsh(A.np))
+        assert np.allclose(res.eigenvalues, ref, atol=1e-7)
+
+
+class TestFFT:
+    def test_forward_matches_numpy(self, session):
+        x = from_numpy(session, np.random.default_rng(0).standard_normal(128) + 0j, "(:)")
+        assert np.allclose(fft(x).np, np.fft.fft(x.np))
+
+    def test_inverse_roundtrip(self, session):
+        x = from_numpy(session, np.random.default_rng(1).standard_normal(64) + 0j, "(:)")
+        assert np.allclose(ifft(fft(x)).np, x.np)
+
+    def test_parseval(self, session):
+        data = np.random.default_rng(2).standard_normal(256)
+        x = from_numpy(session, data + 0j, "(:)")
+        F = fft(x).np
+        assert np.sum(np.abs(F) ** 2) / 256 == pytest.approx(np.sum(data**2))
+
+    def test_2d_matches_numpy(self, session):
+        d = np.random.default_rng(3).standard_normal((16, 32)) + 0j
+        x = from_numpy(session, d, "(:,:)")
+        assert np.allclose(fft2(x).np, np.fft.fft2(d))
+
+    def test_3d_matches_numpy(self, session):
+        d = np.random.default_rng(4).standard_normal((8, 4, 16)) + 0j
+        x = from_numpy(session, d, "(:,:,:)")
+        assert np.allclose(fft3(x).np, np.fft.fftn(d))
+
+    def test_2d_inverse_roundtrip(self, session):
+        d = np.random.default_rng(5).standard_normal((8, 8)) + 0j
+        x = from_numpy(session, d, "(:,:)")
+        assert np.allclose(fft2(fft2(x), inverse=True).np, d)
+
+    def test_non_power_of_two_rejected(self, session):
+        x = from_numpy(session, np.zeros(12, dtype=complex), "(:)")
+        with pytest.raises(ValueError):
+            fft(x)
+
+    def test_wrong_rank_rejected(self, session):
+        x = from_numpy(session, np.zeros((4, 4), dtype=complex), "(:,:)")
+        with pytest.raises(ValueError):
+            fft(x)
+
+    def test_per_stage_flops_5n(self, session):
+        """Table 4: exactly 5n FLOPs per butterfly stage."""
+        n = 512
+        x = from_numpy(session, np.ones(n, dtype=complex), "(:)")
+        fft(x)
+        main = session.recorder.root.find("main_loop")
+        assert main.flops_per_iteration == pytest.approx(5 * n)
+
+    def test_per_stage_comm(self, session):
+        """Table 4: 2 CSHIFTs + 1 AAPC per stage."""
+        x = from_numpy(session, np.ones(256, dtype=complex), "(:)")
+        fft(x)
+        per = session.recorder.root.find("main_loop").comm_counts_per_iteration()
+        assert per[CommPattern.CSHIFT] == pytest.approx(2.0)
+        assert per[CommPattern.AAPC] == pytest.approx(1.0)
+
+    def test_fft_along_axis(self, session):
+        d = np.random.default_rng(6).standard_normal((4, 32)) + 0j
+        x = from_numpy(session, d, "(:,:)")
+        out = fft_along(x, 1)
+        assert np.allclose(out.np, np.fft.fft(d, axis=1))
+
+    @given(
+        log_n=st.integers(1, 8),
+        seed=st.integers(0, 50),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_power_of_two_sizes(self, log_n, seed):
+        session = Session(cm5(8))
+        n = 1 << log_n
+        rng = np.random.default_rng(seed)
+        d = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        x = from_numpy(session, d, "(:)")
+        assert np.allclose(fft(x).np, np.fft.fft(d), atol=1e-9 * n)
+
+
+class TestJacobiEigenvectors:
+    def test_eigen_decomposition_residual(self, session):
+        A = make_matrix(session, 10, seed=3)
+        res = jacobi_eigen(A)
+        V, lam = res.eigenvectors, res.eigenvalues
+        assert np.abs(A.np @ V - V * lam[None, :]).max() < 1e-9
+
+    def test_eigenvectors_orthonormal(self, session):
+        A = make_matrix(session, 8, seed=4)
+        V = jacobi_eigen(A).eigenvectors
+        assert np.allclose(V.T @ V, np.eye(8), atol=1e-10)
+
+    def test_eigenvector_order_matches_values(self, session):
+        A = make_matrix(session, 6, seed=5)
+        res = jacobi_eigen(A)
+        rayleigh = np.einsum("ik,ij,jk->k", res.eigenvectors, A.np, res.eigenvectors)
+        assert np.allclose(rayleigh, res.eigenvalues, atol=1e-9)

@@ -1,0 +1,159 @@
+"""Tests for MachineModel, LocalModel and the presets."""
+
+import pytest
+
+from repro.machine.model import LocalModel, MachineModel
+from repro.machine.presets import cm5, cm5e, generic_cluster, workstation
+from repro.metrics.access import LocalAccess
+from repro.versions import VersionTier
+
+
+class TestValidation:
+    def test_nodes_positive(self):
+        with pytest.raises(ValueError):
+            MachineModel("bad", 0, 4, 32.0)
+
+    def test_vus_positive(self):
+        with pytest.raises(ValueError):
+            MachineModel("bad", 4, 0, 32.0)
+
+    def test_peak_positive(self):
+        with pytest.raises(ValueError):
+            MachineModel("bad", 4, 4, 0.0)
+
+    def test_local_model_penalty_below_one_raises(self):
+        with pytest.raises(ValueError):
+            LocalModel(access_penalty={LocalAccess.DIRECT: 0.5})
+
+    def test_local_model_fraction_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            LocalModel(sustained_fraction={VersionTier.BASIC: 1.5})
+
+    def test_memory_bandwidth_positive(self):
+        with pytest.raises(ValueError):
+            LocalModel(memory_bandwidth=0)
+
+
+class TestPeakRates:
+    def test_cm5_peak_rate(self):
+        # Paper footnote: 32 MFLOP/s per VU on the CM-5, 4 VUs/node.
+        m = cm5(32)
+        assert m.peak_mflops == 32 * 4 * 32.0
+        assert m.node_peak_flops == 4 * 32.0e6
+
+    def test_cm5e_faster_per_vu(self):
+        assert cm5e(32).peak_mflops_per_vu == 40.0
+        assert cm5e(32).peak_mflops > cm5(32).peak_mflops
+
+    def test_with_nodes_scales_peak(self):
+        m = cm5(32)
+        assert m.with_nodes(64).peak_mflops == 2 * m.peak_mflops
+
+    def test_workstation_single_node(self):
+        assert workstation().nodes == 1
+
+    def test_cluster_nodes(self):
+        assert generic_cluster(16).nodes == 16
+
+
+class TestComputeTime:
+    def test_compute_time_positive(self):
+        m = cm5(32)
+        t = m.compute_time(1e6)
+        assert t > 0
+
+    def test_compute_time_zero_flops(self):
+        assert cm5(32).compute_time(0) == 0.0
+
+    def test_compute_time_negative_raises(self):
+        with pytest.raises(ValueError):
+            cm5(32).compute_time(-1)
+
+    def test_indirect_access_slower_than_direct(self):
+        m = cm5(32)
+        direct = m.compute_time(1e6, access=LocalAccess.DIRECT)
+        indirect = m.compute_time(1e6, access=LocalAccess.INDIRECT)
+        strided = m.compute_time(1e6, access=LocalAccess.STRIDED)
+        assert direct < strided < indirect
+
+    def test_tier_ordering(self):
+        """Better code versions sustain more of peak (paper §1.2)."""
+        m = cm5(32)
+        times = [
+            m.compute_time(1e6, tier=t)
+            for t in (
+                VersionTier.BASIC,
+                VersionTier.OPTIMIZED,
+                VersionTier.LIBRARY,
+                VersionTier.CMSSL,
+                VersionTier.C_DPEAC,
+            )
+        ]
+        assert times == sorted(times, reverse=True)
+
+    def test_local_move_time(self):
+        m = cm5(32)
+        assert m.local_move_time(0) == 0.0
+        assert m.local_move_time(1 << 20) > 0
+        with pytest.raises(ValueError):
+            m.local_move_time(-1)
+
+    def test_describe_mentions_name(self):
+        assert "CM-5/32" in cm5(32).describe()
+
+
+class TestRoofline:
+    """Opt-in roofline: low-intensity streaming ops become memory-bound."""
+
+    def _machines(self):
+        from repro.machine.model import LocalModel
+
+        base = cm5(32)
+        on = base.with_overrides(
+            local=LocalModel(memory_bandwidth=128e6, roofline=True)
+        )
+        return base, on
+
+    def test_off_by_default(self):
+        assert cm5(32).local.roofline is False
+
+    def test_low_intensity_op_memory_bound(self):
+        base, roofline = self._machines()
+        flops, nbytes = 1e6, 24e6  # 1 FLOP per 24 bytes: intensity 1/24
+        t_base = base.compute_time(flops, bytes_critical_node=nbytes)
+        t_roof = roofline.compute_time(flops, bytes_critical_node=nbytes)
+        assert t_roof > t_base
+        assert t_roof == pytest.approx(nbytes / 128e6)
+
+    def test_high_intensity_kernel_unchanged(self):
+        base, roofline = self._machines()
+        flops, nbytes = 1e8, 24e3  # compute-dominated
+        assert roofline.compute_time(
+            flops, bytes_critical_node=nbytes
+        ) == pytest.approx(base.compute_time(flops, bytes_critical_node=nbytes))
+
+    def test_zero_bytes_falls_back_to_flop_term(self):
+        _, roofline = self._machines()
+        assert roofline.compute_time(1e6) == roofline.compute_time(
+            1e6, bytes_critical_node=0.0
+        )
+
+    def test_session_elementwise_respects_roofline(self):
+        from repro import Session
+        from repro.array import from_numpy
+        from repro.machine.model import LocalModel
+        import numpy as np
+
+        data = np.ones(1 << 16)
+        base = Session(cm5(32))
+        x = from_numpy(base, data, "(:)")
+        _ = x + 1.0
+        roof_machine = cm5(32).with_overrides(
+            local=LocalModel(memory_bandwidth=32e6, roofline=True)
+        )
+        roof = Session(roof_machine)
+        y = from_numpy(roof, data, "(:)")
+        _ = y + 1.0
+        # Same FLOPs, more simulated busy time under the roofline.
+        assert roof.recorder.total_flops == base.recorder.total_flops
+        assert roof.recorder.busy_time > base.recorder.busy_time

@@ -1,0 +1,139 @@
+"""Tests for the interconnect cost models."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.machine.network import NetworkCost, NetworkModel
+from repro.metrics.patterns import CommPattern
+
+ALL_PATTERNS = list(CommPattern)
+
+
+@pytest.fixture
+def net():
+    return NetworkModel()
+
+
+class TestNetworkCost:
+    def test_elapsed_is_busy_plus_idle(self):
+        c = NetworkCost(1.0, 0.5)
+        assert c.elapsed == 1.5
+
+    def test_addition(self):
+        c = NetworkCost(1.0, 0.5) + NetworkCost(2.0, 0.25)
+        assert c.busy == 3.0
+        assert c.idle == 0.75
+
+
+class TestValidation:
+    def test_negative_bandwidth_raises(self):
+        with pytest.raises(ValueError):
+            NetworkModel(bw_link=-1)
+
+    def test_negative_latency_raises(self):
+        with pytest.raises(ValueError):
+            NetworkModel(latency_news=-1e-6)
+
+    def test_negative_bytes_raises(self, net):
+        with pytest.raises(ValueError):
+            net.cost(CommPattern.CSHIFT, bytes_network=-1, nodes=4)
+
+    def test_zero_nodes_raises(self, net):
+        with pytest.raises(ValueError):
+            net.cost(CommPattern.CSHIFT, bytes_network=100, nodes=0)
+
+    def test_with_overrides(self, net):
+        faster = net.with_overrides(bw_link=net.bw_link * 2)
+        slow = net.cost(CommPattern.CSHIFT, bytes_network=1 << 20, nodes=4)
+        fast = faster.cost(CommPattern.CSHIFT, bytes_network=1 << 20, nodes=4)
+        assert fast.busy < slow.busy
+
+
+class TestCostShapes:
+    @pytest.mark.parametrize("pattern", ALL_PATTERNS)
+    def test_every_pattern_has_a_cost(self, net, pattern):
+        c = net.cost(pattern, bytes_network=4096, nodes=8)
+        assert c.busy >= 0.0
+        assert c.idle >= 0.0
+        assert c.elapsed > 0.0
+
+    @pytest.mark.parametrize("pattern", ALL_PATTERNS)
+    def test_single_node_only_startup(self, net, pattern):
+        c = net.cost(pattern, bytes_network=4096, nodes=1)
+        assert c.busy == 0.0
+        assert c.idle > 0.0
+
+    @pytest.mark.parametrize("pattern", ALL_PATTERNS)
+    def test_zero_bytes_only_startup(self, net, pattern):
+        c = net.cost(pattern, bytes_network=0, nodes=16)
+        assert c.busy == 0.0
+
+    def test_cshift_busy_scales_with_volume(self, net):
+        small = net.cost(CommPattern.CSHIFT, bytes_network=1 << 10, nodes=8)
+        large = net.cost(CommPattern.CSHIFT, bytes_network=1 << 20, nodes=8)
+        assert large.busy > small.busy
+
+    def test_tree_idle_grows_with_nodes(self, net):
+        few = net.cost(CommPattern.REDUCTION, bytes_network=1024, nodes=4)
+        many = net.cost(CommPattern.REDUCTION, bytes_network=1024, nodes=256)
+        assert many.idle > few.idle
+
+    def test_router_slower_than_news(self, net):
+        v = 1 << 20
+        news = net.cost(CommPattern.CSHIFT, bytes_network=v, nodes=8)
+        router = net.cost(CommPattern.GATHER, bytes_network=v, nodes=8)
+        assert router.busy > news.busy
+        assert router.idle > news.idle
+
+    def test_collision_override(self, net):
+        v = 1 << 20
+        default = net.cost(CommPattern.SCATTER, bytes_network=v, nodes=8)
+        clean = net.cost(
+            CommPattern.SCATTER, bytes_network=v, nodes=8, collisions=1.0
+        )
+        assert clean.busy < default.busy
+
+    def test_stencil_stages_multiply_busy(self, net):
+        v = 1 << 16
+        one = net.cost(CommPattern.STENCIL, bytes_network=v, nodes=8, stages=1)
+        six = net.cost(CommPattern.STENCIL, bytes_network=v, nodes=8, stages=6)
+        assert six.busy == pytest.approx(6 * one.busy)
+
+    def test_sort_stage_count_default(self, net):
+        # bitonic: ceil(log2 p)^2 stages
+        c1 = net.cost(CommPattern.SORT, bytes_network=1 << 16, nodes=16)
+        c2 = net.cost(CommPattern.SORT, bytes_network=1 << 16, nodes=16, stages=1)
+        assert c1.busy == pytest.approx(16 * c2.busy)
+
+    def test_aabc_rounds(self, net):
+        v = 1 << 16
+        c4 = net.cost(CommPattern.AABC, bytes_network=v, nodes=4)
+        c8 = net.cost(CommPattern.AABC, bytes_network=v, nodes=8)
+        # per-node volume halves but rounds (p-1) grow
+        assert c8.busy > c4.busy * 0.8
+
+    def test_fat_tree_bisection(self, net):
+        assert net.bisection_bandwidth(64) == pytest.approx(
+            net.bw_link * 32
+        )
+
+    def test_thin_tree_bisection(self):
+        thin = NetworkModel(bisection_fraction=0.25)
+        full = NetworkModel(bisection_fraction=1.0)
+        assert thin.bisection_bandwidth(64) < full.bisection_bandwidth(64)
+        v = 1 << 22
+        assert (
+            thin.cost(CommPattern.AAPC, bytes_network=v, nodes=64).busy
+            > full.cost(CommPattern.AAPC, bytes_network=v, nodes=64).busy
+        )
+
+    @given(
+        v=st.integers(0, 1 << 24),
+        nodes=st.sampled_from([1, 2, 4, 8, 32, 128]),
+        pattern=st.sampled_from(ALL_PATTERNS),
+    )
+    def test_costs_always_finite_nonnegative(self, v, nodes, pattern):
+        model = NetworkModel()
+        c = model.cost(pattern, bytes_network=v, nodes=nodes)
+        assert c.busy >= 0.0 and c.idle >= 0.0
+        assert c.busy < float("inf") and c.idle < float("inf")

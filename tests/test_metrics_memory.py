@@ -1,0 +1,109 @@
+"""Tests for memory-usage accounting (paper §1.5(3))."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.metrics.memory import (
+    TYPE_SIZES,
+    MemoryLedger,
+    TypeTag,
+    format_bytes_symbolic,
+    tag_for_dtype,
+)
+
+
+class TestTypeTags:
+    def test_paper_sizes(self):
+        assert TYPE_SIZES[TypeTag.INTEGER] == 4
+        assert TYPE_SIZES[TypeTag.LOGICAL] == 4
+        assert TYPE_SIZES[TypeTag.SINGLE] == 4
+        assert TYPE_SIZES[TypeTag.DOUBLE] == 8
+        assert TYPE_SIZES[TypeTag.COMPLEX] == 8
+        assert TYPE_SIZES[TypeTag.DOUBLE_COMPLEX] == 16
+
+    @pytest.mark.parametrize(
+        "dtype,tag",
+        [
+            (np.int32, TypeTag.INTEGER),
+            (np.int64, TypeTag.INTEGER),
+            (np.bool_, TypeTag.LOGICAL),
+            (np.float32, TypeTag.SINGLE),
+            (np.float64, TypeTag.DOUBLE),
+            (np.complex64, TypeTag.COMPLEX),
+            (np.complex128, TypeTag.DOUBLE_COMPLEX),
+        ],
+    )
+    def test_dtype_mapping(self, dtype, tag):
+        assert tag_for_dtype(dtype) is tag
+
+    def test_unknown_dtype_raises(self):
+        with pytest.raises(ValueError):
+            tag_for_dtype(np.float16)
+
+    def test_symbolic_format(self):
+        assert format_bytes_symbolic(128, TypeTag.DOUBLE) == "1024(d)"
+        assert format_bytes_symbolic(10, TypeTag.SINGLE) == "40(s)"
+
+
+class TestMemoryLedger:
+    def test_declare_accumulates_bytes(self):
+        ledger = MemoryLedger()
+        ledger.declare("u", (100,), TypeTag.DOUBLE)
+        ledger.declare("mask", (100,), TypeTag.LOGICAL)
+        assert ledger.total_bytes == 800 + 400
+
+    def test_declare_with_dtype(self):
+        ledger = MemoryLedger()
+        ledger.declare("z", (4, 4), np.complex128)
+        assert ledger.total_bytes == 16 * 16
+
+    def test_scalar_shape(self):
+        ledger = MemoryLedger()
+        ledger.declare("s", (), TypeTag.DOUBLE)
+        assert ledger.total_bytes == 8
+
+    def test_negative_extent_raises(self):
+        with pytest.raises(ValueError):
+            MemoryLedger().declare("bad", (-1, 4), TypeTag.SINGLE)
+
+    def test_aligned_rule_charges_host_size(self):
+        # Paper: L aligned with H occupying size{H} is charged so the
+        # pair totals 2 * size{H}.
+        ledger = MemoryLedger()
+        ledger.declare("H", (64, 64), TypeTag.DOUBLE)
+        ledger.declare_aligned("L", (64,), (64, 64), TypeTag.DOUBLE)
+        assert ledger.total_bytes == 2 * 64 * 64 * 8
+
+    def test_by_tag(self):
+        ledger = MemoryLedger()
+        ledger.declare("a", (10,), TypeTag.DOUBLE)
+        ledger.declare("b", (10,), TypeTag.DOUBLE)
+        ledger.declare("c", (10,), TypeTag.SINGLE)
+        tags = ledger.by_tag()
+        assert tags[TypeTag.DOUBLE] == 160
+        assert tags[TypeTag.SINGLE] == 40
+
+    def test_merge(self):
+        a = MemoryLedger()
+        a.declare("x", (5,), TypeTag.DOUBLE)
+        b = MemoryLedger()
+        b.declare("y", (5,), TypeTag.DOUBLE)
+        a.merge(b)
+        assert a.total_bytes == 80
+        assert len(a.declarations) == 2
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.lists(st.integers(0, 20), max_size=3),
+                st.sampled_from(list(TypeTag)),
+            ),
+            max_size=20,
+        )
+    )
+    def test_total_is_sum_of_declarations(self, decls):
+        ledger = MemoryLedger()
+        for i, (shape, tag) in enumerate(decls):
+            ledger.declare(f"a{i}", shape, tag)
+        assert ledger.total_bytes == sum(d.nbytes for d in ledger.declarations)

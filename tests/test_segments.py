@@ -1,0 +1,93 @@
+"""Tests for per-segment reporting (§1.5: several benchmarks report
+metrics for code segments rather than the whole program)."""
+
+import pytest
+
+from repro import Session, cm5
+from repro.metrics.patterns import CommPattern
+from repro.suite import run_benchmark
+
+
+class TestSegmentedBenchmarks:
+    def test_md_reports_forces_and_integrate(self, session):
+        rep = run_benchmark("md", session, n_p=8, steps=4)
+        names = {s.name for s in rep.segments}
+        assert "main_loop/forces" in names
+        assert "main_loop/integrate" in names
+        forces = rep.segment("main_loop/forces")
+        integrate = rep.segment("main_loop/integrate")
+        # The all-pairs force evaluation dominates the integrator.
+        assert forces.flop_count > integrate.flop_count
+        assert forces.busy_time > integrate.busy_time
+
+    def test_md_segment_comm_split(self, session):
+        rep = run_benchmark("md", session, n_p=8, steps=3)
+        forces = rep.segment("main_loop/forces")
+        integrate = rep.segment("main_loop/integrate")
+        assert CommPattern.SPREAD in forces.comm_counts
+        assert CommPattern.SEND in integrate.comm_counts
+        assert CommPattern.SPREAD not in integrate.comm_counts
+
+    def test_step4_segments(self, session):
+        rep = run_benchmark("step4", session, nx=8, steps=2)
+        stencils = rep.segment("main_loop/stencils")
+        update = rep.segment("main_loop/update")
+        # All 128 cshifts live in the stencil segment.
+        assert stencils.comm_counts[CommPattern.CSHIFT] == 256  # 2 steps
+        assert CommPattern.CSHIFT not in update.comm_counts
+
+    def test_mdcell_segments(self, session):
+        rep = run_benchmark("mdcell", session, nc=3, steps=2)
+        binning = rep.segment("main_loop/binning")
+        forces = rep.segment("main_loop/forces")
+        assert binning.comm_counts[CommPattern.SCATTER] == 14  # 7 x 2 steps
+        assert forces.comm_counts[CommPattern.CSHIFT] == 390  # 195 x 2
+
+    def test_lu_segments_flat_names(self, session):
+        rep = run_benchmark("lu", session, n=12)
+        names = [s.name for s in rep.segments]
+        assert "factor" in names and "solve" in names
+
+    def test_parent_segment_includes_children(self, session):
+        rep = run_benchmark("md", session, n_p=8, steps=3)
+        main = rep.segment("main_loop")
+        forces = rep.segment("main_loop/forces")
+        integrate = rep.segment("main_loop/integrate")
+        assert main.flop_count == forces.flop_count + integrate.flop_count
+        assert main.busy_time == pytest.approx(
+            forces.busy_time + integrate.busy_time
+        )
+
+    def test_segment_iterations_accumulate(self, session):
+        rep = run_benchmark("md", session, n_p=8, steps=5)
+        # "forces" is entered once per step.
+        assert rep.segment("main_loop/forces").iterations == 5
+
+
+class TestMoreSegmentedBenchmarks:
+    def test_boson_update_and_measure(self, session):
+        rep = run_benchmark("boson", session, nx=6, nt=4, sweeps=3)
+        update = rep.segment("main_loop/update")
+        measure = rep.segment("main_loop/measure")
+        # 6 shifts per parity in the update, 13 in the measurement.
+        assert update.comm_counts[CommPattern.CSHIFT] == 6 * 2 * 3
+        assert measure.comm_counts[CommPattern.CSHIFT] == 13 * 2 * 3
+        # The Metropolis update carries all of the arithmetic.
+        assert update.flop_count > 0
+        assert measure.flop_count == 0
+
+    def test_qcd_dslash_segment(self, session):
+        rep = run_benchmark("qcd-kernel", session, nx=2, iterations=3)
+        dslash = rep.segment("main_loop/dslash")
+        assert dslash.comm_counts[CommPattern.CSHIFT] == 8 * 3
+        assert dslash.flop_count == 606 * 16 * 3
+        normalize = rep.segment("main_loop/normalize")
+        assert CommPattern.CSHIFT not in normalize.comm_counts
+
+    def test_qr_solve_table_budget(self, session):
+        """Table 4: qr solve — 2 Reductions, 4 Broadcasts/iteration."""
+        rep = run_benchmark("qr", session, m=32, n=16)
+        solve = rep.segment("solve")
+        per = solve.comm_per_iteration()
+        assert per[CommPattern.BROADCAST] == pytest.approx(4.0)
+        assert per[CommPattern.REDUCTION] == pytest.approx(2.0, abs=0.1)

@@ -1,0 +1,223 @@
+"""Tests for the suite registry, runner and table regeneration."""
+
+import numpy as np
+import pytest
+
+from repro import Session, VersionTier, cm5
+from repro.metrics.access import LocalAccess
+from repro.suite import REGISTRY, benchmark_names, run_benchmark, run_suite
+from repro.suite import analytic
+from repro.suite.tables import (
+    format_table,
+    table1_versions,
+    table2_layouts,
+    table3_comm,
+    table5_layouts,
+    table7_comm,
+    table8_techniques,
+)
+
+
+class TestRegistry:
+    def test_thirty_two_benchmarks(self):
+        """The paper: 'In all, there are 32 benchmarks in the suite.'"""
+        assert len(REGISTRY) == 32
+
+    def test_group_counts(self):
+        """4 communication + 8 linear algebra + 20 applications."""
+        assert len(benchmark_names("comm")) == 4
+        assert len(benchmark_names("linalg")) == 8
+        assert len(benchmark_names("app")) == 20
+
+    def test_every_benchmark_has_basic_version(self):
+        for spec in REGISTRY.values():
+            assert VersionTier.BASIC in spec.versions
+
+    def test_linalg_suites_have_cmssl_or_library(self):
+        for name in benchmark_names("linalg"):
+            versions = REGISTRY[name].versions
+            assert (
+                VersionTier.CMSSL in versions or VersionTier.LIBRARY in versions
+            )
+
+    def test_layouts_parse(self):
+        from repro.layout.spec import parse_layout
+
+        for spec in REGISTRY.values():
+            for layout in spec.layouts:
+                rank = len(layout.strip("()").split(","))
+                parse_layout(layout, (4,) * rank)
+
+    def test_embarrassingly_parallel_codes(self):
+        """Paper §4: gmo and fermion are the two embarrassingly
+        parallel codes — no communication patterns."""
+        assert REGISTRY["gmo"].comm_patterns == {}
+        assert REGISTRY["fermion"].comm_patterns == {}
+
+    def test_qcd_layouts_include_7d(self):
+        assert "(:serial,:serial,:,:,:,:,:)" in REGISTRY["qcd-kernel"].layouts
+
+    def test_descriptions_nonempty(self):
+        for spec in REGISTRY.values():
+            assert spec.description
+
+
+class TestRunner:
+    def test_unknown_benchmark(self, session):
+        with pytest.raises(KeyError, match="unknown benchmark"):
+            run_benchmark("nope", session)
+
+    def test_report_fields(self, session):
+        rep = run_benchmark("ellip-2d", session, nx=8)
+        assert rep.benchmark == "ellip-2d"
+        assert rep.version == "basic"
+        assert rep.flop_count > 0
+        assert rep.busy_time > 0
+        assert rep.elapsed_time >= rep.busy_time
+        assert rep.problem_size == 64
+        assert rep.extra["residual"] < 1e-6
+
+    def test_params_override_defaults(self, session):
+        rep = run_benchmark("diff-3d", session, nx=8, steps=2)
+        assert rep.problem_size == 512
+        assert rep.iterations == 2
+
+    def test_tier_recorded(self):
+        s = Session(cm5(16), tier=VersionTier.CMSSL)
+        rep = run_benchmark("fft", s, n=128)
+        assert rep.version == "cmssl"
+
+    def test_run_suite_subset(self, session_factory):
+        reports = run_suite(session_factory, names=["gather", "fft", "gmo"])
+        assert set(reports) == {"gather", "fft", "gmo"}
+        assert reports["gather"].flop_count == 0  # no FLOPs in comm codes
+        assert reports["fft"].flop_count > 0
+
+    def test_comm_codes_produce_no_flops(self, session_factory):
+        """Paper §2: the communication codes (except reduction) do no
+        floating-point work."""
+        reports = run_suite(
+            session_factory, names=["gather", "scatter", "transpose", "reduction"]
+        )
+        assert reports["gather"].flop_count == 0
+        assert reports["scatter"].flop_count == 0
+        assert reports["transpose"].flop_count == 0
+        assert reports["reduction"].flop_count > 0
+
+
+class TestTables:
+    def test_format_table_aligns(self):
+        text = format_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines[:2])
+
+    def test_table1_lists_all_benchmarks(self):
+        text = table1_versions()
+        for name in REGISTRY:
+            assert name in text
+        assert "basic" in text and "c_dpeac" in text
+
+    def test_table2_contains_linalg_layouts(self):
+        text = table2_layouts()
+        assert "pcr" in text
+        assert "(:serial,:)" in text
+
+    def test_table5_contains_app_layouts(self):
+        text = table5_layouts()
+        assert "qcd-kernel" in text
+        assert "(:serial,:,:,:)" in text
+
+    def test_table3_patterns(self):
+        text = table3_comm()
+        assert "aapc" in text
+        assert "fft" in text
+
+    def test_table7_patterns(self):
+        text = table7_comm()
+        assert "cshift" in text
+        assert "boson" in text
+
+    def test_table8_techniques(self):
+        text = table8_techniques()
+        assert "chained CSHIFT" in text
+        assert "CMSSL partitioned gather utility" in text
+        assert "FORALL w/ SUM" in text
+
+
+class TestAnalytic:
+    def test_matvec_formula(self):
+        row = analytic.matvec(64, 32, i=2)
+        assert row.flops_per_iteration == 2 * 64 * 32 * 2
+        assert row.memory_bytes == 8 * (64 + 64 * 32 + 32) * 2
+
+    def test_lu_factor_cubic_total(self):
+        n = 96
+        row = analytic.lu_factor(n, 1)
+        assert row.flops_per_iteration * n == pytest.approx(2 * n**3 / 3)
+
+    def test_pcr_cshift_budget(self):
+        row = analytic.pcr(64, 3)
+        from repro.metrics.patterns import CommPattern
+
+        assert row.comm_per_iteration[CommPattern.CSHIFT] == 10
+
+    def test_fft_dims(self):
+        assert analytic.fft(64, 1).flops_per_iteration == 5 * 64
+        assert analytic.fft(64, 2).flops_per_iteration == 10 * 64 * 64
+        assert analytic.fft(64, 3).flops_per_iteration == 15 * 64**3
+
+    def test_diff3d_formula(self):
+        row = analytic.diff3d(10, 12, 14)
+        assert row.flops_per_iteration == 9 * 8 * 10 * 12
+
+    def test_nbody_variants(self):
+        full = analytic.nbody(32, "spread")
+        systolic = analytic.nbody(32, "cshift")
+        assert full.flops_per_iteration == 17 * 32 * 32
+        assert systolic.flops_per_iteration == 17 * 32
+
+    def test_qmc_comm_counts(self):
+        from repro.metrics.patterns import CommPattern
+
+        row = analytic.qmc(2, 3, 100, 2)
+        assert row.comm_per_iteration[CommPattern.SCAN] == 10
+        assert row.comm_per_iteration[CommPattern.SEND] == 7
+
+
+class TestCrossMachine:
+    """The suite's purpose: comparing platforms/compilers (paper §1.1)."""
+
+    def test_more_nodes_faster_elapsed_for_compute_bound(self):
+        rep32 = run_benchmark("diff-3d", Session(cm5(32)), nx=24, steps=4)
+        rep4 = run_benchmark("diff-3d", Session(cm5(4)), nx=24, steps=4)
+        assert rep32.busy_time < rep4.busy_time
+
+    def test_identical_flops_across_machines(self):
+        """FLOP counts are machine-independent; only times change."""
+        rep_a = run_benchmark("ellip-2d", Session(cm5(8)), nx=12)
+        rep_b = run_benchmark("ellip-2d", Session(cm5(64)), nx=12)
+        assert rep_a.flop_count == rep_b.flop_count
+
+    def test_better_tier_higher_efficiency(self):
+        basic = run_benchmark(
+            "matrix-vector", Session(cm5(16), tier=VersionTier.BASIC), n=64
+        )
+        cmssl = run_benchmark(
+            "matrix-vector", Session(cm5(16), tier=VersionTier.CMSSL), n=64
+        )
+        assert (
+            cmssl.arithmetic_efficiency > basic.arithmetic_efficiency
+        )
+
+    def test_transpose_stresses_bisection(self):
+        """Thin-bisection machines lose on the transpose benchmark."""
+        from repro.machine.presets import generic_cluster
+
+        full = generic_cluster(16)
+        thin = full.with_overrides(
+            network=full.network.with_overrides(bisection_fraction=0.1)
+        )
+        rep_full = run_benchmark("transpose", Session(full), n=256)
+        rep_thin = run_benchmark("transpose", Session(thin), n=256)
+        assert rep_thin.elapsed_time > rep_full.elapsed_time

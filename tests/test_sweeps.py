@@ -1,0 +1,82 @@
+"""Tests for the sweep harness."""
+
+import pytest
+
+from repro import Session, VersionTier, cm5
+from repro.suite.sweeps import (
+    efficiency_series,
+    machine_sweep,
+    parameter_sweep,
+    tier_sweep,
+)
+
+
+class TestParameterSweep:
+    def test_flops_grow_with_size(self, session_factory):
+        sweep = parameter_sweep(
+            "diff-3d", "nx", [8, 12, 16], session_factory, {"steps": 2}
+        )
+        flops = sweep.series("flop_count")
+        assert flops == sorted(flops)
+        assert len(sweep.reports) == 3
+
+    def test_series_handles_methods_and_attrs(self, session_factory):
+        sweep = parameter_sweep(
+            "fft", "n", [64, 128], session_factory
+        )
+        assert all(v > 0 for v in sweep.series("busy_floprate_mflops"))
+        assert all(v > 0 for v in sweep.series("elapsed_time"))
+
+    def test_table_renders(self, session_factory):
+        sweep = parameter_sweep("gmo", "ns", [64, 128], session_factory, {"ntr": 8})
+        text = sweep.table()
+        assert "ns" in text
+        assert "MFLOP/s" in text
+        assert "64" in text and "128" in text
+
+
+class TestMachineSweep:
+    def test_strong_scaling_busy_time(self):
+        sweep = machine_sweep(
+            "diff-3d", cm5, [4, 16, 64], {"nx": 16, "steps": 3}
+        )
+        busy = sweep.series("busy_time")
+        assert busy[0] > busy[1] > busy[2]
+
+    def test_flops_invariant_across_nodes(self):
+        sweep = machine_sweep("fft", cm5, [2, 8, 32], {"n": 256})
+        flops = sweep.series("flop_count")
+        assert len(set(flops)) == 1
+
+    def test_efficiency_below_one_and_decreasing(self):
+        sweep = machine_sweep(
+            "ellip-2d", cm5, [4, 16, 64], {"nx": 12}
+        )
+        eff = efficiency_series(sweep)["efficiency"]
+        assert eff[0] == pytest.approx(1.0)
+        # Latency floors erode parallel efficiency at fixed size.
+        assert eff[-1] < eff[0]
+
+    def test_efficiency_requires_machine_sweep(self, session_factory):
+        sweep = parameter_sweep("gmo", "ns", [64], session_factory, {"ntr": 8})
+        with pytest.raises(ValueError):
+            efficiency_series(sweep)
+
+
+class TestTierSweep:
+    def test_busy_time_monotone_in_tier(self):
+        sweep = tier_sweep(
+            "matrix-vector",
+            cm5(32),
+            [VersionTier.BASIC, VersionTier.LIBRARY, VersionTier.C_DPEAC],
+            {"n": 64, "repeats": 2},
+        )
+        busy = sweep.series("busy_time")
+        assert busy == sorted(busy, reverse=True)
+
+    def test_values_are_tier_names(self):
+        sweep = tier_sweep(
+            "gmo", cm5(8), [VersionTier.BASIC, VersionTier.CMSSL],
+            {"ns": 64, "ntr": 8},
+        )
+        assert sweep.values == ("basic", "cmssl")

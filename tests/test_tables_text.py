@@ -1,0 +1,73 @@
+"""Tests for the quantitative table generators (Tables 4 and 6 text)."""
+
+import pytest
+
+from repro import Session, cm5
+from repro.suite import analytic
+from repro.suite.tables import (
+    comparison_table,
+    measure,
+    table4_linalg,
+    table6_apps,
+)
+
+
+@pytest.fixture(scope="module")
+def table4_text():
+    return table4_linalg(lambda: Session(cm5(32)))
+
+
+@pytest.fixture(scope="module")
+def table6_text():
+    return table6_apps(lambda: Session(cm5(32)))
+
+
+class TestTable4Text:
+    def test_has_all_linalg_rows(self, table4_text):
+        for row in (
+            "matrix-vector", "lu:factor", "lu:solve", "qr:factor",
+            "qr:solve", "gauss-jordan", "pcr", "conj-grad", "jacobi", "fft",
+        ):
+            assert row in table4_text
+
+    def test_has_measured_and_paper_columns(self, table4_text):
+        assert "FLOPs/iter (meas)" in table4_text
+        assert "FLOPs/iter (paper)" in table4_text
+        assert "Comm/iter (paper)" in table4_text
+
+    def test_matvec_memory_exact(self, table4_text):
+        line = [l for l in table4_text.splitlines() if l.startswith("matrix-vector")][0]
+        cells = line.split()
+        # memory measured == paper == 8(n + nm + m) with n=m=64
+        assert cells[3] == cells[4] == str(8 * (64 + 64 * 64 + 64))
+
+
+class TestTable6Text:
+    def test_has_all_app_rows(self, table6_text):
+        for row in (
+            "boson", "diff-1d", "diff-2d", "diff-3d", "ellip-2d", "fem-3d",
+            "md", "mdcell", "n-body", "pic-simple", "pic-gather-scatter",
+            "qcd-kernel", "qmc", "qptransport", "rp", "step4", "wave-1d",
+            "ks-spectral", "gmo", "fermion",
+        ):
+            assert row in table6_text
+
+    def test_diff3d_flops_exact(self, table6_text):
+        line = [l for l in table6_text.splitlines() if l.startswith("diff-3d")][0]
+        cells = line.split()
+        assert cells[1] == cells[2]  # measured == paper
+
+
+class TestComparisonTable:
+    def test_formats_nan_gracefully(self, session_factory):
+        row = analytic.AnalyticRow("x", float("nan"), float("nan"), {})
+        measured = measure("gmo", session_factory, {"ns": 64, "ntr": 8})
+        text = comparison_table([(measured, row)])
+        assert "nan" in text
+        assert "gmo" in text
+
+    def test_segment_measure_names(self, session_factory):
+        name, *_ = measure("lu", session_factory, {"n": 12}, segment="factor")
+        assert name == "lu:factor"
+        name, *_ = measure("ellip-2d", session_factory, {"nx": 8})
+        assert name == "ellip-2d"  # main_loop implied, not suffixed

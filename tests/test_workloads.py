@@ -1,0 +1,126 @@
+"""Tests for the synthetic workload generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads import (
+    banded_indices,
+    bipartite_transport,
+    box_mesh,
+    hotspot_indices,
+    lattice_particles,
+    permutation_indices,
+    random_su3,
+    ricker,
+    seismic_panel,
+    sparse_pattern,
+    staggered_phases,
+    uniform_particles,
+)
+
+
+class TestIndexGenerators:
+    def test_permutation_is_bijective(self):
+        idx = permutation_indices(100, seed=1)
+        assert sorted(idx) == list(range(100))
+
+    def test_hotspot_concentrates(self):
+        idx = hotspot_indices(1000, hotspots=2, seed=1)
+        assert set(idx) <= {0, 1}
+
+    def test_hotspot_spread_mixes(self):
+        idx = hotspot_indices(1000, hotspots=1, spread=0.5, seed=2)
+        assert len(set(idx)) > 10
+
+    def test_hotspot_validation(self):
+        with pytest.raises(ValueError):
+            hotspot_indices(10, spread=2.0)
+        with pytest.raises(ValueError):
+            hotspot_indices(10, hotspots=0)
+
+    @given(bw=st.integers(0, 16), n=st.integers(1, 200))
+    @settings(max_examples=25, deadline=None)
+    def test_banded_stays_within_band(self, bw, n):
+        idx = banded_indices(n, bandwidth=bw, seed=3)
+        base = np.arange(n)
+        dist = np.minimum((idx - base) % n, (base - idx) % n)
+        assert dist.max() <= bw
+
+    def test_banded_validation(self):
+        with pytest.raises(ValueError):
+            banded_indices(8, bandwidth=-1)
+
+    def test_deterministic_given_seed(self):
+        a = permutation_indices(50, seed=9)
+        b = permutation_indices(50, seed=9)
+        assert np.array_equal(a, b)
+
+
+class TestSparsePattern:
+    def test_shape_and_uniqueness(self):
+        row, col, val = sparse_pattern(10, 20, 4, seed=0)
+        assert len(row) == len(col) == len(val) == 40
+        for r in range(10):
+            cols_r = col[row == r]
+            assert len(set(cols_r)) == 4  # no duplicate entries per row
+
+    def test_nnz_validation(self):
+        with pytest.raises(ValueError):
+            sparse_pattern(4, 3, 5)
+
+    def test_spmv_against_dense(self):
+        row, col, val = sparse_pattern(8, 8, 3, seed=2)
+        A = np.zeros((8, 8))
+        A[row, col] = val
+        x = np.random.default_rng(1).standard_normal(8)
+        y = np.zeros(8)
+        np.add.at(y, row, val * x[col])  # gather + scatter-with-add
+        assert np.allclose(y, A @ x)
+
+
+class TestParticleGenerators:
+    def test_uniform_in_box(self):
+        pos = uniform_particles(200, 5.0, seed=1)
+        assert pos.shape == (200, 3)
+        assert (pos >= 0).all() and (pos < 5.0).all()
+
+    def test_lattice_minimum_separation(self):
+        pos = lattice_particles(27, 3.0, jitter=0.01, seed=1)
+        d = np.linalg.norm(pos[None] - pos[:, None], axis=-1)
+        np.fill_diagonal(d, np.inf)
+        assert d.min() > 0.5  # ~spacing minus jitter
+
+    def test_lattice_2d(self):
+        pos = lattice_particles(16, 4.0, dims=2, seed=0)
+        assert pos.shape == (16, 2)
+        assert (pos >= 0).all() and (pos < 4.0).all()
+
+
+class TestReexportedGenerators:
+    def test_mesh(self):
+        mesh = box_mesh(2, 2, 2)
+        assert mesh.n_e == 40
+
+    def test_seismic_panel_energy(self):
+        panel = seismic_panel(128, 8)
+        assert panel.shape == (128, 8)
+        assert (panel**2).sum() > 0
+
+    def test_ricker_zero_mean(self):
+        t = np.linspace(-0.5, 0.5, 1001)
+        w = ricker(t, 25.0)
+        assert abs(np.trapezoid(w, t)) < 1e-6
+
+    def test_su3(self):
+        U = random_su3(np.random.default_rng(0), (3,))
+        assert np.allclose(np.linalg.det(U), 1.0)
+
+    def test_phases_alternate(self):
+        eta = staggered_phases((4, 4, 4, 4))
+        # eta_1 flips with x_0.
+        assert eta[1][0, 0, 0, 0] != eta[1][1, 0, 0, 0]
+
+    def test_transport_balanced(self):
+        src, dst, supply, demand = bipartite_transport(5, 4, 0.3, seed=0)
+        assert supply.sum() == pytest.approx(demand.sum())
