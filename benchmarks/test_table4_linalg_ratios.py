@@ -16,8 +16,8 @@ from repro.suite.tables import measure, table4_linalg
 from conftest import save_table
 
 
-def test_table4_regeneration(benchmark, output_dir, session_factory):
-    text = benchmark(lambda: table4_linalg(session_factory))
+def test_table4_regeneration(benchmark, output_dir, session_factory, table_runner):
+    text = benchmark(lambda: table4_linalg(session_factory, runner=table_runner))
     save_table(output_dir, "table4_linalg_ratios", text)
     assert "matrix-vector" in text and "fft" in text
 

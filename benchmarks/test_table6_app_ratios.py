@@ -15,8 +15,8 @@ from repro.suite.tables import measure, table6_apps
 from conftest import save_table
 
 
-def test_table6_regeneration(benchmark, output_dir, session_factory):
-    text = benchmark(lambda: table6_apps(session_factory))
+def test_table6_regeneration(benchmark, output_dir, session_factory, table_runner):
+    text = benchmark(lambda: table6_apps(session_factory, runner=table_runner))
     save_table(output_dir, "table6_app_ratios", text)
     assert "mdcell" in text and "qptransport" in text
 

@@ -11,10 +11,19 @@ Subcommands
     environment; ``--param k=v`` forwards benchmark parameters).
 ``suite``
     Run every benchmark with small default sizes and print a summary
-    table.
+    table.  Engine options (``--jobs``, ``--cache-dir``, ``--store``,
+    ``--timeout``, ``--retries``, ``--trace``) run the suite through
+    the parallel, cached, fault-tolerant execution engine.
 ``tables``
     Regenerate the paper's tables (1, 2, 3, 5, 7, 8 structural; 4 and
-    6 measured-vs-paper).
+    6 measured-vs-paper).  The measured tables accept the same engine
+    options.
+``sweep``
+    Sweep a benchmark parameter or the node count.
+``engine``
+    Inspect the run store: ``engine runs`` lists stored runs,
+    ``engine history`` prints per-job records, ``engine diff A B``
+    compares two stored runs metric-by-metric.
 """
 
 from __future__ import annotations
@@ -23,16 +32,22 @@ import argparse
 import sys
 from typing import Callable, Dict, List, Optional
 
-from repro.machine.presets import cm5, cm5e, generic_cluster, workstation
+from repro.machine.presets import (
+    FIXED_NODE_PRESETS,
+    PRESETS,
+    resolve_machine,
+)
 from repro.machine.session import Session
 from repro.versions import VersionTier
 
-MACHINES: Dict[str, Callable[[int], object]] = {
-    "cm5": cm5,
-    "cm5e": cm5e,
-    "cluster": generic_cluster,
-    "workstation": lambda nodes: workstation(),
-}
+#: Legacy alias of :data:`repro.machine.presets.PRESETS`.
+MACHINES: Dict[str, Callable[..., object]] = dict(PRESETS)
+
+#: Default run-store path for the ``engine`` inspection commands.
+DEFAULT_STORE = ".repro/runs.jsonl"
+
+#: Default node count for presets without a fixed size.
+DEFAULT_NODES = 32
 
 
 def _parse_value(text: str):
@@ -58,9 +73,42 @@ def _parse_params(entries: Optional[List[str]]) -> Dict[str, object]:
     return params
 
 
+def _effective_nodes(machine: str, nodes: Optional[int]) -> int:
+    """Resolve ``--nodes``, rejecting conflicts with fixed-size presets.
+
+    The workstation preset is a single shared-memory node; silently
+    dropping an explicit ``--nodes`` would misreport what was
+    simulated, so a conflicting request is an error.
+    """
+    fixed = FIXED_NODE_PRESETS.get(machine)
+    if fixed is not None:
+        if nodes is not None and nodes != fixed:
+            raise SystemExit(
+                f"--nodes {nodes} conflicts with machine preset "
+                f"{machine!r}, which is fixed at {fixed} node(s)"
+            )
+        return fixed
+    return nodes if nodes is not None else DEFAULT_NODES
+
+
 def _make_session(args) -> Session:
-    machine = MACHINES[args.machine](args.nodes)
-    return Session(machine, tier=VersionTier(args.tier))
+    nodes = _effective_nodes(args.machine, args.nodes)
+    return Session(
+        resolve_machine(args.machine, nodes), tier=VersionTier(args.tier)
+    )
+
+
+def _engine_config(args):
+    from repro.engine import EngineConfig
+
+    return EngineConfig(
+        jobs=args.jobs,
+        timeout=args.timeout,
+        retries=args.retries,
+        cache_dir=args.cache_dir,
+        store=args.store,
+        trace=args.trace,
+    )
 
 
 def _cmd_list(args) -> int:
@@ -98,31 +146,111 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_suite(args) -> int:
-    from repro.suite import run_suite
+    from repro.engine import Engine, plan_suite
     from repro.suite.tables import format_table
 
-    reports = run_suite(lambda: _make_session(args))
+    nodes = _effective_nodes(args.machine, args.nodes)
+    requests = plan_suite(machine=args.machine, nodes=nodes, tier=args.tier)
+    engine = Engine(_engine_config(args))
+    results = engine.run(requests)
+
+    by_name = {result.request.benchmark: result for result in results}
     rows = []
-    for name in sorted(reports):
-        r = reports[name]
-        eff = r.arithmetic_efficiency
-        rows.append(
-            [
-                name,
-                f"{r.busy_time:.6f}",
-                f"{r.elapsed_time:.6f}",
-                f"{r.busy_floprate_mflops:.2f}",
-                f"{r.flop_count}",
-                f"{100 * eff:.2f}%" if eff is not None else "-",
-            ]
-        )
+    for name in sorted(by_name):
+        result = by_name[name]
+        if result.ok:
+            r = result.report
+            eff = r.arithmetic_efficiency
+            rows.append(
+                [
+                    name,
+                    f"{r.busy_time:.6f}",
+                    f"{r.elapsed_time:.6f}",
+                    f"{r.busy_floprate_mflops:.2f}",
+                    f"{r.flop_count}",
+                    f"{100 * eff:.2f}%" if eff is not None else "-",
+                    result.status,
+                ]
+            )
+        else:
+            rows.append([name, "-", "-", "-", "-", "-", result.status])
     print(
         format_table(
-            ["Benchmark", "Busy (s)", "Elapsed (s)", "MFLOP/s", "FLOPs", "Eff"],
+            [
+                "Benchmark",
+                "Busy (s)",
+                "Elapsed (s)",
+                "MFLOP/s",
+                "FLOPs",
+                "Eff",
+                "Status",
+            ],
             rows,
         )
     )
-    return 0
+    counts = {s: 0 for s in ("ok", "cached", "failed", "timeout")}
+    for result in results:
+        counts[result.status] += 1
+    print(
+        f"\nengine: {len(results)} jobs  "
+        + "  ".join(f"{status}={n}" for status, n in counts.items())
+    )
+    bad = [r for r in results if not r.ok]
+    for result in bad:
+        print(f"  {result.request.describe()}: {result.status}: {result.error}")
+    return 1 if bad else 0
+
+
+def _engine_table_runner(args, nodes: int, wanted) -> Optional[Callable]:
+    """Prefetch the measured tables' runs through the engine.
+
+    Returns a ``(name, params) -> PerfReport`` runner backed by the
+    prefetched (possibly cached, possibly parallel) results, or None
+    when no measured table was requested.
+    """
+    from repro.engine import Engine, RunRequest
+    from repro.suite import tables
+
+    runs = []
+    if 4 in wanted:
+        runs.extend(tables.TABLE4_RUNS)
+    if 6 in wanted:
+        runs.extend(tables.TABLE6_RUNS)
+    if not runs:
+        return None
+
+    def _request(name: str, params: Dict[str, object]) -> "RunRequest":
+        return RunRequest(
+            benchmark=name,
+            machine=args.machine,
+            nodes=nodes,
+            tier=args.tier,
+            params=params,
+        )
+
+    requests, seen = [], set()
+    for run in runs:
+        request = _request(run.name, run.params_dict)
+        if request.content_hash() not in seen:
+            seen.add(request.content_hash())
+            requests.append(request)
+    engine = Engine(_engine_config(args))
+    results = {r.request.content_hash(): r for r in engine.run(requests)}
+
+    def runner(name: str, params: Dict[str, object]):
+        result = results.get(_request(name, params).content_hash())
+        if result is None:  # a run the plan did not cover; run inline
+            from repro.suite.runner import run_benchmark
+
+            return run_benchmark(name, _make_session(args), **params)
+        if not result.ok:
+            raise SystemExit(
+                f"table run {result.request.describe()} {result.status}: "
+                f"{result.error}"
+            )
+        return result.report
+
+    return runner
 
 
 def _cmd_tables(args) -> int:
@@ -136,15 +264,25 @@ def _cmd_tables(args) -> int:
         7: tables.table7_comm,
         8: tables.table8_techniques,
     }
-    measured = {
-        4: lambda: tables.table4_linalg(lambda: _make_session(args)),
-        6: lambda: tables.table6_apps(lambda: _make_session(args)),
-    }
-    wanted = args.numbers or sorted({**structural, **measured})
+    measured_numbers = (4, 6)
+    wanted = args.numbers or sorted(
+        list(structural) + list(measured_numbers)
+    )
     for number in wanted:
-        fn = structural.get(number) or measured.get(number)
-        if fn is None:
+        if number not in structural and number not in measured_numbers:
             raise SystemExit(f"no table {number}; choose from 1-8")
+    nodes = _effective_nodes(args.machine, args.nodes)
+    runner = _engine_table_runner(args, nodes, set(wanted))
+    measured = {
+        4: lambda: tables.table4_linalg(
+            lambda: _make_session(args), runner=runner
+        ),
+        6: lambda: tables.table6_apps(
+            lambda: _make_session(args), runner=runner
+        ),
+    }
+    for number in wanted:
+        fn = structural.get(number) or measured[number]
         print(f"=== Table {number} ===")
         print(fn())
         print()
@@ -161,7 +299,12 @@ def _cmd_sweep(args) -> int:
     values = [_parse_value(v) for v in args.values.split(",")]
     fixed = _parse_params(args.param)
     if args.over == "nodes":
-        factory = MACHINES[args.machine]
+        if args.machine in FIXED_NODE_PRESETS:
+            raise SystemExit(
+                f"cannot sweep nodes on machine preset {args.machine!r} "
+                f"(fixed at {FIXED_NODE_PRESETS[args.machine]} node(s))"
+            )
+        factory = PRESETS[args.machine]
         sweep = machine_sweep(
             args.name, factory, values, fixed, tier=VersionTier(args.tier)
         )
@@ -179,6 +322,91 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _cmd_engine_runs(args) -> int:
+    from repro.engine import RunStore
+    from repro.suite.tables import format_table
+
+    store = RunStore(args.store)
+    records = store.records()
+    if not records:
+        print(f"no runs stored in {args.store}")
+        return 0
+    rows = []
+    for run_id in store.run_ids():
+        run = [r for r in records if r.get("run_id") == run_id]
+        counts: Dict[str, int] = {}
+        for record in run:
+            counts[record.get("status", "?")] = (
+                counts.get(record.get("status", "?"), 0) + 1
+            )
+        summary = " ".join(f"{s}={n}" for s, n in sorted(counts.items()))
+        rows.append([run_id, str(len(run)), summary])
+    print(format_table(["Run id", "Jobs", "Statuses"], rows))
+    return 0
+
+
+def _cmd_engine_history(args) -> int:
+    from repro.engine import RunStore
+    from repro.suite.tables import format_table
+
+    store = RunStore(args.store)
+    records = store.history(benchmark=args.benchmark, limit=args.limit)
+    if not records:
+        print(f"no matching records in {args.store}")
+        return 0
+    rows = []
+    for record in records:
+        report = record.get("report") or {}
+        rows.append(
+            [
+                record.get("run_id", "?")[:13],
+                record.get("benchmark", "?"),
+                record.get("status", "?"),
+                str(record.get("attempts", "-")),
+                f"{record.get('wall_time_s', 0.0):.3f}",
+                (
+                    f"{report.get('elapsed_time_s'):.6f}"
+                    if report.get("elapsed_time_s") is not None
+                    else "-"
+                ),
+                (
+                    f"{report.get('busy_floprate_mflops'):.2f}"
+                    if report.get("busy_floprate_mflops") is not None
+                    else "-"
+                ),
+                record.get("error") or "",
+            ]
+        )
+    print(
+        format_table(
+            [
+                "Run",
+                "Benchmark",
+                "Status",
+                "Att",
+                "Wall (s)",
+                "Elapsed (s)",
+                "MFLOP/s",
+                "Error",
+            ],
+            rows,
+        )
+    )
+    return 0
+
+
+def _cmd_engine_diff(args) -> int:
+    from repro.engine import RunStore, diff_runs
+
+    store = RunStore(args.store)
+    try:
+        print(diff_runs(store, args.run_a, args.run_b))
+    except KeyError as exc:
+        # str(KeyError) wraps the message in repr quotes; unwrap it.
+        raise SystemExit(exc.args[0] if exc.args else str(exc)) from None
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse CLI."""
     parser = argparse.ArgumentParser(
@@ -189,17 +417,45 @@ def build_parser() -> argparse.ArgumentParser:
 
     def _add_machine_args(p):
         p.add_argument(
-            "--machine", choices=sorted(MACHINES), default="cm5",
+            "--machine", choices=sorted(PRESETS), default="cm5",
             help="simulated machine preset (default: cm5)",
         )
         p.add_argument(
-            "--nodes", type=int, default=32, help="node count (default: 32)"
+            "--nodes", type=int, default=None,
+            help="node count (default: 32; workstation is fixed at 1)",
         )
         p.add_argument(
             "--tier",
             choices=[t.value for t in VersionTier],
             default="basic",
             help="code-version tier of Table 1 (default: basic)",
+        )
+
+    def _add_engine_args(p):
+        p.add_argument(
+            "--jobs", type=int, default=1, metavar="N",
+            help="worker processes for parallel execution (default: 1)",
+        )
+        p.add_argument(
+            "--cache-dir", metavar="DIR",
+            help="content-addressed result cache; unchanged (request, "
+            "code) pairs are served from disk without re-simulating",
+        )
+        p.add_argument(
+            "--store", metavar="PATH",
+            help="append every result to this JSONL run store",
+        )
+        p.add_argument(
+            "--timeout", type=float, metavar="SEC",
+            help="per-job timeout in seconds (enforced in --jobs>1 mode)",
+        )
+        p.add_argument(
+            "--retries", type=int, default=0, metavar="K",
+            help="retries per failed job before recording it (default: 0)",
+        )
+        p.add_argument(
+            "--trace", metavar="PATH",
+            help="write structured engine events to this JSONL trace",
         )
 
     p_list = sub.add_parser("list", help="list registered benchmarks")
@@ -218,6 +474,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_suite = sub.add_parser("suite", help="run the whole suite")
     _add_machine_args(p_suite)
+    _add_engine_args(p_suite)
     p_suite.set_defaults(fn=_cmd_suite)
 
     p_tables = sub.add_parser("tables", help="regenerate the paper's tables")
@@ -225,6 +482,7 @@ def build_parser() -> argparse.ArgumentParser:
         "numbers", nargs="*", type=int, help="table numbers (default: all)"
     )
     _add_machine_args(p_tables)
+    _add_engine_args(p_tables)
     p_tables.set_defaults(fn=_cmd_tables)
 
     p_sweep = sub.add_parser(
@@ -245,13 +503,59 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_machine_args(p_sweep)
     p_sweep.set_defaults(fn=_cmd_sweep)
+
+    p_engine = sub.add_parser(
+        "engine", help="inspect the execution engine's run store"
+    )
+    sub_engine = p_engine.add_subparsers(dest="engine_command", required=True)
+
+    p_runs = sub_engine.add_parser("runs", help="list stored runs")
+    p_runs.add_argument(
+        "--store", default=DEFAULT_STORE, metavar="PATH",
+        help=f"run store to read (default: {DEFAULT_STORE})",
+    )
+    p_runs.set_defaults(fn=_cmd_engine_runs)
+
+    p_history = sub_engine.add_parser(
+        "history", help="print stored per-job records"
+    )
+    p_history.add_argument(
+        "--store", default=DEFAULT_STORE, metavar="PATH",
+        help=f"run store to read (default: {DEFAULT_STORE})",
+    )
+    p_history.add_argument(
+        "--benchmark", metavar="NAME", help="only this benchmark"
+    )
+    p_history.add_argument(
+        "--limit", type=int, default=None, metavar="N",
+        help="only the most recent N records",
+    )
+    p_history.set_defaults(fn=_cmd_engine_history)
+
+    p_diff = sub_engine.add_parser(
+        "diff", help="compare two stored runs (unique id prefixes accepted)"
+    )
+    p_diff.add_argument("run_a")
+    p_diff.add_argument("run_b")
+    p_diff.add_argument(
+        "--store", default=DEFAULT_STORE, metavar="PATH",
+        help=f"run store to read (default: {DEFAULT_STORE})",
+    )
+    p_diff.set_defaults(fn=_cmd_engine_diff)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:  # e.g. `repro engine history | head`
+        try:
+            sys.stdout.close()
+        except BrokenPipeError:
+            pass
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

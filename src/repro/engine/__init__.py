@@ -1,0 +1,70 @@
+"""Suite execution engine: parallel, cached, fault-tolerant runs.
+
+The engine is the managed layer between the simulation core and every
+consumer (CLI, tables, benchmark harness, sweeps):
+
+* :mod:`repro.engine.jobs` — :class:`RunRequest`, the declarative,
+  content-hashed unit of work, and ``execute_request``;
+* :mod:`repro.engine.executor` — the :class:`Engine`: process-pool
+  fan-out, per-job timeout, bounded retry with backoff, graceful
+  degradation to serial execution;
+* :mod:`repro.engine.cache` — content-addressed result cache keyed by
+  (code fingerprint, request hash);
+* :mod:`repro.engine.store` — append-only JSONL run store of every
+  result, with run grouping and diffing;
+* :mod:`repro.engine.trace` — structured engine events (JSONL trace
+  and progress callbacks);
+* :mod:`repro.engine.plan` — grid/sweep expansion into deduplicated
+  request lists.
+
+Quickstart::
+
+    from repro.engine import Engine, EngineConfig, plan_suite
+
+    engine = Engine(EngineConfig(jobs=4, cache_dir=".repro/cache",
+                                 store=".repro/runs.jsonl"))
+    results = engine.run(plan_suite())
+    reports = {r.request.benchmark: r.report for r in results if r.ok}
+
+See ``docs/ENGINE.md`` for architecture and format details.
+"""
+
+from repro.engine.cache import ResultCache, code_fingerprint
+from repro.engine.executor import (
+    Engine,
+    EngineConfig,
+    InjectedFailure,
+    RunResult,
+)
+from repro.engine.jobs import RunRequest, execute_request
+from repro.engine.plan import (
+    expand_grid,
+    machine_sweep_requests,
+    plan_suite,
+    sweep_from_results,
+    tier_sweep_requests,
+)
+from repro.engine.store import RunStore, diff_runs, new_run_id
+from repro.engine.trace import EngineEvent, Tracer, read_trace
+
+__all__ = [
+    "Engine",
+    "EngineConfig",
+    "EngineEvent",
+    "InjectedFailure",
+    "ResultCache",
+    "RunRequest",
+    "RunResult",
+    "RunStore",
+    "Tracer",
+    "code_fingerprint",
+    "diff_runs",
+    "execute_request",
+    "expand_grid",
+    "machine_sweep_requests",
+    "new_run_id",
+    "plan_suite",
+    "read_trace",
+    "sweep_from_results",
+    "tier_sweep_requests",
+]

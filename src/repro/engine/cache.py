@@ -1,0 +1,100 @@
+"""Content-addressed result cache.
+
+A cached entry is keyed by *(code fingerprint, request hash)*: the
+request hash covers everything the run depends on declaratively
+(benchmark, machine, nodes, tier, params, seed) and the code
+fingerprint covers the implementation — a digest over every ``*.py``
+source file of the :mod:`repro` package.  Editing any source file
+invalidates the whole cache; unchanged (request, code) pairs are served
+from disk without re-simulating.
+
+Entries live under ``<root>/<fingerprint[:16]>/<hash>.json`` and store
+the full result record (status, report, wall time), written atomically
+via a temporary file so a killed run never leaves a torn entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from functools import lru_cache
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.engine.jobs import RunRequest
+
+
+@lru_cache(maxsize=1)
+def code_fingerprint() -> str:
+    """SHA-256 digest over the repro package's Python sources.
+
+    Files are hashed in sorted relative-path order, path and content
+    both, so renames and edits alike change the fingerprint.  Cached
+    per process: the sources cannot change under a running engine.
+    """
+    import repro
+
+    package_root = Path(repro.__file__).resolve().parent
+    digest = hashlib.sha256()
+    for path in sorted(package_root.rglob("*.py")):
+        digest.update(str(path.relative_to(package_root)).encode("utf-8"))
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+class ResultCache:
+    """Disk cache of finished run records, content-addressed."""
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        fingerprint: Optional[str] = None,
+    ) -> None:
+        self.root = Path(root)
+        self.fingerprint = fingerprint or code_fingerprint()
+
+    def _entry_path(self, request: RunRequest) -> Path:
+        return self.root / self.fingerprint[:16] / f"{request.content_hash()}.json"
+
+    def get(self, request: RunRequest) -> Optional[Dict]:
+        """The stored result record, or None on a miss/torn entry."""
+        path = self._entry_path(request)
+        try:
+            with path.open(encoding="utf-8") as fh:
+                return json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            return None
+
+    def put(self, request: RunRequest, record: Dict) -> Path:
+        """Store a result record atomically; returns the entry path."""
+        path = self._entry_path(request)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(
+            json.dumps(record, sort_keys=True, indent=2), encoding="utf-8"
+        )
+        os.replace(tmp, path)
+        return path
+
+    def __contains__(self, request: RunRequest) -> bool:
+        return self._entry_path(request).exists()
+
+    def __len__(self) -> int:
+        """Number of entries for the current code fingerprint."""
+        bucket = self.root / self.fingerprint[:16]
+        if not bucket.is_dir():
+            return 0
+        return sum(1 for p in bucket.glob("*.json"))
+
+    def clear(self) -> int:
+        """Delete entries for the current fingerprint; returns count."""
+        bucket = self.root / self.fingerprint[:16]
+        removed = 0
+        if bucket.is_dir():
+            for path in bucket.glob("*.json"):
+                path.unlink()
+                removed += 1
+        return removed

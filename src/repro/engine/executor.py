@@ -1,0 +1,461 @@
+"""Fault-tolerant run-request executor.
+
+The :class:`Engine` turns a list of :class:`~repro.engine.jobs.RunRequest`
+into :class:`RunResult` s through four layers:
+
+* **cache** — requests whose (code fingerprint, request hash) entry
+  exists are served from disk as status ``cached``;
+* **execution** — remaining requests run either serially in-process or
+  fanned out over a process pool (``jobs > 1``), with graceful
+  degradation to serial when multiprocessing is unavailable;
+* **fault tolerance** — per-job timeout (process mode), bounded retry
+  with exponential backoff for failures, and isolation: one job
+  exhausting its retries is recorded ``failed``/``timeout`` without
+  aborting the rest;
+* **persistence** — every result (including cache hits) appends to the
+  run store, and every lifecycle step emits a trace event.
+
+Determinism: the simulation itself is deterministic, and both execution
+paths serialize reports with the same
+:func:`repro.metrics.serialize.report_to_dict`, so serial and parallel
+runs of the same request store byte-identical reports.
+
+Test hooks: ``REPRO_ENGINE_INJECT_FAIL=bench:N`` makes attempts
+``<= N`` of ``bench`` raise (``N`` < 0 or missing: every attempt);
+``REPRO_ENGINE_INJECT_SLEEP=bench:SECONDS`` delays the job (for
+exercising timeouts); ``REPRO_ENGINE_FORCE_SERIAL=1`` disables the
+process pool.  Hooks apply in workers and in serial mode alike.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from repro.engine.cache import ResultCache
+from repro.engine.jobs import RunRequest, execute_request
+from repro.engine.store import RunStore, make_record, new_run_id
+from repro.engine.trace import Tracer
+from repro.metrics.report import PerfReport
+from repro.metrics.serialize import report_from_dict, report_to_dict
+
+ENV_INJECT_FAIL = "REPRO_ENGINE_INJECT_FAIL"
+ENV_INJECT_SLEEP = "REPRO_ENGINE_INJECT_SLEEP"
+ENV_FORCE_SERIAL = "REPRO_ENGINE_FORCE_SERIAL"
+
+#: Final job statuses.
+STATUSES = ("ok", "failed", "timeout", "cached")
+
+
+class InjectedFailure(RuntimeError):
+    """Raised by the test-only failure-injection hook."""
+
+
+def _parse_injection(spec: str, benchmark: str) -> Optional[float]:
+    """The numeric argument of the first entry matching ``benchmark``."""
+    for entry in spec.split(","):
+        entry = entry.strip()
+        if not entry:
+            continue
+        name, _, arg = entry.partition(":")
+        if name not in ("*", benchmark):
+            continue
+        try:
+            return float(arg) if arg else -1.0
+        except ValueError:
+            return -1.0
+    return None
+
+
+def _apply_test_hooks(benchmark: str, attempt: int) -> None:
+    """Honor the failure/delay injection environment hooks."""
+    sleep_spec = os.environ.get(ENV_INJECT_SLEEP)
+    if sleep_spec:
+        seconds = _parse_injection(sleep_spec, benchmark)
+        if seconds is not None and seconds > 0:
+            time.sleep(seconds)
+    fail_spec = os.environ.get(ENV_INJECT_FAIL)
+    if fail_spec:
+        upto = _parse_injection(fail_spec, benchmark)
+        if upto is not None and (upto < 0 or attempt <= upto):
+            raise InjectedFailure(
+                f"injected failure for {benchmark!r} (attempt {attempt})"
+            )
+
+
+def _worker_run(payload: Dict) -> Dict:
+    """Process-pool entry point: execute one request attempt.
+
+    Takes and returns only JSON-safe dictionaries so the engine's
+    parallel and serial paths share one serialization (and the pickle
+    crossing stays trivial).
+    """
+    request = RunRequest.from_dict(payload["request"])
+    _apply_test_hooks(request.benchmark, payload["attempt"])
+    start = time.perf_counter()
+    report = execute_request(request)
+    return {
+        "report": report_to_dict(report),
+        "compute_time_s": time.perf_counter() - start,
+    }
+
+
+@dataclass
+class RunResult:
+    """Outcome of one request after caching/retries."""
+
+    request: RunRequest
+    status: str
+    report: Optional[PerfReport] = None
+    #: the exact JSON-safe report dictionary persisted to cache/store
+    report_record: Optional[Dict] = None
+    error: str = ""
+    attempts: int = 0
+    wall_time_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """Whether a report is available (fresh or cached)."""
+        return self.status in ("ok", "cached")
+
+
+@dataclass
+class EngineConfig:
+    """Tuning knobs of one engine invocation."""
+
+    jobs: int = 1
+    timeout: Optional[float] = None
+    retries: int = 0
+    backoff: float = 0.1
+    cache_dir: Optional[Union[str, Path]] = None
+    store: Optional[Union[str, Path]] = None
+    trace: Optional[Union[str, Path]] = None
+    #: serial in-process mode only: let job exceptions propagate to the
+    #: caller instead of recording a ``failed`` result (the historical
+    #: ``run_suite`` contract).
+    raise_on_error: bool = False
+    run_id: Optional[str] = None
+
+
+def _pool_supported() -> bool:
+    """Whether a process pool can be used on this platform."""
+    if os.environ.get(ENV_FORCE_SERIAL):
+        return False
+    try:
+        import concurrent.futures  # noqa: F401
+        import multiprocessing
+
+        multiprocessing.get_context()
+    except Exception:  # pragma: no cover - platform-specific
+        return False
+    return True
+
+
+class Engine:
+    """Parallel, cached, fault-tolerant executor of run requests."""
+
+    def __init__(
+        self,
+        config: Optional[EngineConfig] = None,
+        *,
+        tracer: Optional[Tracer] = None,
+        progress: Optional[Callable[[RunResult], None]] = None,
+    ) -> None:
+        self.config = config or EngineConfig()
+        self.tracer = tracer or Tracer(self.config.trace)
+        self.progress = progress
+
+    # -- public API -----------------------------------------------------
+    def run(
+        self,
+        requests: Sequence[RunRequest],
+        session_factory: Optional[Callable[[], object]] = None,
+    ) -> List[RunResult]:
+        """Execute requests; results come back in request order.
+
+        ``session_factory`` forces serial in-process execution (an
+        arbitrary factory cannot be shipped to workers) and replaces
+        the declarative machine spec — the compatibility path for
+        :func:`repro.suite.runner.run_suite`.
+        """
+        requests = list(requests)
+        config = self.config
+        run_id = config.run_id or new_run_id()
+        cache = (
+            ResultCache(config.cache_dir) if config.cache_dir is not None else None
+        )
+        store = RunStore(config.store) if config.store is not None else None
+        results: List[Optional[RunResult]] = [None] * len(requests)
+
+        self.tracer.emit(
+            "run_started", detail=run_id, jobs=config.jobs, n=len(requests)
+        )
+        pending: List[int] = []
+        for index, request in enumerate(requests):
+            self.tracer.emit("job_submitted", request)
+            hit = cache.get(request) if cache is not None else None
+            if hit is not None and hit.get("report") is not None:
+                result = RunResult(
+                    request=request,
+                    status="cached",
+                    report=report_from_dict(hit["report"]),
+                    report_record=hit["report"],
+                    attempts=0,
+                    wall_time_s=0.0,
+                )
+                results[index] = result
+                self.tracer.emit("job_cached", request)
+                self._finish(request, result)
+            else:
+                pending.append(index)
+
+        if pending:
+            use_pool = (
+                config.jobs > 1
+                and session_factory is None
+                and not config.raise_on_error
+                and _pool_supported()
+            )
+            if use_pool:
+                self._run_pool(requests, pending, results, cache)
+            else:
+                self._run_serial(
+                    requests, pending, results, cache, session_factory
+                )
+
+        final = [r for r in results if r is not None]
+        if store is not None:
+            store.extend(make_record(run_id, result) for result in final)
+        counts = {s: 0 for s in STATUSES}
+        for result in final:
+            counts[result.status] += 1
+        self.tracer.emit("run_finished", detail=run_id, **counts)
+        return final
+
+    # -- shared helpers -------------------------------------------------
+    def _finish(self, request: RunRequest, result: RunResult) -> None:
+        self.tracer.emit(
+            "job_finished",
+            request,
+            status=result.status,
+            attempt=result.attempts,
+            detail=result.error,
+        )
+        if self.progress is not None:
+            self.progress(result)
+
+    def _ok_result(
+        self,
+        request: RunRequest,
+        record: Dict,
+        attempts: int,
+        wall: float,
+        cache: Optional[ResultCache],
+    ) -> RunResult:
+        result = RunResult(
+            request=request,
+            status="ok",
+            report=report_from_dict(record),
+            report_record=record,
+            attempts=attempts,
+            wall_time_s=wall,
+        )
+        if cache is not None:
+            cache.put(
+                request,
+                {
+                    "request": request.to_dict(),
+                    "request_hash": request.content_hash(),
+                    "status": "ok",
+                    "wall_time_s": wall,
+                    "report": record,
+                },
+            )
+        return result
+
+    def _backoff_delay(self, attempt: int) -> float:
+        return self.config.backoff * (2 ** (attempt - 1))
+
+    # -- serial path ----------------------------------------------------
+    def _run_serial(
+        self,
+        requests: Sequence[RunRequest],
+        indices: Sequence[int],
+        results: List[Optional[RunResult]],
+        cache: Optional[ResultCache],
+        session_factory: Optional[Callable[[], object]],
+    ) -> None:
+        """In-process execution: the degradation and compatibility path.
+
+        Per-job timeouts are not enforced here — a single process
+        cannot preempt its own benchmark — so ``timeout`` only bounds
+        jobs in process-pool mode.
+        """
+        for index in indices:
+            request = requests[index]
+            attempt = 0
+            while True:
+                attempt += 1
+                self.tracer.emit("job_started", request, attempt=attempt)
+                start = time.perf_counter()
+                try:
+                    _apply_test_hooks(request.benchmark, attempt)
+                    report = execute_request(request, session_factory)
+                except Exception as exc:
+                    if self.config.raise_on_error:
+                        raise
+                    wall = time.perf_counter() - start
+                    error = f"{type(exc).__name__}: {exc}"
+                    if attempt <= self.config.retries:
+                        self.tracer.emit(
+                            "job_retried", request, attempt=attempt, detail=error
+                        )
+                        time.sleep(self._backoff_delay(attempt))
+                        continue
+                    result = RunResult(
+                        request=request,
+                        status="failed",
+                        error=error,
+                        attempts=attempt,
+                        wall_time_s=wall,
+                    )
+                else:
+                    wall = time.perf_counter() - start
+                    result = self._ok_result(
+                        request, report_to_dict(report), attempt, wall, cache
+                    )
+                results[index] = result
+                self._finish(request, result)
+                break
+
+    # -- process-pool path ----------------------------------------------
+    def _run_pool(
+        self,
+        requests: Sequence[RunRequest],
+        indices: Sequence[int],
+        results: List[Optional[RunResult]],
+        cache: Optional[ResultCache],
+    ) -> None:
+        """Fan requests out over a process pool with timeout + retry.
+
+        At most ``jobs`` requests are in flight, so a job's deadline
+        starts when it is handed to the pool.  A timed-out job that the
+        pool cannot cancel forces a pool restart (the stuck worker is
+        abandoned); in-flight siblings are resubmitted at the same
+        attempt number.
+        """
+        import concurrent.futures as cf
+
+        config = self.config
+        try:
+            pool = cf.ProcessPoolExecutor(max_workers=config.jobs)
+        except Exception:  # pragma: no cover - restricted platforms
+            self._run_serial(requests, indices, results, cache, None)
+            return
+
+        queue = deque((index, 1) for index in indices)
+        inflight: Dict[object, tuple] = {}
+
+        def submit(index: int, attempt: int) -> None:
+            request = requests[index]
+            payload = {"request": request.to_dict(), "attempt": attempt}
+            self.tracer.emit("job_started", request, attempt=attempt)
+            future = pool.submit(_worker_run, payload)
+            deadline = (
+                time.perf_counter() + config.timeout
+                if config.timeout is not None
+                else None
+            )
+            inflight[future] = (index, attempt, deadline, time.perf_counter())
+
+        def fail_or_retry(index, attempt, wall, error, kind) -> None:
+            request = requests[index]
+            if attempt <= config.retries:
+                self.tracer.emit(
+                    "job_retried", request, attempt=attempt, detail=error
+                )
+                time.sleep(self._backoff_delay(attempt))
+                queue.append((index, attempt + 1))
+                return
+            result = RunResult(
+                request=request,
+                status=kind,
+                error=error,
+                attempts=attempt,
+                wall_time_s=wall,
+            )
+            results[index] = result
+            self._finish(request, result)
+
+        try:
+            while queue or inflight:
+                while queue and len(inflight) < config.jobs:
+                    index, attempt = queue.popleft()
+                    submit(index, attempt)
+
+                now = time.perf_counter()
+                deadlines = [d for _, _, d, _ in inflight.values() if d is not None]
+                wait_for = 0.25
+                if deadlines:
+                    wait_for = max(0.0, min(deadlines) - now) + 0.01
+                done, _ = cf.wait(
+                    set(inflight), timeout=wait_for, return_when=cf.FIRST_COMPLETED
+                )
+
+                for future in done:
+                    index, attempt, _, started = inflight.pop(future)
+                    request = requests[index]
+                    wall = time.perf_counter() - started
+                    try:
+                        payload = future.result()
+                    except Exception as exc:
+                        fail_or_retry(
+                            index,
+                            attempt,
+                            wall,
+                            f"{type(exc).__name__}: {exc}",
+                            "failed",
+                        )
+                    else:
+                        result = self._ok_result(
+                            request, payload["report"], attempt, wall, cache
+                        )
+                        results[index] = result
+                        self._finish(request, result)
+
+                # -- expire overdue jobs --------------------------------
+                now = time.perf_counter()
+                expired = [
+                    (future, meta)
+                    for future, meta in inflight.items()
+                    if meta[2] is not None and now > meta[2]
+                ]
+                if not expired:
+                    continue
+                needs_restart = False
+                for future, (index, attempt, _, started) in expired:
+                    del inflight[future]
+                    if not future.cancel():
+                        needs_restart = True
+                    fail_or_retry(
+                        index,
+                        attempt,
+                        now - started,
+                        f"timed out after {config.timeout:g}s",
+                        "timeout",
+                    )
+                if needs_restart:
+                    # A running worker cannot be cancelled; abandon the
+                    # pool and resubmit the surviving in-flight jobs.
+                    survivors = list(inflight.values())
+                    inflight.clear()
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    pool = cf.ProcessPoolExecutor(max_workers=config.jobs)
+                    for index, attempt, _, _ in survivors:
+                        queue.appendleft((index, attempt))
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)

@@ -1,0 +1,139 @@
+"""Run requests: the engine's unit of work.
+
+A :class:`RunRequest` names everything needed to reproduce one
+benchmark execution — benchmark, machine preset, node count, code
+version tier, parameter overrides and an optional seed — in a purely
+declarative, picklable, hashable form.  Its canonical JSON encoding
+gives every request a stable content hash, which keys the result cache
+and identifies the run in the store and trace.
+
+The declarative form (preset *names*, not machine objects) is what lets
+the executor ship requests to worker processes and rebuild identical
+sessions on the other side.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping, Optional, Tuple
+
+from repro.machine.presets import resolve_machine
+from repro.machine.session import Session
+from repro.versions import VersionTier
+
+#: JSON-representable scalar types allowed as parameter values.
+PARAM_SCALARS = (str, int, float, bool, type(None))
+
+
+def _freeze_params(params: Mapping[str, object]) -> Tuple[Tuple[str, object], ...]:
+    """Normalize a parameter mapping to a sorted, hashable tuple."""
+    items = []
+    for key in sorted(params):
+        value = params[key]
+        if not isinstance(value, PARAM_SCALARS):
+            raise TypeError(
+                f"parameter {key!r} has non-scalar value {value!r}; "
+                "run requests carry only JSON scalars"
+            )
+        items.append((str(key), value))
+    return tuple(items)
+
+
+@dataclass(frozen=True)
+class RunRequest:
+    """One reproducible benchmark execution, content-addressable.
+
+    ``params`` may be given as a mapping; it is normalized to a sorted
+    tuple of pairs so that equal requests hash equally regardless of
+    insertion order.  ``seed`` participates in the content hash and is
+    forwarded to the benchmark as a ``seed=`` parameter when set (only
+    benchmarks that accept one should be given a seed).
+    """
+
+    benchmark: str
+    machine: str = "cm5"
+    nodes: int = 32
+    tier: str = "basic"
+    params: Tuple[Tuple[str, object], ...] = ()
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        params = self.params
+        if isinstance(params, Mapping):
+            frozen = _freeze_params(params)
+        else:
+            frozen = _freeze_params(dict(params))
+        object.__setattr__(self, "params", frozen)
+        VersionTier(self.tier)  # validate eagerly, before any worker sees it
+
+    # -- views ----------------------------------------------------------
+    @property
+    def params_dict(self) -> Dict[str, object]:
+        """Parameter overrides as a plain dictionary."""
+        return dict(self.params)
+
+    def describe(self) -> str:
+        """Short human-readable label for progress/trace output."""
+        return f"{self.benchmark} [{self.machine}/{self.nodes} {self.tier}]"
+
+    # -- canonical encoding ---------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe dictionary (inverse of :meth:`from_dict`)."""
+        return {
+            "benchmark": self.benchmark,
+            "machine": self.machine,
+            "nodes": self.nodes,
+            "tier": self.tier,
+            "params": {k: v for k, v in self.params},
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, record: Mapping[str, object]) -> "RunRequest":
+        """Rebuild a request from :meth:`to_dict` output."""
+        return cls(
+            benchmark=record["benchmark"],
+            machine=record.get("machine", "cm5"),
+            nodes=record.get("nodes", 32),
+            tier=record.get("tier", "basic"),
+            params=record.get("params", {}),
+            seed=record.get("seed"),
+        )
+
+    def canonical(self) -> str:
+        """Deterministic JSON encoding (sorted keys, compact)."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    def content_hash(self) -> str:
+        """SHA-256 of the canonical encoding; keys cache and store."""
+        return hashlib.sha256(self.canonical().encode("utf-8")).hexdigest()
+
+    # -- execution ------------------------------------------------------
+    def build_session(self) -> Session:
+        """Construct a fresh session matching this request's spec."""
+        machine = resolve_machine(self.machine, self.nodes)
+        return Session(machine, tier=VersionTier(self.tier))
+
+
+def execute_request(
+    request: RunRequest,
+    session_factory: Optional[Callable[[], Session]] = None,
+):
+    """Run one request to a :class:`~repro.metrics.report.PerfReport`.
+
+    ``session_factory`` overrides the request's declarative machine
+    spec with a caller-built session (the in-process compatibility path
+    used by :func:`repro.suite.runner.run_suite`); worker processes
+    always build the session from the spec.
+    """
+    from repro.suite.runner import run_benchmark
+
+    session = session_factory() if session_factory is not None else (
+        request.build_session()
+    )
+    params = request.params_dict
+    if request.seed is not None:
+        params.setdefault("seed", request.seed)
+    return run_benchmark(request.benchmark, session, **params)

@@ -1,0 +1,170 @@
+"""Sweep planning: expand parameter grids into run requests.
+
+Where :mod:`repro.suite.sweeps` *executes* a sweep inline, this module
+only *plans* one — a cartesian grid over benchmarks × machines × node
+counts × tiers becomes a deduplicated list of
+:class:`~repro.engine.jobs.RunRequest`, which the engine can then run
+in parallel, cache and persist.  ``sweep_from_results`` closes the loop
+by assembling engine results back into the familiar
+:class:`~repro.suite.sweeps.SweepResult` so all existing series/table
+helpers keep working.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.engine.jobs import RunRequest
+from repro.versions import VersionTier
+
+
+def _dedup(requests: Iterable[RunRequest]) -> List[RunRequest]:
+    """Drop duplicate requests (by content hash), preserving order."""
+    seen = set()
+    out = []
+    for request in requests:
+        key = request.content_hash()
+        if key not in seen:
+            seen.add(key)
+            out.append(request)
+    return out
+
+
+def expand_grid(
+    benchmarks: Sequence[str],
+    *,
+    machines: Sequence[str] = ("cm5",),
+    nodes: Sequence[int] = (32,),
+    tiers: Sequence[str] = ("basic",),
+    params: Optional[Mapping[str, Mapping[str, object]]] = None,
+    common_params: Optional[Mapping[str, object]] = None,
+    seed: Optional[int] = None,
+    validate: bool = True,
+) -> List[RunRequest]:
+    """Cartesian benchmarks × machines × nodes × tiers grid.
+
+    ``params`` maps benchmark name to per-benchmark overrides, merged
+    over ``common_params``.  Benchmarks that do not provide a requested
+    tier are still planned (the runner falls back to the tier's merged
+    parameters); unknown benchmark names raise unless ``validate`` is
+    False.
+    """
+    if validate:
+        from repro.suite.registry import REGISTRY
+
+        unknown = [name for name in benchmarks if name not in REGISTRY]
+        if unknown:
+            known = ", ".join(sorted(REGISTRY))
+            raise KeyError(
+                f"unknown benchmark(s) {', '.join(unknown)}; known: {known}"
+            )
+    params = params or {}
+    requests = []
+    for machine in machines:
+        for node_count in nodes:
+            for tier in tiers:
+                VersionTier(tier)
+                for name in benchmarks:
+                    merged = {**(common_params or {}), **params.get(name, {})}
+                    requests.append(
+                        RunRequest(
+                            benchmark=name,
+                            machine=machine,
+                            nodes=node_count,
+                            tier=tier,
+                            params=merged,
+                            seed=seed,
+                        )
+                    )
+    return _dedup(requests)
+
+
+def plan_suite(
+    names: Optional[Iterable[str]] = None,
+    *,
+    machine: str = "cm5",
+    nodes: int = 32,
+    tier: str = "basic",
+    params: Optional[Mapping[str, Mapping[str, object]]] = None,
+    seed: Optional[int] = None,
+) -> List[RunRequest]:
+    """One request per benchmark, registry order by default.
+
+    Unknown names are *not* rejected here — they surface as a
+    ``KeyError`` at execution time, preserving the historical
+    ``run_suite`` contract.
+    """
+    from repro.suite.registry import REGISTRY
+
+    benchmarks = list(names) if names is not None else list(REGISTRY)
+    return expand_grid(
+        benchmarks,
+        machines=(machine,),
+        nodes=(nodes,),
+        tiers=(tier,),
+        params=params,
+        seed=seed,
+        validate=False,
+    )
+
+
+def machine_sweep_requests(
+    benchmark: str,
+    node_counts: Sequence[int],
+    *,
+    machine: str = "cm5",
+    tier: str = "basic",
+    params: Optional[Mapping[str, object]] = None,
+) -> List[RunRequest]:
+    """Strong-scaling plan: fixed problem, growing machine."""
+    return expand_grid(
+        [benchmark],
+        machines=(machine,),
+        nodes=tuple(node_counts),
+        tiers=(tier,),
+        params={benchmark: dict(params or {})},
+    )
+
+
+def tier_sweep_requests(
+    benchmark: str,
+    tiers: Sequence[str],
+    *,
+    machine: str = "cm5",
+    nodes: int = 32,
+    params: Optional[Mapping[str, object]] = None,
+) -> List[RunRequest]:
+    """The Table-1 version study as a request plan."""
+    return expand_grid(
+        [benchmark],
+        machines=(machine,),
+        nodes=(nodes,),
+        tiers=tuple(tiers),
+        params={benchmark: dict(params or {})},
+    )
+
+
+def sweep_from_results(parameter: str, values: Sequence, results):
+    """Assemble engine results into a :class:`SweepResult`.
+
+    ``results`` must be in sweep order (the engine preserves request
+    order) and all successful; failed points raise so a sweep series
+    is never silently truncated or misaligned.
+    """
+    from repro.suite.sweeps import SweepResult
+
+    results = list(results)
+    if len(results) != len(values):
+        raise ValueError(
+            f"sweep over {len(values)} values got {len(results)} results"
+        )
+    bad = [r for r in results if not r.ok]
+    if bad:
+        detail = "; ".join(
+            f"{r.request.describe()}: {r.status} {r.error}".strip() for r in bad
+        )
+        raise RuntimeError(f"sweep contains unsuccessful points: {detail}")
+    benchmark = results[0].request.benchmark if results else ""
+    sweep = SweepResult(benchmark, parameter, tuple(values))
+    sweep.reports = [r.report for r in results]
+    return sweep

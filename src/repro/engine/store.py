@@ -1,0 +1,187 @@
+"""Append-only JSONL run store.
+
+Every job a run executes — succeeded, failed, timed out or served from
+cache — appends one record to the store: the request (and its content
+hash), the run id grouping one engine invocation, the final status,
+wall time, attempts, error text and the full serialized
+:class:`~repro.metrics.report.PerfReport` (via
+:mod:`repro.metrics.serialize`).  The store is the durable history the
+``engine history`` / ``engine diff`` CLI commands read, and what makes
+two runs comparable across machines, sizes and code tiers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Union
+
+#: Store record schema version, bumped on incompatible changes.
+SCHEMA_VERSION = 1
+
+
+def new_run_id() -> str:
+    """A unique id for one engine invocation (time-ordered prefix)."""
+    return f"{int(time.time() * 1000):013x}-{os.urandom(4).hex()}"
+
+
+class RunStore:
+    """One append-only JSONL file of run records."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+
+    # -- writing --------------------------------------------------------
+    def append(self, record: Dict) -> None:
+        """Append one record (a single JSON line, flushed)."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as fh:
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+
+    def extend(self, records: Iterable[Dict]) -> None:
+        """Append many records in one file handle."""
+        records = list(records)
+        if not records:
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as fh:
+            for record in records:
+                fh.write(json.dumps(record, sort_keys=True) + "\n")
+
+    # -- reading --------------------------------------------------------
+    def records(self) -> List[Dict]:
+        """All records in append order (empty if the file is missing)."""
+        if not self.path.exists():
+            return []
+        out = []
+        with self.path.open(encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if line:
+                    out.append(json.loads(line))
+        return out
+
+    def run_ids(self) -> List[str]:
+        """Distinct run ids in first-seen order."""
+        seen: List[str] = []
+        for record in self.records():
+            run_id = record.get("run_id", "")
+            if run_id and run_id not in seen:
+                seen.append(run_id)
+        return seen
+
+    def run_records(self, run_id: str) -> List[Dict]:
+        """Records of one run; a unique run-id prefix is accepted."""
+        matches = [r for r in self.run_ids() if r.startswith(run_id)]
+        if not matches:
+            raise KeyError(f"no run with id (prefix) {run_id!r} in {self.path}")
+        if len(matches) > 1:
+            raise KeyError(
+                f"run id prefix {run_id!r} is ambiguous: {', '.join(matches)}"
+            )
+        resolved = matches[0]
+        return [r for r in self.records() if r.get("run_id") == resolved]
+
+    def history(
+        self,
+        benchmark: Optional[str] = None,
+        limit: Optional[int] = None,
+    ) -> List[Dict]:
+        """Most-recent-last record list, optionally filtered/truncated."""
+        records = self.records()
+        if benchmark is not None:
+            records = [r for r in records if r.get("benchmark") == benchmark]
+        if limit is not None and limit >= 0:
+            records = records[-limit:]
+        return records
+
+
+def make_record(run_id: str, result) -> Dict:
+    """Build the store record for one :class:`RunResult`."""
+    request = result.request
+    return {
+        "schema": SCHEMA_VERSION,
+        "run_id": run_id,
+        "ts": time.time(),
+        "benchmark": request.benchmark,
+        "request": request.to_dict(),
+        "request_hash": request.content_hash(),
+        "status": result.status,
+        "attempts": result.attempts,
+        "wall_time_s": result.wall_time_s,
+        "error": result.error or None,
+        "report": result.report_record,
+    }
+
+
+#: Metrics compared by ``diff_runs``, as (record key, label) pairs.
+DIFF_METRICS = (
+    ("busy_time_s", "busy (s)"),
+    ("elapsed_time_s", "elapsed (s)"),
+    ("flop_count", "FLOPs"),
+    ("busy_floprate_mflops", "MFLOP/s"),
+    ("memory_bytes", "memory (B)"),
+    ("network_bytes", "net (B)"),
+)
+
+
+def diff_runs(store: RunStore, run_a: str, run_b: str) -> str:
+    """Compare two stored runs benchmark-by-benchmark.
+
+    Jobs are matched on benchmark name (the request hashes may differ —
+    comparing configurations is the point).  Returns a plain-text table
+    of metric ratios plus lists of jobs present in only one run.
+    """
+    from repro.suite.tables import format_table
+
+    def _keyed(records: List[Dict]) -> Dict[str, Dict]:
+        # Jobs match across runs by benchmark name; when one run holds
+        # several jobs of the same benchmark (a sweep), disambiguate by
+        # append order, which the engine keeps equal to plan order.
+        out: Dict[str, Dict] = {}
+        counts: Dict[str, int] = {}
+        for record in records:
+            name = record.get("benchmark", "?")
+            n = counts.get(name, 0)
+            counts[name] = n + 1
+            out[f"{name}#{n}" if n else name] = record
+        return out
+
+    records_a = _keyed(store.run_records(run_a))
+    records_b = _keyed(store.run_records(run_b))
+    shared = sorted(set(records_a) & set(records_b))
+    headers = ["Benchmark", "Status A", "Status B"] + [
+        f"{label} B/A" for _, label in DIFF_METRICS
+    ]
+    rows = []
+    identical = 0
+    for name in shared:
+        rec_a, rec_b = records_a[name], records_b[name]
+        rep_a, rep_b = rec_a.get("report") or {}, rec_b.get("report") or {}
+        cells = [name, rec_a.get("status", "?"), rec_b.get("status", "?")]
+        same = bool(rep_a) and rep_a == rep_b
+        identical += same
+        for key, _ in DIFF_METRICS:
+            va, vb = rep_a.get(key), rep_b.get(key)
+            if va is None or vb is None:
+                cells.append("-")
+            elif va == vb:
+                cells.append("=")
+            elif not va:
+                cells.append("inf")
+            else:
+                cells.append(f"{vb / va:.4g}x")
+        rows.append(cells)
+    lines = [format_table(headers, rows)] if rows else []
+    lines.append(
+        f"\n{len(shared)} shared jobs, {identical} with identical reports"
+    )
+    only_a = sorted(set(records_a) - set(records_b))
+    only_b = sorted(set(records_b) - set(records_a))
+    if only_a:
+        lines.append(f"only in {run_a}: {', '.join(only_a)}")
+    if only_b:
+        lines.append(f"only in {run_b}: {', '.join(only_b)}")
+    return "\n".join(lines)

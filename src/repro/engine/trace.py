@@ -1,0 +1,122 @@
+"""Structured engine events.
+
+Every lifecycle step of a job — submitted, started, retried, finished
+(with status), plus run-level bracketing events — is emitted as an
+:class:`EngineEvent`.  A :class:`Tracer` fans events out to an optional
+JSONL trace file and an optional callback (the CLI's progress printer,
+a test's recording hook).  The trace is diagnostic metadata: event
+timestamps are wall-clock and intentionally live *outside* the stored
+reports, which stay deterministic.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, IO, Optional, Union
+
+#: Event kinds, in rough lifecycle order.
+EVENT_KINDS = (
+    "run_started",
+    "job_submitted",
+    "job_started",
+    "job_retried",
+    "job_cached",
+    "job_finished",
+    "run_finished",
+)
+
+
+@dataclass
+class EngineEvent:
+    """One structured engine event."""
+
+    kind: str
+    ts: float = 0.0
+    benchmark: str = ""
+    request_hash: str = ""
+    attempt: int = 0
+    status: str = ""
+    detail: str = ""
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        record = asdict(self)
+        extra = record.pop("extra")
+        record.update(extra)
+        return record
+
+
+class Tracer:
+    """Emit engine events to a JSONL file and/or a callback.
+
+    Both sinks are optional; a sink-less tracer is a cheap no-op, so
+    engine code can emit unconditionally.  The file is opened lazily in
+    append mode and flushed per event so a killed run leaves a readable
+    trace.
+    """
+
+    def __init__(
+        self,
+        path: Optional[Union[str, Path]] = None,
+        callback: Optional[Callable[[EngineEvent], None]] = None,
+    ) -> None:
+        self.path = Path(path) if path is not None else None
+        self.callback = callback
+        self._fh: Optional[IO[str]] = None
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any sink is attached."""
+        return self.path is not None or self.callback is not None
+
+    def emit(self, kind: str, request=None, **fields) -> Optional[EngineEvent]:
+        """Build and dispatch one event; returns it (None when no-op)."""
+        if kind not in EVENT_KINDS:
+            raise ValueError(f"unknown event kind {kind!r}")
+        if not self.enabled:
+            return None
+        event = EngineEvent(
+            kind=kind,
+            ts=time.time(),
+            benchmark=request.benchmark if request is not None else "",
+            request_hash=request.content_hash() if request is not None else "",
+            attempt=fields.pop("attempt", 0),
+            status=fields.pop("status", ""),
+            detail=fields.pop("detail", ""),
+            extra=fields,
+        )
+        if self.path is not None:
+            if self._fh is None:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                self._fh = self.path.open("a", encoding="utf-8")
+            self._fh.write(json.dumps(event.to_dict(), sort_keys=True) + "\n")
+            self._fh.flush()
+        if self.callback is not None:
+            self.callback(event)
+        return event
+
+    def close(self) -> None:
+        """Close the trace file, if open."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def read_trace(path: Union[str, Path]):
+    """Parse a JSONL trace file into a list of event dictionaries."""
+    out = []
+    with Path(path).open(encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                out.append(json.loads(line))
+    return out

@@ -12,6 +12,8 @@ machines with very different latency/bandwidth balances.
 
 from __future__ import annotations
 
+from typing import Callable, Dict, Optional
+
 from repro.machine.model import LocalModel, MachineModel
 from repro.machine.network import NetworkModel
 
@@ -88,3 +90,42 @@ def workstation() -> MachineModel:
         network=NetworkModel(),
         local=LocalModel(memory_bandwidth=4e9),
     )
+
+
+#: Named presets addressable by string (CLI, run requests, stored runs).
+PRESETS: Dict[str, Callable[..., MachineModel]] = {
+    "cm5": cm5,
+    "cm5e": cm5e,
+    "cluster": generic_cluster,
+    "workstation": workstation,
+}
+
+#: Presets whose machines have a fixed node count.
+FIXED_NODE_PRESETS: Dict[str, int] = {"workstation": 1}
+
+
+def resolve_machine(name: str, nodes: Optional[int] = None) -> MachineModel:
+    """Build a preset machine by name, validating the node count.
+
+    ``nodes=None`` picks the preset's default size.  Presets with a
+    fixed node count (``workstation``) reject any other ``nodes`` value
+    instead of silently ignoring it.
+    """
+    try:
+        factory = PRESETS[name]
+    except KeyError:
+        known = ", ".join(sorted(PRESETS))
+        raise KeyError(f"unknown machine preset {name!r}; known: {known}") from None
+    fixed = FIXED_NODE_PRESETS.get(name)
+    if fixed is not None:
+        if nodes is not None and nodes != fixed:
+            raise ValueError(
+                f"machine preset {name!r} has a fixed node count of {fixed}; "
+                f"got nodes={nodes}"
+            )
+        return factory()
+    if nodes is None:
+        return factory()
+    if nodes < 1:
+        raise ValueError(f"nodes must be >= 1, got {nodes}")
+    return factory(nodes)

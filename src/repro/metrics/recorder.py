@@ -157,6 +157,24 @@ class MetricsRecorder:
         """Innermost open region."""
         return self._stack[-1]
 
+    @property
+    def has_activity(self) -> bool:
+        """Whether anything has been recorded yet.
+
+        A fresh recorder has no child regions, no FLOPs, no simulated
+        time, no communication events and no memory declarations;
+        :func:`repro.suite.runner.run_benchmark` requires one so the
+        report's totals describe a single benchmark.
+        """
+        root = self.root
+        return bool(
+            root.children
+            or root.total_flops
+            or root.comm_events
+            or root.compute_busy
+            or self.memory.declarations
+        )
+
     @contextmanager
     def region(self, name: str, iterations: int = 1) -> Iterator[Region]:
         """Open a nested measurement region.

@@ -2,7 +2,10 @@
 
 The original suite wrote per-benchmark output files with the §1.5
 metrics; these helpers provide the modern equivalents for downstream
-tooling: a JSON document per report and CSV rows for whole-suite runs.
+tooling: a JSON document per report, CSV rows for whole-suite runs, and
+the inverse mapping (``report_from_dict``/``report_from_json``) that
+the execution engine's run store and result cache rely on — a report
+round-trips losslessly through ``report_to_dict``.
 """
 
 from __future__ import annotations
@@ -12,7 +15,10 @@ import io
 import json
 from typing import Dict, Iterable, List
 
-from repro.metrics.report import PerfReport
+from repro.metrics.access import LocalAccess
+from repro.metrics.memory import TypeTag
+from repro.metrics.patterns import CommPattern
+from repro.metrics.report import PerfReport, SegmentReport
 
 
 def report_to_dict(report: PerfReport) -> Dict:
@@ -51,9 +57,15 @@ def report_to_dict(report: PerfReport) -> Dict:
                 "busy_time_s": seg.busy_time,
                 "elapsed_time_s": seg.elapsed_time,
                 "busy_floprate_mflops": seg.busy_floprate_mflops,
+                "network_bytes": seg.network_bytes,
+                "comm_counts": {
+                    pattern.value: count
+                    for pattern, count in seg.comm_counts.items()
+                },
             }
             for seg in report.segments
         ],
+        "peak_mflops": report.peak_mflops,
         "observables": dict(report.extra),
     }
 
@@ -61,6 +73,68 @@ def report_to_dict(report: PerfReport) -> Dict:
 def report_to_json(report: PerfReport, indent: int = 2) -> str:
     """JSON document of one report (see report_to_dict)."""
     return json.dumps(report_to_dict(report), indent=indent, sort_keys=True)
+
+
+def canonical_report_json(record: Dict) -> str:
+    """Deterministic (sorted, compact) JSON of a report dictionary.
+
+    Two reports are byte-identical in the run store iff their canonical
+    JSON strings match; the engine's determinism guarantee (serial and
+    parallel execution produce the same stored reports) is stated over
+    this form.
+    """
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+def report_from_dict(record: Dict) -> PerfReport:
+    """Rebuild a :class:`PerfReport` from ``report_to_dict`` output.
+
+    Derived quantities (FLOP rates, efficiencies, per-iteration counts)
+    are ignored on input — they recompute from the stored fields.
+    """
+    segments = [
+        SegmentReport(
+            name=seg["name"],
+            iterations=seg["iterations"],
+            flop_count=seg["flop_count"],
+            busy_time=seg["busy_time_s"],
+            elapsed_time=seg["elapsed_time_s"],
+            comm_counts={
+                CommPattern(p): count
+                for p, count in seg.get("comm_counts", {}).items()
+            },
+            network_bytes=seg.get("network_bytes", 0),
+        )
+        for seg in record.get("segments", [])
+    ]
+    return PerfReport(
+        benchmark=record["benchmark"],
+        version=record["version"],
+        problem_size=record["problem_size"],
+        busy_time=record["busy_time_s"],
+        elapsed_time=record["elapsed_time_s"],
+        flop_count=record["flop_count"],
+        memory_bytes=record["memory_bytes"],
+        memory_by_tag={
+            TypeTag(tag): nbytes
+            for tag, nbytes in record.get("memory_by_tag", {}).items()
+        },
+        comm_counts={
+            CommPattern(p): count
+            for p, count in record.get("comm_counts", {}).items()
+        },
+        network_bytes=record["network_bytes"],
+        local_access=LocalAccess(record["local_access"]),
+        iterations=record.get("iterations", 1),
+        peak_mflops=record.get("peak_mflops"),
+        segments=segments,
+        extra=dict(record.get("observables", {})),
+    )
+
+
+def report_from_json(text: str) -> PerfReport:
+    """Rebuild a report from its JSON document."""
+    return report_from_dict(json.loads(text))
 
 
 #: columns of the CSV summary, in order.

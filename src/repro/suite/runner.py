@@ -12,9 +12,12 @@ from repro.suite.registry import REGISTRY
 def run_benchmark(name: str, session: Session, **params) -> PerfReport:
     """Run one benchmark in the given session and return its report.
 
-    The session's recorder must be fresh for the report's totals to
-    describe this benchmark alone (create one session per run).
-    Extra ``params`` override the spec's defaults.  The benchmark's
+    The session's recorder **must be fresh**: the report's totals are
+    read off the recorder root, so any previously recorded activity
+    (an earlier benchmark run, stray charges, memory declarations)
+    would silently pollute them.  A session with recorded activity
+    raises ``ValueError`` — create one session per run.  Extra
+    ``params`` override the spec's defaults.  The benchmark's
     verification observables are attached to ``report.extra``.
     """
     try:
@@ -22,6 +25,12 @@ def run_benchmark(name: str, session: Session, **params) -> PerfReport:
     except KeyError:
         known = ", ".join(sorted(REGISTRY))
         raise KeyError(f"unknown benchmark {name!r}; known: {known}") from None
+    if session.recorder.has_activity:
+        raise ValueError(
+            f"session recorder already has recorded activity; "
+            f"run_benchmark({name!r}) needs a fresh session so the "
+            f"report describes this benchmark alone"
+        )
     tier_overrides = spec.tier_params.get(session.tier, {})
     merged = {**spec.default_params, **tier_overrides, **params}
     result = spec.runner(session, **merged)
@@ -48,10 +57,16 @@ def run_suite(
     ``session_factory`` is a zero-argument callable returning a new
     :class:`Session` (e.g. ``lambda: Session(cm5(32))``); ``params``
     maps benchmark name to parameter overrides.
+
+    This is a thin wrapper over :mod:`repro.engine` in serial
+    in-process mode: exceptions propagate and no cache/store is
+    involved, preserving the historical contract.  Use the engine
+    directly for parallel, cached or persisted runs.
     """
-    params = params or {}
-    reports: Dict[str, PerfReport] = {}
-    for name in names if names is not None else REGISTRY:
-        session = session_factory()
-        reports[name] = run_benchmark(name, session, **params.get(name, {}))
-    return reports
+    from repro.engine.executor import Engine, EngineConfig
+    from repro.engine.plan import plan_suite
+
+    requests = plan_suite(names=names, params=params)
+    engine = Engine(EngineConfig(jobs=1, raise_on_error=True))
+    results = engine.run(requests, session_factory=session_factory)
+    return {result.request.benchmark: result.report for result in results}

@@ -9,6 +9,7 @@ formulas of :mod:`repro.suite.analytic`.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.machine.session import Session
@@ -127,21 +128,33 @@ def table8_techniques() -> str:
 # ---------------------------------------------------------------------------
 MeasuredRow = Tuple[str, float, float, Dict[CommPattern, float]]
 
+#: A runner maps (benchmark name, params) to a PerfReport.  The engine
+#: provides cached/parallel runners; None means run in-process.
+Runner = Callable[[str, Dict[str, object]], "object"]
+
 
 def measure(
     name: str,
-    session_factory: Callable[[], Session],
+    session_factory: Optional[Callable[[], Session]] = None,
     params: Optional[dict] = None,
     segment: Optional[str] = None,
+    runner: Optional[Runner] = None,
 ) -> MeasuredRow:
     """Run one benchmark and extract (flops/iter, memory, comm/iter).
 
     ``segment`` narrows the measurement to one named code segment —
     the paper reports ``lu``/``qr`` factorization and solution
-    separately (§1.5), so their Table-4 rows are per-segment.
+    separately (§1.5), so their Table-4 rows are per-segment.  The run
+    goes through ``runner`` when given (e.g. an engine-backed cached
+    runner), else through a fresh ``session_factory`` session.
     """
-    session = session_factory()
-    report = run_benchmark(name, session, **(params or {}))
+    if runner is not None:
+        report = runner(name, dict(params or {}))
+    elif session_factory is not None:
+        session = session_factory()
+        report = run_benchmark(name, session, **(params or {}))
+    else:
+        raise TypeError("measure() needs a session_factory or a runner")
     if segment is None:
         # Prefer the main_loop segment: several benchmarks verify their
         # numerics outside the loop, and the paper's per-iteration
@@ -199,145 +212,116 @@ def comparison_table(
     return format_table(headers, rows)
 
 
-def table4_linalg(session_factory: Callable[[], Session]) -> str:
+@dataclass(frozen=True)
+class TableRun:
+    """One measured row of Table 4/6: a run plus its analytic row.
+
+    Declaring the runs as data lets the CLI plan them as engine
+    requests (parallel, cached) before the table text is assembled.
+    """
+
+    name: str
+    params: Tuple[Tuple[str, object], ...]
+    analytic_row: analytic.AnalyticRow
+    segment: Optional[str] = None
+
+    @property
+    def params_dict(self) -> Dict[str, object]:
+        return dict(self.params)
+
+
+def _run(name, params, row, segment=None) -> TableRun:
+    return TableRun(name, tuple(sorted(params.items())), row, segment)
+
+
+#: Table 4 rows: linear-algebra kernels, measured vs analytic.
+TABLE4_RUNS: Tuple[TableRun, ...] = (
+    _run("matrix-vector", {"n": 64, "m": 64, "repeats": 2}, analytic.matvec(64, 64)),
+    _run("lu", {"n": 32}, analytic.lu_factor(32, 1), segment="factor"),
+    _run("lu", {"n": 32}, analytic.lu_solve(32, 1), segment="solve"),
+    _run("qr", {"m": 48, "n": 24}, analytic.qr_factor(48, 24), segment="factor"),
+    _run("qr", {"m": 48, "n": 24}, analytic.qr_solve(48, 24), segment="solve"),
+    _run("gauss-jordan", {"n": 32}, analytic.gauss_jordan(32)),
+    _run("pcr", {"n": 64, "variant": 1}, analytic.pcr(64, 1)),
+    _run("conj-grad", {"n": 128}, analytic.conj_grad(128)),
+    _run("jacobi", {"n": 16}, analytic.jacobi(16)),
+    _run("fft", {"n": 256, "dims": 1}, analytic.fft(256, 1)),
+)
+
+
+def _measured_table(
+    runs: Sequence[TableRun],
+    session_factory: Optional[Callable[[], Session]],
+    runner: Optional[Runner],
+) -> str:
+    entries = [
+        (
+            measure(
+                run.name,
+                session_factory,
+                run.params_dict,
+                segment=run.segment,
+                runner=runner,
+            ),
+            run.analytic_row,
+        )
+        for run in runs
+    ]
+    return comparison_table(entries)
+
+
+def table4_linalg(
+    session_factory: Optional[Callable[[], Session]] = None,
+    runner: Optional[Runner] = None,
+) -> str:
     """Table 4: computation/communication ratios, linear algebra."""
-    n = 64
-    entries = [
-        (
-            measure("matrix-vector", session_factory, {"n": n, "m": n, "repeats": 2}),
-            analytic.matvec(n, n),
-        ),
-        (
-            measure("lu", session_factory, {"n": 32}, segment="factor"),
-            analytic.lu_factor(32, 1),
-        ),
-        (
-            measure("lu", session_factory, {"n": 32}, segment="solve"),
-            analytic.lu_solve(32, 1),
-        ),
-        (
-            measure("qr", session_factory, {"m": 48, "n": 24}, segment="factor"),
-            analytic.qr_factor(48, 24),
-        ),
-        (
-            measure("qr", session_factory, {"m": 48, "n": 24}, segment="solve"),
-            analytic.qr_solve(48, 24),
-        ),
-        (
-            measure("gauss-jordan", session_factory, {"n": 32}),
-            analytic.gauss_jordan(32),
-        ),
-        (
-            measure("pcr", session_factory, {"n": 64, "variant": 1}),
-            analytic.pcr(64, 1),
-        ),
-        (
-            measure("conj-grad", session_factory, {"n": 128}),
-            analytic.conj_grad(128),
-        ),
-        (measure("jacobi", session_factory, {"n": 16}), analytic.jacobi(16)),
-        (
-            measure("fft", session_factory, {"n": 256, "dims": 1}),
-            analytic.fft(256, 1),
-        ),
-    ]
-    return comparison_table(entries)
+    return _measured_table(TABLE4_RUNS, session_factory, runner)
 
 
-def table6_apps(session_factory: Callable[[], Session]) -> str:
+#: Table 6 rows: application codes, measured vs analytic.
+TABLE6_RUNS: Tuple[TableRun, ...] = (
+    _run("boson", {"nx": 8, "nt": 4, "sweeps": 4}, analytic.boson(4, 8, 8)),
+    _run("diff-1d", {"nx": 64, "steps": 3}, analytic.diff1d(64, 32)),
+    _run("diff-2d", {"nx": 32, "steps": 4}, analytic.diff2d(32)),
+    _run("diff-3d", {"nx": 12, "steps": 3}, analytic.diff3d(12, 12, 12)),
+    _run("ellip-2d", {"nx": 12}, analytic.ellip2d(12, 12)),
+    _run("fem-3d", {"nx": 2, "iterations": 10}, analytic.fem3d(4, 40, 27)),
+    _run("md", {"n_p": 16, "steps": 4}, analytic.md(16)),
+    _run("mdcell", {"nc": 4, "steps": 2}, analytic.mdcell(1.0, 64, 4, 4, 4)),
+    _run("n-body", {"n": 16, "variant": "spread"}, analytic.nbody(16, "spread")),
+    _run(
+        "pic-simple",
+        {"nx": 16, "n_p": 128, "steps": 2},
+        analytic.pic_simple(128, 16, 16),
+    ),
+    _run(
+        "pic-gather-scatter",
+        {"nx": 8, "n_p": 64, "steps": 2},
+        analytic.pic_gather_scatter(64, 8),
+    ),
+    _run("qcd-kernel", {"nx": 4, "iterations": 2}, analytic.qcd_kernel(4, 4, 4, 4)),
+    _run(
+        "qmc",
+        {"blocks": 1, "steps_per_block": 10, "n_w": 50},
+        analytic.qmc(2, 3, 50, 2),
+    ),
+    _run("qptransport", {"iterations": 10}, analytic.qptransport(33)),
+    _run("rp", {"nx": 6}, analytic.rp(6, 6, 6)),
+    _run("step4", {"nx": 12, "steps": 2}, analytic.step4(12, 12)),
+    _run("wave-1d", {"nx": 64, "steps": 4}, analytic.wave1d(64)),
+    _run("ks-spectral", {"nx": 32, "ne": 2, "steps": 3}, analytic.ks_spectral(32, 2)),
+    _run("gmo", {"ns": 128, "ntr": 16}, analytic.gmo(128 * 16)),
+    _run(
+        "fermion",
+        {"sites": 16, "n": 4, "sweeps": 2},
+        analytic.AnalyticRow("fermion", float("nan"), float("nan"), {}),
+    ),
+)
+
+
+def table6_apps(
+    session_factory: Optional[Callable[[], Session]] = None,
+    runner: Optional[Runner] = None,
+) -> str:
     """Table 6: computation/communication ratios, application codes."""
-    entries = [
-        (
-            measure("boson", session_factory, {"nx": 8, "nt": 4, "sweeps": 4}),
-            analytic.boson(4, 8, 8),
-        ),
-        (
-            measure("diff-1d", session_factory, {"nx": 64, "steps": 3}),
-            analytic.diff1d(64, 32),
-        ),
-        (
-            measure("diff-2d", session_factory, {"nx": 32, "steps": 4}),
-            analytic.diff2d(32),
-        ),
-        (
-            measure("diff-3d", session_factory, {"nx": 12, "steps": 3}),
-            analytic.diff3d(12, 12, 12),
-        ),
-        (
-            measure("ellip-2d", session_factory, {"nx": 12}),
-            analytic.ellip2d(12, 12),
-        ),
-        (
-            measure("fem-3d", session_factory, {"nx": 2, "iterations": 10}),
-            analytic.fem3d(4, 40, 27),
-        ),
-        (
-            measure("md", session_factory, {"n_p": 16, "steps": 4}),
-            analytic.md(16),
-        ),
-        (
-            measure("mdcell", session_factory, {"nc": 4, "steps": 2}),
-            analytic.mdcell(1.0, 64, 4, 4, 4),
-        ),
-        (
-            measure("n-body", session_factory, {"n": 16, "variant": "spread"}),
-            analytic.nbody(16, "spread"),
-        ),
-        (
-            measure(
-                "pic-simple",
-                session_factory,
-                {"nx": 16, "n_p": 128, "steps": 2},
-            ),
-            analytic.pic_simple(128, 16, 16),
-        ),
-        (
-            measure(
-                "pic-gather-scatter",
-                session_factory,
-                {"nx": 8, "n_p": 64, "steps": 2},
-            ),
-            analytic.pic_gather_scatter(64, 8),
-        ),
-        (
-            measure("qcd-kernel", session_factory, {"nx": 4, "iterations": 2}),
-            analytic.qcd_kernel(4, 4, 4, 4),
-        ),
-        (
-            measure(
-                "qmc",
-                session_factory,
-                {"blocks": 1, "steps_per_block": 10, "n_w": 50},
-            ),
-            analytic.qmc(2, 3, 50, 2),
-        ),
-        (
-            measure("qptransport", session_factory, {"iterations": 10}),
-            analytic.qptransport(33),
-        ),
-        (
-            measure("rp", session_factory, {"nx": 6}),
-            analytic.rp(6, 6, 6),
-        ),
-        (
-            measure("step4", session_factory, {"nx": 12, "steps": 2}),
-            analytic.step4(12, 12),
-        ),
-        (
-            measure("wave-1d", session_factory, {"nx": 64, "steps": 4}),
-            analytic.wave1d(64),
-        ),
-        (
-            measure("ks-spectral", session_factory, {"nx": 32, "ne": 2, "steps": 3}),
-            analytic.ks_spectral(32, 2),
-        ),
-        (
-            measure("gmo", session_factory, {"ns": 128, "ntr": 16}),
-            analytic.gmo(128 * 16),
-        ),
-        (
-            measure("fermion", session_factory, {"sites": 16, "n": 4, "sweeps": 2}),
-            analytic.AnalyticRow("fermion", float("nan"), float("nan"), {}),
-        ),
-    ]
-    return comparison_table(entries)
+    return _measured_table(TABLE6_RUNS, session_factory, runner)

@@ -1,0 +1,268 @@
+"""Unit tests for the execution engine's building blocks.
+
+Covers run requests (canonical hashing), the content-addressed cache,
+the JSONL run store, event tracing, and sweep planning.  Executor
+behavior (parallelism, retries, timeouts) lives in
+``test_engine_executor.py``.
+"""
+
+import json
+
+import pytest
+
+from repro.engine import (
+    Engine,
+    EngineConfig,
+    ResultCache,
+    RunRequest,
+    RunStore,
+    Tracer,
+    code_fingerprint,
+    diff_runs,
+    execute_request,
+    expand_grid,
+    machine_sweep_requests,
+    new_run_id,
+    plan_suite,
+    read_trace,
+    sweep_from_results,
+    tier_sweep_requests,
+)
+from repro.suite import REGISTRY
+
+
+class TestRunRequest:
+    def test_params_normalized(self):
+        a = RunRequest("fft", params={"n": 64, "dims": 1})
+        b = RunRequest("fft", params={"dims": 1, "n": 64})
+        assert a == b
+        assert a.content_hash() == b.content_hash()
+
+    def test_hash_covers_every_field(self):
+        base = RunRequest("fft", params={"n": 64})
+        assert base.content_hash() != RunRequest("lu", params={"n": 64}).content_hash()
+        assert base.content_hash() != RunRequest("fft", params={"n": 128}).content_hash()
+        assert base.content_hash() != RunRequest("fft", nodes=64, params={"n": 64}).content_hash()
+        assert base.content_hash() != RunRequest("fft", tier="cmssl", params={"n": 64}).content_hash()
+        assert base.content_hash() != RunRequest("fft", machine="cm5e", params={"n": 64}).content_hash()
+        assert base.content_hash() != RunRequest("fft", params={"n": 64}, seed=7).content_hash()
+
+    def test_dict_roundtrip(self):
+        request = RunRequest(
+            "qr", machine="cluster", nodes=8, tier="cmssl",
+            params={"m": 32, "n": 16}, seed=3,
+        )
+        assert RunRequest.from_dict(request.to_dict()) == request
+
+    def test_canonical_is_json(self):
+        request = RunRequest("fft", params={"n": 64})
+        assert json.loads(request.canonical())["benchmark"] == "fft"
+
+    def test_bad_tier_rejected_eagerly(self):
+        with pytest.raises(ValueError):
+            RunRequest("fft", tier="turbo")
+
+    def test_non_scalar_param_rejected(self):
+        with pytest.raises(TypeError, match="non-scalar"):
+            RunRequest("fft", params={"n": [1, 2]})
+
+    def test_build_session_matches_spec(self):
+        request = RunRequest("fft", machine="cm5e", nodes=64, tier="library")
+        session = request.build_session()
+        assert session.machine.nodes == 64
+        assert "CM-5E" in session.machine.name
+        assert session.tier.value == "library"
+
+    def test_workstation_spec_rejects_multi_node(self):
+        with pytest.raises(ValueError, match="fixed node count"):
+            RunRequest("fft", machine="workstation", nodes=4).build_session()
+
+    def test_execute_request(self):
+        report = execute_request(RunRequest("ellip-2d", params={"nx": 8}))
+        assert report.benchmark == "ellip-2d"
+        assert report.flop_count > 0
+
+
+class TestResultCache:
+    @pytest.fixture
+    def cache(self, tmp_path):
+        return ResultCache(tmp_path / "cache")
+
+    def test_miss_then_hit(self, cache):
+        request = RunRequest("fft", params={"n": 64})
+        assert cache.get(request) is None
+        cache.put(request, {"status": "ok", "report": {"flop_count": 1}})
+        assert cache.get(request)["report"]["flop_count"] == 1
+        assert request in cache
+        assert len(cache) == 1
+
+    def test_keyed_by_request(self, cache):
+        cache.put(RunRequest("fft", params={"n": 64}), {"status": "ok"})
+        assert cache.get(RunRequest("fft", params={"n": 128})) is None
+
+    def test_code_fingerprint_invalidates(self, tmp_path):
+        request = RunRequest("fft")
+        ResultCache(tmp_path, fingerprint="a" * 64).put(request, {"s": 1})
+        assert ResultCache(tmp_path, fingerprint="b" * 64).get(request) is None
+        assert ResultCache(tmp_path, fingerprint="a" * 64).get(request) == {"s": 1}
+
+    def test_fingerprint_is_stable_hex(self):
+        assert code_fingerprint() == code_fingerprint()
+        int(code_fingerprint(), 16)
+        assert len(code_fingerprint()) == 64
+
+    def test_torn_entry_is_a_miss(self, cache):
+        request = RunRequest("fft")
+        path = cache.put(request, {"status": "ok"})
+        path.write_text("{not json")
+        assert cache.get(request) is None
+
+    def test_clear(self, cache):
+        cache.put(RunRequest("fft"), {"s": 1})
+        cache.put(RunRequest("lu"), {"s": 2})
+        assert cache.clear() == 2
+        assert len(cache) == 0
+
+
+class TestRunStore:
+    def test_append_and_read(self, tmp_path):
+        store = RunStore(tmp_path / "runs.jsonl")
+        assert store.records() == []
+        store.append({"run_id": "r1", "benchmark": "fft", "status": "ok"})
+        store.append({"run_id": "r1", "benchmark": "lu", "status": "failed"})
+        store.append({"run_id": "r2", "benchmark": "fft", "status": "cached"})
+        assert len(store.records()) == 3
+        assert store.run_ids() == ["r1", "r2"]
+        assert [r["benchmark"] for r in store.run_records("r1")] == ["fft", "lu"]
+
+    def test_prefix_resolution(self, tmp_path):
+        store = RunStore(tmp_path / "runs.jsonl")
+        store.append({"run_id": "abc-123", "benchmark": "fft"})
+        store.append({"run_id": "abd-456", "benchmark": "fft"})
+        assert store.run_records("abc")[0]["run_id"] == "abc-123"
+        with pytest.raises(KeyError, match="ambiguous"):
+            store.run_records("ab")
+        with pytest.raises(KeyError, match="no run"):
+            store.run_records("zzz")
+
+    def test_history_filter_and_limit(self, tmp_path):
+        store = RunStore(tmp_path / "runs.jsonl")
+        for i in range(5):
+            store.append({"run_id": "r", "benchmark": "fft", "i": i})
+            store.append({"run_id": "r", "benchmark": "lu", "i": i})
+        fft = store.history(benchmark="fft", limit=2)
+        assert [r["i"] for r in fft] == [3, 4]
+
+    def test_run_ids_unique(self):
+        assert new_run_id() != new_run_id()
+
+    def test_diff_runs(self, tmp_path):
+        store = RunStore(tmp_path / "runs.jsonl")
+        report = {"busy_time_s": 1.0, "elapsed_time_s": 2.0, "flop_count": 100,
+                  "busy_floprate_mflops": 1.0, "memory_bytes": 10,
+                  "network_bytes": 4}
+        half = dict(report, elapsed_time_s=1.0)
+        store.append({"run_id": "a", "benchmark": "fft", "status": "ok",
+                      "report": report})
+        store.append({"run_id": "a", "benchmark": "md", "status": "ok",
+                      "report": report})
+        store.append({"run_id": "b", "benchmark": "fft", "status": "ok",
+                      "report": half})
+        text = diff_runs(store, "a", "b")
+        assert "0.5x" in text          # elapsed halved
+        assert "=" in text             # unchanged metrics
+        assert "only in a: md" in text
+
+
+class TestTracer:
+    def test_jsonl_trace(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with Tracer(path) as tracer:
+            tracer.emit("run_started", detail="r1", jobs=2)
+            tracer.emit(
+                "job_finished", RunRequest("fft"), status="ok", attempt=1
+            )
+        events = read_trace(path)
+        assert [e["kind"] for e in events] == ["run_started", "job_finished"]
+        assert events[1]["benchmark"] == "fft"
+        assert events[1]["status"] == "ok"
+        assert events[1]["request_hash"] == RunRequest("fft").content_hash()
+        assert events[1]["ts"] >= events[0]["ts"]
+
+    def test_callback(self):
+        seen = []
+        tracer = Tracer(callback=seen.append)
+        tracer.emit("job_submitted", RunRequest("lu"))
+        assert seen[0].kind == "job_submitted"
+        assert seen[0].benchmark == "lu"
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown event kind"):
+            Tracer(callback=lambda e: None).emit("job_exploded")
+
+    def test_disabled_tracer_is_noop(self):
+        assert Tracer().emit("run_started") is None
+
+    def test_engine_emits_lifecycle(self, tmp_path):
+        events = []
+        engine = Engine(
+            EngineConfig(jobs=1), tracer=Tracer(callback=events.append)
+        )
+        engine.run([RunRequest("ellip-2d", params={"nx": 8})])
+        kinds = [e.kind for e in events]
+        assert kinds == [
+            "run_started",
+            "job_submitted",
+            "job_started",
+            "job_finished",
+            "run_finished",
+        ]
+
+
+class TestPlanning:
+    def test_plan_suite_covers_registry(self):
+        requests = plan_suite()
+        assert [r.benchmark for r in requests] == list(REGISTRY)
+
+    def test_plan_suite_subset_with_params(self):
+        requests = plan_suite(["fft", "lu"], params={"fft": {"n": 64}})
+        assert len(requests) == 2
+        assert requests[0].params_dict == {"n": 64}
+        assert requests[1].params_dict == {}
+
+    def test_expand_grid_cartesian_dedup(self):
+        requests = expand_grid(
+            ["fft"], nodes=(32, 64, 32), tiers=("basic", "optimized")
+        )
+        assert len(requests) == 4  # 2 distinct node counts x 2 tiers
+        assert len({r.content_hash() for r in requests}) == 4
+
+    def test_expand_grid_validates_names(self):
+        with pytest.raises(KeyError, match="unknown benchmark"):
+            expand_grid(["not-a-benchmark"])
+
+    def test_machine_and_tier_sweep_requests(self):
+        machine = machine_sweep_requests("diff-3d", [4, 16, 64], params={"nx": 8})
+        assert [r.nodes for r in machine] == [4, 16, 64]
+        tiers = tier_sweep_requests("fft", ["basic", "cmssl"], params={"n": 64})
+        assert [r.tier for r in tiers] == ["basic", "cmssl"]
+
+    def test_sweep_from_results(self):
+        requests = machine_sweep_requests(
+            "diff-3d", [4, 16], params={"nx": 8, "steps": 2}
+        )
+        results = Engine(EngineConfig()).run(requests)
+        sweep = sweep_from_results("nodes", [4, 16], results)
+        assert sweep.benchmark == "diff-3d"
+        assert sweep.parameter == "nodes"
+        series = sweep.series("elapsed_time")
+        assert series[0] > series[1]  # more nodes, faster
+
+    def test_sweep_from_results_rejects_failures(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE_INJECT_FAIL", "diff-3d")
+        requests = machine_sweep_requests(
+            "diff-3d", [4], params={"nx": 8, "steps": 2}
+        )
+        results = Engine(EngineConfig()).run(requests)
+        with pytest.raises(RuntimeError, match="unsuccessful"):
+            sweep_from_results("nodes", [4], results)

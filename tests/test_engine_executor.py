@@ -1,0 +1,221 @@
+"""Executor tests: parallelism, determinism, caching, fault tolerance.
+
+The acceptance bar for the engine: parallel execution must store
+byte-identical reports to serial execution, a warm cache must serve
+every job, and an injected worker failure must be retried per
+``retries`` and, on exhaustion, recorded as ``failed`` without
+aborting the remaining jobs.
+"""
+
+import pytest
+
+from repro import Session, cm5
+from repro.engine import (
+    Engine,
+    EngineConfig,
+    InjectedFailure,
+    RunRequest,
+    RunStore,
+    plan_suite,
+)
+from repro.engine.executor import (
+    ENV_FORCE_SERIAL,
+    ENV_INJECT_FAIL,
+    ENV_INJECT_SLEEP,
+    _parse_injection,
+)
+from repro.metrics.serialize import canonical_report_json
+from repro.suite import run_suite
+
+# A small, fast, structurally diverse slice of the suite.
+SUBSET = ["fft", "lu", "ellip-2d", "gmo", "md"]
+SUBSET_PARAMS = {
+    "fft": {"n": 64},
+    "lu": {"n": 16},
+    "ellip-2d": {"nx": 8},
+    "gmo": {"ns": 128, "ntr": 16},
+    "md": {"n_p": 8, "steps": 2},
+}
+
+
+def subset_requests():
+    return plan_suite(SUBSET, params=SUBSET_PARAMS)
+
+
+def canonical_reports(results):
+    return {
+        r.request.benchmark: canonical_report_json(r.report_record)
+        for r in results
+    }
+
+
+class TestDeterminism:
+    def test_parallel_matches_serial_byte_for_byte(self, tmp_path):
+        """Satellite: serial and --jobs 4 store byte-identical reports."""
+        serial = Engine(EngineConfig(jobs=1)).run(subset_requests())
+        parallel = Engine(EngineConfig(jobs=4)).run(subset_requests())
+        assert all(r.status == "ok" for r in serial)
+        assert all(r.status == "ok" for r in parallel)
+        assert canonical_reports(serial) == canonical_reports(parallel)
+
+    def test_second_run_served_entirely_from_cache(self, tmp_path):
+        cache = tmp_path / "cache"
+        first = Engine(EngineConfig(jobs=4, cache_dir=cache)).run(
+            subset_requests()
+        )
+        second = Engine(EngineConfig(jobs=4, cache_dir=cache)).run(
+            subset_requests()
+        )
+        assert all(r.status == "ok" for r in first)
+        assert all(r.status == "cached" for r in second)
+        assert canonical_reports(first) == canonical_reports(second)
+
+    def test_results_in_request_order(self):
+        results = Engine(EngineConfig(jobs=4)).run(subset_requests())
+        assert [r.request.benchmark for r in results] == SUBSET
+
+
+class TestFaultTolerance:
+    def test_retry_then_succeed(self, monkeypatch):
+        monkeypatch.setenv(ENV_INJECT_FAIL, "fft:2")
+        results = Engine(EngineConfig(retries=3, backoff=0.0)).run(
+            plan_suite(["fft"], params=SUBSET_PARAMS)
+        )
+        assert results[0].status == "ok"
+        assert results[0].attempts == 3  # two injected failures, then ok
+
+    def test_exhaustion_fails_without_aborting_siblings(self, monkeypatch):
+        """Acceptance: a failing job never takes down the rest."""
+        monkeypatch.setenv(ENV_INJECT_FAIL, "fft")  # every attempt fails
+        results = Engine(EngineConfig(retries=2, backoff=0.0)).run(
+            plan_suite(["fft", "gmo"], params=SUBSET_PARAMS)
+        )
+        by_name = {r.request.benchmark: r for r in results}
+        assert by_name["fft"].status == "failed"
+        assert by_name["fft"].attempts == 3  # initial + 2 retries
+        assert "InjectedFailure" in by_name["fft"].error
+        assert by_name["gmo"].status == "ok"
+
+    def test_pool_failure_isolation(self, monkeypatch):
+        monkeypatch.setenv(ENV_INJECT_FAIL, "fft")
+        results = Engine(EngineConfig(jobs=2, retries=1, backoff=0.0)).run(
+            plan_suite(["fft", "gmo", "lu"], params=SUBSET_PARAMS)
+        )
+        statuses = {r.request.benchmark: r.status for r in results}
+        assert statuses == {"fft": "failed", "gmo": "ok", "lu": "ok"}
+
+    def test_pool_timeout(self, monkeypatch):
+        monkeypatch.setenv(ENV_INJECT_SLEEP, "fft:10")
+        results = Engine(EngineConfig(jobs=2, timeout=0.5)).run(
+            plan_suite(["fft", "gmo"], params=SUBSET_PARAMS)
+        )
+        by_name = {r.request.benchmark: r for r in results}
+        assert by_name["fft"].status == "timeout"
+        assert "timed out after 0.5s" in by_name["fft"].error
+        assert by_name["gmo"].status == "ok"
+
+    def test_force_serial_degradation(self, monkeypatch):
+        monkeypatch.setenv(ENV_FORCE_SERIAL, "1")
+        results = Engine(EngineConfig(jobs=4)).run(
+            plan_suite(["fft", "lu"], params=SUBSET_PARAMS)
+        )
+        assert all(r.status == "ok" for r in results)
+
+    def test_failed_result_not_cached(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(ENV_INJECT_FAIL, "fft")
+        cache = tmp_path / "cache"
+        Engine(EngineConfig(cache_dir=cache)).run(
+            plan_suite(["fft"], params=SUBSET_PARAMS)
+        )
+        monkeypatch.delenv(ENV_INJECT_FAIL)
+        results = Engine(EngineConfig(cache_dir=cache)).run(
+            plan_suite(["fft"], params=SUBSET_PARAMS)
+        )
+        assert results[0].status == "ok"  # a failure must not poison the cache
+
+    def test_parse_injection(self):
+        assert _parse_injection("fft:2", "fft") == 2.0
+        assert _parse_injection("fft:2", "lu") is None
+        assert _parse_injection("fft", "fft") == -1.0
+        assert _parse_injection("*:1", "anything") == 1.0
+        assert _parse_injection("lu:1,fft:3", "fft") == 3.0
+
+    def test_injected_failure_raises_in_raise_mode(self, monkeypatch):
+        monkeypatch.setenv(ENV_INJECT_FAIL, "fft")
+        with pytest.raises(InjectedFailure):
+            run_suite(
+                lambda: Session(cm5(32)), ["fft"], params=SUBSET_PARAMS
+            )
+
+
+class TestStoreIntegration:
+    def test_every_outcome_is_recorded(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(ENV_INJECT_FAIL, "fft")
+        store_path = tmp_path / "runs.jsonl"
+        cache = tmp_path / "cache"
+        Engine(EngineConfig(store=store_path, cache_dir=cache)).run(
+            plan_suite(["fft", "gmo"], params=SUBSET_PARAMS)
+        )
+        monkeypatch.delenv(ENV_INJECT_FAIL)
+        Engine(EngineConfig(store=store_path, cache_dir=cache)).run(
+            plan_suite(["gmo"], params=SUBSET_PARAMS)
+        )
+        store = RunStore(store_path)
+        records = store.records()
+        assert [r["status"] for r in records] == ["failed", "ok", "cached"]
+        assert len(store.run_ids()) == 2
+        failed = records[0]
+        assert failed["benchmark"] == "fft"
+        assert failed["report"] is None
+        assert "InjectedFailure" in failed["error"]
+        ok = records[1]
+        assert ok["schema"] == 1
+        assert ok["report"]["flop_count"] > 0
+        assert ok["request"] == plan_suite(
+            ["gmo"], params=SUBSET_PARAMS
+        )[0].to_dict()
+        # The cached record carries the same report as the original run.
+        assert records[2]["report"] == ok["report"]
+
+    def test_store_records_wall_time_and_attempts(self, tmp_path):
+        store_path = tmp_path / "runs.jsonl"
+        Engine(EngineConfig(store=store_path)).run(
+            plan_suite(["fft"], params=SUBSET_PARAMS)
+        )
+        (record,) = RunStore(store_path).records()
+        assert record["attempts"] == 1
+        assert record["wall_time_s"] > 0
+
+
+class TestRunSuiteWrapper:
+    def test_run_suite_matches_engine(self):
+        suite = run_suite(
+            lambda: Session(cm5(32)), SUBSET, params=SUBSET_PARAMS
+        )
+        engine = Engine(EngineConfig()).run(subset_requests())
+        assert list(suite) == SUBSET
+        for result in engine:
+            assert suite[result.request.benchmark] == result.report
+
+    def test_run_suite_unknown_benchmark_raises(self):
+        with pytest.raises(KeyError):
+            run_suite(lambda: Session(cm5(32)), ["no-such-benchmark"])
+
+    def test_run_suite_custom_session_factory(self):
+        big = run_suite(
+            lambda: Session(cm5(64)), ["fft"], params=SUBSET_PARAMS
+        )
+        small = run_suite(
+            lambda: Session(cm5(32)), ["fft"], params=SUBSET_PARAMS
+        )
+        # Twice the nodes, twice the aggregate peak rate.
+        assert big["fft"].peak_mflops == 2 * small["fft"].peak_mflops
+
+    def test_fresh_recorder_enforced(self):
+        """Satellite: reusing a session's recorder is an error."""
+        from repro.suite import run_benchmark
+
+        session = Session(cm5(32))
+        run_benchmark("fft", session, n=64)
+        with pytest.raises(ValueError, match="fresh session"):
+            run_benchmark("fft", session, n=64)

@@ -1,0 +1,97 @@
+"""Round-trip tests for report serialization.
+
+The engine's run store and result cache persist reports as JSON and
+rebuild them on the way out, so ``report_to_dict``/``report_from_dict``
+must be lossless — including ``extra`` observables, the per-segment
+region breakdown, and the peak rate that anchors arithmetic
+efficiency.
+"""
+
+import json
+
+import pytest
+
+from repro import Session, cm5
+from repro.metrics.serialize import (
+    canonical_report_json,
+    report_from_dict,
+    report_from_json,
+    report_to_dict,
+    report_to_json,
+)
+from repro.suite import run_benchmark
+
+
+@pytest.fixture
+def segmented_report():
+    """md has nested segments, comm events, memory and observables."""
+    return run_benchmark("md", Session(cm5(16)), n_p=8, steps=3)
+
+
+@pytest.fixture
+def linalg_report():
+    return run_benchmark("ellip-2d", Session(cm5(32)), nx=8)
+
+
+class TestRoundTrip:
+    def test_dict_roundtrip_equality(self, segmented_report):
+        restored = report_from_dict(report_to_dict(segmented_report))
+        assert restored == segmented_report
+
+    def test_json_roundtrip_equality(self, linalg_report):
+        restored = report_from_json(report_to_json(linalg_report))
+        assert restored == linalg_report
+
+    def test_extra_observables_survive(self, segmented_report):
+        assert segmented_report.extra  # md verifies its numerics
+        restored = report_from_dict(report_to_dict(segmented_report))
+        assert restored.extra == segmented_report.extra
+
+    def test_segments_survive(self, segmented_report):
+        assert segmented_report.segments
+        restored = report_from_dict(report_to_dict(segmented_report))
+        assert [s.name for s in restored.segments] == [
+            s.name for s in segmented_report.segments
+        ]
+        for orig, back in zip(segmented_report.segments, restored.segments):
+            assert back == orig
+            assert back.comm_counts == orig.comm_counts
+            assert back.busy_floprate_mflops == orig.busy_floprate_mflops
+
+    def test_enums_rehydrate(self, segmented_report):
+        restored = report_from_dict(report_to_dict(segmented_report))
+        assert restored.local_access is segmented_report.local_access
+        assert restored.comm_counts == segmented_report.comm_counts
+        assert restored.memory_by_tag == segmented_report.memory_by_tag
+
+    def test_derived_metrics_recompute(self, segmented_report):
+        restored = report_from_dict(report_to_dict(segmented_report))
+        assert restored.peak_mflops == segmented_report.peak_mflops
+        assert (
+            restored.arithmetic_efficiency
+            == segmented_report.arithmetic_efficiency
+        )
+        assert (
+            restored.busy_floprate_mflops
+            == segmented_report.busy_floprate_mflops
+        )
+        assert restored.comm_per_iteration() == (
+            segmented_report.comm_per_iteration()
+        )
+
+    def test_double_roundtrip_is_stable(self, linalg_report):
+        once = report_to_dict(linalg_report)
+        twice = report_to_dict(report_from_dict(once))
+        assert canonical_report_json(once) == canonical_report_json(twice)
+
+
+class TestCanonicalJson:
+    def test_key_order_invariant(self, linalg_report):
+        record = report_to_dict(linalg_report)
+        shuffled = dict(reversed(list(record.items())))
+        assert canonical_report_json(record) == canonical_report_json(shuffled)
+
+    def test_compact(self, linalg_report):
+        text = canonical_report_json(report_to_dict(linalg_report))
+        assert "\n" not in text and ": " not in text
+        json.loads(text)  # still valid JSON
