@@ -23,7 +23,12 @@ Subcommands
 ``engine``
     Inspect the run store: ``engine runs`` lists stored runs,
     ``engine history`` prints per-job records, ``engine diff A B``
-    compares two stored runs metric-by-metric.
+    compares two stored runs metric-by-metric, ``engine stats RUN``
+    reports scheduler metrics (throughput, queue wait, utilization,
+    cache-hit rate, retry/timeout histograms), and ``engine check RUN
+    --baseline B --tolerance PCT`` gates a run's §1.5 metrics against
+    a baseline run or file, exiting non-zero on regression.  Run
+    references accept unique id prefixes, ``latest`` and ``@N``.
 """
 
 from __future__ import annotations
@@ -106,6 +111,7 @@ def _engine_config(args):
         timeout=args.timeout,
         retries=args.retries,
         cache_dir=args.cache_dir,
+        cache_prune=getattr(args, "cache_prune", False),
         store=args.store,
         trace=args.trace,
     )
@@ -147,7 +153,7 @@ def _cmd_run(args) -> int:
 
 def _cmd_suite(args) -> int:
     from repro.engine import Engine, plan_suite
-    from repro.suite.tables import format_table
+    from repro.suite.tables import engine_summary_line, format_table
 
     nodes = _effective_nodes(args.machine, args.nodes)
     requests = plan_suite(machine=args.machine, nodes=nodes, tier=args.tier)
@@ -188,13 +194,7 @@ def _cmd_suite(args) -> int:
             rows,
         )
     )
-    counts = {s: 0 for s in ("ok", "cached", "failed", "timeout")}
-    for result in results:
-        counts[result.status] += 1
-    print(
-        f"\nengine: {len(results)} jobs  "
-        + "  ".join(f"{status}={n}" for status, n in counts.items())
-    )
+    print("\n" + engine_summary_line(results, engine.last_run_stats))
     bad = [r for r in results if not r.ok]
     for result in bad:
         print(f"  {result.request.describe()}: {result.status}: {result.error}")
@@ -407,6 +407,75 @@ def _cmd_engine_diff(args) -> int:
     return 0
 
 
+def _load_run_stats(store, ref: str):
+    """One stored run's RunStats: the sidecar, else recomputed.
+
+    Runs recorded before the stats layer (or whose engine was killed
+    before the summary write) have no sidecar; their scheduler stats
+    are recomputed from the per-job records, with the worker count —
+    not recoverable from records — left unknown.
+    """
+    from repro.engine import RunStats, stats_from_records
+
+    run_id = store.resolve(ref)
+    sidecar = store.read_stats(run_id)
+    if sidecar is not None:
+        return RunStats.from_dict(sidecar)
+    return stats_from_records(store.run_records(run_id))
+
+
+def _cmd_engine_stats(args) -> int:
+    import json as json_module
+
+    from repro.engine import RunStore
+
+    store = RunStore(args.store)
+    try:
+        stats = _load_run_stats(store, args.run)
+    except KeyError as exc:
+        raise SystemExit(exc.args[0] if exc.args else str(exc)) from None
+    if args.json:
+        print(json_module.dumps(stats.to_dict(), sort_keys=True, indent=2))
+    else:
+        print(stats.table())
+    return 0
+
+
+def _cmd_engine_check(args) -> int:
+    import json as json_module
+    from pathlib import Path
+
+    from repro.engine import RunStore, compare_benchmarks, trajectory_point
+    from repro.engine.stats import load_baseline_file
+
+    store = RunStore(args.store)
+    try:
+        stats = _load_run_stats(store, args.run)
+        if Path(args.baseline).is_file():
+            baseline = load_baseline_file(args.baseline)
+        else:
+            baseline = _load_run_stats(store, args.baseline).benchmarks
+    except KeyError as exc:
+        raise SystemExit(exc.args[0] if exc.args else str(exc)) from None
+    report = compare_benchmarks(stats.benchmarks, baseline, args.tolerance)
+    print(report.table())
+    if args.bench_out:
+        point = trajectory_point(stats)
+        point["check"] = {
+            "baseline": args.baseline,
+            "tolerance_pct": args.tolerance,
+            "ok": report.ok,
+            "regressions": len(report.regressions),
+            "missing": report.missing,
+        }
+        Path(args.bench_out).write_text(
+            json_module.dumps(point, sort_keys=True, indent=2) + "\n",
+            encoding="utf-8",
+        )
+        print(f"trajectory point written to {args.bench_out}")
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse CLI."""
     parser = argparse.ArgumentParser(
@@ -456,6 +525,11 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--trace", metavar="PATH",
             help="write structured engine events to this JSONL trace",
+        )
+        p.add_argument(
+            "--cache-prune", action="store_true",
+            help="drop stale-fingerprint cache buckets and crashed-put "
+            "tmp files before running (needs --cache-dir)",
         )
 
     p_list = sub.add_parser("list", help="list registered benchmarks")
@@ -542,6 +616,53 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"run store to read (default: {DEFAULT_STORE})",
     )
     p_diff.set_defaults(fn=_cmd_engine_diff)
+
+    p_stats = sub_engine.add_parser(
+        "stats",
+        help="per-run scheduler metrics: throughput, queue wait, "
+        "utilization, cache hits, retry/timeout histograms",
+    )
+    p_stats.add_argument(
+        "run", nargs="?", default="latest",
+        help="run reference: id prefix, 'latest' (default) or @N",
+    )
+    p_stats.add_argument(
+        "--store", default=DEFAULT_STORE, metavar="PATH",
+        help=f"run store to read (default: {DEFAULT_STORE})",
+    )
+    p_stats.add_argument(
+        "--json", action="store_true", help="emit JSON instead of a table"
+    )
+    p_stats.set_defaults(fn=_cmd_engine_stats)
+
+    p_check = sub_engine.add_parser(
+        "check",
+        help="gate a run's metrics against a baseline run or file; "
+        "exits non-zero on regression",
+    )
+    p_check.add_argument(
+        "run", nargs="?", default="latest",
+        help="run reference: id prefix, 'latest' (default) or @N",
+    )
+    p_check.add_argument(
+        "--baseline", required=True, metavar="RUN|FILE",
+        help="baseline: a run reference in the store, or a JSON file "
+        "(a --bench-out trajectory point or stats sidecar)",
+    )
+    p_check.add_argument(
+        "--tolerance", type=float, default=5.0, metavar="PCT",
+        help="allowed worse-direction drift per metric in percent "
+        "(default: 5)",
+    )
+    p_check.add_argument(
+        "--store", default=DEFAULT_STORE, metavar="PATH",
+        help=f"run store to read (default: {DEFAULT_STORE})",
+    )
+    p_check.add_argument(
+        "--bench-out", metavar="PATH",
+        help="write the run's BENCH-compatible trajectory point here",
+    )
+    p_check.set_defaults(fn=_cmd_engine_check)
     return parser
 
 

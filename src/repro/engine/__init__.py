@@ -15,7 +15,9 @@ consumer (CLI, tables, benchmark harness, sweeps):
 * :mod:`repro.engine.trace` — structured engine events (JSONL trace
   and progress callbacks);
 * :mod:`repro.engine.plan` — grid/sweep expansion into deduplicated
-  request lists.
+  request lists, and stored-run replay;
+* :mod:`repro.engine.stats` — per-run scheduler statistics
+  (:class:`RunStats`) and the ``engine check`` perf-regression gate.
 
 Quickstart::
 
@@ -41,30 +43,49 @@ from repro.engine.plan import (
     expand_grid,
     machine_sweep_requests,
     plan_suite,
+    requests_from_run,
     sweep_from_results,
     tier_sweep_requests,
 )
-from repro.engine.store import RunStore, diff_runs, new_run_id
+from repro.engine.stats import (
+    CheckReport,
+    JobStats,
+    RunStats,
+    compare_benchmarks,
+    stats_from_records,
+    stats_from_results,
+    trajectory_point,
+)
+from repro.engine.store import RunStore, diff_runs, keyed_by_benchmark, new_run_id
 from repro.engine.trace import EngineEvent, Tracer, read_trace
 
 __all__ = [
+    "CheckReport",
     "Engine",
     "EngineConfig",
     "EngineEvent",
     "InjectedFailure",
+    "JobStats",
     "ResultCache",
     "RunRequest",
     "RunResult",
+    "RunStats",
     "RunStore",
     "Tracer",
     "code_fingerprint",
+    "compare_benchmarks",
     "diff_runs",
     "execute_request",
     "expand_grid",
+    "keyed_by_benchmark",
     "machine_sweep_requests",
     "new_run_id",
     "plan_suite",
     "read_trace",
+    "requests_from_run",
+    "stats_from_records",
+    "stats_from_results",
     "sweep_from_results",
     "tier_sweep_requests",
+    "trajectory_point",
 ]

@@ -82,19 +82,55 @@ class ResultCache:
     def __contains__(self, request: RunRequest) -> bool:
         return self._entry_path(request).exists()
 
+    @property
+    def _bucket(self) -> Path:
+        """The entry directory of the current code fingerprint."""
+        return self.root / self.fingerprint[:16]
+
     def __len__(self) -> int:
         """Number of entries for the current code fingerprint."""
-        bucket = self.root / self.fingerprint[:16]
-        if not bucket.is_dir():
+        if not self._bucket.is_dir():
             return 0
-        return sum(1 for p in bucket.glob("*.json"))
+        return sum(1 for p in self._bucket.glob("*.json"))
 
     def clear(self) -> int:
-        """Delete entries for the current fingerprint; returns count."""
-        bucket = self.root / self.fingerprint[:16]
+        """Delete entries for the current fingerprint; returns count.
+
+        Also sweeps up ``*.tmp.*`` leftovers of crashed :meth:`put`
+        calls (not counted — they were never entries).
+        """
+        bucket = self._bucket
         removed = 0
         if bucket.is_dir():
             for path in bucket.glob("*.json"):
+                path.unlink()
+                removed += 1
+            for path in bucket.glob("*.tmp.*"):
+                path.unlink()
+        return removed
+
+    def prune(self) -> int:
+        """Drop stale-fingerprint buckets and tmp leftovers; file count.
+
+        A code edit moves the cache to a fresh bucket and orphans the
+        old one forever, so without pruning the cache directory grows
+        unbounded across code revisions.  ``prune`` deletes every
+        bucket other than the current fingerprint's, plus any crashed-
+        ``put`` temporary files inside the current bucket, and returns
+        the number of files removed.  Entries for the current
+        fingerprint are untouched.
+        """
+        import shutil
+
+        removed = 0
+        if self.root.is_dir():
+            current = self._bucket.name
+            for child in self.root.iterdir():
+                if child.is_dir() and child.name != current:
+                    removed += sum(1 for p in child.rglob("*") if p.is_file())
+                    shutil.rmtree(child)
+        if self._bucket.is_dir():
+            for path in self._bucket.glob("*.tmp.*"):
                 path.unlink()
                 removed += 1
         return removed

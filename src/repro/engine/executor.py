@@ -13,7 +13,10 @@ into :class:`RunResult` s through four layers:
   exhausting its retries is recorded ``failed``/``timeout`` without
   aborting the rest;
 * **persistence** — every result (including cache hits) appends to the
-  run store, and every lifecycle step emits a trace event.
+  run store *as its job finishes*, so a killed run keeps the history of
+  every completed job; every lifecycle step emits a trace event; and a
+  :class:`~repro.engine.stats.RunStats` summary is serialized next to
+  the store and exposed as ``engine.last_run_stats``.
 
 Determinism: the simulation itself is deterministic, and both execution
 paths serialize reports with the same
@@ -56,7 +59,13 @@ class InjectedFailure(RuntimeError):
 
 
 def _parse_injection(spec: str, benchmark: str) -> Optional[float]:
-    """The numeric argument of the first entry matching ``benchmark``."""
+    """The numeric argument of the entry matching ``benchmark``.
+
+    An exact benchmark match takes precedence over a ``*`` wildcard
+    regardless of spec order, so ``"*:1,bench:3"`` gives ``bench`` its
+    override instead of the catch-all.
+    """
+    wildcard: Optional[float] = None
     for entry in spec.split(","):
         entry = entry.strip()
         if not entry:
@@ -65,10 +74,14 @@ def _parse_injection(spec: str, benchmark: str) -> Optional[float]:
         if name not in ("*", benchmark):
             continue
         try:
-            return float(arg) if arg else -1.0
+            value = float(arg) if arg else -1.0
         except ValueError:
-            return -1.0
-    return None
+            value = -1.0
+        if name == benchmark:
+            return value
+        if wildcard is None:
+            wildcard = value
+    return wildcard
 
 
 def _apply_test_hooks(benchmark: str, attempt: int) -> None:
@@ -116,6 +129,12 @@ class RunResult:
     error: str = ""
     attempts: int = 0
     wall_time_s: float = 0.0
+    #: position in the submitted request list (plan order)
+    index: int = 0
+    #: seconds spent waiting for a worker, summed over attempts
+    queue_wait_s: float = 0.0
+    #: seconds a worker spent on this job, summed over attempts
+    compute_time_s: float = 0.0
 
     @property
     def ok(self) -> bool:
@@ -132,6 +151,8 @@ class EngineConfig:
     retries: int = 0
     backoff: float = 0.1
     cache_dir: Optional[Union[str, Path]] = None
+    #: drop stale-fingerprint cache buckets before running
+    cache_prune: bool = False
     store: Optional[Union[str, Path]] = None
     trace: Optional[Union[str, Path]] = None
     #: serial in-process mode only: let job exceptions propagate to the
@@ -168,6 +189,10 @@ class Engine:
         self.config = config or EngineConfig()
         self.tracer = tracer or Tracer(self.config.trace)
         self.progress = progress
+        #: :class:`~repro.engine.stats.RunStats` of the latest ``run()``
+        self.last_run_stats = None
+        self._store: Optional[RunStore] = None
+        self._run_id: Optional[str] = None
 
     # -- public API -----------------------------------------------------
     def run(
@@ -182,6 +207,8 @@ class Engine:
         the declarative machine spec — the compatibility path for
         :func:`repro.suite.runner.run_suite`.
         """
+        from repro.engine.stats import stats_from_results
+
         requests = list(requests)
         config = self.config
         run_id = config.run_id or new_run_id()
@@ -190,54 +217,97 @@ class Engine:
         )
         store = RunStore(config.store) if config.store is not None else None
         results: List[Optional[RunResult]] = [None] * len(requests)
+        self._store = store
+        self._run_id = run_id
+        started = time.perf_counter()
 
-        self.tracer.emit(
-            "run_started", detail=run_id, jobs=config.jobs, n=len(requests)
-        )
-        pending: List[int] = []
-        for index, request in enumerate(requests):
-            self.tracer.emit("job_submitted", request)
-            hit = cache.get(request) if cache is not None else None
-            if hit is not None and hit.get("report") is not None:
-                result = RunResult(
-                    request=request,
-                    status="cached",
-                    report=report_from_dict(hit["report"]),
-                    report_record=hit["report"],
-                    attempts=0,
-                    wall_time_s=0.0,
-                )
-                results[index] = result
-                self.tracer.emit("job_cached", request)
-                self._finish(request, result)
-            else:
-                pending.append(index)
+        try:
+            pruned = 0
+            if cache is not None and config.cache_prune:
+                pruned = cache.prune()
+            self.tracer.emit(
+                "run_started", detail=run_id, jobs=config.jobs, n=len(requests)
+            )
+            pending: List[int] = []
+            for index, request in enumerate(requests):
+                self.tracer.emit("job_submitted", request)
+                hit = cache.get(request) if cache is not None else None
+                if hit is not None and hit.get("report") is not None:
+                    result = RunResult(
+                        request=request,
+                        status="cached",
+                        report=report_from_dict(hit["report"]),
+                        report_record=hit["report"],
+                        attempts=0,
+                        wall_time_s=0.0,
+                        index=index,
+                    )
+                    results[index] = result
+                    self.tracer.emit("job_cached", request)
+                    self._finish(request, result)
+                else:
+                    pending.append(index)
+            lookup_done = time.perf_counter()
 
-        if pending:
-            use_pool = (
+            use_pool = bool(pending) and (
                 config.jobs > 1
                 and session_factory is None
                 and not config.raise_on_error
                 and _pool_supported()
             )
-            if use_pool:
-                self._run_pool(requests, pending, results, cache)
-            else:
-                self._run_serial(
-                    requests, pending, results, cache, session_factory
-                )
+            if pending:
+                if use_pool:
+                    self._run_pool(requests, pending, results, cache)
+                else:
+                    self._run_serial(
+                        requests, pending, results, cache, session_factory
+                    )
 
-        final = [r for r in results if r is not None]
-        if store is not None:
-            store.extend(make_record(run_id, result) for result in final)
-        counts = {s: 0 for s in STATUSES}
-        for result in final:
-            counts[result.status] += 1
-        self.tracer.emit("run_finished", detail=run_id, **counts)
-        return final
+            final = [r for r in results if r is not None]
+            now = time.perf_counter()
+            stats = stats_from_results(
+                run_id,
+                final,
+                workers=config.jobs if use_pool else 1,
+                duration_s=now - started,
+                phases={
+                    "cache_lookup_s": lookup_done - started,
+                    "execute_s": now - lookup_done,
+                },
+            )
+            if pruned:
+                stats.phases["cache_pruned_files"] = float(pruned)
+            self.last_run_stats = stats
+            if store is not None:
+                store.write_stats(run_id, stats.to_dict())
+            self.tracer.emit(
+                "run_summary",
+                detail=run_id,
+                duration_s=stats.duration_s,
+                throughput_jobs_per_s=stats.throughput_jobs_per_s,
+                cache_hit_rate=stats.cache_hit_rate,
+                worker_utilization=stats.worker_utilization,
+                retries=stats.retries,
+                timeouts=stats.timeouts,
+            )
+            counts = {s: 0 for s in STATUSES}
+            for result in final:
+                counts[result.status] += 1
+            self.tracer.emit("run_finished", detail=run_id, **counts)
+            return final
+        finally:
+            self._store = None
+            self._run_id = None
 
     # -- shared helpers -------------------------------------------------
     def _finish(self, request: RunRequest, result: RunResult) -> None:
+        """Record one finished job: trace, durable store, progress.
+
+        The store append happens here — as each job finishes, not after
+        the whole run — so a killed run keeps the history of every job
+        that completed before the kill (the store's append-only
+        durability contract).
+        """
         self.tracer.emit(
             "job_finished",
             request,
@@ -245,6 +315,8 @@ class Engine:
             attempt=result.attempts,
             detail=result.error,
         )
+        if self._store is not None:
+            self._store.append(make_record(self._run_id, result))
         if self.progress is not None:
             self.progress(result)
 
@@ -255,6 +327,10 @@ class Engine:
         attempts: int,
         wall: float,
         cache: Optional[ResultCache],
+        *,
+        index: int = 0,
+        queue_wait: float = 0.0,
+        compute: float = 0.0,
     ) -> RunResult:
         result = RunResult(
             request=request,
@@ -263,6 +339,9 @@ class Engine:
             report_record=record,
             attempts=attempts,
             wall_time_s=wall,
+            index=index,
+            queue_wait_s=queue_wait,
+            compute_time_s=compute,
         )
         if cache is not None:
             cache.put(
@@ -294,14 +373,23 @@ class Engine:
         Per-job timeouts are not enforced here — a single process
         cannot preempt its own benchmark — so ``timeout`` only bounds
         jobs in process-pool mode.
+
+        Queue wait here is time spent behind earlier jobs of the same
+        run (the single in-process "worker" is busy with them), so the
+        serial and pool paths report comparable utilization numbers.
         """
+        phase_start = time.perf_counter()
         for index in indices:
             request = requests[index]
             attempt = 0
+            ready_at = phase_start
+            queue_wait = 0.0
+            compute = 0.0
             while True:
                 attempt += 1
                 self.tracer.emit("job_started", request, attempt=attempt)
                 start = time.perf_counter()
+                queue_wait += max(0.0, start - ready_at)
                 try:
                     _apply_test_hooks(request.benchmark, attempt)
                     report = execute_request(request, session_factory)
@@ -309,12 +397,14 @@ class Engine:
                     if self.config.raise_on_error:
                         raise
                     wall = time.perf_counter() - start
+                    compute += wall
                     error = f"{type(exc).__name__}: {exc}"
                     if attempt <= self.config.retries:
                         self.tracer.emit(
                             "job_retried", request, attempt=attempt, detail=error
                         )
                         time.sleep(self._backoff_delay(attempt))
+                        ready_at = time.perf_counter()
                         continue
                     result = RunResult(
                         request=request,
@@ -322,11 +412,22 @@ class Engine:
                         error=error,
                         attempts=attempt,
                         wall_time_s=wall,
+                        index=index,
+                        queue_wait_s=queue_wait,
+                        compute_time_s=compute,
                     )
                 else:
                     wall = time.perf_counter() - start
+                    compute += wall
                     result = self._ok_result(
-                        request, report_to_dict(report), attempt, wall, cache
+                        request,
+                        report_to_dict(report),
+                        attempt,
+                        wall,
+                        cache,
+                        index=index,
+                        queue_wait=queue_wait,
+                        compute=compute,
                     )
                 results[index] = result
                 self._finish(request, result)
@@ -347,6 +448,13 @@ class Engine:
         pool cannot cancel forces a pool restart (the stuck worker is
         abandoned); in-flight siblings are resubmitted at the same
         attempt number.
+
+        Retry backoff never blocks this scheduler loop: a retried job
+        re-enters the queue as ``(index, attempt, not_before)`` and is
+        held back until its release time, while the loop keeps draining
+        completions and enforcing sibling timeouts.  Queue entries are
+        ``(index, attempt, not_before)`` with ``not_before=None`` for
+        immediately-runnable jobs.
         """
         import concurrent.futures as cf
 
@@ -357,8 +465,12 @@ class Engine:
             self._run_serial(requests, indices, results, cache, None)
             return
 
-        queue = deque((index, 1) for index in indices)
+        queue = deque((index, 1, None) for index in indices)
         inflight: Dict[object, tuple] = {}
+        # Per-job accumulators across attempts: worker-busy seconds and
+        # pool queue wait (submit-to-done wall minus in-worker compute).
+        compute: Dict[int, float] = {index: 0.0 for index in indices}
+        queue_wait: Dict[int, float] = {index: 0.0 for index in indices}
 
         def submit(index: int, attempt: int) -> None:
             request = requests[index]
@@ -378,8 +490,13 @@ class Engine:
                 self.tracer.emit(
                     "job_retried", request, attempt=attempt, detail=error
                 )
-                time.sleep(self._backoff_delay(attempt))
-                queue.append((index, attempt + 1))
+                queue.append(
+                    (
+                        index,
+                        attempt + 1,
+                        time.perf_counter() + self._backoff_delay(attempt),
+                    )
+                )
                 return
             result = RunResult(
                 request=request,
@@ -387,21 +504,38 @@ class Engine:
                 error=error,
                 attempts=attempt,
                 wall_time_s=wall,
+                index=index,
+                queue_wait_s=queue_wait[index],
+                compute_time_s=compute[index],
             )
             results[index] = result
             self._finish(request, result)
 
         try:
             while queue or inflight:
+                now = time.perf_counter()
+                deferred = []
                 while queue and len(inflight) < config.jobs:
-                    index, attempt = queue.popleft()
+                    index, attempt, not_before = queue.popleft()
+                    if not_before is not None and now < not_before:
+                        deferred.append((index, attempt, not_before))
+                        continue
                     submit(index, attempt)
+                queue.extend(deferred)
+
+                if not inflight:
+                    # Everything queued is waiting out a backoff window;
+                    # nothing can complete or time out meanwhile.
+                    release = min(nb for _, _, nb in queue if nb is not None)
+                    time.sleep(max(0.0, release - time.perf_counter()))
+                    continue
 
                 now = time.perf_counter()
-                deadlines = [d for _, _, d, _ in inflight.values() if d is not None]
+                wakeups = [d for _, _, d, _ in inflight.values() if d is not None]
+                wakeups += [nb for _, _, nb in queue if nb is not None]
                 wait_for = 0.25
-                if deadlines:
-                    wait_for = max(0.0, min(deadlines) - now) + 0.01
+                if wakeups:
+                    wait_for = max(0.0, min(wakeups) - now) + 0.01
                 done, _ = cf.wait(
                     set(inflight), timeout=wait_for, return_when=cf.FIRST_COMPLETED
                 )
@@ -413,6 +547,7 @@ class Engine:
                     try:
                         payload = future.result()
                     except Exception as exc:
+                        compute[index] += wall
                         fail_or_retry(
                             index,
                             attempt,
@@ -421,8 +556,18 @@ class Engine:
                             "failed",
                         )
                     else:
+                        job_compute = payload.get("compute_time_s", wall)
+                        compute[index] += job_compute
+                        queue_wait[index] += max(0.0, wall - job_compute)
                         result = self._ok_result(
-                            request, payload["report"], attempt, wall, cache
+                            request,
+                            payload["report"],
+                            attempt,
+                            wall,
+                            cache,
+                            index=index,
+                            queue_wait=queue_wait[index],
+                            compute=compute[index],
                         )
                         results[index] = result
                         self._finish(request, result)
@@ -441,6 +586,7 @@ class Engine:
                     del inflight[future]
                     if not future.cancel():
                         needs_restart = True
+                    compute[index] += now - started
                     fail_or_retry(
                         index,
                         attempt,
@@ -456,6 +602,6 @@ class Engine:
                     pool.shutdown(wait=False, cancel_futures=True)
                     pool = cf.ProcessPoolExecutor(max_workers=config.jobs)
                     for index, attempt, _, _ in survivors:
-                        queue.appendleft((index, attempt))
+                        queue.appendleft((index, attempt, None))
         finally:
             pool.shutdown(wait=False, cancel_futures=True)

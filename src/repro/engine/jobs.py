@@ -65,6 +65,22 @@ class RunRequest:
             frozen = _freeze_params(params)
         else:
             frozen = _freeze_params(dict(params))
+        # Canonicalize the seed: ``RunRequest(seed=5)`` and
+        # ``RunRequest(params={"seed": 5})`` execute identically, so they
+        # must hash identically too — a params-spelled seed is merged into
+        # the ``seed`` field (and a conflicting pair is an error) so cache
+        # keys and plan dedup never alias.
+        param_seeds = [v for k, v in frozen if k == "seed"]
+        if param_seeds:
+            (param_seed,) = param_seeds
+            if param_seed is not None:
+                if self.seed is not None and self.seed != param_seed:
+                    raise ValueError(
+                        f"conflicting seeds: seed={self.seed!r} vs "
+                        f"params['seed']={param_seed!r}"
+                    )
+                object.__setattr__(self, "seed", param_seed)
+            frozen = tuple((k, v) for k, v in frozen if k != "seed")
         object.__setattr__(self, "params", frozen)
         VersionTier(self.tier)  # validate eagerly, before any worker sees it
 

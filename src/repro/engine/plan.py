@@ -144,6 +144,25 @@ def tier_sweep_requests(
     )
 
 
+def requests_from_run(store, run_id: str) -> List[RunRequest]:
+    """Rebuild the deduplicated request plan of a stored run.
+
+    The replay path of the perf gate: re-executing the returned plan
+    (same code, warm or cold cache) produces a run directly comparable
+    to ``run_id`` via ``engine check``.  ``run_id`` accepts the same
+    references as :meth:`~repro.engine.store.RunStore.resolve`
+    (prefix, ``latest``, ``@N``).  Dedup relies on the canonical seed
+    encoding of :class:`RunRequest`, so a run recorded before seed
+    normalization still replays without aliased duplicates.
+    """
+    records = store.run_records(run_id)
+    return _dedup(
+        RunRequest.from_dict(record["request"])
+        for record in records
+        if record.get("request")
+    )
+
+
 def sweep_from_results(parameter: str, values: Sequence, results):
     """Assemble engine results into a :class:`SweepResult`.
 

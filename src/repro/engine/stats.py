@@ -1,0 +1,497 @@
+"""Engine observability: per-run scheduler stats and perf-regression gates.
+
+The paper characterizes every benchmark by measured busy/elapsed time
+and FLOP rates (§1.5); this module gives the *engine itself* the same
+treatment.  A :class:`RunStats` record aggregates one engine
+invocation — throughput, per-job queue wait and compute time, worker
+utilization, cache hit rate, retry/timeout histograms and a wall-clock
+phase breakdown — and is serialized next to the run store
+(``<store>.stats/<run_id>.json``) so every later performance PR can be
+measured against it.
+
+Two consumers sit on top:
+
+* ``engine stats <run>`` renders a stored run's :class:`RunStats` as a
+  human table or JSON;
+* ``engine check <run> --baseline <run|file> --tolerance PCT``
+  compares the per-benchmark §1.5 metrics of two runs (or a run
+  against a saved trajectory point) and exits non-zero on regression —
+  the perf gate.  :func:`trajectory_point` emits the
+  ``BENCH_*.json``-compatible record that ``--bench-out`` writes.
+
+Stats are *metadata about the run*, never part of the deterministic
+reports: wall-clock numbers live only here, in the trace and in the
+store envelope.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+#: Stats/trajectory schema version, bumped on incompatible changes.
+STATS_SCHEMA_VERSION = 1
+
+#: Report metrics gated by ``engine check``: (record key, label,
+#: direction) where direction +1 means "larger is a regression" (times,
+#: work) and -1 means "smaller is a regression" (rates).
+CHECK_METRICS: Tuple[Tuple[str, str, int], ...] = (
+    ("busy_time_s", "busy (s)", +1),
+    ("elapsed_time_s", "elapsed (s)", +1),
+    ("flop_count", "FLOPs", +1),
+    ("busy_floprate_mflops", "MFLOP/s", -1),
+)
+
+
+@dataclass
+class JobStats:
+    """Scheduler-level numbers of one job within a run."""
+
+    benchmark: str
+    status: str
+    attempts: int
+    queue_wait_s: float
+    compute_time_s: float
+    wall_time_s: float
+
+
+@dataclass
+class RunStats:
+    """Aggregated scheduler metrics of one engine invocation."""
+
+    run_id: str
+    n_jobs: int
+    #: worker processes the run executed with (None when unknown, e.g.
+    #: stats recomputed from an old store without a sidecar)
+    workers: Optional[int]
+    duration_s: float
+    status_counts: Dict[str, int] = field(default_factory=dict)
+    cache_hits: int = 0
+    cache_hit_rate: float = 0.0
+    #: attempts beyond the first, summed over jobs
+    retries: int = 0
+    timeouts: int = 0
+    #: attempts -> number of jobs that needed that many
+    attempts_histogram: Dict[int, int] = field(default_factory=dict)
+    throughput_jobs_per_s: float = 0.0
+    queue_wait_total_s: float = 0.0
+    queue_wait_mean_s: float = 0.0
+    queue_wait_max_s: float = 0.0
+    compute_total_s: float = 0.0
+    compute_mean_s: float = 0.0
+    compute_max_s: float = 0.0
+    #: busy-worker seconds / (workers × duration); None when workers
+    #: is unknown
+    worker_utilization: Optional[float] = None
+    #: wall-clock breakdown per engine phase (cache lookup, execute, …)
+    phases: Dict[str, float] = field(default_factory=dict)
+    jobs: List[JobStats] = field(default_factory=list)
+    #: per-benchmark §1.5 metrics (the ``engine check`` comparison set)
+    benchmarks: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    # -- serialization --------------------------------------------------
+    def to_dict(self) -> Dict:
+        """JSON-safe dictionary (inverse of :meth:`from_dict`)."""
+        record = asdict(self)
+        record["schema"] = STATS_SCHEMA_VERSION
+        record["attempts_histogram"] = {
+            str(k): v for k, v in self.attempts_histogram.items()
+        }
+        return record
+
+    @classmethod
+    def from_dict(cls, record: Mapping) -> "RunStats":
+        """Rebuild from :meth:`to_dict` output."""
+        record = dict(record)
+        record.pop("schema", None)
+        record["attempts_histogram"] = {
+            int(k): v for k, v in record.get("attempts_histogram", {}).items()
+        }
+        record["jobs"] = [JobStats(**j) for j in record.get("jobs", [])]
+        return cls(**record)
+
+    # -- rendering ------------------------------------------------------
+    def table(self) -> str:
+        """Human-readable multi-section rendering."""
+        from repro.suite.tables import format_table
+
+        counts = "  ".join(
+            f"{status}={n}" for status, n in sorted(self.status_counts.items())
+        )
+        histogram = (
+            " ".join(
+                f"{attempts}:{n}"
+                for attempts, n in sorted(self.attempts_histogram.items())
+            )
+            or "-"
+        )
+        util = (
+            f"{100 * self.worker_utilization:.1f}%"
+            if self.worker_utilization is not None
+            else "-"
+        )
+        workers = str(self.workers) if self.workers is not None else "?"
+        lines = [
+            f"run {self.run_id}",
+            f"  jobs        {self.n_jobs} ({counts})  workers {workers}",
+            f"  duration    {self.duration_s:.3f}s  "
+            f"throughput {self.throughput_jobs_per_s:.2f} jobs/s",
+            f"  cache       {self.cache_hits}/{self.n_jobs} hits "
+            f"({100 * self.cache_hit_rate:.1f}%)",
+            f"  retries     {self.retries}  timeouts {self.timeouts}  "
+            f"attempts histogram {histogram}",
+            f"  queue wait  total {self.queue_wait_total_s:.3f}s  "
+            f"mean {self.queue_wait_mean_s:.3f}s  "
+            f"max {self.queue_wait_max_s:.3f}s",
+            f"  compute     total {self.compute_total_s:.3f}s  "
+            f"mean {self.compute_mean_s:.3f}s  "
+            f"max {self.compute_max_s:.3f}s",
+            f"  utilization {util}",
+        ]
+        if self.phases:
+            breakdown = "  ".join(
+                f"{name}={value:.3f}" for name, value in self.phases.items()
+            )
+            lines.append(f"  phases      {breakdown}")
+        if self.jobs:
+            rows = [
+                [
+                    job.benchmark,
+                    job.status,
+                    str(job.attempts),
+                    f"{job.queue_wait_s:.3f}",
+                    f"{job.compute_time_s:.3f}",
+                    f"{job.wall_time_s:.3f}",
+                ]
+                for job in self.jobs
+            ]
+            lines.append("")
+            lines.append(
+                format_table(
+                    ["Benchmark", "Status", "Att", "Queue (s)", "Compute (s)",
+                     "Wall (s)"],
+                    rows,
+                )
+            )
+        return "\n".join(lines)
+
+
+def _aggregate(
+    run_id: str,
+    jobs: List[JobStats],
+    benchmarks: Dict[str, Dict[str, float]],
+    *,
+    workers: Optional[int],
+    duration_s: float,
+    phases: Optional[Mapping[str, float]] = None,
+) -> RunStats:
+    """Fold per-job stats into one :class:`RunStats`."""
+    status_counts: Dict[str, int] = {}
+    histogram: Dict[int, int] = {}
+    retries = 0
+    for job in jobs:
+        status_counts[job.status] = status_counts.get(job.status, 0) + 1
+        histogram[job.attempts] = histogram.get(job.attempts, 0) + 1
+        retries += max(0, job.attempts - 1)
+    waits = [job.queue_wait_s for job in jobs]
+    computes = [job.compute_time_s for job in jobs]
+    n = len(jobs)
+    cache_hits = status_counts.get("cached", 0)
+    compute_total = sum(computes)
+    utilization = None
+    if workers is not None and duration_s > 0:
+        utilization = compute_total / (workers * duration_s)
+    return RunStats(
+        run_id=run_id,
+        n_jobs=n,
+        workers=workers,
+        duration_s=duration_s,
+        status_counts=status_counts,
+        cache_hits=cache_hits,
+        cache_hit_rate=cache_hits / n if n else 0.0,
+        retries=retries,
+        timeouts=status_counts.get("timeout", 0),
+        attempts_histogram=histogram,
+        throughput_jobs_per_s=n / duration_s if duration_s > 0 else 0.0,
+        queue_wait_total_s=sum(waits),
+        queue_wait_mean_s=sum(waits) / n if n else 0.0,
+        queue_wait_max_s=max(waits) if waits else 0.0,
+        compute_total_s=compute_total,
+        compute_mean_s=compute_total / n if n else 0.0,
+        compute_max_s=max(computes) if computes else 0.0,
+        worker_utilization=utilization,
+        phases=dict(phases or {}),
+        jobs=jobs,
+        benchmarks=benchmarks,
+    )
+
+
+def _benchmark_metrics(records: Sequence[Mapping]) -> Dict[str, Dict[str, float]]:
+    """Per-benchmark §1.5 metric map of one run's record list.
+
+    Only records carrying a report contribute (failed/timed-out jobs
+    have none — their benchmarks then surface as *missing* in a check
+    against a baseline that had them).
+    """
+    from repro.engine.store import keyed_by_benchmark
+
+    out: Dict[str, Dict[str, float]] = {}
+    for key, record in keyed_by_benchmark(list(records)).items():
+        report = record.get("report") or {}
+        metrics = {
+            metric: report[metric]
+            for metric, _, _ in CHECK_METRICS
+            if report.get(metric) is not None
+        }
+        if metrics:
+            out[key] = metrics
+    return out
+
+
+def stats_from_results(
+    run_id: str,
+    results: Sequence,
+    *,
+    workers: Optional[int],
+    duration_s: float,
+    phases: Optional[Mapping[str, float]] = None,
+) -> RunStats:
+    """Build stats from in-memory :class:`RunResult` s (engine path)."""
+    jobs = [
+        JobStats(
+            benchmark=result.request.benchmark,
+            status=result.status,
+            attempts=result.attempts,
+            queue_wait_s=result.queue_wait_s,
+            compute_time_s=result.compute_time_s,
+            wall_time_s=result.wall_time_s,
+        )
+        for result in results
+    ]
+    pseudo_records = [
+        {"benchmark": r.request.benchmark, "report": r.report_record}
+        for r in results
+    ]
+    return _aggregate(
+        run_id,
+        jobs,
+        _benchmark_metrics(pseudo_records),
+        workers=workers,
+        duration_s=duration_s,
+        phases=phases,
+    )
+
+
+def stats_from_records(
+    records: Sequence[Mapping],
+    *,
+    workers: Optional[int] = None,
+    duration_s: Optional[float] = None,
+) -> RunStats:
+    """Recompute stats from stored run records (no-sidecar fallback).
+
+    Record timestamps are append times (job completion), so the run
+    duration is estimated as the completion span plus the first-to-
+    finish job's wall time; worker count is not recoverable from
+    records alone, so utilization stays None unless ``workers`` is
+    given.
+    """
+    records = list(records)
+    jobs = [
+        JobStats(
+            benchmark=record.get("benchmark", "?"),
+            status=record.get("status", "?"),
+            attempts=record.get("attempts", 0),
+            queue_wait_s=record.get("queue_wait_s", 0.0) or 0.0,
+            compute_time_s=(
+                record.get("compute_time_s")
+                or record.get("wall_time_s", 0.0)
+                or 0.0
+            ),
+            wall_time_s=record.get("wall_time_s", 0.0) or 0.0,
+        )
+        for record in records
+    ]
+    if duration_s is None:
+        stamps = [r["ts"] for r in records if r.get("ts") is not None]
+        duration_s = max(stamps) - min(stamps) if len(stamps) > 1 else 0.0
+        if records:
+            first = min(records, key=lambda r: r.get("ts") or 0.0)
+            duration_s += first.get("wall_time_s", 0.0) or 0.0
+    run_ids = {r.get("run_id") for r in records if r.get("run_id")}
+    run_id = run_ids.pop() if len(run_ids) == 1 else "?"
+    return _aggregate(
+        run_id,
+        jobs,
+        _benchmark_metrics(records),
+        workers=workers,
+        duration_s=duration_s,
+    )
+
+
+# -- perf-regression gate ----------------------------------------------
+@dataclass
+class CheckRow:
+    """One metric comparison of ``compare_benchmarks``."""
+
+    benchmark: str
+    metric: str
+    baseline: float
+    current: float
+    delta_pct: float
+    regressed: bool
+
+
+@dataclass
+class CheckReport:
+    """Outcome of gating one run against a baseline."""
+
+    tolerance_pct: float
+    rows: List[CheckRow] = field(default_factory=list)
+    #: benchmarks the baseline measured but the current run did not
+    #: (failed, timed out, or not planned) — always a gate failure
+    missing: List[str] = field(default_factory=list)
+    #: benchmarks only the current run measured — informational
+    added: List[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[CheckRow]:
+        return [row for row in self.rows if row.regressed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions and not self.missing
+
+    def table(self) -> str:
+        """Plain-text comparison table plus verdict lines."""
+        from repro.suite.tables import format_table
+
+        lines = []
+        if self.rows:
+            lines.append(
+                format_table(
+                    ["Benchmark", "Metric", "Baseline", "Current", "Δ%",
+                     "Verdict"],
+                    [
+                        [
+                            row.benchmark,
+                            row.metric,
+                            f"{row.baseline:.6g}",
+                            f"{row.current:.6g}",
+                            f"{row.delta_pct:+.2f}%",
+                            "REGRESSED" if row.regressed else "ok",
+                        ]
+                        for row in self.rows
+                    ],
+                )
+            )
+        if self.missing:
+            lines.append(f"missing vs baseline: {', '.join(self.missing)}")
+        if self.added:
+            lines.append(f"new vs baseline: {', '.join(self.added)}")
+        verdict = (
+            f"OK: no regression beyond {self.tolerance_pct:g}% across "
+            f"{len(self.rows)} metric(s)"
+            if self.ok
+            else f"FAIL: {len(self.regressions)} regression(s), "
+            f"{len(self.missing)} missing benchmark(s) at "
+            f"{self.tolerance_pct:g}% tolerance"
+        )
+        lines.append(verdict)
+        return "\n".join(lines)
+
+
+def compare_benchmarks(
+    current: Mapping[str, Mapping[str, float]],
+    baseline: Mapping[str, Mapping[str, float]],
+    tolerance_pct: float,
+) -> CheckReport:
+    """Gate ``current`` per-benchmark metrics against ``baseline``.
+
+    Direction-aware: times and FLOP counts regress upward, rates
+    regress downward (:data:`CHECK_METRICS`).  A change is a regression
+    only beyond ``tolerance_pct`` percent in the worse direction;
+    improvements of any size pass.
+    """
+    report = CheckReport(tolerance_pct=tolerance_pct)
+    scale = tolerance_pct / 100.0
+    for name in sorted(baseline):
+        if name not in current:
+            report.missing.append(name)
+            continue
+        for metric, _, direction in CHECK_METRICS:
+            base = baseline[name].get(metric)
+            cur = current[name].get(metric)
+            if base is None or cur is None:
+                continue
+            if base == 0:
+                delta_pct = 0.0 if cur == 0 else float("inf")
+                worse = cur > 0 if direction > 0 else False
+                regressed = worse and delta_pct > 0
+            else:
+                delta_pct = 100.0 * (cur - base) / base
+                if direction > 0:
+                    regressed = cur > base * (1.0 + scale)
+                else:
+                    regressed = cur < base * (1.0 - scale)
+            report.rows.append(
+                CheckRow(
+                    benchmark=name,
+                    metric=metric,
+                    baseline=base,
+                    current=cur,
+                    delta_pct=delta_pct,
+                    regressed=regressed,
+                )
+            )
+    report.added = sorted(set(current) - set(baseline))
+    return report
+
+
+def trajectory_point(stats: RunStats) -> Dict:
+    """A ``BENCH_*.json``-compatible trajectory point of one run.
+
+    The point pairs the gated per-benchmark §1.5 metrics with the
+    engine-level numbers, so a sequence of points (one per PR/commit)
+    charts both simulation and scheduler performance over time.  A
+    point is itself a valid ``engine check --baseline`` file.
+    """
+    return {
+        "schema": STATS_SCHEMA_VERSION,
+        "kind": "bench",
+        "run_id": stats.run_id,
+        "benchmarks": {
+            name: dict(metrics) for name, metrics in stats.benchmarks.items()
+        },
+        "engine": {
+            "n_jobs": stats.n_jobs,
+            "workers": stats.workers,
+            "duration_s": stats.duration_s,
+            "throughput_jobs_per_s": stats.throughput_jobs_per_s,
+            "cache_hit_rate": stats.cache_hit_rate,
+            "worker_utilization": stats.worker_utilization,
+            "retries": stats.retries,
+            "timeouts": stats.timeouts,
+            "status_counts": dict(stats.status_counts),
+        },
+    }
+
+
+def baseline_benchmarks(obj: Mapping) -> Dict[str, Dict[str, float]]:
+    """Extract the per-benchmark metric map from any baseline document.
+
+    Accepts a trajectory point, a serialized :class:`RunStats`, or a
+    bare ``{benchmark: {metric: value}}`` mapping.
+    """
+    if "benchmarks" in obj and isinstance(obj["benchmarks"], Mapping):
+        return {k: dict(v) for k, v in obj["benchmarks"].items()}
+    return {
+        k: dict(v) for k, v in obj.items() if isinstance(v, Mapping)
+    }
+
+
+def load_baseline_file(path) -> Dict[str, Dict[str, float]]:
+    """Read a baseline document from disk (see :func:`baseline_benchmarks`)."""
+    with open(path, encoding="utf-8") as fh:
+        return baseline_benchmarks(json.load(fh))

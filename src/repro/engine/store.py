@@ -72,17 +72,80 @@ class RunStore:
                 seen.append(run_id)
         return seen
 
-    def run_records(self, run_id: str) -> List[Dict]:
-        """Records of one run; a unique run-id prefix is accepted."""
-        matches = [r for r in self.run_ids() if r.startswith(run_id)]
+    def resolve(self, ref: str) -> str:
+        """Resolve a run reference to a full stored run id.
+
+        Accepted forms: a full run id, a unique run-id prefix,
+        ``latest`` (the most recent run), or ``@N`` — the Nth run in
+        store order, with Python-style negative indices (``@0`` is the
+        first run, ``@-1`` the latest).
+        """
+        run_ids = self.run_ids()
+        if ref == "latest" or ref == "@-1":
+            if not run_ids:
+                raise KeyError(f"no runs stored in {self.path}")
+            return run_ids[-1]
+        if ref.startswith("@"):
+            try:
+                index = int(ref[1:])
+            except ValueError:
+                raise KeyError(f"bad run index {ref!r}; expected @N") from None
+            try:
+                return run_ids[index]
+            except IndexError:
+                raise KeyError(
+                    f"run index {ref} out of range; store holds "
+                    f"{len(run_ids)} run(s)"
+                ) from None
+        matches = [r for r in run_ids if r.startswith(ref)]
         if not matches:
-            raise KeyError(f"no run with id (prefix) {run_id!r} in {self.path}")
+            raise KeyError(f"no run with id (prefix) {ref!r} in {self.path}")
         if len(matches) > 1:
             raise KeyError(
-                f"run id prefix {run_id!r} is ambiguous: {', '.join(matches)}"
+                f"run id prefix {ref!r} is ambiguous: {', '.join(matches)}"
             )
-        resolved = matches[0]
-        return [r for r in self.records() if r.get("run_id") == resolved]
+        return matches[0]
+
+    def run_records(self, run_id: str) -> List[Dict]:
+        """Records of one run, in plan order (see :meth:`resolve`).
+
+        Records are appended as jobs *finish*, which under a process
+        pool is completion order; the stored ``index`` field restores
+        plan order so sweeps and diffs line up deterministically.
+        """
+        resolved = self.resolve(run_id)
+        records = [r for r in self.records() if r.get("run_id") == resolved]
+        return [
+            r
+            for _, r in sorted(
+                enumerate(records),
+                key=lambda pair: (pair[1].get("index", pair[0]), pair[0]),
+            )
+        ]
+
+    # -- per-run stats sidecars -----------------------------------------
+    @property
+    def stats_dir(self) -> Path:
+        """Directory of per-run :class:`RunStats` sidecar files."""
+        return self.path.with_name(self.path.name + ".stats")
+
+    def write_stats(self, run_id: str, record: Dict) -> Path:
+        """Serialize one run's stats record next to the store."""
+        self.stats_dir.mkdir(parents=True, exist_ok=True)
+        path = self.stats_dir / f"{run_id}.json"
+        path.write_text(
+            json.dumps(record, sort_keys=True, indent=2), encoding="utf-8"
+        )
+        return path
+
+    def read_stats(self, run_id: str) -> Optional[Dict]:
+        """The stats sidecar of one run, or None if never written."""
+        path = self.stats_dir / f"{self.resolve(run_id)}.json"
+        try:
+            with path.open(encoding="utf-8") as fh:
+                return json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            return None
 
     def history(
         self,
@@ -105,15 +168,36 @@ def make_record(run_id: str, result) -> Dict:
         "schema": SCHEMA_VERSION,
         "run_id": run_id,
         "ts": time.time(),
+        "index": result.index,
         "benchmark": request.benchmark,
         "request": request.to_dict(),
         "request_hash": request.content_hash(),
         "status": result.status,
         "attempts": result.attempts,
         "wall_time_s": result.wall_time_s,
+        "queue_wait_s": result.queue_wait_s,
+        "compute_time_s": result.compute_time_s,
         "error": result.error or None,
         "report": result.report_record,
     }
+
+
+def keyed_by_benchmark(records: List[Dict]) -> Dict[str, Dict]:
+    """Key one run's records by benchmark name.
+
+    When a run holds several jobs of the same benchmark (a sweep), the
+    duplicates are disambiguated by order of appearance as
+    ``name#1``, ``name#2``, … — deterministic because
+    :meth:`RunStore.run_records` restores plan order.
+    """
+    out: Dict[str, Dict] = {}
+    counts: Dict[str, int] = {}
+    for record in records:
+        name = record.get("benchmark", "?")
+        n = counts.get(name, 0)
+        counts[name] = n + 1
+        out[f"{name}#{n}" if n else name] = record
+    return out
 
 
 #: Metrics compared by ``diff_runs``, as (record key, label) pairs.
@@ -136,21 +220,8 @@ def diff_runs(store: RunStore, run_a: str, run_b: str) -> str:
     """
     from repro.suite.tables import format_table
 
-    def _keyed(records: List[Dict]) -> Dict[str, Dict]:
-        # Jobs match across runs by benchmark name; when one run holds
-        # several jobs of the same benchmark (a sweep), disambiguate by
-        # append order, which the engine keeps equal to plan order.
-        out: Dict[str, Dict] = {}
-        counts: Dict[str, int] = {}
-        for record in records:
-            name = record.get("benchmark", "?")
-            n = counts.get(name, 0)
-            counts[name] = n + 1
-            out[f"{name}#{n}" if n else name] = record
-        return out
-
-    records_a = _keyed(store.run_records(run_a))
-    records_b = _keyed(store.run_records(run_b))
+    records_a = keyed_by_benchmark(store.run_records(run_a))
+    records_b = keyed_by_benchmark(store.run_records(run_b))
     shared = sorted(set(records_a) & set(records_b))
     headers = ["Benchmark", "Status A", "Status B"] + [
         f"{label} B/A" for _, label in DIFF_METRICS

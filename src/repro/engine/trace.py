@@ -1,8 +1,9 @@
 """Structured engine events.
 
 Every lifecycle step of a job — submitted, started, retried, finished
-(with status), plus run-level bracketing events — is emitted as an
-:class:`EngineEvent`.  A :class:`Tracer` fans events out to an optional
+(with status), plus run-level bracketing events and a ``run_summary``
+carrying the aggregated :class:`~repro.engine.stats.RunStats` numbers —
+is emitted as an :class:`EngineEvent`.  A :class:`Tracer` fans events out to an optional
 JSONL trace file and an optional callback (the CLI's progress printer,
 a test's recording hook).  The trace is diagnostic metadata: event
 timestamps are wall-clock and intentionally live *outside* the stored
@@ -25,6 +26,7 @@ EVENT_KINDS = (
     "job_retried",
     "job_cached",
     "job_finished",
+    "run_summary",
     "run_finished",
 )
 

@@ -123,6 +123,28 @@ def table8_techniques() -> str:
     return format_table(headers, rows)
 
 
+def engine_summary_line(results, stats=None) -> str:
+    """The ``suite`` command's one-line engine summary.
+
+    Status counts always; when a :class:`~repro.engine.stats.RunStats`
+    is supplied (the engine attaches one to every run) the line also
+    carries cache-hit rate, worker utilization and throughput, so a
+    suite run surfaces its own scheduler health at a glance.
+    """
+    counts = {s: 0 for s in ("ok", "cached", "failed", "timeout")}
+    for result in results:
+        counts[result.status] += 1
+    line = f"engine: {len(results)} jobs  " + "  ".join(
+        f"{status}={n}" for status, n in counts.items()
+    )
+    if stats is not None:
+        line += f"  cache-hit={100 * stats.cache_hit_rate:.0f}%"
+        if stats.worker_utilization is not None:
+            line += f"  util={100 * stats.worker_utilization:.0f}%"
+        line += f"  {stats.throughput_jobs_per_s:.2f} jobs/s"
+    return line
+
+
 # ---------------------------------------------------------------------------
 # Tables 4 and 6: measured vs analytic.
 # ---------------------------------------------------------------------------

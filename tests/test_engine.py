@@ -82,6 +82,38 @@ class TestRunRequest:
         assert report.benchmark == "ellip-2d"
         assert report.flop_count > 0
 
+    def test_seed_param_canonicalized(self):
+        """Satellite: seed= and params={'seed': …} must not alias."""
+        field = RunRequest("gmo", seed=5)
+        via_params = RunRequest("gmo", params={"seed": 5})
+        assert field == via_params
+        assert field.content_hash() == via_params.content_hash()
+        assert via_params.seed == 5
+        assert "seed" not in via_params.params_dict
+
+    def test_seed_both_spellings_agree(self):
+        request = RunRequest("gmo", params={"seed": 5}, seed=5)
+        assert request.seed == 5
+        assert "seed" not in request.params_dict
+        assert request.content_hash() == RunRequest("gmo", seed=5).content_hash()
+
+    def test_conflicting_seeds_rejected(self):
+        with pytest.raises(ValueError, match="conflicting seed"):
+            RunRequest("gmo", params={"seed": 7}, seed=5)
+
+    def test_none_param_seed_dropped(self):
+        request = RunRequest("gmo", params={"seed": None}, seed=5)
+        assert request.seed == 5
+        assert request.content_hash() == RunRequest("gmo", seed=5).content_hash()
+
+    def test_seed_aliases_dedup_in_plans(self):
+        from repro.engine.plan import _dedup
+
+        requests = _dedup(
+            [RunRequest("gmo", seed=5), RunRequest("gmo", params={"seed": 5})]
+        )
+        assert len(requests) == 1
+
 
 class TestResultCache:
     @pytest.fixture
@@ -123,6 +155,33 @@ class TestResultCache:
         assert cache.clear() == 2
         assert len(cache) == 0
 
+    def test_clear_sweeps_crashed_put_tmp_files(self, cache):
+        """Satellite: a crashed put's tmp file is cleaned, not leaked."""
+        cache.put(RunRequest("fft"), {"s": 1})
+        bucket = cache._bucket
+        stray = bucket / "deadbeef.tmp.12345"
+        stray.write_text("{torn")
+        assert len(cache) == 1  # tmp files are never entries
+        assert cache.clear() == 1
+        assert not stray.exists()
+        assert list(bucket.glob("*")) == []
+
+    def test_prune_drops_stale_fingerprint_buckets(self, tmp_path):
+        current = ResultCache(tmp_path / "cache", fingerprint="a" * 64)
+        stale = ResultCache(tmp_path / "cache", fingerprint="b" * 64)
+        current.put(RunRequest("fft"), {"s": 1})
+        stale.put(RunRequest("fft"), {"s": 2})
+        stale.put(RunRequest("lu"), {"s": 3})
+        (current._bucket / "x.tmp.99").write_text("{torn")
+        assert current.prune() == 3  # two stale entries + one tmp file
+        assert len(current) == 1  # current entries survive
+        assert not stale._bucket.exists()
+        assert current.get(RunRequest("fft")) == {"s": 1}
+        assert current.prune() == 0  # idempotent
+
+    def test_prune_on_missing_root_is_noop(self, tmp_path):
+        assert ResultCache(tmp_path / "nowhere").prune() == 0
+
 
 class TestRunStore:
     def test_append_and_read(self, tmp_path):
@@ -155,6 +214,41 @@ class TestRunStore:
 
     def test_run_ids_unique(self):
         assert new_run_id() != new_run_id()
+
+    def test_resolve_run_references(self, tmp_path):
+        store = RunStore(tmp_path / "runs.jsonl")
+        store.append({"run_id": "abc-123", "benchmark": "fft"})
+        store.append({"run_id": "abd-456", "benchmark": "fft"})
+        assert store.resolve("latest") == "abd-456"
+        assert store.resolve("@0") == "abc-123"
+        assert store.resolve("@-1") == "abd-456"
+        assert store.resolve("@1") == "abd-456"
+        assert store.resolve("abc") == "abc-123"
+        with pytest.raises(KeyError, match="out of range"):
+            store.resolve("@7")
+        with pytest.raises(KeyError, match="expected @N"):
+            store.resolve("@x")
+        with pytest.raises(KeyError, match="no runs stored"):
+            RunStore(tmp_path / "empty.jsonl").resolve("latest")
+
+    def test_run_records_restore_plan_order(self, tmp_path):
+        store = RunStore(tmp_path / "runs.jsonl")
+        # Completion order 2, 0, 1 — as a process pool might append.
+        store.append({"run_id": "r", "benchmark": "lu", "index": 2})
+        store.append({"run_id": "r", "benchmark": "fft", "index": 0})
+        store.append({"run_id": "r", "benchmark": "qr", "index": 1})
+        assert [r["benchmark"] for r in store.run_records("r")] == [
+            "fft", "qr", "lu",
+        ]
+
+    def test_stats_sidecar_roundtrip(self, tmp_path):
+        store = RunStore(tmp_path / "runs.jsonl")
+        store.append({"run_id": "r1", "benchmark": "fft"})
+        assert store.read_stats("r1") is None
+        path = store.write_stats("r1", {"n_jobs": 3})
+        assert path.parent == store.stats_dir
+        assert store.read_stats("r1") == {"n_jobs": 3}
+        assert store.read_stats("latest") == {"n_jobs": 3}
 
     def test_diff_runs(self, tmp_path):
         store = RunStore(tmp_path / "runs.jsonl")
@@ -215,8 +309,12 @@ class TestTracer:
             "job_submitted",
             "job_started",
             "job_finished",
+            "run_summary",
             "run_finished",
         ]
+        summary = events[kinds.index("run_summary")]
+        assert summary.extra["throughput_jobs_per_s"] > 0
+        assert summary.extra["cache_hit_rate"] == 0.0
 
 
 class TestPlanning:
@@ -257,6 +355,15 @@ class TestPlanning:
         assert sweep.parameter == "nodes"
         series = sweep.series("elapsed_time")
         assert series[0] > series[1]  # more nodes, faster
+
+    def test_requests_from_run_replays_a_stored_plan(self, tmp_path):
+        from repro.engine import requests_from_run
+
+        store_path = tmp_path / "runs.jsonl"
+        requests = plan_suite(["fft", "lu"], params={"fft": {"n": 64}})
+        Engine(EngineConfig(store=store_path)).run(requests)
+        replay = requests_from_run(RunStore(store_path), "latest")
+        assert replay == requests
 
     def test_sweep_from_results_rejects_failures(self, monkeypatch):
         monkeypatch.setenv("REPRO_ENGINE_INJECT_FAIL", "diff-3d")

@@ -151,3 +151,131 @@ class TestEngineInspection:
         store, _ = stored_suite
         with pytest.raises(SystemExit, match="no run"):
             main(["engine", "diff", "zzz", "zzz", "--store", str(store)])
+
+
+class TestEngineStatsCommand:
+    def test_stats_reports_scheduler_metrics(self, stored_suite, capsys):
+        store, _ = stored_suite
+        assert main(["engine", "stats", "latest", "--store", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out
+        assert "32/32 hits (100.0%)" in out  # the second run was all-cached
+        assert "queue wait" in out
+        assert "retries" in out and "timeouts" in out
+        assert "utilization" in out
+
+    def test_stats_defaults_to_latest(self, stored_suite, capsys):
+        store, _ = stored_suite
+        assert main(["engine", "stats", "--store", str(store)]) == 0
+        run_b = RunStore(store).run_ids()[-1]
+        assert run_b in capsys.readouterr().out
+
+    def test_stats_first_run_by_index(self, stored_suite, capsys):
+        store, _ = stored_suite
+        assert main(["engine", "stats", "@0", "--store", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "0/32 hits (0.0%)" in out  # the first run was all-fresh
+
+    def test_stats_json_output(self, stored_suite, capsys):
+        store, _ = stored_suite
+        assert main(
+            ["engine", "stats", "latest", "--json", "--store", str(store)]
+        ) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["n_jobs"] == 32
+        assert record["cache_hit_rate"] == 1.0
+        assert record["throughput_jobs_per_s"] > 0
+        assert len(record["jobs"]) == 32
+
+    def test_stats_without_sidecar_recomputes(self, stored_suite, capsys):
+        """Pre-stats stores (no sidecar) still get scheduler numbers."""
+        import shutil
+
+        store, _ = stored_suite
+        shutil.rmtree(RunStore(store).stats_dir)
+        assert main(["engine", "stats", "latest", "--store", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "workers ?" in out  # worker count unrecoverable
+        assert "throughput" in out
+
+    def test_stats_unknown_run_exits_cleanly(self, stored_suite):
+        store, _ = stored_suite
+        with pytest.raises(SystemExit, match="no run"):
+            main(["engine", "stats", "zzz", "--store", str(store)])
+
+
+class TestEngineCheckCommand:
+    def test_identical_rerun_passes(self, stored_suite, capsys):
+        """Acceptance: engine check exits 0 on an identical rerun."""
+        store, _ = stored_suite
+        assert main(
+            ["engine", "check", "@-1", "--baseline", "@0",
+             "--tolerance", "5", "--store", str(store)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "OK: no regression" in out
+        assert "128 metric(s)" in out  # 32 benchmarks x 4 metrics
+
+    def test_regression_beyond_tolerance_fails(self, stored_suite, capsys,
+                                               tmp_path):
+        """Acceptance: a stored metric drifting past --tolerance gates."""
+        store, _ = stored_suite
+        sidecar = RunStore(store).read_stats("@0")
+        # Doctor the baseline: pretend fft used to be twice as fast.
+        sidecar["benchmarks"]["fft"]["busy_time_s"] /= 2
+        sidecar["benchmarks"]["fft"]["busy_floprate_mflops"] *= 2
+        baseline = tmp_path / "BENCH_baseline.json"
+        baseline.write_text(json.dumps(sidecar))
+        assert main(
+            ["engine", "check", "latest", "--baseline", str(baseline),
+             "--tolerance", "5", "--store", str(store)]
+        ) == 1
+        out = capsys.readouterr().out
+        assert out.count("REGRESSED") == 2  # time up, rate down
+        assert "FAIL: 2 regression(s)" in out
+
+    def test_huge_tolerance_forgives(self, stored_suite, capsys, tmp_path):
+        store, _ = stored_suite
+        sidecar = RunStore(store).read_stats("@0")
+        sidecar["benchmarks"]["fft"]["busy_time_s"] *= 0.9
+        baseline = tmp_path / "BENCH_baseline.json"
+        baseline.write_text(json.dumps(sidecar))
+        assert main(
+            ["engine", "check", "latest", "--baseline", str(baseline),
+             "--tolerance", "50", "--store", str(store)]
+        ) == 0
+
+    def test_bench_out_writes_trajectory_point(self, stored_suite, capsys,
+                                               tmp_path):
+        store, _ = stored_suite
+        out_path = tmp_path / "BENCH_engine.json"
+        assert main(
+            ["engine", "check", "@-1", "--baseline", "@0",
+             "--store", str(store), "--bench-out", str(out_path)]
+        ) == 0
+        point = json.loads(out_path.read_text())
+        assert point["kind"] == "bench"
+        assert len(point["benchmarks"]) == 32
+        assert point["check"]["ok"] is True
+        assert point["check"]["tolerance_pct"] == 5.0
+        # The emitted point is accepted back as a --baseline file.
+        assert main(
+            ["engine", "check", "@-1", "--baseline", str(out_path),
+             "--store", str(store)]
+        ) == 0
+
+
+class TestCachePruneFlag:
+    def test_suite_cache_prune_drops_stale_buckets(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        stale = cache / ("0" * 16)
+        stale.mkdir(parents=True)
+        (stale / "old.json").write_text("{}")
+        assert main(
+            ["suite", "--cache-dir", str(cache), "--cache-prune"]
+        ) == 0
+        assert not stale.exists()
+        # The real run's entries survived the prune.
+        buckets = [p for p in cache.iterdir() if p.is_dir()]
+        assert len(buckets) == 1
+        assert len(list(buckets[0].glob("*.json"))) == 32

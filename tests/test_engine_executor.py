@@ -140,12 +140,114 @@ class TestFaultTolerance:
         assert _parse_injection("*:1", "anything") == 1.0
         assert _parse_injection("lu:1,fft:3", "fft") == 3.0
 
+    def test_parse_injection_exact_beats_wildcard(self):
+        """Satellite: an exact entry wins regardless of spec order."""
+        assert _parse_injection("*:1,fft:3", "fft") == 3.0
+        assert _parse_injection("fft:3,*:1", "fft") == 3.0
+        assert _parse_injection("*:1,fft:3", "lu") == 1.0
+        assert _parse_injection("*,fft:3", "fft") == 3.0
+
     def test_injected_failure_raises_in_raise_mode(self, monkeypatch):
         monkeypatch.setenv(ENV_INJECT_FAIL, "fft")
         with pytest.raises(InjectedFailure):
             run_suite(
                 lambda: Session(cm5(32)), ["fft"], params=SUBSET_PARAMS
             )
+
+
+class TestBackoffScheduling:
+    def test_sibling_timeout_fires_during_backoff(self, monkeypatch):
+        """Acceptance: retry backoff must not stall the scheduler loop.
+
+        ``fft`` fails fast and enters a long (4 s) retry backoff while
+        ``gmo`` sleeps past its 1 s timeout.  The backoff used to be a
+        blocking ``time.sleep`` inside the pool loop, so gmo's timeout
+        was only enforced after the backoff drained; with per-job
+        not-before deadlines the timeout fires on schedule.
+        """
+        import time
+
+        from repro.engine import Tracer
+
+        monkeypatch.setenv(ENV_INJECT_FAIL, "fft")
+        monkeypatch.setenv(ENV_INJECT_SLEEP, "gmo:30")
+        events = []
+        tracer = Tracer(
+            callback=lambda e: events.append(
+                (e.kind, e.benchmark, time.perf_counter())
+            )
+        )
+        start = time.perf_counter()
+        results = Engine(
+            EngineConfig(jobs=2, retries=1, backoff=4.0, timeout=1.0),
+            tracer=tracer,
+        ).run(plan_suite(["fft", "gmo"], params=SUBSET_PARAMS))
+
+        by_name = {r.request.benchmark: r for r in results}
+        assert by_name["fft"].status == "failed"
+        assert by_name["fft"].attempts == 2
+        assert by_name["gmo"].status == "timeout"
+        # gmo's first timeout (a job_retried event, since retries=1)
+        # must be recorded well before fft's 4 s backoff expires.
+        gmo_timeout_at = next(
+            t
+            for kind, bench, t in events
+            if bench == "gmo" and kind in ("job_retried", "job_finished")
+        )
+        assert gmo_timeout_at - start < 3.5
+
+    def test_jobs_in_backoff_still_complete(self, monkeypatch):
+        """Backoff-queued retries run after their release time."""
+        monkeypatch.setenv(ENV_INJECT_FAIL, "fft:1")
+        results = Engine(
+            EngineConfig(jobs=2, retries=2, backoff=0.05)
+        ).run(plan_suite(["fft", "lu"], params=SUBSET_PARAMS))
+        by_name = {r.request.benchmark: r for r in results}
+        assert by_name["fft"].status == "ok"
+        assert by_name["fft"].attempts == 2
+        assert by_name["lu"].status == "ok"
+
+
+class TestIncrementalPersistence:
+    def test_killed_run_keeps_finished_jobs(self, tmp_path, monkeypatch):
+        """Acceptance: a run that dies mid-way loses no finished work.
+
+        ``raise_on_error`` propagates the second job's failure out of
+        ``run()`` — the in-process equivalent of a kill — and the
+        first job's record must already be durable in the store.
+        """
+        monkeypatch.setenv(ENV_INJECT_FAIL, "lu")
+        store_path = tmp_path / "runs.jsonl"
+        engine = Engine(EngineConfig(store=store_path, raise_on_error=True))
+        with pytest.raises(InjectedFailure):
+            engine.run(plan_suite(["fft", "lu"], params=SUBSET_PARAMS))
+        records = RunStore(store_path).records()
+        assert [r["benchmark"] for r in records] == ["fft"]
+        assert records[0]["status"] == "ok"
+        assert records[0]["report"]["flop_count"] > 0
+
+    def test_records_appended_as_jobs_finish(self, tmp_path):
+        """Each record lands when its job finishes, not at run end."""
+        store_path = tmp_path / "runs.jsonl"
+        store = RunStore(store_path)
+        seen = []
+
+        def progress(result):
+            seen.append((result.request.benchmark, len(store.records())))
+
+        Engine(EngineConfig(store=store_path), progress=progress).run(
+            plan_suite(["fft", "lu"], params=SUBSET_PARAMS)
+        )
+        # At the first job's completion exactly one record existed.
+        assert seen[0] == ("fft", 1)
+        assert seen[1] == ("lu", 2)
+
+    def test_pool_records_carry_plan_order_index(self, tmp_path):
+        store_path = tmp_path / "runs.jsonl"
+        Engine(EngineConfig(jobs=4, store=store_path)).run(subset_requests())
+        records = RunStore(store_path).run_records("@0")
+        assert [r["benchmark"] for r in records] == SUBSET
+        assert [r["index"] for r in records] == list(range(len(SUBSET)))
 
 
 class TestStoreIntegration:

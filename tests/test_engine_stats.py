@@ -1,0 +1,188 @@
+"""Observability layer tests: RunStats aggregation and the perf gate.
+
+The acceptance bar: a real stored run yields throughput, queue-wait,
+utilization, cache-hit rate and retry/timeout counts; an identical
+rerun passes ``compare_benchmarks`` cleanly; a doctored baseline (or a
+metric drifted beyond tolerance) fails it, direction-aware.
+"""
+
+import json
+
+import pytest
+
+from repro.engine import (
+    Engine,
+    EngineConfig,
+    RunStats,
+    RunStore,
+    compare_benchmarks,
+    plan_suite,
+    stats_from_records,
+    trajectory_point,
+)
+from repro.engine.executor import ENV_INJECT_FAIL
+from repro.engine.stats import baseline_benchmarks, load_baseline_file
+
+SUBSET = ["fft", "lu", "gmo"]
+SUBSET_PARAMS = {
+    "fft": {"n": 64},
+    "lu": {"n": 16},
+    "gmo": {"ns": 128, "ntr": 16},
+}
+
+
+def run_with_store(tmp_path, **config):
+    store_path = tmp_path / "runs.jsonl"
+    engine = Engine(EngineConfig(store=store_path, **config))
+    results = engine.run(plan_suite(SUBSET, params=SUBSET_PARAMS))
+    return engine, results, RunStore(store_path)
+
+
+class TestRunStatsFromEngine:
+    def test_fresh_run_scheduler_metrics(self, tmp_path):
+        engine, results, store = run_with_store(tmp_path)
+        stats = engine.last_run_stats
+        assert stats.n_jobs == len(SUBSET)
+        assert stats.status_counts == {"ok": 3}
+        assert stats.workers == 1
+        assert stats.duration_s > 0
+        assert stats.throughput_jobs_per_s > 0
+        assert stats.compute_total_s > 0
+        assert stats.compute_max_s <= stats.compute_total_s
+        assert stats.cache_hits == 0 and stats.cache_hit_rate == 0.0
+        assert stats.retries == 0 and stats.timeouts == 0
+        assert stats.attempts_histogram == {1: 3}
+        assert 0 < stats.worker_utilization <= 1.0
+        assert stats.phases["execute_s"] > 0
+        assert [job.benchmark for job in stats.jobs] == SUBSET
+        # Serial queue wait: later jobs waited behind earlier ones.
+        assert stats.jobs[-1].queue_wait_s >= stats.jobs[0].queue_wait_s
+        assert set(stats.benchmarks) == set(SUBSET)
+        for metrics in stats.benchmarks.values():
+            assert metrics["flop_count"] > 0
+            assert metrics["busy_time_s"] > 0
+
+    def test_warm_cache_run_hit_rate(self, tmp_path):
+        cache = tmp_path / "cache"
+        run_with_store(tmp_path, cache_dir=cache)
+        engine, _, _ = run_with_store(tmp_path, cache_dir=cache)
+        stats = engine.last_run_stats
+        assert stats.status_counts == {"cached": 3}
+        assert stats.cache_hit_rate == 1.0
+        # Cached jobs never touch a worker.
+        assert stats.compute_total_s == 0.0
+        assert stats.benchmarks  # cached reports still feed the gate
+
+    def test_retry_histogram_counts_attempts(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(ENV_INJECT_FAIL, "fft:2")
+        engine, _, _ = run_with_store(tmp_path, retries=3, backoff=0.0)
+        stats = engine.last_run_stats
+        assert stats.retries == 2
+        assert stats.attempts_histogram == {1: 2, 3: 1}
+        assert stats.timeouts == 0
+
+    def test_pool_run_reports_worker_count(self, tmp_path):
+        engine, _, _ = run_with_store(tmp_path, jobs=2)
+        stats = engine.last_run_stats
+        assert stats.workers == 2
+        assert 0 < stats.worker_utilization <= 1.0
+
+    def test_sidecar_written_and_roundtrips(self, tmp_path):
+        engine, _, store = run_with_store(tmp_path)
+        sidecar = store.read_stats("latest")
+        assert sidecar is not None
+        rebuilt = RunStats.from_dict(sidecar)
+        assert rebuilt.run_id == engine.last_run_stats.run_id
+        assert rebuilt.n_jobs == engine.last_run_stats.n_jobs
+        assert rebuilt.attempts_histogram == {1: 3}
+        assert rebuilt.jobs[0].benchmark == "fft"
+        assert rebuilt.table()  # renders
+
+    def test_stats_from_records_fallback(self, tmp_path):
+        """A store without a sidecar still yields scheduler stats."""
+        engine, _, store = run_with_store(tmp_path)
+        stats = stats_from_records(store.run_records("latest"))
+        assert stats.run_id == engine.last_run_stats.run_id
+        assert stats.n_jobs == 3
+        assert stats.workers is None  # not recoverable from records
+        assert stats.worker_utilization is None
+        assert stats.compute_total_s > 0
+        assert stats.benchmarks.keys() == engine.last_run_stats.benchmarks.keys()
+
+
+class TestCompareBenchmarks:
+    BASE = {
+        "fft": {"busy_time_s": 1.0, "elapsed_time_s": 2.0,
+                "flop_count": 1000, "busy_floprate_mflops": 10.0},
+        "lu": {"busy_time_s": 0.5, "elapsed_time_s": 1.0,
+               "flop_count": 500, "busy_floprate_mflops": 20.0},
+    }
+
+    def test_identical_runs_pass(self):
+        report = compare_benchmarks(self.BASE, self.BASE, tolerance_pct=5.0)
+        assert report.ok
+        assert len(report.rows) == 8
+        assert report.regressions == []
+        assert "OK" in report.table()
+
+    def test_slower_time_beyond_tolerance_fails(self):
+        current = {k: dict(v) for k, v in self.BASE.items()}
+        current["fft"]["busy_time_s"] = 1.2  # +20% > 5%
+        report = compare_benchmarks(current, self.BASE, tolerance_pct=5.0)
+        assert not report.ok
+        (row,) = report.regressions
+        assert (row.benchmark, row.metric) == ("fft", "busy_time_s")
+        assert row.delta_pct == pytest.approx(20.0)
+        assert "REGRESSED" in report.table()
+
+    def test_drift_within_tolerance_passes(self):
+        current = {k: dict(v) for k, v in self.BASE.items()}
+        current["fft"]["busy_time_s"] = 1.04  # +4% < 5%
+        assert compare_benchmarks(current, self.BASE, 5.0).ok
+
+    def test_rate_metrics_regress_downward(self):
+        current = {k: dict(v) for k, v in self.BASE.items()}
+        current["lu"]["busy_floprate_mflops"] = 15.0  # -25% rate
+        report = compare_benchmarks(current, self.BASE, tolerance_pct=5.0)
+        (row,) = report.regressions
+        assert (row.benchmark, row.metric) == ("lu", "busy_floprate_mflops")
+        # A rate *increase* is an improvement, never a regression.
+        current["lu"]["busy_floprate_mflops"] = 40.0
+        assert compare_benchmarks(current, self.BASE, 5.0).ok
+
+    def test_missing_benchmark_fails_gate(self):
+        current = {"fft": dict(self.BASE["fft"])}
+        report = compare_benchmarks(current, self.BASE, tolerance_pct=5.0)
+        assert not report.ok
+        assert report.missing == ["lu"]
+
+    def test_added_benchmark_is_informational(self):
+        current = {k: dict(v) for k, v in self.BASE.items()}
+        current["qr"] = {"busy_time_s": 1.0}
+        report = compare_benchmarks(current, self.BASE, tolerance_pct=5.0)
+        assert report.ok
+        assert report.added == ["qr"]
+
+
+class TestTrajectoryPoint:
+    def test_point_shape_and_baseline_reuse(self, tmp_path):
+        engine, _, _ = run_with_store(tmp_path)
+        point = trajectory_point(engine.last_run_stats)
+        assert point["schema"] == 1
+        assert point["kind"] == "bench"
+        assert set(point["benchmarks"]) == set(SUBSET)
+        assert point["engine"]["n_jobs"] == 3
+        assert point["engine"]["throughput_jobs_per_s"] > 0
+        # A trajectory point is itself a valid check baseline.
+        assert baseline_benchmarks(point) == point["benchmarks"]
+        path = tmp_path / "BENCH_point.json"
+        path.write_text(json.dumps(point))
+        loaded = load_baseline_file(path)
+        report = compare_benchmarks(
+            engine.last_run_stats.benchmarks, loaded, tolerance_pct=0.0
+        )
+        assert report.ok  # identical metrics even at zero tolerance
+
+    def test_bare_mapping_accepted_as_baseline(self):
+        bare = {"fft": {"busy_time_s": 1.0}}
+        assert baseline_benchmarks(bare) == bare
