@@ -1,0 +1,138 @@
+"""Per-operation dispatch cost of the instrumented array layer.
+
+These microbenchmarks isolate the *overhead* each simulated operation
+adds on top of the raw numpy work: operator dispatch in
+``DistArray._binary``, fused-kernel dispatch in :mod:`repro.array.fused`,
+aggregate vs trace-mode comm accounting, and the memoized network/layout
+cost models.  Compare pairs (operator expression vs fused call, fast vs
+trace session) to read the fast path's effect directly; absolute times
+also feed the CI artifact uploaded by the ``perf-fastpath`` job.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_op_overhead.py
+
+(see docs/PERF.md for how to interpret the numbers).
+"""
+
+import numpy as np
+import pytest
+
+from repro.array import axpy, from_numpy, stencil_combine
+from repro.comm.primitives import cshift
+from repro.layout.spec import parse_layout
+from repro.metrics.patterns import CommPattern
+from repro.sessions import perf_session, trace_session
+
+N = 1 << 14
+
+
+@pytest.fixture
+def triple():
+    session = perf_session("cm5", 32)
+    x = from_numpy(session, np.arange(float(N)), "(:)")
+    y = from_numpy(session, np.ones(N), "(:)")
+    z = from_numpy(session, np.full(N, 2.0), "(:)")
+    return x, y, z
+
+
+def test_operator_expression_axpy(benchmark, triple):
+    """Baseline: a*x + y via DistArray operators (two temporaries)."""
+    x, y, _ = triple
+    out = benchmark(lambda: 3.0 * x + y)
+    assert out.size == N
+
+
+def test_fused_axpy(benchmark, triple):
+    """Same charge sequence through the fused kernel (one temporary)."""
+    x, y, _ = triple
+    out = benchmark(lambda: axpy(3.0, x, y))
+    assert out.size == N
+
+
+def test_fused_axpy_out(benchmark, triple):
+    """Allocation-free: axpy into a preallocated destination."""
+    x, y, z = triple
+    out = benchmark(lambda: axpy(3.0, x, y, out=z))
+    assert out is z
+
+
+def test_operator_stencil_combine(benchmark, triple):
+    """Baseline: uc + s*(um - 2*uc + up) via operators."""
+    x, y, z = triple
+    out = benchmark(lambda: x + 0.25 * (y - 2.0 * x + z))
+    assert out.size == N
+
+
+def test_fused_stencil_combine(benchmark, triple):
+    x, y, z = triple
+    out = benchmark(lambda: stencil_combine(x, y, z, 0.25))
+    assert out.size == N
+
+
+def test_comm_accounting_fast(benchmark):
+    """Aggregate-only accounting: O(1) state per (pattern, rank, detail)."""
+
+    def run():
+        session = perf_session("cm5", 32)
+        for _ in range(1000):
+            session.record_comm(
+                CommPattern.CSHIFT, bytes_network=4096, bytes_local=4096
+            )
+        return session.recorder.root.comm_count
+
+    assert benchmark(run) == 1000
+
+
+def test_comm_accounting_trace(benchmark):
+    """Trace mode: one frozen CommEvent appended per collective."""
+
+    def run():
+        session = trace_session("cm5", 32)
+        for _ in range(1000):
+            session.record_comm(
+                CommPattern.CSHIFT, bytes_network=4096, bytes_local=4096
+            )
+        return len(session.recorder.root.comm_events)
+
+    assert benchmark(run) == 1000
+
+
+def test_comm_busy_property_is_o1(benchmark):
+    """Reading comm_busy must not re-walk per-event state."""
+    session = perf_session("cm5", 32)
+    for _ in range(10_000):
+        session.record_comm(CommPattern.CSHIFT, bytes_network=64)
+
+    total = benchmark(lambda: session.recorder.root.comm_busy)
+    assert total > 0.0
+
+
+def test_cshift_dispatch(benchmark):
+    """End-to-end per-op cost of one instrumented collective."""
+    session = perf_session("cm5", 32)
+    x = from_numpy(session, np.arange(float(N)), "(:)")
+    out = benchmark(lambda: cshift(x, 1))
+    assert out.size == N
+
+
+def test_parse_layout_memoized(benchmark):
+    """Repeated (spec, shape) parses are served from the cache."""
+    out = benchmark(lambda: parse_layout("(:serial,:,:)", (8, 64, 64)))
+    assert out.shape == (8, 64, 64)
+
+
+def test_network_cost_memoized(benchmark):
+    """Identical (pattern, bytes, nodes) tuples skip re-pricing."""
+    session = perf_session("cm5", 32)
+    network = session.machine.network
+
+    def run():
+        total = 0.0
+        for _ in range(1000):
+            total += network.cost(
+                CommPattern.CSHIFT, bytes_network=4096, nodes=session.nodes
+            ).busy
+        return total
+
+    assert benchmark(run) > 0.0

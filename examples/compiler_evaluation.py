@@ -16,8 +16,7 @@ compute-dominated codes and narrows on latency-sensitive,
 communication-rich ones — the suite separates the two effects.
 """
 
-from repro import Session, VersionTier, cm5
-from repro.machine.presets import generic_cluster
+from repro import VersionTier, perf_session
 from repro.suite import run_suite
 from repro.suite.tables import format_table
 
@@ -32,10 +31,10 @@ SUBSET = {
 }
 
 ENVIRONMENTS = {
-    "CM-5/32 basic": lambda: Session(cm5(32), tier=VersionTier.BASIC),
-    "CM-5/32 cmssl": lambda: Session(cm5(32), tier=VersionTier.CMSSL),
-    "cluster/16 basic": lambda: Session(
-        generic_cluster(16), tier=VersionTier.BASIC
+    "CM-5/32 basic": lambda: perf_session("cm5", 32, tier=VersionTier.BASIC),
+    "CM-5/32 cmssl": lambda: perf_session("cm5", 32, tier=VersionTier.CMSSL),
+    "cluster/16 basic": lambda: perf_session(
+        "cluster", 16, tier=VersionTier.BASIC
     ),
 }
 

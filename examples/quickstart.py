@@ -14,7 +14,7 @@ Usage::
 
 import sys
 
-from repro import Session, cm5, run_benchmark
+from repro import perf_session, run_benchmark
 from repro.suite import REGISTRY
 
 
@@ -28,12 +28,11 @@ def main() -> None:
 
     # A 32-node CM-5 partition: 4 vector units per node at 32 MFLOP/s
     # peak each (the paper's reference platform).
-    machine = cm5(32)
-    print(f"machine: {machine.describe()}")
+    session = perf_session("cm5", 32)
+    print(f"machine: {session.machine.describe()}")
     print(f"benchmark: {name} — {REGISTRY[name].description}")
     print()
 
-    session = Session(machine)
     report = run_benchmark(name, session)
 
     print(report.summary())

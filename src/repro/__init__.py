@@ -23,9 +23,20 @@ Quickstart::
     print(report.summary())
 """
 
-from repro.array import DistArray, from_numpy, ones, zeros
+from repro.array import (
+    DistArray,
+    axpy,
+    fma,
+    from_numpy,
+    linear_combine,
+    ones,
+    scale_add,
+    stencil_combine,
+    zeros,
+)
 from repro.layout import Axis, Layout, parse_layout
 from repro.machine import MachineModel, Session, cm5, cm5e, generic_cluster, workstation
+from repro.sessions import open_session, perf_session, trace_session
 from repro.metrics import (
     CommPattern,
     FlopKind,
@@ -52,13 +63,21 @@ __all__ = [
     "TypeTag",
     "VersionTier",
     "__version__",
+    "axpy",
     "cm5",
     "cm5e",
+    "fma",
     "from_numpy",
     "generic_cluster",
+    "linear_combine",
     "ones",
+    "open_session",
     "parse_layout",
+    "perf_session",
     "run_benchmark",
+    "scale_add",
+    "stencil_combine",
+    "trace_session",
     "workstation",
     "zeros",
 ]

@@ -51,7 +51,8 @@ def measure_bisection_bandwidth(
     elapsed = []
     bytes_moved = []
     for n in sizes:
-        session = Session(machine)
+        # Per-event timings are needed below, so keep the full trace.
+        session = Session(machine, detail_events=True)
         run_benchmark("transpose", session, n=n, repeats=repeats)
         events = [
             e

@@ -74,6 +74,7 @@ def _pair_forces(
     xj: np.ndarray,
     yj: np.ndarray,
     mj: np.ndarray,
+    scratch: Tuple[np.ndarray, ...] | None = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Softened 2-D inverse-square attraction of i by j (17 FLOPs/pair).
 
@@ -81,13 +82,31 @@ def _pair_forces(
     s = sqrt(r2) (SQRT=4); w = mj / (r2 * s) (1 MUL + 1 DIV = 5);
     fx += w*dx, fy += w*dy (2 MUL = 2) — 17 FLOPs, accumulate adds
     charged to the caller's running sum.
+
+    ``scratch`` (six arrays of the broadcast shape) makes the kernel
+    allocation-free for systolic callers; the returned ``gx``/``gy``
+    alias the last two scratch arrays and are valid until the next call.
     """
-    dx = xj - xi
-    dy = yj - yi
-    r2 = dx * dx + dy * dy + _EPS
-    s = np.sqrt(r2)
-    w = mj / (r2 * s)
-    return w * dx, w * dy
+    if scratch is None:
+        dx = xj - xi
+        dy = yj - yi
+        r2 = dx * dx + dy * dy + _EPS
+        s = np.sqrt(r2)
+        w = mj / (r2 * s)
+        return w * dx, w * dy
+    dx, dy, t1, t2, gx, gy = scratch
+    np.subtract(xj, xi, out=dx)
+    np.subtract(yj, yi, out=dy)
+    np.multiply(dx, dx, out=t1)
+    np.multiply(dy, dy, out=t2)
+    np.add(t1, t2, out=t1)
+    np.add(t1, _EPS, out=t1)  # r2
+    np.sqrt(t1, out=t2)  # s
+    np.multiply(t1, t2, out=t2)  # r2 * s
+    np.divide(mj, t2, out=t2)  # w
+    np.multiply(t2, dx, out=gx)
+    np.multiply(t2, dy, out=gy)
+    return gx, gy
 
 
 def reference_forces(x, y, m):
@@ -183,6 +202,11 @@ def run(
         # stationary bodies; n-1 steps, 3 CSHIFTs and 17 n FLOPs each.
         xt, yt, mt = xw.copy(), yw.copy(), mw.copy()
         steps = m_pad - 1
+        shift_bytes = (
+            round(layout1.shift_network_elements(session.nodes, 0, 1))
+            * itemsize
+        )
+        scratch = tuple(np.empty(m_pad) for _ in range(6))
         with session.region("main_loop", iterations=steps):
             for _ in range(steps):
                 xt = np.roll(xt, 1)
@@ -191,15 +215,12 @@ def run(
                 for name in ("x", "y", "m"):
                     session.record_comm(
                         CommPattern.CSHIFT,
-                        bytes_network=round(
-                            layout1.shift_network_elements(session.nodes, 0, 1)
-                        )
-                        * itemsize,
+                        bytes_network=shift_bytes,
                         bytes_local=m_pad * itemsize,
                         rank=1,
                         detail=f"travelling {name}",
                     )
-                gx, gy = _pair_forces(xw, yw, xt, yt, mt)
+                gx, gy = _pair_forces(xw, yw, xt, yt, mt, scratch)
                 fx += gx
                 fy += gy
                 session.charge_kernel(17 * m_pad, layout=layout1)
@@ -213,6 +234,11 @@ def run(
         ft_x = np.zeros(m_pad)
         ft_y = np.zeros(m_pad)
         steps = m_pad // 2
+        shift_bytes = (
+            round(layout1.shift_network_elements(session.nodes, 0, 1))
+            * itemsize
+        )
+        scratch = tuple(np.empty(m_pad) for _ in range(6))
         with session.region("main_loop", iterations=steps):
             for step in range(1, steps + 1):
                 xt = np.roll(xt, 1)
@@ -224,15 +250,12 @@ def run(
                 for k in range(n_shift):
                     session.record_comm(
                         CommPattern.CSHIFT,
-                        bytes_network=round(
-                            layout1.shift_network_elements(session.nodes, 0, 1)
-                        )
-                        * itemsize,
+                        bytes_network=shift_bytes,
                         bytes_local=m_pad * itemsize,
                         rank=1,
                         detail="travelling state",
                     )
-                gx, gy = _pair_forces(xw, yw, xt, yt, mt)
+                gx, gy = _pair_forces(xw, yw, xt, yt, mt, scratch)
                 half = step < steps or m_pad % 2 == 1 or (m_pad // 2) * 2 != m_pad
                 # On the final step of an even ring, each pair appears
                 # twice (i sees j and j sees i); halve to avoid double

@@ -1,0 +1,293 @@
+"""Fused elementwise kernels for :class:`~repro.array.DistArray`.
+
+Operator chains like ``s + beta * p`` allocate one temporary and one
+recorder charge per operator.  The helpers here execute the same
+mathematics through NumPy ``out=`` kernels with at most one temporary
+and batch the accounting through
+:meth:`~repro.machine.session.Session.charge_elementwise_seq` — while
+charging *exactly* the FLOP kinds, complex flags and layouts the
+operator chain would have charged, in the same order.  A fused call is
+therefore metrics-identical to the expression it replaces; only the
+host-side overhead changes.
+
+Every helper accepts ``out=`` to write into an existing array (pass the
+accumulating operand itself to mirror ``+=`` / ``-=`` updates).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.array.distarray import DistArray, Scalar
+from repro.layout.spec import Layout
+from repro.metrics.flops import FlopKind
+
+__all__ = ["axpy", "fma", "scale_add", "linear_combine", "stencil_combine"]
+
+#: One accounting step: (FLOP kind, layout charged, complex flag).
+_Step = Tuple[FlopKind, Layout, bool]
+
+Coef = Union["DistArray", Scalar]
+
+
+def _scalar_complex(value: object) -> bool:
+    """Complex flag contributed by a scalar operand (operator rule)."""
+    return isinstance(value, complex)
+
+
+def _operand_complex(value: Coef) -> bool:
+    if isinstance(value, DistArray):
+        return value.is_complex
+    return _scalar_complex(value)
+
+
+def _operand_data(value: Coef) -> np.ndarray | Scalar:
+    return value.data if isinstance(value, DistArray) else value
+
+
+def _check_operands(arrays: Sequence[DistArray]) -> None:
+    first = arrays[0]
+    for other in arrays[1:]:
+        if other.session is not first.session:
+            raise ValueError("operands belong to different sessions")
+        if other.shape != first.shape:
+            raise ValueError(
+                f"shape mismatch {first.shape} vs {other.shape}; use "
+                "repro.comm.spread for explicit broadcasts"
+            )
+
+
+def _charge_steps(session, steps: Sequence[_Step]) -> None:
+    """Charge accounting steps, hoisting geometry when layouts agree."""
+    first_layout = steps[0][1]
+    if all(
+        layout is first_layout or layout == first_layout
+        for _, layout, _ in steps
+    ):
+        session.charge_elementwise_seq(
+            [(kind, 1, cx) for kind, _, cx in steps], first_layout
+        )
+    else:
+        for kind, layout, cx in steps:
+            session.charge_elementwise(kind, layout, complex_valued=cx)
+
+
+def _finish(
+    result: np.ndarray,
+    layout: Layout,
+    session,
+    out: Optional[DistArray],
+) -> DistArray:
+    if out is None:
+        return DistArray(result, layout, session)
+    if result is not out.data:
+        np.copyto(out.data, result)
+    return out
+
+
+def _combine(
+    ufunc: np.ufunc,
+    a: np.ndarray,
+    b: np.ndarray | Scalar,
+    buf: Optional[np.ndarray],
+) -> np.ndarray:
+    """``ufunc(a, b)`` into ``buf`` when the result dtype permits it."""
+    if buf is not None and buf.dtype == np.result_type(a, b):
+        return ufunc(a, b, out=buf)
+    return ufunc(a, b)
+
+
+def axpy(
+    a: Coef,
+    x: DistArray,
+    y: DistArray,
+    *,
+    subtract: bool = False,
+    out: Optional[DistArray] = None,
+) -> DistArray:
+    """Fused ``y + a * x`` (or ``y - a * x`` with ``subtract=True``).
+
+    Charges MUL then ADD (or SUB), exactly like the operator chain —
+    pass ``out=y`` to mirror ``y += a * x`` / ``y -= a * x``.
+    """
+    arrays = [x, y] + ([a] if isinstance(a, DistArray) else [])
+    _check_operands(arrays)
+    session = x.session
+    mul_layout = a.layout if isinstance(a, DistArray) else x.layout
+    t = np.multiply(x.data, _operand_data(a))
+    acc_kind = FlopKind.SUB if subtract else FlopKind.ADD
+    acc_ufunc = np.subtract if subtract else np.add
+    t_complex = t.dtype.kind == "c"
+    result = _combine(
+        acc_ufunc, y.data, t, out.data if out is not None else t
+    )
+    _charge_steps(
+        session,
+        [
+            (FlopKind.MUL, mul_layout, x.is_complex or _operand_complex(a)),
+            (acc_kind, y.layout, y.is_complex or t_complex),
+        ],
+    )
+    return _finish(result, y.layout, session, out)
+
+
+def fma(
+    x: DistArray,
+    y: Coef,
+    z: DistArray,
+    *,
+    out: Optional[DistArray] = None,
+) -> DistArray:
+    """Fused multiply-add ``x * y + z`` (MUL then ADD)."""
+    arrays = [x, z] + ([y] if isinstance(y, DistArray) else [])
+    _check_operands(arrays)
+    session = x.session
+    t = np.multiply(x.data, _operand_data(y))
+    t_complex = t.dtype.kind == "c"
+    result = _combine(np.add, t, z.data, out.data if out is not None else t)
+    _charge_steps(
+        session,
+        [
+            (FlopKind.MUL, x.layout, x.is_complex or _operand_complex(y)),
+            (FlopKind.ADD, x.layout, t_complex or z.is_complex),
+        ],
+    )
+    return _finish(result, x.layout, session, out)
+
+
+def scale_add(
+    a: Coef,
+    x: DistArray,
+    b: Coef,
+    y: DistArray,
+    *,
+    out: Optional[DistArray] = None,
+) -> DistArray:
+    """Fused ``a * x + b * y`` (MUL, MUL, ADD)."""
+    arrays = [x, y]
+    for coef in (a, b):
+        if isinstance(coef, DistArray):
+            arrays.append(coef)
+    _check_operands(arrays)
+    session = x.session
+    tx = np.multiply(x.data, _operand_data(a))
+    ty = np.multiply(y.data, _operand_data(b))
+    tx_complex = tx.dtype.kind == "c"
+    ty_complex = ty.dtype.kind == "c"
+    result = _combine(np.add, tx, ty, out.data if out is not None else tx)
+    mul_x_layout = a.layout if isinstance(a, DistArray) else x.layout
+    mul_y_layout = b.layout if isinstance(b, DistArray) else y.layout
+    _charge_steps(
+        session,
+        [
+            (FlopKind.MUL, mul_x_layout, x.is_complex or _operand_complex(a)),
+            (FlopKind.MUL, mul_y_layout, y.is_complex or _operand_complex(b)),
+            (FlopKind.ADD, mul_x_layout, tx_complex or ty_complex),
+        ],
+    )
+    return _finish(result, mul_x_layout, session, out)
+
+
+def linear_combine(
+    *terms: Tuple[Coef, DistArray],
+    out: Optional[DistArray] = None,
+) -> DistArray:
+    """Fused left-associated sum ``c0*x0 + c1*x1 + ...``.
+
+    Each coefficient may be a scalar or a DistArray (e.g. a tridiagonal
+    apply ``di*v + lo*vm + up*vp``).  Charges MUL for the first term,
+    then MUL, ADD per subsequent term — the operator-chain order.
+    """
+    if not terms:
+        raise ValueError("linear_combine needs at least one (coef, array) term")
+    arrays: List[DistArray] = []
+    for coef, arr in terms:
+        arrays.append(arr)
+        if isinstance(coef, DistArray):
+            arrays.append(coef)
+    _check_operands(arrays)
+    session = arrays[0].session
+
+    def _term_layout(coef: Coef, arr: DistArray) -> Layout:
+        # ``coef * arr`` dispatches to the left operand when it is a
+        # DistArray, so that operand's layout takes the charge.
+        return coef.layout if isinstance(coef, DistArray) else arr.layout
+
+    steps: List[_Step] = []
+    coef0, arr0 = terms[0]
+    if isinstance(coef0, DistArray):
+        running = np.multiply(coef0.data, arr0.data)
+    else:
+        running = np.multiply(arr0.data, coef0)
+    steps.append(
+        (
+            FlopKind.MUL,
+            _term_layout(coef0, arr0),
+            arr0.is_complex or _operand_complex(coef0),
+        )
+    )
+    running_layout = _term_layout(coef0, arr0)
+    for coef, arr in terms[1:]:
+        if isinstance(coef, DistArray):
+            term = np.multiply(coef.data, arr.data)
+        else:
+            term = np.multiply(arr.data, coef)
+        steps.append(
+            (
+                FlopKind.MUL,
+                _term_layout(coef, arr),
+                arr.is_complex or _operand_complex(coef),
+            )
+        )
+        steps.append(
+            (
+                FlopKind.ADD,
+                running_layout,
+                running.dtype.kind == "c" or term.dtype.kind == "c",
+            )
+        )
+        running = _combine(np.add, running, term, running)
+    _charge_steps(session, steps)
+    return _finish(running, running_layout, session, out)
+
+
+def stencil_combine(
+    center: DistArray,
+    minus: DistArray,
+    plus: DistArray,
+    scale: Scalar,
+    coeff: Scalar = 2.0,
+    *,
+    out: Optional[DistArray] = None,
+) -> DistArray:
+    """Fused ``center + scale * (minus - coeff*center + plus)``.
+
+    The classic explicit-diffusion update; charges MUL, SUB, ADD, MUL,
+    ADD exactly like the spelled-out expression.
+    """
+    _check_operands([center, minus, plus])
+    session = center.session
+    t = np.multiply(center.data, coeff)
+    t1_complex = t.dtype.kind == "c"
+    t = _combine(np.subtract, minus.data, t, t)
+    t2_complex = t.dtype.kind == "c"
+    t = _combine(np.add, t, plus.data, t)
+    t3_complex = t.dtype.kind == "c"
+    t = _combine(np.multiply, t, scale, t)
+    t4_complex = t.dtype.kind == "c"
+    result = _combine(
+        np.add, center.data, t, out.data if out is not None else t
+    )
+    _charge_steps(
+        session,
+        [
+            (FlopKind.MUL, center.layout, center.is_complex or _scalar_complex(coeff)),
+            (FlopKind.SUB, minus.layout, minus.is_complex or t1_complex),
+            (FlopKind.ADD, minus.layout, t2_complex or plus.is_complex),
+            (FlopKind.MUL, minus.layout, t3_complex or _scalar_complex(scale)),
+            (FlopKind.ADD, center.layout, center.is_complex or t4_complex),
+        ],
+    )
+    return _finish(result, center.layout, session, out)

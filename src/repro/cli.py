@@ -37,12 +37,9 @@ import argparse
 import sys
 from typing import Callable, Dict, List, Optional
 
-from repro.machine.presets import (
-    FIXED_NODE_PRESETS,
-    PRESETS,
-    resolve_machine,
-)
+from repro.machine.presets import FIXED_NODE_PRESETS, PRESETS
 from repro.machine.session import Session
+from repro.sessions import open_session
 from repro.versions import VersionTier
 
 #: Legacy alias of :data:`repro.machine.presets.PRESETS`.
@@ -98,9 +95,7 @@ def _effective_nodes(machine: str, nodes: Optional[int]) -> int:
 
 def _make_session(args) -> Session:
     nodes = _effective_nodes(args.machine, args.nodes)
-    return Session(
-        resolve_machine(args.machine, nodes), tier=VersionTier(args.tier)
-    )
+    return open_session(args.machine, nodes, tier=args.tier)
 
 
 def _engine_config(args):

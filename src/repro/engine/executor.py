@@ -100,6 +100,18 @@ def _apply_test_hooks(benchmark: str, attempt: int) -> None:
             )
 
 
+def _worker_init() -> None:
+    """Process-pool initializer: pre-import the benchmark stack.
+
+    Importing ``repro`` (numpy, the registry, every app module) costs
+    hundreds of milliseconds; paying it once per worker at pool startup
+    instead of inside the first ``_worker_run`` keeps the first wave of
+    jobs from all serializing behind cold imports and from counting
+    import time against their per-job timeout.
+    """
+    import repro.suite.registry  # noqa: F401  (side effect: full import)
+
+
 def _worker_run(payload: Dict) -> Dict:
     """Process-pool entry point: execute one request attempt.
 
@@ -460,7 +472,9 @@ class Engine:
 
         config = self.config
         try:
-            pool = cf.ProcessPoolExecutor(max_workers=config.jobs)
+            pool = cf.ProcessPoolExecutor(
+                max_workers=config.jobs, initializer=_worker_init
+            )
         except Exception:  # pragma: no cover - restricted platforms
             self._run_serial(requests, indices, results, cache, None)
             return
@@ -600,7 +614,9 @@ class Engine:
                     survivors = list(inflight.values())
                     inflight.clear()
                     pool.shutdown(wait=False, cancel_futures=True)
-                    pool = cf.ProcessPoolExecutor(max_workers=config.jobs)
+                    pool = cf.ProcessPoolExecutor(
+                        max_workers=config.jobs, initializer=_worker_init
+                    )
                     for index, attempt, _, _ in survivors:
                         queue.appendleft((index, attempt, None))
         finally:

@@ -83,6 +83,9 @@ class RunRequest:
             frozen = tuple((k, v) for k, v in frozen if k != "seed")
         object.__setattr__(self, "params", frozen)
         VersionTier(self.tier)  # validate eagerly, before any worker sees it
+        # Content hash is computed lazily and cached: the engine hashes
+        # every request several times (cache get/put, store, trace).
+        object.__setattr__(self, "_content_hash", None)
 
     # -- views ----------------------------------------------------------
     @property
@@ -123,8 +126,18 @@ class RunRequest:
         return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
 
     def content_hash(self) -> str:
-        """SHA-256 of the canonical encoding; keys cache and store."""
-        return hashlib.sha256(self.canonical().encode("utf-8")).hexdigest()
+        """SHA-256 of the canonical encoding; keys cache and store.
+
+        Cached after the first computation — the request is frozen, so
+        re-encoding the canonical JSON on every lookup is pure waste.
+        """
+        cached = self._content_hash
+        if cached is None:
+            cached = hashlib.sha256(
+                self.canonical().encode("utf-8")
+            ).hexdigest()
+            object.__setattr__(self, "_content_hash", cached)
+        return cached
 
     # -- execution ------------------------------------------------------
     def build_session(self) -> Session:

@@ -45,7 +45,15 @@ def parse_layout(spec: str, shape: Sequence[int]) -> "Layout":
     ``spec`` lists one entry per axis: ``:serial`` for a local axis,
     ``:`` for a (block-distributed) parallel one, and ``:cyclic`` for
     a cyclically distributed parallel axis.  Parentheses are optional.
+
+    Results are memoized per ``(spec, shape)``: layouts are frozen, so
+    repeated parses in per-iteration hot loops share one instance.
     """
+    return _parse_layout_cached(spec, tuple(int(s) for s in shape))
+
+
+@lru_cache(maxsize=4096)
+def _parse_layout_cached(spec: str, shape: Tuple[int, ...]) -> "Layout":
     body = spec.strip()
     if body.startswith("(") and body.endswith(")"):
         body = body[1:-1]
@@ -69,9 +77,7 @@ def parse_layout(spec: str, shape: Sequence[int]) -> "Layout":
             f"layout spec {spec!r} has {len(axes)} axes but shape {tuple(shape)} "
             f"has {len(shape)}"
         )
-    return Layout(
-        tuple(int(s) for s in shape), tuple(axes), tuple(dists)
-    )
+    return Layout(shape, tuple(axes), tuple(dists))
 
 
 @dataclass(frozen=True)
@@ -206,15 +212,20 @@ class Layout:
 
         This is the load-imbalance factor: compute time for an
         elementwise operation is ``total_flops * critical_fraction``
-        divided by one node's rate.
+        divided by one node's rate.  Memoized: this sits on the
+        per-operation charging hot path.
         """
-        if self.size == 0:
-            return 0.0
-        return self.max_local_elements(nodes) / self.size
+        return _critical_fraction_cached(self.shape, self.axes, nodes)
 
     # -- communication-volume helpers --------------------------------------
     def shift_network_elements(self, nodes: int, axis: int, shift: int) -> int:
-        """Elements crossing node boundaries for a cshift along ``axis``."""
+        """Elements crossing node boundaries for a cshift along ``axis``.
+
+        Memoized: stencil loops re-price the same shift every step.
+        """
+        return _shift_network_elements_cached(self, nodes, axis, shift)
+
+    def _shift_network_elements(self, nodes: int, axis: int, shift: int) -> int:
         n = self.shape[axis]
         if n == 0 or self.size == 0:
             return 0
@@ -259,6 +270,27 @@ class Layout:
         """
         used = self.nodes_used(nodes)
         return (used - 1) / used if used > 1 else 0.0
+
+
+@lru_cache(maxsize=4096)
+def _critical_fraction_cached(
+    shape: Tuple[int, ...], axes: Tuple[Axis, ...], nodes: int
+) -> float:
+    size = prod(shape) if shape else 1
+    if size == 0:
+        return 0.0
+    grid = _proc_grid_cached(shape, axes, nodes)
+    local = prod(
+        math.ceil(s / g) if s else 0 for s, g in zip(shape, grid)
+    ) if shape else 1
+    return local / size
+
+
+@lru_cache(maxsize=8192)
+def _shift_network_elements_cached(
+    layout: "Layout", nodes: int, axis: int, shift: int
+) -> int:
+    return layout._shift_network_elements(nodes, axis, shift)
 
 
 @lru_cache(maxsize=4096)

@@ -23,6 +23,7 @@ against ``numpy.fft``.
 from __future__ import annotations
 
 import math
+from functools import lru_cache
 
 import numpy as np
 
@@ -31,6 +32,7 @@ from repro.metrics.flops import FlopKind
 from repro.metrics.patterns import CommPattern
 
 
+@lru_cache(maxsize=64)
 def _bit_reverse_indices(n: int) -> np.ndarray:
     bits = n.bit_length() - 1
     idx = np.arange(n)
@@ -39,6 +41,12 @@ def _bit_reverse_indices(n: int) -> np.ndarray:
         rev = (rev << 1) | (idx & 1)
         idx >>= 1
     return rev
+
+
+@lru_cache(maxsize=256)
+def _twiddles(distance: int, sign: float) -> np.ndarray:
+    """Stage twiddle factors exp(sign * 2*pi*i * k / (2*distance))."""
+    return np.exp(sign * 2j * np.pi * np.arange(distance) / (2 * distance))
 
 
 def _charge_stage(x: DistArray, axis: int, distance: int) -> None:
@@ -70,37 +78,42 @@ def _fft_axis(x: DistArray, axis: int, inverse: bool) -> DistArray:
     if n & (n - 1):
         raise ValueError(f"FFT length must be a power of two, got {n}")
     session = x.session
-    data = np.moveaxis(x.data.astype(np.complex128, copy=True), axis, -1)
+    data = x.data.astype(np.complex128, copy=True)
+    if axis != data.ndim - 1:
+        data = np.moveaxis(data, axis, -1)
     lead = data.shape[:-1]
     if n > 1:
         data = data[..., _bit_reverse_indices(n)]
         sign = +1.0 if inverse else -1.0
         stages = int(math.log2(n))
+        # Per-stage loop invariants, hoisted: the butterfly pair count,
+        # its critical-path compute time and a reusable half-size
+        # scratch buffer (every stage touches exactly n/2 products).
+        pairs = x.size // 2
+        stage_time = session.machine.compute_time(
+            10 * pairs * x.layout.critical_fraction(session.nodes),
+            tier=session.tier,
+        )
+        scratch = np.empty((*lead, n // 2), dtype=np.complex128)
         for s in range(stages):
             d = 1 << s  # butterfly distance
-            w = np.exp(sign * 2j * np.pi * np.arange(d) / (2 * d))
+            w = _twiddles(d, sign)
             blocks = data.reshape(*lead, n // (2 * d), 2, d)
-            t = blocks[..., 1, :] * w
+            t = scratch.reshape(*lead, n // (2 * d), d)
+            np.multiply(blocks[..., 1, :], w, out=t)
             u = blocks[..., 0, :]
-            blocks[..., 1, :] = u - t
-            blocks[..., 0, :] = u + t
-            data = blocks.reshape(*lead, n)
+            np.subtract(u, t, out=blocks[..., 1, :])
+            np.add(u, t, out=blocks[..., 0, :])
             # 5n FLOPs per point set: one complex multiply and two
             # complex adds per butterfly pair.
-            pairs = x.size // 2
             session.recorder.charge_flops(FlopKind.MUL, pairs, complex_valued=True)
             session.recorder.charge_flops(
                 FlopKind.ADD, 2 * pairs, complex_valued=True
             )
-            session.recorder.charge_compute_time(
-                session.machine.compute_time(
-                    10 * pairs * x.layout.critical_fraction(session.nodes),
-                    tier=session.tier,
-                )
-            )
+            session.recorder.charge_compute_time(stage_time)
             _charge_stage(x, axis, d)
     if inverse:
-        data = data / n
+        data /= n
         session.recorder.charge_flops(FlopKind.DIV, x.size)
     # Marker event: one Butterfly per 1-D FFT sweep, so application
     # tables can count "k 1-D FFTs" (Table 7's Butterfly row).  The

@@ -14,7 +14,7 @@ machine model directly.
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Iterator, Optional, Sequence
+from typing import Iterator, Optional, Sequence, Tuple
 
 from repro.layout.spec import Layout
 from repro.machine.model import MachineModel
@@ -25,9 +25,19 @@ from repro.metrics.patterns import CommPattern
 from repro.metrics.recorder import CommEvent, MetricsRecorder
 from repro.versions import VersionTier
 
+#: One step of a fused elementwise charge sequence:
+#: ``(kind, ops_per_element, complex_valued)``.
+ChargeStep = Tuple[FlopKind, int, bool]
+
 
 class Session:
-    """One benchmark execution on one simulated machine."""
+    """One benchmark execution on one simulated machine.
+
+    ``detail_events=True`` opens the session in trace mode: the
+    recorder retains every individual :class:`CommEvent` (needed by
+    :mod:`repro.analysis.trace`).  The default fast path accounts
+    communication in aggregate only — reported metrics are identical.
+    """
 
     def __init__(
         self,
@@ -35,10 +45,20 @@ class Session:
         *,
         tier: VersionTier = VersionTier.BASIC,
         recorder: Optional[MetricsRecorder] = None,
+        detail_events: bool = False,
     ) -> None:
         self.machine = machine
         self.tier = tier
-        self.recorder = recorder if recorder is not None else MetricsRecorder()
+        self.recorder = (
+            recorder
+            if recorder is not None
+            else MetricsRecorder(detail_events=detail_events)
+        )
+
+    @property
+    def detail_events(self) -> bool:
+        """Whether per-event communication traces are being kept."""
+        return self.recorder.detail_events
 
     # -- structure ---------------------------------------------------------
     @contextmanager
@@ -97,6 +117,46 @@ class Session:
                 bytes_critical_node=bytes_critical,
             )
         )
+
+    def charge_elementwise_seq(
+        self,
+        steps: Sequence[ChargeStep],
+        layout: Layout,
+        *,
+        access: LocalAccess = LocalAccess.DIRECT,
+    ) -> None:
+        """Charge a sequence of elementwise operations over one layout.
+
+        Equivalent to calling :meth:`charge_elementwise` once per
+        ``(kind, ops_per_element, complex_valued)`` step, in order, but
+        hoists the layout geometry (size, critical fraction) out of the
+        loop.  Each step uses the exact same arithmetic as the unfused
+        path, so fused kernels report byte-identical metrics.
+        """
+        size = layout.size
+        if size == 0:
+            return
+        fraction = layout.critical_fraction(self.machine.nodes)
+        recorder = self.recorder
+        machine = self.machine
+        tier = self.tier
+        for kind, ops_per_element, complex_valued in steps:
+            n_ops = size * ops_per_element
+            if n_ops == 0:
+                continue
+            recorder.charge_flops(kind, n_ops, complex_valued=complex_valued)
+            weighted = flop_cost(kind, n_ops, complex_valued=complex_valued)
+            critical = weighted * fraction
+            itemsize = 16 if complex_valued else 8
+            bytes_critical = 3 * itemsize * size * fraction
+            recorder.charge_compute_time(
+                machine.compute_time(
+                    critical,
+                    tier=tier,
+                    access=access,
+                    bytes_critical_node=bytes_critical,
+                )
+            )
 
     def charge_kernel(
         self,
@@ -168,8 +228,13 @@ class Session:
         detail: str = "",
         stages: Optional[int] = None,
         collisions: Optional[float] = None,
-    ) -> CommEvent:
-        """Record one collective and charge its simulated time."""
+    ) -> Optional[CommEvent]:
+        """Record one collective and charge its simulated time.
+
+        Returns the :class:`CommEvent` in trace mode
+        (``detail_events=True``); the aggregate-only fast path returns
+        ``None`` — the accounting is identical either way.
+        """
         n = nodes if nodes is not None else self.machine.nodes
         cost = self.machine.network.cost(
             pattern,
@@ -181,8 +246,8 @@ class Session:
         busy = cost.busy
         if bytes_local:
             busy += self.machine.local_move_time(bytes_local / max(1, n))
-        event = CommEvent(
-            pattern=pattern,
+        return self.recorder.current.add_comm(
+            pattern,
             bytes_network=bytes_network,
             bytes_local=bytes_local,
             nodes=n,
@@ -191,8 +256,6 @@ class Session:
             rank=rank,
             detail=detail,
         )
-        self.recorder.record_comm(event)
-        return event
 
     # -- convenience -------------------------------------------------------
     @property

@@ -9,8 +9,15 @@ the paper reports metrics for code *segments* of several benchmarks
 Every region accumulates
 
 * FLOPs (via :class:`repro.metrics.flops.FlopCounter`),
-* communication events (:class:`CommEvent`),
+* communication statistics (:class:`CommStats`, one accumulator per
+  distinct ``(pattern, rank, detail)`` stream),
 * simulated compute time and communication busy/idle time.
+
+Communication is accounted in aggregate by default: each collective
+bumps an accumulator, and ``comm_busy`` / ``comm_idle`` are O(1)
+running sums.  Opening the recorder with ``detail_events=True`` (trace
+mode) additionally keeps the full per-event :class:`CommEvent` list for
+:mod:`repro.analysis.trace` — both modes report identical metrics.
 
 Busy time is the non-idle execution time (compute plus the
 bandwidth-bound portion of communication); elapsed time adds network
@@ -22,7 +29,7 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.metrics.flops import FlopCounter, FlopKind, reduction_flops
 from repro.metrics.memory import MemoryLedger
@@ -53,29 +60,150 @@ class CommEvent:
         return self.busy_time + self.idle_time
 
 
+#: Accumulator key: one stream per ``(pattern, rank, detail)``.
+CommKey = Tuple[CommPattern, Optional[int], str]
+
+
+class CommStats:
+    """Aggregated statistics for one ``(pattern, rank, detail)`` stream."""
+
+    __slots__ = (
+        "pattern",
+        "rank",
+        "detail",
+        "count",
+        "bytes_network",
+        "bytes_local",
+        "busy_time",
+        "idle_time",
+    )
+
+    def __init__(
+        self, pattern: CommPattern, rank: Optional[int], detail: str
+    ) -> None:
+        self.pattern = pattern
+        self.rank = rank
+        self.detail = detail
+        self.count = 0
+        self.bytes_network = 0
+        self.bytes_local = 0
+        self.busy_time = 0.0
+        self.idle_time = 0.0
+
+    @property
+    def elapsed_time(self) -> float:
+        """Busy plus idle seconds over all occurrences."""
+        return self.busy_time + self.idle_time
+
+    def __repr__(self) -> str:
+        return (
+            f"CommStats({self.pattern.value!r}, count={self.count}, "
+            f"bytes_network={self.bytes_network})"
+        )
+
+
 class Region:
     """A named measurement region; nests to form a tree."""
 
-    def __init__(self, name: str, iterations: int = 1) -> None:
+    def __init__(
+        self, name: str, iterations: int = 1, *, detail_events: bool = False
+    ) -> None:
         if iterations < 1:
             raise ValueError(f"iterations must be >= 1, got {iterations}")
         self.name = name
         self.iterations = iterations
+        self.detail_events = detail_events
         self.flops = FlopCounter()
+        self.comm_stats: Dict[CommKey, CommStats] = {}
+        #: populated only when ``detail_events`` is set (trace mode)
         self.comm_events: List[CommEvent] = []
         self.compute_busy = 0.0
         self.children: List["Region"] = []
+        self._comm_count = 0
+        self._comm_busy = 0.0
+        self._comm_idle = 0.0
+        self._bytes_network = 0
+        self._bytes_local = 0
+
+    # -- recording -------------------------------------------------------
+    def add_comm(
+        self,
+        pattern: CommPattern,
+        *,
+        bytes_network: int = 0,
+        bytes_local: int = 0,
+        nodes: int = 1,
+        busy_time: float = 0.0,
+        idle_time: float = 0.0,
+        rank: Optional[int] = None,
+        detail: str = "",
+    ) -> Optional[CommEvent]:
+        """Account one collective; returns the event only in trace mode."""
+        key = (pattern, rank, detail)
+        stats = self.comm_stats.get(key)
+        if stats is None:
+            stats = self.comm_stats[key] = CommStats(pattern, rank, detail)
+        stats.count += 1
+        stats.bytes_network += bytes_network
+        stats.bytes_local += bytes_local
+        stats.busy_time += busy_time
+        stats.idle_time += idle_time
+        self._comm_count += 1
+        self._comm_busy += busy_time
+        self._comm_idle += idle_time
+        self._bytes_network += bytes_network
+        self._bytes_local += bytes_local
+        if not self.detail_events:
+            return None
+        event = CommEvent(
+            pattern=pattern,
+            bytes_network=bytes_network,
+            bytes_local=bytes_local,
+            nodes=nodes,
+            busy_time=busy_time,
+            idle_time=idle_time,
+            rank=rank,
+            detail=detail,
+        )
+        self.comm_events.append(event)
+        return event
+
+    def record_comm(self, event: CommEvent) -> None:
+        """Account an already-built :class:`CommEvent`."""
+        key = (event.pattern, event.rank, event.detail)
+        stats = self.comm_stats.get(key)
+        if stats is None:
+            stats = self.comm_stats[key] = CommStats(
+                event.pattern, event.rank, event.detail
+            )
+        stats.count += 1
+        stats.bytes_network += event.bytes_network
+        stats.bytes_local += event.bytes_local
+        stats.busy_time += event.busy_time
+        stats.idle_time += event.idle_time
+        self._comm_count += 1
+        self._comm_busy += event.busy_time
+        self._comm_idle += event.idle_time
+        self._bytes_network += event.bytes_network
+        self._bytes_local += event.bytes_local
+        if self.detail_events:
+            self.comm_events.append(event)
 
     # -- local (exclusive of children) ---------------------------------
     @property
+    def comm_count(self) -> int:
+        """Number of collectives recorded in this region (exclusive)."""
+        return self._comm_count
+
+    @property
     def comm_busy(self) -> float:
         """Bandwidth-bound communication seconds in this region."""
-        return sum(e.busy_time for e in self.comm_events)
+        return self._comm_busy
 
     @property
     def comm_idle(self) -> float:
         """Latency/synchronization seconds in this region."""
-        return sum(e.idle_time for e in self.comm_events)
+        return self._comm_idle
 
     # -- aggregate (inclusive of children) ------------------------------
     def walk(self) -> Iterator["Region"]:
@@ -90,33 +218,54 @@ class Region:
         return sum(r.flops.total for r in self.walk())
 
     @property
+    def total_comm_count(self) -> int:
+        """Number of collectives recorded, including children's."""
+        return sum(r._comm_count for r in self.walk())
+
+    @property
     def total_comm_events(self) -> List[CommEvent]:
-        """All communication events, including children's."""
+        """All communication events, including children's (trace mode).
+
+        Raises if events were dropped because the recorder ran in the
+        default aggregate-only fast path; open the session with
+        ``detail_events=True`` to retain per-event traces.
+        """
         out: List[CommEvent] = []
+        dropped = 0
         for r in self.walk():
             out.extend(r.comm_events)
+            dropped += r._comm_count - len(r.comm_events)
+        if dropped:
+            raise RuntimeError(
+                f"{dropped} communication event(s) were recorded in "
+                "aggregate-only mode; re-run with detail_events=True to "
+                "keep per-event traces"
+            )
         return out
 
     @property
     def busy_time(self) -> float:
         """Non-idle execution time: compute + bandwidth-bound comm."""
-        return sum(r.compute_busy + r.comm_busy for r in self.walk())
+        return sum(r.compute_busy + r._comm_busy for r in self.walk())
 
     @property
     def elapsed_time(self) -> float:
         """Total execution time: busy + latency/synchronization idle."""
-        return self.busy_time + sum(r.comm_idle for r in self.walk())
+        return self.busy_time + sum(r._comm_idle for r in self.walk())
 
     @property
     def network_bytes(self) -> int:
         """Total bytes crossing node boundaries."""
-        return sum(e.bytes_network for e in self.total_comm_events)
+        return sum(r._bytes_network for r in self.walk())
 
     def comm_counts(self) -> Dict[CommPattern, int]:
         """Occurrences of each pattern within this region (inclusive)."""
         counts: Dict[CommPattern, int] = {}
-        for e in self.total_comm_events:
-            counts[e.pattern] = counts.get(e.pattern, 0) + 1
+        for r in self.walk():
+            for stats in r.comm_stats.values():
+                counts[stats.pattern] = (
+                    counts.get(stats.pattern, 0) + stats.count
+                )
         return counts
 
     def comm_counts_per_iteration(self) -> Dict[CommPattern, float]:
@@ -138,18 +287,27 @@ class Region:
     def __repr__(self) -> str:
         return (
             f"Region({self.name!r}, iters={self.iterations}, "
-            f"flops={self.total_flops}, comm={len(self.total_comm_events)})"
+            f"flops={self.total_flops}, comm={self.total_comm_count})"
         )
 
 
 @dataclass
 class MetricsRecorder:
-    """Accumulates metrics for one benchmark run."""
+    """Accumulates metrics for one benchmark run.
+
+    ``detail_events=True`` (trace mode) retains the full per-event
+    :class:`CommEvent` lists on every region; the default fast path
+    keeps only the :class:`CommStats` accumulators, which carry all the
+    information the :class:`~repro.metrics.report.PerfReport` needs.
+    """
 
     root: Region = field(default_factory=lambda: Region("benchmark"))
     memory: MemoryLedger = field(default_factory=MemoryLedger)
+    detail_events: bool = False
 
     def __post_init__(self) -> None:
+        if self.detail_events:
+            self.root.detail_events = True
         self._stack: List[Region] = [self.root]
 
     @property
@@ -170,7 +328,7 @@ class MetricsRecorder:
         return bool(
             root.children
             or root.total_flops
-            or root.comm_events
+            or root.comm_count
             or root.compute_busy
             or self.memory.declarations
         )
@@ -190,7 +348,9 @@ class MetricsRecorder:
             region = existing
             region.iterations += iterations
         else:
-            region = Region(name, iterations)
+            region = Region(
+                name, iterations, detail_events=self.detail_events
+            )
             parent.children.append(region)
         self._stack.append(region)
         try:
@@ -221,8 +381,8 @@ class MetricsRecorder:
         self.current.compute_busy += seconds
 
     def record_comm(self, event: CommEvent) -> None:
-        """Append a communication event to the current region."""
-        self.current.comm_events.append(event)
+        """Account a communication event in the current region."""
+        self.current.record_comm(event)
 
     # -- convenience ----------------------------------------------------
     @property

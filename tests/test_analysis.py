@@ -104,7 +104,8 @@ class TestCompare:
 
 
 class TestTrace:
-    def test_trace_events(self, session):
+    def test_trace_events(self, trace_session):
+        session = trace_session
         run_benchmark("ellip-2d", session, nx=8)
         events = comm_trace(session.recorder)
         assert events
@@ -112,18 +113,21 @@ class TestTrace:
         assert {"cshift", "reduction"} <= patterns
         assert all(e.region.startswith("benchmark") for e in events)
 
-    def test_trace_region_paths(self, session):
+    def test_trace_region_paths(self, trace_session):
+        session = trace_session
         run_benchmark("diff-3d", session, nx=8, steps=2)
         events = comm_trace(session.recorder)
         assert any("main_loop" in e.region for e in events)
 
-    def test_trace_json(self, session):
+    def test_trace_json(self, trace_session):
+        session = trace_session
         run_benchmark("fft", session, n=64)
         data = json.loads(trace_to_json(session.recorder))
         assert isinstance(data, list)
         assert data[0]["pattern"] in ("cshift", "aapc", "butterfly")
 
-    def test_trace_summary_table(self, session):
+    def test_trace_summary_table(self, trace_session):
+        session = trace_session
         run_benchmark("qptransport", session, iterations=4)
         text = trace_summary(session.recorder)
         assert "scatter" in text

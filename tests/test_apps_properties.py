@@ -36,7 +36,11 @@ class TestLJForces:
         rng = np.random.default_rng(seed)
         pos = rng.uniform(0, 5, (n, 3)) + np.arange(n)[:, None] * 2.0
         forces, _ = md.lj_forces_energy(pos, 1.0, 1.0)
-        assert np.abs(forces.sum(axis=0)).max() < 1e-9
+        # Scale-relative bound: near-contact pairs produce huge
+        # pairwise forces whose cancellation is only exact to machine
+        # precision relative to their magnitude.
+        scale = max(float(np.abs(forces).max()), 1.0)
+        assert np.abs(forces.sum(axis=0)).max() < 1e-12 * scale
 
     @given(seed=st.integers(0, 50))
     @settings(max_examples=15, deadline=None)

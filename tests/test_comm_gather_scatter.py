@@ -26,14 +26,16 @@ class TestGather:
         out = gather(src, (np.array([0, 1]), np.array([2, 0])))
         assert out.np.tolist() == [2, 3]
 
-    def test_records_pattern(self, session):
+    def test_records_pattern(self, trace_session):
+        session = trace_session
         src = from_numpy(session, np.arange(4.0), "(:)")
         gather(src, np.array([0]))
         assert (
             session.recorder.root.comm_events[-1].pattern is CommPattern.GATHER
         )
 
-    def test_collision_override_reduces_cost(self, session):
+    def test_collision_override_reduces_cost(self, trace_session):
+        session = trace_session
         src = from_numpy(session, np.arange(1 << 12, dtype=float), "(:)")
         idx = np.zeros(1 << 12, dtype=int)
         gather(src, idx)
@@ -86,7 +88,8 @@ class TestScatter:
         with pytest.raises(ValueError):
             scatter(dest, np.array([0]), vals, combine="xor")
 
-    def test_pattern_distinction(self, session):
+    def test_pattern_distinction(self, trace_session):
+        session = trace_session
         dest = zeros(session, (4,), "(:)")
         vals = from_numpy(session, np.ones(2), "(:)")
         scatter(dest, np.array([0, 1]), vals)

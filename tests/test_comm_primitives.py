@@ -39,19 +39,22 @@ class TestCshift:
         x = from_numpy(session, np.arange(8.0), "(:)")
         assert np.array_equal(cshift(cshift(x, 3), -3).np, x.np)
 
-    def test_records_event_with_rank(self, session):
+    def test_records_event_with_rank(self, trace_session):
+        session = trace_session
         x = from_numpy(session, np.arange(8.0), "(:)")
         cshift(x, 1)
         events = session.recorder.root.comm_events
         assert events[-1].pattern is CommPattern.CSHIFT
         assert events[-1].rank == 1
 
-    def test_serial_axis_no_network(self, session):
+    def test_serial_axis_no_network(self, trace_session):
+        session = trace_session
         x = from_numpy(session, np.arange(8.0).reshape(2, 4), "(:serial,:)")
         cshift(x, 1, axis=0)
         assert session.recorder.root.comm_events[-1].bytes_network == 0
 
-    def test_parallel_axis_network_traffic(self, session):
+    def test_parallel_axis_network_traffic(self, trace_session):
+        session = trace_session
         x = from_numpy(session, np.arange(64.0), "(:)")
         cshift(x, 1)
         assert session.recorder.root.comm_events[-1].bytes_network > 0
@@ -110,14 +113,16 @@ class TestSpreadBroadcast:
         out = spread(x, 0, 3, axis_kind=Axis.SERIAL)
         assert out.layout.axes[0] is Axis.SERIAL
 
-    def test_spread_records_event(self, session):
+    def test_spread_records_event(self, trace_session):
+        session = trace_session
         x = from_numpy(session, np.arange(16.0), "(:)")
         spread(x, 0, 4)
         assert (
             session.recorder.root.comm_events[-1].pattern is CommPattern.SPREAD
         )
 
-    def test_broadcast_scalar(self, session):
+    def test_broadcast_scalar(self, trace_session):
+        session = trace_session
         out = broadcast(session, 3.5, (4, 4), "(:,:)")
         assert (out.np == 3.5).all()
         assert (
@@ -202,7 +207,8 @@ class TestTransposeRemap:
         out = transpose(x)
         assert out.layout.axes == (Axis.PARALLEL, Axis.SERIAL)
 
-    def test_transpose_records_aapc(self, session):
+    def test_transpose_records_aapc(self, trace_session):
+        session = trace_session
         x = from_numpy(session, np.arange(16.0).reshape(4, 4), "(:,:)")
         transpose(x)
         ev = session.recorder.root.comm_events[-1]
@@ -246,7 +252,8 @@ class TestSendGet:
         send(x, np.array([0, 0, 2, 2]), vals, combine="add")
         assert x.np.tolist() == [2, 0, 2]
 
-    def test_get_records_event(self, session):
+    def test_get_records_event(self, trace_session):
+        session = trace_session
         x = from_numpy(session, np.arange(10.0), "(:)")
         get(x, np.array([1]))
         assert session.recorder.root.comm_events[-1].pattern is CommPattern.GET

@@ -40,7 +40,8 @@ class TestScan:
         with pytest.raises(ValueError):
             scan(x, "mean")
 
-    def test_records_scan_event(self, session):
+    def test_records_scan_event(self, trace_session):
+        session = trace_session
         x = from_numpy(session, np.ones(8), "(:)")
         scan(x, "sum")
         assert session.recorder.root.comm_events[-1].pattern is CommPattern.SCAN

@@ -29,7 +29,8 @@ class TestStencilShifts:
         (ne,) = stencil_shifts(x, [(1, 1)])
         assert ne.np[0, 0] == x.np[1, 1]
 
-    def test_single_event_many_points(self, session):
+    def test_single_event_many_points(self, trace_session):
+        session = trace_session
         x = from_numpy(session, np.arange(27.0).reshape(3, 3, 3), "(:,:,:)")
         stencil_shifts(x, [(-1, 0, 0), (1, 0, 0), (0, -1, 0), (0, 1, 0)])
         events = [
@@ -106,7 +107,8 @@ class TestSorting:
         x = from_numpy(session, np.array([[3.0, 1.0], [0.0, 2.0]]), "(:,:)")
         assert sort_array(x, axis=1).np.tolist() == [[1, 3], [0, 2]]
 
-    def test_records_sort_event(self, session):
+    def test_records_sort_event(self, trace_session):
+        session = trace_session
         x = from_numpy(session, np.arange(16.0)[::-1].copy(), "(:)")
         sort_array(x)
         ev = session.recorder.root.comm_events[-1]

@@ -78,7 +78,8 @@ class TestChargeReduction:
 
 
 class TestRecordComm:
-    def test_event_recorded_with_cost(self, session):
+    def test_event_recorded_with_cost(self, trace_session):
+        session = trace_session
         ev = session.record_comm(
             CommPattern.CSHIFT, bytes_network=1 << 16, bytes_local=1 << 16
         )
@@ -87,7 +88,7 @@ class TestRecordComm:
         assert session.recorder.root.comm_counts()[CommPattern.CSHIFT] == 1
 
     def test_local_only_motion_on_single_node(self):
-        s = Session(workstation())
+        s = Session(workstation(), detail_events=True)
         ev = s.record_comm(
             CommPattern.CSHIFT, bytes_network=0, bytes_local=1 << 20
         )
@@ -95,14 +96,16 @@ class TestRecordComm:
         assert ev.busy_time > 0
         assert ev.idle_time > 0
 
-    def test_rank_and_detail_preserved(self, session):
+    def test_rank_and_detail_preserved(self, trace_session):
+        session = trace_session
         ev = session.record_comm(
             CommPattern.GATHER, bytes_network=10, rank=3, detail="probe"
         )
         assert ev.rank == 3
         assert ev.detail == "probe"
 
-    def test_nodes_override(self, session):
+    def test_nodes_override(self, trace_session):
+        session = trace_session
         ev = session.record_comm(
             CommPattern.REDUCTION, bytes_network=4096, nodes=2
         )

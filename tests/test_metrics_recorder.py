@@ -24,7 +24,7 @@ class TestRegion:
         root.children.append(child)
         root.compute_busy = 1.0
         child.compute_busy = 2.0
-        child.comm_events.append(_event(busy=0.5, idle=0.25))
+        child.record_comm(_event(busy=0.5, idle=0.25))
         assert root.busy_time == pytest.approx(3.5)
         assert root.elapsed_time == pytest.approx(3.75)
 
@@ -32,9 +32,9 @@ class TestRegion:
         root = Region("root")
         child = Region("child")
         root.children.append(child)
-        root.comm_events.append(_event(CommPattern.REDUCTION))
-        child.comm_events.append(_event(CommPattern.CSHIFT))
-        child.comm_events.append(_event(CommPattern.CSHIFT))
+        root.record_comm(_event(CommPattern.REDUCTION))
+        child.record_comm(_event(CommPattern.CSHIFT))
+        child.record_comm(_event(CommPattern.CSHIFT))
         counts = root.comm_counts()
         assert counts[CommPattern.REDUCTION] == 1
         assert counts[CommPattern.CSHIFT] == 2
@@ -42,14 +42,57 @@ class TestRegion:
     def test_comm_counts_per_iteration(self):
         r = Region("r", iterations=4)
         for _ in range(8):
-            r.comm_events.append(_event())
+            r.record_comm(_event())
         assert r.comm_counts_per_iteration()[CommPattern.CSHIFT] == 2.0
 
     def test_network_bytes(self):
         r = Region("r")
-        r.comm_events.append(_event(net=30))
-        r.comm_events.append(_event(net=70))
+        r.record_comm(_event(net=30))
+        r.record_comm(_event(net=70))
         assert r.network_bytes == 100
+
+    def test_comm_busy_idle_running_sums(self):
+        r = Region("r")
+        for _ in range(3):
+            r.record_comm(_event(busy=0.5, idle=0.25))
+        assert r.comm_busy == pytest.approx(1.5)
+        assert r.comm_idle == pytest.approx(0.75)
+        assert r.comm_count == 3
+
+    def test_fast_path_keeps_no_events(self):
+        r = Region("r")
+        r.record_comm(_event())
+        assert r.comm_events == []
+        assert r.comm_count == 1
+        with pytest.raises(RuntimeError, match="detail_events"):
+            r.total_comm_events
+
+    def test_detail_mode_keeps_events(self):
+        r = Region("r", detail_events=True)
+        ev = _event()
+        r.record_comm(ev)
+        assert r.comm_events == [ev]
+        assert r.total_comm_events == [ev]
+
+    def test_add_comm_returns_event_only_in_detail_mode(self):
+        fast = Region("fast")
+        assert fast.add_comm(CommPattern.CSHIFT, bytes_network=8) is None
+        detail = Region("detail", detail_events=True)
+        ev = detail.add_comm(CommPattern.CSHIFT, bytes_network=8, busy_time=1.0)
+        assert ev is not None and ev.bytes_network == 8
+        # Both modes account identically.
+        assert fast.network_bytes == detail.network_bytes == 8
+        assert fast.comm_counts() == detail.comm_counts()
+
+    def test_comm_stats_streams_keyed_by_pattern_rank_detail(self):
+        r = Region("r")
+        r.add_comm(CommPattern.CSHIFT, bytes_network=8, rank=1, detail="x")
+        r.add_comm(CommPattern.CSHIFT, bytes_network=8, rank=1, detail="x")
+        r.add_comm(CommPattern.CSHIFT, bytes_network=4, rank=2, detail="y")
+        assert len(r.comm_stats) == 2
+        stats = r.comm_stats[(CommPattern.CSHIFT, 1, "x")]
+        assert stats.count == 2
+        assert stats.bytes_network == 16
 
     def test_find_depth_first(self):
         root = Region("root")
