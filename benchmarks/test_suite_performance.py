@@ -9,7 +9,7 @@ output — across machine sizes, and writes the results table to
 import pytest
 
 from repro import Session, cm5
-from repro.suite import benchmark_names, run_suite
+from repro.suite import run_suite
 from repro.suite.tables import format_table
 
 from conftest import save_table

@@ -9,7 +9,7 @@ import pytest
 
 from repro import Session, cm5
 from repro.metrics.patterns import CommPattern
-from repro.suite import REGISTRY, run_benchmark
+from repro.suite import run_benchmark
 from repro.suite.tables import table3_comm
 
 from conftest import save_table

@@ -9,7 +9,6 @@ bound the FLOP ratios (EXPERIMENTS.md discusses the deltas).
 
 import pytest
 
-from repro.metrics.patterns import CommPattern
 from repro.suite import analytic
 from repro.suite.tables import measure, table4_linalg
 

@@ -8,7 +8,6 @@ documented constant factor elsewhere (EXPERIMENTS.md).
 
 import pytest
 
-from repro.metrics.patterns import CommPattern
 from repro.suite import analytic
 from repro.suite.tables import measure, table6_apps
 

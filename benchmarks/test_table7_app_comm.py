@@ -73,7 +73,7 @@ def test_measured_inventory_vs_registry(benchmark, name):
     unexpected = measured - allowed
     assert not unexpected, (
         f"{name}: patterns {sorted(p.value for p in unexpected)} not in "
-        f"Table 7 or the documented extras"
+        "Table 7 or the documented extras"
     )
     # All declared patterns must actually occur (for benchmarks whose
     # declared set is parameter-independent).

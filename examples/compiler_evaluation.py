@@ -50,7 +50,6 @@ def main() -> None:
         for env in ENVIRONMENTS:
             rep = all_reports[env][name]
             cells.append(f"{rep.elapsed_time * 1e3:.3f}")
-        base = all_reports["CM-5/32 basic"][name]
         best_env = min(
             ENVIRONMENTS, key=lambda e: all_reports[e][name].elapsed_time
         )

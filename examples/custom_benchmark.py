@@ -17,7 +17,6 @@ from repro.apps.base import AppResult
 from repro.array import from_numpy
 from repro.array.masks import assign_where
 from repro.comm.primitives import cshift, reduce_array
-from repro.layout.spec import parse_layout
 from repro.metrics.access import LocalAccess
 from repro.metrics.patterns import CommPattern
 from repro.suite.registry import REGISTRY, BenchmarkSpec

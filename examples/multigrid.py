@@ -82,7 +82,7 @@ def v_cycle(session, u, f, min_size=8):
 def solve(session, f, method, tol=1e-8, max_cycles=200):
     u = from_numpy(session, np.zeros_like(f.np), "(:,:)")
     history = []
-    for cycle in range(max_cycles):
+    for _cycle in range(max_cycles):
         u = method(session, u, f)
         res = float(np.abs(residual(u, f).np).max())
         history.append(res)

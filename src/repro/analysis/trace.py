@@ -3,6 +3,13 @@
 Flattens a recorder's region tree into a chronological event trace
 (region path, pattern, bytes, busy/idle seconds) for external tooling
 — the modern equivalent of the CM-5's PRISM communication profiles.
+
+Per-event traces exist only in trace mode (``Session(detail_events=
+True)`` / ``repro.sessions.trace_session``); :func:`comm_trace` raises
+an informative error when events were dropped on the aggregate-only
+fast path instead of silently returning an empty trace.
+:func:`trace_summary` aggregates per pattern and therefore works in
+both modes.
 """
 
 from __future__ import annotations
@@ -11,7 +18,7 @@ import json
 from dataclasses import asdict, dataclass
 from typing import List
 
-from repro.metrics.recorder import MetricsRecorder, Region
+from repro.metrics.recorder import MetricsRecorder
 
 
 @dataclass(frozen=True)
@@ -30,10 +37,18 @@ class TraceEvent:
 
 
 def comm_trace(recorder: MetricsRecorder) -> List[TraceEvent]:
-    """Depth-first flattening of all communication events."""
+    """Depth-first flattening of all communication events (trace mode)."""
+    if recorder.root.total_comm_count and not recorder.detail_events:
+        raise RuntimeError(
+            "comm_trace needs per-event communication traces, but this "
+            "recorder ran on the aggregate-only fast path; open the "
+            "session with Session(detail_events=True) or "
+            "repro.sessions.trace_session() to keep them"
+        )
     events: List[TraceEvent] = []
-
-    def _walk(region: Region, path: str) -> None:
+    stack = [(recorder.root, "")]
+    while stack:
+        region, path = stack.pop()
         here = f"{path}/{region.name}" if path else region.name
         for e in region.comm_events:
             events.append(
@@ -49,31 +64,36 @@ def comm_trace(recorder: MetricsRecorder) -> List[TraceEvent]:
                     detail=e.detail,
                 )
             )
-        for child in region.children:
-            _walk(child, here)
-
-    _walk(recorder.root, "")
+        for child in reversed(region.children):
+            stack.append((child, here))
     return events
 
 
 def trace_to_json(recorder: MetricsRecorder, indent: int = 2) -> str:
-    """JSON document of the flattened event trace."""
+    """JSON document of the flattened event trace (trace mode)."""
     return json.dumps(
         [asdict(e) for e in comm_trace(recorder)], indent=indent
     )
 
 
 def trace_summary(recorder: MetricsRecorder) -> str:
-    """Aggregate the trace by pattern: count, bytes, time."""
+    """Aggregate communication by pattern: count, bytes, time.
+
+    Built from the per-region :class:`~repro.metrics.recorder.CommStats`
+    accumulators, so it reports identical numbers on the fast path and
+    in trace mode.
+    """
     totals: dict = {}
-    for e in comm_trace(recorder):
-        entry = totals.setdefault(
-            e.pattern, {"count": 0, "bytes": 0, "busy": 0.0, "idle": 0.0}
-        )
-        entry["count"] += 1
-        entry["bytes"] += e.bytes_network
-        entry["busy"] += e.busy_time
-        entry["idle"] += e.idle_time
+    for region in recorder.root.walk():
+        for stats in region.comm_stats.values():
+            entry = totals.setdefault(
+                stats.pattern.value,
+                {"count": 0, "bytes": 0, "busy": 0.0, "idle": 0.0},
+            )
+            entry["count"] += stats.count
+            entry["bytes"] += stats.bytes_network
+            entry["busy"] += stats.busy_time
+            entry["idle"] += stats.idle_time
     lines = [
         f"{'pattern':18s} {'count':>7s} {'net bytes':>12s} {'busy s':>10s} {'idle s':>10s}"
     ]

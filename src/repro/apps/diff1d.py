@@ -24,7 +24,6 @@ from repro.layout.spec import parse_layout
 from repro.linalg.pcr import pcr_solve
 from repro.machine.session import Session
 from repro.metrics.access import LocalAccess
-from repro.metrics.flops import FlopKind
 
 
 def run(
@@ -60,8 +59,9 @@ def run(
         for _ in range(steps):
             # Explicit half: one 3-point stencil (array sections).
             um, uc, up_ = stencil_shifts(u, [-1, 0, 1], boundary="periodic")
-            # rhs = uc + (0.5*r) * (um - 2*uc + up), fused
-            rhs = stencil_combine(uc, um, up_, 0.5 * r)
+            # rhs = uc + scale * (um - 2*uc + up), fused (scale = 0.5*r)
+            scale = 0.5 * r
+            rhs = stencil_combine(uc, um, up_, scale)
             # 13 n_x FLOPs per iteration: the stencil combine above
             # charges 5 n (2 mul + 3 add/sub); the solve charges the rest.
             f = DistArray(

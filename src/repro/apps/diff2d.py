@@ -72,8 +72,9 @@ def run(
         for _ in range(steps):
             # Explicit 3-point stencil along the parallel axis.
             um, uc, up = stencil_shifts(u, [(0, -1), (0, 0), (0, 1)])
-            # rhs = uc + (0.5*r) * (um - 2*uc + up), fused
-            rhs = stencil_combine(uc, um, up, 0.5 * r)
+            # rhs = uc + scale * (um - 2*uc + up), fused (scale = 0.5*r)
+            scale = 0.5 * r
+            rhs = stencil_combine(uc, um, up, scale)
             # Implicit Thomas sweeps along the serial axis.
             ux = _thomas_local(session, rhs.data, r, layout)
             # AAPC: rotate sweep direction for the next half-step.  The

@@ -20,7 +20,6 @@ from __future__ import annotations
 import numpy as np
 
 from repro.apps.base import AppResult
-from repro.array.distarray import DistArray
 from repro.layout.spec import parse_layout
 from repro.machine.session import Session
 from repro.metrics.access import LocalAccess
@@ -29,7 +28,6 @@ from repro.metrics.patterns import CommPattern
 
 def lj_forces_energy(pos: np.ndarray, eps: float, sigma: float):
     """Direct all-pairs Lennard-Jones forces and potential energy."""
-    n = pos.shape[0]
     d = pos[None, :, :] - pos[:, None, :]  # d[i, j] = r_j - r_i
     r2 = (d * d).sum(axis=-1)
     np.fill_diagonal(r2, np.inf)

@@ -41,7 +41,6 @@ from typing import Tuple
 import numpy as np
 
 from repro.apps.base import AppResult
-from repro.array.distarray import DistArray
 from repro.layout.spec import parse_layout
 from repro.machine.session import Session
 from repro.metrics.access import LocalAccess
@@ -247,7 +246,7 @@ def run(
                 ft_x = np.roll(ft_x, 1)
                 ft_y = np.roll(ft_y, 1)
                 n_shift = 3 if variant == "cshift_sym" else (2 if step % 2 else 3)
-                for k in range(n_shift):
+                for _k in range(n_shift):
                     session.record_comm(
                         CommPattern.CSHIFT,
                         bytes_network=shift_bytes,
@@ -256,7 +255,6 @@ def run(
                         detail="travelling state",
                     )
                 gx, gy = _pair_forces(xw, yw, xt, yt, mt, scratch)
-                half = step < steps or m_pad % 2 == 1 or (m_pad // 2) * 2 != m_pad
                 # On the final step of an even ring, each pair appears
                 # twice (i sees j and j sees i); halve to avoid double
                 # counting when folding back.

@@ -140,7 +140,7 @@ def run(
                 # Scan 1: segmented sum of weights.
                 seg_sums = segmented_scan(wd, starts, "sum")
                 # Scan 2: segment enumeration (exclusive sum of starts).
-                seg_id = segmented_scan(
+                segmented_scan(
                     DistArray(starts.astype(np.float64), part_layout, session),
                     np.zeros(n_p, dtype=bool),
                     "sum",

@@ -25,7 +25,6 @@ from __future__ import annotations
 import numpy as np
 
 from repro.apps.base import AppResult
-from repro.array.distarray import DistArray
 from repro.layout.spec import parse_layout
 from repro.machine.session import Session
 from repro.metrics.access import LocalAccess

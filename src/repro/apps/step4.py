@@ -87,7 +87,6 @@ def run(
     ny = nx if ny is None else ny
     nfields = 8
     layout2 = parse_layout("(:,:)", (nx, ny))
-    rng = np.random.default_rng(seed)
     xs = np.arange(nx) * 2 * np.pi / nx
     ys = np.arange(ny) * 2 * np.pi / ny
     base = np.sin(xs)[:, None] * np.cos(ys)[None, :]

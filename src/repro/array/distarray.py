@@ -8,7 +8,6 @@ import numpy as np
 
 from repro.layout.spec import Axis, Layout, parse_layout
 from repro.machine.session import Session
-from repro.metrics.access import LocalAccess
 from repro.metrics.flops import FlopKind
 
 Scalar = Union[int, float, complex, np.number]

@@ -1,0 +1,45 @@
+"""Accounting linter and FLOP/comm sanitizer (``repro check``).
+
+The paper's value is its *accounting*: every benchmark is characterized
+by FLOP counts under the Hennessy-Patterson convention (§1.5), a
+communication-pattern inventory and a memory footprint.  In this
+reproduction those charges are explicit ``session.charge_*`` /
+``record_comm`` calls sitting next to the NumPy math, so a drifted or
+missing charge silently corrupts the metrics the suite exists to
+report.  This package makes accounting drift a CI failure instead of a
+latent paper-fidelity bug, with two cooperating layers:
+
+* :mod:`repro.check.lint` — a static AST linter with domain rules
+  RC001-RC005 (uncharged compute, charge-kind mismatch, comm without
+  record, session misuse, fused-kernel parity), run over the benchmark
+  and collective-library sources.
+* :mod:`repro.check.sanitizer` — a runtime audit mode that
+  shadow-counts the NumPy operations actually executed on distributed
+  payloads (via a thin ufunc-intercept array subclass) and diffs them
+  against the charged FLOPs and communication events, per region.
+
+Pre-existing findings can be suppressed — with justification — in a
+:mod:`baseline file <repro.check.baseline>` (``.repro-check.toml``) so
+the rule set can ratchet toward zero instead of blocking adoption.
+
+See ``docs/CHECKS.md`` for the rule catalog and CLI usage.
+"""
+
+from repro.check.baseline import Baseline, Suppression, load_baseline
+from repro.check.findings import Finding, findings_to_json, format_findings
+from repro.check.lint import lint_paths, lint_source
+from repro.check.sanitizer import AuditReport, AuditSession, audit_benchmark
+
+__all__ = [
+    "AuditReport",
+    "AuditSession",
+    "Baseline",
+    "Finding",
+    "Suppression",
+    "audit_benchmark",
+    "findings_to_json",
+    "format_findings",
+    "lint_paths",
+    "lint_source",
+    "load_baseline",
+]

@@ -1,0 +1,113 @@
+"""Lint driver: walk sources, scan functions, apply rules RC001-RC005.
+
+Entry points:
+
+* :func:`lint_source` — lint one source string (used by tests);
+* :func:`lint_paths` — lint files/directories, apply the baseline, and
+  return a :class:`~repro.check.findings.LintResult`.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+from repro.check.baseline import Baseline, load_baseline
+from repro.check.findings import Finding, LintResult
+from repro.check.rules import apply_rules, scan_function
+
+#: Directories never linted (fixtures with intentionally bad charging
+#: live under tests/).
+SKIP_PARTS = {"__pycache__", ".git", "tests"}
+
+
+def _iter_functions(
+    tree: ast.Module,
+) -> Iterator[tuple]:
+    """Yield ``(symbol, node)`` for the module and every function.
+
+    Functions are yielded with dotted symbols (``Class.method``,
+    ``outer.inner``); the module's top-level statements are scanned as
+    ``<module>`` with nested definitions excluded (they get their own
+    scan).
+    """
+    yield "<module>", tree
+
+    def walk(body: Iterable[ast.stmt], prefix: str) -> Iterator[tuple]:
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                symbol = f"{prefix}{node.name}"
+                yield symbol, node
+                yield from walk(node.body, f"{symbol}.")
+            elif isinstance(node, ast.ClassDef):
+                yield from walk(node.body, f"{prefix}{node.name}.")
+
+    yield from walk(tree.body, "")
+
+
+def lint_source(
+    source: str, path: str = "<string>"
+) -> List[Finding]:
+    """Lint one source string; returns raw findings (no baseline)."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                code="RC000",
+                path=path,
+                line=exc.lineno or 1,
+                col=exc.offset or 0,
+                symbol="<module>",
+                message=f"source does not parse: {exc.msg}",
+            )
+        ]
+    source_lines = source.splitlines()
+    findings: List[Finding] = []
+    for symbol, node in _iter_functions(tree):
+        facts = scan_function(node, symbol)
+        findings.extend(apply_rules(facts, path, source_lines))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return findings
+
+
+def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
+    """Expand files/directories into the python files to lint."""
+    for path in paths:
+        if path.is_dir():
+            for sub in sorted(path.rglob("*.py")):
+                if not SKIP_PARTS & set(sub.parts):
+                    yield sub
+        elif path.suffix == ".py":
+            yield path
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    *,
+    baseline: Optional[Baseline] = None,
+    baseline_path: Optional[Path] = None,
+    root: Optional[Path] = None,
+) -> LintResult:
+    """Lint files/dirs and apply the baseline.
+
+    Paths in findings are reported relative to ``root`` (default: the
+    current directory) so they match baseline entries regardless of how
+    the linted paths were spelled.
+    """
+    if baseline is None:
+        baseline = load_baseline(baseline_path)
+    if root is None:
+        root = Path.cwd()
+    findings: List[Finding] = []
+    for file_path in iter_python_files(paths):
+        try:
+            rel = file_path.resolve().relative_to(root.resolve())
+            shown = str(rel)
+        except ValueError:
+            shown = str(file_path)
+        source = file_path.read_text(encoding="utf-8")
+        findings.extend(lint_source(source, shown))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return baseline.apply(findings)

@@ -29,6 +29,13 @@ Subcommands
     --baseline B --tolerance PCT`` gates a run's §1.5 metrics against
     a baseline run or file, exiting non-zero on regression.  Run
     references accept unique id prefixes, ``latest`` and ``@N``.
+``check``
+    Accounting verification (see ``docs/CHECKS.md``): ``check lint
+    [paths] --format text|json`` runs the static accounting linter
+    (rules RC001-RC005, baselined via ``.repro-check.toml``), and
+    ``check audit NAME --tolerance PCT`` runs one benchmark with
+    shadow-counted NumPy execution and diffs it against the charged
+    FLOPs and communication.
 """
 
 from __future__ import annotations
@@ -471,6 +478,72 @@ def _cmd_engine_check(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_check_lint(args) -> int:
+    from pathlib import Path
+
+    from repro.check.baseline import load_baseline, write_baseline
+    from repro.check.findings import findings_to_json, format_findings
+    from repro.check.lint import lint_paths
+
+    paths = [Path(p) for p in (args.paths or ["src/repro"])]
+    baseline = load_baseline(
+        Path(args.baseline) if args.baseline else None
+    )
+    result = lint_paths(paths, baseline=baseline)
+    if args.write_baseline:
+        write_baseline(result.active, Path(args.write_baseline))
+        print(
+            f"wrote {len(result.active)} suppression(s) to "
+            f"{args.write_baseline}; fill in every reason before "
+            "committing"
+        )
+        return 0
+    if args.format == "json":
+        print(findings_to_json(result))
+    else:
+        print(format_findings(result, verbose=args.verbose))
+    if not result.ok:
+        return 1
+    if args.fail_on_stale and result.unused_suppressions:
+        return 1
+    return 0
+
+
+def _cmd_check_audit(args) -> int:
+    import json as _json
+
+    from repro.check.sanitizer import audit_benchmark
+    from repro.machine.presets import resolve_machine
+
+    nodes = _effective_nodes(args.machine, args.nodes)
+    machine = resolve_machine(args.machine, nodes)
+    report = audit_benchmark(
+        args.name,
+        machine,
+        params=_parse_params(args.param),
+        tier=VersionTier(args.tier),
+    )
+    ok = report.ok(args.tolerance, strict=args.strict)
+    if args.json:
+        payload = report.to_dict()
+        payload["ok"] = ok
+        payload["tolerance_pct"] = args.tolerance
+        print(_json.dumps(payload, indent=2, sort_keys=True))
+        return 0 if ok else 1
+    print(report.table())
+    verdict = "OK" if ok else "FAIL"
+    print(
+        f"{verdict}: {args.name} over-execution {report.over_pct:.3f}% "
+        f"(tolerance {args.tolerance:g}%)"
+        + (
+            f", under-execution {report.under_pct:.3f}%"
+            if args.strict
+            else ""
+        )
+    )
+    return 0 if ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse CLI."""
     parser = argparse.ArgumentParser(
@@ -658,6 +731,71 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the run's BENCH-compatible trajectory point here",
     )
     p_check.set_defaults(fn=_cmd_engine_check)
+
+    p_checker = sub.add_parser(
+        "check",
+        help="accounting linter (RC001-RC005) and runtime FLOP/comm "
+        "sanitizer",
+    )
+    sub_check = p_checker.add_subparsers(dest="check_command", required=True)
+
+    p_lint = sub_check.add_parser(
+        "lint",
+        help="static accounting linter over benchmark sources; exits "
+        "non-zero on non-baselined findings",
+    )
+    p_lint.add_argument(
+        "paths", nargs="*",
+        help="files or directories to lint (default: src/repro)",
+    )
+    p_lint.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="output format (default: text)",
+    )
+    p_lint.add_argument(
+        "--baseline", metavar="PATH",
+        help="suppression file (default: .repro-check.toml if present)",
+    )
+    p_lint.add_argument(
+        "--write-baseline", metavar="PATH",
+        help="write a baseline covering the current active findings "
+        "(reasons left to fill in) and exit",
+    )
+    p_lint.add_argument(
+        "--fail-on-stale", action="store_true",
+        help="also exit non-zero when baseline entries match nothing",
+    )
+    p_lint.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="also list baselined findings",
+    )
+    p_lint.set_defaults(fn=_cmd_check_lint)
+
+    p_audit = sub_check.add_parser(
+        "audit",
+        help="run one benchmark with shadow-counted numpy execution and "
+        "diff it against the charged FLOPs/comm",
+    )
+    p_audit.add_argument("name", help="registered benchmark name")
+    p_audit.add_argument(
+        "--tolerance", type=float, default=0.0, metavar="PCT",
+        help="allowed over-execution (uncharged work) in percent of "
+        "charged FLOPs (default: 0)",
+    )
+    p_audit.add_argument(
+        "--strict", action="store_true",
+        help="also gate under-execution and unmapped ufuncs (only for "
+        "fully-observable benchmarks with no raw-array kernels)",
+    )
+    p_audit.add_argument(
+        "--param", action="append", metavar="K=V",
+        help="benchmark parameter override (repeatable)",
+    )
+    p_audit.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    _add_machine_args(p_audit)
+    p_audit.set_defaults(fn=_cmd_check_audit)
     return parser
 
 

@@ -10,12 +10,10 @@ class (9)).
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 
 from repro.array.distarray import DistArray
-from repro.layout.spec import Layout
 from repro.metrics.patterns import CommPattern
 
 _SCAN_OPS = {

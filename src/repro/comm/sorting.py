@@ -14,7 +14,6 @@ import math
 import numpy as np
 
 from repro.array.distarray import DistArray
-from repro.layout.spec import Axis, Layout
 from repro.metrics.patterns import CommPattern
 
 

@@ -12,7 +12,7 @@ helpers keep working.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Iterable, List, Mapping, Optional, Sequence
 
 from repro.engine.jobs import RunRequest
 from repro.versions import VersionTier

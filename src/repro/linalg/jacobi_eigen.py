@@ -71,7 +71,6 @@ def jacobi_eigen(
     V = np.eye(n)  # accumulated rotations -> eigenvectors
     itemsize = M.itemsize
     off = A.layout.off_node_fraction(session.nodes)
-    vec_layout = parse_layout("(:)", (half,))
 
     def _off_norm() -> float:
         o = M - np.diag(np.diag(M))

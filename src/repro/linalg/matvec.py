@@ -28,7 +28,7 @@ from typing import Tuple
 import numpy as np
 
 from repro.array.distarray import DistArray
-from repro.layout.spec import Axis, Layout
+from repro.layout.spec import Layout
 from repro.machine.session import Session
 from repro.metrics.access import LocalAccess
 from repro.metrics.patterns import CommPattern

@@ -62,7 +62,6 @@ def pcr_solve(
     r = f.shape[0]
     sys_size = a.size
     axis = a.ndim - 1
-    f_axis = f.ndim - 1
 
     # Pack the off-diagonals along a serial axis so one cshift moves both.
     pack_spec = "(:serial," + ",".join(

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field, replace
-from typing import Dict, Mapping, Optional
+from typing import Mapping
 
 from repro.metrics.access import DEFAULT_ACCESS_PENALTY, LocalAccess
 from repro.machine.network import NetworkModel

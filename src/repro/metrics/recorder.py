@@ -64,6 +64,16 @@ class CommEvent:
 CommKey = Tuple[CommPattern, Optional[int], str]
 
 
+def _dropped_events_error(accessor: str, dropped: int) -> RuntimeError:
+    """Uniform error for per-event accessors hit on the fast path."""
+    return RuntimeError(
+        f"{accessor}: {dropped} communication event(s) were recorded in "
+        "aggregate-only mode and dropped; open the session in trace "
+        "mode with Session(detail_events=True) or "
+        "repro.sessions.trace_session() to keep per-event traces"
+    )
+
+
 class CommStats:
     """Aggregated statistics for one ``(pattern, rank, detail)`` stream."""
 
@@ -115,8 +125,9 @@ class Region:
         self.detail_events = detail_events
         self.flops = FlopCounter()
         self.comm_stats: Dict[CommKey, CommStats] = {}
-        #: populated only when ``detail_events`` is set (trace mode)
-        self.comm_events: List[CommEvent] = []
+        #: populated only when ``detail_events`` is set (trace mode);
+        #: read through the guarded :attr:`comm_events` property
+        self._events: List[CommEvent] = []
         self.compute_busy = 0.0
         self.children: List["Region"] = []
         self._comm_count = 0
@@ -165,7 +176,7 @@ class Region:
             rank=rank,
             detail=detail,
         )
-        self.comm_events.append(event)
+        self._events.append(event)
         return event
 
     def record_comm(self, event: CommEvent) -> None:
@@ -187,9 +198,23 @@ class Region:
         self._bytes_network += event.bytes_network
         self._bytes_local += event.bytes_local
         if self.detail_events:
-            self.comm_events.append(event)
+            self._events.append(event)
 
     # -- local (exclusive of children) ---------------------------------
+    @property
+    def comm_events(self) -> List[CommEvent]:
+        """Per-event history of this region (exclusive; trace mode).
+
+        Raises if events were recorded but dropped because the recorder
+        ran on the aggregate-only fast path; the exception names the
+        exact flags (``Session(detail_events=True)`` /
+        ``repro.sessions.trace_session``) that retain them.
+        """
+        dropped = self._comm_count - len(self._events)
+        if dropped:
+            raise _dropped_events_error("Region.comm_events", dropped)
+        return self._events
+
     @property
     def comm_count(self) -> int:
         """Number of collectives recorded in this region (exclusive)."""
@@ -233,14 +258,10 @@ class Region:
         out: List[CommEvent] = []
         dropped = 0
         for r in self.walk():
-            out.extend(r.comm_events)
-            dropped += r._comm_count - len(r.comm_events)
+            out.extend(r._events)
+            dropped += r._comm_count - len(r._events)
         if dropped:
-            raise RuntimeError(
-                f"{dropped} communication event(s) were recorded in "
-                "aggregate-only mode; re-run with detail_events=True to "
-                "keep per-event traces"
-            )
+            raise _dropped_events_error("Region.total_comm_events", dropped)
         return out
 
     @property

@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.metrics.access import LocalAccess
-from repro.metrics.memory import MemoryLedger, TypeTag
+from repro.metrics.memory import TypeTag
 from repro.metrics.patterns import CommPattern
 from repro.metrics.recorder import MetricsRecorder, Region
 

@@ -28,7 +28,7 @@ from repro.metrics.patterns import CommPattern
 from repro.versions import VersionTier
 
 B = VersionTier.BASIC
-O = VersionTier.OPTIMIZED
+O = VersionTier.OPTIMIZED  # noqa: E741 - the paper's Table 1 letter
 L = VersionTier.LIBRARY
 C = VersionTier.CMSSL
 D = VersionTier.C_DPEAC

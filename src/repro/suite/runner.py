@@ -27,9 +27,9 @@ def run_benchmark(name: str, session: Session, **params) -> PerfReport:
         raise KeyError(f"unknown benchmark {name!r}; known: {known}") from None
     if session.recorder.has_activity:
         raise ValueError(
-            f"session recorder already has recorded activity; "
+            "session recorder already has recorded activity; "
             f"run_benchmark({name!r}) needs a fresh session so the "
-            f"report describes this benchmark alone"
+            "report describes this benchmark alone"
         )
     tier_overrides = spec.tier_params.get(session.tier, {})
     merged = {**spec.default_params, **tier_overrides, **params}

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro import Session, VersionTier, cm5, workstation
+from repro import Session, cm5, workstation
 from repro.machine.presets import generic_cluster
 
 

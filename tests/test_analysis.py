@@ -8,7 +8,6 @@ from repro import Session, cm5
 from repro.analysis.compare import compare_environments, find_crossover
 from repro.analysis.ratios import comm_to_comp_ratio, grain_size, pattern_mix
 from repro.analysis.trace import comm_trace, trace_summary, trace_to_json
-from repro.machine.presets import generic_cluster
 from repro.metrics.patterns import CommPattern
 from repro.suite import run_benchmark
 from repro.versions import VersionTier
@@ -81,22 +80,30 @@ class TestCompare:
     def test_find_crossover_detects_flip(self):
         """A low-latency small machine beats a big machine on tiny
         problems; the big machine overtakes as sizes grow."""
-        small_fast = lambda: Session(
-            cm5(4).with_overrides(
-                network=cm5(4).network.with_overrides(
-                    latency_news=1e-6, latency_tree=1e-6, latency_router=2e-6
+        def small_fast():
+            return Session(
+                cm5(4).with_overrides(
+                    network=cm5(4).network.with_overrides(
+                        latency_news=1e-6,
+                        latency_tree=1e-6,
+                        latency_router=2e-6,
+                    )
                 )
             )
-        )
-        big = lambda: Session(cm5(256))
+
+        def big():
+            return Session(cm5(256))
         crossover = find_crossover(
             "ellip-2d", small_fast, big, "nx", [8, 32, 64],
         )
         assert crossover == 64
 
     def test_find_crossover_none_when_no_flip(self):
-        slow = lambda: Session(cm5(2))
-        fast = lambda: Session(cm5(2))
+        def slow():
+            return Session(cm5(2))
+
+        def fast():
+            return Session(cm5(2))
         result = find_crossover(
             "diff-3d", fast, slow, "nx", [8], fixed_params={"steps": 2}
         )

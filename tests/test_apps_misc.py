@@ -105,7 +105,7 @@ class TestQPTransport:
         assert np.allclose(row, supply, atol=1e-9)
 
     def test_objective_decreasing_norm(self, session):
-        r_short = qptransport.run(session, iterations=4)
+        qptransport.run(session, iterations=4)
         session2 = Session(cm5(32))
         r_long = qptransport.run(session2, iterations=100)
         ref_norm = float((r_long.state["reference"] ** 2).sum())

@@ -4,7 +4,6 @@ wave-1D, step4."""
 import numpy as np
 import pytest
 
-from repro import Session, cm5
 from repro.apps import diff1d, diff2d, diff3d, ellip2d, rp, step4, wave1d
 from repro.metrics.patterns import CommPattern
 

@@ -14,7 +14,6 @@ from repro.engine import (
     Engine,
     EngineConfig,
     InjectedFailure,
-    RunRequest,
     RunStore,
     plan_suite,
 )

@@ -39,7 +39,7 @@ def test_heat_equation(capsys):
     out = _run_example("heat_equation", capsys)
     assert "max difference between implementations" in out
     # The two stencil realizations agree to roundoff.
-    line = [l for l in out.splitlines() if "max difference" in l][0]
+    line = [ln for ln in out.splitlines() if "max difference" in ln][0]
     assert float(line.split(":")[1]) < 1e-12
 
 
@@ -74,7 +74,7 @@ def test_multigrid(capsys):
     out = _run_example("multigrid", capsys)
     lines = out.splitlines()
     mg_cycles = int(
-        [l for l in lines if "cycles to" in l][0].split(":")[1]
+        [ln for ln in lines if "cycles to" in ln][0].split(":")[1]
     )
     # Multigrid converges in a handful of V-cycles; Jacobi stalls.
     assert mg_cycles < 40

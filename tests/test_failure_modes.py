@@ -5,7 +5,6 @@ silently wrong results."""
 import numpy as np
 import pytest
 
-from repro import Session, cm5
 from repro.array import from_numpy, zeros
 from repro.array.distarray import DistArray
 from repro.comm.gather_scatter import gather, scatter

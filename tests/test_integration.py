@@ -1,12 +1,10 @@
 """Integration tests: the full suite end-to-end, and the paper-vs-measured
 agreements EXPERIMENTS.md documents."""
 
-import numpy as np
 import pytest
 
 from repro import Session, cm5
-from repro.metrics.patterns import CommPattern
-from repro.suite import REGISTRY, run_benchmark, run_suite
+from repro.suite import run_benchmark, run_suite
 from repro.suite.tables import measure
 from repro.suite import analytic
 

@@ -5,7 +5,7 @@ import math
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.layout.spec import Axis, Layout, parse_layout
+from repro.layout.spec import Axis, parse_layout
 from repro.machine.model import square_ish_grid
 
 

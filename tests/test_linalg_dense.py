@@ -7,7 +7,7 @@ from hypothesis import given, settings, strategies as st
 from repro import Session, cm5
 from repro.linalg.gauss_jordan import gauss_jordan_solve
 from repro.linalg.gauss_jordan import make_system as gj_system
-from repro.linalg.lu import LUFactorization, lu_factor, lu_solve, make_systems
+from repro.linalg.lu import lu_factor, lu_solve, make_systems
 from repro.linalg.matvec import VARIANT_LAYOUTS, make_operands, matvec
 from repro.linalg.qr import make_system as qr_system
 from repro.linalg.qr import qr_factor, qr_solve

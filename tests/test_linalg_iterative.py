@@ -120,7 +120,6 @@ class TestJacobiEigen:
         assert per[CommPattern.BROADCAST] == pytest.approx(4.0)
 
     def test_odd_size_rejected(self, session):
-        A = make_matrix(session, 8)
         from repro.array.distarray import DistArray
         from repro.layout.spec import parse_layout
 

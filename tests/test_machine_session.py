@@ -4,7 +4,6 @@ import pytest
 
 from repro import Session, cm5, workstation
 from repro.layout.spec import parse_layout
-from repro.metrics.access import LocalAccess
 from repro.metrics.flops import FlopKind
 from repro.metrics.patterns import CommPattern
 from repro.versions import VersionTier

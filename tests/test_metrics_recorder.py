@@ -62,10 +62,22 @@ class TestRegion:
     def test_fast_path_keeps_no_events(self):
         r = Region("r")
         r.record_comm(_event())
-        assert r.comm_events == []
         assert r.comm_count == 1
-        with pytest.raises(RuntimeError, match="detail_events"):
+        # Both per-event accessors raise, and the message names the
+        # exact flags that would have retained the events.
+        with pytest.raises(RuntimeError) as exc:
+            r.comm_events
+        assert "Session(detail_events=True)" in str(exc.value)
+        assert "repro.sessions.trace_session" in str(exc.value)
+        with pytest.raises(RuntimeError) as exc:
             r.total_comm_events
+        assert "Session(detail_events=True)" in str(exc.value)
+        assert "repro.sessions.trace_session" in str(exc.value)
+
+    def test_fast_path_empty_region_events_are_benign(self):
+        r = Region("r")
+        assert r.comm_events == []
+        assert r.total_comm_events == []
 
     def test_detail_mode_keeps_events(self):
         r = Region("r", detail_events=True)

@@ -3,7 +3,6 @@ metrics for code segments rather than the whole program)."""
 
 import pytest
 
-from repro import Session, cm5
 from repro.metrics.patterns import CommPattern
 from repro.suite import run_benchmark
 

@@ -1,10 +1,8 @@
 """Tests for the suite registry, runner and table regeneration."""
 
-import numpy as np
 import pytest
 
 from repro import Session, VersionTier, cm5
-from repro.metrics.access import LocalAccess
 from repro.suite import REGISTRY, benchmark_names, run_benchmark, run_suite
 from repro.suite import analytic
 from repro.suite.tables import (

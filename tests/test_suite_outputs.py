@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro import Session, cm5
 from repro.suite import REGISTRY, run_benchmark
 from repro.suite.outputs import render_output, write_outputs
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import Session, VersionTier, cm5
+from repro import VersionTier, cm5
 from repro.suite.sweeps import (
     efficiency_series,
     machine_sweep,

@@ -36,7 +36,7 @@ class TestTable4Text:
         assert "Comm/iter (paper)" in table4_text
 
     def test_matvec_memory_exact(self, table4_text):
-        line = [l for l in table4_text.splitlines() if l.startswith("matrix-vector")][0]
+        line = [ln for ln in table4_text.splitlines() if ln.startswith("matrix-vector")][0]
         cells = line.split()
         # memory measured == paper == 8(n + nm + m) with n=m=64
         assert cells[3] == cells[4] == str(8 * (64 + 64 * 64 + 64))
@@ -53,7 +53,7 @@ class TestTable6Text:
             assert row in table6_text
 
     def test_diff3d_flops_exact(self, table6_text):
-        line = [l for l in table6_text.splitlines() if l.startswith("diff-3d")][0]
+        line = [ln for ln in table6_text.splitlines() if ln.startswith("diff-3d")][0]
         cells = line.split()
         assert cells[1] == cells[2]  # measured == paper
 
