@@ -56,19 +56,21 @@ def run(
 
     initial_norm = float(np.abs(u.np).max())
     with session.region("main_loop", iterations=steps):
-        for _ in range(steps):
-            # Explicit half: one 3-point stencil (array sections).
-            um, uc, up_ = stencil_shifts(u, [-1, 0, 1], boundary="periodic")
-            # rhs = uc + scale * (um - 2*uc + up), fused (scale = 0.5*r)
-            scale = 0.5 * r
-            rhs = stencil_combine(uc, um, up_, scale)
-            # 13 n_x FLOPs per iteration: the stencil combine above
-            # charges 5 n (2 mul + 3 add/sub); the solve charges the rest.
-            f = DistArray(
-                rhs.data[None, :], parse_layout("(:serial,:)", (1, nx)), session
-            )
-            sol = pcr_solve(a, b, c, f)
-            u = DistArray(sol.data[0], spec, session, "u")
+        for step in range(steps):
+            with session.iteration(step):
+                # Explicit half: one 3-point stencil (array sections).
+                um, uc, up_ = stencil_shifts(u, [-1, 0, 1], boundary="periodic")
+                # rhs = uc + scale * (um - 2*uc + up), fused (scale = 0.5*r)
+                scale = 0.5 * r
+                rhs = stencil_combine(uc, um, up_, scale)
+                # 13 n_x FLOPs per iteration: the stencil combine above
+                # charges 5 n (2 mul + 3 add/sub); the solve charges the rest.
+                f = DistArray(
+                    rhs.data[None, :], parse_layout("(:serial,:)", (1, nx)),
+                    session,
+                )
+                sol = pcr_solve(a, b, c, f)
+                u = DistArray(sol.data[0], spec, session, "u")
     final_norm = float(np.abs(u.np).max())
     mode_decay = final_norm / initial_norm
     # Exact Crank-Nicolson amplification for the k=1 Fourier mode.

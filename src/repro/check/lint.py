@@ -1,4 +1,4 @@
-"""Lint driver: walk sources, scan functions, apply rules RC001-RC005.
+"""Lint driver: walk sources, scan functions, apply rules RC001-RC006.
 
 Entry points:
 

@@ -1,4 +1,4 @@
-"""Domain rules RC001-RC005: AST analysis of accounting discipline.
+"""Domain rules RC001-RC006: AST analysis of accounting discipline.
 
 The linter reasons about *payload taint*: expressions derived from a
 ``DistArray.data`` attribute are raw NumPy payloads of distributed
@@ -212,6 +212,8 @@ class FunctionFacts:
     has_record_comm: bool = False
     region_calls: List[_Site] = field(default_factory=list)
     with_region_calls: int = 0
+    span_calls: List[_Site] = field(default_factory=list)
+    unscoped_iteration_sites: List[_Site] = field(default_factory=list)
     event_accessor_sites: List[_Site] = field(default_factory=list)
     mentions_detail_events: bool = False
     session_reuse_sites: List[Tuple[str, _Site]] = field(
@@ -273,6 +275,9 @@ class _FunctionScanner(ast.NodeVisitor):
         self.tainted: Set[str] = set()
         self._seen_sites: Set[Tuple[int, int, str]] = set()
         self._with_depth_calls: Set[int] = set()
+        #: nesting depth of 'with session.region(...)' blocks at the
+        #: current traversal point (RC006 scoping)
+        self._region_depth = 0
         self._fused_seen: Set[int] = set()
         #: session names already passed to run_benchmark and not
         #: reassigned since (reassignment = a fresh session)
@@ -408,20 +413,45 @@ class _FunctionScanner(ast.NodeVisitor):
             self.visit(stmt)
 
     def visit_With(self, node: ast.With) -> None:
+        opens_region = False
         for item in node.items:
             ctx = item.context_expr
             if isinstance(ctx, ast.Call):
-                _, name = _call_name(ctx.func)
+                recv, name = _call_name(ctx.func)
                 if name == "region":
                     self.facts.with_region_calls += 1
                     self._with_depth_calls.add(id(ctx))
+                    opens_region = True
+                elif name == "iteration" and recv is not None:
+                    self._with_depth_calls.add(id(ctx))
+                    if self._region_depth == 0:
+                        self._add_site(
+                            self.facts.unscoped_iteration_sites,
+                            ctx,
+                            None,
+                            "with iteration",
+                        )
             self.visit(ctx)
             if item.optional_vars is not None:
                 self._reset_sessions(item.optional_vars)
+        if opens_region:
+            self._region_depth += 1
         for stmt in node.body:
             self.visit(stmt)
+        if opens_region:
+            self._region_depth -= 1
 
     visit_AsyncWith = visit_With  # type: ignore[assignment]
+
+    def visit_Return(self, node: ast.Return) -> None:
+        # Returning a span context manager is a pass-through (the
+        # caller enters it), not a dangling span.
+        value = node.value
+        if isinstance(value, ast.Call):
+            recv, name = _call_name(value.func)
+            if name == "iteration" and recv is not None:
+                self._with_depth_calls.add(id(value))
+        self.generic_visit(node)
 
     # -- expressions -----------------------------------------------------
     def visit_BinOp(self, node: ast.BinOp) -> None:
@@ -478,6 +508,11 @@ class _FunctionScanner(ast.NodeVisitor):
                 if id(node) not in self._with_depth_calls:
                     self._add_site(
                         self.facts.region_calls, node, None, "region"
+                    )
+            elif name == "iteration" and recv is not None:
+                if id(node) not in self._with_depth_calls:
+                    self._add_site(
+                        self.facts.span_calls, node, None, "iteration"
                     )
             elif name == "trace_session":
                 self.facts.mentions_detail_events = True
@@ -851,6 +886,60 @@ def rc005_fused_parity(
     return out
 
 
+def rc006_dangling_spans(facts: FunctionFacts, path: str) -> List[Finding]:
+    """RC006: obs span APIs used where no span can open or close.
+
+    Two shapes are flagged:
+
+    * ``session.iteration(...)`` called but not entered with ``with``
+      (and not returned to a caller who will enter it) — the context
+      manager is created and dropped, so no span opens;
+    * ``with session.iteration(...)`` outside any ``with
+      session.region(...)`` block in a function that opens regions of
+      its own — the marker lands in whatever region the *caller* left
+      current, which is almost never the intent.  Helper functions that
+      open no regions are exempt: their caller owns the region scope
+      (e.g. a per-stage FFT sweep invoked under ``main_loop``).
+    """
+    out: List[Finding] = []
+    for site in facts.span_calls:
+        out.append(
+            Finding(
+                code="RC006",
+                path=path,
+                line=site.line,
+                col=site.col,
+                symbol=facts.symbol,
+                message=(
+                    "session.iteration(...) called outside a 'with' "
+                    "statement: the span context manager is never "
+                    "entered, so no iteration span opens — write "
+                    "'with session.iteration(i):' around the loop body"
+                ),
+            )
+        )
+    if facts.with_region_calls:
+        for site in facts.unscoped_iteration_sites:
+            out.append(
+                Finding(
+                    code="RC006",
+                    path=path,
+                    line=site.line,
+                    col=site.col,
+                    symbol=facts.symbol,
+                    message=(
+                        "'with session.iteration(...)' opened outside "
+                        "any 'with session.region(...)' block although "
+                        "this function manages its own regions; the "
+                        "iteration span attaches to the caller's "
+                        "current region — move the marker inside the "
+                        "region block it annotates"
+                    ),
+                )
+            )
+    return out
+
+
 def apply_rules(
     facts: FunctionFacts, path: str, source_lines: Sequence[str]
 ) -> List[Finding]:
@@ -861,4 +950,5 @@ def apply_rules(
     findings.extend(rc003_comm_without_record(facts, path))
     findings.extend(rc004_session_misuse(facts, path))
     findings.extend(rc005_fused_parity(facts, path, source_lines))
+    findings.extend(rc006_dangling_spans(facts, path))
     return findings

@@ -12,8 +12,19 @@ Subcommands
 ``suite``
     Run every benchmark with small default sizes and print a summary
     table.  Engine options (``--jobs``, ``--cache-dir``, ``--store``,
-    ``--timeout``, ``--retries``, ``--trace``) run the suite through
-    the parallel, cached, fault-tolerant execution engine.
+    ``--timeout``, ``--retries``, ``--trace``, ``--stream``) run the
+    suite through the parallel, cached, fault-tolerant execution
+    engine; ``--stream PATH`` follows the run live as JSONL events
+    with per-job span summaries (see ``docs/OBSERVABILITY.md``).
+``profile NAME``
+    Run one benchmark with a span collector attached and print a
+    profile: top regions by simulated busy time and per-pattern
+    communication attribution.  ``--chrome PATH`` exports a
+    Perfetto-loadable Chrome trace of the run's simulated timeline;
+    ``--folded PATH`` writes a folded-stack flamegraph.
+``trace export RUN``
+    Re-emit a stored run (see ``engine runs``) as a Chrome trace file
+    rebuilt from its persisted report segments.
 ``tables``
     Regenerate the paper's tables (1, 2, 3, 5, 7, 8 structural; 4 and
     6 measured-vs-paper).  The measured tables accept the same engine
@@ -32,7 +43,7 @@ Subcommands
 ``check``
     Accounting verification (see ``docs/CHECKS.md``): ``check lint
     [paths] --format text|json`` runs the static accounting linter
-    (rules RC001-RC005, baselined via ``.repro-check.toml``), and
+    (rules RC001-RC006, baselined via ``.repro-check.toml``), and
     ``check audit NAME --tolerance PCT`` runs one benchmark with
     shadow-counted NumPy execution and diffs it against the charged
     FLOPs and communication.
@@ -116,6 +127,7 @@ def _engine_config(args):
         cache_prune=getattr(args, "cache_prune", False),
         store=args.store,
         trace=args.trace,
+        stream=getattr(args, "stream", None),
     )
 
 
@@ -478,6 +490,73 @@ def _cmd_engine_check(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_profile(args) -> int:
+    from repro.obs import (
+        SpanCollector,
+        chrome_trace,
+        render_profile,
+        write_chrome_trace,
+        write_folded,
+    )
+    from repro.suite import run_benchmark
+
+    session = _make_session(args)
+    collector = SpanCollector().attach(session)
+    run_benchmark(args.name, session, **_parse_params(args.param))
+    collector.finalize()
+    print(f"machine: {session.machine.describe()}")
+    print(render_profile(collector, benchmark=args.name, top=args.top))
+    if args.chrome:
+        write_chrome_trace(
+            chrome_trace(collector, benchmark=args.name), args.chrome
+        )
+        print(f"\nChrome trace written to {args.chrome} "
+              "(load in ui.perfetto.dev or chrome://tracing)")
+    if args.folded:
+        write_folded(collector, args.folded, root_frame=args.name)
+        print(f"folded stacks written to {args.folded} "
+              "(feed to flamegraph.pl or speedscope)")
+    return 0
+
+
+def _cmd_trace_export(args) -> int:
+    from repro.engine import RunStore
+    from repro.metrics.serialize import report_from_dict
+    from repro.obs import chrome_trace_from_report, write_chrome_trace
+
+    store = RunStore(args.store)
+    try:
+        run_id = store.resolve(args.run)
+    except KeyError as exc:
+        raise SystemExit(exc.args[0] if exc.args else str(exc)) from None
+    records = store.run_records(run_id)
+    events = []
+    exported = 0
+    for pid, record in enumerate(records, start=1):
+        if args.benchmark and record.get("benchmark") != args.benchmark:
+            continue
+        report_record = record.get("report")
+        if not report_record:
+            continue
+        report = report_from_dict(report_record)
+        trace = chrome_trace_from_report(report, pid=pid)
+        events.extend(trace["traceEvents"])
+        exported += 1
+    if not exported:
+        raise SystemExit(
+            f"run {run_id} has no stored reports"
+            + (f" for benchmark {args.benchmark!r}" if args.benchmark else "")
+            + "; only ok/cached jobs carry one"
+        )
+    out = args.output or f"trace_{run_id[:12]}.json"
+    write_chrome_trace({"traceEvents": events, "displayTimeUnit": "ms"}, out)
+    print(
+        f"exported {exported} report(s) of run {run_id} to {out} "
+        "(load in ui.perfetto.dev or chrome://tracing)"
+    )
+    return 0
+
+
 def _cmd_check_lint(args) -> int:
     from pathlib import Path
 
@@ -595,6 +674,11 @@ def build_parser() -> argparse.ArgumentParser:
             help="write structured engine events to this JSONL trace",
         )
         p.add_argument(
+            "--stream", metavar="PATH",
+            help="append live JSONL run events (with per-job span "
+            "summaries) to this file as jobs finish",
+        )
+        p.add_argument(
             "--cache-prune", action="store_true",
             help="drop stale-fingerprint cache buckets and crashed-put "
             "tmp files before running (needs --cache-dir)",
@@ -626,6 +710,59 @@ def build_parser() -> argparse.ArgumentParser:
     _add_machine_args(p_tables)
     _add_engine_args(p_tables)
     p_tables.set_defaults(fn=_cmd_tables)
+
+    p_profile = sub.add_parser(
+        "profile",
+        help="run one benchmark under the span collector and print a "
+        "simulated-time profile",
+    )
+    p_profile.add_argument("name")
+    p_profile.add_argument(
+        "--param", action="append", metavar="K=V",
+        help="benchmark parameter override (repeatable)",
+    )
+    p_profile.add_argument(
+        "--top", type=int, default=10, metavar="N",
+        help="regions to show in the busy-time ranking (default: 10)",
+    )
+    p_profile.add_argument(
+        "--chrome", metavar="PATH",
+        help="also export a Chrome trace-event JSON of the run "
+        "(Perfetto-loadable)",
+    )
+    p_profile.add_argument(
+        "--folded", metavar="PATH",
+        help="also write folded stacks (flamegraph.pl / speedscope "
+        "format)",
+    )
+    _add_machine_args(p_profile)
+    p_profile.set_defaults(fn=_cmd_profile)
+
+    p_trace = sub.add_parser(
+        "trace", help="work with exported trace files"
+    )
+    sub_trace = p_trace.add_subparsers(dest="trace_command", required=True)
+    p_export = sub_trace.add_parser(
+        "export",
+        help="re-emit a stored run as a Chrome trace file rebuilt from "
+        "its report segments",
+    )
+    p_export.add_argument(
+        "run", nargs="?", default="latest",
+        help="run reference: id prefix, 'latest' (default) or @N",
+    )
+    p_export.add_argument(
+        "--store", default=DEFAULT_STORE, metavar="PATH",
+        help=f"run store to read (default: {DEFAULT_STORE})",
+    )
+    p_export.add_argument(
+        "-o", "--output", metavar="PATH",
+        help="output file (default: trace_<run-id>.json)",
+    )
+    p_export.add_argument(
+        "--benchmark", metavar="NAME", help="only this benchmark"
+    )
+    p_export.set_defaults(fn=_cmd_trace_export)
 
     p_sweep = sub.add_parser(
         "sweep", help="sweep a benchmark parameter or the node count"
@@ -734,7 +871,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_checker = sub.add_parser(
         "check",
-        help="accounting linter (RC001-RC005) and runtime FLOP/comm "
+        help="accounting linter (RC001-RC006) and runtime FLOP/comm "
         "sanitizer",
     )
     sub_check = p_checker.add_subparsers(dest="check_command", required=True)

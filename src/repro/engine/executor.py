@@ -117,16 +117,27 @@ def _worker_run(payload: Dict) -> Dict:
 
     Takes and returns only JSON-safe dictionaries so the engine's
     parallel and serial paths share one serialization (and the pickle
-    crossing stays trivial).
+    crossing stays trivial).  When the payload asks for spans, the
+    worker attaches a :class:`repro.obs.SpanCollector` and forwards its
+    compact summary — the report itself is unaffected (observers are
+    read-only).
     """
     request = RunRequest.from_dict(payload["request"])
     _apply_test_hooks(request.benchmark, payload["attempt"])
+    collector = None
+    if payload.get("spans"):
+        from repro.obs import SpanCollector
+
+        collector = SpanCollector()
     start = time.perf_counter()
-    report = execute_request(request)
-    return {
+    report = execute_request(request, observer=collector)
+    result = {
         "report": report_to_dict(report),
         "compute_time_s": time.perf_counter() - start,
     }
+    if collector is not None:
+        result["spans"] = collector.finalize().summary()
+    return result
 
 
 @dataclass
@@ -147,6 +158,9 @@ class RunResult:
     queue_wait_s: float = 0.0
     #: seconds a worker spent on this job, summed over attempts
     compute_time_s: float = 0.0
+    #: span summary from the worker's SpanCollector (span collection
+    #: on), forwarded into the run's ``.stats`` sidecar
+    spans: Optional[Dict] = None
 
     @property
     def ok(self) -> bool:
@@ -172,6 +186,16 @@ class EngineConfig:
     #: ``run_suite`` contract).
     raise_on_error: bool = False
     run_id: Optional[str] = None
+    #: JSONL live event stream path (repro suite --stream); implies
+    #: span collection
+    stream: Optional[Union[str, Path]] = None
+    #: collect per-job span summaries (repro.obs) into the stats sidecar
+    spans: bool = False
+
+    @property
+    def collect_spans(self) -> bool:
+        """Whether jobs run with a span collector attached."""
+        return self.spans or self.stream is not None
 
 
 def _pool_supported() -> bool:
@@ -205,6 +229,7 @@ class Engine:
         self.last_run_stats = None
         self._store: Optional[RunStore] = None
         self._run_id: Optional[str] = None
+        self._stream = None
 
     # -- public API -----------------------------------------------------
     def run(
@@ -231,6 +256,10 @@ class Engine:
         results: List[Optional[RunResult]] = [None] * len(requests)
         self._store = store
         self._run_id = run_id
+        if config.stream is not None:
+            from repro.obs.stream import EventStream
+
+            self._stream = EventStream(config.stream)
         started = time.perf_counter()
 
         try:
@@ -240,6 +269,13 @@ class Engine:
             self.tracer.emit(
                 "run_started", detail=run_id, jobs=config.jobs, n=len(requests)
             )
+            if self._stream is not None:
+                self._stream.emit(
+                    "run_started",
+                    run_id=run_id,
+                    workers=config.jobs,
+                    n_jobs=len(requests),
+                )
             pending: List[int] = []
             for index, request in enumerate(requests):
                 self.tracer.emit("job_submitted", request)
@@ -306,8 +342,18 @@ class Engine:
             for result in final:
                 counts[result.status] += 1
             self.tracer.emit("run_finished", detail=run_id, **counts)
+            if self._stream is not None:
+                self._stream.emit(
+                    "run_finished",
+                    run_id=run_id,
+                    duration_s=stats.duration_s,
+                    **counts,
+                )
             return final
         finally:
+            if self._stream is not None:
+                self._stream.close()
+                self._stream = None
             self._store = None
             self._run_id = None
 
@@ -327,6 +373,18 @@ class Engine:
             attempt=result.attempts,
             detail=result.error,
         )
+        if self._stream is not None:
+            self._stream.emit(
+                "job_finished",
+                run_id=self._run_id,
+                benchmark=request.benchmark,
+                request_hash=request.content_hash(),
+                status=result.status,
+                attempts=result.attempts,
+                wall_time_s=result.wall_time_s,
+                error=result.error,
+                spans=result.spans,
+            )
         if self._store is not None:
             self._store.append(make_record(self._run_id, result))
         if self.progress is not None:
@@ -400,11 +458,18 @@ class Engine:
             while True:
                 attempt += 1
                 self.tracer.emit("job_started", request, attempt=attempt)
+                collector = None
+                if self.config.collect_spans:
+                    from repro.obs import SpanCollector
+
+                    collector = SpanCollector()
                 start = time.perf_counter()
                 queue_wait += max(0.0, start - ready_at)
                 try:
                     _apply_test_hooks(request.benchmark, attempt)
-                    report = execute_request(request, session_factory)
+                    report = execute_request(
+                        request, session_factory, observer=collector
+                    )
                 except Exception as exc:
                     if self.config.raise_on_error:
                         raise
@@ -441,6 +506,8 @@ class Engine:
                         queue_wait=queue_wait,
                         compute=compute,
                     )
+                    if collector is not None:
+                        result.spans = collector.finalize().summary()
                 results[index] = result
                 self._finish(request, result)
                 break
@@ -488,7 +555,11 @@ class Engine:
 
         def submit(index: int, attempt: int) -> None:
             request = requests[index]
-            payload = {"request": request.to_dict(), "attempt": attempt}
+            payload = {
+                "request": request.to_dict(),
+                "attempt": attempt,
+                "spans": config.collect_spans,
+            }
             self.tracer.emit("job_started", request, attempt=attempt)
             future = pool.submit(_worker_run, payload)
             deadline = (
@@ -583,6 +654,7 @@ class Engine:
                             queue_wait=queue_wait[index],
                             compute=compute[index],
                         )
+                        result.spans = payload.get("spans")
                         results[index] = result
                         self._finish(request, result)
 

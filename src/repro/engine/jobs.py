@@ -149,6 +149,8 @@ class RunRequest:
 def execute_request(
     request: RunRequest,
     session_factory: Optional[Callable[[], Session]] = None,
+    *,
+    observer: Optional[object] = None,
 ):
     """Run one request to a :class:`~repro.metrics.report.PerfReport`.
 
@@ -156,12 +158,18 @@ def execute_request(
     spec with a caller-built session (the in-process compatibility path
     used by :func:`repro.suite.runner.run_suite`); worker processes
     always build the session from the spec.
+
+    ``observer`` (e.g. a :class:`repro.obs.SpanCollector`) is attached
+    to the session's recorder before the benchmark runs.  Observers are
+    read-only: the report is byte-identical with or without one.
     """
     from repro.suite.runner import run_benchmark
 
     session = session_factory() if session_factory is not None else (
         request.build_session()
     )
+    if observer is not None:
+        observer.attach(session)
     params = request.params_dict
     if request.seed is not None:
         params.setdefault("seed", request.seed)

@@ -27,11 +27,16 @@ store envelope.
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, fields
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
-#: Stats/trajectory schema version, bumped on incompatible changes.
-STATS_SCHEMA_VERSION = 1
+#: Stats/trajectory schema version.  Version 2 adds per-job ``spans``
+#: summaries (repro.obs).  Readers are tolerant: unknown keys from
+#: newer minor additions are dropped, missing keys take their
+#: defaults, and only a sidecar declaring a schema *newer* than this
+#: reader understands is rejected (with a clear message, not a
+#: KeyError).
+STATS_SCHEMA_VERSION = 2
 
 #: Report metrics gated by ``engine check``: (record key, label,
 #: direction) where direction +1 means "larger is a regression" (times,
@@ -54,6 +59,20 @@ class JobStats:
     queue_wait_s: float
     compute_time_s: float
     wall_time_s: float
+    #: span summary forwarded by the worker's SpanCollector (None when
+    #: the run executed without span collection — pre-v2 sidecars too)
+    spans: Optional[Dict] = None
+
+
+def _filter_fields(cls, record: Mapping) -> Dict:
+    """Restrict a mapping to ``cls``'s dataclass fields.
+
+    Dropping unknown keys (instead of exploding in ``cls(**record)``)
+    is what lets an older reader open a sidecar written by a newer
+    minor schema; missing optional keys fall back to field defaults.
+    """
+    known = {f.name for f in fields(cls)}
+    return {k: v for k, v in record.items() if k in known}
 
 
 @dataclass
@@ -102,14 +121,31 @@ class RunStats:
 
     @classmethod
     def from_dict(cls, record: Mapping) -> "RunStats":
-        """Rebuild from :meth:`to_dict` output."""
+        """Rebuild from :meth:`to_dict` output.
+
+        Tolerant across schema versions: a v1 sidecar (no per-job
+        ``spans``) loads with the new fields defaulted, and unknown
+        keys from newer *minor* additions are ignored.  A sidecar
+        declaring a schema newer than :data:`STATS_SCHEMA_VERSION` is
+        rejected with a clear message instead of a confusing KeyError
+        further down.
+        """
         record = dict(record)
-        record.pop("schema", None)
+        schema = record.pop("schema", None)
+        if isinstance(schema, (int, float)) and schema > STATS_SCHEMA_VERSION:
+            raise ValueError(
+                f"stats sidecar uses schema v{int(schema)}, newer than "
+                f"this reader's v{STATS_SCHEMA_VERSION}; upgrade repro "
+                "to inspect this run"
+            )
         record["attempts_histogram"] = {
             int(k): v for k, v in record.get("attempts_histogram", {}).items()
         }
-        record["jobs"] = [JobStats(**j) for j in record.get("jobs", [])]
-        return cls(**record)
+        record["jobs"] = [
+            JobStats(**_filter_fields(JobStats, j))
+            for j in record.get("jobs", [])
+        ]
+        return cls(**_filter_fields(cls, record))
 
     # -- rendering ------------------------------------------------------
     def table(self) -> str:
@@ -171,6 +207,43 @@ class RunStats:
                 format_table(
                     ["Benchmark", "Status", "Att", "Queue (s)", "Compute (s)",
                      "Wall (s)"],
+                    rows,
+                )
+            )
+        spanned = [job for job in self.jobs if job.spans]
+        if spanned:
+            total_flops = sum(int(j.spans.get("flop_count", 0)) for j in spanned)
+            total_bytes = sum(
+                int(j.spans.get("network_bytes", 0)) for j in spanned
+            )
+            total_busy = sum(
+                float(j.spans.get("busy_time_s", 0.0)) for j in spanned
+            )
+            total_elapsed = sum(
+                float(j.spans.get("elapsed_time_s", 0.0)) for j in spanned
+            )
+            rows = [
+                [
+                    job.benchmark,
+                    str(job.spans.get("spans", 0)),
+                    str(job.spans.get("iterations", 0)),
+                    f"{float(job.spans.get('busy_time_s', 0.0)):.6f}",
+                    f"{float(job.spans.get('elapsed_time_s', 0.0)):.6f}",
+                    f"{int(job.spans.get('flop_count', 0)):,}",
+                    f"{int(job.spans.get('network_bytes', 0)):,}",
+                ]
+                for job in spanned
+            ]
+            lines.append("")
+            lines.append(
+                f"  spans       {len(spanned)}/{self.n_jobs} jobs traced  "
+                f"sim busy {total_busy:.6f}s  sim elapsed {total_elapsed:.6f}s  "
+                f"flops {total_flops:,}  net bytes {total_bytes:,}"
+            )
+            lines.append(
+                format_table(
+                    ["Benchmark", "Spans", "Iters", "Sim busy (s)",
+                     "Sim elapsed (s)", "FLOPs", "Net bytes"],
                     rows,
                 )
             )
@@ -266,6 +339,7 @@ def stats_from_results(
             queue_wait_s=result.queue_wait_s,
             compute_time_s=result.compute_time_s,
             wall_time_s=result.wall_time_s,
+            spans=getattr(result, "spans", None),
         )
         for result in results
     ]

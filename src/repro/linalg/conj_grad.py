@@ -75,23 +75,24 @@ def cg_tridiagonal(
     res = float(np.sqrt(reduce_array(r * r, "sum")))
     with session.region("main_loop", iterations=1) as region:
         while it < max_iter and res > tol:
-            q = _apply(lower, diag, upper, p)  # 2 CSHIFTs, 5n FLOPs
-            qq = reduce_array(q * q, "sum")  # Reduction 1
-            if qq == 0.0:
-                break
-            alpha = gamma / qq
-            session.recorder.charge_flops(FlopKind.DIV, 1)
-            axpy(alpha, p, x, out=x)  # x += alpha * p
-            axpy(alpha, q, r, subtract=True, out=r)  # r -= alpha * q
-            s = _apply(upper, diag, lower, r)  # 2 CSHIFTs
-            gamma_new = reduce_array(s * s, "sum")  # Reduction 2
-            beta = gamma_new / gamma if gamma else 0.0
-            session.recorder.charge_flops(FlopKind.DIV, 1)
-            p = axpy(beta, p, s)  # s + beta * p
-            gamma = gamma_new
-            res = float(np.sqrt(reduce_array(r * r, "sum")))  # Reduction 3
-            session.recorder.charge_flops(FlopKind.SQRT, 1)
-            it += 1
+            with session.iteration(it):
+                q = _apply(lower, diag, upper, p)  # 2 CSHIFTs, 5n FLOPs
+                qq = reduce_array(q * q, "sum")  # Reduction 1
+                if qq == 0.0:
+                    break
+                alpha = gamma / qq
+                session.recorder.charge_flops(FlopKind.DIV, 1)
+                axpy(alpha, p, x, out=x)  # x += alpha * p
+                axpy(alpha, q, r, subtract=True, out=r)  # r -= alpha * q
+                s = _apply(upper, diag, lower, r)  # 2 CSHIFTs
+                gamma_new = reduce_array(s * s, "sum")  # Reduction 2
+                beta = gamma_new / gamma if gamma else 0.0
+                session.recorder.charge_flops(FlopKind.DIV, 1)
+                p = axpy(beta, p, s)  # s + beta * p
+                gamma = gamma_new
+                res = float(np.sqrt(reduce_array(r * r, "sum")))  # Reduction 3
+                session.recorder.charge_flops(FlopKind.SQRT, 1)
+                it += 1
         region.iterations = max(1, it)
     return CGResult(x=x, iterations=it, residual_norm=res)
 

@@ -13,8 +13,8 @@ machine model directly.
 
 from __future__ import annotations
 
-from contextlib import contextmanager
-from typing import Iterator, Optional, Sequence, Tuple
+from contextlib import contextmanager, nullcontext
+from typing import ContextManager, Iterator, Optional, Sequence, Tuple
 
 from repro.layout.spec import Layout
 from repro.machine.model import MachineModel
@@ -28,6 +28,12 @@ from repro.versions import VersionTier
 #: One step of a fused elementwise charge sequence:
 #: ``(kind, ops_per_element, complex_valued)``.
 ChargeStep = Tuple[FlopKind, int, bool]
+
+#: Shared no-op context manager returned by :meth:`Session.iteration`
+#: when no span observer is attached.  ``contextlib.nullcontext`` is
+#: stateless, so one instance serves every unobserved iteration without
+#: allocating — the marker costs one attribute load and a None check.
+_NULL_SPAN: ContextManager[None] = nullcontext()
 
 
 class Session:
@@ -66,6 +72,29 @@ class Session:
         """Open a named metrics region (see MetricsRecorder.region)."""
         with self.recorder.region(name, iterations) as r:
             yield r
+
+    def iteration(self, index: Optional[int] = None) -> ContextManager[None]:
+        """Mark one main-loop iteration for the span observer.
+
+        A pure tracing annotation: with no observer attached this
+        returns a shared no-op context manager (no allocation, no
+        recorder activity); with a :class:`repro.obs.SpanCollector`
+        attached, the ``with`` body becomes an ``iteration`` span nested
+        under the enclosing region's span.  Iteration spans exist only
+        in the collector — they never create recorder regions, so
+        reports are identical whether or not iterations are marked.
+
+        Use inside a ``with session.region(...)`` block::
+
+            with session.region("main_loop", iterations=steps):
+                for step in range(steps):
+                    with session.iteration(step):
+                        ...
+        """
+        obs = self.recorder.observer
+        if obs is None:
+            return _NULL_SPAN
+        return obs.iteration(index)
 
     def declare_memory(
         self, name: str, shape: Sequence[int], tag: TypeTag | type | str
@@ -246,7 +275,8 @@ class Session:
         busy = cost.busy
         if bytes_local:
             busy += self.machine.local_move_time(bytes_local / max(1, n))
-        return self.recorder.current.add_comm(
+        recorder = self.recorder
+        result = recorder.current.add_comm(
             pattern,
             bytes_network=bytes_network,
             bytes_local=bytes_local,
@@ -256,6 +286,19 @@ class Session:
             rank=rank,
             detail=detail,
         )
+        obs = recorder.observer
+        if obs is not None:
+            obs.on_comm(
+                recorder.current,
+                pattern,
+                bytes_network=bytes_network,
+                bytes_local=bytes_local,
+                busy_time=busy,
+                idle_time=cost.idle,
+                rank=rank,
+                detail=detail,
+            )
+        return result
 
     # -- convenience -------------------------------------------------------
     @property

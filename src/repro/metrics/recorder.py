@@ -23,6 +23,14 @@ Busy time is the non-idle execution time (compute plus the
 bandwidth-bound portion of communication); elapsed time adds network
 latency and synchronization idle time, mirroring the paper's
 busy/elapsed dichotomy.
+
+An optional :attr:`MetricsRecorder.observer` (duck-typed; see
+:class:`repro.obs.SpanCollector`) is notified of every region
+enter/exit, FLOP charge, compute charge and communication event.  All
+hooks sit behind a single ``is not None`` check, so the default
+(unobserved) path pays one attribute load per charge and nothing else —
+observation never mutates recorder state, keeping reported metrics
+byte-identical with and without a collector attached.
 """
 
 from __future__ import annotations
@@ -325,6 +333,10 @@ class MetricsRecorder:
     root: Region = field(default_factory=lambda: Region("benchmark"))
     memory: MemoryLedger = field(default_factory=MemoryLedger)
     detail_events: bool = False
+    #: Optional span observer (e.g. :class:`repro.obs.SpanCollector`).
+    #: Observers are read-only listeners: they may not alter any
+    #: accounting, so attaching one leaves every metric bit-identical.
+    observer: Optional[object] = None
 
     def __post_init__(self) -> None:
         if self.detail_events:
@@ -374,11 +386,16 @@ class MetricsRecorder:
             )
             parent.children.append(region)
         self._stack.append(region)
+        obs = self.observer
+        if obs is not None:
+            obs.on_region_enter(region)
         try:
             yield region
         finally:
             popped = self._stack.pop()
             assert popped is region, "unbalanced region stack"
+            if obs is not None:
+                obs.on_region_exit(region)
 
     # -- charging -------------------------------------------------------
     def charge_flops(
@@ -386,24 +403,51 @@ class MetricsRecorder:
     ) -> None:
         """Record operations of one kind in the current region."""
         self.current.flops.add(kind, count, complex_valued=complex_valued)
+        obs = self.observer
+        if obs is not None:
+            obs.on_flops(
+                self.current, kind, count, complex_valued=complex_valued
+            )
 
     def charge_raw_flops(self, flops: int) -> None:
         """Record pre-weighted FLOPs in the current region."""
         self.current.flops.add_raw(flops)
+        obs = self.observer
+        if obs is not None:
+            obs.on_raw_flops(self.current, flops)
 
     def charge_reduction(self, n_elements: int, n_results: int = 1) -> None:
         """Charge a reduction at its sequential cost of ``N - 1``."""
-        self.current.flops.add_raw(reduction_flops(n_elements, n_results))
+        flops = reduction_flops(n_elements, n_results)
+        self.current.flops.add_raw(flops)
+        obs = self.observer
+        if obs is not None:
+            obs.on_raw_flops(self.current, flops)
 
     def charge_compute_time(self, seconds: float) -> None:
         """Add simulated compute seconds to the current region."""
         if seconds < 0:
             raise ValueError(f"negative compute time: {seconds}")
         self.current.compute_busy += seconds
+        obs = self.observer
+        if obs is not None:
+            obs.on_compute(self.current, seconds)
 
     def record_comm(self, event: CommEvent) -> None:
         """Account a communication event in the current region."""
         self.current.record_comm(event)
+        obs = self.observer
+        if obs is not None:
+            obs.on_comm(
+                self.current,
+                event.pattern,
+                bytes_network=event.bytes_network,
+                bytes_local=event.bytes_local,
+                busy_time=event.busy_time,
+                idle_time=event.idle_time,
+                rank=event.rank,
+                detail=event.detail,
+            )
 
     # -- convenience ----------------------------------------------------
     @property

@@ -1,0 +1,58 @@
+"""repro.obs — span tracing and profiling over the simulated clock.
+
+The observability spine of the reproduction (see docs/OBSERVABILITY.md):
+
+* :class:`SpanCollector` (:mod:`repro.obs.spans`) — attaches to a
+  session as a read-only observer and rebuilds the run as hierarchical
+  spans and timeline slices on the simulated clock, with totals that
+  reconcile bit-exactly against the run's
+  :class:`~repro.metrics.report.PerfReport`;
+* :mod:`repro.obs.chrome` — Chrome trace-event JSON export
+  (Perfetto-loadable), from live collectors or stored reports;
+* :mod:`repro.obs.profile` — text profile reports and folded-stack
+  flamegraphs;
+* :mod:`repro.obs.stream` — JSONL live event stream for engine runs.
+
+Attaching a collector never changes any reported metric; with no
+collector attached, the hooks cost one ``is not None`` check.
+"""
+
+from repro.obs.chrome import (
+    chrome_trace,
+    chrome_trace_from_report,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.profile import (
+    folded_stacks,
+    profile_lines,
+    render_profile,
+    write_folded,
+)
+from repro.obs.spans import (
+    SPAN_SUMMARY_SCHEMA,
+    RegionMirror,
+    Slice,
+    Span,
+    SpanCollector,
+)
+from repro.obs.stream import STREAM_EVENT_KINDS, EventStream, read_stream
+
+__all__ = [
+    "SPAN_SUMMARY_SCHEMA",
+    "STREAM_EVENT_KINDS",
+    "EventStream",
+    "RegionMirror",
+    "Slice",
+    "Span",
+    "SpanCollector",
+    "chrome_trace",
+    "chrome_trace_from_report",
+    "folded_stacks",
+    "profile_lines",
+    "read_stream",
+    "render_profile",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_folded",
+]

@@ -1,0 +1,81 @@
+"""JSONL live event stream for suite/engine runs.
+
+``repro suite --stream events.jsonl`` (or ``EngineConfig.stream``)
+makes the engine append one JSON object per line as the run progresses,
+flushed per event so a tail/follower sees jobs the moment they finish:
+
+* ``run_started``  — ``run_id``, number of jobs, worker count
+* ``job_finished`` — benchmark, status, attempts, wall seconds, the
+  request content hash, and (when span collection is on) the worker's
+  span summary (see :data:`repro.obs.spans.SPAN_SUMMARY_SCHEMA`)
+* ``run_finished`` — final status counts and duration
+
+Every line carries ``kind`` and a monotonically increasing ``seq``.
+The stream is observability output, not a store: replaying it does not
+reconstruct reports (the run store does that).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+#: Event kinds a stream may carry, in lifecycle order.
+STREAM_EVENT_KINDS = ("run_started", "job_finished", "run_finished")
+
+
+class EventStream:
+    """Append-mode JSONL writer with per-event flush.
+
+    The file is opened lazily on the first :meth:`emit`, so configuring
+    a stream costs nothing when no event is ever written.  Writers are
+    also usable as context managers.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._fh = None
+        self._seq = 0
+
+    def emit(self, kind: str, **fields) -> Dict:
+        """Append one event line; returns the emitted record."""
+        if kind not in STREAM_EVENT_KINDS:
+            raise ValueError(
+                f"unknown stream event kind {kind!r}; "
+                f"expected one of {STREAM_EVENT_KINDS}"
+            )
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(self.path, "a", encoding="utf-8")
+        record = {"kind": kind, "seq": self._seq, **fields}
+        self._seq += 1
+        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+        self._fh.flush()
+        return record
+
+    def close(self) -> None:
+        """Close the underlying file (idempotent)."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "EventStream":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_stream(path: Union[str, Path]) -> list:
+    """Read a stream file back as a list of event dictionaries."""
+    out = []
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                out.append(json.loads(line))
+    return out
+
+
+__all__ = ["STREAM_EVENT_KINDS", "EventStream", "read_stream"]

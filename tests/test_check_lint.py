@@ -364,6 +364,100 @@ class TestRC005:
 
 
 # ----------------------------------------------------------------------
+# RC006: dangling observability spans
+# ----------------------------------------------------------------------
+class TestRC006:
+    def test_iteration_outside_with(self):
+        bad = dedent(
+            """\
+            def run(session, steps):
+                with session.region("main_loop", iterations=steps):
+                    for step in range(steps):
+                        session.iteration(step)
+                        session.charge_elementwise(100)
+            """
+        )
+        findings = lint_source(bad, "fix.py")
+        assert codes(findings) == ["RC006"]
+        f = findings[0]
+        assert f.symbol == "run"
+        assert f.line == 4
+        assert "'with'" in f.message
+        assert "iteration" in f.message
+
+    def test_iteration_as_context_manager_ok(self):
+        good = dedent(
+            """\
+            def run(session, steps):
+                with session.region("main_loop", iterations=steps):
+                    for step in range(steps):
+                        with session.iteration(step):
+                            session.charge_elementwise(100)
+            """
+        )
+        assert lint_source(good, "fix.py") == []
+
+    def test_returned_span_is_passthrough(self):
+        # Session.iteration itself forwards the collector's context
+        # manager; the caller enters it.
+        good = dedent(
+            """\
+            def iteration(self, index):
+                obs = self.recorder.observer
+                if obs is None:
+                    return _NULL_SPAN
+                return obs.iteration(index)
+            """
+        )
+        assert lint_source(good, "fix.py") == []
+
+    def test_with_iteration_outside_region_in_region_function(self):
+        bad = dedent(
+            """\
+            def run(session, steps):
+                for step in range(steps):
+                    with session.iteration(step):
+                        session.charge_elementwise(100)
+                with session.region("main_loop", iterations=steps):
+                    session.charge_elementwise(100)
+            """
+        )
+        findings = lint_source(bad, "fix.py")
+        assert codes(findings) == ["RC006"]
+        f = findings[0]
+        assert f.symbol == "run"
+        assert f.line == 3
+        assert "region" in f.message
+
+    def test_helper_without_regions_exempt(self):
+        # A per-stage helper invoked under the caller's region (like
+        # the FFT axis sweep) owns no region and is not flagged.
+        good = dedent(
+            """\
+            def _sweep_axis(session, stages):
+                for s in range(stages):
+                    with session.iteration(s):
+                        session.charge_elementwise(100)
+            """
+        )
+        assert lint_source(good, "fix.py") == []
+
+    def test_iteration_inside_region_ok(self):
+        good = dedent(
+            """\
+            def run(session, steps):
+                with session.region("main_loop", iterations=steps):
+                    for step in range(steps):
+                        with session.iteration(step):
+                            session.charge_elementwise(100)
+                with session.region("tail", iterations=1):
+                    session.charge_elementwise(10)
+            """
+        )
+        assert lint_source(good, "fix.py") == []
+
+
+# ----------------------------------------------------------------------
 # Parse failure
 # ----------------------------------------------------------------------
 def test_syntax_error_is_rc000():

@@ -21,7 +21,12 @@ from repro.engine import (
     trajectory_point,
 )
 from repro.engine.executor import ENV_INJECT_FAIL
-from repro.engine.stats import baseline_benchmarks, load_baseline_file
+from repro.engine.stats import (
+    STATS_SCHEMA_VERSION,
+    JobStats,
+    baseline_benchmarks,
+    load_baseline_file,
+)
 
 SUBSET = ["fft", "lu", "gmo"]
 SUBSET_PARAMS = {
@@ -110,6 +115,101 @@ class TestRunStatsFromEngine:
         assert stats.benchmarks.keys() == engine.last_run_stats.benchmarks.keys()
 
 
+class TestSidecarSchemaTolerance:
+    """from_dict must survive other schema generations gracefully."""
+
+    def v1_record(self):
+        """A pre-spans (schema 1) sidecar as PR 4 wrote it."""
+        return {
+            "schema": 1,
+            "run_id": "run-v1",
+            "n_jobs": 1,
+            "workers": 1,
+            "duration_s": 0.5,
+            "status_counts": {"ok": 1},
+            "attempts_histogram": {"1": 1},
+            "jobs": [
+                {
+                    "benchmark": "fft",
+                    "status": "ok",
+                    "attempts": 1,
+                    "queue_wait_s": 0.0,
+                    "compute_time_s": 0.1,
+                    "wall_time_s": 0.1,
+                }
+            ],
+            "benchmarks": {"fft": {"busy_time_s": 1.0}},
+        }
+
+    def test_v1_sidecar_loads_with_spans_defaulted(self):
+        stats = RunStats.from_dict(self.v1_record())
+        assert stats.run_id == "run-v1"
+        assert stats.jobs[0].spans is None
+        assert stats.table()  # renders without a span section
+
+    def test_unknown_keys_from_newer_minor_are_dropped(self):
+        record = self.v1_record()
+        record["gpu_seconds"] = 12.0  # hypothetical future addition
+        record["jobs"][0]["gpu_seconds"] = 12.0
+        stats = RunStats.from_dict(record)
+        assert stats.jobs[0].benchmark == "fft"
+        assert not hasattr(stats, "gpu_seconds")
+
+    def test_newer_schema_rejected_with_clear_message(self):
+        record = self.v1_record()
+        record["schema"] = STATS_SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="newer than this reader"):
+            RunStats.from_dict(record)
+        with pytest.raises(ValueError, match="upgrade repro"):
+            RunStats.from_dict(record)
+
+    def test_spans_roundtrip_and_surface_in_table(self):
+        record = self.v1_record()
+        record["schema"] = STATS_SCHEMA_VERSION
+        record["jobs"][0]["spans"] = {
+            "schema": 1,
+            "spans": 2,
+            "iterations": 8,
+            "busy_time_s": 0.25,
+            "elapsed_time_s": 0.5,
+            "flop_count": 1234,
+            "network_bytes": 5678,
+        }
+        stats = RunStats.from_dict(record)
+        assert stats.jobs[0].spans["iterations"] == 8
+        table = stats.table()
+        assert "1/1 jobs traced" in table
+        assert "1,234" in table
+        assert "Sim busy (s)" in table
+
+    def test_engine_span_run_sidecar_has_spans(self, tmp_path):
+        engine, results, store = run_with_store(tmp_path, spans=True)
+        assert all(r.spans is not None for r in results)
+        sidecar = store.read_stats("latest")
+        rebuilt = RunStats.from_dict(sidecar)
+        assert all(isinstance(j.spans, dict) for j in rebuilt.jobs)
+        assert all(
+            j.spans["flop_count"]
+            == engine.last_run_stats.benchmarks[j.benchmark]["flop_count"]
+            for j in rebuilt.jobs
+        ), "span FLOP totals must reconcile with the report metrics"
+        assert "jobs traced" in rebuilt.table()
+
+    def test_untraced_run_has_no_span_payload(self, tmp_path):
+        _, results, store = run_with_store(tmp_path)
+        assert all(r.spans is None for r in results)
+        rebuilt = RunStats.from_dict(store.read_stats("latest"))
+        assert all(j.spans is None for j in rebuilt.jobs)
+        assert "jobs traced" not in rebuilt.table()
+
+    def test_jobstats_dataclass_accepts_missing_spans(self):
+        job = JobStats(
+            benchmark="fft", status="ok", attempts=1,
+            queue_wait_s=0.0, compute_time_s=0.1, wall_time_s=0.1,
+        )
+        assert job.spans is None
+
+
 class TestCompareBenchmarks:
     BASE = {
         "fft": {"busy_time_s": 1.0, "elapsed_time_s": 2.0,
@@ -168,7 +268,7 @@ class TestTrajectoryPoint:
     def test_point_shape_and_baseline_reuse(self, tmp_path):
         engine, _, _ = run_with_store(tmp_path)
         point = trajectory_point(engine.last_run_stats)
-        assert point["schema"] == 1
+        assert point["schema"] == STATS_SCHEMA_VERSION
         assert point["kind"] == "bench"
         assert set(point["benchmarks"]) == set(SUBSET)
         assert point["engine"]["n_jobs"] == 3

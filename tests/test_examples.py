@@ -70,6 +70,16 @@ def test_suite_analysis(capsys):
     assert "pic-gather-scatter" in out
 
 
+def test_profile_walkthrough(capsys):
+    out = _run_example("profile_walkthrough", capsys)
+    assert "profile: conj-grad" in out
+    assert "span totals == report totals (bit-exact)" in out
+    assert "conj-grad;main_loop" in out
+    # Iteration spans mirror the CG iteration count.
+    line = [ln for ln in out.splitlines() if "iteration spans" in ln][0]
+    assert "iteration spans 27 (CG iterations 27)" in line
+
+
 def test_multigrid(capsys):
     out = _run_example("multigrid", capsys)
     lines = out.splitlines()
