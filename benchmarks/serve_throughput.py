@@ -1,0 +1,162 @@
+"""Serve-mode trajectory point: fidelity gate + warm-vs-cold throughput.
+
+Drives the full 32-benchmark suite through a live ``repro serve``
+instance (concurrent clients, sharded store), gates the resulting
+per-benchmark metrics against the seed baseline at tolerance 0 —
+the server must be metrics-identical to batch runs — and then measures
+the serve milestone's headline: a resident warm worker pool vs paying
+interpreter start + import + pool spawn per mini-suite, on the
+n-body-class small-job subset.
+
+    PYTHONPATH=src python benchmarks/serve_throughput.py \
+        --out BENCH_pr6.json
+
+The output is a ``BENCH_*.json`` trajectory point (same schema as the
+``engine check --bench-out`` points) with an extra ``serve`` section.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parents[1] / "src"
+sys.path.insert(0, str(SRC))
+
+from repro.engine import RunStats, compare_benchmarks, open_store, plan_suite  # noqa: E402
+from repro.engine.jobs import RunRequest  # noqa: E402
+from repro.engine.stats import load_baseline_file, trajectory_point  # noqa: E402
+from repro.serve import ServeClient, ServeConfig, ServerThread  # noqa: E402
+
+BASELINE = Path(__file__).resolve().parent / "baselines" / "seed_suite_bench.json"
+
+COLD_SCRIPT = """\
+import json, sys
+from repro.engine import Engine, EngineConfig
+from repro.engine.jobs import RunRequest
+request = RunRequest.from_dict(json.loads(sys.argv[1]))
+results = Engine(EngineConfig(jobs=2, timeout=300)).run([request])
+assert results[0].status == "ok", results[0].error
+"""
+
+
+def small_request(i: int) -> RunRequest:
+    return RunRequest(benchmark="n-body", params={"n": 12 + i})
+
+
+def run_suite_through_server(workers: int, clients: int, store_dir: Path) -> RunStats:
+    """All 32 suite requests via concurrent clients; the run's stats."""
+    store_dir.mkdir(parents=True, exist_ok=True)
+    config = ServeConfig(port=0, workers=workers, store=str(store_dir), timeout=300)
+    with ServerThread(config) as (host, port):
+        def submit(request):
+            payload = ServeClient(host, port).submit(request, busy_retries=8)
+            assert payload["job"]["status"] == "ok", payload["job"]
+            return payload
+
+        requests = plan_suite()
+        started = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=clients) as executor:
+            payloads = list(executor.map(submit, requests))
+        duration = time.perf_counter() - started
+        print(
+            f"suite via server: {len(payloads)} jobs, {clients} clients, "
+            f"{duration:.2f}s ({len(payloads) / duration:.1f} jobs/s)"
+        )
+    store = open_store(store_dir)
+    run_id = store.resolve("latest")
+    return RunStats.from_dict(store.read_stats(run_id))
+
+
+def measure_warm(workers: int, jobs: int) -> float:
+    """Jobs/s through a warm resident pool (server already up)."""
+    requests = [small_request(i) for i in range(jobs)]
+    config = ServeConfig(port=0, workers=workers, timeout=300)
+    with ServerThread(config) as (host, port):
+        client = ServeClient(host, port)
+        started = time.perf_counter()
+        for request in requests:
+            payload = client.submit(request)
+            assert payload["job"]["status"] == "ok", payload["job"]
+        return jobs / (time.perf_counter() - started)
+
+
+def measure_cold(jobs: int) -> float:
+    """Jobs/s paying interpreter + import + pool spawn per mini-suite."""
+    env = {**os.environ, "PYTHONPATH": str(SRC)}
+    started = time.perf_counter()
+    for i in range(jobs):
+        subprocess.run(
+            [sys.executable, "-c", COLD_SCRIPT,
+             json.dumps(small_request(i).to_dict())],
+            env=env, check=True, timeout=300,
+        )
+    return jobs / (time.perf_counter() - started)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--out", default="BENCH_pr6.json", metavar="PATH")
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--clients", type=int, default=8)
+    parser.add_argument("--throughput-jobs", type=int, default=8)
+    args = parser.parse_args()
+
+    with tempfile.TemporaryDirectory() as tmp:
+        stats = run_suite_through_server(
+            args.workers, args.clients, Path(tmp) / "runs"
+        )
+
+    report = compare_benchmarks(
+        stats.benchmarks, load_baseline_file(BASELINE), tolerance_pct=0.0
+    )
+    ok = report.ok and not report.missing
+    print(
+        f"engine check vs seed baseline (tolerance 0): "
+        f"{'ok' if ok else 'FAILED'} "
+        f"({len(report.regressions)} regressions, "
+        f"{len(report.missing)} missing)"
+    )
+
+    warm = measure_warm(args.workers, args.throughput_jobs)
+    cold = measure_cold(args.throughput_jobs)
+    speedup = warm / cold if cold else float("inf")
+    print(
+        f"throughput: warm {warm:.1f} jobs/s vs cold {cold:.1f} jobs/s "
+        f"({speedup:.1f}x)"
+    )
+
+    point = trajectory_point(stats)
+    point["check"] = {
+        "baseline": str(BASELINE.relative_to(Path(__file__).resolve().parents[1])),
+        "tolerance_pct": 0.0,
+        "ok": ok,
+        "regressions": len(report.regressions),
+        "missing": report.missing,
+    }
+    point["serve"] = {
+        "workers": args.workers,
+        "clients": args.clients,
+        "throughput_jobs": args.throughput_jobs,
+        "warm_jobs_per_s": warm,
+        "cold_jobs_per_s": cold,
+        "speedup_x": speedup,
+        "method": (
+            "warm: sequential submits to a resident-pool server; cold: one "
+            "fresh interpreter + Engine(jobs=2) pool per n-body mini-suite"
+        ),
+    }
+    Path(args.out).write_text(
+        json.dumps(point, sort_keys=True, indent=1) + "\n", encoding="utf-8"
+    )
+    print(f"trajectory point written to {args.out}")
+    return 0 if (ok and speedup >= 2.0) else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -125,6 +125,7 @@ def _engine_config(args):
         retries=args.retries,
         cache_dir=args.cache_dir,
         cache_prune=getattr(args, "cache_prune", False),
+        cache_max_bytes=getattr(args, "cache_max_bytes", None),
         store=args.store,
         trace=args.trace,
         stream=getattr(args, "stream", None),
@@ -337,10 +338,10 @@ def _cmd_sweep(args) -> int:
 
 
 def _cmd_engine_runs(args) -> int:
-    from repro.engine import RunStore
+    from repro.engine import open_store
     from repro.suite.tables import format_table
 
-    store = RunStore(args.store)
+    store = open_store(args.store)
     records = store.records()
     if not records:
         print(f"no runs stored in {args.store}")
@@ -360,10 +361,10 @@ def _cmd_engine_runs(args) -> int:
 
 
 def _cmd_engine_history(args) -> int:
-    from repro.engine import RunStore
+    from repro.engine import open_store
     from repro.suite.tables import format_table
 
-    store = RunStore(args.store)
+    store = open_store(args.store)
     records = store.history(benchmark=args.benchmark, limit=args.limit)
     if not records:
         print(f"no matching records in {args.store}")
@@ -410,9 +411,9 @@ def _cmd_engine_history(args) -> int:
 
 
 def _cmd_engine_diff(args) -> int:
-    from repro.engine import RunStore, diff_runs
+    from repro.engine import diff_runs, open_store
 
-    store = RunStore(args.store)
+    store = open_store(args.store)
     try:
         print(diff_runs(store, args.run_a, args.run_b))
     except KeyError as exc:
@@ -441,9 +442,9 @@ def _load_run_stats(store, ref: str):
 def _cmd_engine_stats(args) -> int:
     import json as json_module
 
-    from repro.engine import RunStore
+    from repro.engine import open_store
 
-    store = RunStore(args.store)
+    store = open_store(args.store)
     try:
         stats = _load_run_stats(store, args.run)
     except KeyError as exc:
@@ -459,10 +460,10 @@ def _cmd_engine_check(args) -> int:
     import json as json_module
     from pathlib import Path
 
-    from repro.engine import RunStore, compare_benchmarks, trajectory_point
+    from repro.engine import compare_benchmarks, open_store, trajectory_point
     from repro.engine.stats import load_baseline_file
 
-    store = RunStore(args.store)
+    store = open_store(args.store)
     try:
         stats = _load_run_stats(store, args.run)
         if Path(args.baseline).is_file():
@@ -520,11 +521,11 @@ def _cmd_profile(args) -> int:
 
 
 def _cmd_trace_export(args) -> int:
-    from repro.engine import RunStore
+    from repro.engine import open_store
     from repro.metrics.serialize import report_from_dict
     from repro.obs import chrome_trace_from_report, write_chrome_trace
 
-    store = RunStore(args.store)
+    store = open_store(args.store)
     try:
         run_id = store.resolve(args.run)
     except KeyError as exc:
@@ -623,6 +624,120 @@ def _cmd_check_audit(args) -> int:
     return 0 if ok else 1
 
 
+def _cmd_serve(args) -> int:
+    from repro.serve import ServeConfig
+    from repro.serve.server import run_server
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.jobs,
+        cache_dir=args.cache_dir,
+        cache_max_bytes=getattr(args, "cache_max_bytes", None),
+        store=args.store,
+        stream=getattr(args, "stream", None),
+        max_queue=args.max_queue,
+        rate_limit=args.rate_limit,
+        rate_burst=args.rate_burst,
+        timeout=args.timeout,
+        retries=args.retries,
+    )
+    print(
+        f"repro serve on {config.host}:{config.port} "
+        f"({config.workers} warm workers; POST /shutdown or Ctrl-C to stop)"
+    )
+    app = run_server(config)
+    counters = app.counters
+    print(
+        f"served {counters.submitted} submissions "
+        f"({counters.executed} executed, {counters.deduped} deduped, "
+        f"hit rate {counters.dedupe_hit_rate:.2f})"
+    )
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    import json as json_module
+
+    from repro.serve import ServeClient, ServeError
+
+    client = ServeClient(args.host, args.port, client_id=args.client_id)
+    request = {
+        "benchmark": args.name,
+        "machine": args.machine,
+        "nodes": _effective_nodes(args.machine, args.nodes),
+        "tier": args.tier,
+        "params": _parse_params(args.param),
+    }
+    try:
+        payload = client.submit(
+            request,
+            wait=not args.no_wait,
+            timeout=args.timeout,
+            busy_retries=args.busy_retries,
+        )
+    except ServeError as exc:
+        raise SystemExit(f"submit failed ({exc.status}): {exc}") from None
+    if args.json:
+        print(json_module.dumps(payload, sort_keys=True, indent=2))
+        return 0 if payload["job"].get("status") in ("ok", "cached", None) else 1
+    job = payload["job"]
+    print(
+        f"{job['benchmark']}  state={job['state']} "
+        f"status={job.get('status') or '-'} source={job['source']} "
+        f"hash={job['request_hash'][:12]}"
+    )
+    report = payload.get("report")
+    if report is not None:
+        print(
+            f"  elapsed {report['elapsed_time_s']:.6f}s  "
+            f"busy {report['busy_time_s']:.6f}s  "
+            f"{report['busy_floprate_mflops']:.2f} MFLOP/s"
+        )
+    if job.get("error"):
+        print(f"  error: {job['error']}")
+    return 0 if job.get("status") in ("ok", "cached", None) else 1
+
+
+def _cmd_watch(args) -> int:
+    import json as json_module
+
+    from repro.serve import ServeClient, ServeError
+
+    client = ServeClient(args.host, args.port, client_id=args.client_id)
+    try:
+        for event in client.watch(count=args.count, timeout=args.timeout):
+            if args.json:
+                print(json_module.dumps(event, sort_keys=True), flush=True)
+                continue
+            kind = event.get("kind")
+            if kind == "run_started":
+                print(
+                    f"[{event.get('seq')}] server up: run {event.get('run_id')} "
+                    f"({event.get('workers')} workers)",
+                    flush=True,
+                )
+            elif kind == "job_finished":
+                print(
+                    f"[{event.get('seq')}] {event.get('benchmark')}: "
+                    f"{event.get('status')} "
+                    f"(attempts={event.get('attempts')}, "
+                    f"wall={event.get('wall_time_s', 0.0):.3f}s)",
+                    flush=True,
+                )
+            else:
+                print(
+                    f"[{event.get('seq')}] server done: "
+                    f"run {event.get('run_id')}",
+                    flush=True,
+                )
+    except ServeError as exc:
+        raise SystemExit(f"watch failed ({exc.status}): {exc}") from None
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse CLI."""
     parser = argparse.ArgumentParser(
@@ -682,6 +797,11 @@ def build_parser() -> argparse.ArgumentParser:
             "--cache-prune", action="store_true",
             help="drop stale-fingerprint cache buckets and crashed-put "
             "tmp files before running (needs --cache-dir)",
+        )
+        p.add_argument(
+            "--cache-max-bytes", type=int, metavar="N",
+            help="LRU-evict cache entries (oldest access first) down to "
+            "this byte budget before running; implies --cache-prune",
         )
 
     p_list = sub.add_parser("list", help="list registered benchmarks")
@@ -933,6 +1053,122 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_machine_args(p_audit)
     p_audit.set_defaults(fn=_cmd_check_audit)
+
+    def _add_client_args(p):
+        p.add_argument(
+            "--host", default="127.0.0.1", help="server host (default: local)"
+        )
+        p.add_argument(
+            "--port", type=int, default=8765,
+            help="server port (default: 8765)",
+        )
+        p.add_argument(
+            "--client-id", metavar="ID",
+            help="client identity for per-client rate limiting",
+        )
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the benchmark server: warm worker pool, request "
+        "dedupe, sharded store, live event subscriptions",
+    )
+    p_serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: local)"
+    )
+    p_serve.add_argument(
+        "--port", type=int, default=8765,
+        help="TCP port; 0 binds an ephemeral port (default: 8765)",
+    )
+    p_serve.add_argument(
+        "--jobs", type=int, default=2, metavar="N",
+        help="resident warm worker processes (default: 2)",
+    )
+    p_serve.add_argument(
+        "--cache-dir", metavar="DIR",
+        help="content-addressed result cache shared with CLI runs",
+    )
+    p_serve.add_argument(
+        "--cache-max-bytes", type=int, metavar="N",
+        help="LRU byte budget for the cache, enforced periodically",
+    )
+    p_serve.add_argument(
+        "--store", metavar="DIR",
+        help="sharded run store directory (records land in per-prefix "
+        "shard files; inspect with the usual `repro engine ...` commands)",
+    )
+    p_serve.add_argument(
+        "--stream", metavar="PATH",
+        help="also append every event to this JSONL file",
+    )
+    p_serve.add_argument(
+        "--max-queue", type=int, default=64, metavar="N",
+        help="bound on concurrently admitted unique jobs; beyond it "
+        "submissions get 429 + Retry-After (default: 64)",
+    )
+    p_serve.add_argument(
+        "--rate-limit", type=float, metavar="R",
+        help="per-client admission rate in requests/second "
+        "(default: unlimited)",
+    )
+    p_serve.add_argument(
+        "--rate-burst", type=int, default=8, metavar="N",
+        help="token-bucket burst per client (default: 8)",
+    )
+    p_serve.add_argument(
+        "--timeout", type=float, metavar="SEC",
+        help="per-attempt job timeout in seconds",
+    )
+    p_serve.add_argument(
+        "--retries", type=int, default=0, metavar="K",
+        help="retries per failed job (default: 0)",
+    )
+    p_serve.set_defaults(fn=_cmd_serve)
+
+    p_submit = sub.add_parser(
+        "submit", help="submit one benchmark run to a repro serve instance"
+    )
+    p_submit.add_argument("name", help="registered benchmark name")
+    p_submit.add_argument(
+        "--param", action="append", metavar="K=V",
+        help="benchmark parameter override (repeatable)",
+    )
+    p_submit.add_argument(
+        "--no-wait", action="store_true",
+        help="return the 202 acknowledgment instead of blocking for "
+        "the result",
+    )
+    p_submit.add_argument(
+        "--timeout", type=float, metavar="SEC",
+        help="seconds to wait server-side before answering 202",
+    )
+    p_submit.add_argument(
+        "--busy-retries", type=int, default=8, metavar="K",
+        help="re-submissions after 429 backpressure, honoring the "
+        "server's Retry-After (default: 8)",
+    )
+    p_submit.add_argument(
+        "--json", action="store_true", help="print the full job payload"
+    )
+    _add_machine_args(p_submit)
+    _add_client_args(p_submit)
+    p_submit.set_defaults(fn=_cmd_submit)
+
+    p_watch = sub.add_parser(
+        "watch", help="follow a repro serve instance's live event stream"
+    )
+    p_watch.add_argument(
+        "--count", type=int, metavar="N",
+        help="stop after N events (default: until the server stops)",
+    )
+    p_watch.add_argument(
+        "--timeout", type=float, metavar="SEC",
+        help="socket timeout while waiting for the next event",
+    )
+    p_watch.add_argument(
+        "--json", action="store_true", help="print raw event JSON lines"
+    )
+    _add_client_args(p_watch)
+    p_watch.set_defaults(fn=_cmd_watch)
     return parser
 
 

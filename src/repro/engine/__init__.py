@@ -39,6 +39,8 @@ from repro.engine.executor import (
     RunResult,
 )
 from repro.engine.jobs import RunRequest, execute_request
+from repro.engine.pool import WorkerPool
+from repro.engine.shards import ShardedRunStore
 from repro.engine.plan import (
     expand_grid,
     machine_sweep_requests,
@@ -56,7 +58,15 @@ from repro.engine.stats import (
     stats_from_results,
     trajectory_point,
 )
-from repro.engine.store import RunStore, diff_runs, keyed_by_benchmark, new_run_id
+from repro.engine.store import (
+    RunStore,
+    StoreReader,
+    diff_runs,
+    keyed_by_benchmark,
+    new_run_id,
+    open_store,
+    write_json_atomic,
+)
 from repro.engine.trace import EngineEvent, Tracer, read_trace
 
 __all__ = [
@@ -71,7 +81,10 @@ __all__ = [
     "RunResult",
     "RunStats",
     "RunStore",
+    "ShardedRunStore",
+    "StoreReader",
     "Tracer",
+    "WorkerPool",
     "code_fingerprint",
     "compare_benchmarks",
     "diff_runs",
@@ -80,8 +93,10 @@ __all__ = [
     "keyed_by_benchmark",
     "machine_sweep_requests",
     "new_run_id",
+    "open_store",
     "plan_suite",
     "read_trace",
+    "write_json_atomic",
     "requests_from_run",
     "stats_from_records",
     "stats_from_results",

@@ -60,13 +60,23 @@ class ResultCache:
         return self.root / self.fingerprint[:16] / f"{request.content_hash()}.json"
 
     def get(self, request: RunRequest) -> Optional[Dict]:
-        """The stored result record, or None on a miss/torn entry."""
+        """The stored result record, or None on a miss/torn entry.
+
+        A hit bumps the entry's mtime (``os.utime``) so LRU eviction
+        (:meth:`prune` with a byte budget) sees true access recency —
+        filesystem atime is unreliable under ``relatime`` mounts.
+        """
         path = self._entry_path(request)
         try:
             with path.open(encoding="utf-8") as fh:
-                return json.load(fh)
+                record = json.load(fh)
         except (OSError, json.JSONDecodeError):
             return None
+        try:
+            os.utime(path)
+        except OSError:  # pragma: no cover - entry raced away
+            pass
+        return record
 
     def put(self, request: RunRequest, record: Dict) -> Path:
         """Store a result record atomically; returns the entry path."""
@@ -109,16 +119,31 @@ class ResultCache:
                 path.unlink()
         return removed
 
-    def prune(self) -> int:
-        """Drop stale-fingerprint buckets and tmp leftovers; file count.
+    def size_bytes(self) -> int:
+        """Total bytes of every entry across every fingerprint bucket."""
+        if not self.root.is_dir():
+            return 0
+        return sum(
+            p.stat().st_size for p in self.root.rglob("*.json") if p.is_file()
+        )
+
+    def prune(self, max_bytes: Optional[int] = None) -> int:
+        """Drop stale buckets, tmp leftovers, and (optionally) LRU-evict.
 
         A code edit moves the cache to a fresh bucket and orphans the
         old one forever, so without pruning the cache directory grows
         unbounded across code revisions.  ``prune`` deletes every
         bucket other than the current fingerprint's, plus any crashed-
         ``put`` temporary files inside the current bucket, and returns
-        the number of files removed.  Entries for the current
-        fingerprint are untouched.
+        the number of files removed.
+
+        ``max_bytes`` additionally bounds the surviving cache: while
+        the current bucket still exceeds the budget, its oldest-access
+        entries (mtime order — :meth:`get` touches entries on hit) are
+        evicted first.  This is what keeps a long-lived server's cache
+        from growing without bound: stale buckets go wholesale, then
+        the live bucket is LRU-trimmed to size.  ``max_bytes=0`` empties
+        the bucket.
         """
         import shutil
 
@@ -132,5 +157,24 @@ class ResultCache:
         if self._bucket.is_dir():
             for path in self._bucket.glob("*.tmp.*"):
                 path.unlink()
+                removed += 1
+        if max_bytes is not None and self._bucket.is_dir():
+            entries = []
+            for path in self._bucket.glob("*.json"):
+                try:
+                    stat = path.stat()
+                except OSError:  # pragma: no cover - entry raced away
+                    continue
+                entries.append((stat.st_mtime, stat.st_size, path))
+            total = sum(size for _, size, _ in entries)
+            entries.sort()  # oldest access first
+            for _, size, path in entries:
+                if total <= max_bytes:
+                    break
+                try:
+                    path.unlink()
+                except OSError:  # pragma: no cover - entry raced away
+                    continue
+                total -= size
                 removed += 1
         return removed

@@ -28,11 +28,16 @@ Test hooks: ``REPRO_ENGINE_INJECT_FAIL=bench:N`` makes attempts
 ``REPRO_ENGINE_INJECT_SLEEP=bench:SECONDS`` delays the job (for
 exercising timeouts); ``REPRO_ENGINE_FORCE_SERIAL=1`` disables the
 process pool.  Hooks apply in workers and in serial mode alike.
+
+The worker-side machinery (payload protocol, injection hooks, pool
+construction) lives in :mod:`repro.engine.pool`, whose resident
+:class:`~repro.engine.pool.WorkerPool` can be shared across engine
+invocations (``Engine(config, pool=...)``) so repeated runs reuse warm
+workers instead of paying spawn + import per suite.
 """
 
 from __future__ import annotations
 
-import os
 import time
 from collections import deque
 from dataclasses import dataclass
@@ -41,103 +46,25 @@ from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.engine.cache import ResultCache
 from repro.engine.jobs import RunRequest, execute_request
-from repro.engine.store import RunStore, make_record, new_run_id
+from repro.engine.pool import (  # noqa: F401  (re-exported compat names)
+    ENV_FORCE_SERIAL,
+    ENV_INJECT_FAIL,
+    ENV_INJECT_SLEEP,
+    InjectedFailure,
+    WorkerPool,
+    _apply_test_hooks,
+    _parse_injection,
+    _pool_supported,
+    _worker_init,
+    _worker_run,
+)
+from repro.engine.store import make_record, new_run_id, open_store
 from repro.engine.trace import Tracer
 from repro.metrics.report import PerfReport
 from repro.metrics.serialize import report_from_dict, report_to_dict
 
-ENV_INJECT_FAIL = "REPRO_ENGINE_INJECT_FAIL"
-ENV_INJECT_SLEEP = "REPRO_ENGINE_INJECT_SLEEP"
-ENV_FORCE_SERIAL = "REPRO_ENGINE_FORCE_SERIAL"
-
 #: Final job statuses.
 STATUSES = ("ok", "failed", "timeout", "cached")
-
-
-class InjectedFailure(RuntimeError):
-    """Raised by the test-only failure-injection hook."""
-
-
-def _parse_injection(spec: str, benchmark: str) -> Optional[float]:
-    """The numeric argument of the entry matching ``benchmark``.
-
-    An exact benchmark match takes precedence over a ``*`` wildcard
-    regardless of spec order, so ``"*:1,bench:3"`` gives ``bench`` its
-    override instead of the catch-all.
-    """
-    wildcard: Optional[float] = None
-    for entry in spec.split(","):
-        entry = entry.strip()
-        if not entry:
-            continue
-        name, _, arg = entry.partition(":")
-        if name not in ("*", benchmark):
-            continue
-        try:
-            value = float(arg) if arg else -1.0
-        except ValueError:
-            value = -1.0
-        if name == benchmark:
-            return value
-        if wildcard is None:
-            wildcard = value
-    return wildcard
-
-
-def _apply_test_hooks(benchmark: str, attempt: int) -> None:
-    """Honor the failure/delay injection environment hooks."""
-    sleep_spec = os.environ.get(ENV_INJECT_SLEEP)
-    if sleep_spec:
-        seconds = _parse_injection(sleep_spec, benchmark)
-        if seconds is not None and seconds > 0:
-            time.sleep(seconds)
-    fail_spec = os.environ.get(ENV_INJECT_FAIL)
-    if fail_spec:
-        upto = _parse_injection(fail_spec, benchmark)
-        if upto is not None and (upto < 0 or attempt <= upto):
-            raise InjectedFailure(
-                f"injected failure for {benchmark!r} (attempt {attempt})"
-            )
-
-
-def _worker_init() -> None:
-    """Process-pool initializer: pre-import the benchmark stack.
-
-    Importing ``repro`` (numpy, the registry, every app module) costs
-    hundreds of milliseconds; paying it once per worker at pool startup
-    instead of inside the first ``_worker_run`` keeps the first wave of
-    jobs from all serializing behind cold imports and from counting
-    import time against their per-job timeout.
-    """
-    import repro.suite.registry  # noqa: F401  (side effect: full import)
-
-
-def _worker_run(payload: Dict) -> Dict:
-    """Process-pool entry point: execute one request attempt.
-
-    Takes and returns only JSON-safe dictionaries so the engine's
-    parallel and serial paths share one serialization (and the pickle
-    crossing stays trivial).  When the payload asks for spans, the
-    worker attaches a :class:`repro.obs.SpanCollector` and forwards its
-    compact summary — the report itself is unaffected (observers are
-    read-only).
-    """
-    request = RunRequest.from_dict(payload["request"])
-    _apply_test_hooks(request.benchmark, payload["attempt"])
-    collector = None
-    if payload.get("spans"):
-        from repro.obs import SpanCollector
-
-        collector = SpanCollector()
-    start = time.perf_counter()
-    report = execute_request(request, observer=collector)
-    result = {
-        "report": report_to_dict(report),
-        "compute_time_s": time.perf_counter() - start,
-    }
-    if collector is not None:
-        result["spans"] = collector.finalize().summary()
-    return result
 
 
 @dataclass
@@ -179,6 +106,9 @@ class EngineConfig:
     cache_dir: Optional[Union[str, Path]] = None
     #: drop stale-fingerprint cache buckets before running
     cache_prune: bool = False
+    #: LRU-evict cache entries (oldest access first) down to this byte
+    #: budget before running; implies pruning stale buckets
+    cache_max_bytes: Optional[int] = None
     store: Optional[Union[str, Path]] = None
     trace: Optional[Union[str, Path]] = None
     #: serial in-process mode only: let job exceptions propagate to the
@@ -198,20 +128,6 @@ class EngineConfig:
         return self.spans or self.stream is not None
 
 
-def _pool_supported() -> bool:
-    """Whether a process pool can be used on this platform."""
-    if os.environ.get(ENV_FORCE_SERIAL):
-        return False
-    try:
-        import concurrent.futures  # noqa: F401
-        import multiprocessing
-
-        multiprocessing.get_context()
-    except Exception:  # pragma: no cover - platform-specific
-        return False
-    return True
-
-
 class Engine:
     """Parallel, cached, fault-tolerant executor of run requests."""
 
@@ -221,13 +137,17 @@ class Engine:
         *,
         tracer: Optional[Tracer] = None,
         progress: Optional[Callable[[RunResult], None]] = None,
+        pool: Optional[WorkerPool] = None,
     ) -> None:
         self.config = config or EngineConfig()
         self.tracer = tracer or Tracer(self.config.trace)
         self.progress = progress
+        #: a resident :class:`WorkerPool` shared across invocations;
+        #: when given, the engine submits to it and never shuts it down
+        self.pool = pool
         #: :class:`~repro.engine.stats.RunStats` of the latest ``run()``
         self.last_run_stats = None
-        self._store: Optional[RunStore] = None
+        self._store = None
         self._run_id: Optional[str] = None
         self._stream = None
 
@@ -252,7 +172,7 @@ class Engine:
         cache = (
             ResultCache(config.cache_dir) if config.cache_dir is not None else None
         )
-        store = RunStore(config.store) if config.store is not None else None
+        store = open_store(config.store) if config.store is not None else None
         results: List[Optional[RunResult]] = [None] * len(requests)
         self._store = store
         self._run_id = run_id
@@ -264,8 +184,10 @@ class Engine:
 
         try:
             pruned = 0
-            if cache is not None and config.cache_prune:
-                pruned = cache.prune()
+            if cache is not None and (
+                config.cache_prune or config.cache_max_bytes is not None
+            ):
+                pruned = cache.prune(max_bytes=config.cache_max_bytes)
             self.tracer.emit(
                 "run_started", detail=run_id, jobs=config.jobs, n=len(requests)
             )
@@ -298,14 +220,17 @@ class Engine:
             lookup_done = time.perf_counter()
 
             use_pool = bool(pending) and (
-                config.jobs > 1
+                (config.jobs > 1 or self.pool is not None)
                 and session_factory is None
                 and not config.raise_on_error
                 and _pool_supported()
             )
+            workers_used = 1
             if pending:
                 if use_pool:
-                    self._run_pool(requests, pending, results, cache)
+                    workers_used = self._run_pool(
+                        requests, pending, results, cache
+                    )
                 else:
                     self._run_serial(
                         requests, pending, results, cache, session_factory
@@ -316,7 +241,7 @@ class Engine:
             stats = stats_from_results(
                 run_id,
                 final,
-                workers=config.jobs if use_pool else 1,
+                workers=workers_used if use_pool else 1,
                 duration_s=now - started,
                 phases={
                     "cache_lookup_s": lookup_done - started,
@@ -512,21 +437,24 @@ class Engine:
                 self._finish(request, result)
                 break
 
-    # -- process-pool path ----------------------------------------------
+    # -- worker-pool path -----------------------------------------------
     def _run_pool(
         self,
         requests: Sequence[RunRequest],
         indices: Sequence[int],
         results: List[Optional[RunResult]],
         cache: Optional[ResultCache],
-    ) -> None:
-        """Fan requests out over a process pool with timeout + retry.
+    ) -> int:
+        """Fan requests out over a worker pool with timeout + retry.
 
-        At most ``jobs`` requests are in flight, so a job's deadline
-        starts when it is handed to the pool.  A timed-out job that the
-        pool cannot cancel forces a pool restart (the stuck worker is
-        abandoned); in-flight siblings are resubmitted at the same
-        attempt number.
+        The pool is either the engine's resident :class:`WorkerPool`
+        (``Engine(..., pool=...)`` — reused across invocations, never
+        shut down here) or a private one created and torn down for this
+        run.  At most ``workers`` requests are in flight, so a job's
+        deadline starts when it is handed to the pool.  A timed-out job
+        that the pool cannot cancel forces a pool restart (the stuck
+        worker is abandoned); in-flight siblings are resubmitted at the
+        same attempt number.
 
         Retry backoff never blocks this scheduler loop: a retried job
         re-enters the queue as ``(index, attempt, not_before)`` and is
@@ -534,17 +462,20 @@ class Engine:
         completions and enforcing sibling timeouts.  Queue entries are
         ``(index, attempt, not_before)`` with ``not_before=None`` for
         immediately-runnable jobs.
+
+        Returns the worker count actually used (the resident pool's
+        size may differ from ``config.jobs``).
         """
         import concurrent.futures as cf
 
         config = self.config
+        owned = self.pool is None
         try:
-            pool = cf.ProcessPoolExecutor(
-                max_workers=config.jobs, initializer=_worker_init
-            )
+            pool = self.pool or WorkerPool(config.jobs)
         except Exception:  # pragma: no cover - restricted platforms
             self._run_serial(requests, indices, results, cache, None)
-            return
+            return 1
+        workers = pool.workers
 
         queue = deque((index, 1, None) for index in indices)
         inflight: Dict[object, tuple] = {}
@@ -555,13 +486,10 @@ class Engine:
 
         def submit(index: int, attempt: int) -> None:
             request = requests[index]
-            payload = {
-                "request": request.to_dict(),
-                "attempt": attempt,
-                "spans": config.collect_spans,
-            }
             self.tracer.emit("job_started", request, attempt=attempt)
-            future = pool.submit(_worker_run, payload)
+            future = pool.submit(
+                request, attempt=attempt, spans=config.collect_spans
+            )
             deadline = (
                 time.perf_counter() + config.timeout
                 if config.timeout is not None
@@ -600,7 +528,7 @@ class Engine:
             while queue or inflight:
                 now = time.perf_counter()
                 deferred = []
-                while queue and len(inflight) < config.jobs:
+                while queue and len(inflight) < workers:
                     index, attempt, not_before = queue.popleft()
                     if not_before is not None and now < not_before:
                         deferred.append((index, attempt, not_before))
@@ -682,14 +610,14 @@ class Engine:
                     )
                 if needs_restart:
                     # A running worker cannot be cancelled; abandon the
-                    # pool and resubmit the surviving in-flight jobs.
+                    # pool's executor and resubmit the surviving
+                    # in-flight jobs against fresh workers.
                     survivors = list(inflight.values())
                     inflight.clear()
-                    pool.shutdown(wait=False, cancel_futures=True)
-                    pool = cf.ProcessPoolExecutor(
-                        max_workers=config.jobs, initializer=_worker_init
-                    )
+                    pool.restart()
                     for index, attempt, _, _ in survivors:
                         queue.appendleft((index, attempt, None))
         finally:
-            pool.shutdown(wait=False, cancel_futures=True)
+            if owned:
+                pool.shutdown(wait=False)
+        return workers

@@ -1,0 +1,270 @@
+"""Resident worker pools: warm workers that outlive a single run.
+
+Historically each :meth:`Engine.run` invocation created (and tore down)
+its own process pool, so every suite paid worker spawn plus the full
+``repro`` import cost again.  A :class:`WorkerPool` inverts that: the
+pool is created once, its workers pre-import the benchmark stack via
+the initializer, and any number of engine invocations — or the
+long-lived ``repro serve`` server — submit requests against the same
+resident workers.  This is what makes the serve layer's throughput
+story real: after the first job, every subsequent job starts on a warm
+interpreter.
+
+The pool degrades to an in-process thread pool when multiprocessing is
+unavailable (restricted platforms, ``REPRO_ENGINE_FORCE_SERIAL=1``);
+the submission API is identical either way, and thread-mode results
+are byte-identical because workers execute the same
+:func:`_worker_run` payload protocol.
+
+Test hooks (``REPRO_ENGINE_INJECT_FAIL``/``REPRO_ENGINE_INJECT_SLEEP``)
+are honored inside workers exactly as in the serial path; see
+:mod:`repro.engine.executor` for their syntax.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import threading
+import time
+from typing import Dict, Optional
+
+from repro.engine.jobs import RunRequest
+
+ENV_INJECT_FAIL = "REPRO_ENGINE_INJECT_FAIL"
+ENV_INJECT_SLEEP = "REPRO_ENGINE_INJECT_SLEEP"
+ENV_FORCE_SERIAL = "REPRO_ENGINE_FORCE_SERIAL"
+
+
+class InjectedFailure(RuntimeError):
+    """Raised by the test-only failure-injection hook."""
+
+
+def _parse_injection(spec: str, benchmark: str) -> Optional[float]:
+    """The numeric argument of the entry matching ``benchmark``.
+
+    An exact benchmark match takes precedence over a ``*`` wildcard
+    regardless of spec order, so ``"*:1,bench:3"`` gives ``bench`` its
+    override instead of the catch-all.
+    """
+    wildcard: Optional[float] = None
+    for entry in spec.split(","):
+        entry = entry.strip()
+        if not entry:
+            continue
+        name, _, arg = entry.partition(":")
+        if name not in ("*", benchmark):
+            continue
+        try:
+            value = float(arg) if arg else -1.0
+        except ValueError:
+            value = -1.0
+        if name == benchmark:
+            return value
+        if wildcard is None:
+            wildcard = value
+    return wildcard
+
+
+def _apply_test_hooks(benchmark: str, attempt: int) -> None:
+    """Honor the failure/delay injection environment hooks."""
+    sleep_spec = os.environ.get(ENV_INJECT_SLEEP)
+    if sleep_spec:
+        seconds = _parse_injection(sleep_spec, benchmark)
+        if seconds is not None and seconds > 0:
+            time.sleep(seconds)
+    fail_spec = os.environ.get(ENV_INJECT_FAIL)
+    if fail_spec:
+        upto = _parse_injection(fail_spec, benchmark)
+        if upto is not None and (upto < 0 or attempt <= upto):
+            raise InjectedFailure(
+                f"injected failure for {benchmark!r} (attempt {attempt})"
+            )
+
+
+def _worker_init() -> None:
+    """Process-pool initializer: pre-import the benchmark stack.
+
+    Importing ``repro`` (numpy, the registry, every app module) costs
+    hundreds of milliseconds; paying it once per worker at pool startup
+    instead of inside the first ``_worker_run`` keeps the first wave of
+    jobs from all serializing behind cold imports and from counting
+    import time against their per-job timeout.
+    """
+    import repro.suite.registry  # noqa: F401  (side effect: full import)
+
+
+def _worker_run(payload: Dict) -> Dict:
+    """Worker entry point: execute one request attempt.
+
+    Takes and returns only JSON-safe dictionaries so the engine's
+    parallel and serial paths share one serialization (and the pickle
+    crossing stays trivial).  When the payload asks for spans, the
+    worker attaches a :class:`repro.obs.SpanCollector` and forwards its
+    compact summary — the report itself is unaffected (observers are
+    read-only).
+    """
+    from repro.engine.jobs import execute_request
+    from repro.metrics.serialize import report_to_dict
+
+    request = RunRequest.from_dict(payload["request"])
+    _apply_test_hooks(request.benchmark, payload["attempt"])
+    collector = None
+    if payload.get("spans"):
+        from repro.obs import SpanCollector
+
+        collector = SpanCollector()
+    start = time.perf_counter()
+    report = execute_request(request, observer=collector)
+    result = {
+        "report": report_to_dict(report),
+        "compute_time_s": time.perf_counter() - start,
+    }
+    if collector is not None:
+        result["spans"] = collector.finalize().summary()
+    return result
+
+
+def _pool_supported() -> bool:
+    """Whether a process pool can be used on this platform."""
+    if os.environ.get(ENV_FORCE_SERIAL):
+        return False
+    try:
+        import concurrent.futures  # noqa: F401
+        import multiprocessing
+
+        multiprocessing.get_context()
+    except Exception:  # pragma: no cover - platform-specific
+        return False
+    return True
+
+
+def _noop() -> bool:
+    """Warmup probe: returns once the worker exists (and has imported)."""
+    return True
+
+
+class WorkerPool:
+    """A resident pool of warm benchmark workers.
+
+    The pool outlives any single engine invocation: create it once,
+    hand it to any number of :class:`~repro.engine.executor.Engine`
+    runs (``Engine(config, pool=...)``) or to the ``repro serve``
+    scheduler, and shut it down when the process exits.  Submissions
+    return :class:`concurrent.futures.Future` objects resolving to the
+    worker payload dictionary (``report``, ``compute_time_s``, and
+    optionally ``spans``); :meth:`submit_async` bridges the same future
+    into asyncio for the serve layer.
+
+    ``restart()`` abandons the current executor (stuck workers and all)
+    and provisions a fresh one — the timeout-recovery path.  The pool
+    object itself stays valid across restarts.
+    """
+
+    def __init__(self, workers: int = 1) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.process_based = _pool_supported()
+        self._lock = threading.Lock()
+        self._executor = None
+        self._generation = 0
+        self._closed = False
+
+    # -- lifecycle ------------------------------------------------------
+    def _make_executor(self):
+        import concurrent.futures as cf
+
+        if self.process_based:
+            try:
+                return cf.ProcessPoolExecutor(
+                    max_workers=self.workers, initializer=_worker_init
+                )
+            except Exception:  # pragma: no cover - restricted platforms
+                self.process_based = False
+        return cf.ThreadPoolExecutor(max_workers=self.workers)
+
+    def _ensure(self):
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("worker pool is shut down")
+            if self._executor is None:
+                self._executor = self._make_executor()
+                self._generation += 1
+            return self._executor
+
+    @property
+    def generation(self) -> int:
+        """How many executors this pool has provisioned (restarts + 1)."""
+        return self._generation
+
+    def warmup(self, timeout: Optional[float] = None) -> float:
+        """Force every worker to start (and import); seconds taken.
+
+        Submitting ``workers`` no-op tasks makes the process pool spawn
+        its full complement and run the pre-importing initializer, so
+        the first real job finds warm interpreters.  Safe to call more
+        than once; later calls are near-free.
+        """
+        import concurrent.futures as cf
+
+        executor = self._ensure()
+        started = time.perf_counter()
+        futures = [executor.submit(_noop) for _ in range(self.workers)]
+        cf.wait(futures, timeout=timeout)
+        return time.perf_counter() - started
+
+    def restart(self) -> None:
+        """Abandon the current executor and provision a fresh one.
+
+        The recovery path for stuck workers: a running job cannot be
+        cancelled, so the whole executor is dropped (``wait=False``)
+        and subsequent submissions go to new workers.  In-flight
+        futures of the abandoned executor may still complete or may be
+        cancelled — callers resubmit what they still need.
+        """
+        with self._lock:
+            old, self._executor = self._executor, None
+        if old is not None:
+            old.shutdown(wait=False, cancel_futures=True)
+
+    def shutdown(self, wait: bool = False) -> None:
+        """Shut the pool down; further submissions raise."""
+        with self._lock:
+            old, self._executor = self._executor, None
+            self._closed = True
+        if old is not None:
+            old.shutdown(wait=wait, cancel_futures=True)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    # -- submission -----------------------------------------------------
+    def submit(
+        self,
+        request: RunRequest,
+        *,
+        attempt: int = 1,
+        spans: bool = False,
+    ):
+        """Submit one request attempt; a future of the worker payload."""
+        payload = {
+            "request": request.to_dict(),
+            "attempt": attempt,
+            "spans": spans,
+        }
+        return self._ensure().submit(_worker_run, payload)
+
+    async def submit_async(
+        self,
+        request: RunRequest,
+        *,
+        attempt: int = 1,
+        spans: bool = False,
+    ) -> Dict:
+        """Asyncio bridge over :meth:`submit` (the serve layer's API)."""
+        future = self.submit(request, attempt=attempt, spans=spans)
+        return await asyncio.wrap_future(future)

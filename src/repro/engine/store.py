@@ -27,41 +27,55 @@ def new_run_id() -> str:
     return f"{int(time.time() * 1000):013x}-{os.urandom(4).hex()}"
 
 
-class RunStore:
-    """One append-only JSONL file of run records."""
+def write_json_atomic(path: Path, record: Dict) -> Path:
+    """Serialize ``record`` to ``path`` via tmp file + atomic rename.
 
-    def __init__(self, path: Union[str, Path]) -> None:
-        self.path = Path(path)
+    Concurrent writers (two engines sharing a store, the serve
+    scheduler refreshing a sidecar per completion) each write their own
+    ``*.tmp.<pid>`` and rename into place, so readers never see a torn
+    or interleaved document — the same convention the result cache
+    uses.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(f".tmp.{os.getpid()}")
+    tmp.write_text(
+        json.dumps(record, sort_keys=True, indent=2), encoding="utf-8"
+    )
+    os.replace(tmp, path)
+    return path
 
-    # -- writing --------------------------------------------------------
-    def append(self, record: Dict) -> None:
-        """Append one record (a single JSON line, flushed)."""
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        with self.path.open("a", encoding="utf-8") as fh:
-            fh.write(json.dumps(record, sort_keys=True) + "\n")
 
-    def extend(self, records: Iterable[Dict]) -> None:
-        """Append many records in one file handle."""
-        records = list(records)
-        if not records:
-            return
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        with self.path.open("a", encoding="utf-8") as fh:
-            for record in records:
-                fh.write(json.dumps(record, sort_keys=True) + "\n")
+def open_store(path: Union[str, Path]):
+    """Open the right store flavor for ``path``.
 
-    # -- reading --------------------------------------------------------
-    def records(self) -> List[Dict]:
-        """All records in append order (empty if the file is missing)."""
-        if not self.path.exists():
-            return []
-        out = []
-        with self.path.open(encoding="utf-8") as fh:
-            for line in fh:
-                line = line.strip()
-                if line:
-                    out.append(json.loads(line))
-        return out
+    An existing directory (or one carrying the sharded-store marker)
+    opens as a :class:`~repro.engine.shards.ShardedRunStore`; anything
+    else keeps the historical single-file :class:`RunStore` contract.
+    The engine and every ``engine ...`` CLI command go through here, so
+    a sharded store created by ``repro serve`` is inspectable with the
+    same commands as a flat one.
+    """
+    from repro.engine.shards import ShardedRunStore
+
+    p = Path(path)
+    if p.is_dir():
+        return ShardedRunStore(p)
+    return RunStore(p)
+
+
+class StoreReader:
+    """Read-side store API shared by flat and sharded stores.
+
+    Concrete stores provide :meth:`records` (all records, oldest
+    first) and a ``stats_dir`` property; everything else — run
+    grouping, reference resolution, plan-order reconstruction, history
+    filtering, sidecar reads — is store-layout independent.
+    """
+
+    path: Path
+
+    def records(self) -> List[Dict]:  # pragma: no cover - abstract
+        raise NotImplementedError
 
     def run_ids(self) -> List[str]:
         """Distinct run ids in first-seen order."""
@@ -130,13 +144,15 @@ class RunStore:
         return self.path.with_name(self.path.name + ".stats")
 
     def write_stats(self, run_id: str, record: Dict) -> Path:
-        """Serialize one run's stats record next to the store."""
-        self.stats_dir.mkdir(parents=True, exist_ok=True)
-        path = self.stats_dir / f"{run_id}.json"
-        path.write_text(
-            json.dumps(record, sort_keys=True, indent=2), encoding="utf-8"
-        )
-        return path
+        """Serialize one run's stats record next to the store.
+
+        Crash-safe under concurrent writers: the record lands via
+        per-pid tmp file + atomic rename (:func:`write_json_atomic`),
+        so two engines sharing a store can never interleave sidecar
+        bytes, and a killed writer leaves at worst a stale ``*.tmp.*``
+        file — never a torn sidecar.
+        """
+        return write_json_atomic(self.stats_dir / f"{run_id}.json", record)
 
     def read_stats(self, run_id: str) -> Optional[Dict]:
         """The stats sidecar of one run, or None if never written."""
@@ -159,6 +175,43 @@ class RunStore:
         if limit is not None and limit >= 0:
             records = records[-limit:]
         return records
+
+
+class RunStore(StoreReader):
+    """One append-only JSONL file of run records."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+
+    # -- writing --------------------------------------------------------
+    def append(self, record: Dict) -> None:
+        """Append one record (a single JSON line, flushed)."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as fh:
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+
+    def extend(self, records: Iterable[Dict]) -> None:
+        """Append many records in one file handle."""
+        records = list(records)
+        if not records:
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as fh:
+            for record in records:
+                fh.write(json.dumps(record, sort_keys=True) + "\n")
+
+    # -- reading --------------------------------------------------------
+    def records(self) -> List[Dict]:
+        """All records in append order (empty if the file is missing)."""
+        if not self.path.exists():
+            return []
+        out = []
+        with self.path.open(encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if line:
+                    out.append(json.loads(line))
+        return out
 
 
 def make_record(run_id: str, result) -> Dict:

@@ -36,12 +36,24 @@ from repro.obs.spans import (
     Span,
     SpanCollector,
 )
-from repro.obs.stream import STREAM_EVENT_KINDS, EventStream, read_stream
+from repro.obs.stream import (
+    STREAM_EVENT_KINDS,
+    EventFanout,
+    EventStream,
+    StreamRead,
+    Subscription,
+    read_stream,
+    read_stream_partial,
+    validate_stream,
+)
 
 __all__ = [
     "SPAN_SUMMARY_SCHEMA",
     "STREAM_EVENT_KINDS",
+    "EventFanout",
     "EventStream",
+    "StreamRead",
+    "Subscription",
     "RegionMirror",
     "Slice",
     "Span",
@@ -51,7 +63,9 @@ __all__ = [
     "folded_stacks",
     "profile_lines",
     "read_stream",
+    "read_stream_partial",
     "render_profile",
+    "validate_stream",
     "validate_chrome_trace",
     "write_chrome_trace",
     "write_folded",

@@ -1,0 +1,53 @@
+"""repro.serve — a long-lived benchmark-as-a-service run server.
+
+The ROADMAP's "heavy traffic" milestone: the execution engine wrapped
+in an asyncio HTTP/JSONL service so many concurrent clients share one
+warm engine instead of each paying pool spawn + import per run.
+
+* :mod:`repro.serve.server` — :class:`ServeApp`, the asyncio server:
+  request dedup (in-flight coalescing + content-hash cache), a
+  resident :class:`~repro.engine.pool.WorkerPool`, admission control
+  (bounded queue with 429 + Retry-After, per-client token-bucket rate
+  limiting), sharded run-store persistence, and live event fan-out to
+  subscribers;
+* :mod:`repro.serve.client` — :class:`ServeClient`, the stdlib socket
+  client the CLI (``repro submit`` / ``repro watch``) and the tests
+  drive the server with;
+* :mod:`repro.serve.protocol` — the wire format: endpoints, submit
+  body, job payloads, error shapes;
+* :mod:`repro.serve.state` — in-memory scheduler state: jobs, dedupe
+  maps, counters, the rate limiter.
+
+Quickstart::
+
+    from repro.serve import ServeConfig, ServerThread, ServeClient
+
+    with ServerThread(ServeConfig(port=0, workers=2)) as (host, port):
+        client = ServeClient(host, port)
+        payload = client.submit({"benchmark": "n-body", "params": {"n": 16}})
+        print(payload["report"]["busy_time_s"])
+
+Results are metrics-identical to CLI runs: workers execute the same
+``execute_request`` path and return the same canonical report JSON
+(see ``docs/SERVE.md``).
+"""
+
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.protocol import API_VERSION, JOB_STATES, ProtocolError
+from repro.serve.server import ServeApp, ServeConfig, ServerThread, run_server
+from repro.serve.state import Job, ServerCounters, TokenBucket
+
+__all__ = [
+    "API_VERSION",
+    "JOB_STATES",
+    "Job",
+    "ProtocolError",
+    "ServeApp",
+    "ServeClient",
+    "ServeConfig",
+    "ServeError",
+    "ServerCounters",
+    "ServerThread",
+    "TokenBucket",
+    "run_server",
+]

@@ -1,0 +1,215 @@
+"""Stdlib HTTP client for the run server.
+
+:class:`ServeClient` is what ``repro submit`` / ``repro watch`` and the
+test-suite drive the server with — one short-lived
+``http.client.HTTPConnection`` per call (the server closes connections
+after each response), plus a streaming reader for ``/events``.
+
+Backpressure is part of the protocol, so it is part of the client: a
+429 raises :class:`ServeError` carrying the server's ``Retry-After``,
+and :meth:`ServeClient.submit` can honor it automatically
+(``busy_retries``) so a fleet of clients self-paces against a bounded
+queue instead of failing.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Dict, Iterator, Optional, Union
+from urllib.parse import quote
+
+from repro.engine.jobs import RunRequest
+
+
+class ServeError(RuntimeError):
+    """A non-2xx answer from the server."""
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        status: int = 0,
+        retry_after: Optional[float] = None,
+        body: Optional[Dict] = None,
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        #: seconds the server asked us to back off (429 responses)
+        self.retry_after = retry_after
+        self.body = body or {}
+
+    @property
+    def busy(self) -> bool:
+        """Whether this is retryable backpressure, not a hard error."""
+        return self.status == 429
+
+
+class ServeClient:
+    """Minimal blocking client of one ``repro serve`` instance."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        client_id: Optional[str] = None,
+        timeout: float = 60.0,
+    ) -> None:
+        self.host = host
+        self.port = int(port)
+        self.client_id = client_id
+        self.timeout = timeout
+
+    # -- transport ------------------------------------------------------
+    def _headers(self) -> Dict[str, str]:
+        headers = {"Accept": "application/json"}
+        if self.client_id:
+            headers["X-Client-Id"] = self.client_id
+        return headers
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict] = None,
+        *,
+        timeout: Optional[float] = None,
+    ) -> Dict:
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=timeout or self.timeout
+        )
+        try:
+            headers = self._headers()
+            encoded = None
+            if body is not None:
+                encoded = json.dumps(body).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=encoded, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+            try:
+                payload = json.loads(raw.decode("utf-8")) if raw else {}
+            except json.JSONDecodeError:
+                payload = {"error": raw.decode("utf-8", "replace")[:200]}
+            if response.status >= 400:
+                retry_after = response.headers.get("Retry-After")
+                raise ServeError(
+                    payload.get("error", f"HTTP {response.status}"),
+                    status=response.status,
+                    retry_after=(
+                        float(retry_after) if retry_after is not None else None
+                    ),
+                    body=payload,
+                )
+            return payload
+        finally:
+            conn.close()
+
+    # -- endpoints ------------------------------------------------------
+    def health(self) -> Dict:
+        """``GET /healthz``."""
+        return self._request("GET", "/healthz")
+
+    def stats(self) -> Dict:
+        """``GET /stats`` — scheduler counters and queue state."""
+        return self._request("GET", "/stats")
+
+    def submit(
+        self,
+        request: Union[RunRequest, Dict],
+        *,
+        wait: bool = True,
+        timeout: Optional[float] = None,
+        busy_retries: int = 0,
+    ) -> Dict:
+        """``POST /submit`` one run request; returns the job payload.
+
+        ``request`` may be a :class:`RunRequest` or its dictionary
+        form.  With ``wait`` (default) the call blocks until the job
+        completes and the payload carries the canonical ``report``.
+        ``busy_retries`` re-submits after a 429, sleeping the server's
+        ``Retry-After`` between tries — the polite loop every load
+        generator should run.
+        """
+        if isinstance(request, RunRequest):
+            request = request.to_dict()
+        body: Dict[str, object] = {"request": dict(request), "wait": wait}
+        if timeout is not None:
+            body["timeout"] = timeout
+        attempts = 0
+        while True:
+            try:
+                return self._request("POST", "/submit", body)
+            except ServeError as exc:
+                if not exc.busy or attempts >= busy_retries:
+                    raise
+                attempts += 1
+                time.sleep(min(5.0, exc.retry_after or 0.05))
+
+    def result(
+        self,
+        request_hash: str,
+        *,
+        wait: bool = False,
+        timeout: Optional[float] = None,
+    ) -> Dict:
+        """``GET /result/<hash>`` — fetch a job by request hash."""
+        path = f"/result/{quote(request_hash)}"
+        params = []
+        if wait:
+            params.append("wait=1")
+        if timeout is not None:
+            params.append(f"timeout={timeout:g}")
+        if params:
+            path += "?" + "&".join(params)
+        return self._request("GET", path)
+
+    def watch(
+        self,
+        *,
+        count: Optional[int] = None,
+        timeout: Optional[float] = None,
+    ) -> Iterator[Dict]:
+        """``GET /events`` — yield live events as they are emitted.
+
+        A long-lived generator over the ndjson stream; ends when the
+        server shuts down, the connection drops, or ``count`` events
+        have arrived.
+        """
+        path = "/events" if count is None else f"/events?count={count}"
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=timeout or self.timeout
+        )
+        try:
+            conn.request("GET", path, headers=self._headers())
+            response = conn.getresponse()
+            if response.status != 200:
+                raw = response.read()
+                raise ServeError(
+                    f"HTTP {response.status} on /events: "
+                    f"{raw.decode('utf-8', 'replace')[:200]}",
+                    status=response.status,
+                )
+            while True:
+                try:
+                    line = response.readline()
+                except (TimeoutError, OSError):
+                    # no event within the socket timeout (or the server
+                    # went away): the stream is over for this watcher
+                    return
+                if not line:
+                    return
+                line = line.strip()
+                if line:
+                    yield json.loads(line.decode("utf-8"))
+        finally:
+            conn.close()
+
+    def shutdown(self) -> Dict:
+        """``POST /shutdown`` — ask the server to stop."""
+        return self._request("POST", "/shutdown")
+
+
+__all__ = ["ServeClient", "ServeError"]

@@ -1,0 +1,130 @@
+"""Wire protocol of the run server.
+
+Plain HTTP/1.1 with JSON bodies — every response is a single JSON
+document except ``GET /events``, which is a long-lived
+``application/x-ndjson`` stream of :mod:`repro.obs.stream` events (one
+JSON object per line, flushed per event, connection held open).
+
+Endpoints
+---------
+
+``GET /healthz``
+    Liveness: server identity, uptime, pool state.
+``GET /stats``
+    Scheduler counters (submissions, dedupe hits, rejections), queue
+    depth, cache/pool/store configuration.
+``POST /submit``
+    Body: ``{"request": {...RunRequest dict...}, "wait": true}``.
+    Dedupes against in-flight and completed work by request content
+    hash.  With ``wait`` (default) the response is the completed job
+    payload (status 200); without it, an acknowledgment (202) carrying
+    the job state.  Admission control answers 429 with a
+    ``Retry-After`` header when the queue is full or the client is
+    over its rate budget.
+``GET /result/<hash>``
+    Completed payload for a request hash (200), a pending
+    acknowledgment (202, with ``?wait=1`` blocking up to ``timeout``
+    seconds), or 404 for a hash the server has never seen.
+``GET /events``
+    Subscribe to the live event stream (``run_started`` replayed on
+    join, then ``job_finished`` per completion, ``run_finished`` at
+    shutdown).  ``?count=N`` closes the stream after N events.
+``POST /shutdown``
+    Graceful stop: drains nothing, rejects new work, closes streams.
+
+Job payloads
+------------
+
+``{"api": 1, "job": {request_hash, benchmark, state, status, attempts,
+wall_time_s, source, coalesced, error}, "report": {...}, "spans": ...}``
+
+``state`` is the scheduler's view (:data:`JOB_STATES`); ``status`` is
+the engine-result status (``ok``/``failed``/``timeout``) once done.
+``source`` says how the payload was produced: ``executed`` (a worker
+ran it), ``cache`` (served from the content-hash cache or completed
+memory), or ``coalesced`` (attached to an identical in-flight job).
+The ``report`` dictionary is byte-for-byte the canonical report JSON a
+CLI run of the same request produces.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.engine.jobs import RunRequest
+
+#: Protocol version, carried in every JSON response.
+API_VERSION = 1
+
+#: Scheduler-side job states, in lifecycle order.
+JOB_STATES = ("queued", "running", "done")
+
+#: How a returned payload was produced.
+RESULT_SOURCES = ("executed", "cache", "coalesced")
+
+
+class ProtocolError(ValueError):
+    """A malformed client request; carries the HTTP status to answer."""
+
+    def __init__(self, message: str, *, status: int = 400) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+def parse_submit(body: object) -> Tuple[RunRequest, bool, Optional[float]]:
+    """Validate a ``POST /submit`` body into (request, wait, timeout).
+
+    The request dictionary goes through :meth:`RunRequest.from_dict`,
+    so the server rejects exactly what the CLI would (unknown tiers,
+    non-scalar params, conflicting seeds) — with a 400, not a worker
+    crash.
+    """
+    if not isinstance(body, Mapping):
+        raise ProtocolError("submit body must be a JSON object")
+    raw = body.get("request")
+    if not isinstance(raw, Mapping):
+        raise ProtocolError('submit body must carry a "request" object')
+    if "benchmark" not in raw:
+        raise ProtocolError('request must name a "benchmark"')
+    try:
+        request = RunRequest.from_dict(raw)
+    except (TypeError, ValueError, KeyError) as exc:
+        raise ProtocolError(f"bad run request: {exc}") from None
+    wait = bool(body.get("wait", True))
+    timeout = body.get("timeout")
+    if timeout is not None:
+        try:
+            timeout = float(timeout)
+        except (TypeError, ValueError):
+            raise ProtocolError(f"bad timeout {timeout!r}") from None
+        if timeout <= 0:
+            raise ProtocolError("timeout must be positive")
+    return request, wait, timeout
+
+
+def job_payload(job, *, source: str) -> Dict:
+    """The JSON payload describing one job to a client."""
+    payload: Dict[str, object] = {
+        "api": API_VERSION,
+        "job": {
+            "request_hash": job.request_hash,
+            "benchmark": job.request.benchmark,
+            "state": job.state,
+            "status": job.status,
+            "attempts": job.attempts,
+            "wall_time_s": job.wall_time_s,
+            "source": source,
+            "coalesced": job.coalesced,
+            "error": job.error or None,
+        },
+    }
+    if job.report_record is not None:
+        payload["report"] = job.report_record
+    if job.spans is not None:
+        payload["spans"] = job.spans
+    return payload
+
+
+def error_payload(message: str, **extra) -> Dict:
+    """The JSON body of an error response."""
+    return {"api": API_VERSION, "error": message, **extra}

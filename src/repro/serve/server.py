@@ -1,0 +1,671 @@
+"""The asyncio run server: dedupe, warm pool, admission, fan-out.
+
+One :class:`ServeApp` owns one event loop, one resident
+:class:`~repro.engine.pool.WorkerPool`, one content-hash
+:class:`~repro.engine.cache.ResultCache`, one sharded run store, and
+one :class:`~repro.obs.stream.EventFanout`.  Every client connection is
+a coroutine; every unique request hash is at most one worker execution,
+no matter how many clients ask for it concurrently:
+
+1. **rate limit** — the per-client token bucket answers 429 +
+   ``Retry-After`` before any work is considered;
+2. **dedupe, completed** — a hash already answered this server
+   lifetime (or present in the disk cache) is served back instantly;
+3. **dedupe, in-flight** — a hash currently executing gains a rider:
+   the new client awaits the same future and receives the identical
+   payload;
+4. **admission** — with the active set full, 429 + ``Retry-After``
+   (clients retry; the queue is bounded so memory is too);
+5. **execute** — the job runs on the warm pool via
+   ``pool.submit_async`` with the engine's timeout/retry/backoff
+   semantics (a timed-out worker forces a pool restart).
+
+Completions persist exactly like engine runs do — cache entry, sharded
+store record, refreshed ``.stats`` sidecar — and emit one
+``job_finished`` event through the fan-out to every ``/events``
+subscriber.  Reports are byte-identical to CLI runs of the same
+request: workers execute the same ``execute_request`` path and
+serialize with the same canonical encoder.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+from urllib.parse import parse_qs, urlsplit
+
+from repro.engine.cache import ResultCache
+from repro.engine.executor import RunResult
+from repro.engine.pool import WorkerPool, _pool_supported
+from repro.engine.shards import ShardedRunStore
+from repro.engine.stats import stats_from_results
+from repro.engine.store import RunStore, make_record, new_run_id
+from repro.obs.stream import EventFanout, EventStream
+from repro.serve.protocol import (
+    API_VERSION,
+    ProtocolError,
+    error_payload,
+    job_payload,
+    parse_submit,
+)
+from repro.serve.state import Job, ServerCounters, TokenBucket
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+@dataclass
+class ServeConfig:
+    """Tuning knobs of one server instance."""
+
+    host: str = "127.0.0.1"
+    #: TCP port; 0 binds an ephemeral port (tests)
+    port: int = 8765
+    #: resident worker-pool size
+    workers: int = 2
+    cache_dir: Optional[Union[str, Path]] = None
+    #: LRU byte budget for the cache, enforced periodically
+    cache_max_bytes: Optional[int] = None
+    #: run-store path; a directory becomes a sharded store (the
+    #: default layout for servers — many writers, many runs)
+    store: Optional[Union[str, Path]] = None
+    #: JSONL file sink attached to the event fan-out
+    stream: Optional[Union[str, Path]] = None
+    #: bound on concurrently admitted unique jobs (backpressure)
+    max_queue: int = 64
+    #: per-client admission rate, requests/second (None: unlimited)
+    rate_limit: Optional[float] = None
+    rate_burst: int = 8
+    #: per-attempt job timeout, seconds
+    timeout: Optional[float] = None
+    retries: int = 0
+    backoff: float = 0.1
+    #: collect worker span summaries into payloads/events/sidecar
+    spans: bool = True
+    #: pre-spawn and pre-import workers before accepting requests
+    warmup: bool = True
+    #: enforce the cache byte budget every N executions
+    prune_every: int = 32
+
+
+class ServeApp:
+    """One server instance: scheduler state + HTTP front end."""
+
+    def __init__(self, config: Optional[ServeConfig] = None) -> None:
+        self.config = config or ServeConfig()
+        self.run_id = new_run_id()
+        self.counters = ServerCounters()
+        self.fanout = EventFanout()
+        self.jobs: Dict[str, Job] = {}
+        self.pool = WorkerPool(self.config.workers)
+        self.cache = (
+            ResultCache(self.config.cache_dir)
+            if self.config.cache_dir is not None
+            else None
+        )
+        self.store = self._open_store(self.config.store)
+        if self.config.stream is not None:
+            self.fanout.attach(EventStream(self.config.stream))
+        self.limiter = (
+            TokenBucket(self.config.rate_limit, self.config.rate_burst)
+            if self.config.rate_limit is not None
+            else None
+        )
+        self._results: List[RunResult] = []
+        self._job_index = 0
+        self._started_at = time.monotonic()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._shutdown: Optional[asyncio.Event] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self.address: Optional[Tuple[str, int]] = None
+
+    @staticmethod
+    def _open_store(path):
+        """A server store defaults to the sharded layout.
+
+        An existing single-file store is honored for compatibility;
+        any other path (existing directory or not yet created) becomes
+        a :class:`ShardedRunStore` — concurrent completions land in
+        per-prefix shard files under per-shard locks.
+        """
+        if path is None:
+            return None
+        p = Path(path)
+        if p.is_file():
+            return RunStore(p)
+        return ShardedRunStore(p)
+
+    # -- lifecycle ------------------------------------------------------
+    async def serve(self, ready: Optional[threading.Event] = None) -> None:
+        """Run the server until shutdown is requested."""
+        self._loop = asyncio.get_running_loop()
+        self._shutdown = asyncio.Event()
+        if self.config.warmup and _pool_supported():
+            await self._loop.run_in_executor(None, self.pool.warmup)
+        self._server = await asyncio.start_server(
+            self._handle, self.config.host, self.config.port
+        )
+        sock = self._server.sockets[0]
+        self.address = sock.getsockname()[:2]
+        self.fanout.emit(
+            "run_started",
+            run_id=self.run_id,
+            workers=self.config.workers,
+            server="repro-serve",
+        )
+        if ready is not None:
+            ready.set()
+        try:
+            await self._shutdown.wait()
+        finally:
+            self._server.close()
+            await self._server.wait_closed()
+            self._finalize()
+            # let open /events handlers observe the shutdown event and
+            # unwind before the loop is torn down under them
+            await asyncio.sleep(0.05)
+
+    def _finalize(self) -> None:
+        counts = {"ok": 0, "failed": 0, "timeout": 0, "cached": 0}
+        for job in self.jobs.values():
+            if job.status in counts:
+                counts[job.status] += 1
+        try:
+            self.fanout.emit(
+                "run_finished",
+                run_id=self.run_id,
+                duration_s=time.monotonic() - self._started_at,
+                **counts,
+            )
+        except RuntimeError:  # pragma: no cover - already closed
+            pass
+        self._write_stats()
+        self.fanout.close()
+        self.pool.shutdown(wait=False)
+
+    def request_shutdown(self) -> None:
+        """Ask the server to stop; safe to call from any thread."""
+        if self._loop is not None and self._shutdown is not None:
+            self._loop.call_soon_threadsafe(self._shutdown.set)
+
+    # -- HTTP front end -------------------------------------------------
+    async def _handle(self, reader, writer) -> None:
+        try:
+            parsed = await self._read_request(reader)
+            if parsed is None:
+                return
+            method, target, headers, body = parsed
+            split = urlsplit(target)
+            path = split.path
+            query = {
+                k: v[-1] for k, v in parse_qs(split.query).items()
+            }
+            await self._route(writer, method, path, query, headers, body)
+        except (
+            ConnectionResetError,
+            BrokenPipeError,
+            asyncio.IncompleteReadError,
+        ):
+            pass
+        except Exception as exc:  # never kill the accept loop
+            try:
+                self._respond(
+                    writer, 500, error_payload(f"{type(exc).__name__}: {exc}")
+                )
+            except Exception:
+                pass
+        finally:
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+    @staticmethod
+    async def _read_request(reader):
+        line = await reader.readline()
+        if not line:
+            return None
+        parts = line.decode("latin-1").split()
+        if len(parts) < 2:
+            return None
+        method, target = parts[0].upper(), parts[1]
+        headers: Dict[str, str] = {}
+        while True:
+            raw = await reader.readline()
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = raw.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length") or 0)
+        body = await reader.readexactly(length) if length else b""
+        return method, target, headers, body
+
+    def _respond(
+        self,
+        writer,
+        status: int,
+        payload: Dict,
+        *,
+        extra_headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        lines = [
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(body)}",
+            "Connection: close",
+        ]
+        for name, value in (extra_headers or {}).items():
+            lines.append(f"{name}: {value}")
+        writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1"))
+        writer.write(body)
+
+    async def _route(self, writer, method, path, query, headers, body) -> None:
+        if path == "/healthz" and method == "GET":
+            self._respond(writer, 200, self._healthz())
+        elif path == "/stats" and method == "GET":
+            self._respond(writer, 200, self._stats())
+        elif path == "/submit" and method == "POST":
+            await self._submit(writer, headers, body)
+        elif path.startswith("/result/") and method == "GET":
+            await self._result(writer, path[len("/result/"):], query)
+        elif path == "/events" and method == "GET":
+            await self._events(writer, query)
+        elif path == "/shutdown" and method == "POST":
+            self._respond(writer, 200, {"api": API_VERSION, "ok": True})
+            await writer.drain()
+            self._shutdown.set()
+        elif path in (
+            "/healthz", "/stats", "/submit", "/events", "/shutdown",
+        ) or path.startswith("/result/"):
+            self._respond(
+                writer, 405, error_payload(f"{method} not allowed on {path}")
+            )
+        else:
+            self._respond(writer, 404, error_payload(f"no such path {path}"))
+        await writer.drain()
+
+    def _healthz(self) -> Dict:
+        return {
+            "api": API_VERSION,
+            "ok": True,
+            "run_id": self.run_id,
+            "uptime_s": time.monotonic() - self._started_at,
+            "workers": self.pool.workers,
+            "pool_generation": self.pool.generation,
+            "process_pool": self.pool.process_based,
+        }
+
+    def _stats(self) -> Dict:
+        return {
+            "api": API_VERSION,
+            "run_id": self.run_id,
+            "uptime_s": time.monotonic() - self._started_at,
+            "counters": self.counters.to_dict(),
+            "jobs": len(self.jobs),
+            "active": self._active(),
+            "max_queue": self.config.max_queue,
+            "subscribers": self.fanout.subscribers,
+            "workers": self.pool.workers,
+            "pool_generation": self.pool.generation,
+            "store": str(self.config.store) if self.config.store else None,
+            "cache_dir": (
+                str(self.config.cache_dir) if self.config.cache_dir else None
+            ),
+        }
+
+    def _active(self) -> int:
+        return sum(1 for job in self.jobs.values() if not job.done)
+
+    # -- submission / dedupe --------------------------------------------
+    def _client_key(self, writer, headers) -> str:
+        client = headers.get("x-client-id")
+        if client:
+            return client
+        peer = writer.get_extra_info("peername")
+        return peer[0] if peer else "unknown"
+
+    async def _submit(self, writer, headers, body) -> None:
+        if self.limiter is not None:
+            retry_after = self.limiter.allow(self._client_key(writer, headers))
+            if retry_after > 0:
+                self.counters.rejected_rate += 1
+                self._respond(
+                    writer,
+                    429,
+                    error_payload("rate limited", retry_after=retry_after),
+                    extra_headers={"Retry-After": f"{retry_after:.3f}"},
+                )
+                return
+        try:
+            parsed = json.loads(body.decode("utf-8")) if body else None
+            request, wait, timeout = parse_submit(parsed)
+        except ProtocolError as exc:
+            self._respond(writer, exc.status, error_payload(str(exc)))
+            return
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            self._respond(writer, 400, error_payload(f"bad JSON body: {exc}"))
+            return
+
+        request_hash = request.content_hash()
+        job = self.jobs.get(request_hash)
+
+        if job is not None and job.done:
+            self.counters.submitted += 1
+            self.counters.served_cached += 1
+            self._respond(writer, 200, job_payload(job, source="cache"))
+            return
+
+        if job is not None:
+            # identical request in flight: ride along, never re-execute
+            self.counters.submitted += 1
+            self.counters.coalesced += 1
+            job.coalesced += 1
+            await self._answer(writer, job, wait, timeout, source="coalesced")
+            return
+
+        cached = self._from_cache(request, request_hash)
+        if cached is not None:
+            self.counters.submitted += 1
+            self.counters.served_cached += 1
+            self._respond(writer, 200, job_payload(cached, source="cache"))
+            return
+
+        if self._active() >= self.config.max_queue:
+            self.counters.rejected_queue += 1
+            retry_after = self.config.timeout or 0.25
+            self._respond(
+                writer,
+                429,
+                error_payload("queue full", retry_after=retry_after),
+                extra_headers={"Retry-After": f"{retry_after:.3f}"},
+            )
+            return
+
+        self.counters.submitted += 1
+        self.counters.executed += 1
+        job = Job(
+            request=request,
+            request_hash=request_hash,
+            future=self._loop.create_future(),
+            index=self._job_index,
+        )
+        self._job_index += 1
+        self.jobs[request_hash] = job
+        asyncio.ensure_future(self._execute(job))
+        await self._answer(writer, job, wait, timeout, source="executed")
+
+    async def _answer(self, writer, job, wait, timeout, *, source) -> None:
+        """Answer one submitter: block on the job future, or ack."""
+        if wait:
+            try:
+                await asyncio.wait_for(asyncio.shield(job.future), timeout)
+            except asyncio.TimeoutError:
+                self._respond(writer, 202, job_payload(job, source=source))
+                return
+            self._respond(writer, 200, job_payload(job, source=source))
+        else:
+            self._respond(writer, 202, job_payload(job, source=source))
+
+    def _from_cache(self, request, request_hash: str) -> Optional[Job]:
+        """Materialize a disk-cache hit as a completed job.
+
+        Mirrors the engine's cache path: the hit is recorded in the
+        store (status ``cached``) and announced on the event stream, so
+        a server answering from cache leaves the same durable trail as
+        one that executed.
+        """
+        if self.cache is None:
+            return None
+        hit = self.cache.get(request)
+        if hit is None or hit.get("report") is None:
+            return None
+        job = Job(
+            request=request,
+            request_hash=request_hash,
+            state="done",
+            status="cached",
+            source="cache",
+            report_record=hit["report"],
+            index=self._job_index,
+        )
+        self._job_index += 1
+        job.finished_at = time.monotonic()
+        self.jobs[request_hash] = job
+        self._record(job)
+        return job
+
+    # -- execution ------------------------------------------------------
+    async def _execute(self, job: Job) -> None:
+        config = self.config
+        job.state = "running"
+        job.started_at = time.monotonic()
+        attempt = 0
+        status = "failed"
+        error = ""
+        payload: Optional[Dict] = None
+        compute = 0.0
+        wall = 0.0
+        while True:
+            attempt += 1
+            started = time.monotonic()
+            try:
+                payload = await asyncio.wait_for(
+                    self.pool.submit_async(
+                        job.request, attempt=attempt, spans=config.spans
+                    ),
+                    config.timeout,
+                )
+            except asyncio.TimeoutError:
+                spent = time.monotonic() - started
+                wall += spent
+                compute += spent
+                status, error = "timeout", (
+                    f"timed out after {config.timeout:g}s"
+                )
+                # the stuck worker cannot be reclaimed; abandon the
+                # executor so the pool is healthy for the next job
+                self.pool.restart()
+            except Exception as exc:
+                spent = time.monotonic() - started
+                wall += spent
+                compute += spent
+                status, error = "failed", f"{type(exc).__name__}: {exc}"
+            else:
+                attempt_wall = time.monotonic() - started
+                wall += attempt_wall
+                compute += payload.get("compute_time_s", attempt_wall)
+                status, error = "ok", ""
+                break
+            if attempt <= config.retries:
+                await asyncio.sleep(config.backoff * (2 ** (attempt - 1)))
+                continue
+            break
+
+        job.attempts = attempt
+        job.wall_time_s = wall
+        job.status = status
+        job.error = error
+        if status == "ok" and payload is not None:
+            job.report_record = payload["report"]
+            job.spans = payload.get("spans")
+            if self.cache is not None:
+                self.cache.put(
+                    job.request,
+                    {
+                        "request": job.request.to_dict(),
+                        "request_hash": job.request_hash,
+                        "status": "ok",
+                        "wall_time_s": wall,
+                        "report": job.report_record,
+                    },
+                )
+        job.state = "done"
+        job.finished_at = time.monotonic()
+        self._record(job, queue_wait=max(0.0, wall - compute), compute=compute)
+        if (
+            self.cache is not None
+            and config.cache_max_bytes is not None
+            and self.counters.executed % max(1, config.prune_every) == 0
+        ):
+            self.cache.prune(max_bytes=config.cache_max_bytes)
+        if not job.future.done():
+            job.future.set_result(job)
+
+    # -- persistence + events -------------------------------------------
+    def _record(
+        self, job: Job, *, queue_wait: float = 0.0, compute: float = 0.0
+    ) -> None:
+        """Persist one finished job and announce it to subscribers."""
+        result = RunResult(
+            request=job.request,
+            status=job.status,
+            report=None,
+            report_record=job.report_record,
+            error=job.error,
+            attempts=job.attempts,
+            wall_time_s=job.wall_time_s,
+            index=job.index,
+            queue_wait_s=queue_wait,
+            compute_time_s=compute,
+            spans=job.spans,
+        )
+        self._results.append(result)
+        if self.store is not None:
+            self.store.append(make_record(self.run_id, result))
+            self._write_stats()
+        try:
+            self.fanout.emit(
+                "job_finished",
+                run_id=self.run_id,
+                benchmark=job.request.benchmark,
+                request_hash=job.request_hash,
+                status=job.status,
+                attempts=job.attempts,
+                wall_time_s=job.wall_time_s,
+                error=job.error,
+                spans=job.spans,
+            )
+        except RuntimeError:  # pragma: no cover - closed during shutdown
+            pass
+
+    def _write_stats(self) -> None:
+        if self.store is None or not self._results:
+            return
+        stats = stats_from_results(
+            self.run_id,
+            self._results,
+            workers=self.pool.workers,
+            duration_s=time.monotonic() - self._started_at,
+        )
+        self.store.write_stats(self.run_id, stats.to_dict())
+
+    # -- results + streaming --------------------------------------------
+    async def _result(self, writer, request_hash: str, query) -> None:
+        job = self.jobs.get(request_hash)
+        if job is None:
+            self._respond(
+                writer, 404, error_payload(f"unknown request {request_hash}")
+            )
+            return
+        wait = query.get("wait", "0") not in ("0", "", "false")
+        timeout = float(query["timeout"]) if "timeout" in query else None
+        await self._answer(
+            writer, job, wait or job.done, timeout,
+            source="cache" if job.done else "executed",
+        )
+
+    async def _events(self, writer, query) -> None:
+        """Stream fan-out events to one subscriber, newline-delimited."""
+        limit = int(query["count"]) if "count" in query else None
+        events: "asyncio.Queue" = asyncio.Queue()
+        loop = self._loop
+        handle = self.fanout.subscribe(
+            lambda record: loop.call_soon_threadsafe(events.put_nowait, record)
+        )
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: application/x-ndjson\r\n"
+            b"Connection: close\r\n\r\n"
+        )
+        sent = 0
+        try:
+            await writer.drain()
+            while limit is None or sent < limit:
+                getter = asyncio.ensure_future(events.get())
+                stopper = asyncio.ensure_future(self._shutdown.wait())
+                done, pending = await asyncio.wait(
+                    {getter, stopper}, return_when=asyncio.FIRST_COMPLETED
+                )
+                for task in pending:
+                    task.cancel()
+                if getter not in done:
+                    break
+                record = getter.result()
+                writer.write(
+                    (json.dumps(record, sort_keys=True) + "\n").encode("utf-8")
+                )
+                await writer.drain()
+                sent += 1
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            self.fanout.unsubscribe(handle)
+
+
+class ServerThread:
+    """A server on a background thread — the test/embedding harness.
+
+    Context manager: entering starts the loop thread, blocks until the
+    listening socket is bound, and yields ``(host, port)`` (with
+    ``port=0`` in the config, the ephemeral port actually bound).
+    Exiting requests shutdown and joins the thread.
+    """
+
+    def __init__(self, config: Optional[ServeConfig] = None) -> None:
+        self.app = ServeApp(config)
+        self._thread: Optional[threading.Thread] = None
+
+    def __enter__(self) -> Tuple[str, int]:
+        ready = threading.Event()
+        self._thread = threading.Thread(
+            target=lambda: asyncio.run(self.app.serve(ready)),
+            name="repro-serve",
+            daemon=True,
+        )
+        self._thread.start()
+        if not ready.wait(timeout=60):
+            raise RuntimeError("server failed to start within 60s")
+        host, port = self.app.address
+        return host, port
+
+    def __exit__(self, *exc) -> None:
+        self.app.request_shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=30)
+
+
+def run_server(config: Optional[ServeConfig] = None) -> ServeApp:
+    """Blocking entry point (the ``repro serve`` CLI command)."""
+    app = ServeApp(config)
+    try:
+        asyncio.run(app.serve())
+    except KeyboardInterrupt:
+        pass
+    return app
+
+
+__all__ = ["ServeApp", "ServeConfig", "ServerThread", "run_server"]

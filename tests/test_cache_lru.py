@@ -1,0 +1,123 @@
+"""Cache LRU-eviction tests: byte budgets for long-lived servers.
+
+``cache.prune(max_bytes=...)`` is what keeps a ``repro serve``
+instance's disk cache bounded: stale fingerprint buckets go wholesale,
+then the live bucket is trimmed oldest-access-first to the budget.
+``get()`` touches entries (mtime) so recency is real access recency.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.engine import Engine, EngineConfig
+from repro.engine.cache import ResultCache
+from repro.engine.jobs import RunRequest
+
+
+def request(i: int) -> RunRequest:
+    return RunRequest(benchmark="n-body", params={"n": i})
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache", fingerprint="f" * 64)
+
+
+def fill(cache, count: int):
+    requests = [request(i) for i in range(count)]
+    for r in requests:
+        cache.put(r, {"request_hash": r.content_hash(), "report": {"x": 1}})
+    return requests
+
+
+def backdate(cache, request, *, seconds: float) -> None:
+    path = cache._entry_path(request)
+    stamp = time.time() - seconds
+    os.utime(path, (stamp, stamp))
+
+
+class TestLruEviction:
+    def test_prune_to_budget_evicts_oldest_access_first(self, cache):
+        requests = fill(cache, 4)
+        for age, r in zip((400, 300, 200, 100), requests):
+            backdate(cache, r, seconds=age)
+        entry_size = cache._entry_path(requests[0]).stat().st_size
+        removed = cache.prune(max_bytes=2 * entry_size)
+        assert removed == 2
+        assert requests[0] not in cache and requests[1] not in cache
+        assert requests[2] in cache and requests[3] in cache
+
+    def test_get_refreshes_recency(self, cache):
+        requests = fill(cache, 3)
+        for r in requests:
+            backdate(cache, r, seconds=500)
+        # a hit on the oldest-by-write entry makes it most recent
+        assert cache.get(requests[0]) is not None
+        entry_size = cache._entry_path(requests[0]).stat().st_size
+        cache.prune(max_bytes=entry_size)
+        assert requests[0] in cache
+        assert requests[1] not in cache and requests[2] not in cache
+
+    def test_budget_zero_empties_bucket(self, cache):
+        fill(cache, 3)
+        assert cache.prune(max_bytes=0) == 3
+        assert len(cache) == 0
+
+    def test_budget_large_enough_keeps_everything(self, cache):
+        fill(cache, 3)
+        assert cache.prune(max_bytes=10**9) == 0
+        assert len(cache) == 3
+
+    def test_none_budget_keeps_legacy_prune_semantics(self, cache, tmp_path):
+        fill(cache, 2)
+        stale = tmp_path / "cache" / "0123456789abcdef" / "old.json"
+        stale.parent.mkdir(parents=True)
+        stale.write_text("{}")
+        removed = cache.prune()
+        assert removed == 1  # only the stale bucket's file
+        assert len(cache) == 2
+
+    def test_size_bytes_counts_all_buckets(self, cache, tmp_path):
+        fill(cache, 2)
+        stale = tmp_path / "cache" / "0123456789abcdef" / "old.json"
+        stale.parent.mkdir(parents=True)
+        stale.write_text('{"stale": true}')
+        assert cache.size_bytes() == sum(
+            p.stat().st_size
+            for p in (tmp_path / "cache").rglob("*.json")
+        )
+        assert cache.size_bytes() > 0
+
+
+class TestEngineIntegration:
+    def test_cache_max_bytes_pruned_before_run(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        seed = Engine(EngineConfig(cache_dir=cache_dir))
+        seed.run([request(16), request(17)])
+        # age the first entry so the budget evicts deterministically
+        cache = ResultCache(cache_dir)
+        backdate(cache, request(16), seconds=600)
+        entry = cache._entry_path(request(17)).stat().st_size
+        engine = Engine(
+            EngineConfig(cache_dir=cache_dir, cache_max_bytes=entry)
+        )
+        results = engine.run([request(17)])
+        # the surviving entry is the one the run needed: cache hit
+        assert results[0].status == "cached"
+        assert engine.last_run_stats.phases["cache_pruned_files"] == 1.0
+        assert request(16) not in cache
+
+    def test_cli_flag_reaches_engine_config(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["suite", "--cache-dir", "c", "--cache-max-bytes", "4096"]
+        )
+        from repro.cli import _engine_config
+
+        config = _engine_config(args)
+        assert config.cache_max_bytes == 4096
+        # the budget implies pruning even without --cache-prune
+        assert not config.cache_prune

@@ -1,0 +1,113 @@
+"""Resident WorkerPool tests: warm reuse, restarts, async submission.
+
+The pool contract the serve layer is built on: one pool outlives many
+engine invocations (warm workers, no spawn + import per run), restarts
+abandon stuck executors without losing the pool, and ``submit_async``
+bridges pool futures onto an asyncio loop.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.engine import Engine, EngineConfig
+from repro.engine.jobs import RunRequest
+from repro.engine.pool import WorkerPool, _pool_supported
+from repro.metrics.serialize import canonical_report_json
+
+
+def request(n: int = 16) -> RunRequest:
+    return RunRequest(benchmark="n-body", params={"n": n})
+
+
+@pytest.fixture(scope="module")
+def pool():
+    p = WorkerPool(workers=2)
+    yield p
+    p.shutdown()
+
+
+class TestWorkerPool:
+    def test_submit_returns_report_payload(self, pool):
+        payload = pool.submit(request()).result(timeout=120)
+        assert payload["report"]["flop_count"] > 0
+        assert payload["compute_time_s"] >= 0
+
+    def test_spans_flag_controls_span_summary(self, pool):
+        with_spans = pool.submit(request(), spans=True).result(timeout=120)
+        without = pool.submit(request(), spans=False).result(timeout=120)
+        assert with_spans["spans"] is not None
+        assert with_spans["spans"]["busy_time_s"] >= 0
+        assert without.get("spans") is None
+        # span collection never changes the report itself
+        assert canonical_report_json(with_spans["report"]) == (
+            canonical_report_json(without["report"])
+        )
+
+    def test_warmup_provisions_workers(self):
+        pool = WorkerPool(workers=2)
+        try:
+            pool.warmup(timeout=120)
+            assert pool.generation == 1
+            # warm submits reuse the same executor generation
+            pool.submit(request()).result(timeout=120)
+            assert pool.generation == 1
+        finally:
+            pool.shutdown()
+
+    def test_restart_bumps_generation_and_keeps_working(self, pool):
+        before = pool.generation
+        pool.restart()
+        payload = pool.submit(request(24)).result(timeout=120)
+        assert payload["report"]["flop_count"] > 0
+        assert pool.generation == before + 1
+
+    def test_submit_after_shutdown_raises(self):
+        pool = WorkerPool(workers=1)
+        pool.shutdown()
+        with pytest.raises(RuntimeError):
+            pool.submit(request())
+
+    def test_submit_async_resolves_on_event_loop(self, pool):
+        async def go():
+            return await pool.submit_async(request(20))
+
+        payload = asyncio.run(go())
+        assert payload["report"]["flop_count"] > 0
+
+    def test_process_mode_matches_platform_support(self, pool):
+        assert pool.process_based == _pool_supported()
+
+
+class TestEngineWithResidentPool:
+    def test_engine_reuses_external_pool_across_runs(self, pool):
+        """Two engine invocations on one pool: no new executor between
+        them, and the pool survives both (the engine never shuts down
+        a pool it does not own)."""
+        pool.warmup(timeout=120)
+        generation = pool.generation
+        engine = Engine(EngineConfig(jobs=1), pool=pool)
+        first = engine.run([request(17)])
+        second = engine.run([request(18)])
+        assert [r.status for r in first + second] == ["ok", "ok"]
+        assert pool.generation == generation
+        # still alive for direct submissions
+        assert pool.submit(request(19)).result(timeout=120)["report"]
+
+    def test_external_pool_reports_its_worker_count(self, pool):
+        """Stats reflect the resident pool's size, not config.jobs."""
+        if not _pool_supported():
+            pytest.skip("pool path requires process support")
+        engine = Engine(EngineConfig(jobs=1), pool=pool)
+        engine.run([request(21)])
+        assert engine.last_run_stats.workers == pool.workers
+
+    def test_resident_pool_results_match_owned_pool(self, pool, tmp_path):
+        """Same canonical reports whether the pool is resident or
+        per-run (the parity contract the server relies on)."""
+        resident = Engine(EngineConfig(jobs=2), pool=pool).run([request(22)])
+        owned = Engine(EngineConfig(jobs=2)).run([request(22)])
+        assert resident[0].status == owned[0].status == "ok"
+        assert canonical_report_json(resident[0].report_record) == (
+            canonical_report_json(owned[0].report_record)
+        )

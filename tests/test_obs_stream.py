@@ -1,0 +1,236 @@
+"""Event-stream tests: truncated-tail tolerance, schema, fan-out.
+
+``read_stream``'s tolerance contract: a reader racing a live writer
+may see the final line mid-flush — that tail is reported, never parsed
+as garbage and never confused with real mid-file corruption.  And the
+``EventFanout`` contract the serve layer uses: one emission point,
+N subscribers, retained ``run_started`` replay, bounded queues that
+drop instead of stalling the producer.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.stream import (
+    EventFanout,
+    EventStream,
+    read_stream,
+    read_stream_partial,
+    validate_stream,
+)
+
+
+def write_lines(path, lines, *, trailing_newline=True):
+    text = "\n".join(lines)
+    if trailing_newline:
+        text += "\n"
+    path.write_text(text, encoding="utf-8")
+    return path
+
+
+def event(kind: str, seq: int, **fields) -> str:
+    return json.dumps({"kind": kind, "seq": seq, **fields})
+
+
+class TestPartialReads:
+    def test_clean_file_parses_fully(self, tmp_path):
+        path = write_lines(tmp_path / "s.jsonl", [
+            event("run_started", 0, run_id="r"),
+            event("run_finished", 1, run_id="r"),
+        ])
+        read = read_stream_partial(path)
+        assert read.clean
+        assert [e["kind"] for e in read.events] == [
+            "run_started", "run_finished",
+        ]
+
+    def test_truncated_tail_reported_not_raised(self, tmp_path):
+        complete = event("run_started", 0, run_id="r")
+        partial = '{"kind": "job_finished", "seq": 1, "bench'
+        path = write_lines(
+            tmp_path / "s.jsonl", [complete, partial],
+            trailing_newline=False,
+        )
+        read = read_stream_partial(path)
+        assert not read.clean
+        assert len(read.events) == 1
+        assert read.incomplete_tail == partial
+
+    def test_complete_line_without_newline_still_parses(self, tmp_path):
+        # the writer flushed the record but not yet the newline
+        path = write_lines(
+            tmp_path / "s.jsonl",
+            [event("run_started", 0, run_id="r")],
+            trailing_newline=False,
+        )
+        read = read_stream_partial(path)
+        assert read.clean
+        assert read.events[0]["seq"] == 0
+
+    def test_mid_file_corruption_raises_with_line_number(self, tmp_path):
+        path = write_lines(tmp_path / "s.jsonl", [
+            event("run_started", 0, run_id="r"),
+            "{definitely not json",
+            event("run_finished", 2, run_id="r"),
+        ])
+        with pytest.raises(ValueError, match="line 2"):
+            read_stream_partial(path)
+
+    def test_read_stream_tolerant_by_default_strict_on_request(
+        self, tmp_path
+    ):
+        path = write_lines(
+            tmp_path / "s.jsonl",
+            [event("run_started", 0, run_id="r"), '{"cut": '],
+            trailing_newline=False,
+        )
+        events = read_stream(path)
+        assert len(events) == 1
+        with pytest.raises(ValueError, match="truncated"):
+            read_stream(path, strict=True)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = write_lines(tmp_path / "s.jsonl", [
+            event("run_started", 0, run_id="r"),
+            "",
+            event("run_finished", 1, run_id="r"),
+        ])
+        assert len(read_stream(path, strict=True)) == 2
+
+
+class TestValidateStream:
+    def good(self):
+        return [
+            {"kind": "run_started", "seq": 0, "run_id": "r"},
+            {
+                "kind": "job_finished", "seq": 1, "benchmark": "fft",
+                "status": "ok", "request_hash": "ab" * 32,
+            },
+            {"kind": "run_finished", "seq": 2, "run_id": "r"},
+        ]
+
+    def test_valid_stream_has_no_problems(self):
+        assert validate_stream(self.good()) == []
+
+    def test_unknown_kind_flagged(self):
+        events = self.good()
+        events[1]["kind"] = "job_exploded"
+        assert any("unknown kind" in p for p in validate_stream(events))
+
+    def test_non_increasing_seq_flagged(self):
+        events = self.good()
+        events[2]["seq"] = 1
+        assert any("not increasing" in p for p in validate_stream(events))
+
+    def test_missing_lifecycle_fields_flagged(self):
+        events = self.good()
+        del events[0]["run_id"]
+        del events[1]["request_hash"]
+        problems = validate_stream(events)
+        assert any("run_id" in p for p in problems)
+        assert any("request_hash" in p for p in problems)
+
+
+class TestEventFanout:
+    def test_every_subscriber_and_sink_sees_each_event(self, tmp_path):
+        fanout = EventFanout()
+        fanout.attach(EventStream(tmp_path / "sink.jsonl"))
+        sub_a = fanout.subscribe()
+        sub_b = fanout.subscribe()
+        fanout.emit("run_started", run_id="r", workers=2)
+        fanout.emit(
+            "job_finished", benchmark="fft", status="ok",
+            request_hash="ab" * 32,
+        )
+        fanout.close()
+        events_a = list(sub_a)
+        events_b = list(sub_b)
+        assert events_a == events_b
+        assert [e["seq"] for e in events_a] == [0, 1]
+        on_disk = read_stream(tmp_path / "sink.jsonl", strict=True)
+        assert on_disk == events_a
+        assert validate_stream(on_disk) == []
+
+    def test_late_subscriber_gets_retained_run_started(self):
+        fanout = EventFanout()
+        fanout.emit("run_started", run_id="r", workers=1)
+        late = fanout.subscribe()
+        replayed = late.get(timeout=1)
+        assert replayed["kind"] == "run_started"
+        assert replayed["run_id"] == "r"
+        no_replay = fanout.subscribe(replay=False)
+        fanout.close()
+        assert list(no_replay) == []
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown stream event kind"):
+            EventFanout().emit("job_exploded")
+
+    def test_bounded_queue_drops_newest_and_counts(self):
+        fanout = EventFanout(maxsize=2)
+        sub = fanout.subscribe()
+        fanout.emit("run_started", run_id="r")
+        for _ in range(4):
+            fanout.emit(
+                "job_finished", benchmark="b", status="ok",
+                request_hash="cd" * 32,
+            )
+        assert sub.dropped == 3
+        fanout.close()
+        assert len(list(sub)) == 2  # the bound, oldest kept
+
+    def test_unsubscribed_queue_stops_receiving(self):
+        fanout = EventFanout()
+        sub = fanout.subscribe()
+        fanout.emit("run_started", run_id="r")
+        fanout.unsubscribe(sub)
+        fanout.emit(
+            "job_finished", benchmark="b", status="ok",
+            request_hash="ef" * 32,
+        )
+        fanout.close()
+        # only the event delivered while subscribed (close() does not
+        # re-add the sentinel for detached handles)
+        assert sub.get(timeout=0.1)["kind"] == "run_started"
+        assert sub.get(timeout=0.1) is None
+
+    def test_callback_subscribers_invoked_inline(self):
+        fanout = EventFanout()
+        seen = []
+        handle = fanout.subscribe(seen.append)
+        fanout.emit("run_started", run_id="r")
+        assert [e["kind"] for e in seen] == ["run_started"]
+        fanout.unsubscribe(handle)
+        fanout.emit("run_finished", run_id="r")
+        assert len(seen) == 1
+
+    def test_emit_after_close_raises(self):
+        fanout = EventFanout()
+        fanout.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            fanout.emit("run_started", run_id="r")
+
+    def test_concurrent_emitters_keep_seq_strictly_increasing(self):
+        fanout = EventFanout(maxsize=4096)
+        sub = fanout.subscribe()
+
+        def emit_many():
+            for _ in range(50):
+                fanout.emit(
+                    "job_finished", benchmark="b", status="ok",
+                    request_hash="aa" * 32,
+                )
+
+        threads = [threading.Thread(target=emit_many) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        fanout.close()
+        events = list(sub)
+        assert len(events) == 200
+        seqs = [e["seq"] for e in events]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == 200

@@ -1,0 +1,394 @@
+"""Run-server tests: dedupe, parity, admission control, streaming.
+
+The acceptance bar for ``repro serve``: 16 concurrent clients with
+duplicate submissions coalesce to one worker execution and all receive
+identical canonical report JSON; a bounded queue answers 429 +
+Retry-After instead of melting; per-client rate limiting is isolated
+by client id; streamed events validate against the EventStream schema;
+and a warm resident pool beats cold per-suite pools by >= 2x jobs/s on
+the small-job subset.
+"""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.engine.jobs import RunRequest, execute_request
+from repro.engine.pool import _pool_supported
+from repro.metrics.serialize import canonical_report_json, report_to_dict
+from repro.obs.stream import read_stream, validate_stream
+from repro.serve import ServeClient, ServeConfig, ServeError, ServerThread
+
+# n-body-class small jobs: milliseconds each, structurally real.
+SMALL = {"benchmark": "n-body", "params": {"n": 16}}
+
+
+def small_request(i: int) -> dict:
+    return {"benchmark": "n-body", "params": {"n": 12 + i}}
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory):
+    """One warm server shared by the read-mostly tests."""
+    tmp = tmp_path_factory.mktemp("serve")
+    config = ServeConfig(
+        port=0,
+        workers=2,
+        cache_dir=str(tmp / "cache"),
+        store=str(tmp / "runs"),
+        stream=str(tmp / "events.jsonl"),
+        timeout=120,
+    )
+    with ServerThread(config) as (host, port):
+        yield host, port, tmp
+
+
+class TestRoundTrip:
+    def test_health_and_stats(self, server):
+        host, port, _ = server
+        client = ServeClient(host, port)
+        health = client.health()
+        assert health["ok"] and health["workers"] == 2
+        stats = client.stats()
+        assert stats["max_queue"] == 64
+        assert set(stats["counters"]) >= {
+            "submitted", "executed", "coalesced", "served_cached",
+            "rejected_queue", "rejected_rate", "dedupe_hit_rate",
+        }
+
+    def test_submit_report_matches_direct_execution(self, server):
+        """The serve path is metrics-identical to an in-process run."""
+        host, port, _ = server
+        payload = ServeClient(host, port).submit(SMALL)
+        assert payload["job"]["status"] == "ok"
+        direct = execute_request(RunRequest.from_dict(SMALL))
+        assert canonical_report_json(payload["report"]) == (
+            canonical_report_json(report_to_dict(direct))
+        )
+
+    def test_resubmission_served_from_memory(self, server):
+        host, port, _ = server
+        client = ServeClient(host, port)
+        first = client.submit({"benchmark": "lu", "params": {"n": 16}})
+        again = client.submit({"benchmark": "lu", "params": {"n": 16}})
+        assert again["job"]["source"] == "cache"
+        assert again["report"] == first["report"]
+
+    def test_submit_accepts_runrequest_objects(self, server):
+        host, port, _ = server
+        payload = ServeClient(host, port).submit(
+            RunRequest(benchmark="fft", params={"n": 64})
+        )
+        assert payload["job"]["benchmark"] == "fft"
+        assert payload["job"]["status"] == "ok"
+
+    def test_no_wait_ack_then_result_endpoint(self, server):
+        host, port, _ = server
+        client = ServeClient(host, port)
+        request = {"benchmark": "jacobi", "params": {"n": 24}}
+        ack = client.submit(request, wait=False)
+        request_hash = ack["job"]["request_hash"]
+        assert ack["job"]["state"] in ("queued", "running", "done")
+        done = client.result(request_hash, wait=True, timeout=60)
+        assert done["job"]["state"] == "done"
+        assert done["report"]["flop_count"] > 0
+        # and the hash is the client-computable content hash
+        assert request_hash == RunRequest.from_dict(request).content_hash()
+
+    def test_unknown_result_is_404(self, server):
+        host, port, _ = server
+        with pytest.raises(ServeError) as err:
+            ServeClient(host, port).result("deadbeef" * 8)
+        assert err.value.status == 404
+
+    def test_malformed_submissions_are_400(self, server):
+        host, port, _ = server
+        client = ServeClient(host, port)
+        with pytest.raises(ServeError) as err:
+            client.submit({"params": {"n": 4}})  # no benchmark
+        assert err.value.status == 400
+        with pytest.raises(ServeError) as err:
+            client.submit({"benchmark": "fft", "tier": "nonsense"})
+        assert err.value.status == 400
+        with pytest.raises(ServeError) as err:
+            client._request("POST", "/submit", {"request": "not-a-dict"})
+        assert err.value.status == 400
+
+    def test_worker_failure_reported_not_fatal(self, server):
+        """An unknown benchmark fails in the worker; the server keeps
+        serving and reports the error in the payload."""
+        host, port, _ = server
+        client = ServeClient(host, port)
+        payload = client.submit({"benchmark": "no-such-benchmark"})
+        assert payload["job"]["status"] == "failed"
+        assert "no-such-benchmark" in payload["job"]["error"]
+        assert "report" not in payload
+        # the server survived
+        assert client.health()["ok"]
+
+
+class TestConcurrentDedupe:
+    def test_16_clients_with_duplicates_coalesce(self, server):
+        """8 duplicate + 8 unique concurrent submissions: the duplicate
+        group costs exactly one execution and every rider receives the
+        identical canonical report."""
+        host, port, _ = server
+        duplicate = {"benchmark": "md", "params": {"n_p": 8, "steps": 2}}
+        payloads = {}
+        errors = []
+
+        def submit(slot: int, request: dict) -> None:
+            try:
+                client = ServeClient(host, port, client_id=f"c{slot}")
+                payloads[slot] = client.submit(request, busy_retries=16)
+            except Exception as exc:  # pragma: no cover - assertion aid
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=submit, args=(i, dict(duplicate)))
+            for i in range(8)
+        ] + [
+            threading.Thread(target=submit, args=(8 + i, small_request(i)))
+            for i in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        assert not errors
+        assert len(payloads) == 16
+
+        dup = [payloads[i] for i in range(8)]
+        assert all(p["job"]["status"] in ("ok", "cached") for p in dup)
+        executed = [p for p in dup if p["job"]["source"] == "executed"]
+        assert len(executed) == 1, "duplicates must coalesce to one execution"
+        # >= 7/8 dedupe hit rate within the duplicate group
+        assert sum(
+            p["job"]["source"] in ("coalesced", "cache") for p in dup
+        ) >= 7
+        reports = {canonical_report_json(p["report"]) for p in dup}
+        assert len(reports) == 1, "every client must see the same report"
+
+        unique = [payloads[8 + i] for i in range(8)]
+        assert all(p["job"]["status"] in ("ok", "cached") for p in unique)
+        hashes = {p["job"]["request_hash"] for p in unique}
+        assert len(hashes) == 8
+
+    def test_counters_account_for_dedupe(self, server):
+        host, port, _ = server
+        counters = ServeClient(host, port).stats()["counters"]
+        assert counters["submitted"] == (
+            counters["executed"]
+            + counters["coalesced"]
+            + counters["served_cached"]
+        )
+        # the 8-duplicate group cost one execution: 7 rode along,
+        # either coalesced onto the in-flight job or served from memory
+        assert counters["deduped"] >= 7
+
+
+class TestEventStreaming:
+    def test_live_events_validate_against_schema(self, server):
+        host, port, _ = server
+        events = []
+        ready = threading.Event()
+
+        def watch() -> None:
+            client = ServeClient(host, port)
+            gen = client.watch(count=3, timeout=60)
+            first = next(gen)  # replayed run_started
+            events.append(first)
+            ready.set()
+            events.extend(gen)
+
+        watcher = threading.Thread(target=watch)
+        watcher.start()
+        assert ready.wait(timeout=30)
+        client = ServeClient(host, port)
+        client.submit({"benchmark": "gather", "params": {"n": 256}})
+        client.submit({"benchmark": "scatter", "params": {"n": 256}})
+        watcher.join(timeout=60)
+        assert [e["kind"] for e in events] == [
+            "run_started", "job_finished", "job_finished",
+        ]
+        assert validate_stream(events) == []
+        finished = events[1:]
+        assert {e["benchmark"] for e in finished} == {"gather", "scatter"}
+        for event in finished:
+            assert event["status"] == "ok"
+            assert event["run_id"]
+            assert len(event["request_hash"]) == 64
+            assert event["spans"] is not None
+
+    def test_two_subscribers_see_the_same_events(self, server):
+        host, port, _ = server
+        seen = {0: [], 1: []}
+        ready = threading.Barrier(3, timeout=30)
+
+        def watch(slot: int) -> None:
+            gen = ServeClient(host, port).watch(count=2, timeout=60)
+            seen[slot].append(next(gen))
+            ready.wait()
+            seen[slot].extend(gen)
+
+        watchers = [
+            threading.Thread(target=watch, args=(slot,)) for slot in (0, 1)
+        ]
+        for w in watchers:
+            w.start()
+        ready.wait()
+        ServeClient(host, port).submit(
+            {"benchmark": "reduction", "params": {"n": 512}}
+        )
+        for w in watchers:
+            w.join(timeout=60)
+        assert [e["kind"] for e in seen[0]] == ["run_started", "job_finished"]
+        # both watchers got the identical job_finished record
+        assert seen[0][1] == seen[1][1]
+
+    def test_stream_file_sink_written_and_valid(self, server):
+        host, port, tmp = server
+        events = read_stream(tmp / "events.jsonl")
+        assert validate_stream(events) == []
+        kinds = {e["kind"] for e in events}
+        assert kinds >= {"run_started", "job_finished"}
+
+
+class TestAdmissionControl:
+    def test_queue_full_answers_429_with_retry_after(self, tmp_path):
+        config = ServeConfig(port=0, workers=1, max_queue=0, warmup=False)
+        with ServerThread(config) as (host, port):
+            client = ServeClient(host, port)
+            with pytest.raises(ServeError) as err:
+                client.submit(SMALL, wait=False)
+            assert err.value.status == 429
+            assert err.value.busy
+            assert err.value.retry_after is not None
+            assert err.value.retry_after > 0
+            counters = client.stats()["counters"]
+            assert counters["rejected_queue"] == 1
+            assert counters["submitted"] == 0
+
+    def test_busy_retries_exhaust_then_raise(self, tmp_path):
+        config = ServeConfig(port=0, workers=1, max_queue=0, warmup=False)
+        with ServerThread(config) as (host, port):
+            client = ServeClient(host, port)
+            with pytest.raises(ServeError):
+                client.submit(SMALL, wait=False, busy_retries=2)
+            assert client.stats()["counters"]["rejected_queue"] == 3
+
+    def test_rate_limit_is_per_client(self, tmp_path):
+        config = ServeConfig(
+            port=0, workers=1, warmup=False,
+            rate_limit=0.001, rate_burst=1,
+        )
+        with ServerThread(config) as (host, port):
+            a = ServeClient(host, port, client_id="client-a")
+            b = ServeClient(host, port, client_id="client-b")
+            a.submit(SMALL, wait=False)  # spends a's only token
+            with pytest.raises(ServeError) as err:
+                a.submit(SMALL, wait=False)
+            assert err.value.status == 429
+            assert err.value.retry_after > 0
+            # b has its own bucket and is still admitted
+            b.submit(SMALL, wait=False)
+            counters = a.stats()["counters"]
+            assert counters["rejected_rate"] == 1
+            # rate limiting never reaches the dedupe/admission layer
+            assert counters["submitted"] == 2
+
+
+class TestPersistence:
+    def test_sharded_store_and_sidecar_written(self, server):
+        host, port, tmp = server
+        ServeClient(host, port).submit(SMALL)
+        shards = sorted((tmp / "runs" / "shards").glob("*.jsonl"))
+        assert shards, "server must persist to a sharded store"
+        records = []
+        for shard in shards:
+            with open(shard, encoding="utf-8") as fh:
+                for line in fh:
+                    record = json.loads(line)
+                    records.append(record)
+                    prefix = record["request_hash"][:2]
+                    assert shard.name == f"{prefix}.jsonl"
+        run_id = ServeClient(host, port).health()["run_id"]
+        assert all(r["run_id"] == run_id for r in records)
+        sidecar = tmp / "runs" / "stats" / f"{run_id}.json"
+        assert sidecar.is_file()
+        stats = json.loads(sidecar.read_text())
+        assert stats["jobs"]
+        assert stats["workers"] == 2
+
+    def test_store_readable_by_engine_cli_layer(self, server):
+        host, port, tmp = server
+        from repro.engine import open_store
+
+        store = open_store(tmp / "runs")
+        run_id = store.resolve("latest")
+        records = store.run_records(run_id)
+        assert records
+        assert all(r["report"] is not None for r in records if r["status"] == "ok")
+
+
+class TestWarmPoolThroughput:
+    @pytest.mark.skipif(
+        not _pool_supported(), reason="process pool unavailable"
+    )
+    def test_warm_pool_at_least_2x_cold_per_suite_pools(self, tmp_path):
+        """The serve milestone's headline: resident warm workers beat
+        paying interpreter start + import + pool spawn per suite by
+        >= 2x jobs/s on the n-body-class small-job subset.
+
+        The cold side runs each mini-suite in a fresh subprocess: with
+        the ``fork`` start method an in-process "cold" pool inherits
+        this fully-imported parent and pays none of the startup cost it
+        is supposed to model, which made an in-process baseline noise.
+        """
+        import os
+        import subprocess
+        import sys
+
+        import repro
+
+        requests = [RunRequest.from_dict(small_request(i)) for i in range(4)]
+
+        config = ServeConfig(port=0, workers=2, timeout=120)
+        with ServerThread(config) as (host, port):
+            client = ServeClient(host, port)
+            started = time.perf_counter()
+            for request in requests:
+                payload = client.submit(request)
+                assert payload["job"]["status"] == "ok"
+            warm_s = time.perf_counter() - started
+
+        from pathlib import Path
+
+        src = str(Path(repro.__file__).resolve().parents[1])
+        cold_script = (
+            "import json, sys\n"
+            "from repro.engine import Engine, EngineConfig\n"
+            "from repro.engine.jobs import RunRequest\n"
+            "request = RunRequest.from_dict(json.loads(sys.argv[1]))\n"
+            "results = Engine(EngineConfig(jobs=2, timeout=120)).run([request])\n"
+            "assert results[0].status == 'ok', results[0].error\n"
+        )
+        env = {**os.environ, "PYTHONPATH": src}
+        started = time.perf_counter()
+        for request in requests:
+            # one cold interpreter + engine (fresh worker pool) per
+            # mini-suite: the pre-serve deployment model
+            subprocess.run(
+                [sys.executable, "-c", cold_script,
+                 json.dumps(request.to_dict())],
+                env=env, check=True, timeout=300,
+            )
+        cold_s = time.perf_counter() - started
+
+        warm_rate = len(requests) / warm_s
+        cold_rate = len(requests) / cold_s
+        assert warm_rate >= 2 * cold_rate, (
+            f"warm {warm_rate:.2f} jobs/s vs cold {cold_rate:.2f} jobs/s"
+        )
