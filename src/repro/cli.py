@@ -642,11 +642,18 @@ def _cmd_serve(args) -> int:
         timeout=args.timeout,
         retries=args.retries,
     )
-    print(
-        f"repro serve on {config.host}:{config.port} "
-        f"({config.workers} warm workers; POST /shutdown or Ctrl-C to stop)"
-    )
-    app = run_server(config)
+    def announce(address):
+        # printed only once the socket is bound, so --port 0 reports
+        # the ephemeral port actually chosen, not the literal 0
+        host, port = address
+        print(
+            f"repro serve on {host}:{port} "
+            f"({config.workers} warm workers; "
+            "POST /shutdown or Ctrl-C to stop)",
+            flush=True,
+        )
+
+    app = run_server(config, on_bound=announce)
     counters = app.counters
     print(
         f"served {counters.submitted} submissions "

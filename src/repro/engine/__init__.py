@@ -53,6 +53,7 @@ from repro.engine.stats import (
     CheckReport,
     JobStats,
     RunStats,
+    StatsAccumulator,
     compare_benchmarks,
     stats_from_records,
     stats_from_results,
@@ -98,6 +99,7 @@ __all__ = [
     "read_trace",
     "write_json_atomic",
     "requests_from_run",
+    "StatsAccumulator",
     "stats_from_records",
     "stats_from_results",
     "sweep_from_results",

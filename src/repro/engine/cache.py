@@ -66,7 +66,23 @@ class ResultCache:
         (:meth:`prune` with a byte budget) sees true access recency —
         filesystem atime is unreliable under ``relatime`` mounts.
         """
-        path = self._entry_path(request)
+        return self.get_by_hash(request.content_hash())
+
+    def get_by_hash(self, request_hash: str) -> Optional[Dict]:
+        """The stored record for a bare request hash, or None.
+
+        The by-hash variant of :meth:`get`, for callers that no longer
+        hold the :class:`RunRequest` — the serve layer answers ``GET
+        /result/<hash>`` for jobs evicted from memory this way (the
+        stored record carries the request dictionary).  Hashes come off
+        the wire, so anything that is not a plain hex digest is a miss,
+        never a path.
+        """
+        if not request_hash or any(
+            c not in "0123456789abcdef" for c in request_hash
+        ):
+            return None
+        path = self.root / self.fingerprint[:16] / f"{request_hash}.json"
         try:
             with path.open(encoding="utf-8") as fh:
                 record = json.load(fh)

@@ -27,6 +27,7 @@ store envelope.
 from __future__ import annotations
 
 import json
+from collections import deque
 from dataclasses import asdict, dataclass, field, fields
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -355,6 +356,117 @@ def stats_from_results(
         duration_s=duration_s,
         phases=phases,
     )
+
+
+class StatsAccumulator:
+    """Fold results into a :class:`RunStats` one at a time, bounded.
+
+    :func:`stats_from_results` re-walks every retained result, which is
+    fine for a batch engine run but O(n²) over a long-lived server's
+    lifetime — and forces keeping every :class:`RunResult` (report
+    dictionaries included) alive forever.  The accumulator folds each
+    result exactly once into running aggregates, retains only the
+    newest ``keep_jobs`` per-job rows for the sidecar table, and
+    :meth:`snapshot` emits a :class:`RunStats` whose aggregate fields
+    match ``stats_from_results`` over everything ever added (the
+    ``jobs`` list is the only truncated field).
+    """
+
+    def __init__(
+        self,
+        run_id: str,
+        *,
+        workers: Optional[int] = None,
+        keep_jobs: int = 256,
+    ) -> None:
+        self.run_id = run_id
+        self.workers = workers
+        self.n_jobs = 0
+        self.status_counts: Dict[str, int] = {}
+        self.attempts_histogram: Dict[int, int] = {}
+        self.retries = 0
+        self.queue_wait_total_s = 0.0
+        self.queue_wait_max_s = 0.0
+        self.compute_total_s = 0.0
+        self.compute_max_s = 0.0
+        self.benchmarks: Dict[str, Dict[str, float]] = {}
+        self._bench_counts: Dict[str, int] = {}
+        self.jobs: "deque[JobStats]" = deque(maxlen=max(0, keep_jobs))
+
+    def add(self, result) -> None:
+        """Fold one :class:`RunResult` into the aggregates."""
+        job = JobStats(
+            benchmark=result.request.benchmark,
+            status=result.status,
+            attempts=result.attempts,
+            queue_wait_s=result.queue_wait_s,
+            compute_time_s=result.compute_time_s,
+            wall_time_s=result.wall_time_s,
+            spans=getattr(result, "spans", None),
+        )
+        self.n_jobs += 1
+        self.status_counts[job.status] = (
+            self.status_counts.get(job.status, 0) + 1
+        )
+        self.attempts_histogram[job.attempts] = (
+            self.attempts_histogram.get(job.attempts, 0) + 1
+        )
+        self.retries += max(0, job.attempts - 1)
+        self.queue_wait_total_s += job.queue_wait_s
+        self.queue_wait_max_s = max(self.queue_wait_max_s, job.queue_wait_s)
+        self.compute_total_s += job.compute_time_s
+        self.compute_max_s = max(self.compute_max_s, job.compute_time_s)
+        self.jobs.append(job)
+        # incremental _benchmark_metrics: same name / name#N keying as
+        # keyed_by_benchmark, counting every record but storing only
+        # those that carry a report
+        seen = self._bench_counts.get(job.benchmark, 0)
+        self._bench_counts[job.benchmark] = seen + 1
+        report = result.report_record or {}
+        metrics = {
+            metric: report[metric]
+            for metric, _, _ in CHECK_METRICS
+            if report.get(metric) is not None
+        }
+        if metrics:
+            key = f"{job.benchmark}#{seen}" if seen else job.benchmark
+            self.benchmarks[key] = metrics
+
+    def snapshot(
+        self,
+        *,
+        duration_s: float,
+        phases: Optional[Mapping[str, float]] = None,
+    ) -> RunStats:
+        """The current aggregates as a :class:`RunStats`."""
+        n = self.n_jobs
+        cache_hits = self.status_counts.get("cached", 0)
+        utilization = None
+        if self.workers is not None and duration_s > 0:
+            utilization = self.compute_total_s / (self.workers * duration_s)
+        return RunStats(
+            run_id=self.run_id,
+            n_jobs=n,
+            workers=self.workers,
+            duration_s=duration_s,
+            status_counts=dict(self.status_counts),
+            cache_hits=cache_hits,
+            cache_hit_rate=cache_hits / n if n else 0.0,
+            retries=self.retries,
+            timeouts=self.status_counts.get("timeout", 0),
+            attempts_histogram=dict(self.attempts_histogram),
+            throughput_jobs_per_s=n / duration_s if duration_s > 0 else 0.0,
+            queue_wait_total_s=self.queue_wait_total_s,
+            queue_wait_mean_s=self.queue_wait_total_s / n if n else 0.0,
+            queue_wait_max_s=self.queue_wait_max_s,
+            compute_total_s=self.compute_total_s,
+            compute_mean_s=self.compute_total_s / n if n else 0.0,
+            compute_max_s=self.compute_max_s,
+            worker_utilization=utilization,
+            phases=dict(phases or {}),
+            jobs=list(self.jobs),
+            benchmarks={k: dict(v) for k, v in self.benchmarks.items()},
+        )
 
 
 def stats_from_records(

@@ -15,10 +15,14 @@ no matter how many clients ask for it concurrently:
    the new client awaits the same future and receives the identical
    payload;
 4. **admission** — with the active set full, 429 + ``Retry-After``
-   (clients retry; the queue is bounded so memory is too);
-5. **execute** — the job runs on the warm pool via
-   ``pool.submit_async`` with the engine's timeout/retry/backoff
-   semantics (a timed-out worker forces a pool restart).
+   (clients retry; the queue is bounded, and completed jobs beyond
+   ``max_done_jobs`` are evicted to the disk cache, so memory is
+   bounded too);
+5. **execute** — the job waits (untimed) for one of ``workers``
+   dispatch slots, then runs on the warm pool via ``pool.submit_async``
+   with the engine's timeout/retry/backoff semantics: the timeout
+   clock starts when the job is handed to the pool, not when it was
+   admitted, and a timed-out worker forces a pool restart.
 
 Completions persist exactly like engine runs do — cache entry, sharded
 store record, refreshed ``.stats`` sidecar — and emit one
@@ -34,16 +38,18 @@ import asyncio
 import json
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Callable, Dict, Optional, Tuple, Union
 from urllib.parse import parse_qs, urlsplit
 
 from repro.engine.cache import ResultCache
 from repro.engine.executor import RunResult
+from repro.engine.jobs import RunRequest
 from repro.engine.pool import WorkerPool, _pool_supported
 from repro.engine.shards import ShardedRunStore
-from repro.engine.stats import stats_from_results
+from repro.engine.stats import StatsAccumulator
 from repro.engine.store import RunStore, make_record, new_run_id
 from repro.obs.stream import EventFanout, EventStream
 from repro.serve.protocol import (
@@ -99,6 +105,13 @@ class ServeConfig:
     warmup: bool = True
     #: enforce the cache byte budget every N executions
     prune_every: int = 32
+    #: completed jobs retained in memory; older done jobs are evicted
+    #: (their durable copies — store record, cache entry — survive, so
+    #: ``/result`` still answers for evicted hashes via the disk cache)
+    max_done_jobs: int = 1024
+    #: refresh the ``.stats`` sidecar every N completions (plus once at
+    #: the first completion and once at shutdown)
+    stats_every: int = 16
 
 
 class ServeApp:
@@ -124,7 +137,16 @@ class ServeApp:
             if self.config.rate_limit is not None
             else None
         )
-        self._results: List[RunResult] = []
+        self._stats_acc = StatsAccumulator(
+            self.run_id, workers=self.config.workers
+        )
+        # at most `workers` submissions in flight (engine semantics: a
+        # job's deadline starts when it reaches the pool); safe to
+        # create outside the loop on py3.10+ (lazy loop binding)
+        self._slots = asyncio.Semaphore(self.config.workers)
+        self._done_order: "deque[str]" = deque()
+        self._active_count = 0
+        self._recorded = 0
         self._job_index = 0
         self._started_at = time.monotonic()
         self._loop: Optional[asyncio.AbstractEventLoop] = None
@@ -149,8 +171,18 @@ class ServeApp:
         return ShardedRunStore(p)
 
     # -- lifecycle ------------------------------------------------------
-    async def serve(self, ready: Optional[threading.Event] = None) -> None:
-        """Run the server until shutdown is requested."""
+    async def serve(
+        self,
+        ready: Optional[threading.Event] = None,
+        on_bound: Optional[Callable[[Tuple[str, int]], None]] = None,
+    ) -> None:
+        """Run the server until shutdown is requested.
+
+        ``ready`` is set and ``on_bound`` is called with the actually
+        bound ``(host, port)`` once the listening socket exists — with
+        ``port=0`` in the config, that is the only way callers learn
+        the ephemeral port.
+        """
         self._loop = asyncio.get_running_loop()
         self._shutdown = asyncio.Event()
         if self.config.warmup and _pool_supported():
@@ -160,6 +192,8 @@ class ServeApp:
         )
         sock = self._server.sockets[0]
         self.address = sock.getsockname()[:2]
+        if on_bound is not None:
+            on_bound(self.address)
         self.fanout.emit(
             "run_started",
             run_id=self.run_id,
@@ -179,10 +213,12 @@ class ServeApp:
             await asyncio.sleep(0.05)
 
     def _finalize(self) -> None:
+        # the accumulator, not self.jobs: done jobs may have been
+        # evicted from memory but still count toward the lifetime tally
         counts = {"ok": 0, "failed": 0, "timeout": 0, "cached": 0}
-        for job in self.jobs.values():
-            if job.status in counts:
-                counts[job.status] += 1
+        for status, n in self._stats_acc.status_counts.items():
+            if status in counts:
+                counts[status] = n
         try:
             self.fanout.emit(
                 "run_finished",
@@ -328,7 +364,9 @@ class ServeApp:
         }
 
     def _active(self) -> int:
-        return sum(1 for job in self.jobs.values() if not job.done)
+        # tracked incrementally (+1 per admitted execution, -1 per
+        # completion) instead of scanning every retained job per submit
+        return self._active_count
 
     # -- submission / dedupe --------------------------------------------
     def _client_key(self, writer, headers) -> str:
@@ -405,11 +443,17 @@ class ServeApp:
         )
         self._job_index += 1
         self.jobs[request_hash] = job
+        self._active_count += 1
         asyncio.ensure_future(self._execute(job))
         await self._answer(writer, job, wait, timeout, source="executed")
 
     async def _answer(self, writer, job, wait, timeout, *, source) -> None:
         """Answer one submitter: block on the job future, or ack."""
+        if job.done:
+            # already complete — including jobs materialized from the
+            # disk cache, which carry no future to wait on
+            self._respond(writer, 200, job_payload(job, source=source))
+            return
         if wait:
             try:
                 await asyncio.wait_for(asyncio.shield(job.future), timeout)
@@ -431,6 +475,28 @@ class ServeApp:
         if self.cache is None:
             return None
         hit = self.cache.get(request)
+        return self._materialize(request, request_hash, hit)
+
+    def _from_cache_hash(self, request_hash: str) -> Optional[Job]:
+        """Rematerialize an evicted hash from the disk cache.
+
+        ``max_done_jobs`` eviction only drops the in-memory copy; the
+        cache entry still holds the request and report, so ``/result``
+        keeps answering for hashes the server no longer remembers.
+        """
+        if self.cache is None:
+            return None
+        hit = self.cache.get_by_hash(request_hash)
+        if hit is None or not isinstance(hit.get("request"), dict):
+            return None
+        try:
+            request = RunRequest.from_dict(hit["request"])
+        except (TypeError, ValueError, KeyError):
+            return None
+        return self._materialize(request, request_hash, hit)
+
+    def _materialize(self, request, request_hash: str, hit) -> Optional[Job]:
+        """Turn one cache record into a completed, recorded job."""
         if hit is None or hit.get("report") is None:
             return None
         job = Job(
@@ -459,71 +525,116 @@ class ServeApp:
         payload: Optional[Dict] = None
         compute = 0.0
         wall = 0.0
-        while True:
-            attempt += 1
-            started = time.monotonic()
-            try:
-                payload = await asyncio.wait_for(
-                    self.pool.submit_async(
-                        job.request, attempt=attempt, spans=config.spans
-                    ),
-                    config.timeout,
-                )
-            except asyncio.TimeoutError:
-                spent = time.monotonic() - started
-                wall += spent
-                compute += spent
-                status, error = "timeout", (
-                    f"timed out after {config.timeout:g}s"
-                )
-                # the stuck worker cannot be reclaimed; abandon the
-                # executor so the pool is healthy for the next job
-                self.pool.restart()
-            except Exception as exc:
-                spent = time.monotonic() - started
-                wall += spent
-                compute += spent
-                status, error = "failed", f"{type(exc).__name__}: {exc}"
-            else:
-                attempt_wall = time.monotonic() - started
-                wall += attempt_wall
-                compute += payload.get("compute_time_s", attempt_wall)
-                status, error = "ok", ""
+        try:
+            while True:
+                attempt += 1
+                try:
+                    # wait (untimed) for a dispatch slot: the timeout
+                    # clock must start when the job reaches the pool,
+                    # or jobs queued behind a slow sibling burn their
+                    # budget without ever running
+                    await self._slots.acquire()
+                except asyncio.CancelledError:
+                    status = "failed"
+                    error = "cancelled at server shutdown"
+                    break
+                started = time.monotonic()
+                try:
+                    payload = await asyncio.wait_for(
+                        self.pool.submit_async(
+                            job.request, attempt=attempt, spans=config.spans
+                        ),
+                        config.timeout,
+                    )
+                except asyncio.CancelledError:
+                    # A sibling's timeout restarted the pool
+                    # (cancel_futures=True cancels our still-queued
+                    # submission) — or the server is tearing down.
+                    # CancelledError is a BaseException, so without
+                    # this clause it would kill the task with the job
+                    # stuck "running" and its waiters stranded.  Mirror
+                    # Engine._run_pool: resubmit the survivor against
+                    # the fresh executor at the same attempt number; at
+                    # shutdown, finalize as failed instead.
+                    wall += time.monotonic() - started
+                    if self._shutdown is None or self._shutdown.is_set():
+                        status = "failed"
+                        error = "cancelled at server shutdown"
+                        break
+                    attempt -= 1
+                    continue
+                except asyncio.TimeoutError:
+                    spent = time.monotonic() - started
+                    wall += spent
+                    compute += spent
+                    status, error = "timeout", (
+                        f"timed out after {config.timeout:g}s"
+                    )
+                    # the stuck worker cannot be reclaimed; abandon the
+                    # executor so the pool is healthy for the next job
+                    self.pool.restart()
+                except Exception as exc:
+                    spent = time.monotonic() - started
+                    wall += spent
+                    compute += spent
+                    status, error = "failed", f"{type(exc).__name__}: {exc}"
+                else:
+                    attempt_wall = time.monotonic() - started
+                    wall += attempt_wall
+                    compute += payload.get("compute_time_s", attempt_wall)
+                    status, error = "ok", ""
+                    break
+                finally:
+                    # slot freed per attempt: backoff sleeps and the
+                    # final bookkeeping never hold a worker hostage
+                    self._slots.release()
+                if attempt <= config.retries:
+                    await asyncio.sleep(config.backoff * (2 ** (attempt - 1)))
+                    continue
                 break
-            if attempt <= config.retries:
-                await asyncio.sleep(config.backoff * (2 ** (attempt - 1)))
-                continue
-            break
-
-        job.attempts = attempt
-        job.wall_time_s = wall
-        job.status = status
-        job.error = error
-        if status == "ok" and payload is not None:
-            job.report_record = payload["report"]
-            job.spans = payload.get("spans")
-            if self.cache is not None:
-                self.cache.put(
-                    job.request,
-                    {
-                        "request": job.request.to_dict(),
-                        "request_hash": job.request_hash,
-                        "status": "ok",
-                        "wall_time_s": wall,
-                        "report": job.report_record,
-                    },
+        finally:
+            # Finalization runs however the loop exits — including a
+            # task cancellation during retry backoff: the job must
+            # reach "done" and its future must resolve, or riders wait
+            # forever and the admission slot leaks.
+            job.attempts = max(1, attempt)
+            job.wall_time_s = wall
+            job.status = status
+            job.error = error
+            if status == "ok" and payload is not None:
+                job.report_record = payload["report"]
+                job.spans = payload.get("spans")
+            job.state = "done"
+            job.finished_at = time.monotonic()
+            self._active_count -= 1
+            try:
+                if status == "ok" and self.cache is not None:
+                    self.cache.put(
+                        job.request,
+                        {
+                            "request": job.request.to_dict(),
+                            "request_hash": job.request_hash,
+                            "status": "ok",
+                            "wall_time_s": wall,
+                            "report": job.report_record,
+                        },
+                    )
+                self._record(
+                    job,
+                    queue_wait=max(0.0, wall - compute),
+                    compute=compute,
                 )
-        job.state = "done"
-        job.finished_at = time.monotonic()
-        self._record(job, queue_wait=max(0.0, wall - compute), compute=compute)
-        if (
-            self.cache is not None
-            and config.cache_max_bytes is not None
-            and self.counters.executed % max(1, config.prune_every) == 0
-        ):
-            self.cache.prune(max_bytes=config.cache_max_bytes)
-        if not job.future.done():
-            job.future.set_result(job)
+                if (
+                    self.cache is not None
+                    and config.cache_max_bytes is not None
+                    and self.counters.executed % max(1, config.prune_every)
+                    == 0
+                ):
+                    self.cache.prune(max_bytes=config.cache_max_bytes)
+            except Exception as exc:  # persistence must not strand waiters
+                job.error = job.error or f"persist: {exc}"
+            if job.future is not None and not job.future.done():
+                job.future.set_result(job)
 
     # -- persistence + events -------------------------------------------
     def _record(
@@ -543,10 +654,18 @@ class ServeApp:
             compute_time_s=compute,
             spans=job.spans,
         )
-        self._results.append(result)
+        self._stats_acc.add(result)
+        self._recorded += 1
+        self._done_order.append(job.request_hash)
+        self._evict_done()
         if self.store is not None:
             self.store.append(make_record(self.run_id, result))
-            self._write_stats()
+            # refresh the sidecar on the first completion and then
+            # every stats_every-th (plus once at shutdown) — rewriting
+            # it per completion is O(n²) over a server's lifetime
+            every = max(1, self.config.stats_every)
+            if every == 1 or self._recorded % every == 1:
+                self._write_stats()
         try:
             self.fanout.emit(
                 "job_finished",
@@ -562,35 +681,64 @@ class ServeApp:
         except RuntimeError:  # pragma: no cover - closed during shutdown
             pass
 
+    def _evict_done(self) -> None:
+        """Bound completed-job memory: drop the oldest done jobs.
+
+        Only the in-memory :class:`Job` (with its report dictionary)
+        goes; the store record and cache entry survive, so an evicted
+        hash is still answered — from the disk cache on ``/result``
+        and ``/submit``, or by re-execution when uncached.
+        """
+        limit = max(0, self.config.max_done_jobs)
+        while len(self._done_order) > limit:
+            request_hash = self._done_order.popleft()
+            job = self.jobs.get(request_hash)
+            if job is not None and job.done:
+                del self.jobs[request_hash]
+
     def _write_stats(self) -> None:
-        if self.store is None or not self._results:
+        if self.store is None or not self._stats_acc.n_jobs:
             return
-        stats = stats_from_results(
-            self.run_id,
-            self._results,
-            workers=self.pool.workers,
+        stats = self._stats_acc.snapshot(
             duration_s=time.monotonic() - self._started_at,
         )
         self.store.write_stats(self.run_id, stats.to_dict())
 
     # -- results + streaming --------------------------------------------
     async def _result(self, writer, request_hash: str, query) -> None:
+        try:
+            timeout = float(query["timeout"]) if "timeout" in query else None
+        except ValueError:
+            self._respond(
+                writer,
+                400,
+                error_payload(f"bad timeout {query['timeout']!r}"),
+            )
+            return
         job = self.jobs.get(request_hash)
+        if job is None:
+            # evicted from memory? the disk cache still knows the hash
+            job = self._from_cache_hash(request_hash)
         if job is None:
             self._respond(
                 writer, 404, error_payload(f"unknown request {request_hash}")
             )
             return
         wait = query.get("wait", "0") not in ("0", "", "false")
-        timeout = float(query["timeout"]) if "timeout" in query else None
         await self._answer(
-            writer, job, wait or job.done, timeout,
+            writer, job, wait, timeout,
             source="cache" if job.done else "executed",
         )
 
     async def _events(self, writer, query) -> None:
         """Stream fan-out events to one subscriber, newline-delimited."""
-        limit = int(query["count"]) if "count" in query else None
+        try:
+            limit = int(query["count"]) if "count" in query else None
+        except ValueError:
+            self._respond(
+                writer, 400, error_payload(f"bad count {query['count']!r}")
+            )
+            return
         events: "asyncio.Queue" = asyncio.Queue()
         loop = self._loop
         handle = self.fanout.subscribe(
@@ -658,11 +806,19 @@ class ServerThread:
             self._thread.join(timeout=30)
 
 
-def run_server(config: Optional[ServeConfig] = None) -> ServeApp:
-    """Blocking entry point (the ``repro serve`` CLI command)."""
+def run_server(
+    config: Optional[ServeConfig] = None,
+    on_bound: Optional[Callable[[Tuple[str, int]], None]] = None,
+) -> ServeApp:
+    """Blocking entry point (the ``repro serve`` CLI command).
+
+    ``on_bound`` fires with the actually bound ``(host, port)`` once
+    the socket exists — how ``--port 0`` callers learn their ephemeral
+    port.
+    """
     app = ServeApp(config)
     try:
-        asyncio.run(app.serve())
+        asyncio.run(app.serve(on_bound=on_bound))
     except KeyboardInterrupt:
         pass
     return app

@@ -43,6 +43,38 @@ def run_with_store(tmp_path, **config):
     return engine, results, RunStore(store_path)
 
 
+class TestStatsAccumulator:
+    """The serve layer's incremental aggregator must match the batch
+    ``stats_from_results`` fold over the same results."""
+
+    def test_matches_batch_aggregation(self, tmp_path):
+        from repro.engine.stats import StatsAccumulator, stats_from_results
+
+        _, results, _ = run_with_store(tmp_path)
+        acc = StatsAccumulator("run", workers=1)
+        for result in results:
+            acc.add(result)
+        snapshot = acc.snapshot(duration_s=2.0)
+        batch = stats_from_results("run", results, workers=1, duration_s=2.0)
+        assert snapshot.to_dict() == batch.to_dict()
+
+    def test_keep_jobs_truncates_only_the_job_table(self, tmp_path):
+        from repro.engine.stats import StatsAccumulator
+
+        _, results, _ = run_with_store(tmp_path)
+        acc = StatsAccumulator("run", workers=1, keep_jobs=1)
+        for result in results:
+            acc.add(result)
+        snapshot = acc.snapshot(duration_s=1.0)
+        # only the newest per-job row is retained ...
+        assert len(snapshot.jobs) == 1
+        assert snapshot.jobs[0].benchmark == SUBSET[-1]
+        # ... every aggregate still covers all results
+        assert snapshot.n_jobs == len(SUBSET)
+        assert snapshot.status_counts == {"ok": 3}
+        assert set(snapshot.benchmarks) == set(SUBSET)
+
+
 class TestRunStatsFromEngine:
     def test_fresh_run_scheduler_metrics(self, tmp_path):
         engine, results, store = run_with_store(tmp_path)

@@ -300,6 +300,189 @@ class TestAdmissionControl:
             assert counters["submitted"] == 2
 
 
+class TestTimeoutRecovery:
+    @pytest.mark.skipif(
+        not _pool_supported(), reason="process pool unavailable"
+    )
+    def test_queued_sibling_survives_pool_restart(self, monkeypatch):
+        """A sibling queued behind a worker that times out must still
+        complete: its timeout clock only starts once it reaches the
+        pool (slot wait is untimed), and if the restart cancels its
+        submission it is resubmitted instead of the CancelledError
+        killing the task — which left the job "running" forever and
+        leaked admission slots."""
+        from repro.engine.pool import ENV_INJECT_SLEEP
+
+        monkeypatch.setenv(ENV_INJECT_SLEEP, "fft:10")
+        config = ServeConfig(port=0, workers=1, timeout=4.0)
+        with ServerThread(config) as (host, port):
+            client = ServeClient(host, port)
+            slow = client.submit(
+                {"benchmark": "fft", "params": {"n": 64}}, wait=False
+            )
+            # queued behind the stuck worker; its pool future is
+            # cancelled when fft's timeout abandons the executor
+            sibling = client.submit({"benchmark": "lu", "params": {"n": 16}})
+            assert sibling["job"]["status"] == "ok"
+            assert sibling["report"]["flop_count"] > 0
+            timed_out = client.result(
+                slow["job"]["request_hash"], wait=True, timeout=30
+            )
+            assert timed_out["job"]["status"] == "timeout"
+            assert "timed out" in timed_out["job"]["error"]
+            # both jobs finished: no admission slot leaked
+            assert client.stats()["active"] == 0
+
+    def test_execute_resubmits_cancelled_pool_future(self):
+        """Unit cut of the restart race: a pool restart cancels a
+        still-queued submission (CancelledError, a BaseException);
+        _execute must resubmit at the same attempt number and finish
+        the job instead of dying with the future unresolved."""
+        import asyncio
+
+        from repro.serve.server import ServeApp
+
+        calls = []
+
+        class FlakyPool:
+            workers = 1
+            generation = 1
+            process_based = False
+
+            async def submit_async(self, request, *, attempt, spans):
+                calls.append(attempt)
+                if len(calls) == 1:
+                    # what wrap_future raises when restart() cancelled
+                    # the queued submission
+                    raise asyncio.CancelledError
+                return {"report": {"flop_count": 1}, "compute_time_s": 0.0}
+
+            def restart(self):
+                pass
+
+            def shutdown(self, wait=False):
+                pass
+
+        async def main():
+            app = ServeApp(ServeConfig(workers=1, warmup=False))
+            app._loop = asyncio.get_running_loop()
+            app._shutdown = asyncio.Event()
+            app.pool = FlakyPool()
+            request = RunRequest(benchmark="fft", params={"n": 64})
+            job_future = app._loop.create_future()
+            from repro.serve.state import Job
+
+            job = Job(
+                request=request,
+                request_hash=request.content_hash(),
+                future=job_future,
+            )
+            app.jobs[job.request_hash] = job
+            app._active_count += 1
+            await asyncio.wait_for(app._execute(job), 10)
+            return app, job
+
+        app, job = asyncio.run(main())
+        assert job.status == "ok"
+        assert job.attempts == 1  # the cancelled try did not count
+        assert job.report_record == {"flop_count": 1}
+        assert job.future.done()
+        assert calls == [1, 1]
+        assert app._active() == 0
+
+
+class TestDiskCacheFallback:
+    def test_result_wait_on_cache_materialized_job(self, tmp_path):
+        """``/result?wait=1`` for a job this server instance never ran
+        must materialize the disk-cache hit and answer 200 — such jobs
+        carry no future to wait on."""
+        request = {"benchmark": "lu", "params": {"n": 24}}
+        cache = str(tmp_path / "cache")
+        config = ServeConfig(port=0, workers=1, cache_dir=cache, timeout=120)
+        with ServerThread(config) as (host, port):
+            first = ServeClient(host, port).submit(request)
+            assert first["job"]["status"] == "ok"
+            request_hash = first["job"]["request_hash"]
+        fresh = ServeConfig(port=0, workers=1, cache_dir=cache, warmup=False)
+        with ServerThread(fresh) as (host, port):
+            client = ServeClient(host, port)
+            done = client.result(request_hash, wait=True, timeout=5)
+            assert done["job"]["state"] == "done"
+            assert done["job"]["status"] == "cached"
+            assert done["report"] == first["report"]
+            # submitting the same request also waits cleanly on the
+            # materialized (future-less) job
+            again = client.submit(request)
+            assert again["job"]["source"] == "cache"
+            assert again["report"] == first["report"]
+
+    def test_done_jobs_evicted_but_still_served(self, tmp_path):
+        """``max_done_jobs`` bounds completed-job memory; evicted
+        hashes are still answered from the disk cache, not re-run."""
+        config = ServeConfig(
+            port=0, workers=1, warmup=False, timeout=120,
+            cache_dir=str(tmp_path / "cache"), max_done_jobs=2,
+        )
+        with ServerThread(config) as (host, port):
+            client = ServeClient(host, port)
+            hashes = [
+                client.submit(small_request(i))["job"]["request_hash"]
+                for i in range(4)
+            ]
+            stats = client.stats()
+            assert stats["jobs"] <= 2
+            assert stats["active"] == 0
+            payload = client.result(hashes[0], wait=True, timeout=10)
+            assert payload["job"]["state"] == "done"
+            assert payload["report"]["flop_count"] > 0
+            again = client.submit(small_request(0))
+            assert again["job"]["source"] == "cache"
+            assert client.stats()["counters"]["executed"] == 4
+
+
+class TestQueryValidation:
+    def test_bad_events_count_is_400(self, server):
+        host, port, _ = server
+        with pytest.raises(ServeError) as err:
+            ServeClient(host, port)._request("GET", "/events?count=banana")
+        assert err.value.status == 400
+
+    def test_bad_result_timeout_is_400(self, server):
+        host, port, _ = server
+        with pytest.raises(ServeError) as err:
+            ServeClient(host, port)._request(
+                "GET", f"/result/{'0' * 64}?wait=1&timeout=banana"
+            )
+        assert err.value.status == 400
+
+
+class TestEphemeralPortAnnounce:
+    def test_run_server_reports_bound_port(self):
+        """``--port 0`` callers learn the actually bound port via the
+        on_bound callback (the CLI prints it from there)."""
+        from repro.serve.server import run_server
+
+        bound = {}
+        ready = threading.Event()
+
+        def boot() -> None:
+            run_server(
+                ServeConfig(port=0, workers=1, warmup=False),
+                on_bound=lambda addr: (bound.update(addr=addr), ready.set()),
+            )
+
+        thread = threading.Thread(target=boot, daemon=True)
+        thread.start()
+        assert ready.wait(timeout=30)
+        host, port = bound["addr"]
+        assert port != 0
+        client = ServeClient(host, port)
+        assert client.health()["ok"]
+        client.shutdown()
+        thread.join(timeout=30)
+        assert not thread.is_alive()
+
+
 class TestPersistence:
     def test_sharded_store_and_sidecar_written(self, server):
         host, port, tmp = server
