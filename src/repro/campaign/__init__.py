@@ -1,0 +1,60 @@
+"""Machine-space campaigns: declarative sweeps run through the engine.
+
+A campaign is a named JSON spec (benchmarks × machines × node counts ×
+tiers × parameter grids) compiled into a deduplicated
+:class:`~repro.engine.jobs.RunRequest` plan and executed with the
+engine's parallelism, content-hash cache and sharded stores — which
+makes campaigns resumable for free.  On top of the stored results sit
+the campaign analytics: communication-roofline placement per point,
+strong-scaling efficiency series, and run-vs-run diffs.
+
+See ``docs/CAMPAIGNS.md`` for the spec format and CLI workflow.
+"""
+
+from repro.campaign.analytics import (
+    ReconcileError,
+    RooflinePoint,
+    campaign_diff,
+    roofline_from_results,
+    roofline_from_store,
+    roofline_point,
+    roofline_report,
+    scaling_series,
+)
+from repro.campaign.runner import (
+    DEFAULT_ROOT,
+    CampaignResult,
+    CampaignStatus,
+    campaign_paths,
+    campaign_status,
+    run_campaign,
+)
+from repro.campaign.spec import (
+    SPEC_SCHEMA_VERSION,
+    CampaignSpec,
+    GroupSpec,
+    load_spec,
+    save_spec,
+)
+
+__all__ = [
+    "CampaignResult",
+    "CampaignSpec",
+    "CampaignStatus",
+    "DEFAULT_ROOT",
+    "GroupSpec",
+    "ReconcileError",
+    "RooflinePoint",
+    "SPEC_SCHEMA_VERSION",
+    "campaign_diff",
+    "campaign_paths",
+    "campaign_status",
+    "load_spec",
+    "roofline_from_results",
+    "roofline_from_store",
+    "roofline_point",
+    "roofline_report",
+    "run_campaign",
+    "save_spec",
+    "scaling_series",
+]

@@ -30,7 +30,19 @@ Subcommands
     6 measured-vs-paper).  The measured tables accept the same engine
     options.
 ``sweep``
-    Sweep a benchmark parameter or the node count.
+    Sweep a benchmark parameter or the node count.  Points execute
+    through the engine, so the engine options (``--jobs``,
+    ``--cache-dir``, ``--store``, ...) apply.
+``campaign``
+    Declarative machine-space sweeps (see ``docs/CAMPAIGNS.md``):
+    ``campaign run SPEC`` compiles a JSON spec into a deduplicated
+    request plan and executes it through the engine — parallel,
+    content-hash cached, and therefore resumable after a kill;
+    ``campaign status SPEC`` reports completed vs pending points;
+    ``campaign report SPEC`` derives the roofline /
+    arithmetic-intensity analytics and strong-scaling series of a
+    stored run; ``campaign diff SPEC A B`` gates one campaign run
+    against another.
 ``engine``
     Inspect the run store: ``engine runs`` lists stored runs,
     ``engine history`` prints per-job records, ``engine diff A B``
@@ -305,35 +317,52 @@ def _cmd_tables(args) -> int:
 
 
 def _cmd_sweep(args) -> int:
+    from repro.engine import Engine
     from repro.suite.sweeps import (
         efficiency_series,
-        machine_sweep,
-        parameter_sweep,
+        engine_machine_sweep,
+        engine_parameter_sweep,
     )
 
     values = [_parse_value(v) for v in args.values.split(",")]
     fixed = _parse_params(args.param)
-    if args.over == "nodes":
-        if args.machine in FIXED_NODE_PRESETS:
-            raise SystemExit(
-                f"cannot sweep nodes on machine preset {args.machine!r} "
-                f"(fixed at {FIXED_NODE_PRESETS[args.machine]} node(s))"
+    engine = Engine(_engine_config(args))
+    try:
+        if args.over == "nodes":
+            if args.machine in FIXED_NODE_PRESETS:
+                raise SystemExit(
+                    f"cannot sweep nodes on machine preset {args.machine!r} "
+                    f"(fixed at {FIXED_NODE_PRESETS[args.machine]} node(s))"
+                )
+            sweep = engine_machine_sweep(
+                engine,
+                args.name,
+                values,
+                machine=args.machine,
+                tier=args.tier,
+                params=fixed,
             )
-        factory = PRESETS[args.machine]
-        sweep = machine_sweep(
-            args.name, factory, values, fixed, tier=VersionTier(args.tier)
-        )
-        print(sweep.table())
-        eff = efficiency_series(sweep)
-        pairs = ", ".join(
-            f"{n}: {e:.2f}" for n, e in zip(values, eff["efficiency"])
-        )
-        print(f"\nparallel efficiency vs {values[0]} nodes: {pairs}")
-    else:
-        sweep = parameter_sweep(
-            args.name, args.over, values, lambda: _make_session(args), fixed
-        )
-        print(sweep.table())
+            print(sweep.table())
+            eff = efficiency_series(sweep)
+            pairs = ", ".join(
+                f"{n}: {e:.2f}" for n, e in zip(values, eff["efficiency"])
+            )
+            print(f"\nparallel efficiency vs {values[0]} nodes: {pairs}")
+        else:
+            nodes = _effective_nodes(args.machine, args.nodes)
+            sweep = engine_parameter_sweep(
+                engine,
+                args.name,
+                args.over,
+                values,
+                machine=args.machine,
+                nodes=nodes,
+                tier=args.tier,
+                fixed_params=fixed,
+            )
+            print(sweep.table())
+    except RuntimeError as exc:
+        raise SystemExit(str(exc)) from None
     return 0
 
 
@@ -472,22 +501,256 @@ def _cmd_engine_check(args) -> int:
             baseline = _load_run_stats(store, args.baseline).benchmarks
     except KeyError as exc:
         raise SystemExit(exc.args[0] if exc.args else str(exc)) from None
-    report = compare_benchmarks(stats.benchmarks, baseline, args.tolerance)
+    report = compare_benchmarks(
+        stats.benchmarks, baseline, args.tolerance, strict=args.strict
+    )
     print(report.table())
     if args.bench_out:
         point = trajectory_point(stats)
         point["check"] = {
             "baseline": args.baseline,
             "tolerance_pct": args.tolerance,
+            "strict": args.strict,
             "ok": report.ok,
             "regressions": len(report.regressions),
             "missing": report.missing,
+            "extra": report.extra,
         }
         Path(args.bench_out).write_text(
             json_module.dumps(point, sort_keys=True, indent=2) + "\n",
             encoding="utf-8",
         )
         print(f"trajectory point written to {args.bench_out}")
+    return 0 if report.ok else 1
+
+
+def _load_campaign_spec(path):
+    from repro.campaign import load_spec
+
+    try:
+        return load_spec(path)
+    except OSError as exc:
+        raise SystemExit(f"cannot read campaign spec {path}: {exc}") from None
+    except ValueError as exc:
+        raise SystemExit(f"bad campaign spec {path}: {exc}") from None
+
+
+def _campaign_store(args, spec):
+    """Resolve the campaign's store path from CLI overrides."""
+    from pathlib import Path
+
+    from repro.campaign import campaign_paths
+
+    store_path, _ = campaign_paths(spec.name, args.root)
+    return Path(args.store) if args.store else store_path
+
+
+def _cmd_campaign_run(args) -> int:
+    from repro.campaign import run_campaign
+    from repro.suite.tables import engine_summary_line
+
+    spec = _load_campaign_spec(args.spec)
+    plan = spec.compile()
+    label = spec.name + (f": {spec.description}" if spec.description else "")
+    print(f"campaign {label}")
+    print(f"  {len(plan)} unique points across {len(spec.groups)} group(s)")
+    result = run_campaign(
+        spec,
+        root=args.root,
+        jobs=args.jobs,
+        timeout=args.timeout,
+        retries=args.retries,
+        store=args.store,
+        cache_dir=args.cache_dir,
+    )
+    print("  " + engine_summary_line(result.results, result.stats))
+    bad = [r for r in result.results if not r.ok]
+    for failure in bad[:10]:
+        print(
+            f"  {failure.request.describe()}: {failure.status}: "
+            f"{failure.error}"
+        )
+    if len(bad) > 10:
+        print(f"  ... and {len(bad) - 10} more failed point(s)")
+    if args.report:
+        import json as json_module
+
+        from repro.campaign import roofline_from_results
+
+        doc = roofline_from_results(
+            result.results, name=spec.name, strict=not bad
+        )
+        with open(args.report, "w", encoding="utf-8") as fh:
+            json_module.dump(doc, fh, sort_keys=True, indent=2)
+            fh.write("\n")
+        print(f"  roofline report written to {args.report}")
+    print(f"  store: {result.store_path}  cache: {result.cache_dir}")
+    return 1 if bad else 0
+
+
+def _cmd_campaign_status(args) -> int:
+    import json as json_module
+
+    from repro.campaign import campaign_status
+
+    spec = _load_campaign_spec(args.spec)
+    status = campaign_status(
+        spec, root=args.root, store=args.store, cache_dir=args.cache_dir
+    )
+    if args.json:
+        print(json_module.dumps(status.to_dict(), sort_keys=True, indent=2))
+        return 0
+    print(f"campaign {status.name}")
+    print(
+        f"  {status.completed}/{status.total} points completed "
+        f"({100 * status.fraction_complete:.1f}%), "
+        f"{status.pending} pending"
+    )
+    if status.run_ids:
+        print(f"  runs recorded: {len(status.run_ids)} "
+              f"(latest {status.run_ids[-1]})")
+    if status.pending_by_benchmark:
+        worst = sorted(
+            status.pending_by_benchmark.items(),
+            key=lambda kv: (-kv[1], kv[0]),
+        )[:10]
+        pairs = ", ".join(f"{name}={n}" for name, n in worst)
+        print(f"  pending by benchmark: {pairs}")
+    return 0
+
+
+def _cmd_campaign_report(args) -> int:
+    import json as json_module
+
+    from repro.campaign import roofline_from_store, scaling_series
+    from repro.engine import open_store
+    from repro.engine.plan import requests_from_run
+    from repro.suite.tables import format_table
+
+    spec = _load_campaign_spec(args.spec)
+    store_path = _campaign_store(args, spec)
+    if not store_path.exists():
+        raise SystemExit(
+            f"campaign {spec.name!r} has no store at {store_path}; "
+            "run it first"
+        )
+    store = open_store(store_path)
+    try:
+        doc = roofline_from_store(
+            store, args.run, name=spec.name, strict=not args.no_strict
+        )
+    except KeyError as exc:
+        raise SystemExit(exc.args[0] if exc.args else str(exc)) from None
+
+    rows = []
+    for name, agg in doc["benchmarks"].items():
+        bounds = agg["bound_counts"]
+        intensity = (
+            f"{agg['min_intensity']:.3g}..{agg['max_intensity']:.3g}"
+            if agg["min_intensity"] is not None
+            else "-"
+        )
+        rows.append(
+            [
+                name,
+                str(agg["n_points"]),
+                f"{agg['best_achieved_mflops']:.2f}",
+                intensity,
+                f"{bounds['compute']}/{bounds['communication']}",
+                f"{agg['flop_total']:,}",
+                f"{agg['network_byte_total']:,}",
+            ]
+        )
+    print(
+        format_table(
+            [
+                "Benchmark",
+                "Points",
+                "Best MFLOP/s",
+                "Intensity",
+                "Comp/Comm",
+                "FLOPs",
+                "Net bytes",
+            ],
+            rows,
+        )
+    )
+    print(
+        f"\n{doc['n_points']} point(s), reconciled="
+        f"{str(doc['reconciled']).lower()}"
+    )
+
+    # Rebuild RunResults-shaped pairs for the scaling series off the
+    # stored records: group by configuration, needs request + report.
+    try:
+        records = store.run_records(args.run)
+    except KeyError as exc:
+        raise SystemExit(exc.args[0] if exc.args else str(exc)) from None
+    from repro.engine import RunResult, RunRequest
+    from repro.metrics.serialize import report_from_dict
+
+    results = []
+    for record in records:
+        if not record.get("request") or not record.get("report"):
+            continue
+        results.append(
+            RunResult(
+                request=RunRequest.from_dict(record["request"]),
+                status=record.get("status", "ok"),
+                report=report_from_dict(record["report"]),
+                report_record=record["report"],
+            )
+        )
+    series = scaling_series(results)
+    if series:
+        print(f"\nstrong-scaling series ({len(series)}):")
+        for entry in series:
+            pairs = ", ".join(
+                f"{n}: {e:.2f}"
+                for n, e in zip(entry["nodes"], entry["efficiency"])
+            )
+            params = (
+                " " + ",".join(f"{k}={v}" for k, v in entry["params"].items())
+                if entry["params"]
+                else ""
+            )
+            print(
+                f"  {entry['benchmark']} [{entry['machine']} "
+                f"{entry['tier']}{params}] efficiency {pairs}"
+            )
+    if args.out:
+        doc["scaling"] = series
+        doc["plan_points"] = len(requests_from_run(store, args.run))
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json_module.dump(doc, fh, sort_keys=True, indent=2)
+            fh.write("\n")
+        print(f"\nreport written to {args.out}")
+    return 0
+
+
+def _cmd_campaign_diff(args) -> int:
+    from repro.campaign import campaign_diff
+    from repro.engine import open_store
+
+    spec = _load_campaign_spec(args.spec)
+    store_path = _campaign_store(args, spec)
+    if not store_path.exists():
+        raise SystemExit(
+            f"campaign {spec.name!r} has no store at {store_path}; "
+            "run it first"
+        )
+    store = open_store(store_path)
+    try:
+        report = campaign_diff(
+            store,
+            args.run_a,
+            args.run_b,
+            tolerance_pct=args.tolerance,
+            strict=args.strict,
+        )
+    except KeyError as exc:
+        raise SystemExit(exc.args[0] if exc.args else str(exc)) from None
+    print(report.table())
     return 0 if report.ok else 1
 
 
@@ -908,7 +1171,109 @@ def build_parser() -> argparse.ArgumentParser:
         help="fixed benchmark parameter (repeatable)",
     )
     _add_machine_args(p_sweep)
+    _add_engine_args(p_sweep)
     p_sweep.set_defaults(fn=_cmd_sweep)
+
+    p_campaign = sub.add_parser(
+        "campaign",
+        help="declarative machine-space sweeps run through the engine "
+        "(parallel, cached, resumable) with roofline analytics",
+    )
+    sub_campaign = p_campaign.add_subparsers(
+        dest="campaign_command", required=True
+    )
+
+    def _add_campaign_paths(p):
+        p.add_argument(
+            "--root", default=".repro/campaigns", metavar="DIR",
+            help="directory campaigns keep stores/caches under "
+            "(default: .repro/campaigns)",
+        )
+        p.add_argument(
+            "--store", metavar="PATH",
+            help="override the campaign's run store location",
+        )
+        p.add_argument(
+            "--cache-dir", metavar="DIR",
+            help="override the campaign's result cache location",
+        )
+
+    p_crun = sub_campaign.add_parser(
+        "run",
+        help="compile a campaign spec and execute its plan; a rerun of "
+        "a killed campaign skips completed points via the cache",
+    )
+    p_crun.add_argument("spec", help="campaign spec JSON file")
+    p_crun.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes (default: 1)",
+    )
+    p_crun.add_argument(
+        "--timeout", type=float, metavar="SEC",
+        help="per-job timeout in seconds (enforced in --jobs>1 mode)",
+    )
+    p_crun.add_argument(
+        "--retries", type=int, default=0, metavar="K",
+        help="retries per failed job (default: 0)",
+    )
+    p_crun.add_argument(
+        "--report", metavar="PATH",
+        help="also write the roofline report JSON here",
+    )
+    _add_campaign_paths(p_crun)
+    p_crun.set_defaults(fn=_cmd_campaign_run)
+
+    p_cstatus = sub_campaign.add_parser(
+        "status",
+        help="completion picture of a campaign: points answered by its "
+        "cache vs still pending",
+    )
+    p_cstatus.add_argument("spec", help="campaign spec JSON file")
+    p_cstatus.add_argument(
+        "--json", action="store_true", help="emit JSON instead of text"
+    )
+    _add_campaign_paths(p_cstatus)
+    p_cstatus.set_defaults(fn=_cmd_campaign_status)
+
+    p_creport = sub_campaign.add_parser(
+        "report",
+        help="roofline / arithmetic-intensity analytics plus "
+        "strong-scaling series of a stored campaign run",
+    )
+    p_creport.add_argument("spec", help="campaign spec JSON file")
+    p_creport.add_argument(
+        "--run", default="latest",
+        help="run reference: id prefix, 'latest' (default) or @N",
+    )
+    p_creport.add_argument(
+        "--out", metavar="PATH", help="write the report document as JSON"
+    )
+    p_creport.add_argument(
+        "--no-strict", action="store_true",
+        help="mark unreconciled points instead of failing (stores "
+        "written before the FLOP-kind breakdown)",
+    )
+    _add_campaign_paths(p_creport)
+    p_creport.set_defaults(fn=_cmd_campaign_report)
+
+    p_cdiff = sub_campaign.add_parser(
+        "diff",
+        help="gate one campaign run against another (run A is the "
+        "baseline); exits non-zero on regression",
+    )
+    p_cdiff.add_argument("spec", help="campaign spec JSON file")
+    p_cdiff.add_argument("run_a", help="baseline run reference")
+    p_cdiff.add_argument("run_b", help="current run reference")
+    p_cdiff.add_argument(
+        "--tolerance", type=float, default=0.0, metavar="PCT",
+        help="allowed worse-direction drift per metric (default: 0)",
+    )
+    p_cdiff.add_argument(
+        "--strict", action="store_true",
+        help="also fail on benchmarks only run B measured",
+    )
+    _add_campaign_paths(p_cdiff)
+    p_cdiff.set_defaults(fn=_cmd_campaign_diff)
 
     p_engine = sub.add_parser(
         "engine", help="inspect the execution engine's run store"
@@ -993,6 +1358,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_check.add_argument(
         "--bench-out", metavar="PATH",
         help="write the run's BENCH-compatible trajectory point here",
+    )
+    p_check.add_argument(
+        "--strict", action="store_true",
+        help="also fail on benchmarks absent from the baseline "
+        "(coverage drift), not just regressions",
     )
     p_check.set_defaults(fn=_cmd_engine_check)
 

@@ -12,10 +12,34 @@ helpers keep working.
 
 from __future__ import annotations
 
+import itertools
 from typing import Iterable, List, Mapping, Optional, Sequence
 
 from repro.engine.jobs import RunRequest
 from repro.versions import VersionTier
+
+
+def expand_param_grid(
+    param_grid: Optional[Mapping[str, Sequence[object]]],
+) -> List[Mapping[str, object]]:
+    """Cartesian product of per-parameter value lists.
+
+    ``{"nx": [8, 16], "steps": [2]}`` becomes
+    ``[{"nx": 8, "steps": 2}, {"nx": 16, "steps": 2}]``.  An empty or
+    ``None`` grid yields the single empty combination, so callers can
+    always iterate the result.  Axis order follows insertion order of
+    the mapping; each axis must be non-empty.
+    """
+    if not param_grid:
+        return [{}]
+    axes = list(param_grid.items())
+    for key, values in axes:
+        if not values:
+            raise ValueError(f"param_grid axis {key!r} has no values")
+    combos = []
+    for combo in itertools.product(*(values for _, values in axes)):
+        combos.append({key: value for (key, _), value in zip(axes, combo)})
+    return combos
 
 
 def _dedup(requests: Iterable[RunRequest]) -> List[RunRequest]:
@@ -38,16 +62,20 @@ def expand_grid(
     tiers: Sequence[str] = ("basic",),
     params: Optional[Mapping[str, Mapping[str, object]]] = None,
     common_params: Optional[Mapping[str, object]] = None,
+    param_grid: Optional[Mapping[str, Sequence[object]]] = None,
     seed: Optional[int] = None,
     validate: bool = True,
 ) -> List[RunRequest]:
-    """Cartesian benchmarks × machines × nodes × tiers grid.
+    """Cartesian benchmarks × machines × nodes × tiers (× params) grid.
 
     ``params`` maps benchmark name to per-benchmark overrides, merged
-    over ``common_params``.  Benchmarks that do not provide a requested
-    tier are still planned (the runner falls back to the tier's merged
-    parameters); unknown benchmark names raise unless ``validate`` is
-    False.
+    over ``common_params``.  ``param_grid`` adds cartesian *parameter*
+    axes — each combination produced by :func:`expand_param_grid` is
+    merged over the static parameters, multiplying the plan size by the
+    number of combinations (this is how a campaign sweeps problem
+    sizes).  Benchmarks that do not provide a requested tier are still
+    planned (the runner falls back to the tier's merged parameters);
+    unknown benchmark names raise unless ``validate`` is False.
     """
     if validate:
         from repro.suite.registry import REGISTRY
@@ -59,23 +87,29 @@ def expand_grid(
                 f"unknown benchmark(s) {', '.join(unknown)}; known: {known}"
             )
     params = params or {}
+    combos = expand_param_grid(param_grid)
     requests = []
     for machine in machines:
         for node_count in nodes:
             for tier in tiers:
                 VersionTier(tier)
                 for name in benchmarks:
-                    merged = {**(common_params or {}), **params.get(name, {})}
-                    requests.append(
-                        RunRequest(
-                            benchmark=name,
-                            machine=machine,
-                            nodes=node_count,
-                            tier=tier,
-                            params=merged,
-                            seed=seed,
+                    for combo in combos:
+                        merged = {
+                            **(common_params or {}),
+                            **params.get(name, {}),
+                            **combo,
+                        }
+                        requests.append(
+                            RunRequest(
+                                benchmark=name,
+                                machine=machine,
+                                nodes=node_count,
+                                tier=tier,
+                                params=merged,
+                                seed=seed,
+                            )
                         )
-                    )
     return _dedup(requests)
 
 

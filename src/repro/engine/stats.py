@@ -538,8 +538,18 @@ class CheckReport:
     #: benchmarks the baseline measured but the current run did not
     #: (failed, timed out, or not planned) — always a gate failure
     missing: List[str] = field(default_factory=list)
-    #: benchmarks only the current run measured — informational
-    added: List[str] = field(default_factory=list)
+    #: benchmarks only the current run measured — previously silently
+    #: unchecked; informational by default, a gate failure under
+    #: ``strict`` (``engine check --strict``)
+    extra: List[str] = field(default_factory=list)
+    #: when True, ``extra`` benchmarks fail the gate too — a strict
+    #: check demands the run and baseline cover the same set
+    strict: bool = False
+
+    @property
+    def added(self) -> List[str]:
+        """Backward-compatible alias of :attr:`extra`."""
+        return self.extra
 
     @property
     def regressions(self) -> List[CheckRow]:
@@ -547,6 +557,8 @@ class CheckReport:
 
     @property
     def ok(self) -> bool:
+        if self.strict and self.extra:
+            return False
         return not self.regressions and not self.missing
 
     def table(self) -> str:
@@ -574,16 +586,32 @@ class CheckReport:
             )
         if self.missing:
             lines.append(f"missing vs baseline: {', '.join(self.missing)}")
-        if self.added:
-            lines.append(f"new vs baseline: {', '.join(self.added)}")
-        verdict = (
-            f"OK: no regression beyond {self.tolerance_pct:g}% across "
-            f"{len(self.rows)} metric(s)"
-            if self.ok
-            else f"FAIL: {len(self.regressions)} regression(s), "
-            f"{len(self.missing)} missing benchmark(s) at "
-            f"{self.tolerance_pct:g}% tolerance"
-        )
+        if self.extra:
+            suffix = " (strict: gate failure)" if self.strict else ""
+            shown = self.extra[:20]
+            listing = ", ".join(shown)
+            if len(self.extra) > len(shown):
+                listing += f", ... {len(self.extra) - len(shown)} more"
+            lines.append(
+                f"extra vs baseline: {len(self.extra)} benchmark(s): "
+                f"{listing}{suffix}"
+            )
+        if self.ok:
+            verdict = (
+                f"OK: no regression beyond {self.tolerance_pct:g}% across "
+                f"{len(self.rows)} metric(s)"
+            )
+        else:
+            parts = [
+                f"{len(self.regressions)} regression(s)",
+                f"{len(self.missing)} missing benchmark(s)",
+            ]
+            if self.strict and self.extra:
+                parts.append(f"{len(self.extra)} extra benchmark(s)")
+            verdict = (
+                f"FAIL: {', '.join(parts)} at "
+                f"{self.tolerance_pct:g}% tolerance"
+            )
         lines.append(verdict)
         return "\n".join(lines)
 
@@ -592,15 +620,19 @@ def compare_benchmarks(
     current: Mapping[str, Mapping[str, float]],
     baseline: Mapping[str, Mapping[str, float]],
     tolerance_pct: float,
+    *,
+    strict: bool = False,
 ) -> CheckReport:
     """Gate ``current`` per-benchmark metrics against ``baseline``.
 
     Direction-aware: times and FLOP counts regress upward, rates
     regress downward (:data:`CHECK_METRICS`).  A change is a regression
     only beyond ``tolerance_pct`` percent in the worse direction;
-    improvements of any size pass.
+    improvements of any size pass.  Benchmarks only the current run
+    measured are reported as :attr:`CheckReport.extra` — informational
+    unless ``strict``, which fails the gate on any coverage drift.
     """
-    report = CheckReport(tolerance_pct=tolerance_pct)
+    report = CheckReport(tolerance_pct=tolerance_pct, strict=strict)
     scale = tolerance_pct / 100.0
     for name in sorted(baseline):
         if name not in current:
@@ -631,7 +663,7 @@ def compare_benchmarks(
                     regressed=regressed,
                 )
             )
-    report.added = sorted(set(current) - set(baseline))
+    report.extra = sorted(set(current) - set(baseline))
     return report
 
 

@@ -95,11 +95,12 @@ class FlopCounter:
     the recorder aggregate child regions into their parents.
     """
 
-    __slots__ = ("_ops", "_weighted")
+    __slots__ = ("_ops", "_weighted", "_weighted_ops")
 
     def __init__(self) -> None:
         self._ops: Counter[FlopKind] = Counter()
         self._weighted: int = 0
+        self._weighted_ops: Counter[FlopKind] = Counter()
 
     def add(self, kind: FlopKind, count: int, *, complex_valued: bool = False) -> None:
         """Record ``count`` scalar operations of ``kind``."""
@@ -108,7 +109,9 @@ class FlopCounter:
         if count == 0:
             return
         self._ops[kind] += count
-        self._weighted += flop_cost(kind, count, complex_valued=complex_valued)
+        cost = flop_cost(kind, count, complex_valued=complex_valued)
+        self._weighted += cost
+        self._weighted_ops[kind] += cost
 
     def add_raw(self, flops: int) -> None:
         """Record pre-weighted FLOPs (used for reductions: ``N - 1``)."""
@@ -116,11 +119,13 @@ class FlopCounter:
             raise ValueError(f"flop count must be non-negative, got {flops}")
         self._ops[FlopKind.ADD] += flops
         self._weighted += flops
+        self._weighted_ops[FlopKind.ADD] += flops
 
     def merge(self, other: "FlopCounter") -> None:
         """Fold another counter into this one."""
         self._ops.update(other._ops)
         self._weighted += other._weighted
+        self._weighted_ops.update(other._weighted_ops)
 
     @property
     def total(self) -> int:
@@ -132,11 +137,23 @@ class FlopCounter:
         """Raw operation counts by kind (not cost-weighted)."""
         return dict(self._ops)
 
+    @property
+    def weighted_by_kind(self) -> Mapping[FlopKind, int]:
+        """Cost-weighted FLOPs by kind; sums exactly to :attr:`total`.
+
+        Complex-valued charges land under their scalar kind at the
+        complex decomposition cost, so the per-kind values always
+        reconcile with the DPF total — the invariant the campaign
+        roofline report is built on.
+        """
+        return dict(self._weighted_ops)
+
     def copy(self) -> "FlopCounter":
         """Independent copy of this counter."""
         out = FlopCounter()
         out._ops = Counter(self._ops)
         out._weighted = self._weighted
+        out._weighted_ops = Counter(self._weighted_ops)
         return out
 
     def __bool__(self) -> bool:

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.metrics.access import LocalAccess
+from repro.metrics.flops import FlopKind, merge_counters
 from repro.metrics.memory import TypeTag
 from repro.metrics.patterns import CommPattern
 from repro.metrics.recorder import MetricsRecorder, Region
@@ -73,6 +74,11 @@ class PerfReport:
     peak_mflops: Optional[float] = None
     segments: List[SegmentReport] = field(default_factory=list)
     extra: Dict[str, float] = field(default_factory=dict)
+    #: per-:class:`FlopKind` breakdown — ``{kind: {"ops": raw operation
+    #: count, "flops": cost-weighted FLOPs}}``; the weighted values sum
+    #: exactly to :attr:`flop_count` (empty for reports rebuilt from
+    #: records that predate the breakdown)
+    flop_kinds: Dict[FlopKind, Dict[str, int]] = field(default_factory=dict)
 
     # -- §1.5 performance metrics (1)-(4) -------------------------------
     @property
@@ -146,6 +152,12 @@ class PerfReport:
         segments = []
         for child in root.children:
             segments.extend(_segments_from_tree(child, prefix=""))
+        merged = merge_counters(r.flops for r in root.walk())
+        weighted = merged.weighted_by_kind
+        flop_kinds = {
+            kind: {"ops": ops, "flops": weighted.get(kind, 0)}
+            for kind, ops in sorted(merged.operations.items())
+        }
         return cls(
             benchmark=benchmark,
             version=version,
@@ -161,6 +173,7 @@ class PerfReport:
             iterations=max(1, iters),
             peak_mflops=peak_mflops,
             segments=segments,
+            flop_kinds=flop_kinds,
         )
 
     def summary(self) -> str:

@@ -16,6 +16,7 @@ import json
 from typing import Dict, Iterable, List
 
 from repro.metrics.access import LocalAccess
+from repro.metrics.flops import FlopKind
 from repro.metrics.memory import TypeTag
 from repro.metrics.patterns import CommPattern
 from repro.metrics.report import PerfReport, SegmentReport
@@ -40,6 +41,9 @@ def report_to_dict(report: PerfReport) -> Dict:
             tag.value: nbytes for tag, nbytes in report.memory_by_tag.items()
         },
         "arithmetic_efficiency": report.arithmetic_efficiency,
+        "flop_kinds": {
+            kind.value: dict(entry) for kind, entry in report.flop_kinds.items()
+        },
         "local_access": report.local_access.value,
         "network_bytes": report.network_bytes,
         "comm_counts": {
@@ -129,6 +133,10 @@ def report_from_dict(record: Dict) -> PerfReport:
         peak_mflops=record.get("peak_mflops"),
         segments=segments,
         extra=dict(record.get("observables", {})),
+        flop_kinds={
+            FlopKind(kind): {"ops": entry["ops"], "flops": entry["flops"]}
+            for kind, entry in record.get("flop_kinds", {}).items()
+        },
     )
 
 

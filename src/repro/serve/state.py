@@ -116,18 +116,46 @@ class TokenBucket:
     :meth:`allow` spends one token and returns 0.0, or — with the bucket
     empty — returns the seconds until the next token, which the server
     forwards to the client as ``Retry-After``.
+
+    Buckets are evicted once idle long enough to have refilled
+    completely: a full bucket is indistinguishable from an absent one
+    (a fresh bucket starts full), so eviction is lossless — without it
+    every distinct client key ever seen would stay resident forever,
+    and a long-lived server leaks memory under churning clients.  The
+    sweep is amortized: at most one full scan per refill period.
     """
 
-    def __init__(self, rate: float, burst: int = 1) -> None:
+    def __init__(self, rate: float, burst: int = 1, *, clock=None) -> None:
         if rate <= 0:
             raise ValueError(f"rate must be positive, got {rate!r}")
         self.rate = float(rate)
         self.burst = max(1, int(burst))
         self._buckets: Dict[str, tuple] = {}  # key -> (tokens, stamp)
+        self._clock = clock or time.monotonic
+        #: seconds for an empty bucket to refill — the idle horizon past
+        #: which a bucket carries no information, and the sweep cadence
+        self._refill_s = self.burst / self.rate
+        self._next_sweep = self._clock() + self._refill_s
+
+    def __len__(self) -> int:
+        """Number of resident (not yet evicted) buckets."""
+        return len(self._buckets)
+
+    def _sweep(self, now: float) -> None:
+        """Drop every bucket that has refilled to full while idle."""
+        full = float(self.burst)
+        self._buckets = {
+            key: (tokens, stamp)
+            for key, (tokens, stamp) in self._buckets.items()
+            if tokens + (now - stamp) * self.rate < full
+        }
+        self._next_sweep = now + self._refill_s
 
     def allow(self, key: str) -> float:
         """Admit one request for ``key``; 0.0, or seconds to retry after."""
-        now = time.monotonic()
+        now = self._clock()
+        if now >= self._next_sweep:
+            self._sweep(now)
         tokens, stamp = self._buckets.get(key, (float(self.burst), now))
         tokens = min(float(self.burst), tokens + (now - stamp) * self.rate)
         if tokens >= 1.0:

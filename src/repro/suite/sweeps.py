@@ -44,10 +44,26 @@ class SweepResult:
         return out
 
     def speedups(self, metric: str = "elapsed_time") -> List[float]:
-        """Ratio of the first point's metric to each point's."""
+        """Ratio of the first point's metric to each point's.
+
+        The base point anchors every ratio, so a zero-valued base makes
+        the whole series meaningless (``0/v`` everywhere) and raises.
+        A zero at a *later* point would be an infinite speedup — almost
+        always a broken measurement, not a result — and is marked
+        explicitly as ``nan`` rather than silently returned as ``inf``.
+        """
         series = self.series(metric)
+        if not series:
+            raise ValueError(
+                f"empty sweep for {self.benchmark!r}: no points to speed up"
+            )
         base = series[0]
-        return [base / v if v else float("inf") for v in series]
+        if base == 0:
+            raise ValueError(
+                f"degenerate sweep for {self.benchmark!r}: base point "
+                f"{self.parameter}={self.values[0]!r} has zero {metric}"
+            )
+        return [base / v if v else float("nan") for v in series]
 
     def table(self) -> str:
         """Plot-ready text table of the series."""
@@ -122,9 +138,27 @@ def tier_sweep(
 
 
 def efficiency_series(sweep: SweepResult) -> Dict[str, List[float]]:
-    """Parallel efficiency of a machine sweep: speedup / node-ratio."""
+    """Parallel efficiency of a machine sweep: speedup / node-ratio.
+
+    The node series must be positive and strictly increasing — the
+    base (first) point anchors the node ratios, so a zero base divides
+    by zero and an unsorted series silently miscomputes every ratio.
+    """
     if sweep.parameter != "nodes":
         raise ValueError("efficiency_series expects a machine sweep")
+    if not sweep.values:
+        raise ValueError("efficiency_series expects a non-empty sweep")
+    if any(n <= 0 for n in sweep.values):
+        raise ValueError(
+            f"node counts must be positive, got {list(sweep.values)}"
+        )
+    if list(sweep.values) != sorted(sweep.values) or len(
+        set(sweep.values)
+    ) != len(sweep.values):
+        raise ValueError(
+            "node counts must be strictly increasing, got "
+            f"{list(sweep.values)}"
+        )
     speedups = sweep.speedups("elapsed_time")
     base_nodes = sweep.values[0]
     return {
@@ -133,3 +167,73 @@ def efficiency_series(sweep: SweepResult) -> Dict[str, List[float]]:
             s / (n / base_nodes) for s, n in zip(speedups, sweep.values)
         ],
     }
+
+
+# -- engine delegation --------------------------------------------------
+def engine_parameter_sweep(
+    engine,
+    benchmark: str,
+    parameter: str,
+    values: Sequence,
+    *,
+    machine: str = "cm5",
+    nodes: int = 32,
+    tier: str = "basic",
+    fixed_params: Optional[Mapping[str, object]] = None,
+) -> SweepResult:
+    """:func:`parameter_sweep` executed through the engine.
+
+    Points become declarative :class:`~repro.engine.jobs.RunRequest` s
+    and run with whatever the engine offers — worker-pool parallelism,
+    the content-hash cache, durable stores — instead of serially
+    in-process.  The assembled :class:`SweepResult` is identical to the
+    in-process path's (the simulation is deterministic).
+    """
+    from repro.engine.plan import expand_grid, sweep_from_results
+
+    requests = expand_grid(
+        [benchmark],
+        machines=(machine,),
+        nodes=(nodes,),
+        tiers=(tier,),
+        params={benchmark: dict(fixed_params or {})},
+        param_grid={parameter: list(values)},
+    )
+    return sweep_from_results(parameter, values, engine.run(requests))
+
+
+def engine_machine_sweep(
+    engine,
+    benchmark: str,
+    node_counts: Sequence[int],
+    *,
+    machine: str = "cm5",
+    tier: str = "basic",
+    params: Optional[Mapping[str, object]] = None,
+) -> SweepResult:
+    """:func:`machine_sweep` (strong scaling) through the engine."""
+    from repro.engine.plan import machine_sweep_requests, sweep_from_results
+
+    requests = machine_sweep_requests(
+        benchmark, node_counts, machine=machine, tier=tier, params=params
+    )
+    return sweep_from_results("nodes", node_counts, engine.run(requests))
+
+
+def engine_tier_sweep(
+    engine,
+    benchmark: str,
+    tiers: Sequence[VersionTier],
+    *,
+    machine: str = "cm5",
+    nodes: int = 32,
+    params: Optional[Mapping[str, object]] = None,
+) -> SweepResult:
+    """:func:`tier_sweep` (the Table-1 version study) through the engine."""
+    from repro.engine.plan import sweep_from_results, tier_sweep_requests
+
+    tier_names = [VersionTier(t).value for t in tiers]
+    requests = tier_sweep_requests(
+        benchmark, tier_names, machine=machine, nodes=nodes, params=params
+    )
+    return sweep_from_results("tier", tier_names, engine.run(requests))

@@ -1,0 +1,367 @@
+"""Campaign tests: spec compilation, engine execution, resumability,
+roofline reconciliation, scaling series and the CLI surface.
+
+The acceptance bar for campaigns: a spec compiles to a deduplicated
+request plan, executes through the engine with cache + sharded store,
+*resumes* after a mid-run kill with completed points served from the
+cache (hit rate == completed fraction) and final metrics identical to
+an uninterrupted run, and produces a roofline report whose per-kind
+FLOP totals reconcile exactly with the ``PerfReport`` counters of
+every point.
+"""
+
+import json
+
+import pytest
+
+from repro.campaign import (
+    CampaignSpec,
+    GroupSpec,
+    ReconcileError,
+    campaign_diff,
+    campaign_paths,
+    campaign_status,
+    load_spec,
+    roofline_from_results,
+    roofline_from_store,
+    roofline_point,
+    run_campaign,
+    save_spec,
+    scaling_series,
+)
+from repro.cli import main
+from repro.engine.jobs import RunRequest
+from repro.engine.store import open_store
+from repro.metrics.serialize import canonical_report_json
+
+
+def small_spec(name="t-small"):
+    """A fast 8-point campaign: 2 benchmarks x 2 nodes x 2 sizes."""
+    return CampaignSpec(
+        name=name,
+        groups=[
+            GroupSpec(
+                benchmarks=("diff-3d",),
+                nodes=(32, 64),
+                param_grid={"nx": [8, 16]},
+                common_params={"steps": 2},
+            ),
+            GroupSpec(
+                benchmarks=("fft",),
+                nodes=(32, 64),
+                param_grid={"n": [256, 512]},
+            ),
+        ],
+    )
+
+
+class TestSpec:
+    def test_compile_is_cartesian_and_deduplicated(self):
+        spec = small_spec()
+        plan = spec.compile()
+        assert len(plan) == 8
+        assert len({r.content_hash() for r in plan}) == 8
+        # overlapping groups cost nothing
+        spec.groups.append(spec.groups[0])
+        assert len(spec.compile()) == 8
+
+    def test_param_grid_merges_over_static_params(self):
+        spec = small_spec()
+        first = spec.compile()[0]
+        assert first.params_dict == {"nx": 8, "steps": 2}
+
+    def test_star_expands_to_registry(self):
+        from repro.suite.registry import REGISTRY
+
+        group = GroupSpec(benchmarks=("*",))
+        assert group.benchmark_names() == list(REGISTRY)
+
+    def test_roundtrips_through_json(self, tmp_path):
+        spec = small_spec()
+        path = save_spec(spec, tmp_path / "spec.json")
+        loaded = load_spec(path)
+        assert [r.content_hash() for r in loaded.compile()] == [
+            r.content_hash() for r in spec.compile()
+        ]
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown group key"):
+            GroupSpec.from_dict({"benchmarks": ["fft"], "nodez": [32]})
+        with pytest.raises(ValueError, match="unknown campaign key"):
+            CampaignSpec.from_dict(
+                {"name": "x", "groups": [{"benchmarks": ["fft"]}], "sead": 1}
+            )
+
+    def test_spec_validation_errors(self):
+        with pytest.raises(ValueError, match="non-empty 'groups'"):
+            CampaignSpec.from_dict({"name": "x", "groups": []})
+        with pytest.raises(ValueError, match="non-empty 'benchmarks'"):
+            GroupSpec.from_dict({})
+        with pytest.raises(ValueError, match="schema"):
+            CampaignSpec.from_dict(
+                {"name": "x", "groups": [{"benchmarks": ["fft"]}],
+                 "schema": 99}
+            )
+
+    def test_empty_param_grid_axis_rejected(self):
+        from repro.engine.plan import expand_param_grid
+
+        with pytest.raises(ValueError, match="no values"):
+            expand_param_grid({"nx": []})
+
+    def test_expand_param_grid_combinations(self):
+        from repro.engine.plan import expand_param_grid
+
+        assert expand_param_grid(None) == [{}]
+        combos = expand_param_grid({"a": [1, 2], "b": ["x"]})
+        assert combos == [{"a": 1, "b": "x"}, {"a": 2, "b": "x"}]
+
+
+class TestRunAndResume:
+    def test_runs_through_engine_into_sharded_store(self, tmp_path):
+        spec = small_spec()
+        result = run_campaign(spec, root=tmp_path)
+        assert result.ok
+        assert result.status_counts == {"ok": 8}
+        # the store is a directory => sharded layout
+        store_path, _ = campaign_paths(spec.name, tmp_path)
+        assert store_path.is_dir()
+        records = open_store(store_path).run_records(result.run_id)
+        assert len(records) == 8
+        assert all(r["report"] is not None for r in records)
+
+    def test_rerun_served_entirely_from_cache(self, tmp_path):
+        spec = small_spec()
+        run_campaign(spec, root=tmp_path)
+        again = run_campaign(spec, root=tmp_path)
+        assert again.status_counts == {"cached": 8}
+        assert again.stats.cache_hit_rate == 1.0
+
+    def test_killed_campaign_resumes_with_cached_points(self, tmp_path):
+        """The resumability acceptance test: kill mid-run, rerun, and
+        the cache skips exactly the completed fraction while final
+        metrics are identical to an uninterrupted run."""
+        spec = small_spec()
+        uninterrupted = run_campaign(spec, root=tmp_path / "clean")
+
+        kill_after = 3
+        finished = []
+
+        def killer(result):
+            finished.append(result)
+            if len(finished) >= kill_after:
+                raise KeyboardInterrupt  # simulate the operator's kill
+
+        with pytest.raises(KeyboardInterrupt):
+            run_campaign(spec, root=tmp_path / "resumed", progress=killer)
+
+        # the killed run persisted exactly the jobs that completed
+        status = campaign_status(spec, root=tmp_path / "resumed")
+        assert status.completed == kill_after
+        assert status.pending == 8 - kill_after
+
+        resumed = run_campaign(spec, root=tmp_path / "resumed")
+        counts = resumed.status_counts
+        assert counts["cached"] == kill_after
+        assert counts["ok"] == 8 - kill_after
+        assert resumed.stats.cache_hit_rate == pytest.approx(
+            kill_after / 8
+        )
+
+        # final metrics identical to the uninterrupted run, point by point
+        def keyed(results):
+            return {
+                r.request.content_hash(): canonical_report_json(
+                    r.report_record
+                )
+                for r in results
+            }
+
+        assert keyed(resumed.results) == keyed(uninterrupted.results)
+
+    def test_status_before_any_run(self, tmp_path):
+        spec = small_spec()
+        status = campaign_status(spec, root=tmp_path)
+        assert status.total == 8
+        assert status.completed == 0
+        assert status.fraction_complete == 0.0
+        assert status.run_ids == []
+        assert sum(status.pending_by_benchmark.values()) == 8
+
+
+class TestRoofline:
+    def test_points_reconcile_exactly(self, tmp_path):
+        spec = small_spec()
+        result = run_campaign(spec, root=tmp_path)
+        doc = roofline_from_results(result.results, name=spec.name)
+        assert doc["kind"] == "roofline"
+        assert doc["n_points"] == 8
+        assert doc["reconciled"] is True
+        for point in doc["points"]:
+            kinds_total = sum(
+                entry["flops"] for entry in point["flop_kinds"].values()
+            )
+            assert kinds_total == point["flop_count"]
+            assert point["reconciled"] is True
+
+    def test_point_fields_and_bounds(self, tmp_path):
+        spec = small_spec()
+        result = run_campaign(spec, root=tmp_path)
+        doc = roofline_from_results(result.results)
+        for point in doc["points"]:
+            assert point["bound"] in ("compute", "communication")
+            assert point["attainable_mflops"] <= point["peak_mflops"]
+            if point["network_bytes"]:
+                expected = point["flop_count"] / point["network_bytes"]
+                assert point["intensity"] == pytest.approx(expected)
+                # the roofline identity: attainable = min(peak, I*B)
+                ib = (
+                    point["intensity"]
+                    * point["network_bandwidth_bytes_s"]
+                    / 1e6
+                )
+                assert point["attainable_mflops"] == pytest.approx(
+                    min(point["peak_mflops"], ib)
+                )
+
+    def test_store_and_results_paths_agree(self, tmp_path):
+        spec = small_spec()
+        result = run_campaign(spec, root=tmp_path)
+        store_path, _ = campaign_paths(spec.name, tmp_path)
+        from_store = roofline_from_store(
+            open_store(store_path), result.run_id, name=spec.name
+        )
+        from_memory = roofline_from_results(result.results, name=spec.name)
+        assert json.dumps(from_store, sort_keys=True) == json.dumps(
+            from_memory, sort_keys=True
+        )
+
+    def test_mismatched_breakdown_raises_in_strict_mode(self):
+        request = RunRequest(benchmark="fft")
+        record = {
+            "flop_count": 100,
+            "network_bytes": 10,
+            "busy_time_s": 0.5,
+            "flop_kinds": {"add": {"ops": 10, "flops": 99}},
+        }
+        with pytest.raises(ReconcileError, match="mismatch"):
+            roofline_point(request, record)
+        point = roofline_point(request, record, strict=False)
+        assert point.reconciled is False
+
+    def test_missing_breakdown_raises_in_strict_mode(self):
+        request = RunRequest(benchmark="fft")
+        record = {
+            "flop_count": 100,
+            "network_bytes": 10,
+            "busy_time_s": 0.5,
+        }
+        with pytest.raises(ReconcileError, match="breakdown missing"):
+            roofline_point(request, record)
+
+
+class TestScalingAndDiff:
+    def test_scaling_series_reuses_sweep_semantics(self, tmp_path):
+        spec = small_spec()
+        result = run_campaign(spec, root=tmp_path)
+        series = scaling_series(result.results)
+        # one series per (benchmark, params) pair spanning 2 node counts
+        assert len(series) == 4
+        for entry in series:
+            assert entry["nodes"] == [32, 64]
+            assert entry["speedup"][0] == pytest.approx(1.0)
+            assert entry["efficiency"][0] == pytest.approx(1.0)
+            assert 0.0 < entry["efficiency"][1] <= 1.5
+
+    def test_single_node_groups_are_skipped(self, tmp_path):
+        spec = CampaignSpec(
+            name="t-one-node",
+            groups=[GroupSpec(benchmarks=("fft",), nodes=(32,))],
+        )
+        result = run_campaign(spec, root=tmp_path)
+        assert scaling_series(result.results) == []
+
+    def test_campaign_diff_identical_runs_is_clean(self, tmp_path):
+        spec = small_spec()
+        first = run_campaign(spec, root=tmp_path)
+        second = run_campaign(spec, root=tmp_path)
+        store = open_store(first.store_path)
+        report = campaign_diff(
+            store, first.run_id, second.run_id, tolerance_pct=0.0
+        )
+        assert report.ok
+        assert not report.missing and not report.extra
+
+
+class TestCampaignCli:
+    def spec_path(self, tmp_path):
+        return save_spec(small_spec("t-cli"), tmp_path / "spec.json")
+
+    def test_run_status_report_diff(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        spec = self.spec_path(tmp_path)
+        assert main(
+            ["campaign", "run", str(spec), "--report", "roof.json"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "8 unique points" in out
+        assert "roofline report written" in out
+        doc = json.loads((tmp_path / "roof.json").read_text())
+        assert doc["reconciled"] is True and doc["n_points"] == 8
+
+        assert main(["campaign", "status", str(spec)]) == 0
+        assert "8/8 points completed" in capsys.readouterr().out
+
+        assert main(
+            ["campaign", "report", str(spec), "--out", "full.json"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "reconciled=true" in out
+        assert "strong-scaling series" in out
+        full = json.loads((tmp_path / "full.json").read_text())
+        assert len(full["scaling"]) == 4
+        assert full["plan_points"] == 8
+
+        # second run, then a zero-tolerance diff must be clean
+        assert main(["campaign", "run", str(spec)]) == 0
+        capsys.readouterr()
+        assert main(["campaign", "diff", str(spec), "@0", "@-1"]) == 0
+        assert "OK: no regression" in capsys.readouterr().out
+
+    def test_status_json(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        spec = self.spec_path(tmp_path)
+        assert main(["campaign", "status", str(spec), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["total"] == 8 and payload["completed"] == 0
+
+    def test_report_without_store_fails_cleanly(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        spec = self.spec_path(tmp_path)
+        with pytest.raises(SystemExit, match="no store"):
+            main(["campaign", "report", str(spec)])
+
+    def test_bad_spec_fails_cleanly(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"name": "x"}')
+        with pytest.raises(SystemExit, match="bad campaign spec"):
+            main(["campaign", "status", str(bad)])
+
+    def test_failed_points_exit_nonzero(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        spec = save_spec(
+            CampaignSpec(
+                name="t-fail",
+                groups=[
+                    GroupSpec(
+                        benchmarks=("fft",),
+                        # fft takes n, not nx: every point fails
+                        param_grid={"nx": [8]},
+                    )
+                ],
+            ),
+            tmp_path / "fail.json",
+        )
+        assert main(["campaign", "run", str(spec)]) == 1
+        assert "failed" in capsys.readouterr().out

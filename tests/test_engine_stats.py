@@ -295,6 +295,35 @@ class TestCompareBenchmarks:
         assert report.ok
         assert report.added == ["qr"]
 
+    def test_extra_benchmarks_are_reported_and_sorted(self):
+        """The one-sided iteration bug: benchmarks only in *current*
+        must surface, not vanish because the loop walked the baseline."""
+        current = {k: dict(v) for k, v in self.BASE.items()}
+        current["zz"] = {"busy_time_s": 1.0}
+        current["aa"] = {"busy_time_s": 1.0}
+        report = compare_benchmarks(current, self.BASE, tolerance_pct=5.0)
+        assert report.extra == ["aa", "zz"]
+        assert report.added == report.extra  # back-compat alias
+        assert "extra vs baseline" in report.table()
+
+    def test_extra_fails_gate_only_under_strict(self):
+        current = {k: dict(v) for k, v in self.BASE.items()}
+        current["qr"] = {"busy_time_s": 1.0}
+        lax = compare_benchmarks(current, self.BASE, tolerance_pct=5.0)
+        assert lax.ok
+        strict = compare_benchmarks(
+            current, self.BASE, tolerance_pct=5.0, strict=True
+        )
+        assert not strict.ok
+        assert strict.extra == ["qr"]
+        assert "FAIL" in strict.table()
+
+    def test_strict_without_extra_still_passes(self):
+        report = compare_benchmarks(
+            self.BASE, self.BASE, tolerance_pct=5.0, strict=True
+        )
+        assert report.ok
+
 
 class TestTrajectoryPoint:
     def test_point_shape_and_baseline_reuse(self, tmp_path):

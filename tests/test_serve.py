@@ -279,6 +279,60 @@ class TestAdmissionControl:
                 client.submit(SMALL, wait=False, busy_retries=2)
             assert client.stats()["counters"]["rejected_queue"] == 3
 
+    def test_bucket_eviction_bounds_memory(self):
+        """The unbounded-growth fix: a long-lived bucket table must
+        shed buckets once they are idle long enough to be full again —
+        a full bucket is indistinguishable from an absent one."""
+        from repro.serve.state import TokenBucket
+
+        now = [0.0]
+        bucket = TokenBucket(rate=1.0, burst=2, clock=lambda: now[0])
+        for i in range(500):
+            assert bucket.allow(f"client-{i}") == 0.0
+        assert len(bucket) == 500
+        # idle past the refill horizon (burst/rate = 2 s): every bucket
+        # has refilled to full and the next allow() sweeps them all
+        now[0] = 3.0
+        bucket.allow("client-new")
+        assert len(bucket) == 1  # only the client that just spent a token
+
+    def test_eviction_never_grants_extra_tokens(self):
+        """Eviction must be lossless: a drained client re-appearing
+        after eviction gets exactly the full burst, nothing more."""
+        from repro.serve.state import TokenBucket
+
+        now = [0.0]
+        bucket = TokenBucket(rate=1.0, burst=2, clock=lambda: now[0])
+        assert bucket.allow("a") == 0.0
+        assert bucket.allow("a") == 0.0
+        assert bucket.allow("a") == pytest.approx(1.0)  # drained
+        now[0] = 10.0  # long idle => evicted at next sweep
+        bucket.allow("other")
+        assert "a" not in bucket._buckets
+        # fresh bucket == full bucket: exactly burst tokens, no more
+        assert bucket.allow("a") == 0.0
+        assert bucket.allow("a") == 0.0
+        assert bucket.allow("a") == pytest.approx(1.0)
+
+    def test_active_bucket_survives_the_sweep(self):
+        """A client mid-drain must keep its (partial) bucket across a
+        sweep — eviction only touches effectively-full buckets."""
+        from repro.serve.state import TokenBucket
+
+        now = [0.0]
+        bucket = TokenBucket(rate=1.0, burst=4, clock=lambda: now[0])
+        now[0] = 3.0
+        for _ in range(4):
+            assert bucket.allow("busy") == 0.0
+        # at t=5 the sweep fires (scheduled for t=4) with "busy" only
+        # refilled to 2 of 4 tokens: it must survive
+        now[0] = 5.0
+        assert bucket.allow("nudge-sweep") == 0.0
+        assert "busy" in bucket._buckets
+        assert bucket.allow("busy") == 0.0  # spends a refilled token
+        assert bucket.allow("busy") == 0.0
+        assert bucket.allow("busy") == pytest.approx(1.0)  # empty again
+
     def test_rate_limit_is_per_client(self, tmp_path):
         config = ServeConfig(
             port=0, workers=1, warmup=False,

@@ -4,7 +4,11 @@ import pytest
 
 from repro import VersionTier, cm5
 from repro.suite.sweeps import (
+    SweepResult,
     efficiency_series,
+    engine_machine_sweep,
+    engine_parameter_sweep,
+    engine_tier_sweep,
     machine_sweep,
     parameter_sweep,
     tier_sweep,
@@ -61,6 +65,106 @@ class TestMachineSweep:
         sweep = parameter_sweep("gmo", "ns", [64], session_factory, {"ntr": 8})
         with pytest.raises(ValueError):
             efficiency_series(sweep)
+
+
+class TestDegenerateSeries:
+    """The sweep guards: degenerate series raise (or mark points
+    explicitly) instead of silently emitting inf/garbage ratios."""
+
+    def _sweep(self, values, elapsed):
+        class FakeReport:
+            def __init__(self, t):
+                self.elapsed_time = t
+
+        sweep = SweepResult("fake", "nodes", tuple(values))
+        sweep.reports = [FakeReport(t) for t in elapsed]
+        return sweep
+
+    def test_empty_sweep_raises(self):
+        with pytest.raises(ValueError, match="empty sweep"):
+            self._sweep([], []).speedups()
+        with pytest.raises(ValueError, match="non-empty"):
+            efficiency_series(self._sweep([], []))
+
+    def test_zero_base_raises(self):
+        sweep = self._sweep([32, 64], [0.0, 1.0])
+        with pytest.raises(ValueError, match="zero elapsed_time"):
+            sweep.speedups()
+
+    def test_zero_later_point_marked_nan_not_inf(self):
+        import math
+
+        sweep = self._sweep([32, 64, 128], [1.0, 0.0, 0.5])
+        speedups = sweep.speedups()
+        assert speedups[0] == pytest.approx(1.0)
+        assert math.isnan(speedups[1])
+        assert speedups[2] == pytest.approx(2.0)
+
+    def test_unsorted_nodes_rejected(self):
+        sweep = self._sweep([64, 32], [1.0, 2.0])
+        with pytest.raises(ValueError, match="strictly increasing"):
+            efficiency_series(sweep)
+
+    def test_duplicate_nodes_rejected(self):
+        sweep = self._sweep([32, 32], [1.0, 1.0])
+        with pytest.raises(ValueError, match="strictly increasing"):
+            efficiency_series(sweep)
+
+    def test_nonpositive_nodes_rejected(self):
+        sweep = self._sweep([0, 32], [1.0, 1.0])
+        with pytest.raises(ValueError, match="positive"):
+            efficiency_series(sweep)
+
+
+class TestEngineDelegation:
+    """The engine-backed sweep paths must match the in-process ones
+    bit for bit — the simulation is deterministic."""
+
+    def _engine(self):
+        from repro.engine.executor import Engine, EngineConfig
+
+        return Engine(EngineConfig(jobs=1))
+
+    def test_parameter_sweep_matches_in_process(self, session_factory):
+        direct = parameter_sweep(
+            "diff-3d", "nx", [8, 12], session_factory, {"steps": 2}
+        )
+        engined = engine_parameter_sweep(
+            self._engine(), "diff-3d", "nx", [8, 12],
+            fixed_params={"steps": 2},
+        )
+        assert engined.series("flop_count") == direct.series("flop_count")
+        assert engined.series("busy_time") == direct.series("busy_time")
+
+    def test_machine_sweep_matches_in_process(self):
+        direct = machine_sweep("fft", cm5, [32, 64], {"n": 256})
+        engined = engine_machine_sweep(
+            self._engine(), "fft", [32, 64], params={"n": 256}
+        )
+        assert engined.series("elapsed_time") == direct.series("elapsed_time")
+        assert (
+            efficiency_series(engined)["efficiency"]
+            == efficiency_series(direct)["efficiency"]
+        )
+
+    def test_tier_sweep_matches_in_process(self):
+        tiers = [VersionTier.BASIC, VersionTier.LIBRARY]
+        direct = tier_sweep(
+            "matrix-vector", cm5(32), tiers, {"n": 64, "repeats": 2}
+        )
+        engined = engine_tier_sweep(
+            self._engine(), "matrix-vector", tiers,
+            params={"n": 64, "repeats": 2},
+        )
+        assert engined.values == direct.values
+        assert engined.series("busy_time") == direct.series("busy_time")
+
+    def test_failed_point_raises_with_context(self):
+        with pytest.raises(RuntimeError, match="unsuccessful points"):
+            engine_parameter_sweep(
+                # fft takes n, not nx: the point fails in the engine
+                self._engine(), "fft", "nx", [8]
+            )
 
 
 class TestTierSweep:
