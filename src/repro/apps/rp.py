@@ -44,7 +44,11 @@ class _Operator:
         for axis in range(3):
             pm = cshift(p, -1, axis=axis)
             pp = cshift(p, +1, axis=axis)
-            out = out + lo[axis] * pm.data + hi[axis] * pp.data
+            # In-place accumulation: same additions in the same order
+            # as ``out = out + lo*pm + hi*pp`` (bit-identical), minus
+            # two full-grid temporaries per axis.
+            out += lo[axis] * pm.data
+            out += hi[axis] * pp.data
         session.charge_elementwise(FlopKind.MUL, p.layout, ops_per_element=7)
         session.charge_elementwise(FlopKind.ADD, p.layout, ops_per_element=6)
         return DistArray(out, p.layout, session)

@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.apps.base import AppResult
 from repro.array.distarray import DistArray
+from repro.array.roll import fast_roll
 from repro.comm.primitives import cshift
 from repro.layout.spec import parse_layout
 from repro.linalg.fft import fft as _fft
@@ -164,5 +165,5 @@ def run(
 def _energy(u: np.ndarray, u_prev: np.ndarray, c2: np.ndarray, dt: float, h: float) -> float:
     """Discrete wave energy: kinetic + potential."""
     ut = (u - u_prev) / dt
-    ux = (np.roll(u, -1) - np.roll(u, 1)) / (2 * h)
+    ux = (fast_roll(u, -1) - fast_roll(u, 1)) / (2 * h)
     return float(0.5 * h * np.sum(ut * ut + c2 * ux * ux))

@@ -22,7 +22,11 @@ Spec document shape::
           "tiers": ["basic", "optimized"],
           "params": {"fft": {"dims": 2}},       // per-benchmark overrides
           "common_params": {"steps": 2},        // merged under params
-          "param_grid": {"nx": [8, 16, 32]}     // cartesian parameter axes
+          "param_grid": {"nx": [8, 16, 32]},    // cartesian parameter axes
+          "network": {"collision_factor": 1.0}, // fixed interconnect overrides
+          "network_grid": {                     // cartesian network axes
+            "bw_link": [5e6, 10e6, 20e6]
+          }
         }
       ]
     }
@@ -59,6 +63,8 @@ _GROUP_KEYS = frozenset(
         "params",
         "common_params",
         "param_grid",
+        "network",
+        "network_grid",
     }
 )
 
@@ -79,6 +85,11 @@ class GroupSpec:
     common_params: Dict[str, object] = field(default_factory=dict)
     #: cartesian parameter axes (problem-size sweeps)
     param_grid: Dict[str, List[object]] = field(default_factory=dict)
+    #: fixed interconnect overrides applied to every request
+    network: Dict[str, float] = field(default_factory=dict)
+    #: cartesian network axes (bandwidth/latency sweeps), merged over
+    #: the fixed overrides per combination
+    network_grid: Dict[str, List[float]] = field(default_factory=dict)
 
     def benchmark_names(self) -> List[str]:
         """Expand ``"*"`` to the full registry, keep explicit lists."""
@@ -99,6 +110,8 @@ class GroupSpec:
             params=self.params,
             common_params=self.common_params,
             param_grid=self.param_grid,
+            network=self.network,
+            network_grid=self.network_grid,
             seed=seed,
         )
 
@@ -116,6 +129,12 @@ class GroupSpec:
         if self.param_grid:
             record["param_grid"] = {
                 k: list(v) for k, v in self.param_grid.items()
+            }
+        if self.network:
+            record["network"] = dict(self.network)
+        if self.network_grid:
+            record["network_grid"] = {
+                k: list(v) for k, v in self.network_grid.items()
             }
         return record
 
@@ -144,6 +163,14 @@ class GroupSpec:
             param_grid={
                 str(k): list(v)
                 for k, v in record.get("param_grid", {}).items()
+            },
+            network={
+                str(k): float(v)
+                for k, v in record.get("network", {}).items()
+            },
+            network_grid={
+                str(k): [float(x) for x in v]
+                for k, v in record.get("network_grid", {}).items()
             },
         )
 

@@ -220,6 +220,10 @@ class FunctionFacts:
         default_factory=list
     )
     fused_calls: List[Tuple[str, ast.Call]] = field(default_factory=list)
+    #: runs of >= 2 consecutive same-layout ``charge_elementwise``
+    #: statements inside a loop body (RC007); detail carries the run
+    #: length and layout expression
+    hot_charge_runs: List[_Site] = field(default_factory=list)
 
     @property
     def charges_flops(self) -> bool:
@@ -259,6 +263,28 @@ def _call_name(func: ast.expr) -> Tuple[Optional[str], Optional[str]]:
             return f"{value.value.id}.{value.attr}", func.attr
         return "<attr>", func.attr
     return None, None
+
+
+def _nested_stmt_lists(stmt: ast.stmt) -> List[List[ast.stmt]]:
+    """Statement lists nested directly inside ``stmt``, loops excluded.
+
+    ``with``/``if``/``try`` blocks are transparent for RC007 — charges
+    inside them still execute once per surrounding-loop iteration — but
+    nested ``for``/``while`` bodies are not: those loops scan their own
+    bodies when visited.
+    """
+    if isinstance(stmt, (ast.For, ast.While, ast.AsyncFor)):
+        return []
+    lists: List[List[ast.stmt]] = []
+    for name in ("body", "orelse", "finalbody"):
+        block = getattr(stmt, name, None)
+        if isinstance(block, list) and block and isinstance(
+            block[0], ast.stmt
+        ):
+            lists.append(block)
+    for handler in getattr(stmt, "handlers", []):
+        lists.append(handler.body)
+    return lists
 
 
 class _FunctionScanner(ast.NodeVisitor):
@@ -398,6 +424,7 @@ class _FunctionScanner(ast.NodeVisitor):
         self.visit(node.iter)
         if self._is_tainted(node.iter):
             self._taint_targets(node.target)
+        self._scan_charge_runs(node.body)
         for _ in range(2):  # second pass propagates loop-carried taint
             for stmt in node.body:
                 self.visit(stmt)
@@ -406,11 +433,77 @@ class _FunctionScanner(ast.NodeVisitor):
 
     def visit_While(self, node: ast.While) -> None:
         self.visit(node.test)
+        self._scan_charge_runs(node.body)
         for _ in range(2):
             for stmt in node.body:
                 self.visit(stmt)
         for stmt in node.orelse:
             self.visit(stmt)
+
+    def _scan_charge_runs(self, body: List[ast.stmt]) -> None:
+        """RC007 evidence: consecutive same-layout charges in a loop.
+
+        Walks the loop's statement lists (descending into ``with``/
+        ``if``/``try`` blocks, but not into nested loops — those scan
+        their own bodies) looking for runs of two or more adjacent
+        ``*.charge_elementwise(kind, layout, ...)`` statements whose
+        layout expressions match textually.
+        """
+        run_layout: Optional[str] = None
+        run_len = 0
+        run_first: Optional[ast.stmt] = None
+
+        def close_run() -> None:
+            nonlocal run_layout, run_len, run_first
+            if run_len >= 2 and run_first is not None:
+                self._add_site(
+                    self.facts.hot_charge_runs,
+                    run_first,
+                    None,
+                    f"{run_len} consecutive charge_elementwise calls "
+                    f"on {run_layout}",
+                )
+            run_layout = None
+            run_len = 0
+            run_first = None
+
+        for stmt in body:
+            layout_src = self._charge_stmt_layout(stmt)
+            if layout_src is not None:
+                if layout_src == run_layout:
+                    run_len += 1
+                else:
+                    close_run()
+                    run_layout = layout_src
+                    run_len = 1
+                    run_first = stmt
+                continue
+            close_run()
+            for inner in _nested_stmt_lists(stmt):
+                self._scan_charge_runs(inner)
+        close_run()
+
+    @staticmethod
+    def _charge_stmt_layout(stmt: ast.stmt) -> Optional[str]:
+        """Layout-expression source if ``stmt`` is a bare charge call."""
+        if not isinstance(stmt, ast.Expr) or not isinstance(
+            stmt.value, ast.Call
+        ):
+            return None
+        recv, name = _call_name(stmt.value.func)
+        if recv is None or name != "charge_elementwise":
+            return None
+        call = stmt.value
+        layout_node: Optional[ast.expr] = None
+        if len(call.args) >= 2:
+            layout_node = call.args[1]
+        else:
+            for kw in call.keywords:
+                if kw.arg == "layout":
+                    layout_node = kw.value
+        if layout_node is None:
+            return None
+        return ast.unparse(layout_node)
 
     def visit_With(self, node: ast.With) -> None:
         opens_region = False
@@ -940,6 +1033,38 @@ def rc006_dangling_spans(facts: FunctionFacts, path: str) -> List[Finding]:
     return out
 
 
+def rc007_unfused_hot_charges(
+    facts: FunctionFacts, path: str
+) -> List[Finding]:
+    """RC007: consecutive same-layout charges inside a loop body.
+
+    Each ``charge_elementwise`` call pays Python-call and
+    layout-pricing overhead once per loop iteration; a run of two or
+    more adjacent calls on the same layout is the exact shape
+    ``charge_elementwise_seq`` fuses into a single priced call with
+    bit-identical totals.
+    """
+    out: List[Finding] = []
+    for site in facts.hot_charge_runs:
+        out.append(
+            Finding(
+                code="RC007",
+                path=path,
+                line=site.line,
+                col=site.col,
+                symbol=facts.symbol,
+                message=(
+                    f"{site.detail} inside a loop body — fuse into one "
+                    "charge_elementwise_seq(((kind, ops, complex), "
+                    "...), layout) call; totals are bit-identical and "
+                    "per-iteration accounting overhead drops to a "
+                    "single call"
+                ),
+            )
+        )
+    return out
+
+
 def apply_rules(
     facts: FunctionFacts, path: str, source_lines: Sequence[str]
 ) -> List[Finding]:
@@ -951,4 +1076,5 @@ def apply_rules(
     findings.extend(rc004_session_misuse(facts, path))
     findings.extend(rc005_fused_parity(facts, path, source_lines))
     findings.extend(rc006_dangling_spans(facts, path))
+    findings.extend(rc007_unfused_hot_charges(facts, path))
     return findings

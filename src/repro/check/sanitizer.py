@@ -127,8 +127,11 @@ UFUNC_IGNORED = {
 }
 
 #: array functions counted as data movement (RC003's runtime twin).
+#: ``concatenate`` is here because ``repro.array.roll.fast_roll`` spells
+#: a circular shift as two slices + concatenate.
 MOVEMENT_FUNCS = {
     "roll",
+    "concatenate",
     "transpose",
     "swapaxes",
     "moveaxis",
@@ -347,7 +350,17 @@ def _count_ufunc(
 
 
 class _AuditRecorder(MetricsRecorder):
-    """Recorder that mirrors every charge into the audit collector."""
+    """Recorder that mirrors every charge into the audit collector.
+
+    Charge buffering is disabled: the audit's note hooks fire inside
+    the overridden ``charge_*`` methods, and keeping the underlying
+    accounting eager guarantees the shadow counters and the recorder
+    state advance in lockstep — the audit sees buffered charge sites
+    (``ChargeBuffer`` users route through these same methods) without
+    ever racing a deferred flush.
+    """
+
+    buffer_charges = False
 
     def __init__(self, collector: _AuditCollector) -> None:
         super().__init__()

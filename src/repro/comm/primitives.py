@@ -9,6 +9,7 @@ from typing import Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.array.distarray import DistArray, Scalar
+from repro.array.roll import fast_roll
 from repro.layout.spec import Axis, Layout, parse_layout
 from repro.machine.session import Session
 from repro.metrics.patterns import CommPattern
@@ -31,7 +32,7 @@ def cshift(x: DistArray, shift: int, axis: int = 0) -> DistArray:
     it is purely local data motion (no network traffic).
     """
     axis = _normalize_axis(axis, x.ndim)
-    result = np.roll(x.data, -shift, axis=axis)
+    result = fast_roll(x.data, -shift, axis)
     itemsize = x.data.itemsize
     net = x.layout.shift_network_elements(x.session.nodes, axis, shift) * itemsize
     x.session.record_comm(

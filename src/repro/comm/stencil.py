@@ -22,6 +22,7 @@ from typing import Dict, List, Sequence, Tuple, Union
 import numpy as np
 
 from repro.array.distarray import DistArray
+from repro.array.roll import fast_roll
 from repro.metrics.flops import FlopKind
 from repro.metrics.patterns import CommPattern
 
@@ -48,7 +49,7 @@ def _shift(data: np.ndarray, offset: Tuple[int, ...], boundary: str, fill) -> np
         result = data
         for axis, s in enumerate(offset):
             if s:
-                result = np.roll(result, -s, axis=axis)
+                result = fast_roll(result, -s, axis)
         return result if result is not data else data.copy()
     if boundary in ("dirichlet", "constant"):
         result = np.full_like(data, fill)

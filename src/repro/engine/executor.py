@@ -38,6 +38,7 @@ workers instead of paying spawn + import per suite.
 
 from __future__ import annotations
 
+import os
 import time
 from collections import deque
 from dataclasses import dataclass
@@ -65,6 +66,14 @@ from repro.metrics.serialize import report_from_dict, report_to_dict
 
 #: Final job statuses.
 STATUSES = ("ok", "failed", "timeout", "cached")
+
+#: Batch dispatch kill switch (``REPRO_ENGINE_BATCH=0`` disables it
+#: everywhere without touching call sites); read once at import.
+_BATCH_ENABLED = os.environ.get("REPRO_ENGINE_BATCH", "1").lower() not in (
+    "0",
+    "false",
+    "no",
+)
 
 
 @dataclass
@@ -121,6 +130,20 @@ class EngineConfig:
     stream: Optional[Union[str, Path]] = None
     #: collect per-job span summaries (repro.obs) into the stats sidecar
     spans: bool = False
+    #: pack small first-attempt jobs into one worker submission to
+    #: amortize per-job pickle/IPC overhead (pool mode only); the
+    #: ``REPRO_ENGINE_BATCH=0`` environment kill switch overrides the
+    #: default.  Per-job results, cache entries, retries and timeouts
+    #: keep request granularity regardless.
+    batch: bool = _BATCH_ENABLED
+    #: most members one batch may carry; 32 amortizes dispatch to
+    #: ~85 us/member on micro-job floods while keeping a failed batch's
+    #: solo-requeue cost bounded
+    batch_max: int = 32
+    #: target summed compute-seconds per batch; jobs whose EWMA
+    #: estimate exceeds half this always ship alone (protects the
+    #: heavy subset from queueing behind batch siblings)
+    batch_target_s: float = 0.25
 
     @property
     def collect_spans(self) -> bool:
@@ -150,6 +173,8 @@ class Engine:
         self._store = None
         self._run_id: Optional[str] = None
         self._stream = None
+        #: extra phase counters filled in by the pool path (batching)
+        self._pool_phases: Dict[str, float] = {}
 
     # -- public API -----------------------------------------------------
     def run(
@@ -226,6 +251,7 @@ class Engine:
                 and _pool_supported()
             )
             workers_used = 1
+            self._pool_phases = {}
             if pending:
                 if use_pool:
                     workers_used = self._run_pool(
@@ -238,15 +264,17 @@ class Engine:
 
             final = [r for r in results if r is not None]
             now = time.perf_counter()
+            phases = {
+                "cache_lookup_s": lookup_done - started,
+                "execute_s": now - lookup_done,
+            }
+            phases.update(self._pool_phases)
             stats = stats_from_results(
                 run_id,
                 final,
                 workers=workers_used if use_pool else 1,
                 duration_s=now - started,
-                phases={
-                    "cache_lookup_s": lookup_done - started,
-                    "execute_s": now - lookup_done,
-                },
+                phases=phases,
             )
             if pruned:
                 stats.phases["cache_pruned_files"] = float(pruned)
@@ -450,18 +478,35 @@ class Engine:
         The pool is either the engine's resident :class:`WorkerPool`
         (``Engine(..., pool=...)`` — reused across invocations, never
         shut down here) or a private one created and torn down for this
-        run.  At most ``workers`` requests are in flight, so a job's
+        run.  At most ``workers`` submissions are in flight, so a job's
         deadline starts when it is handed to the pool.  A timed-out job
         that the pool cannot cancel forces a pool restart (the stuck
         worker is abandoned); in-flight siblings are resubmitted at the
         same attempt number.
 
+        **Batch dispatch** (``config.batch``): first-attempt jobs whose
+        pool EWMA estimate marks them small are packed into one worker
+        submission of at most ``batch_max`` members or
+        ``batch_target_s`` summed estimated seconds, amortizing the
+        per-submission pickle/IPC toll that dominates sub-10 ms
+        benchmarks.  Jobs with no estimate yet (cold pool) and jobs
+        estimated above ``batch_target_s / 2`` ship alone, so the heavy
+        subset never queues behind batch siblings; the first solo wave
+        seeds the EWMA and batching engages mid-run.  Granularity is
+        preserved per member: each gets its own ``RunResult``, cache
+        entry and store record; a failing member fails alone and
+        retries unbatched; a batch that exceeds its pooled deadline
+        (``timeout × members``) requeues every member solo at the same
+        attempt so the stuck one earns an individual timeout
+        attribution.
+
         Retry backoff never blocks this scheduler loop: a retried job
-        re-enters the queue as ``(index, attempt, not_before)`` and is
-        held back until its release time, while the loop keeps draining
-        completions and enforcing sibling timeouts.  Queue entries are
-        ``(index, attempt, not_before)`` with ``not_before=None`` for
-        immediately-runnable jobs.
+        re-enters the queue and is held back until its release time,
+        while the loop keeps draining completions and enforcing
+        sibling timeouts.  Queue entries are ``(index, attempt,
+        not_before, solo)`` with ``not_before=None`` for
+        immediately-runnable jobs and ``solo=True`` forcing unbatched
+        dispatch.
 
         Returns the worker count actually used (the resident pool's
         size may differ from ``config.jobs``).
@@ -477,14 +522,21 @@ class Engine:
             return 1
         workers = pool.workers
 
-        queue = deque((index, 1, None) for index in indices)
+        queue = deque((index, 1, None, False) for index in indices)
+        # future -> ("solo", (index, attempt), deadline, started)
+        #         | ("batch", [(index, attempt), ...], deadline, started)
         inflight: Dict[object, tuple] = {}
         # Per-job accumulators across attempts: worker-busy seconds and
         # pool queue wait (submit-to-done wall minus in-worker compute).
         compute: Dict[int, float] = {index: 0.0 for index in indices}
         queue_wait: Dict[int, float] = {index: 0.0 for index in indices}
+        batches_submitted = 0
+        batched_jobs = 0
+        # A job batches only when its estimate leaves room for at least
+        # one sibling inside the batch target.
+        small_cutoff = config.batch_target_s / 2.0
 
-        def submit(index: int, attempt: int) -> None:
+        def submit_solo(index: int, attempt: int) -> None:
             request = requests[index]
             self.tracer.emit("job_started", request, attempt=attempt)
             future = pool.submit(
@@ -495,7 +547,37 @@ class Engine:
                 if config.timeout is not None
                 else None
             )
-            inflight[future] = (index, attempt, deadline, time.perf_counter())
+            inflight[future] = (
+                "solo",
+                (index, attempt),
+                deadline,
+                time.perf_counter(),
+            )
+
+        def submit_batch(members) -> None:
+            nonlocal batches_submitted, batched_jobs
+            if len(members) == 1:
+                submit_solo(*members[0])
+                return
+            for index, attempt in members:
+                self.tracer.emit(
+                    "job_started", requests[index], attempt=attempt, batched=True
+                )
+            self.tracer.emit("batch_submitted", n=len(members))
+            future = pool.submit_batch(
+                [(requests[index], attempt) for index, attempt in members],
+                spans=config.collect_spans,
+            )
+            # The batch runs its members sequentially on one worker, so
+            # the shared deadline is the per-job budget times the size.
+            deadline = (
+                time.perf_counter() + config.timeout * len(members)
+                if config.timeout is not None
+                else None
+            )
+            inflight[future] = ("batch", list(members), deadline, time.perf_counter())
+            batches_submitted += 1
+            batched_jobs += len(members)
 
         def fail_or_retry(index, attempt, wall, error, kind) -> None:
             request = requests[index]
@@ -508,6 +590,7 @@ class Engine:
                         index,
                         attempt + 1,
                         time.perf_counter() + self._backoff_delay(attempt),
+                        True,
                     )
                 )
                 return
@@ -524,28 +607,87 @@ class Engine:
             results[index] = result
             self._finish(request, result)
 
+        def finish_member(index, attempt, member, wall) -> None:
+            """Resolve one batch member from its worker-side record."""
+            request = requests[index]
+            if member.get("ok"):
+                job_compute = member.get("compute_time_s", 0.0)
+                compute[index] += job_compute
+                queue_wait[index] += max(0.0, wall - job_compute)
+                result = self._ok_result(
+                    request,
+                    member["report"],
+                    attempt,
+                    wall,
+                    cache,
+                    index=index,
+                    queue_wait=queue_wait[index],
+                    compute=compute[index],
+                )
+                result.spans = member.get("spans")
+                results[index] = result
+                self._finish(request, result)
+            else:
+                fail_or_retry(
+                    index,
+                    attempt,
+                    wall,
+                    member.get("error", "batch member failed"),
+                    "failed",
+                )
+
+        def requeue_solo(meta) -> None:
+            """Push an in-flight submission's jobs back, forced solo."""
+            kind, info, _, _ = meta
+            members = [info] if kind == "solo" else info
+            for index, attempt in reversed(members):
+                queue.appendleft((index, attempt, None, True))
+
         try:
             while queue or inflight:
                 now = time.perf_counter()
                 deferred = []
+                pending_batch: List[tuple] = []
+                pending_est = 0.0
+
+                def flush_batch() -> None:
+                    nonlocal pending_batch, pending_est
+                    if pending_batch:
+                        submit_batch(pending_batch)
+                        pending_batch = []
+                        pending_est = 0.0
+
                 while queue and len(inflight) < workers:
-                    index, attempt, not_before = queue.popleft()
+                    index, attempt, not_before, solo = queue.popleft()
                     if not_before is not None and now < not_before:
-                        deferred.append((index, attempt, not_before))
+                        deferred.append((index, attempt, not_before, solo))
                         continue
-                    submit(index, attempt)
+                    estimate = None
+                    if config.batch and not solo and attempt == 1:
+                        estimate = pool.estimate(requests[index].benchmark)
+                    if estimate is not None and estimate <= small_cutoff:
+                        pending_batch.append((index, attempt))
+                        pending_est += estimate
+                        if (
+                            len(pending_batch) >= config.batch_max
+                            or pending_est >= config.batch_target_s
+                        ):
+                            flush_batch()
+                    else:
+                        submit_solo(index, attempt)
+                flush_batch()
                 queue.extend(deferred)
 
                 if not inflight:
                     # Everything queued is waiting out a backoff window;
                     # nothing can complete or time out meanwhile.
-                    release = min(nb for _, _, nb in queue if nb is not None)
+                    release = min(nb for _, _, nb, _ in queue if nb is not None)
                     time.sleep(max(0.0, release - time.perf_counter()))
                     continue
 
                 now = time.perf_counter()
-                wakeups = [d for _, _, d, _ in inflight.values() if d is not None]
-                wakeups += [nb for _, _, nb in queue if nb is not None]
+                wakeups = [m[2] for m in inflight.values() if m[2] is not None]
+                wakeups += [nb for _, _, nb, _ in queue if nb is not None]
                 wait_for = 0.25
                 if wakeups:
                     wait_for = max(0.0, min(wakeups) - now) + 0.01
@@ -554,39 +696,43 @@ class Engine:
                 )
 
                 for future in done:
-                    index, attempt, _, started = inflight.pop(future)
-                    request = requests[index]
+                    kind, info, _, started = inflight.pop(future)
                     wall = time.perf_counter() - started
+                    members = [info] if kind == "solo" else info
                     try:
                         payload = future.result()
                     except Exception as exc:
-                        compute[index] += wall
-                        fail_or_retry(
-                            index,
-                            attempt,
-                            wall,
-                            f"{type(exc).__name__}: {exc}",
-                            "failed",
-                        )
+                        error = f"{type(exc).__name__}: {exc}"
+                        share = wall / len(members)
+                        for index, attempt in members:
+                            compute[index] += share
+                            fail_or_retry(index, attempt, wall, error, "failed")
                     else:
-                        job_compute = payload.get("compute_time_s", wall)
-                        compute[index] += job_compute
-                        queue_wait[index] += max(0.0, wall - job_compute)
-                        result = self._ok_result(
-                            request,
-                            payload["report"],
-                            attempt,
-                            wall,
-                            cache,
-                            index=index,
-                            queue_wait=queue_wait[index],
-                            compute=compute[index],
-                        )
-                        result.spans = payload.get("spans")
-                        results[index] = result
-                        self._finish(request, result)
+                        if kind == "solo":
+                            index, attempt = info
+                            job_compute = payload.get("compute_time_s", wall)
+                            compute[index] += job_compute
+                            queue_wait[index] += max(0.0, wall - job_compute)
+                            result = self._ok_result(
+                                requests[index],
+                                payload["report"],
+                                attempt,
+                                wall,
+                                cache,
+                                index=index,
+                                queue_wait=queue_wait[index],
+                                compute=compute[index],
+                            )
+                            result.spans = payload.get("spans")
+                            results[index] = result
+                            self._finish(requests[index], result)
+                        else:
+                            for (index, attempt), member in zip(
+                                members, payload["members"]
+                            ):
+                                finish_member(index, attempt, member, wall)
 
-                # -- expire overdue jobs --------------------------------
+                # -- expire overdue submissions -------------------------
                 now = time.perf_counter()
                 expired = [
                     (future, meta)
@@ -596,18 +742,27 @@ class Engine:
                 if not expired:
                     continue
                 needs_restart = False
-                for future, (index, attempt, _, started) in expired:
+                for future, meta in expired:
                     del inflight[future]
                     if not future.cancel():
                         needs_restart = True
-                    compute[index] += now - started
-                    fail_or_retry(
-                        index,
-                        attempt,
-                        now - started,
-                        f"timed out after {config.timeout:g}s",
-                        "timeout",
-                    )
+                    kind, info, _, started = meta
+                    if kind == "solo":
+                        index, attempt = info
+                        compute[index] += now - started
+                        fail_or_retry(
+                            index,
+                            attempt,
+                            now - started,
+                            f"timed out after {config.timeout:g}s",
+                            "timeout",
+                        )
+                    else:
+                        # One stuck member starves its siblings; rerun
+                        # everyone solo at the SAME attempt so the stuck
+                        # job earns an individual timeout attribution
+                        # and the innocents are not charged an attempt.
+                        requeue_solo(meta)
                 if needs_restart:
                     # A running worker cannot be cancelled; abandon the
                     # pool's executor and resubmit the surviving
@@ -615,9 +770,12 @@ class Engine:
                     survivors = list(inflight.values())
                     inflight.clear()
                     pool.restart()
-                    for index, attempt, _, _ in survivors:
-                        queue.appendleft((index, attempt, None))
+                    for meta in survivors:
+                        requeue_solo(meta)
         finally:
             if owned:
                 pool.shutdown(wait=False)
+        if config.batch:
+            self._pool_phases["batches_submitted"] = float(batches_submitted)
+            self._pool_phases["batched_jobs"] = float(batched_jobs)
         return workers

@@ -16,15 +16,38 @@ from __future__ import annotations
 
 import hashlib
 import json
-from dataclasses import dataclass
+from dataclasses import dataclass, fields, replace
 from typing import Callable, Dict, Mapping, Optional, Tuple
 
+from repro.machine.network import NetworkModel
 from repro.machine.presets import resolve_machine
 from repro.machine.session import Session
 from repro.versions import VersionTier
 
 #: JSON-representable scalar types allowed as parameter values.
 PARAM_SCALARS = (str, int, float, bool, type(None))
+
+#: NetworkModel parameters a request may override (bandwidths,
+#: latencies, topology factors) — campaign network axes sweep these.
+NETWORK_FIELDS = frozenset(f.name for f in fields(NetworkModel))
+
+
+def _freeze_network(overrides: Mapping[str, float]) -> Tuple[Tuple[str, float], ...]:
+    """Normalize network overrides to a sorted, validated tuple."""
+    items = []
+    for key in sorted(overrides):
+        if key not in NETWORK_FIELDS:
+            known = ", ".join(sorted(NETWORK_FIELDS))
+            raise ValueError(
+                f"unknown network parameter {key!r}; known: {known}"
+            )
+        value = overrides[key]
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise TypeError(
+                f"network parameter {key!r} must be a number, got {value!r}"
+            )
+        items.append((str(key), float(value)))
+    return tuple(items)
 
 
 def _freeze_params(params: Mapping[str, object]) -> Tuple[Tuple[str, object], ...]:
@@ -58,6 +81,9 @@ class RunRequest:
     tier: str = "basic"
     params: Tuple[Tuple[str, object], ...] = ()
     seed: Optional[int] = None
+    #: machine-network parameter overrides (e.g. halved ``bw_link``);
+    #: empty for the preset's stock interconnect
+    network: Tuple[Tuple[str, float], ...] = ()
 
     def __post_init__(self) -> None:
         params = self.params
@@ -65,6 +91,12 @@ class RunRequest:
             frozen = _freeze_params(params)
         else:
             frozen = _freeze_params(dict(params))
+        network = self.network
+        if isinstance(network, Mapping):
+            frozen_net = _freeze_network(network)
+        else:
+            frozen_net = _freeze_network(dict(network))
+        object.__setattr__(self, "network", frozen_net)
         # Canonicalize the seed: ``RunRequest(seed=5)`` and
         # ``RunRequest(params={"seed": 5})`` execute identically, so they
         # must hash identically too — a params-spelled seed is merged into
@@ -95,12 +127,18 @@ class RunRequest:
 
     def describe(self) -> str:
         """Short human-readable label for progress/trace output."""
-        return f"{self.benchmark} [{self.machine}/{self.nodes} {self.tier}]"
+        net = "*" if self.network else ""
+        return f"{self.benchmark} [{self.machine}{net}/{self.nodes} {self.tier}]"
 
     # -- canonical encoding ---------------------------------------------
     def to_dict(self) -> Dict[str, object]:
-        """JSON-safe dictionary (inverse of :meth:`from_dict`)."""
-        return {
+        """JSON-safe dictionary (inverse of :meth:`from_dict`).
+
+        ``network`` appears only when overrides are set: stock-network
+        requests keep the exact encoding (and content hash) they had
+        before the field existed, so caches and stores stay valid.
+        """
+        record: Dict[str, object] = {
             "benchmark": self.benchmark,
             "machine": self.machine,
             "nodes": self.nodes,
@@ -108,6 +146,9 @@ class RunRequest:
             "params": {k: v for k, v in self.params},
             "seed": self.seed,
         }
+        if self.network:
+            record["network"] = {k: v for k, v in self.network}
+        return record
 
     @classmethod
     def from_dict(cls, record: Mapping[str, object]) -> "RunRequest":
@@ -119,6 +160,7 @@ class RunRequest:
             tier=record.get("tier", "basic"),
             params=record.get("params", {}),
             seed=record.get("seed"),
+            network=record.get("network", {}),
         )
 
     def canonical(self) -> str:
@@ -141,8 +183,20 @@ class RunRequest:
 
     # -- execution ------------------------------------------------------
     def build_session(self) -> Session:
-        """Construct a fresh session matching this request's spec."""
+        """Construct a fresh session matching this request's spec.
+
+        Network overrides derive a new frozen machine (and with it a
+        fresh :class:`NetworkModel` whose per-instance cost memo starts
+        empty) — cached stock presets are never mutated, so two
+        requests differing only in overrides can never share priced
+        costs.
+        """
         machine = resolve_machine(self.machine, self.nodes)
+        if self.network:
+            machine = replace(
+                machine,
+                network=machine.network.with_overrides(**dict(self.network)),
+            )
         return Session(machine, tier=VersionTier(self.tier))
 
 

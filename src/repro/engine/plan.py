@@ -63,6 +63,8 @@ def expand_grid(
     params: Optional[Mapping[str, Mapping[str, object]]] = None,
     common_params: Optional[Mapping[str, object]] = None,
     param_grid: Optional[Mapping[str, Sequence[object]]] = None,
+    network: Optional[Mapping[str, float]] = None,
+    network_grid: Optional[Mapping[str, Sequence[float]]] = None,
     seed: Optional[int] = None,
     validate: bool = True,
 ) -> List[RunRequest]:
@@ -73,7 +75,12 @@ def expand_grid(
     axes — each combination produced by :func:`expand_param_grid` is
     merged over the static parameters, multiplying the plan size by the
     number of combinations (this is how a campaign sweeps problem
-    sizes).  Benchmarks that do not provide a requested tier are still
+    sizes).  ``network`` applies fixed interconnect overrides to every
+    request, and ``network_grid`` adds cartesian *network* axes over
+    :data:`~repro.engine.jobs.NETWORK_FIELDS` values (grid combinations
+    merge over the fixed overrides) — together they sweep machine
+    bandwidth/latency parameters the way ``param_grid`` sweeps problem
+    sizes.  Benchmarks that do not provide a requested tier are still
     planned (the runner falls back to the tier's merged parameters);
     unknown benchmark names raise unless ``validate`` is False.
     """
@@ -88,6 +95,7 @@ def expand_grid(
             )
     params = params or {}
     combos = expand_param_grid(param_grid)
+    net_combos = expand_param_grid(network_grid)
     requests = []
     for machine in machines:
         for node_count in nodes:
@@ -100,16 +108,19 @@ def expand_grid(
                             **params.get(name, {}),
                             **combo,
                         }
-                        requests.append(
-                            RunRequest(
-                                benchmark=name,
-                                machine=machine,
-                                nodes=node_count,
-                                tier=tier,
-                                params=merged,
-                                seed=seed,
+                        for net_combo in net_combos:
+                            merged_net = {**(network or {}), **net_combo}
+                            requests.append(
+                                RunRequest(
+                                    benchmark=name,
+                                    machine=machine,
+                                    nodes=node_count,
+                                    tier=tier,
+                                    params=merged,
+                                    seed=seed,
+                                    network=merged_net,
+                                )
                             )
-                        )
     return _dedup(requests)
 
 

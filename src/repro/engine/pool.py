@@ -27,9 +27,14 @@ import asyncio
 import os
 import threading
 import time
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.engine.jobs import RunRequest
+
+#: EWMA smoothing factor for per-benchmark compute-time estimates.
+#: 0.3 tracks drift (cache warmup, machine load) within a few samples
+#: while damping one-off outliers.
+EWMA_ALPHA = 0.3
 
 ENV_INJECT_FAIL = "REPRO_ENGINE_INJECT_FAIL"
 ENV_INJECT_SLEEP = "REPRO_ENGINE_INJECT_SLEEP"
@@ -125,6 +130,34 @@ def _worker_run(payload: Dict) -> Dict:
     return result
 
 
+def _worker_run_batch(payload: Dict) -> Dict:
+    """Worker entry point: execute several request attempts in one trip.
+
+    Each submission through the process pool pays a fixed toll — pickle
+    both ways, an IPC round trip, future bookkeeping — that dwarfs a
+    sub-10 ms benchmark.  Packing many small requests into one payload
+    amortizes that toll across the batch while every member still runs
+    through the exact :func:`_worker_run` path (same test hooks, same
+    report serialization), so per-member results are byte-identical to
+    solo submissions.
+
+    Failures are isolated: a member that raises becomes ``{"ok": False,
+    "error": ...}`` and its siblings keep executing.
+    """
+    members = []
+    for member in payload["members"]:
+        try:
+            result = _worker_run(member)
+        except Exception as exc:
+            members.append(
+                {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+            )
+        else:
+            result["ok"] = True
+            members.append(result)
+    return {"members": members}
+
+
 def _pool_supported() -> bool:
     """Whether a process pool can be used on this platform."""
     if os.environ.get(ENV_FORCE_SERIAL):
@@ -170,6 +203,29 @@ class WorkerPool:
         self._executor = None
         self._generation = 0
         self._closed = False
+        #: per-benchmark EWMA of observed in-worker compute seconds;
+        #: survives executor restarts (it describes the workload, not
+        #: the workers) and feeds the engine's batch-sizing decisions
+        self._compute_ewma: Dict[str, float] = {}
+
+    # -- compute-time estimates -----------------------------------------
+    def note_compute(self, benchmark: str, seconds: float) -> None:
+        """Fold one observed in-worker compute time into the EWMA."""
+        with self._lock:
+            prev = self._compute_ewma.get(benchmark)
+            self._compute_ewma[benchmark] = (
+                seconds if prev is None else prev + EWMA_ALPHA * (seconds - prev)
+            )
+
+    def estimate(self, benchmark: str) -> Optional[float]:
+        """EWMA compute-seconds estimate, or ``None`` before any sample.
+
+        ``None`` deliberately means "ship it solo": an unobserved
+        benchmark could be a multi-second heavy job, and guessing small
+        would serialize it behind batch siblings.
+        """
+        with self._lock:
+            return self._compute_ewma.get(benchmark)
 
     # -- lifecycle ------------------------------------------------------
     def _make_executor(self):
@@ -256,7 +312,57 @@ class WorkerPool:
             "attempt": attempt,
             "spans": spans,
         }
-        return self._ensure().submit(_worker_run, payload)
+        future = self._ensure().submit(_worker_run, payload)
+        benchmark = request.benchmark
+
+        def _note(fut) -> None:
+            try:
+                if fut.cancelled() or fut.exception() is not None:
+                    return
+                seconds = fut.result().get("compute_time_s")
+                if seconds is not None:
+                    self.note_compute(benchmark, seconds)
+            except Exception:  # pragma: no cover - callback must not raise
+                pass
+
+        future.add_done_callback(_note)
+        return future
+
+    def submit_batch(
+        self,
+        items: Sequence[Tuple[RunRequest, int]],
+        *,
+        spans: bool = False,
+    ):
+        """Submit ``(request, attempt)`` pairs as one worker trip.
+
+        Resolves to ``{"members": [...]}`` with one entry per item in
+        order: ``{"ok": True, "report": ..., "compute_time_s": ...}``
+        (plus ``"spans"`` when requested) or ``{"ok": False, "error":
+        ...}``.  Successful members feed the compute-time EWMA exactly
+        as solo submissions do.
+        """
+        payload = {
+            "members": [
+                {"request": request.to_dict(), "attempt": attempt, "spans": spans}
+                for request, attempt in items
+            ]
+        }
+        future = self._ensure().submit(_worker_run_batch, payload)
+        benchmarks = [request.benchmark for request, _ in items]
+
+        def _note(fut) -> None:
+            try:
+                if fut.cancelled() or fut.exception() is not None:
+                    return
+                for name, member in zip(benchmarks, fut.result()["members"]):
+                    if member.get("ok") and member.get("compute_time_s") is not None:
+                        self.note_compute(name, member["compute_time_s"])
+            except Exception:  # pragma: no cover - callback must not raise
+                pass
+
+        future.add_done_callback(_note)
+        return future
 
     async def submit_async(
         self,

@@ -23,6 +23,7 @@ EVENT_KINDS = (
     "run_started",
     "job_submitted",
     "job_started",
+    "batch_submitted",
     "job_retried",
     "job_cached",
     "job_finished",

@@ -103,6 +103,13 @@ PRESETS: Dict[str, Callable[..., MachineModel]] = {
 #: Presets whose machines have a fixed node count.
 FIXED_NODE_PRESETS: Dict[str, int] = {"workstation": 1}
 
+#: ``(name, nodes)`` -> built model.  MachineModel and its parts are
+#: frozen dataclasses, so one instance can serve every request for the
+#: same spec — engine workers resolve the same preset per job
+#: otherwise.  Derived machines (e.g. network overrides) go through
+#: ``dataclasses.replace`` and never mutate a cached instance.
+_RESOLVE_CACHE: Dict[tuple, MachineModel] = {}
+
 
 def resolve_machine(name: str, nodes: Optional[int] = None) -> MachineModel:
     """Build a preset machine by name, validating the node count.
@@ -111,6 +118,17 @@ def resolve_machine(name: str, nodes: Optional[int] = None) -> MachineModel:
     fixed node count (``workstation``) reject any other ``nodes`` value
     instead of silently ignoring it.
     """
+    key = (name, nodes)
+    cached = _RESOLVE_CACHE.get(key)
+    if cached is not None:
+        return cached
+    model = _build_machine(name, nodes)
+    if len(_RESOLVE_CACHE) < 256:
+        _RESOLVE_CACHE[key] = model
+    return model
+
+
+def _build_machine(name: str, nodes: Optional[int]) -> MachineModel:
     try:
         factory = PRESETS[name]
     except KeyError:

@@ -60,6 +60,16 @@ class Session:
             if recorder is not None
             else MetricsRecorder(detail_events=detail_events)
         )
+        # Per-stream memo of elementwise charge pricing.  The machine,
+        # tier and layouts are all frozen value objects and
+        # ``MachineModel.compute_time`` is a pure function of them, so
+        # pricing one ``(kind, layout, ops, complex, access)`` stream
+        # once and replaying the cached ``(n_ops, seconds)`` pair is
+        # bit-exact — iteration loops re-price identical work every
+        # step otherwise.
+        self._elementwise_cache: dict = {}
+        self._seq_cache: dict = {}
+        self._comm_cache: dict = {}
 
     @property
     def detail_events(self) -> bool:
@@ -127,10 +137,33 @@ class Session:
         Under HPF execution semantics every element participates (even
         masked ones), so the operation count is the full array size.
         """
-        n_ops = layout.size * ops_per_element
+        key = (kind, layout, ops_per_element, complex_valued, access)
+        priced = self._elementwise_cache.get(key)
+        if priced is None:
+            priced = self._price_elementwise(
+                kind, layout, ops_per_element, complex_valued, access
+            )
+            if len(self._elementwise_cache) < 4096:
+                self._elementwise_cache[key] = priced
+        n_ops, seconds = priced
         if n_ops == 0:
             return
-        self.recorder.charge_flops(kind, n_ops, complex_valued=complex_valued)
+        recorder = self.recorder
+        recorder.charge_flops(kind, n_ops, complex_valued=complex_valued)
+        recorder.charge_compute_time(seconds)
+
+    def _price_elementwise(
+        self,
+        kind: FlopKind,
+        layout: Layout,
+        ops_per_element: int,
+        complex_valued: bool,
+        access: LocalAccess,
+    ) -> Tuple[int, float]:
+        """``(n_ops, compute seconds)`` of one elementwise charge."""
+        n_ops = layout.size * ops_per_element
+        if n_ops == 0:
+            return 0, 0.0
         weighted = flop_cost(kind, n_ops, complex_valued=complex_valued)
         fraction = layout.critical_fraction(self.machine.nodes)
         critical = weighted * fraction
@@ -138,13 +171,11 @@ class Session:
         # one result stream per elementwise operation.
         itemsize = 16 if complex_valued else 8
         bytes_critical = 3 * itemsize * layout.size * fraction
-        self.recorder.charge_compute_time(
-            self.machine.compute_time(
-                critical,
-                tier=self.tier,
-                access=access,
-                bytes_critical_node=bytes_critical,
-            )
+        return n_ops, self.machine.compute_time(
+            critical,
+            tier=self.tier,
+            access=access,
+            bytes_critical_node=bytes_critical,
         )
 
     def charge_elementwise_seq(
@@ -162,30 +193,24 @@ class Session:
         loop.  Each step uses the exact same arithmetic as the unfused
         path, so fused kernels report byte-identical metrics.
         """
-        size = layout.size
-        if size == 0:
-            return
-        fraction = layout.critical_fraction(self.machine.nodes)
+        key = (tuple(steps), layout, access)
+        priced = self._seq_cache.get(key)
+        if priced is None:
+            priced = [
+                (kind, complex_valued)
+                + self._price_elementwise(
+                    kind, layout, ops_per_element, complex_valued, access
+                )
+                for kind, ops_per_element, complex_valued in steps
+            ]
+            if len(self._seq_cache) < 4096:
+                self._seq_cache[key] = priced
         recorder = self.recorder
-        machine = self.machine
-        tier = self.tier
-        for kind, ops_per_element, complex_valued in steps:
-            n_ops = size * ops_per_element
+        for kind, complex_valued, n_ops, seconds in priced:
             if n_ops == 0:
                 continue
             recorder.charge_flops(kind, n_ops, complex_valued=complex_valued)
-            weighted = flop_cost(kind, n_ops, complex_valued=complex_valued)
-            critical = weighted * fraction
-            itemsize = 16 if complex_valued else 8
-            bytes_critical = 3 * itemsize * size * fraction
-            recorder.charge_compute_time(
-                machine.compute_time(
-                    critical,
-                    tier=tier,
-                    access=access,
-                    bytes_critical_node=bytes_critical,
-                )
-            )
+            recorder.charge_compute_time(seconds)
 
     def charge_kernel(
         self,
@@ -265,24 +290,34 @@ class Session:
         ``None`` — the accounting is identical either way.
         """
         n = nodes if nodes is not None else self.machine.nodes
-        cost = self.machine.network.cost(
-            pattern,
-            bytes_network=bytes_network,
-            nodes=n,
-            stages=stages,
-            collisions=collisions,
-        )
-        busy = cost.busy
-        if bytes_local:
-            busy += self.machine.local_move_time(bytes_local / max(1, n))
+        # Same per-stream memo idea as the elementwise pricing cache:
+        # the network model and node count are frozen, so one (pattern,
+        # bytes, nodes, stages, collisions) stream prices once.
+        key = (pattern, bytes_network, bytes_local, n, stages, collisions)
+        priced = self._comm_cache.get(key)
+        if priced is None:
+            cost = self.machine.network.cost(
+                pattern,
+                bytes_network=bytes_network,
+                nodes=n,
+                stages=stages,
+                collisions=collisions,
+            )
+            busy = cost.busy
+            if bytes_local:
+                busy += self.machine.local_move_time(bytes_local / max(1, n))
+            priced = (busy, cost.idle)
+            if len(self._comm_cache) < 4096:
+                self._comm_cache[key] = priced
+        busy, idle = priced
         recorder = self.recorder
-        result = recorder.current.add_comm(
+        result = recorder.charge_comm(
             pattern,
             bytes_network=bytes_network,
             bytes_local=bytes_local,
             nodes=n,
             busy_time=busy,
-            idle_time=cost.idle,
+            idle_time=idle,
             rank=rank,
             detail=detail,
         )
@@ -294,7 +329,7 @@ class Session:
                 bytes_network=bytes_network,
                 bytes_local=bytes_local,
                 busy_time=busy,
-                idle_time=cost.idle,
+                idle_time=idle,
                 rank=rank,
                 detail=detail,
             )

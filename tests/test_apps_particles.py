@@ -26,6 +26,33 @@ class TestNBody:
         r = nbody.run(session, n=17, variant=variant, seed=3)
         assert r.observables["force_error"] < 1e-9
 
+    @pytest.mark.parametrize("n", [3, 17, 64, 200])
+    def test_reference_forces_matrix_matches_row_loop(self, n):
+        """The docstring's bit-identity claim for the matrix fast path.
+
+        ``reference_forces`` uses the O(n^2) interaction matrix for
+        n <= 1024; it must be *exactly* equal (not just close) to the
+        per-body row loop it replaced, since the reference feeds the
+        benchmark's force_error observable.
+        """
+        rng = np.random.default_rng(n)
+        x = rng.uniform(-1, 1, n)
+        y = rng.uniform(-1, 1, n)
+        m = rng.uniform(0.5, 1.5, n)
+        fx, fy = nbody.reference_forces(x, y, m)
+        lfx = np.zeros(n)
+        lfy = np.zeros(n)
+        for i in range(n):
+            dx = x - x[i]
+            dy = y - y[i]
+            r2 = dx * dx + dy * dy + nbody._EPS
+            w = m / (r2 * np.sqrt(r2))
+            w[i] = 0.0
+            lfx[i] = np.sum(w * dx)
+            lfy[i] = np.sum(w * dy)
+        assert (fx == lfx).all()
+        assert (fy == lfy).all()
+
     def test_broadcast_variant_comm(self, session):
         nbody.run(session, n=16, variant="broadcast")
         per = _main(session).comm_counts_per_iteration()

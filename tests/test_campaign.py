@@ -116,6 +116,43 @@ class TestSpec:
         combos = expand_param_grid({"a": [1, 2], "b": ["x"]})
         assert combos == [{"a": 1, "b": "x"}, {"a": 2, "b": "x"}]
 
+    def test_network_axes_expand_and_roundtrip(self, tmp_path):
+        """Network sweeps behave exactly like param_grid sweeps."""
+        spec = CampaignSpec(
+            name="net-sweep",
+            groups=[
+                GroupSpec(
+                    benchmarks=("fft",),
+                    param_grid={"n": [256, 512]},
+                    network={"collision_factor": 2.0},
+                    network_grid={"bw_link": [5e6, 10e6]},
+                )
+            ],
+        )
+        plan = spec.compile()
+        assert len(plan) == 4  # 2 sizes x 2 bandwidths
+        nets = {tuple(r.network) for r in plan}
+        assert nets == {
+            (("bw_link", 5e6), ("collision_factor", 2.0)),
+            (("bw_link", 10e6), ("collision_factor", 2.0)),
+        }
+        record = spec.to_dict()
+        group = record["groups"][0]
+        assert group["network"] == {"collision_factor": 2.0}
+        assert group["network_grid"] == {"bw_link": [5e6, 10e6]}
+        path = save_spec(spec, tmp_path / "spec.json")
+        loaded = load_spec(path)
+        assert [r.content_hash() for r in loaded.compile()] == [
+            r.content_hash() for r in plan
+        ]
+
+    def test_unknown_network_field_fails_at_compile(self):
+        group = GroupSpec.from_dict(
+            {"benchmarks": ["fft"], "network": {"warp_speed": 9}}
+        )
+        with pytest.raises(ValueError, match="unknown network parameter"):
+            group.requests()
+
 
 class TestRunAndResume:
     def test_runs_through_engine_into_sharded_store(self, tmp_path):

@@ -1,0 +1,198 @@
+"""ChargeBuffer unit tests: bit-exactness, flush points, eager gates.
+
+The buffer's whole contract is "observationally invisible": a
+recorder with buffering on must end every region transition in
+*exactly* the state an eager recorder reaches, and every condition
+that requires eager charging (root region, observer, trace mode,
+kill switch) must actually bypass the buffer.
+"""
+
+import numpy as np
+import pytest
+
+from repro.metrics.chargebuffer import ACCUMULATE_MIN, ChargeBuffer, _fold
+from repro.metrics.flops import FlopKind, flop_cost
+from repro.metrics.patterns import CommPattern
+from repro.metrics.recorder import MetricsRecorder
+
+
+def drive(recorder: MetricsRecorder) -> None:
+    """A fixed, order-sensitive charge script (seeded float values)."""
+    rng = np.random.default_rng(7)
+    with recorder.region("main", iterations=4):
+        for i in range(60):
+            recorder.charge_flops(FlopKind.MUL, 1000 + i)
+            recorder.charge_flops(
+                FlopKind.ADD, 500 + i, complex_valued=(i % 3 == 0)
+            )
+            recorder.charge_compute_time(float(rng.uniform(1e-9, 1e-3)))
+            recorder.charge_raw_flops(17 * i)
+            recorder.charge_comm(
+                CommPattern.CSHIFT,
+                bytes_network=64 * i,
+                bytes_local=128 * i,
+                busy_time=float(rng.uniform(1e-9, 1e-4)),
+                idle_time=float(rng.uniform(0.0, 1e-5)),
+                rank=i % 2,
+                detail="halo",
+            )
+        recorder.charge_reduction(4096, 1)
+
+
+def region_state(recorder: MetricsRecorder):
+    region = recorder.root.children[0]
+    stats = {
+        key: (s.count, s.bytes_network, s.bytes_local, s.busy_time, s.idle_time)
+        for key, s in region.comm_stats.items()
+    }
+    return (
+        region.total_flops,
+        region.compute_busy,
+        region.comm_count,
+        region.comm_busy,
+        region.comm_idle,
+        stats,
+    )
+
+
+class TestExactness:
+    def test_buffered_matches_eager_exactly(self, monkeypatch):
+        """Same charge script, buffer on vs off: identical final state.
+
+        Float fields compare with ``==`` deliberately — the flush must
+        reproduce eager rounding bit-for-bit, not approximately.
+        """
+        monkeypatch.setattr(MetricsRecorder, "buffer_charges", False)
+        eager = MetricsRecorder()
+        drive(eager)
+        monkeypatch.setattr(MetricsRecorder, "buffer_charges", True)
+        buffered = MetricsRecorder()
+        drive(buffered)
+        assert region_state(eager) == region_state(buffered)
+
+    @pytest.mark.parametrize(
+        "length", [0, 1, 5, ACCUMULATE_MIN - 1, ACCUMULATE_MIN, 3 * ACCUMULATE_MIN]
+    )
+    def test_fold_matches_python_loop(self, length):
+        """Both fold branches are bit-identical to a ``+=`` loop."""
+        rng = np.random.default_rng(length)
+        values = [float(v) for v in rng.uniform(1e-12, 1e-3, size=length)]
+        seed = 0.123456789
+        acc = seed
+        for value in values:
+            acc += value
+        assert _fold(seed, values) == acc
+
+    def test_flop_cost_is_linear_in_count(self):
+        """The linearity flush correctness relies on, per kind."""
+        for kind in FlopKind:
+            for complex_valued in (False, True):
+                a, b = 12345, 67891
+                assert flop_cost(
+                    kind, a + b, complex_valued=complex_valued
+                ) == flop_cost(kind, a, complex_valued=complex_valued) + flop_cost(
+                    kind, b, complex_valued=complex_valued
+                )
+
+
+class TestBufferMechanics:
+    def test_truthiness_tracks_pending_charges(self):
+        buf = ChargeBuffer()
+        assert not buf
+        buf.add_flops(FlopKind.ADD, 3, False)
+        assert buf
+        buf = ChargeBuffer()
+        buf.add_compute(1e-6)
+        assert buf
+        buf = ChargeBuffer()
+        buf.add_comm(
+            CommPattern.SPREAD,
+            None,
+            "",
+            bytes_network=8,
+            bytes_local=8,
+            busy_time=1e-7,
+            idle_time=0.0,
+        )
+        assert buf
+
+    def test_flush_drains_and_is_idempotent(self, monkeypatch):
+        monkeypatch.setattr(MetricsRecorder, "buffer_charges", True)
+        recorder = MetricsRecorder()
+        with recorder.region("main"):
+            recorder.charge_flops(FlopKind.MUL, 10)
+            recorder.flush_charges()
+            total_after_first = recorder.current.total_flops
+            recorder.flush_charges()  # nothing pending: no double count
+            assert recorder.current.total_flops == total_after_first
+        assert recorder.root.total_flops == flop_cost(FlopKind.MUL, 10)
+
+    def test_region_transitions_flush_into_owning_region(self, monkeypatch):
+        """Charges land in the region that was current when made."""
+        monkeypatch.setattr(MetricsRecorder, "buffer_charges", True)
+        recorder = MetricsRecorder()
+        with recorder.region("outer"):
+            recorder.charge_flops(FlopKind.ADD, 100)
+            with recorder.region("inner"):
+                recorder.charge_flops(FlopKind.ADD, 7)
+            # Entering "inner" must have flushed the outer charge into
+            # "outer", not carried it down.
+            outer = recorder.root.children[0]
+            inner = outer.children[0]
+            assert inner.flops.total == flop_cost(FlopKind.ADD, 7)
+            assert outer.flops.total == flop_cost(FlopKind.ADD, 100)
+
+
+class TestEagerGates:
+    def test_root_level_charges_stay_eager(self, monkeypatch):
+        monkeypatch.setattr(MetricsRecorder, "buffer_charges", True)
+        recorder = MetricsRecorder()
+        recorder.charge_flops(FlopKind.ADD, 5)
+        # Visible immediately, no flush needed: outside any region the
+        # buffer must never engage.
+        assert recorder.root.flops.total == flop_cost(FlopKind.ADD, 5)
+
+    def test_kill_switch_disables_buffering(self, monkeypatch):
+        monkeypatch.setattr(MetricsRecorder, "buffer_charges", False)
+        recorder = MetricsRecorder()
+        with recorder.region("main"):
+            recorder.charge_flops(FlopKind.ADD, 5)
+            assert recorder.current.flops.total == flop_cost(FlopKind.ADD, 5)
+
+    def test_trace_mode_disables_buffering(self, monkeypatch):
+        monkeypatch.setattr(MetricsRecorder, "buffer_charges", True)
+        recorder = MetricsRecorder(detail_events=True)
+        with recorder.region("main"):
+            recorder.charge_flops(FlopKind.ADD, 5)
+            assert recorder.current.flops.total == flop_cost(FlopKind.ADD, 5)
+
+    def test_observer_sees_every_charge_as_it_happens(self, monkeypatch):
+        """An attached observer forces eager charging."""
+        monkeypatch.setattr(MetricsRecorder, "buffer_charges", True)
+
+        class Probe:
+            def __init__(self):
+                self.flops = []
+
+            def on_region_enter(self, region):
+                pass
+
+            def on_region_exit(self, region):
+                pass
+
+            def on_flops(self, region, kind, count, *, complex_valued=False):
+                self.flops.append((kind, count))
+
+            def on_raw_flops(self, region, flops):
+                pass
+
+            def on_compute(self, region, seconds):
+                pass
+
+        probe = Probe()
+        recorder = MetricsRecorder(observer=probe)
+        with recorder.region("main"):
+            recorder.charge_flops(FlopKind.MUL, 3)
+            # Eager: both the region and the observer already know.
+            assert recorder.current.flops.total == flop_cost(FlopKind.MUL, 3)
+        assert probe.flops == [(FlopKind.MUL, 3)]

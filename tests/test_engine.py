@@ -115,6 +115,88 @@ class TestRunRequest:
         assert len(requests) == 1
 
 
+class TestNetworkOverrides:
+    """Request-level interconnect overrides (campaign network axes)."""
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(ValueError, match="unknown network parameter"):
+            RunRequest("fft", network={"bandwidth": 1e6})
+
+    def test_non_numeric_value_rejected(self):
+        with pytest.raises(TypeError, match="must be a number"):
+            RunRequest("fft", network={"bw_link": "fast"})
+        with pytest.raises(TypeError, match="must be a number"):
+            RunRequest("fft", network={"bw_link": True})
+
+    def test_stock_request_encoding_unchanged(self):
+        """No overrides -> no 'network' key, so old hashes stay valid."""
+        stock = RunRequest("fft", params={"n": 64})
+        assert "network" not in stock.to_dict()
+        assert (
+            stock.content_hash()
+            == RunRequest("fft", params={"n": 64}, network={}).content_hash()
+        )
+
+    def test_overrides_participate_in_hash_and_normalize(self):
+        a = RunRequest("fft", network={"bw_link": 5e6, "latency_news": 1e-6})
+        b = RunRequest("fft", network={"latency_news": 1e-6, "bw_link": 5e6})
+        assert a == b
+        assert a.content_hash() == b.content_hash()
+        assert a.content_hash() != RunRequest("fft").content_hash()
+        assert (
+            a.content_hash()
+            != RunRequest("fft", network={"bw_link": 5e6}).content_hash()
+        )
+
+    def test_dict_roundtrip_with_network(self):
+        request = RunRequest(
+            "qr", nodes=8, params={"m": 32, "n": 16},
+            network={"bw_link": 5e6, "collision_factor": 2.0},
+        )
+        assert RunRequest.from_dict(request.to_dict()) == request
+
+    def test_describe_marks_override(self):
+        assert "*" not in RunRequest("fft").describe()
+        assert "*" in RunRequest("fft", network={"bw_link": 5e6}).describe()
+
+    def test_build_session_applies_overrides(self):
+        session = RunRequest(
+            "fft", network={"bw_link": 5e6, "latency_tree": 3e-6}
+        ).build_session()
+        assert session.machine.network.bw_link == 5e6
+        assert session.machine.network.latency_tree == 3e-6
+
+    def test_cached_stock_preset_never_mutated(self):
+        """resolve_machine's memo must survive derived-machine builds."""
+        stock_bw = RunRequest("fft").build_session().machine.network.bw_link
+        RunRequest("fft", network={"bw_link": 1.0}).build_session()
+        assert RunRequest("fft").build_session().machine.network.bw_link == (
+            stock_bw
+        )
+
+    def test_override_machines_have_private_cost_memos(self):
+        """Two override sets can never share priced comm costs."""
+        m1 = RunRequest("fft", network={"bw_link": 1e6}).build_session().machine
+        m2 = RunRequest("fft", network={"bw_link": 2e6}).build_session().machine
+        assert m1.network is not m2.network
+        assert m1.network._cost_cache is not m2.network._cost_cache
+
+    def test_degraded_bandwidth_slows_comm_heavy_run(self):
+        stock = execute_request(
+            RunRequest("diff-1d", params={"nx": 256, "steps": 4})
+        )
+        slow = execute_request(
+            RunRequest(
+                "diff-1d",
+                params={"nx": 256, "steps": 4},
+                network={"bw_link": 1e4},
+            )
+        )
+        assert slow.busy_time > stock.busy_time
+        assert slow.elapsed_time > stock.elapsed_time
+        assert slow.flop_count == stock.flop_count  # overrides price, not work
+
+
 class TestResultCache:
     @pytest.fixture
     def cache(self, tmp_path):
@@ -338,6 +420,34 @@ class TestPlanning:
     def test_expand_grid_validates_names(self):
         with pytest.raises(KeyError, match="unknown benchmark"):
             expand_grid(["not-a-benchmark"])
+
+    def test_expand_grid_network_axes(self):
+        """network_grid multiplies the plan; combos merge over fixed."""
+        requests = expand_grid(
+            ["fft"],
+            network={"collision_factor": 2.0},
+            network_grid={"bw_link": [5e6, 10e6], "latency_news": [1e-6]},
+        )
+        assert len(requests) == 2
+        nets = [dict(r.network) for r in requests]
+        assert nets == [
+            {"bw_link": 5e6, "collision_factor": 2.0, "latency_news": 1e-6},
+            {"bw_link": 10e6, "collision_factor": 2.0, "latency_news": 1e-6},
+        ]
+
+    def test_expand_grid_network_grid_overrides_fixed(self):
+        requests = expand_grid(
+            ["fft"],
+            network={"bw_link": 1e6},
+            network_grid={"bw_link": [5e6, 10e6]},
+        )
+        assert [dict(r.network)["bw_link"] for r in requests] == [5e6, 10e6]
+
+    def test_expand_grid_network_dedups_by_hash(self):
+        requests = expand_grid(
+            ["fft"], network_grid={"bw_link": [5e6, 5e6, 10e6]}
+        )
+        assert len(requests) == 2
 
     def test_machine_and_tier_sweep_requests(self):
         machine = machine_sweep_requests("diff-3d", [4, 16, 64], params={"nx": 8})

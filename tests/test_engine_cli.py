@@ -265,6 +265,65 @@ class TestEngineCheckCommand:
         ) == 0
 
 
+class TestGateThroughput:
+    def test_store_baseline_gates_on_run_throughput(self, stored_suite,
+                                                    capsys):
+        """Identical reruns pass a generous throughput floor."""
+        store, _ = stored_suite
+        assert main(
+            ["engine", "check", "@-1", "--baseline", "@0",
+             "--store", str(store), "--gate-throughput", "99"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "throughput:" in out
+        assert ": ok" in out
+
+    def test_regressed_throughput_fails_gate(self, stored_suite, capsys,
+                                             tmp_path):
+        """A baseline file claiming 100x the rate trips the gate."""
+        store, _ = stored_suite
+        sidecar = RunStore(store).read_stats("@0")
+        doc = {
+            "benchmarks": sidecar["benchmarks"],
+            "engine": {"throughput_jobs_per_s": 1e9},
+        }
+        baseline = tmp_path / "BENCH_fast.json"
+        baseline.write_text(json.dumps(doc))
+        out_path = tmp_path / "BENCH_point.json"
+        assert main(
+            ["engine", "check", "latest", "--baseline", str(baseline),
+             "--store", str(store), "--gate-throughput", "10",
+             "--bench-out", str(out_path)]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSED" in out
+        point = json.loads(out_path.read_text())
+        assert point["check"]["ok"] is True  # metrics fine, speed gated
+        assert point["check"]["throughput"]["ok"] is False
+        assert point["check"]["throughput"]["baseline_jobs_per_s"] == 1e9
+
+    def test_baseline_without_throughput_is_an_error(self, stored_suite,
+                                                     tmp_path):
+        store, _ = stored_suite
+        sidecar = RunStore(store).read_stats("@0")
+        baseline = tmp_path / "BENCH_no_engine.json"
+        baseline.write_text(json.dumps({"benchmarks": sidecar["benchmarks"]}))
+        with pytest.raises(SystemExit, match="no\\s+engine throughput"):
+            main(
+                ["engine", "check", "latest", "--baseline", str(baseline),
+                 "--store", str(store), "--gate-throughput", "10"]
+            )
+
+    def test_no_flag_no_gate(self, stored_suite, capsys):
+        """Without --gate-throughput the check output is unchanged."""
+        store, _ = stored_suite
+        assert main(
+            ["engine", "check", "@-1", "--baseline", "@0",
+             "--store", str(store)]
+        ) == 0
+        assert "throughput:" not in capsys.readouterr().out
+
+
 class TestCachePruneFlag:
     def test_suite_cache_prune_drops_stale_buckets(self, tmp_path, capsys):
         cache = tmp_path / "cache"

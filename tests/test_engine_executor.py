@@ -23,6 +23,8 @@ from repro.engine.executor import (
     ENV_INJECT_SLEEP,
     _parse_injection,
 )
+from repro.engine.pool import WorkerPool
+from repro.engine.trace import Tracer
 from repro.metrics.serialize import canonical_report_json
 from repro.suite import run_suite
 
@@ -286,6 +288,146 @@ class TestStoreIntegration:
         (record,) = RunStore(store_path).records()
         assert record["attempts"] == 1
         assert record["wall_time_s"] > 0
+
+
+class TestBatchDispatch:
+    """Batch dispatch: grouped submission, per-member granularity.
+
+    Batching decisions key off the pool's per-benchmark compute EWMA,
+    so each test pre-seeds the estimates it needs — a cold pool ships
+    everything solo by design (that is itself a test below).
+    """
+
+    def _seeded_pool(self, benchmarks, workers=1):
+        pool = WorkerPool(workers=workers)
+        for name in benchmarks:
+            pool.note_compute(name, 0.001)
+        return pool
+
+    def test_batched_reports_match_solo_byte_for_byte(self):
+        solo = Engine(EngineConfig(jobs=1, batch=False)).run(
+            subset_requests()
+        )
+        pool = self._seeded_pool(SUBSET)
+        try:
+            engine = Engine(EngineConfig(jobs=1, batch=True), pool=pool)
+            batched = engine.run(subset_requests())
+        finally:
+            pool.shutdown()
+        assert all(r.status == "ok" for r in batched)
+        assert canonical_reports(solo) == canonical_reports(batched)
+        phases = engine.last_run_stats.phases
+        assert phases["batches_submitted"] >= 1
+        assert phases["batched_jobs"] == len(SUBSET)
+
+    def test_cold_pool_ships_solo_then_batching_engages(self):
+        """No estimate -> solo; the first wave seeds the EWMA."""
+        pool = WorkerPool(workers=1)
+        try:
+            first = Engine(EngineConfig(jobs=1, batch=True), pool=pool)
+            first.run(subset_requests())
+            assert first.last_run_stats.phases["batches_submitted"] == 0
+            for name in SUBSET:
+                assert pool.estimate(name) is not None
+            second = Engine(EngineConfig(jobs=1, batch=True), pool=pool)
+            second.run(subset_requests())
+            assert second.last_run_stats.phases["batches_submitted"] >= 1
+        finally:
+            pool.shutdown()
+
+    def test_failed_member_fails_alone_and_retries_solo(self, monkeypatch):
+        """A failing batch member never takes down its siblings."""
+        monkeypatch.setenv(ENV_INJECT_FAIL, "fft")
+        events = []
+        pool = self._seeded_pool(SUBSET)
+        try:
+            engine = Engine(
+                EngineConfig(jobs=1, batch=True, retries=1, backoff=0.0),
+                pool=pool,
+                tracer=Tracer(callback=events.append),
+            )
+            results = engine.run(subset_requests())
+        finally:
+            pool.shutdown()
+        by_name = {r.request.benchmark: r for r in results}
+        assert by_name["fft"].status == "failed"
+        assert by_name["fft"].attempts == 2
+        assert "InjectedFailure" in by_name["fft"].error
+        for name in SUBSET:
+            if name != "fft":
+                assert by_name[name].status == "ok"
+                assert by_name[name].attempts == 1
+        # The retry must have been dispatched solo, not re-batched.
+        retry_starts = [
+            e
+            for e in events
+            if e.kind == "job_started"
+            and e.benchmark == "fft"
+            and e.attempt == 2
+        ]
+        assert retry_starts
+        assert all(not e.extra.get("batched") for e in retry_starts)
+
+    def test_expired_batch_times_out_only_the_stuck_member(
+        self, monkeypatch
+    ):
+        """Timeout attribution stays per-member after a batch expiry.
+
+        The stuck job starves its batch past the pooled deadline; every
+        member is requeued solo at the same attempt, where the stuck
+        one earns an individual ``timeout`` and the innocent sibling
+        completes ``ok`` without being charged an extra attempt.
+        """
+        monkeypatch.setenv(ENV_INJECT_SLEEP, "fft:30")
+        pool = self._seeded_pool(["fft", "gmo"])
+        try:
+            engine = Engine(
+                EngineConfig(jobs=1, batch=True, timeout=0.5), pool=pool
+            )
+            results = engine.run(
+                plan_suite(["fft", "gmo"], params=SUBSET_PARAMS)
+            )
+        finally:
+            pool.shutdown()
+        by_name = {r.request.benchmark: r for r in results}
+        assert by_name["fft"].status == "timeout"
+        assert "timed out after 0.5s" in by_name["fft"].error
+        assert by_name["fft"].attempts == 1
+        assert by_name["gmo"].status == "ok"
+        assert by_name["gmo"].attempts == 1
+
+    def test_batch_members_get_individual_cache_entries(self, tmp_path):
+        cache = tmp_path / "cache"
+        pool = self._seeded_pool(SUBSET)
+        try:
+            config = EngineConfig(jobs=1, batch=True, cache_dir=cache)
+            first = Engine(config, pool=pool).run(subset_requests())
+            second = Engine(config, pool=pool).run(subset_requests())
+        finally:
+            pool.shutdown()
+        assert all(r.status == "ok" for r in first)
+        assert all(r.status == "cached" for r in second)
+        assert canonical_reports(first) == canonical_reports(second)
+
+    def test_partial_cache_hits_leave_batch_remainder(self, tmp_path):
+        """Cache hits resolve up front; the rest still batch."""
+        cache = tmp_path / "cache"
+        pool = self._seeded_pool(SUBSET)
+        try:
+            config = EngineConfig(jobs=1, batch=True, cache_dir=cache)
+            Engine(config, pool=pool).run(
+                plan_suite(["fft", "lu"], params=SUBSET_PARAMS)
+            )
+            engine = Engine(config, pool=pool)
+            results = engine.run(subset_requests())
+        finally:
+            pool.shutdown()
+        statuses = {r.request.benchmark: r.status for r in results}
+        assert statuses["fft"] == "cached"
+        assert statuses["lu"] == "cached"
+        fresh = [n for n in SUBSET if n not in ("fft", "lu")]
+        assert all(statuses[n] == "ok" for n in fresh)
+        assert engine.last_run_stats.phases["batched_jobs"] == len(fresh)
 
 
 class TestRunSuiteWrapper:

@@ -10,8 +10,11 @@ serialized reports are compared field-for-field after a
 itself).
 """
 
+import numpy as np
 import pytest
 
+from repro.array.roll import fast_roll
+from repro.metrics.recorder import MetricsRecorder
 from repro.metrics.serialize import (
     canonical_report_json,
     report_from_dict,
@@ -78,3 +81,40 @@ def test_fast_path_report_matches_detail_mode(name):
     r_fast = report_to_dict(report_from_dict(fast))
     r_detail = report_to_dict(report_from_dict(detail))
     assert canonical_report_json(r_fast) == canonical_report_json(r_detail)
+
+
+@pytest.mark.parametrize("name", sorted(REGISTRY))
+def test_charge_buffer_report_matches_eager_mode(name, monkeypatch):
+    """ChargeBuffer on vs off: canonical report JSON byte-identical.
+
+    Batched charge accounting reorders *when* deltas reach the
+    recorder (region exit instead of call time), never *what* is
+    recorded — the flush replays every charge in original order with
+    identical arithmetic, so the serialized report must not move by a
+    single byte on any benchmark.
+    """
+    monkeypatch.setattr(MetricsRecorder, "buffer_charges", False)
+    eager = _run(name, detail_events=False)
+    monkeypatch.setattr(MetricsRecorder, "buffer_charges", True)
+    buffered = _run(name, detail_events=False)
+    assert canonical_report_json(eager) == canonical_report_json(buffered)
+
+
+@pytest.mark.parametrize(
+    "shape", [(5,), (4, 6), (3, 4, 5), (0,), (1, 7), (16, 16, 16)]
+)
+@pytest.mark.parametrize("dtype", [np.float64, np.complex128, np.int64])
+def test_fast_roll_matches_np_roll(shape, dtype):
+    """The docstring's identity claim for the CSHIFT fast path.
+
+    ``fast_roll`` replaces ``np.roll`` on every comm-primitive and app
+    hot path, so it must agree element-for-element across shapes,
+    axes, dtypes, zero-length axes and out-of-range/negative shifts.
+    """
+    rng = np.random.default_rng(len(shape))
+    data = rng.standard_normal(shape).astype(dtype)
+    for axis in range(len(shape)):
+        for shift in (-7, -1, 0, 1, 2, 5, 12):
+            got = fast_roll(data, shift, axis=axis)
+            np.testing.assert_array_equal(got, np.roll(data, shift, axis=axis))
+            assert got is not data  # fresh array, like np.roll
