@@ -8,7 +8,6 @@ registry's Table-7 metadata.
 import pytest
 
 from repro import Session, cm5
-from repro.metrics.patterns import CommPattern
 from repro.suite import REGISTRY, benchmark_names, run_benchmark
 from repro.suite.tables import table7_comm
 
@@ -37,20 +36,14 @@ PARAMS = {
     "wave-1d": {"nx": 32, "steps": 2},
 }
 
-#: implementation-level extras that legitimately appear beyond the
-#: Table-7 pattern list (documented in EXPERIMENTS.md): stencils
-#: composed from primitives, FFT-internal motions, solver substrates.
-IMPLEMENTATION_EXTRAS = {
-    "diff-1d": {CommPattern.CSHIFT, CommPattern.STENCIL},
-    "diff-2d": {CommPattern.STENCIL},
-    "diff-3d": {CommPattern.STENCIL},
-    "wave-1d": {CommPattern.AAPC},
-    "ks-spectral": {CommPattern.CSHIFT, CommPattern.AAPC},
-    "pic-simple": {CommPattern.CSHIFT, CommPattern.AAPC},
-    "md": {CommPattern.REDUCTION},
-    "n-body": {CommPattern.REDUCTION},
-    "qcd-kernel": set(),
-}
+def implementation_extras(name):
+    """Documented beyond-Table-7 patterns, from the registry.
+
+    The whitelist used to live in this file; it is now the
+    ``comm_extras`` field of each :class:`BenchmarkSpec`, shared with
+    the static RC008 pattern-conformance rule (``repro check lint``).
+    """
+    return set(REGISTRY[name].comm_extras)
 
 
 def test_table7_regeneration(benchmark, output_dir):
@@ -69,7 +62,7 @@ def test_measured_inventory_vs_registry(benchmark, name):
 
     measured = benchmark(run)
     declared = set(REGISTRY[name].comm_patterns)
-    allowed = declared | IMPLEMENTATION_EXTRAS.get(name, set())
+    allowed = declared | implementation_extras(name)
     unexpected = measured - allowed
     assert not unexpected, (
         f"{name}: patterns {sorted(p.value for p in unexpected)} not in "

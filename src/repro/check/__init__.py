@@ -9,10 +9,17 @@ missing charge silently corrupts the metrics the suite exists to
 report.  This package makes accounting drift a CI failure instead of a
 latent paper-fidelity bug, with two cooperating layers:
 
-* :mod:`repro.check.lint` — a static AST linter with domain rules
-  RC001-RC005 (uncharged compute, charge-kind mismatch, comm without
-  record, session misuse, fused-kernel parity), run over the benchmark
-  and collective-library sources.
+* :mod:`repro.check.lint` — a static AST linter, run over the
+  benchmark, collective-library and serving sources through a
+  module-level call graph (:mod:`repro.check.callgraph`): accounting
+  rules RC001-RC007 (uncharged compute, charge-kind mismatch, comm
+  without record, session misuse, fused-kernel parity, dangling
+  spans, unfused hot-loop charges) with interprocedural charge
+  scopes, RC008 communication-pattern conformance against the
+  registry (:mod:`repro.check.inventory`), and the RC101-RC104
+  concurrency family for the async serving stack
+  (:mod:`repro.check.concurrency`).  Results export to SARIF 2.1.0
+  (:mod:`repro.check.sarif`).
 * :mod:`repro.check.sanitizer` — a runtime audit mode that
   shadow-counts the NumPy operations actually executed on distributed
   payloads (via a thin ufunc-intercept array subclass) and diffs them
@@ -26,20 +33,32 @@ See ``docs/CHECKS.md`` for the rule catalog and CLI usage.
 """
 
 from repro.check.baseline import Baseline, Suppression, load_baseline
+from repro.check.callgraph import CallGraph
+from repro.check.concurrency import concurrency_findings
 from repro.check.findings import Finding, findings_to_json, format_findings
-from repro.check.lint import lint_paths, lint_source
+from repro.check.inventory import AppInventory, inventory_findings
+from repro.check.lint import lint_paths, lint_source, lint_sources
 from repro.check.sanitizer import AuditReport, AuditSession, audit_benchmark
+from repro.check.sarif import sarif_to_json, to_sarif, validate_sarif
 
 __all__ = [
+    "AppInventory",
     "AuditReport",
     "AuditSession",
     "Baseline",
+    "CallGraph",
     "Finding",
     "Suppression",
     "audit_benchmark",
+    "concurrency_findings",
     "findings_to_json",
     "format_findings",
+    "inventory_findings",
     "lint_paths",
     "lint_source",
+    "lint_sources",
     "load_baseline",
+    "sarif_to_json",
+    "to_sarif",
+    "validate_sarif",
 ]

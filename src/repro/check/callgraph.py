@@ -1,0 +1,696 @@
+"""Module-level call graph with per-function summaries.
+
+PRs 1-8 grew helpers everywhere — collective primitives, fused
+kernels, engine plumbing — and the per-function linter's taint model
+deliberately stopped at call boundaries ("helpers are charged by
+their callers").  That convention is only sound if *somebody* in the
+call chain charges; this module is how the linter checks the chain.
+
+The graph is built once per lint run over every file in scope:
+
+* each module is parsed and every function scanned twice with
+  :func:`repro.check.rules.scan_function` — once normally and once
+  with all parameters pre-tainted, so we learn whether a helper
+  computes on (or moves) what callers hand it;
+* call edges are resolved through imports (``from x import f``,
+  ``import x as a``), same-module names, ``self.method`` dispatch,
+  constructor-inferred attribute/local types (``self.pool =
+  WorkerPool(...)`` makes ``self.pool.restart()`` resolve), and a
+  restricted unique-method-name fallback for everything else;
+* function *references* handed to thread registrars
+  (``Thread(target=f)``, ``executor.submit(f)``,
+  ``loop.run_in_executor(None, f)``, ``fanout.subscribe(f)``) are
+  kept separately as thread entries — they are not call edges, because
+  the registering function never runs them in its own context;
+* a fixpoint pass propagates monotone summaries (charges emitted,
+  FLOP kinds, comm recorded, param-compute/param-movement) along call
+  edges until stable.
+
+Consumers: :mod:`repro.check.lint` annotates
+:class:`~repro.check.rules.FunctionFacts` with the transitive fields
+so RC001/RC002/RC003 see through calls; :mod:`repro.check.concurrency`
+and :mod:`repro.check.inventory` run their own analyses over the same
+edges.  See docs/CHECKS.md ("The call graph").
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.check.rules import (
+    SPECIAL_KINDS,
+    FunctionFacts,
+    RawCall,
+    _Site,
+    scan_function,
+)
+
+#: Method names never resolved through the unique-name fallback: they
+#: collide with builtin container/string/file/concurrency vocabulary,
+#: and a wild edge into (say) a store's ``append`` would smear its
+#: blocking evidence over every ``list.append`` in an async function.
+AMBIGUOUS_METHODS = {
+    "append", "extend", "insert", "remove", "pop", "clear", "index",
+    "count", "sort", "reverse", "copy", "get", "setdefault", "update",
+    "keys", "values", "items", "add", "discard", "union", "join",
+    "split", "rsplit", "strip", "lstrip", "rstrip", "startswith",
+    "endswith", "format", "replace", "encode", "decode", "lower",
+    "upper", "read", "write", "close", "flush", "seek", "tell",
+    "open", "send", "put", "get_nowait", "put_nowait", "result",
+    "set", "wait", "acquire", "release", "submit", "cancel", "done",
+    "run", "start", "stop", "shutdown", "next", "reset",
+    # numpy ndarray vocabulary: ``x.sum()`` on a plain array must not
+    # resolve to a same-named DistArray intrinsic (a wild edge here
+    # drags collective record_comm literals into app closures)
+    "sum", "mean", "max", "min", "std", "var", "prod", "all", "any",
+    "astype", "reshape", "transpose", "dot", "cumsum", "round",
+    "clip", "fill", "item", "tolist", "flatten", "ravel", "squeeze",
+    "argmax", "argmin", "take", "conj", "trace", "nonzero",
+}
+
+#: Registrars whose function-valued argument runs on *another thread*
+#: (or process): maps registrar name -> how to find the callable.
+THREAD_REGISTRARS = {
+    "Thread": "target_kw",       # threading.Thread(target=f)
+    "submit": "arg0",            # executor.submit(f, ...)
+    "map": "arg0",               # executor.map(f, ...)
+    "run_in_executor": "arg1",   # loop.run_in_executor(None, f, ...)
+    "to_thread": "arg0",         # asyncio.to_thread(f, ...)
+    "add_done_callback": "arg0",  # future.add_done_callback(f)
+    "subscribe": "arg0",         # EventFanout.subscribe(f)
+}
+
+#: Registrars whose callable runs *on the event loop*: neither a call
+#: edge nor a thread entry (this is the sanctioned cross-thread idiom
+#: RC102 endorses).
+LOOP_REGISTRARS = {"call_soon_threadsafe", "call_soon", "call_later",
+                   "call_at"}
+
+
+@dataclass
+class ResolvedCall:
+    """One call edge out of a function."""
+
+    target: str          # callee qualname ("module:symbol")
+    line: int
+    col: int
+    args_tainted: bool   # under the base scan's taint
+    name: str            # callee short name, for messages
+
+
+@dataclass
+class ThreadTarget:
+    """A function reference registered to run on another thread."""
+
+    target: Optional[str]            # resolved qualname, if any
+    lambda_node: Optional[ast.Lambda]
+    line: int
+    col: int
+    registrar: str
+
+
+@dataclass
+class ClassInfo:
+    """One class definition: methods, bases and inferred attr types."""
+
+    name: str
+    module: str
+    node: ast.ClassDef
+    bases: List[str] = field(default_factory=list)
+    methods: Set[str] = field(default_factory=set)
+    #: self.<attr> -> class qualname, inferred from constructor calls
+    #: and annotations in any method body
+    attr_types: Dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class FunctionNode:
+    """One function (or the module body) in the graph."""
+
+    qualname: str
+    module: str
+    symbol: str
+    path: str
+    node: ast.AST
+    is_async: bool
+    class_name: Optional[str]
+    params: Tuple[str, ...]
+    facts: FunctionFacts
+    param_facts: FunctionFacts
+    resolved: List[ResolvedCall] = field(default_factory=list)
+    thread_targets: List[ThreadTarget] = field(default_factory=list)
+
+
+@dataclass
+class ModuleInfo:
+    """Per-module symbol tables."""
+
+    name: str
+    path: str
+    tree: ast.Module
+    functions: Dict[str, FunctionNode] = field(default_factory=dict)
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+    #: alias -> module name  (``import x.y as a``)
+    imports: Dict[str, str] = field(default_factory=dict)
+    #: name -> (module, original name)  (``from x import y [as z]``)
+    from_imports: Dict[str, Tuple[str, str]] = field(default_factory=dict)
+
+
+@dataclass
+class Summary:
+    """Transitive facts for one function, after the fixpoint."""
+
+    charges_anything: bool = False
+    charges_flops: bool = False
+    charged_kinds: Set[str] = field(default_factory=set)
+    records_comm: bool = False
+    computes_on_params: bool = False
+    moves_params: bool = False
+    #: 4x/8x kinds the function executes on its parameters uncharged
+    param_kinds: Set[str] = field(default_factory=set)
+
+
+def module_name_for(path: str) -> str:
+    """Dotted module name for a source path (``src/`` roots stripped)."""
+    parts = path.replace("\\", "/").split("/")
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][:-3]
+    if parts and parts[-1] == "__init__":
+        parts.pop()
+    if "src" in parts:
+        parts = parts[parts.index("src") + 1:]
+    return ".".join(p for p in parts if p) or path
+
+
+def _iter_defs(tree: ast.Module):
+    """Yield ``(symbol, class_name, node)`` for module body and defs."""
+    yield "<module>", None, tree
+
+    def walk(body, prefix: str, class_name: Optional[str]):
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                symbol = f"{prefix}{node.name}"
+                yield symbol, class_name, node
+                yield from walk(node.body, f"{symbol}.", None)
+            elif isinstance(node, ast.ClassDef):
+                yield from walk(
+                    node.body, f"{prefix}{node.name}.", node.name
+                )
+
+    yield from walk(tree.body, "", None)
+
+
+def _param_names(node: ast.AST) -> Tuple[str, ...]:
+    if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        return ()
+    a = node.args
+    names = [p.arg for p in a.posonlyargs + a.args + a.kwonlyargs]
+    if a.vararg:
+        names.append(a.vararg.arg)
+    if a.kwarg:
+        names.append(a.kwarg.arg)
+    return tuple(n for n in names if n not in ("self", "cls"))
+
+
+class CallGraph:
+    """The project-wide graph.  Build with :meth:`build`."""
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, ModuleInfo] = {}
+        self.functions: Dict[str, FunctionNode] = {}
+        self.summaries: Dict[str, Summary] = {}
+        #: method name -> qualnames defining it (fallback dispatch)
+        self.method_index: Dict[str, List[str]] = {}
+        #: class qualname ("module:Class") -> ClassInfo
+        self.class_index: Dict[str, ClassInfo] = {}
+
+    # -- construction ---------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        units: Sequence[Tuple[str, ast.Module]],
+    ) -> "CallGraph":
+        """Build from ``(shown_path, parsed_tree)`` units."""
+        graph = cls()
+        for path, tree in units:
+            graph._add_module(path, tree)
+        graph._resolve_attr_types()
+        for fn in graph.functions.values():
+            graph._resolve_calls(fn)
+        graph._fixpoint()
+        return graph
+
+    def _add_module(self, path: str, tree: ast.Module) -> None:
+        mod = ModuleInfo(name=module_name_for(path), path=path, tree=tree)
+        if mod.name in self.modules:
+            # duplicate module name (e.g. two fixture files): last wins
+            # for import resolution, both keep their function nodes
+            pass
+        self.modules[mod.name] = mod
+        for stmt in ast.walk(tree):
+            if isinstance(stmt, ast.Import):
+                for alias in stmt.names:
+                    mod.imports[alias.asname or alias.name.split(".")[0]] = (
+                        alias.name
+                    )
+            elif isinstance(stmt, ast.ImportFrom):
+                base = stmt.module or ""
+                if stmt.level:
+                    parts = mod.name.split(".")
+                    parts = parts[: len(parts) - stmt.level]
+                    base = ".".join(parts + ([stmt.module]
+                                             if stmt.module else []))
+                for alias in stmt.names:
+                    if alias.name == "*":
+                        continue
+                    mod.from_imports[alias.asname or alias.name] = (
+                        base, alias.name
+                    )
+        for node in tree.body:
+            if isinstance(node, ast.ClassDef):
+                info = ClassInfo(
+                    name=node.name, module=mod.name, node=node,
+                    bases=[ast.unparse(b) for b in node.bases],
+                )
+                for item in node.body:
+                    if isinstance(
+                        item, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    ):
+                        info.methods.add(item.name)
+                mod.classes[node.name] = info
+                self.class_index[f"{mod.name}:{node.name}"] = info
+        for symbol, class_name, node in _iter_defs(tree):
+            params = _param_names(node)
+            facts = scan_function(node, symbol)
+            param_facts = (
+                scan_function(node, symbol, params=params)
+                if params
+                else facts
+            )
+            qualname = f"{mod.name}:{symbol}"
+            fn = FunctionNode(
+                qualname=qualname,
+                module=mod.name,
+                symbol=symbol,
+                path=path,
+                node=node,
+                is_async=isinstance(node, ast.AsyncFunctionDef),
+                class_name=class_name,
+                params=params,
+                facts=facts,
+                param_facts=param_facts,
+            )
+            mod.functions[symbol] = fn
+            self.functions[qualname] = fn
+            if class_name is not None and symbol.count(".") == 1:
+                name = symbol.split(".", 1)[1]
+                self.method_index.setdefault(name, []).append(qualname)
+
+    # -- type inference -------------------------------------------------
+    def _resolve_class_name(
+        self, mod: ModuleInfo, expr: ast.expr
+    ) -> Optional[str]:
+        """Class qualname for a constructor expression, if known."""
+        if isinstance(expr, ast.Name):
+            if expr.id in mod.classes:
+                return f"{mod.name}:{expr.id}"
+            tgt = mod.from_imports.get(expr.id)
+            if tgt:
+                m2, orig = tgt
+                m2info = self.modules.get(m2)
+                if m2info and orig in m2info.classes:
+                    return f"{m2}:{orig}"
+        elif isinstance(expr, ast.Attribute) and isinstance(
+            expr.value, ast.Name
+        ):
+            m2 = mod.imports.get(expr.value.id)
+            if m2:
+                m2info = self.modules.get(m2)
+                if m2info and expr.attr in m2info.classes:
+                    return f"{m2}:{expr.attr}"
+        return None
+
+    def _resolve_attr_types(self) -> None:
+        """Infer ``self.<attr>`` classes from constructor assignments."""
+        for mod in self.modules.values():
+            for cinfo in mod.classes.values():
+                for item in ast.walk(cinfo.node):
+                    target: Optional[str] = None
+                    value: Optional[ast.expr] = None
+                    if isinstance(item, ast.Assign) and len(
+                        item.targets
+                    ) == 1:
+                        t = item.targets[0]
+                        if (
+                            isinstance(t, ast.Attribute)
+                            and isinstance(t.value, ast.Name)
+                            and t.value.id == "self"
+                        ):
+                            target, value = t.attr, item.value
+                    elif isinstance(item, ast.AnnAssign):
+                        t = item.target
+                        if (
+                            isinstance(t, ast.Attribute)
+                            and isinstance(t.value, ast.Name)
+                            and t.value.id == "self"
+                        ):
+                            target = t.attr
+                            ann = self._resolve_class_name(
+                                mod, item.annotation
+                            )
+                            if ann:
+                                cinfo.attr_types.setdefault(target, ann)
+                            value = item.value
+                    if target is None or value is None:
+                        continue
+                    if isinstance(value, ast.Call):
+                        qn = self._resolve_class_name(mod, value.func)
+                        if qn:
+                            cinfo.attr_types.setdefault(target, qn)
+
+    def _local_types(self, fn: FunctionNode) -> Dict[str, str]:
+        """``var -> class qualname`` for constructor-assigned locals."""
+        mod = self.modules[fn.module]
+        out: Dict[str, str] = {}
+        body = getattr(fn.node, "body", [])
+        for stmt in body:
+            for item in ast.walk(stmt):
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if (
+                    isinstance(item, ast.Assign)
+                    and len(item.targets) == 1
+                    and isinstance(item.targets[0], ast.Name)
+                    and isinstance(item.value, ast.Call)
+                ):
+                    qn = self._resolve_class_name(mod, item.value.func)
+                    if qn:
+                        out[item.targets[0].id] = qn
+        return out
+
+    # -- call resolution ------------------------------------------------
+    def _method_in_class(
+        self, class_qn: str, name: str, _depth: int = 0
+    ) -> Optional[str]:
+        """Resolve a method through the class and its known bases."""
+        if _depth > 8:
+            return None
+        cinfo = self.class_index.get(class_qn)
+        if cinfo is None:
+            return None
+        if name in cinfo.methods:
+            return f"{cinfo.module}:{cinfo.name}.{name}"
+        mod = self.modules.get(cinfo.module)
+        for base in cinfo.bases:
+            if mod is None:
+                break
+            base_qn = self._resolve_class_name(
+                mod, ast.parse(base, mode="eval").body
+            )
+            if base_qn:
+                hit = self._method_in_class(base_qn, name, _depth + 1)
+                if hit:
+                    return hit
+        return None
+
+    def resolve_ref(
+        self,
+        fn: FunctionNode,
+        expr: ast.expr,
+        local_types: Optional[Dict[str, str]] = None,
+    ) -> Optional[str]:
+        """Resolve a function/method reference expression to a qualname."""
+        mod = self.modules[fn.module]
+        if isinstance(expr, ast.Name):
+            name = expr.id
+            sibling = f"{fn.symbol}.{name}"
+            if sibling in mod.functions:
+                return mod.functions[sibling].qualname
+            if name in mod.functions:
+                return mod.functions[name].qualname
+            tgt = mod.from_imports.get(name)
+            if tgt:
+                m2, orig = tgt
+                m2info = self.modules.get(m2)
+                if m2info and orig in m2info.functions:
+                    return m2info.functions[orig].qualname
+            return None
+        if not isinstance(expr, ast.Attribute):
+            return None
+        name = expr.attr
+        value = expr.value
+        if isinstance(value, ast.Name):
+            recv = value.id
+            if recv in ("self", "cls") and fn.class_name:
+                hit = self._method_in_class(
+                    f"{fn.module}:{fn.class_name}", name
+                )
+                if hit:
+                    return hit
+            m2 = mod.imports.get(recv)
+            if m2:
+                m2info = self.modules.get(m2)
+                if m2info and name in m2info.functions:
+                    return m2info.functions[name].qualname
+                return None
+            tgt = mod.from_imports.get(recv)
+            if tgt and tgt[0]:
+                # ``from repro import comm; comm.cshift(...)``
+                m2info = self.modules.get(f"{tgt[0]}.{tgt[1]}")
+                if m2info and name in m2info.functions:
+                    return m2info.functions[name].qualname
+            if local_types and recv in local_types:
+                return self._method_in_class(local_types[recv], name)
+        elif (
+            isinstance(value, ast.Attribute)
+            and isinstance(value.value, ast.Name)
+            and value.value.id == "self"
+            and fn.class_name
+        ):
+            cinfo = self.class_index.get(f"{fn.module}:{fn.class_name}")
+            if cinfo:
+                attr_qn = cinfo.attr_types.get(value.attr)
+                if attr_qn:
+                    return self._method_in_class(attr_qn, name)
+        # restricted dynamic-dispatch fallback: unique method name
+        if (
+            name not in AMBIGUOUS_METHODS
+            and not name.startswith("__")
+            and len(self.method_index.get(name, ())) == 1
+        ):
+            return self.method_index[name][0]
+        return None
+
+    def _callable_arg(self, call: ast.Call, how: str) -> Optional[ast.expr]:
+        if how == "target_kw":
+            for kw in call.keywords:
+                if kw.arg == "target":
+                    return kw.value
+            return None
+        idx = {"arg0": 0, "arg1": 1}[how]
+        if len(call.args) > idx:
+            return call.args[idx]
+        return None
+
+    def _resolve_calls(self, fn: FunctionNode) -> None:
+        local_types = self._local_types(fn)
+        for rc in fn.facts.calls:
+            assert isinstance(rc, RawCall)
+            if rc.name in LOOP_REGISTRARS:
+                continue
+            if rc.name in THREAD_REGISTRARS and not (
+                rc.name in ("submit", "map") and rc.recv is None
+            ):
+                # builtin map()/bare submit() are same-thread; the
+                # method spellings hand their callable to a worker
+                arg = self._callable_arg(
+                    rc.call, THREAD_REGISTRARS[rc.name]
+                )
+                if isinstance(arg, ast.Lambda):
+                    fn.thread_targets.append(ThreadTarget(
+                        None, arg, rc.line, rc.col, rc.name or ""
+                    ))
+                elif isinstance(arg, (ast.Name, ast.Attribute)):
+                    tq = self.resolve_ref(fn, arg, local_types)
+                    if tq:
+                        fn.thread_targets.append(ThreadTarget(
+                            tq, None, rc.line, rc.col, rc.name or ""
+                        ))
+                # fall through: the registrar call itself may be a real
+                # method in the graph (e.g. WorkerPool.submit) — only
+                # the callable *argument* escapes to another thread
+            tq = self.resolve_ref(fn, rc.func, local_types)
+            if tq and tq != fn.qualname:
+                fn.resolved.append(ResolvedCall(
+                    tq, rc.line, rc.col, rc.args_tainted, rc.name or ""
+                ))
+
+    # -- summaries ------------------------------------------------------
+    @staticmethod
+    def _param_only_sites(fn: FunctionNode) -> List[_Site]:
+        """Compute sites present only under the param-tainted scan."""
+        base = {(s.line, s.col) for s in fn.facts.compute_sites}
+        return [
+            s for s in fn.param_facts.compute_sites
+            if (s.line, s.col) not in base
+        ]
+
+    @staticmethod
+    def _param_only_moves(fn: FunctionNode) -> List[_Site]:
+        base = {(s.line, s.col) for s in fn.facts.movement_sites}
+        return [
+            s for s in fn.param_facts.movement_sites
+            if (s.line, s.col) not in base
+        ]
+
+    def _fixpoint(self) -> None:
+        from repro.check.rules import CHARGING_WRAPPERS
+
+        flops_wrappers = CHARGING_WRAPPERS - {
+            "cshift", "eoshift", "stencil_shifts"
+        }
+        escaping: Dict[str, List[str]] = {}
+        for qn, fn in self.functions.items():
+            facts = fn.facts
+            s = Summary(
+                charges_anything=(
+                    bool(facts.charge_calls)
+                    or bool(facts.wrapper_calls)
+                    or facts.has_record_comm
+                ),
+                charges_flops=(
+                    bool(facts.charge_calls)
+                    or bool(facts.wrapper_calls & flops_wrappers)
+                ),
+                charged_kinds=set(facts.charged_kinds),
+                records_comm=(
+                    facts.has_record_comm or bool(facts.wrapper_calls)
+                ),
+            )
+            # reference implementations are verification baselines:
+            # deliberately uncharged, and callers comparing against
+            # them are not hiding work (the same exemption the
+            # per-function taint model grants their bodies)
+            is_reference = "reference" in fn.symbol.lower()
+            p_sites = [] if is_reference else self._param_only_sites(fn)
+            s.computes_on_params = bool(p_sites)
+            s.param_kinds = {
+                site.kind for site in p_sites
+                if site.kind in SPECIAL_KINDS
+            }
+            s.moves_params = (
+                not is_reference and bool(self._param_only_moves(fn))
+            )
+            self.summaries[qn] = s
+            # calls whose arguments are tainted only because the params
+            # were: the conduits for param-compute transitivity
+            base_tainted = {
+                (c.line, c.col) for c in facts.calls if c.args_tainted
+            }
+            conduits: List[str] = []
+            for rc2 in fn.param_facts.calls:
+                if not rc2.args_tainted:
+                    continue
+                if (rc2.line, rc2.col) in base_tainted:
+                    continue
+                tq = next(
+                    (
+                        r.target for r in fn.resolved
+                        if (r.line, r.col) == (rc2.line, rc2.col)
+                    ),
+                    None,
+                )
+                if tq:
+                    conduits.append(tq)
+            escaping[qn] = conduits
+
+        for _ in range(64):
+            changed = False
+            for qn, fn in self.functions.items():
+                s = self.summaries[qn]
+                for edge in fn.resolved:
+                    t = self.summaries.get(edge.target)
+                    if t is None:
+                        continue
+                    if t.charges_anything and not s.charges_anything:
+                        s.charges_anything = True
+                        changed = True
+                    if t.charges_flops and not s.charges_flops:
+                        s.charges_flops = True
+                        changed = True
+                    if not t.charged_kinds <= s.charged_kinds:
+                        s.charged_kinds |= t.charged_kinds
+                        changed = True
+                    if t.records_comm and not s.records_comm:
+                        s.records_comm = True
+                        changed = True
+                if "reference" in fn.symbol.lower():
+                    continue  # reference baselines stay exempt
+                for tq in escaping[qn]:
+                    t = self.summaries.get(tq)
+                    if t is None:
+                        continue
+                    if t.computes_on_params and not s.computes_on_params:
+                        s.computes_on_params = True
+                        changed = True
+                    if not t.param_kinds <= s.param_kinds:
+                        s.param_kinds |= t.param_kinds
+                        changed = True
+                    if t.moves_params and not s.moves_params:
+                        s.moves_params = True
+                        changed = True
+            if not changed:
+                break
+
+    # -- annotation (consumed by repro.check.lint) ----------------------
+    def annotate(self) -> None:
+        """Write transitive evidence back onto each function's facts.
+
+        After this, the per-function rule emitters in
+        :mod:`repro.check.rules` see through calls: the ``callee_*``
+        flags extend each function's charge scope to its transitive
+        callees, and ``call_compute_sites``/``call_movement_sites``
+        carry evidence for tainted payloads handed to helpers that
+        compute or move without charging.
+        """
+        for fn in self.functions.values():
+            facts = fn.facts
+            for edge in fn.resolved:
+                t = self.summaries.get(edge.target)
+                if t is None:
+                    continue
+                facts.callee_charges_anything |= t.charges_anything
+                facts.callee_charges_flops |= t.charges_flops
+                facts.callee_charged_kinds |= t.charged_kinds
+                facts.callee_records_comm |= t.records_comm
+                if not edge.args_tainted:
+                    continue
+                short = edge.name or edge.target.rsplit(":", 1)[-1]
+                if t.computes_on_params and not t.charges_anything:
+                    facts.call_compute_sites.append(_Site(
+                        edge.line, edge.col, None,
+                        f"call to {short}() which computes on the "
+                        "handed payload without charging",
+                    ))
+                    for kind in sorted(t.param_kinds):
+                        facts.call_compute_sites.append(_Site(
+                            edge.line, edge.col, kind,
+                            f"call to {short}() which executes a "
+                            f"{kind} on the handed payload",
+                        ))
+                if t.moves_params and not t.records_comm:
+                    facts.call_movement_sites.append(_Site(
+                        edge.line, edge.col, None,
+                        f"call to {short}() which moves the handed "
+                        "payload without recording",
+                    ))
+
+    # -- convenience ----------------------------------------------------
+    def callees(self, qualname: str) -> List[ResolvedCall]:
+        fn = self.functions.get(qualname)
+        return list(fn.resolved) if fn else []
+
+    def summary(self, qualname: str) -> Optional[Summary]:
+        return self.summaries.get(qualname)

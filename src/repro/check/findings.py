@@ -9,6 +9,7 @@ from typing import Dict, List, Sequence
 #: Rule catalog: code -> one-line summary (the long-form rationale
 #: lives in docs/CHECKS.md).
 RULES: Dict[str, str] = {
+    "RC000": "source does not parse: nothing else can be checked",
     "RC001": "uncharged compute: numpy arithmetic on distributed data "
     "in a function that charges nothing",
     "RC002": "charge-kind mismatch: a 4x/8x-weighted operation (sqrt, "
@@ -27,6 +28,21 @@ RULES: Dict[str, str] = {
     "RC007": "unfused hot-loop charges: consecutive per-element "
     "charge_elementwise calls on one layout inside a loop body — "
     "fuse into a single charge_elementwise_seq call",
+    "RC008": "pattern conformance: the communication patterns "
+    "statically reachable from an app runner disagree with the "
+    "registry's declared comm_patterns/comm_extras inventory",
+    "RC101": "blocking call in async code: a coroutine (or sync code "
+    "it calls without an executor hop) sleeps, locks, or does file "
+    "I/O on the event loop thread",
+    "RC102": "cross-thread asyncio mutation: an asyncio queue/future/"
+    "event or the loop itself is touched from a worker thread "
+    "without loop.call_soon_threadsafe",
+    "RC103": "lock-order cycle: two or more locks (threading or "
+    "flock) are acquired in inconsistent nesting orders across the "
+    "call graph — a deadlock window",
+    "RC104": "unguarded shared state: an attribute written from both "
+    "coroutine and thread context with at least one write outside "
+    "any lock",
 }
 
 

@@ -1,20 +1,40 @@
-"""Lint driver: walk sources, scan functions, apply rules RC001-RC006.
+"""Lint driver: walk sources, scan functions, apply rules RC001-RC104.
 
 Entry points:
 
-* :func:`lint_source` — lint one source string (used by tests);
-* :func:`lint_paths` — lint files/directories, apply the baseline, and
-  return a :class:`~repro.check.findings.LintResult`.
+* :func:`lint_source` — lint one source string (used by tests).  Runs
+  the per-function rules by default; pass ``interprocedural=True`` to
+  build a one-module call graph first.
+* :func:`lint_sources` — lint several named source strings through one
+  shared call graph (cross-module fixtures, RC008 with hand-built
+  inventories).
+* :func:`lint_paths` — lint files/directories through the repo-wide
+  call graph, apply the baseline, and return a
+  :class:`~repro.check.findings.LintResult`.  ``report_paths``
+  restricts which files' findings are *reported* without shrinking the
+  graph (``repro check lint --changed``).
 """
 
 from __future__ import annotations
 
 import ast
 from pathlib import Path
-from typing import Iterable, Iterator, List, Optional, Sequence
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.check.baseline import Baseline, load_baseline
+from repro.check.callgraph import CallGraph
+from repro.check.concurrency import concurrency_findings
 from repro.check.findings import Finding, LintResult
+from repro.check.inventory import AppInventory, inventory_findings
 from repro.check.rules import apply_rules, scan_function
 
 #: Directories never linted (fixtures with intentionally bad charging
@@ -46,28 +66,94 @@ def _iter_functions(
     yield from walk(tree.body, "")
 
 
-def lint_source(
-    source: str, path: str = "<string>"
-) -> List[Finding]:
-    """Lint one source string; returns raw findings (no baseline)."""
-    try:
-        tree = ast.parse(source, filename=path)
-    except SyntaxError as exc:
-        return [
-            Finding(
+def _parse_units(
+    sources: Sequence[Tuple[str, str]],
+) -> Tuple[List[Tuple[str, ast.Module]], Dict[str, List[str]], List[Finding]]:
+    """Parse ``(path, source)`` pairs; RC000 findings for failures."""
+    units: List[Tuple[str, ast.Module]] = []
+    lines_by_path: Dict[str, List[str]] = {}
+    findings: List[Finding] = []
+    for path, source in sources:
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            findings.append(Finding(
                 code="RC000",
                 path=path,
                 line=exc.lineno or 1,
                 col=exc.offset or 0,
                 symbol="<module>",
                 message=f"source does not parse: {exc.msg}",
-            )
-        ]
-    source_lines = source.splitlines()
+            ))
+            continue
+        units.append((path, tree))
+        lines_by_path[path] = source.splitlines()
+    return units, lines_by_path, findings
+
+
+def _graph_findings(
+    units: Sequence[Tuple[str, ast.Module]],
+    lines_by_path: Dict[str, List[str]],
+    *,
+    inventories: Optional[Sequence[AppInventory]] = None,
+    with_inventory: bool = True,
+) -> List[Finding]:
+    """All findings for a unit set through one shared call graph."""
+    graph = CallGraph.build(units)
+    graph.annotate()
     findings: List[Finding] = []
-    for symbol, node in _iter_functions(tree):
-        facts = scan_function(node, symbol)
-        findings.extend(apply_rules(facts, path, source_lines))
+    for fn in graph.functions.values():
+        findings.extend(apply_rules(
+            fn.facts, fn.path, lines_by_path.get(fn.path, [])
+        ))
+    findings.extend(concurrency_findings(graph))
+    if with_inventory:
+        findings.extend(inventory_findings(graph, inventories))
+    return findings
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    *,
+    interprocedural: bool = False,
+) -> List[Finding]:
+    """Lint one source string; returns raw findings (no baseline).
+
+    The default is the per-function analysis (taint stops at call
+    boundaries) so rule fixtures stay minimal;
+    ``interprocedural=True`` builds a one-module call graph, which
+    also enables the RC1xx concurrency rules.
+    """
+    if interprocedural:
+        return lint_sources([(path, source)])
+    units, lines_by_path, findings = _parse_units([(path, source)])
+    for shown, tree in units:
+        source_lines = lines_by_path[shown]
+        for symbol, node in _iter_functions(tree):
+            facts = scan_function(node, symbol)
+            findings.extend(apply_rules(facts, shown, source_lines))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return findings
+
+
+def lint_sources(
+    sources: Sequence[Tuple[str, str]],
+    *,
+    inventories: Optional[Sequence[AppInventory]] = None,
+) -> List[Finding]:
+    """Lint named source strings through one shared call graph.
+
+    RC008 runs only when ``inventories`` is passed explicitly —
+    fixture sources have no registry entries to diff against.
+    """
+    units, lines_by_path, findings = _parse_units(sources)
+    findings.extend(_graph_findings(
+        units,
+        lines_by_path,
+        inventories=inventories,
+        with_inventory=inventories is not None,
+    ))
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
     return findings
 
@@ -89,25 +175,54 @@ def lint_paths(
     baseline: Optional[Baseline] = None,
     baseline_path: Optional[Path] = None,
     root: Optional[Path] = None,
+    interprocedural: bool = True,
+    report_paths: Optional[Iterable[str]] = None,
 ) -> LintResult:
     """Lint files/dirs and apply the baseline.
 
     Paths in findings are reported relative to ``root`` (default: the
     current directory) so they match baseline entries regardless of how
     the linted paths were spelled.
+
+    ``interprocedural`` (default on) builds the whole-scope call graph
+    before applying the rules — taint flows through helpers, and the
+    RC008/RC1xx families run.  ``report_paths`` (relative path
+    strings) filters the *reported* findings to those files after the
+    baseline is applied against the full set, so ``--changed`` shares
+    the full-repo graph and never invents stale-suppression noise for
+    files outside the diff.
     """
     if baseline is None:
         baseline = load_baseline(baseline_path)
     if root is None:
         root = Path.cwd()
-    findings: List[Finding] = []
+    sources: List[Tuple[str, str]] = []
     for file_path in iter_python_files(paths):
         try:
             rel = file_path.resolve().relative_to(root.resolve())
             shown = str(rel)
         except ValueError:
             shown = str(file_path)
-        source = file_path.read_text(encoding="utf-8")
-        findings.extend(lint_source(source, shown))
+        sources.append((shown, file_path.read_text(encoding="utf-8")))
+    units, lines_by_path, findings = _parse_units(sources)
+    if interprocedural:
+        findings.extend(_graph_findings(units, lines_by_path))
+    else:
+        for shown, tree in units:
+            source_lines = lines_by_path[shown]
+            for symbol, node in _iter_functions(tree):
+                facts = scan_function(node, symbol)
+                findings.extend(apply_rules(facts, shown, source_lines))
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
-    return baseline.apply(findings)
+    result = baseline.apply(findings)
+    if report_paths is not None:
+        shown_set: Set[str] = {str(p) for p in report_paths}
+        result = LintResult(
+            active=[f for f in result.active if f.path in shown_set],
+            suppressed=[
+                f for f in result.suppressed if f.path in shown_set
+            ],
+            # a partial report cannot judge baseline staleness
+            unused_suppressions=[],
+        )
+    return result

@@ -103,7 +103,15 @@ NP_MOVEMENT = {
     "put",
     "take_along_axis",
     "put_along_axis",
+    # joining shards is movement too — the runtime sanitizer has
+    # counted it since the ChargeBuffer PR; the lint agrees now
+    "concatenate",
 }
+
+#: Bare-name movement helpers that do *not* charge internally
+#: (``repro.array.roll.fast_roll`` is a speed substitute for
+#: ``np.roll`` — same movement, still needs a record_comm in scope).
+MOVEMENT_FUNCS = {"fast_roll"}
 
 #: Reduction-style methods; on a tainted (raw payload) receiver they
 #: execute uncharged work.
@@ -199,6 +207,27 @@ class _Site:
 
 
 @dataclass
+class RawCall:
+    """One call site, recorded for the interprocedural layer.
+
+    ``recv``/``name`` are the :func:`_call_name` decomposition;
+    ``args_tainted`` is whether any argument carried payload taint at
+    the time of the call (under the scan's taint initialisation — the
+    param-tainted scan reports a superset of the base scan).  The AST
+    nodes are kept so :mod:`repro.check.callgraph` can resolve deep
+    attribute chains and keyword arguments.
+    """
+
+    recv: Optional[str]
+    name: Optional[str]
+    line: int
+    col: int
+    args_tainted: bool
+    func: ast.expr
+    call: ast.Call
+
+
+@dataclass
 class FunctionFacts:
     """Everything the rules need to know about one function body."""
 
@@ -224,12 +253,34 @@ class FunctionFacts:
     #: statements inside a loop body (RC007); detail carries the run
     #: length and layout expression
     hot_charge_runs: List[_Site] = field(default_factory=list)
+    #: every call site, for the interprocedural layer
+    calls: List[RawCall] = field(default_factory=list)
+
+    # -- interprocedural annotations (filled by repro.check.callgraph;
+    # -- defaults reproduce the per-function semantics exactly) --------
+    #: a transitive callee charges FLOPs / records comm / calls a wrapper
+    callee_charges_anything: bool = False
+    #: a transitive callee charges FLOPs (RC002's gate)
+    callee_charges_flops: bool = False
+    #: FlopKinds charged by transitive callees (RC002's union)
+    callee_charged_kinds: Set[str] = field(default_factory=set)
+    #: a transitive callee records comm or calls a collective wrapper
+    callee_records_comm: bool = False
+    #: compute evidence flowing *through* calls: tainted args handed to
+    #: a helper that computes on its parameters without charging
+    call_compute_sites: List[_Site] = field(default_factory=list)
+    #: movement evidence through calls (helper moves its parameters)
+    call_movement_sites: List[_Site] = field(default_factory=list)
 
     @property
     def charges_flops(self) -> bool:
-        return bool(self.charge_calls) or bool(
-            self.wrapper_calls
-            & (CHARGING_WRAPPERS - {"cshift", "eoshift", "stencil_shifts"})
+        return (
+            bool(self.charge_calls)
+            or bool(
+                self.wrapper_calls
+                & (CHARGING_WRAPPERS - {"cshift", "eoshift", "stencil_shifts"})
+            )
+            or self.callee_charges_flops
         )
 
     @property
@@ -238,6 +289,7 @@ class FunctionFacts:
             bool(self.charge_calls)
             or bool(self.wrapper_calls)
             or self.has_record_comm
+            or self.callee_charges_anything
         )
 
     @property
@@ -308,6 +360,11 @@ class _FunctionScanner(ast.NodeVisitor):
         #: session names already passed to run_benchmark and not
         #: reassigned since (reassignment = a fresh session)
         self._sessions_used: Set[str] = set()
+        #: call sites keyed by AST node identity (nested calls like
+        #: ``self._ensure().submit(...)`` share a position, so position
+        #: keys would collapse them); the loop double-scan revisits the
+        #: same node objects, and args_tainted is OR-merged then
+        self._raw_calls: Dict[int, RawCall] = {}
 
     # -- taint ----------------------------------------------------------
     def _is_tainted(self, node: ast.expr) -> bool:
@@ -580,6 +637,16 @@ class _FunctionScanner(ast.NodeVisitor):
         args = list(node.args) + [k.value for k in node.keywords]
         args_tainted = any(self._is_tainted(a) for a in args)
 
+        key = id(node)
+        prior = self._raw_calls.get(key)
+        if prior is None:
+            self._raw_calls[key] = RawCall(
+                recv, name, node.lineno, node.col_offset,
+                args_tainted, node.func, node,
+            )
+        elif args_tainted and not prior.args_tainted:
+            prior.args_tainted = True
+
         if recv in NP_MODULES and name is not None:
             if name in NP_ARITH and args_tainted:
                 self._add_site(
@@ -628,6 +695,12 @@ class _FunctionScanner(ast.NodeVisitor):
                                 )
                             )
                     self._sessions_used.add(session_arg)
+            elif name in MOVEMENT_FUNCS and recv is None and args_tainted:
+                # fast_roll et al. move payloads without charging — the
+                # runtime sanitizer counts them, so must the lint
+                self._add_site(
+                    self.facts.movement_sites, node, None, f"{name}()"
+                )
             elif name in CHARGING_WRAPPERS and recv is None:
                 self.facts.wrapper_calls.add(name)
             elif recv is not None and recv not in NP_MODULES:
@@ -695,12 +768,19 @@ def _collect_flopkind_mentions(tree: ast.AST, facts: FunctionFacts) -> None:
 def scan_function(
     node: ast.AST, symbol: str, *, params: Sequence[str] = ()
 ) -> FunctionFacts:
-    """Analyze one function (or module) body and return its facts."""
+    """Analyze one function (or module) body and return its facts.
+
+    ``params`` pre-taints the named parameters: the interprocedural
+    layer uses a second scan with every parameter tainted to learn
+    whether a helper computes on (or moves) what its callers hand it.
+    """
     facts = FunctionFacts(symbol=symbol, line=getattr(node, "lineno", 1))
     scanner = _FunctionScanner(facts)
+    scanner.tainted.update(params)
     body = node.body if hasattr(node, "body") else [node]
     for stmt in body:
         scanner.visit(stmt)
+    facts.calls = list(scanner._raw_calls.values())
     _collect_flopkind_mentions(node, facts)
     return facts
 
@@ -709,13 +789,21 @@ def scan_function(
 # Rule emitters
 # ----------------------------------------------------------------------
 def rc001_uncharged_compute(facts: FunctionFacts, path: str) -> List[Finding]:
-    """RC001: payload arithmetic in a function that charges nothing."""
-    if not facts.compute_sites or facts.charges_anything:
+    """RC001: payload arithmetic in a function that charges nothing.
+
+    Evidence is the function's own tainted-compute sites plus (in
+    interprocedural mode) call sites where tainted data is handed to a
+    helper that computes on its parameters without charging; the charge
+    scope silencing the rule is likewise the function *and* every
+    transitive callee.
+    """
+    sites = facts.compute_sites + facts.call_compute_sites
+    if not sites or facts.charges_anything:
         return []
     if "reference" in facts.symbol.rsplit(".", 1)[-1]:
         return []
-    first = facts.compute_sites[0]
-    n = len(facts.compute_sites)
+    first = min(sites, key=lambda s: (s.line, s.col))
+    n = len(sites)
     return [
         Finding(
             code="RC001",
@@ -742,11 +830,11 @@ def rc002_kind_mismatch(facts: FunctionFacts, path: str) -> List[Finding]:
         return []
     out: List[Finding] = []
     seen: Set[str] = set()
-    for site in facts.compute_sites:
+    for site in facts.compute_sites + facts.call_compute_sites:
         kind = site.kind
         if kind is None or kind not in SPECIAL_KINDS or kind in seen:
             continue
-        if kind in facts.charged_kinds:
+        if kind in facts.charged_kinds or kind in facts.callee_charged_kinds:
             continue
         seen.add(kind)
         out.append(
@@ -771,13 +859,18 @@ def rc003_comm_without_record(
     facts: FunctionFacts, path: str
 ) -> List[Finding]:
     """RC003: payload data movement with no communication record."""
-    if not facts.movement_sites:
+    sites = facts.movement_sites + facts.call_movement_sites
+    if not sites:
         return []
-    if facts.has_record_comm or facts.wrapper_calls:
+    if (
+        facts.has_record_comm
+        or facts.wrapper_calls
+        or facts.callee_records_comm
+    ):
         return []
     if "reference" in facts.symbol.rsplit(".", 1)[-1]:
         return []
-    first = facts.movement_sites[0]
+    first = min(sites, key=lambda s: (s.line, s.col))
     return [
         Finding(
             code="RC003",
@@ -787,7 +880,7 @@ def rc003_comm_without_record(
             symbol=facts.symbol,
             message=(
                 f"{first.detail} moves distributed payload data "
-                f"({len(facts.movement_sites)} site(s)) but the function "
+                f"({len(sites)} site(s)) but the function "
                 "records no communication — call session.record_comm or "
                 "use the collective library (cshift/transpose/...)"
             ),

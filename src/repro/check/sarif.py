@@ -1,0 +1,184 @@
+"""SARIF 2.1.0 export for lint results (code-scanning upload).
+
+Hand-rolled on purpose: the container ships no SARIF SDK and the
+format's core is small.  :func:`to_sarif` emits one run with the full
+rule catalog as ``tool.driver.rules``; active findings become
+``error``-level results, baselined findings are included with a
+``suppressions`` entry (kind ``external``) so code-scanning UIs show
+them as dismissed rather than losing them.
+
+:func:`validate_sarif` is a structural validator covering the subset
+we emit — enough for tests and CI to fail loudly on a malformed
+document without a jsonschema dependency.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.check.findings import RULES, Finding, LintResult
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+TOOL_NAME = "repro-check"
+TOOL_URI = "docs/CHECKS.md"
+
+
+def _result(
+    finding: Finding, rule_index: Dict[str, int], *, suppressed: bool
+) -> dict:
+    res = {
+        "ruleId": finding.code,
+        "ruleIndex": rule_index.get(finding.code, -1),
+        "level": "error",
+        "message": {"text": f"[{finding.symbol}] {finding.message}"},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path.replace("\\", "/"),
+                    },
+                    "region": {
+                        "startLine": max(1, finding.line),
+                        "startColumn": max(1, finding.col + 1),
+                    },
+                }
+            }
+        ],
+    }
+    if suppressed:
+        res["suppressions"] = [
+            {
+                "kind": "external",
+                "justification": "baselined in .repro-check.toml",
+            }
+        ]
+    return res
+
+
+def to_sarif(result: LintResult, *, tool_version: str = "0") -> dict:
+    """SARIF 2.1.0 document for one lint run."""
+    codes = sorted(RULES)
+    rule_index = {code: i for i, code in enumerate(codes)}
+    rules = [
+        {
+            "id": code,
+            "shortDescription": {"text": RULES[code]},
+            "helpUri": TOOL_URI,
+        }
+        for code in codes
+    ]
+    results: List[dict] = []
+    for f in sorted(
+        result.active, key=lambda f: (f.path, f.line, f.col, f.code)
+    ):
+        results.append(_result(f, rule_index, suppressed=False))
+    for f in sorted(
+        result.suppressed, key=lambda f: (f.path, f.line, f.col, f.code)
+    ):
+        results.append(_result(f, rule_index, suppressed=True))
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "informationUri": TOOL_URI,
+                        "version": tool_version,
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def sarif_to_json(result: LintResult, *, tool_version: str = "0") -> str:
+    return json.dumps(
+        to_sarif(result, tool_version=tool_version),
+        indent=2,
+        sort_keys=True,
+    )
+
+
+def validate_sarif(doc: object) -> List[str]:
+    """Structural problems of a SARIF document (empty = valid).
+
+    Covers the subset :func:`to_sarif` emits: version/runs shape,
+    driver identity, unique rule ids, results referencing known rules,
+    and physical locations with a uri and 1-based positions.
+    """
+    errors: List[str] = []
+    if not isinstance(doc, dict):
+        return ["document is not an object"]
+    if doc.get("version") != SARIF_VERSION:
+        errors.append(f"version must be {SARIF_VERSION!r}")
+    runs = doc.get("runs")
+    if not isinstance(runs, list) or not runs:
+        return errors + ["runs must be a non-empty array"]
+    for ri, run in enumerate(runs):
+        if not isinstance(run, dict):
+            errors.append(f"runs[{ri}] is not an object")
+            continue
+        driver = run.get("tool", {}).get("driver", {})
+        if not isinstance(driver, dict) or not driver.get("name"):
+            errors.append(f"runs[{ri}].tool.driver.name missing")
+            driver = {}
+        rules = driver.get("rules", [])
+        ids: List[str] = []
+        for rule in rules if isinstance(rules, list) else []:
+            rid = rule.get("id") if isinstance(rule, dict) else None
+            if not rid:
+                errors.append(f"runs[{ri}]: rule without id")
+            elif rid in ids:
+                errors.append(f"runs[{ri}]: duplicate rule id {rid}")
+            else:
+                ids.append(rid)
+        results = run.get("results")
+        if not isinstance(results, list):
+            errors.append(f"runs[{ri}].results must be an array")
+            continue
+        for i, res in enumerate(results):
+            where = f"runs[{ri}].results[{i}]"
+            if not isinstance(res, dict):
+                errors.append(f"{where} is not an object")
+                continue
+            rid = res.get("ruleId")
+            if not rid:
+                errors.append(f"{where}.ruleId missing")
+            elif ids and rid not in ids:
+                errors.append(f"{where}.ruleId {rid!r} not in rules")
+            msg = res.get("message", {})
+            if not isinstance(msg, dict) or not msg.get("text"):
+                errors.append(f"{where}.message.text missing")
+            locs = res.get("locations")
+            if not isinstance(locs, list) or not locs:
+                errors.append(f"{where}.locations missing")
+                continue
+            for li, loc in enumerate(locs):
+                phys = (
+                    loc.get("physicalLocation", {})
+                    if isinstance(loc, dict)
+                    else {}
+                )
+                art = phys.get("artifactLocation", {})
+                if not isinstance(art, dict) or not art.get("uri"):
+                    errors.append(
+                        f"{where}.locations[{li}]: uri missing"
+                    )
+                region = phys.get("region", {})
+                for k in ("startLine", "startColumn"):
+                    v = region.get(k) if isinstance(region, dict) else None
+                    if not isinstance(v, int) or v < 1:
+                        errors.append(
+                            f"{where}.locations[{li}].region.{k} "
+                            "must be a positive integer"
+                        )
+    return errors

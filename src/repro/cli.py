@@ -853,18 +853,54 @@ def _cmd_trace_export(args) -> int:
     return 0
 
 
+def _changed_paths() -> "list[str]":
+    """Repo-relative paths changed vs HEAD, plus untracked files."""
+    import subprocess
+
+    out: "list[str]" = []
+    for cmd in (
+        ["git", "diff", "--name-only", "HEAD"],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    ):
+        try:
+            proc = subprocess.run(
+                cmd, capture_output=True, text=True, check=True
+            )
+        except (OSError, subprocess.CalledProcessError):
+            continue
+        out.extend(
+            line.strip() for line in proc.stdout.splitlines()
+            if line.strip()
+        )
+    return out
+
+
 def _cmd_check_lint(args) -> int:
     from pathlib import Path
 
     from repro.check.baseline import load_baseline, write_baseline
     from repro.check.findings import findings_to_json, format_findings
     from repro.check.lint import lint_paths
+    from repro.check.sarif import sarif_to_json
 
     paths = [Path(p) for p in (args.paths or ["src/repro"])]
     baseline = load_baseline(
         Path(args.baseline) if args.baseline else None
     )
-    result = lint_paths(paths, baseline=baseline)
+    report_paths = None
+    if getattr(args, "changed", False):
+        report_paths = [
+            p for p in _changed_paths() if p.endswith(".py")
+        ]
+        if not report_paths:
+            print("0 finding(s) (no changed python files)")
+            return 0
+    result = lint_paths(
+        paths,
+        baseline=baseline,
+        interprocedural=args.interprocedural,
+        report_paths=report_paths,
+    )
     if args.write_baseline:
         write_baseline(result.active, Path(args.write_baseline))
         print(
@@ -875,6 +911,8 @@ def _cmd_check_lint(args) -> int:
         return 0
     if args.format == "json":
         print(findings_to_json(result))
+    elif args.format == "sarif":
+        print(sarif_to_json(result))
     else:
         print(format_findings(result, verbose=args.verbose))
     if not result.ok:
@@ -1422,12 +1460,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="files or directories to lint (default: src/repro)",
     )
     p_lint.add_argument(
-        "--format", choices=["text", "json"], default="text",
-        help="output format (default: text)",
+        "--format", choices=["text", "json", "sarif"], default="text",
+        help="output format (default: text); sarif emits a SARIF 2.1.0 "
+        "document for code-scanning upload",
     )
     p_lint.add_argument(
         "--baseline", metavar="PATH",
         help="suppression file (default: .repro-check.toml if present)",
+    )
+    p_lint.add_argument(
+        "--interprocedural", action="store_true", default=True,
+        help="build the whole-scope call graph so taint flows through "
+        "helpers and the RC008/RC1xx families run (default)",
+    )
+    p_lint.add_argument(
+        "--no-interprocedural", dest="interprocedural",
+        action="store_false",
+        help="per-function rules only (the pre-call-graph behaviour)",
+    )
+    p_lint.add_argument(
+        "--changed", action="store_true",
+        help="report findings only for files changed vs git HEAD "
+        "(plus untracked); the call graph still spans the full scope",
     )
     p_lint.add_argument(
         "--write-baseline", metavar="PATH",

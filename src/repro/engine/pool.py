@@ -307,12 +307,25 @@ class WorkerPool:
         spans: bool = False,
     ):
         """Submit one request attempt; a future of the worker payload."""
+        return self._submit_on(
+            self._ensure(), request, attempt=attempt, spans=spans
+        )
+
+    def _submit_on(
+        self,
+        executor,
+        request: RunRequest,
+        *,
+        attempt: int = 1,
+        spans: bool = False,
+    ):
+        """Submit to an already-provisioned executor (never blocks)."""
         payload = {
             "request": request.to_dict(),
             "attempt": attempt,
             "spans": spans,
         }
-        future = self._ensure().submit(_worker_run, payload)
+        future = executor.submit(_worker_run, payload)
         benchmark = request.benchmark
 
         def _note(fut) -> None:
@@ -371,6 +384,19 @@ class WorkerPool:
         attempt: int = 1,
         spans: bool = False,
     ) -> Dict:
-        """Asyncio bridge over :meth:`submit` (the serve layer's API)."""
-        future = self.submit(request, attempt=attempt, spans=spans)
+        """Asyncio bridge over :meth:`submit` (the serve layer's API).
+
+        Provisioning is hoisted off the event loop: the first
+        submission after a :meth:`restart` would otherwise spawn a
+        whole process pool synchronously on the loop thread.  If a
+        concurrent restart swaps the executor between the two steps,
+        this submission lands on the abandoned executor and its future
+        is cancelled — the same contract callers already handle for
+        in-flight jobs at restart time.
+        """
+        loop = asyncio.get_running_loop()
+        executor = await loop.run_in_executor(None, self._ensure)
+        future = self._submit_on(
+            executor, request, attempt=attempt, spans=spans
+        )
         return await asyncio.wrap_future(future)

@@ -1,0 +1,385 @@
+"""RC101-RC104 concurrency lints: bad/good fixture pairs.
+
+Every rule gets a fixture that demonstrates a true positive and a twin
+that uses the sanctioned idiom (executor offload, call_soon_threadsafe,
+one global lock order, guarded writes) and stays clean.
+"""
+
+from textwrap import dedent
+
+from repro.check import lint_sources
+
+
+def lint(src, path="srv.py"):
+    return lint_sources([(path, dedent(src))])
+
+
+def codes(findings):
+    return [f.code for f in findings]
+
+
+# ----------------------------------------------------------------------
+# RC101: blocking calls in async code
+# ----------------------------------------------------------------------
+class TestRC101:
+    def test_direct_sleep_in_coroutine(self):
+        findings = lint("""\
+            import time
+
+            async def handler():
+                time.sleep(0.5)
+            """)
+        assert codes(findings) == ["RC101"]
+        f = findings[0]
+        assert f.symbol == "handler"
+        assert f.line == 4
+        assert "time.sleep()" in f.message
+        assert "run_in_executor" in f.message
+
+    def test_async_sleep_ok(self):
+        findings = lint("""\
+            import asyncio
+
+            async def handler():
+                await asyncio.sleep(0.5)
+            """)
+        assert findings == []
+
+    def test_blocking_reached_through_sync_helper(self):
+        findings = lint("""\
+            import time
+
+            def flush():
+                time.sleep(0.1)
+
+            async def handler():
+                flush()
+            """)
+        assert codes(findings) == ["RC101"]
+        f = findings[0]
+        assert f.symbol == "handler"
+        assert f.line == 7  # the call site, not the sleep
+        assert "flush()" in f.message
+        assert "time.sleep()" in f.message
+
+    def test_executor_offload_ok(self):
+        findings = lint("""\
+            import asyncio
+            import time
+
+            def flush():
+                time.sleep(0.1)
+
+            async def handler():
+                loop = asyncio.get_running_loop()
+                await loop.run_in_executor(None, flush)
+            """)
+        assert findings == []
+
+    def test_file_io_in_coroutine(self):
+        findings = lint("""\
+            async def persist(path, payload):
+                path.write_text(payload)
+            """)
+        assert codes(findings) == ["RC101"]
+        assert "write_text" in findings[0].message
+
+    def test_unawaited_future_result(self):
+        findings = lint("""\
+            async def run(pool, request):
+                fut = pool.submit(request)
+                return fut.result()
+            """)
+        assert codes(findings) == ["RC101"]
+        assert "Future.result()" in findings[0].message
+
+    def test_wrapped_future_ok(self):
+        findings = lint("""\
+            import asyncio
+
+            async def run(pool, request):
+                fut = pool.submit(request)
+                return await asyncio.wrap_future(fut)
+            """)
+        assert findings == []
+
+    def test_sync_function_may_sleep(self):
+        findings = lint("""\
+            import time
+
+            def backoff():
+                time.sleep(0.1)
+            """)
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# RC102: asyncio objects touched from worker threads
+# ----------------------------------------------------------------------
+class TestRC102:
+    BAD = """\
+        import asyncio
+        import threading
+
+        class App:
+            def __init__(self):
+                self.q = asyncio.Queue()
+
+            def start(self):
+                t = threading.Thread(target=self._worker)
+                t.start()
+
+            def _worker(self):
+                self.q.put_nowait(1)
+        """
+
+    def test_thread_target_mutating_queue(self):
+        findings = lint(self.BAD)
+        assert codes(findings) == ["RC102"]
+        f = findings[0]
+        assert f.symbol == "App._worker"
+        assert "put_nowait" in f.message
+        assert "call_soon_threadsafe" in f.message
+
+    def test_call_soon_threadsafe_ok(self):
+        findings = lint("""\
+            import asyncio
+            import threading
+
+            class App:
+                def __init__(self):
+                    self.q = asyncio.Queue()
+                    self.loop = asyncio.get_event_loop()
+
+                def start(self):
+                    t = threading.Thread(target=self._worker)
+                    t.start()
+
+                def _worker(self):
+                    self.loop.call_soon_threadsafe(self.q.put_nowait, 1)
+            """)
+        assert findings == []
+
+    def test_mutation_from_loop_context_ok(self):
+        # same mutation, but nothing registers the method on a thread
+        findings = lint("""\
+            import asyncio
+
+            class App:
+                def __init__(self):
+                    self.q = asyncio.Queue()
+
+                def feed(self):
+                    self.q.put_nowait(1)
+            """)
+        assert findings == []
+
+    def test_lambda_callback_mutation(self):
+        findings = lint("""\
+            import asyncio
+
+            class App:
+                def __init__(self):
+                    self.done = asyncio.Event()
+
+                def kick(self, executor):
+                    executor.submit(lambda: self.done.set())
+            """)
+        assert codes(findings) == ["RC102"]
+        assert "callback" in findings[0].message
+
+    def test_transitively_called_from_thread_target(self):
+        findings = lint("""\
+            import asyncio
+            import threading
+
+            class App:
+                def __init__(self):
+                    self.q = asyncio.Queue()
+
+                def start(self):
+                    threading.Thread(target=self._worker).start()
+
+                def _worker(self):
+                    self._publish()
+
+                def _publish(self):
+                    self.q.put_nowait(1)
+            """)
+        assert codes(findings) == ["RC102"]
+        assert findings[0].symbol == "App._publish"
+
+
+# ----------------------------------------------------------------------
+# RC103: lock-order cycles
+# ----------------------------------------------------------------------
+class TestRC103:
+    def test_opposite_orders_cycle(self):
+        findings = lint("""\
+            import threading
+
+            A = threading.Lock()
+            B = threading.Lock()
+
+            def one():
+                with A:
+                    with B:
+                        pass
+
+            def two():
+                with B:
+                    with A:
+                        pass
+            """)
+        assert codes(findings) == ["RC103"]
+        f = findings[0]
+        assert f.symbol == "<lock-order>"
+        assert "cycle" in f.message
+        assert "A" in f.message and "B" in f.message
+
+    def test_consistent_order_ok(self):
+        findings = lint("""\
+            import threading
+
+            A = threading.Lock()
+            B = threading.Lock()
+
+            def one():
+                with A:
+                    with B:
+                        pass
+
+            def two():
+                with A:
+                    with B:
+                        pass
+            """)
+        assert findings == []
+
+    def test_cycle_through_a_callee(self):
+        # one() holds A and calls helper() which takes B; other()
+        # nests them the other way — the cycle spans a call edge
+        findings = lint("""\
+            import threading
+
+            A = threading.Lock()
+            B = threading.Lock()
+
+            def helper():
+                with B:
+                    pass
+
+            def one():
+                with A:
+                    helper()
+
+            def other():
+                with B:
+                    with A:
+                        pass
+            """)
+        assert codes(findings) == ["RC103"]
+
+    def test_single_lock_reentrancy_not_flagged(self):
+        findings = lint("""\
+            import threading
+
+            A = threading.Lock()
+
+            def one():
+                with A:
+                    pass
+
+            def two():
+                with A:
+                    pass
+            """)
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# RC104: shared state written from both contexts
+# ----------------------------------------------------------------------
+class TestRC104:
+    BAD = """\
+        import threading
+
+        class Counter:
+            def __init__(self):
+                self.n = 0
+
+            async def bump(self):
+                self.n = self.n + 1
+
+            def start(self):
+                threading.Thread(target=self._work).start()
+
+            def _work(self):
+                self.n = 5
+        """
+
+    def test_unguarded_dual_context_write(self):
+        findings = lint(self.BAD)
+        assert codes(findings) == ["RC104"]
+        f = findings[0]
+        assert "self.n" in f.message
+        assert "Counter" in f.message
+
+    def test_guarded_writes_ok(self):
+        findings = lint("""\
+            import threading
+
+            class Counter:
+                def __init__(self):
+                    self.mu = threading.Lock()
+                    self.n = 0
+
+                async def bump(self):
+                    with self.mu:
+                        self.n = self.n + 1
+
+                def start(self):
+                    threading.Thread(target=self._work).start()
+
+                def _work(self):
+                    with self.mu:
+                        self.n = 5
+            """)
+        assert findings == []
+
+    def test_single_context_writes_ok(self):
+        findings = lint("""\
+            import threading
+
+            class Counter:
+                def __init__(self):
+                    self.n = 0
+
+                def start(self):
+                    threading.Thread(target=self._work).start()
+
+                def _work(self):
+                    self.n = 5
+            """)
+        assert findings == []
+
+    def test_init_writes_exempt(self):
+        # construction happens-before sharing: __init__ never counts
+        # as the coroutine-side writer
+        findings = lint("""\
+            import threading
+
+            class Counter:
+                def __init__(self):
+                    self.n = 0
+
+                async def read(self):
+                    return self.n
+
+                def start(self):
+                    threading.Thread(target=self._work).start()
+
+                def _work(self):
+                    self.n = 5
+            """)
+        assert findings == []

@@ -1,0 +1,190 @@
+"""RC008 pattern conformance against hand-built inventories.
+
+Fixture "apps" live under ``src/repro/apps`` paths so the closure fence
+treats them like real benchmark modules; the inventories are built by
+hand instead of reading the live registry, so each test controls the
+declared side of the diff.
+"""
+
+from textwrap import dedent
+
+from repro.check import AppInventory, lint_sources
+
+
+def lint(sources, inventories):
+    return lint_sources(
+        [(path, dedent(src)) for path, src in sources],
+        inventories=inventories,
+    )
+
+
+def inv(declared=(), extras=(), name="fake"):
+    return AppInventory(
+        name=name,
+        runner_module="repro.apps.fake",
+        runner_name="run",
+        declared=frozenset(declared),
+        extras=frozenset(extras),
+    )
+
+
+APP = "src/repro/apps/fake.py"
+
+
+class TestUsedButUndeclared:
+    SRC = """\
+        def run(session):
+            session.record_comm(CommPattern.CSHIFT, 8)
+            session.record_comm(CommPattern.REDUCTION, 8)
+        """
+
+    def test_literal_record_needs_declaration(self):
+        findings = lint([(APP, self.SRC)], [inv(declared={"CSHIFT"})])
+        assert [f.code for f in findings] == ["RC008"]
+        f = findings[0]
+        assert f.path == APP
+        assert f.symbol == "run"
+        assert "records CommPattern.REDUCTION" in f.message
+        assert "'fake'" in f.message
+
+    def test_declaring_it_silences(self):
+        findings = lint(
+            [(APP, self.SRC)],
+            [inv(declared={"CSHIFT", "REDUCTION"})],
+        )
+        assert findings == []
+
+    def test_comm_extras_count_as_declared(self):
+        findings = lint(
+            [(APP, self.SRC)],
+            [inv(declared={"CSHIFT"}, extras={"REDUCTION"})],
+        )
+        assert findings == []
+
+    def test_record_reached_through_helper(self):
+        sources = [
+            (APP, """\
+                from repro.apps.halo import exchange
+
+                def run(session):
+                    exchange(session)
+                """),
+            ("src/repro/apps/halo.py", """\
+                def exchange(session):
+                    session.record_comm(CommPattern.AAPC, 64)
+                """),
+        ]
+        findings = lint(sources, [inv(declared=set())])
+        assert [f.code for f in findings] == ["RC008"]
+        assert "AAPC" in findings[0].message
+        assert "repro.apps.halo" in findings[0].message
+
+    def test_literal_handed_to_helper_is_must_evidence(self):
+        src = """\
+            def run(session):
+                shift(session, CommPattern.CSHIFT)
+            """
+        findings = lint([(APP, src)], [inv(declared=set())])
+        assert [f.code for f in findings] == ["RC008"]
+        assert "CSHIFT" in findings[0].message
+
+    def test_variable_record_is_only_may_evidence(self):
+        # recording through a variable must not produce undeclared
+        # findings: the pattern may never be chosen at runtime
+        src = """\
+            def run(session, combine):
+                if combine:
+                    pattern = CommPattern.SCATTER_COMBINE
+                else:
+                    pattern = CommPattern.SCATTER
+                session.record_comm(pattern, 4)
+            """
+        assert lint([(APP, src)], [inv(declared=set())]) == []
+
+
+class TestDeclaredButUnused:
+    def test_unreachable_declaration_flagged(self):
+        src = """\
+            def run(session):
+                session.record_comm(CommPattern.CSHIFT, 8)
+            """
+        findings = lint(
+            [(APP, src)], [inv(declared={"CSHIFT", "AAPC"})]
+        )
+        assert [f.code for f in findings] == ["RC008"]
+        assert "declares CommPattern.AAPC" in findings[0].message
+        assert "under-delivers" in findings[0].message
+
+    def test_may_evidence_satisfies_declaration(self):
+        src = """\
+            def run(session, combine):
+                if combine:
+                    pattern = CommPattern.SCATTER_COMBINE
+                else:
+                    pattern = CommPattern.SCATTER
+                session.record_comm(pattern, 4)
+            """
+        findings = lint(
+            [(APP, src)],
+            [inv(declared={"SCATTER", "SCATTER_COMBINE"})],
+        )
+        assert findings == []
+
+    def test_parameter_default_is_may_evidence(self):
+        # stencil_shifts records through its ``pattern`` parameter,
+        # whose default is the STENCIL literal
+        sources = [
+            (APP, """\
+                from repro.apps.shifts import stencil_shifts
+
+                def run(session, data):
+                    stencil_shifts(session, data)
+                """),
+            ("src/repro/apps/shifts.py", """\
+                def stencil_shifts(session, data,
+                                   pattern=CommPattern.STENCIL):
+                    session.record_comm(pattern, 2)
+                """),
+        ]
+        findings = lint(sources, [inv(declared={"STENCIL"})])
+        assert findings == []
+
+    def test_extras_not_checked_for_unusedness(self):
+        # extras document implementation substrate; only the Table-7
+        # ``declared`` side must be realizable
+        src = """\
+            def run(session):
+                session.record_comm(CommPattern.CSHIFT, 8)
+            """
+        findings = lint(
+            [(APP, src)], [inv(declared={"CSHIFT"}, extras={"AABC"})]
+        )
+        assert findings == []
+
+
+class TestClosureFence:
+    def test_non_benchmark_modules_do_not_leak(self):
+        # a pricing-table helper mentioning a pattern literal lives
+        # outside the fence: it must not count as app usage
+        sources = [
+            (APP, """\
+                from repro.metrics.pricing import table
+
+                def run(session):
+                    session.record_comm(CommPattern.CSHIFT, 8)
+                    table(session)
+                """),
+            ("src/repro/metrics/pricing.py", """\
+                def table(session):
+                    session.record_comm(CommPattern.AABC, 1)
+                """),
+        ]
+        findings = lint(sources, [inv(declared={"CSHIFT"})])
+        assert findings == []
+
+    def test_runner_missing_from_graph_is_skipped(self):
+        src = """\
+            def other(session):
+                session.record_comm(CommPattern.CSHIFT, 8)
+            """
+        assert lint([(APP, src)], [inv(declared={"AAPC"})]) == []

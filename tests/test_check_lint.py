@@ -689,3 +689,276 @@ def test_repo_sources_are_clean():
     )
     assert result.ok, format_findings(result)
     assert result.unused_suppressions == []
+
+
+# ----------------------------------------------------------------------
+# RC003 movement vocabulary: concatenate and fast_roll
+# ----------------------------------------------------------------------
+class TestRC003Movement:
+    def test_concatenate_of_payload_slices_flagged(self):
+        # fast_roll's expansion: a circular shift spelled as two
+        # slices + concatenate is still data movement
+        bad = dedent(
+            """\
+            import numpy as np
+
+            def drift(state, session):
+                raw = state.data
+                shifted = np.concatenate((raw[1:], raw[:1]))
+                return shifted
+            """
+        )
+        findings = lint_source(bad, "fix.py")
+        assert codes(findings) == ["RC003"]
+        assert findings[0].symbol == "drift"
+        assert findings[0].line == 5
+
+    def test_concatenate_with_record_ok(self):
+        good = dedent(
+            """\
+            import numpy as np
+
+            def drift(state, session):
+                raw = state.data
+                shifted = np.concatenate((raw[1:], raw[:1]))
+                session.record_comm(pattern, bytes_network=8)
+                return shifted
+            """
+        )
+        assert lint_source(good, "fix.py") == []
+
+    def test_fast_roll_of_payload_flagged(self):
+        bad = dedent(
+            """\
+            from repro.array.roll import fast_roll
+
+            def drift(state, session):
+                raw = state.data
+                return fast_roll(raw, 1)
+            """
+        )
+        findings = lint_source(bad, "fix.py")
+        assert codes(findings) == ["RC003"]
+        assert "fast_roll" in findings[0].message
+
+    def test_fast_roll_with_record_ok(self):
+        good = dedent(
+            """\
+            from repro.array.roll import fast_roll
+
+            def drift(state, session):
+                raw = state.data
+                out = fast_roll(raw, 1)
+                session.record_comm(pattern, bytes_network=8)
+                return out
+            """
+        )
+        assert lint_source(good, "fix.py") == []
+
+    def test_untainted_concatenate_not_flagged(self):
+        neutral = dedent(
+            """\
+            import numpy as np
+
+            def pack(parts):
+                return np.concatenate(parts)
+            """
+        )
+        assert lint_source(neutral, "fix.py") == []
+
+
+# ----------------------------------------------------------------------
+# Interprocedural mode: taint flows through helpers
+# ----------------------------------------------------------------------
+class TestInterprocedural:
+    HELPER_COMPUTES = dedent(
+        """\
+        def square(arr):
+            return arr * arr
+
+        def run(state, session):
+            raw = state.data
+            return square(raw)
+        """
+    )
+
+    def test_uncharged_helper_charged_to_caller(self):
+        flat = lint_source(self.HELPER_COMPUTES, "fix.py")
+        assert flat == []  # per-function taint stops at the call
+        deep = lint_source(
+            self.HELPER_COMPUTES, "fix.py", interprocedural=True
+        )
+        assert codes(deep) == ["RC001"]
+        f = deep[0]
+        assert f.symbol == "run"
+        assert f.line == 6  # the call site, not the helper body
+        assert "square" in f.message
+
+    def test_charging_helper_silences(self):
+        good = dedent(
+            """\
+            def scale(arr, session):
+                out = arr * 2.0
+                session.charge_elementwise(out.size)
+                return out
+
+            def run(state, session):
+                raw = state.data
+                return scale(raw, session)
+            """
+        )
+        assert lint_source(good, "fix.py", interprocedural=True) == []
+
+    def test_callee_charge_extends_caller_scope(self):
+        # the caller computes but a helper in the chain charges: the
+        # per-function rule would flag it, the graph must not
+        src = dedent(
+            """\
+            def commit(session, n):
+                session.charge_elementwise(n)
+
+            def run(state, session):
+                raw = state.data
+                out = raw * 2.0
+                commit(session, out.size)
+                return out
+            """
+        )
+        assert codes(lint_source(src, "fix.py")) == ["RC001"]
+        assert lint_source(src, "fix.py", interprocedural=True) == []
+
+    def test_special_kind_propagates_as_rc002(self):
+        src = dedent(
+            """\
+            import numpy as np
+
+            def rms(arr):
+                return np.sqrt(arr)
+
+            def run(state, session):
+                raw = state.data
+                r = rms(raw)
+                session.charge_elementwise(r.size)
+                return r
+            """
+        )
+        deep = lint_source(src, "fix.py", interprocedural=True)
+        assert "RC002" in codes(deep)
+        assert any("SQRT" in f.message for f in deep)
+
+    def test_movement_helper_propagates_as_rc003(self):
+        src = dedent(
+            """\
+            import numpy as np
+
+            def rotate(arr):
+                return np.roll(arr, 1)
+
+            def run(state, session):
+                raw = state.data
+                session.charge_elementwise(raw.size)
+                return rotate(raw)
+            """
+        )
+        deep = lint_source(src, "fix.py", interprocedural=True)
+        assert "RC003" in codes(deep)
+
+    def test_recording_movement_helper_ok(self):
+        src = dedent(
+            """\
+            import numpy as np
+
+            def rotate(arr, session):
+                out = np.roll(arr, 1)
+                session.record_comm(pattern, bytes_network=8)
+                return out
+
+            def run(state, session):
+                raw = state.data
+                session.charge_elementwise(raw.size)
+                return rotate(raw, session)
+            """
+        )
+        assert lint_source(src, "fix.py", interprocedural=True) == []
+
+    def test_reference_chain_stays_exempt(self):
+        src = dedent(
+            """\
+            def square(arr):
+                return arr * arr
+
+            def reference_step(arr):
+                return square(arr)
+
+            def run(state, session):
+                ref = reference_step(state.data)
+                return ref
+            """
+        )
+        assert lint_source(src, "fix.py", interprocedural=True) == []
+
+
+# ----------------------------------------------------------------------
+# --changed: partial reporting over the full graph
+# ----------------------------------------------------------------------
+class TestChangedReporting:
+    def test_report_paths_filters_after_baseline(self, tmp_path):
+        (tmp_path / "a.py").write_text(TestRC001.BAD)
+        (tmp_path / "b.py").write_text(TestRC001.BAD)
+        baseline = Baseline(suppressions=[
+            Suppression(
+                code="RC001", path="a.py", symbol="leaky",
+                reason="known",
+            ),
+            Suppression(
+                code="RC001", path="gone.py", symbol="x",
+                reason="stale",
+            ),
+        ])
+        full = lint_paths([tmp_path], baseline=baseline, root=tmp_path)
+        assert [f.path for f in full.active] == ["b.py"]
+        assert len(full.unused_suppressions) == 1
+
+        partial = lint_paths(
+            [tmp_path], baseline=baseline, root=tmp_path,
+            report_paths=["b.py"],
+        )
+        assert [f.path for f in partial.active] == ["b.py"]
+        assert partial.suppressed == []
+        # a partial report never judges baseline staleness
+        assert partial.unused_suppressions == []
+
+    def test_changed_file_outside_findings_reports_clean(self, tmp_path):
+        (tmp_path / "bad.py").write_text(TestRC001.BAD)
+        (tmp_path / "clean.py").write_text("def ok():\n    pass\n")
+        partial = lint_paths(
+            [tmp_path], baseline=Baseline(suppressions=[]),
+            root=tmp_path, report_paths=["clean.py"],
+        )
+        assert partial.ok
+        assert partial.active == []
+
+    def test_graph_spans_beyond_report_scope(self, tmp_path):
+        # the finding in changed.py only exists because the full graph
+        # saw helper.py: --changed must not shrink the analysis scope
+        (tmp_path / "helper.py").write_text(dedent(
+            """\
+            def square(arr):
+                return arr * arr
+            """
+        ))
+        (tmp_path / "changed.py").write_text(dedent(
+            """\
+            from helper import square
+
+            def run(state, session):
+                raw = state.data
+                return square(raw)
+            """
+        ))
+        partial = lint_paths(
+            [tmp_path], baseline=Baseline(suppressions=[]),
+            root=tmp_path, report_paths=["changed.py"],
+        )
+        assert codes(partial.active) == ["RC001"]
+        assert partial.active[0].path == "changed.py"
