@@ -21,6 +21,7 @@ from repro.campaign.analytics import (
     roofline_report,
     scaling_series,
 )
+from repro.campaign.plot import render_roofline_svg, validate_roofline_svg
 from repro.campaign.runner import (
     DEFAULT_ROOT,
     CampaignResult,
@@ -50,6 +51,7 @@ __all__ = [
     "campaign_paths",
     "campaign_status",
     "load_spec",
+    "render_roofline_svg",
     "roofline_from_results",
     "roofline_from_store",
     "roofline_point",
@@ -57,4 +59,5 @@ __all__ = [
     "run_campaign",
     "save_spec",
     "scaling_series",
+    "validate_roofline_svg",
 ]

@@ -1,0 +1,331 @@
+"""Dependency-free SVG rendering of campaign roofline reports.
+
+``repro campaign report --plot out.svg`` turns the reconciled roofline
+document of :func:`repro.campaign.analytics.roofline_report` into a
+log-log scatter plot: arithmetic intensity (FLOP per network byte) on
+the x-axis, achieved MFLOP/s on the y-axis, one marker per campaign
+point, plus the machine roofs — the horizontal compute ceiling at
+``peak_mflops`` and the diagonal communication ceiling
+``intensity * bandwidth``.  Points whose reports moved no network
+bytes have no intensity; they are listed in the legend but not drawn.
+
+Everything is hand-rolled SVG 1.1 with deterministic float formatting
+(``%.6g`` throughout), so the same report document always renders the
+byte-identical file — which is what lets the golden-file test pin the
+output.  :func:`validate_roofline_svg` re-parses a rendered document
+with :mod:`xml.etree.ElementTree` and checks its structural contract
+(point count, roof lines, axes); CI runs it on every ``--plot``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from xml.etree import ElementTree
+
+__all__ = ["render_roofline_svg", "validate_roofline_svg"]
+
+#: Fixed, colorblind-friendly marker palette; benchmarks are assigned
+#: colors by sorted name so the mapping is stable across renders.
+_PALETTE = (
+    "#0072b2",
+    "#d55e00",
+    "#009e73",
+    "#cc79a7",
+    "#e69f00",
+    "#56b4e9",
+    "#f0e442",
+    "#000000",
+)
+
+_WIDTH = 720
+_HEIGHT = 480
+_MARGIN = {"left": 70, "right": 170, "top": 40, "bottom": 50}
+
+
+def _fmt(value: float) -> str:
+    """Deterministic coordinate/label formatting (six significant digits)."""
+    text = f"{value:.6g}"
+    return "0" if text in ("-0", "-0.0") else text
+
+
+def _log_ticks(lo: float, hi: float) -> List[float]:
+    """Powers of ten covering [lo, hi]."""
+    first = math.floor(math.log10(lo))
+    last = math.ceil(math.log10(hi))
+    return [10.0**e for e in range(int(first), int(last) + 1)]
+
+
+def _esc(text: str) -> str:
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )
+
+
+class _Scale:
+    """Log-space mapping from data coordinates to pixel coordinates."""
+
+    def __init__(self, lo: float, hi: float, px_lo: float, px_hi: float):
+        self.lo = math.log10(lo)
+        self.hi = math.log10(hi)
+        self.px_lo = px_lo
+        self.px_hi = px_hi
+
+    def __call__(self, value: float) -> float:
+        span = self.hi - self.lo or 1.0
+        frac = (math.log10(value) - self.lo) / span
+        return self.px_lo + frac * (self.px_hi - self.px_lo)
+
+
+def _bounds(values: Sequence[float], pad: float = 10.0) -> Tuple[float, float]:
+    """A decade-padded positive range covering ``values``."""
+    finite = [v for v in values if v > 0]
+    if not finite:
+        return 0.1, 10.0
+    return min(finite) / pad, max(finite) * pad
+
+
+def render_roofline_svg(
+    doc: Mapping,
+    *,
+    title: Optional[str] = None,
+) -> str:
+    """Render one roofline report document as an SVG string.
+
+    ``doc`` is the dictionary produced by ``roofline_report`` (kind
+    ``"roofline"``).  Returns the full SVG text, newline-terminated.
+    """
+    if doc.get("kind") != "roofline":
+        raise ValueError(
+            f"not a roofline report (kind={doc.get('kind')!r})"
+        )
+    points = list(doc.get("points") or [])
+    plotted = [p for p in points if p.get("intensity") is not None]
+    benchmarks = sorted({p["benchmark"] for p in points})
+    colors = {
+        name: _PALETTE[i % len(_PALETTE)]
+        for i, name in enumerate(benchmarks)
+    }
+    roofs = sorted(
+        {
+            (
+                float(p["peak_mflops"]),
+                float(p["network_bandwidth_bytes_s"]),
+            )
+            for p in points
+        }
+    )
+
+    x_lo, x_hi = _bounds([p["intensity"] for p in plotted])
+    y_values = [p["achieved_mflops"] for p in plotted]
+    y_values.extend(peak for peak, _ in roofs)
+    y_lo, y_hi = _bounds(y_values)
+
+    px = _Scale(x_lo, x_hi, _MARGIN["left"], _WIDTH - _MARGIN["right"])
+    py = _Scale(y_lo, y_hi, _HEIGHT - _MARGIN["bottom"], _MARGIN["top"])
+
+    out: List[str] = []
+    out.append(
+        '<svg xmlns="http://www.w3.org/2000/svg" '
+        f'width="{_WIDTH}" height="{_HEIGHT}" '
+        f'viewBox="0 0 {_WIDTH} {_HEIGHT}">'
+    )
+    label = title or f"roofline: {doc.get('campaign') or 'campaign'}"
+    out.append(
+        f'<title>{_esc(label)}</title>'
+    )
+    out.append(
+        f'<rect width="{_WIDTH}" height="{_HEIGHT}" fill="white"/>'
+    )
+    out.append(
+        f'<text x="{_MARGIN["left"]}" y="24" font-family="monospace" '
+        f'font-size="14" id="roofline-title">{_esc(label)} '
+        f'({doc.get("n_points", 0)} points, reconciled='
+        f'{str(bool(doc.get("reconciled"))).lower()})</text>'
+    )
+
+    # -- axes -----------------------------------------------------------
+    ax_left, ax_right = _MARGIN["left"], _WIDTH - _MARGIN["right"]
+    ax_top, ax_bottom = _MARGIN["top"], _HEIGHT - _MARGIN["bottom"]
+    out.append('<g id="roofline-axes" stroke="#333" stroke-width="1">')
+    out.append(
+        f'<line x1="{ax_left}" y1="{ax_bottom}" x2="{ax_right}" '
+        f'y2="{ax_bottom}"/>'
+    )
+    out.append(
+        f'<line x1="{ax_left}" y1="{ax_top}" x2="{ax_left}" '
+        f'y2="{ax_bottom}"/>'
+    )
+    out.append("</g>")
+    out.append(
+        '<g id="roofline-ticks" font-family="monospace" font-size="10" '
+        'fill="#333">'
+    )
+    for tick in _log_ticks(x_lo, x_hi):
+        if not (x_lo <= tick <= x_hi):
+            continue
+        x = px(tick)
+        out.append(
+            f'<line x1="{_fmt(x)}" y1="{ax_bottom}" x2="{_fmt(x)}" '
+            f'y2="{ax_bottom + 4}" stroke="#333"/>'
+        )
+        out.append(
+            f'<text x="{_fmt(x)}" y="{ax_bottom + 16}" '
+            f'text-anchor="middle">{_fmt(tick)}</text>'
+        )
+    for tick in _log_ticks(y_lo, y_hi):
+        if not (y_lo <= tick <= y_hi):
+            continue
+        y = py(tick)
+        out.append(
+            f'<line x1="{ax_left - 4}" y1="{_fmt(y)}" x2="{ax_left}" '
+            f'y2="{_fmt(y)}" stroke="#333"/>'
+        )
+        out.append(
+            f'<text x="{ax_left - 8}" y="{_fmt(y + 3)}" '
+            f'text-anchor="end">{_fmt(tick)}</text>'
+        )
+    out.append(
+        f'<text x="{(ax_left + ax_right) // 2}" y="{_HEIGHT - 10}" '
+        'text-anchor="middle">intensity (FLOP/byte)</text>'
+    )
+    out.append(
+        f'<text x="16" y="{(ax_top + ax_bottom) // 2}" '
+        'text-anchor="middle" transform="rotate(-90 16 '
+        f'{(ax_top + ax_bottom) // 2})">achieved MFLOP/s</text>'
+    )
+    out.append("</g>")
+
+    # -- roofs ----------------------------------------------------------
+    out.append(
+        '<g id="roofline-roofs" stroke-width="1.5" fill="none" '
+        'stroke-dasharray="6 3">'
+    )
+    for peak, bandwidth in roofs:
+        if y_lo <= peak <= y_hi:
+            y = py(peak)
+            out.append(
+                f'<line class="roof roof-compute" x1="{ax_left}" '
+                f'y1="{_fmt(y)}" x2="{ax_right}" y2="{_fmt(y)}" '
+                'stroke="#888"/>'
+            )
+        if bandwidth > 0:
+            # The diagonal y = intensity * bandwidth / 1e6 clipped to
+            # the plotting window: solve for intensity at both y edges.
+            bw = bandwidth / 1e6
+            seg_lo = max(x_lo, y_lo / bw)
+            seg_hi = min(x_hi, min(peak, y_hi) / bw)
+            if seg_lo < seg_hi:
+                out.append(
+                    '<line class="roof roof-comm" '
+                    f'x1="{_fmt(px(seg_lo))}" y1="{_fmt(py(seg_lo * bw))}" '
+                    f'x2="{_fmt(px(seg_hi))}" y2="{_fmt(py(seg_hi * bw))}" '
+                    'stroke="#bb5500"/>'
+                )
+    out.append("</g>")
+
+    # -- points ---------------------------------------------------------
+    out.append('<g id="roofline-points">')
+    for point in sorted(
+        plotted, key=lambda p: (p["benchmark"], p["request_hash"])
+    ):
+        x = px(point["intensity"])
+        y = py(max(point["achieved_mflops"], y_lo))
+        shape = "4" if point.get("reconciled", True) else "3"
+        out.append(
+            f'<circle class="point" cx="{_fmt(x)}" cy="{_fmt(y)}" '
+            f'r="{shape}" fill="{colors[point["benchmark"]]}" '
+            f'fill-opacity="0.8" stroke="#222" stroke-width="0.5">'
+            f'<title>{_esc(point["benchmark"])} '
+            f'[{_esc(point["machine"])} n={point["nodes"]}] '
+            f'I={_fmt(point["intensity"])} '
+            f'{_fmt(point["achieved_mflops"])} MFLOP/s '
+            f'({_esc(point["bound"])}-bound)</title></circle>'
+        )
+    out.append("</g>")
+
+    # -- legend ---------------------------------------------------------
+    out.append(
+        '<g id="roofline-legend" font-family="monospace" font-size="11">'
+    )
+    ly = _MARGIN["top"] + 8
+    for name in benchmarks:
+        n_plotted = sum(1 for p in plotted if p["benchmark"] == name)
+        n_total = sum(1 for p in points if p["benchmark"] == name)
+        suffix = "" if n_plotted == n_total else f" ({n_plotted}/{n_total})"
+        out.append(
+            f'<circle cx="{ax_right + 14}" cy="{ly - 4}" r="4" '
+            f'fill="{colors[name]}"/>'
+        )
+        out.append(
+            f'<text x="{ax_right + 24}" y="{ly}">'
+            f"{_esc(name)}{_esc(suffix)}</text>"
+        )
+        ly += 16
+    if not plotted:
+        out.append(
+            f'<text x="{(ax_left + ax_right) // 2}" '
+            f'y="{(ax_top + ax_bottom) // 2}" text-anchor="middle" '
+            'fill="#888">no plottable points (no network traffic)</text>'
+        )
+    out.append("</g>")
+    out.append("</svg>")
+    return "\n".join(out) + "\n"
+
+
+def validate_roofline_svg(text: str) -> Dict[str, int]:
+    """Structurally validate a rendered roofline SVG.
+
+    Parses the document and checks the contract the renderer promises:
+    a well-formed ``<svg>`` root, the title/axes/roofs/points/legend
+    groups present by id, and every plotted point a ``<circle>`` with
+    positive radius inside the canvas.  Returns summary counts;
+    raises :class:`ValueError` on any violation.
+    """
+    try:
+        root = ElementTree.fromstring(text)
+    except ElementTree.ParseError as exc:
+        raise ValueError(f"not well-formed XML: {exc}") from None
+    ns = "{http://www.w3.org/2000/svg}"
+    if root.tag != f"{ns}svg":
+        raise ValueError(f"root element is {root.tag}, expected svg")
+    width = float(root.get("width", "0"))
+    height = float(root.get("height", "0"))
+    if width <= 0 or height <= 0:
+        raise ValueError("svg has no positive width/height")
+    groups = {
+        el.get("id"): el for el in root.iter(f"{ns}g") if el.get("id")
+    }
+    for required in (
+        "roofline-axes",
+        "roofline-ticks",
+        "roofline-roofs",
+        "roofline-points",
+        "roofline-legend",
+    ):
+        if required not in groups:
+            raise ValueError(f"missing group id={required!r}")
+    titles = [
+        el for el in root.iter(f"{ns}text")
+        if el.get("id") == "roofline-title"
+    ]
+    if len(titles) != 1:
+        raise ValueError("missing roofline-title text element")
+    points = groups["roofline-points"].findall(f"{ns}circle")
+    for circle in points:
+        cx, cy = float(circle.get("cx")), float(circle.get("cy"))
+        if not (0 <= cx <= width and 0 <= cy <= height):
+            raise ValueError(f"point at ({cx}, {cy}) escapes the canvas")
+        if float(circle.get("r", "0")) <= 0:
+            raise ValueError("point with non-positive radius")
+    roofs = groups["roofline-roofs"].findall(f"{ns}line")
+    axes = groups["roofline-axes"].findall(f"{ns}line")
+    if len(axes) != 2:
+        raise ValueError(f"expected 2 axis lines, found {len(axes)}")
+    return {
+        "points": len(points),
+        "roofs": len(roofs),
+        "legend_entries": len(
+            groups["roofline-legend"].findall(f"{ns}text")
+        ),
+    }

@@ -225,6 +225,13 @@ def _cmd_suite(args) -> int:
     bad = [r for r in results if not r.ok]
     for result in bad:
         print(f"  {result.request.describe()}: {result.status}: {result.error}")
+    if args.telemetry_out:
+        from repro.obs import telemetry
+        from repro.obs.expo import render_exposition
+
+        with open(args.telemetry_out, "w", encoding="utf-8") as fh:
+            fh.write(render_exposition(telemetry.get_registry().collect()))
+        print(f"telemetry exposition written to {args.telemetry_out}")
     return 1 if bad else 0
 
 
@@ -492,6 +499,20 @@ def _cmd_engine_check(args) -> int:
     from repro.engine import compare_benchmarks, open_store, trajectory_point
     from repro.engine.stats import load_baseline_file
 
+    if args.baseline is None and args.slo is None:
+        raise SystemExit("engine check: need --baseline and/or --slo")
+    slo_ok = True
+    if args.slo:
+        slo_ok = _check_slo(args.slo, args.scrape)
+    if args.baseline is None:
+        for flag, name in (
+            (args.gate_throughput, "--gate-throughput"),
+            (args.bench_out, "--bench-out"),
+        ):
+            if flag is not None:
+                raise SystemExit(f"engine check: {name} needs --baseline")
+        return 0 if slo_ok else 1
+
     store = open_store(args.store)
     try:
         stats = _load_run_stats(store, args.run)
@@ -553,7 +574,40 @@ def _cmd_engine_check(args) -> int:
             encoding="utf-8",
         )
         print(f"trajectory point written to {args.bench_out}")
-    return 0 if (report.ok and throughput_ok) else 1
+    return 0 if (report.ok and throughput_ok and slo_ok) else 1
+
+
+def _check_slo(spec_path: str, scrape_path: Optional[str]) -> bool:
+    """Evaluate an SLO spec against a saved exposition scrape."""
+    from repro.obs.expo import ExpositionError, parse_exposition
+    from repro.obs.slo import SLOSpecError, evaluate_slos, load_slo_spec
+
+    if not scrape_path:
+        raise SystemExit(
+            "engine check --slo needs --scrape FILE "
+            "(a saved /metrics exposition, e.g. from `repro telemetry "
+            "--out`)"
+        )
+    try:
+        spec = load_slo_spec(spec_path)
+    except OSError as exc:
+        raise SystemExit(f"cannot read SLO spec {spec_path}: {exc}") from None
+    except SLOSpecError as exc:
+        raise SystemExit(f"bad SLO spec {spec_path}: {exc}") from None
+    try:
+        with open(scrape_path, encoding="utf-8") as fh:
+            text = fh.read()
+    except OSError as exc:
+        raise SystemExit(f"cannot read scrape {scrape_path}: {exc}") from None
+    try:
+        families = parse_exposition(text)
+    except ExpositionError as exc:
+        raise SystemExit(
+            f"scrape {scrape_path} is not valid exposition: {exc}"
+        ) from None
+    report = evaluate_slos(spec, families)
+    print(report.table())
+    return report.ok
 
 
 def _load_campaign_spec(path):
@@ -586,15 +640,23 @@ def _cmd_campaign_run(args) -> int:
     label = spec.name + (f": {spec.description}" if spec.description else "")
     print(f"campaign {label}")
     print(f"  {len(plan)} unique points across {len(spec.groups)} group(s)")
-    result = run_campaign(
-        spec,
-        root=args.root,
-        jobs=args.jobs,
-        timeout=args.timeout,
-        retries=args.retries,
-        store=args.store,
-        cache_dir=args.cache_dir,
-    )
+
+    def _run():
+        return run_campaign(
+            spec,
+            root=args.root,
+            jobs=args.jobs,
+            timeout=args.timeout,
+            retries=args.retries,
+            store=args.store,
+            cache_dir=args.cache_dir,
+        )
+
+    if args.dash:
+        result = _run_with_dashboard(_run, title=f"campaign {spec.name}",
+                                     interval=args.interval)
+    else:
+        result = _run()
     print("  " + engine_summary_line(result.results, result.stats))
     bad = [r for r in result.results if not r.ok]
     for failure in bad[:10]:
@@ -618,6 +680,43 @@ def _cmd_campaign_run(args) -> int:
         print(f"  roofline report written to {args.report}")
     print(f"  store: {result.store_path}  cache: {result.cache_dir}")
     return 1 if bad else 0
+
+
+def _run_with_dashboard(work, *, title: str, interval: float):
+    """Run ``work()`` in a thread with a live terminal dashboard.
+
+    The dashboard polls the process-global telemetry registry — the
+    campaign's engine runs in this process, so its metrics land there
+    — and stops one frame after the worker finishes.
+    """
+    import threading
+
+    from repro.obs import telemetry
+    from repro.obs.dash import run_dashboard
+
+    box: Dict[str, object] = {}
+
+    def _work():
+        try:
+            box["result"] = work()
+        except BaseException as exc:  # noqa: BLE001 - re-raised in caller
+            box["error"] = exc
+
+    thread = threading.Thread(target=_work, daemon=True)
+    thread.start()
+    try:
+        run_dashboard(
+            telemetry.get_registry().collect,
+            interval=interval,
+            title=title,
+            stop=lambda: not thread.is_alive(),
+        )
+    except KeyboardInterrupt:
+        pass
+    thread.join()
+    if "error" in box:
+        raise box["error"]
+    return box["result"]
 
 
 def _cmd_campaign_status(args) -> int:
@@ -757,6 +856,18 @@ def _cmd_campaign_report(args) -> int:
             json_module.dump(doc, fh, sort_keys=True, indent=2)
             fh.write("\n")
         print(f"\nreport written to {args.out}")
+    if args.plot:
+        from repro.campaign import render_roofline_svg, validate_roofline_svg
+
+        svg = render_roofline_svg(doc)
+        summary = validate_roofline_svg(svg)
+        with open(args.plot, "w", encoding="utf-8") as fh:
+            fh.write(svg)
+        print(
+            f"roofline plot written to {args.plot} "
+            f"({summary['points']} point(s), {summary['roofs']} roof "
+            "line(s))"
+        )
     return 0
 
 
@@ -1045,6 +1156,31 @@ def _cmd_watch(args) -> int:
     from repro.serve import ServeClient, ServeError
 
     client = ServeClient(args.host, args.port, client_id=args.client_id)
+    if args.dash:
+        from repro.obs.dash import run_dashboard
+        from repro.obs.expo import parse_exposition
+
+        failures = {"n": 0}
+
+        def _poll():
+            try:
+                families = parse_exposition(client.metrics())
+            except Exception:
+                failures["n"] += 1
+                raise
+            failures["n"] = 0
+            return families
+
+        try:
+            run_dashboard(
+                _poll,
+                interval=args.interval,
+                title=f"repro serve {args.host}:{args.port}",
+                stop=lambda: failures["n"] >= 3,
+            )
+        except KeyboardInterrupt:
+            pass
+        return 0
     try:
         for event in client.watch(count=args.count, timeout=args.timeout):
             if args.json:
@@ -1075,6 +1211,91 @@ def _cmd_watch(args) -> int:
         raise SystemExit(f"watch failed ({exc.status}): {exc}") from None
     except KeyboardInterrupt:
         pass
+    return 0
+
+
+def _cmd_telemetry(args) -> int:
+    import json as json_module
+
+    from repro.obs.expo import (
+        ExpositionError,
+        histogram_quantile,
+        parse_exposition,
+    )
+
+    if args.file:
+        try:
+            with open(args.file, encoding="utf-8") as fh:
+                text = fh.read()
+        except OSError as exc:
+            raise SystemExit(f"cannot read {args.file}: {exc}") from None
+        source = args.file
+    else:
+        from repro.serve import ServeClient, ServeError
+
+        client = ServeClient(args.host, args.port, client_id=args.client_id)
+        try:
+            text = client.metrics()
+        except (ServeError, OSError) as exc:
+            raise SystemExit(
+                f"scrape of {args.host}:{args.port} failed: {exc}"
+            ) from None
+        source = f"{args.host}:{args.port}"
+    try:
+        families = parse_exposition(text)
+    except ExpositionError as exc:
+        raise SystemExit(
+            f"{source}: invalid exposition: {exc}"
+        ) from None
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"scrape written to {args.out}")
+    if args.json:
+        print(json_module.dumps(families, sort_keys=True, indent=2))
+    else:
+        print(f"# {source}: {len(families)} metric families")
+        for name in sorted(families):
+            family = families[name]
+            print(f"{name} ({family['type']})")
+            for series in family["series"]:
+                labels = ",".join(
+                    f"{k}={v}" for k, v in sorted(series["labels"].items())
+                )
+                key = f"{{{labels}}}" if labels else "(total)"
+                if family["type"] == "histogram":
+                    count = series["count"]
+                    if count:
+                        stats = {
+                            "buckets": series["buckets"],
+                            "sum": series["sum"],
+                            "count": count,
+                        }
+                        print(
+                            f"  {key}  count={count:g} "
+                            f"mean={series['sum'] / count:.6g} "
+                            f"p50<={histogram_quantile(stats, 0.5):g} "
+                            f"p99<={histogram_quantile(stats, 0.99):g}"
+                        )
+                    else:
+                        print(f"  {key}  count=0")
+                else:
+                    print(f"  {key}  {series['value']:g}")
+    if args.slo:
+        from repro.obs.slo import SLOSpecError, evaluate_slos, load_slo_spec
+
+        try:
+            spec = load_slo_spec(args.slo)
+        except OSError as exc:
+            raise SystemExit(
+                f"cannot read SLO spec {args.slo}: {exc}"
+            ) from None
+        except SLOSpecError as exc:
+            raise SystemExit(f"bad SLO spec {args.slo}: {exc}") from None
+        report = evaluate_slos(spec, families)
+        print()
+        print(report.table())
+        return 0 if report.ok else 1
     return 0
 
 
@@ -1161,6 +1382,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_suite = sub.add_parser("suite", help="run the whole suite")
     _add_machine_args(p_suite)
     _add_engine_args(p_suite)
+    p_suite.add_argument(
+        "--telemetry-out", metavar="PATH",
+        help="after the run, write this process's telemetry registry "
+        "as Prometheus text exposition",
+    )
     p_suite.set_defaults(fn=_cmd_suite)
 
     p_tables = sub.add_parser("tables", help="regenerate the paper's tables")
@@ -1290,6 +1516,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--report", metavar="PATH",
         help="also write the roofline report JSON here",
     )
+    p_crun.add_argument(
+        "--dash", action="store_true",
+        help="live terminal dashboard while the campaign runs (full "
+        "repaint on a TTY, one line per tick otherwise)",
+    )
+    p_crun.add_argument(
+        "--interval", type=float, default=1.0, metavar="SEC",
+        help="dashboard refresh interval (default: 1.0)",
+    )
     _add_campaign_paths(p_crun)
     p_crun.set_defaults(fn=_cmd_campaign_run)
 
@@ -1317,6 +1552,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_creport.add_argument(
         "--out", metavar="PATH", help="write the report document as JSON"
+    )
+    p_creport.add_argument(
+        "--plot", metavar="SVG",
+        help="render the roofline as a dependency-free SVG plot "
+        "(validated before writing)",
     )
     p_creport.add_argument(
         "--no-strict", action="store_true",
@@ -1412,9 +1652,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="run reference: id prefix, 'latest' (default) or @N",
     )
     p_check.add_argument(
-        "--baseline", required=True, metavar="RUN|FILE",
+        "--baseline", metavar="RUN|FILE",
         help="baseline: a run reference in the store, or a JSON file "
-        "(a --bench-out trajectory point or stats sidecar)",
+        "(a --bench-out trajectory point or stats sidecar); optional "
+        "when --slo is given",
+    )
+    p_check.add_argument(
+        "--slo", metavar="FILE",
+        help="also evaluate this SLO spec (JSON) against a saved "
+        "/metrics scrape; failing objectives fail the check",
+    )
+    p_check.add_argument(
+        "--scrape", metavar="FILE",
+        help="Prometheus text exposition the --slo objectives read "
+        "(e.g. saved via `repro telemetry --out`)",
     )
     p_check.add_argument(
         "--tolerance", type=float, default=5.0, metavar="PCT",
@@ -1637,8 +1888,43 @@ def build_parser() -> argparse.ArgumentParser:
     p_watch.add_argument(
         "--json", action="store_true", help="print raw event JSON lines"
     )
+    p_watch.add_argument(
+        "--dash", action="store_true",
+        help="poll /metrics and render a live terminal dashboard "
+        "instead of tailing the event stream",
+    )
+    p_watch.add_argument(
+        "--interval", type=float, default=1.0, metavar="SEC",
+        help="dashboard refresh interval (default: 1.0)",
+    )
     _add_client_args(p_watch)
     p_watch.set_defaults(fn=_cmd_watch)
+
+    p_telemetry = sub.add_parser(
+        "telemetry",
+        help="scrape and summarize a /metrics exposition (live server "
+        "or saved file), optionally gating SLOs",
+    )
+    p_telemetry.add_argument(
+        "--file", metavar="PATH",
+        help="read a saved exposition instead of scraping a server",
+    )
+    p_telemetry.add_argument(
+        "--out", metavar="PATH",
+        help="also save the raw scrape here (feed to `engine check "
+        "--slo --scrape`)",
+    )
+    p_telemetry.add_argument(
+        "--json", action="store_true",
+        help="emit the parsed families as JSON instead of a summary",
+    )
+    p_telemetry.add_argument(
+        "--slo", metavar="FILE",
+        help="evaluate this SLO spec against the scrape; exits "
+        "non-zero when an objective fails",
+    )
+    _add_client_args(p_telemetry)
+    p_telemetry.set_defaults(fn=_cmd_telemetry)
     return parser
 
 

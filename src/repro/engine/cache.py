@@ -55,6 +55,9 @@ class ResultCache:
     ) -> None:
         self.root = Path(root)
         self.fingerprint = fingerprint or code_fingerprint()
+        #: what the most recent :meth:`prune` removed — telemetry
+        #: call sites read this to count evicted files and bytes
+        self.last_prune: Dict[str, int] = {"files": 0, "bytes": 0}
 
     def _entry_path(self, request: RunRequest) -> Path:
         return self.root / self.fingerprint[:16] / f"{request.content_hash()}.json"
@@ -164,14 +167,25 @@ class ResultCache:
         import shutil
 
         removed = 0
+        removed_bytes = 0
         if self.root.is_dir():
             current = self._bucket.name
             for child in self.root.iterdir():
                 if child.is_dir() and child.name != current:
-                    removed += sum(1 for p in child.rglob("*") if p.is_file())
+                    for p in child.rglob("*"):
+                        if p.is_file():
+                            removed += 1
+                            try:
+                                removed_bytes += p.stat().st_size
+                            except OSError:  # pragma: no cover - raced
+                                pass
                     shutil.rmtree(child)
         if self._bucket.is_dir():
             for path in self._bucket.glob("*.tmp.*"):
+                try:
+                    removed_bytes += path.stat().st_size
+                except OSError:  # pragma: no cover - entry raced away
+                    pass
                 path.unlink()
                 removed += 1
         if max_bytes is not None and self._bucket.is_dir():
@@ -193,4 +207,6 @@ class ResultCache:
                     continue
                 total -= size
                 removed += 1
+                removed_bytes += size
+        self.last_prune = {"files": removed, "bytes": removed_bytes}
         return removed

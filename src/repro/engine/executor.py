@@ -63,9 +63,66 @@ from repro.engine.store import make_record, new_run_id, open_store
 from repro.engine.trace import Tracer
 from repro.metrics.report import PerfReport
 from repro.metrics.serialize import report_from_dict, report_to_dict
+from repro.obs import telemetry
 
 #: Final job statuses.
 STATUSES = ("ok", "failed", "timeout", "cached")
+
+_METRICS: Optional[Dict] = None
+
+
+def _metrics() -> Dict:
+    """Engine metrics on the process-global registry, declared once.
+
+    CLI engine runs share one process (and one registry), unlike serve
+    apps which each own theirs; lazy declaration keeps module import
+    free of registry work.
+    """
+    global _METRICS
+    if _METRICS is None:
+        registry = telemetry.get_registry()
+        _METRICS = {
+            "jobs": registry.counter(
+                "repro_engine_jobs_total",
+                "Engine jobs finished, by final status.",
+                ["status"],
+            ),
+            "dispatch": registry.histogram(
+                "repro_engine_dispatch_latency_seconds",
+                "Queue wait (wall minus compute) per executed job, seconds.",
+            ),
+            "batch": registry.histogram(
+                "repro_engine_batch_members",
+                "Members per worker dispatch (1 = solo submission).",
+                buckets=telemetry.SIZE_BUCKETS,
+            ),
+            "retries": registry.counter(
+                "repro_engine_retries_total",
+                "Job attempts re-dispatched after a failure or timeout.",
+            ),
+            "timeouts": registry.counter(
+                "repro_engine_timeouts_total",
+                "Job attempts abandoned at the per-attempt deadline.",
+            ),
+            "restarts": registry.counter(
+                "repro_engine_pool_restarts_total",
+                "Worker-pool restarts forced by uncancellable jobs.",
+            ),
+            "cache": registry.counter(
+                "repro_cache_requests_total",
+                "Result-cache lookups by outcome.",
+                ["result"],
+            ),
+            "evicted_files": registry.counter(
+                "repro_cache_evicted_files_total",
+                "Files evicted from the result cache by pruning.",
+            ),
+            "evicted_bytes": registry.counter(
+                "repro_cache_evicted_bytes_total",
+                "Bytes evicted from the result cache by pruning.",
+            ),
+        }
+    return _METRICS
 
 #: Batch dispatch kill switch (``REPRO_ENGINE_BATCH=0`` disables it
 #: everywhere without touching call sites); read once at import.
@@ -213,6 +270,9 @@ class Engine:
                 config.cache_prune or config.cache_max_bytes is not None
             ):
                 pruned = cache.prune(max_bytes=config.cache_max_bytes)
+                if telemetry.enabled():
+                    _metrics()["evicted_files"].inc(cache.last_prune["files"])
+                    _metrics()["evicted_bytes"].inc(cache.last_prune["bytes"])
             self.tracer.emit(
                 "run_started", detail=run_id, jobs=config.jobs, n=len(requests)
             )
@@ -243,6 +303,12 @@ class Engine:
                 else:
                     pending.append(index)
             lookup_done = time.perf_counter()
+            if cache is not None and telemetry.enabled():
+                hits = len(requests) - len(pending)
+                if hits:
+                    _metrics()["cache"].labels(result="hit").inc(hits)
+                if pending:
+                    _metrics()["cache"].labels(result="miss").inc(len(pending))
 
             use_pool = bool(pending) and (
                 (config.jobs > 1 or self.pool is not None)
@@ -319,6 +385,10 @@ class Engine:
         that completed before the kill (the store's append-only
         durability contract).
         """
+        if telemetry.enabled():
+            _metrics()["jobs"].labels(status=result.status).inc()
+            if result.status != "cached":
+                _metrics()["dispatch"].observe(result.queue_wait_s)
         self.tracer.emit(
             "job_finished",
             request,
@@ -433,6 +503,8 @@ class Engine:
                         self.tracer.emit(
                             "job_retried", request, attempt=attempt, detail=error
                         )
+                        if telemetry.enabled():
+                            _metrics()["retries"].inc()
                         time.sleep(self._backoff_delay(attempt))
                         ready_at = time.perf_counter()
                         continue
@@ -516,7 +588,12 @@ class Engine:
         config = self.config
         owned = self.pool is None
         try:
-            pool = self.pool or WorkerPool(config.jobs)
+            pool = self.pool or WorkerPool(
+                config.jobs,
+                telemetry=(
+                    telemetry.get_registry() if telemetry.enabled() else None
+                ),
+            )
         except Exception:  # pragma: no cover - restricted platforms
             self._run_serial(requests, indices, results, cache, None)
             return 1
@@ -539,6 +616,8 @@ class Engine:
         def submit_solo(index: int, attempt: int) -> None:
             request = requests[index]
             self.tracer.emit("job_started", request, attempt=attempt)
+            if telemetry.enabled():
+                _metrics()["batch"].observe(1)
             future = pool.submit(
                 request, attempt=attempt, spans=config.collect_spans
             )
@@ -564,6 +643,8 @@ class Engine:
                     "job_started", requests[index], attempt=attempt, batched=True
                 )
             self.tracer.emit("batch_submitted", n=len(members))
+            if telemetry.enabled():
+                _metrics()["batch"].observe(len(members))
             future = pool.submit_batch(
                 [(requests[index], attempt) for index, attempt in members],
                 spans=config.collect_spans,
@@ -585,6 +666,8 @@ class Engine:
                 self.tracer.emit(
                     "job_retried", request, attempt=attempt, detail=error
                 )
+                if telemetry.enabled():
+                    _metrics()["retries"].inc()
                 queue.append(
                     (
                         index,
@@ -750,6 +833,8 @@ class Engine:
                     if kind == "solo":
                         index, attempt = info
                         compute[index] += now - started
+                        if telemetry.enabled():
+                            _metrics()["timeouts"].inc()
                         fail_or_retry(
                             index,
                             attempt,
@@ -770,6 +855,8 @@ class Engine:
                     survivors = list(inflight.values())
                     inflight.clear()
                     pool.restart()
+                    if telemetry.enabled():
+                        _metrics()["restarts"].inc()
                     for meta in survivors:
                         requeue_solo(meta)
         finally:

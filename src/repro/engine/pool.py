@@ -127,6 +127,16 @@ def _worker_run(payload: Dict) -> Dict:
     }
     if collector is not None:
         result["spans"] = collector.finalize().summary()
+    if payload.get("telemetry"):
+        # ship this worker's wall-clock metrics home with the result:
+        # drain (snapshot + reset) the charge-buffer namespace of the
+        # worker-process registry so the parent can merge it — counts
+        # ride the existing payload protocol, no extra IPC
+        from repro.obs import telemetry as _telemetry
+
+        shipped = _telemetry.get_registry().drain(prefix="repro_charge_")
+        if shipped:
+            result["telemetry"] = shipped
     return result
 
 
@@ -194,10 +204,14 @@ class WorkerPool:
     object itself stays valid across restarts.
     """
 
-    def __init__(self, workers: int = 1) -> None:
+    def __init__(self, workers: int = 1, *, telemetry=None) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.workers = workers
+        #: optional :class:`repro.obs.telemetry.MetricsRegistry`; when
+        #: set, workers drain their process-local metrics into each
+        #: result payload and done-callbacks merge them here
+        self.telemetry = telemetry
         self.process_based = _pool_supported()
         self._lock = threading.Lock()
         self._executor = None
@@ -324,6 +338,7 @@ class WorkerPool:
             "request": request.to_dict(),
             "attempt": attempt,
             "spans": spans,
+            "telemetry": self.telemetry is not None,
         }
         future = executor.submit(_worker_run, payload)
         benchmark = request.benchmark
@@ -332,9 +347,13 @@ class WorkerPool:
             try:
                 if fut.cancelled() or fut.exception() is not None:
                     return
-                seconds = fut.result().get("compute_time_s")
+                result = fut.result()
+                seconds = result.get("compute_time_s")
                 if seconds is not None:
                     self.note_compute(benchmark, seconds)
+                shipped = result.get("telemetry")
+                if shipped and self.telemetry is not None:
+                    self.telemetry.merge(shipped)
             except Exception:  # pragma: no cover - callback must not raise
                 pass
 
@@ -357,7 +376,12 @@ class WorkerPool:
         """
         payload = {
             "members": [
-                {"request": request.to_dict(), "attempt": attempt, "spans": spans}
+                {
+                    "request": request.to_dict(),
+                    "attempt": attempt,
+                    "spans": spans,
+                    "telemetry": self.telemetry is not None,
+                }
                 for request, attempt in items
             ]
         }
@@ -369,8 +393,13 @@ class WorkerPool:
                 if fut.cancelled() or fut.exception() is not None:
                     return
                 for name, member in zip(benchmarks, fut.result()["members"]):
-                    if member.get("ok") and member.get("compute_time_s") is not None:
+                    if not member.get("ok"):
+                        continue
+                    if member.get("compute_time_s") is not None:
                         self.note_compute(name, member["compute_time_s"])
+                    shipped = member.get("telemetry")
+                    if shipped and self.telemetry is not None:
+                        self.telemetry.merge(shipped)
             except Exception:  # pragma: no cover - callback must not raise
                 pass
 

@@ -191,6 +191,21 @@ class RunStats:
                 f"{name}={value:.3f}" for name, value in self.phases.items()
             )
             lines.append(f"  phases      {breakdown}")
+        executed = [job for job in self.jobs if job.status != "cached"]
+        if executed:
+            lines.append("")
+            lines.extend(
+                latency_histogram_lines(
+                    "queue-wait histogram",
+                    [job.queue_wait_s for job in executed],
+                )
+            )
+            lines.extend(
+                latency_histogram_lines(
+                    "compute histogram",
+                    [job.compute_time_s for job in executed],
+                )
+            )
         if self.jobs:
             rows = [
                 [
@@ -249,6 +264,39 @@ class RunStats:
                 )
             )
         return "\n".join(lines)
+
+
+def latency_histogram_lines(
+    title: str, values: List[float], *, width: int = 24
+) -> List[str]:
+    """Render seconds samples into the telemetry latency buckets.
+
+    Shares :data:`repro.obs.telemetry.LATENCY_BUCKETS_S` with the
+    ``/metrics`` exposition, so ``engine stats`` sections and Prometheus
+    scrapes bucket identically — and old runs' sidecars (which store
+    per-job seconds, not buckets) benefit from the new formatting.
+    Empty buckets are skipped; bars scale to the fullest bucket.
+    """
+    from bisect import bisect_left
+
+    from repro.obs.telemetry import LATENCY_BUCKETS_S
+
+    counts = [0] * (len(LATENCY_BUCKETS_S) + 1)
+    for value in values:
+        counts[bisect_left(LATENCY_BUCKETS_S, value)] += 1
+    top = max(counts)
+    lines = [f"  {title} ({len(values)} jobs)"]
+    if top == 0:
+        return lines
+    labels = [f"<={boundary:g}s" for boundary in LATENCY_BUCKETS_S]
+    labels.append(f">{LATENCY_BUCKETS_S[-1]:g}s")
+    label_width = max(len(label) for label in labels)
+    for label, count in zip(labels, counts):
+        if not count:
+            continue
+        bar = "#" * max(1, round(count / top * width))
+        lines.append(f"    {label:<{label_width}}  {bar} {count}")
+    return lines
 
 
 def _aggregate(

@@ -78,6 +78,15 @@ class ChargeBuffer:
             self.flop_ops or self.raw_flops or self.compute_log or self.comm_log
         )
 
+    def entries(self) -> int:
+        """Number of pending buffered entries (telemetry flush sizing)."""
+        return (
+            len(self.flop_ops)
+            + (1 if self.raw_flops else 0)
+            + len(self.compute_log)
+            + len(self.comm_log)
+        )
+
     # -- enqueue --------------------------------------------------------
     def add_flops(self, kind: FlopKind, count: int, complex_valued: bool) -> None:
         key = (kind, complex_valued)

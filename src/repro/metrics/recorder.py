@@ -54,6 +54,41 @@ _BUFFER_ENABLED = os.environ.get("REPRO_CHARGE_BUFFER", "1").lower() not in (
     "no",
 )
 
+_CHARGE_METRICS: Optional[Dict] = None
+
+
+def _charge_metrics() -> Dict:
+    """Charge-buffer telemetry on the process-global registry.
+
+    Deferred import: :mod:`repro.obs` pulls in :mod:`repro.metrics`
+    modules, so a top-level import here would cycle.  Resolved once and
+    cached; these counters record wall-clock bookkeeping only and never
+    touch any simulated metric.
+    """
+    global _CHARGE_METRICS
+    if _CHARGE_METRICS is None:
+        from repro.obs import telemetry
+
+        registry = telemetry.get_registry()
+        _CHARGE_METRICS = {
+            "enabled": telemetry.enabled,
+            "flushes": registry.counter(
+                "repro_charge_flushes_total",
+                "Non-empty charge-buffer flushes.",
+            ),
+            "entries": registry.histogram(
+                "repro_charge_flush_entries",
+                "Buffered entries drained per non-empty flush.",
+                buckets=telemetry.SIZE_BUCKETS,
+            ),
+            "disengaged": registry.counter(
+                "repro_charge_disengaged_total",
+                "Region transitions where buffering could not engage.",
+                ["reason"],
+            ),
+        }
+    return _CHARGE_METRICS
+
 
 @dataclass(frozen=True)
 class CommEvent:
@@ -384,11 +419,27 @@ class MetricsRecorder:
             self._buf = self._buffer
         else:
             self._buf = None
+            # inside a region, eager charging is a *disengage* worth
+            # counting (root-level eager is just normal operation)
+            if len(self._stack) > 1:
+                metrics = _charge_metrics()
+                if metrics["enabled"]():
+                    if not self.buffer_charges:
+                        reason = "disabled"
+                    elif self.observer is not None:
+                        reason = "observer"
+                    else:
+                        reason = "trace"
+                    metrics["disengaged"].labels(reason=reason).inc()
 
     def flush_charges(self) -> None:
         """Drain pending buffered charges into the current region."""
         buf = self._buf
         if buf is not None and buf:
+            metrics = _charge_metrics()
+            if metrics["enabled"]():
+                metrics["flushes"].inc()
+                metrics["entries"].observe(buf.entries())
             buf.flush_into(self._stack[-1])
 
     @property

@@ -11,10 +11,19 @@ The observability spine of the reproduction (see docs/OBSERVABILITY.md):
   (Perfetto-loadable), from live collectors or stored reports;
 * :mod:`repro.obs.profile` — text profile reports and folded-stack
   flamegraphs;
-* :mod:`repro.obs.stream` — JSONL live event stream for engine runs.
+* :mod:`repro.obs.stream` — JSONL live event stream for engine runs;
+* :mod:`repro.obs.telemetry` — wall-clock metrics registry (counters,
+  gauges, histograms) for the host runtime around the simulation, with
+  :mod:`repro.obs.expo` (Prometheus text exposition: renderer + strict
+  parser), :mod:`repro.obs.slo` (declarative objectives evaluated from
+  a scrape) and :mod:`repro.obs.dash` (live terminal dashboard).  See
+  docs/TELEMETRY.md.
 
 Attaching a collector never changes any reported metric; with no
-collector attached, the hooks cost one ``is not None`` check.
+collector attached, the hooks cost one ``is not None`` check.  The
+telemetry registry observes wall-clock behaviour only and is likewise
+benchmark-metrics-invisible: canonical report JSON is byte-identical
+with telemetry enabled or disabled.
 """
 
 from repro.obs.chrome import (
@@ -46,8 +55,16 @@ from repro.obs.stream import (
     read_stream_partial,
     validate_stream,
 )
+from repro.obs.telemetry import (
+    LATENCY_BUCKETS_S,
+    MetricsRegistry,
+    get_registry,
+)
 
 __all__ = [
+    "LATENCY_BUCKETS_S",
+    "MetricsRegistry",
+    "get_registry",
     "SPAN_SUMMARY_SCHEMA",
     "STREAM_EVENT_KINDS",
     "EventFanout",

@@ -1,0 +1,258 @@
+"""Live ANSI terminal dashboard over telemetry snapshots.
+
+:class:`DashboardModel` is the pure part: feed it a families snapshot
+(live registry or parsed scrape) per tick and it maintains derived
+state — throughput from ``jobs_total`` deltas over a ring buffer,
+cache-hit and dedupe rates, queue depth, latency quantiles — and
+renders a fixed-key text frame.  :func:`run_dashboard` is the thin
+impure loop around it: poll, render, repaint (full-screen ANSI repaint
+on a TTY, one compact line per tick otherwise so piped output stays
+greppable).
+
+Frame keys (stable, documented in docs/TELEMETRY.md): ``jobs``,
+``throughput``, ``queue``, ``workers``, ``cache``, ``dedupe``,
+``latency``, ``drops``.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from collections import deque
+from typing import Callable, Deque, List, Mapping, Optional, Tuple
+
+from repro.obs.expo import (
+    histogram_quantile,
+    histogram_stats,
+    series_value,
+)
+
+_SPARK_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+#: (jobs-metric, latency-metric, queue-gauge) per source layer; the
+#: model autodetects which layer a snapshot comes from.
+_LAYERS = (
+    (
+        "repro_serve_jobs_total",
+        "repro_serve_request_latency_seconds",
+        "repro_serve_queue_depth",
+    ),
+    (
+        "repro_engine_jobs_total",
+        "repro_engine_dispatch_latency_seconds",
+        "repro_engine_queue_depth",
+    ),
+)
+
+
+def sparkline(values: List[float], width: int = 24) -> str:
+    """Render a list of samples as unicode block characters."""
+    if not values:
+        return ""
+    tail = values[-width:]
+    top = max(tail)
+    if top <= 0:
+        return "▁" * len(tail)
+    scale = len(_SPARK_BLOCKS) - 2
+    return "".join(
+        _SPARK_BLOCKS[1 + int(round(value / top * scale))] for value in tail
+    )
+
+
+class DashboardModel:
+    """Derives dashboard rows from a stream of families snapshots."""
+
+    def __init__(self, window: int = 60) -> None:
+        self._samples: Deque[Tuple[float, float]] = deque(maxlen=window)
+        self._rates: List[float] = []
+        self._queue_depths: List[float] = []
+        self._last_families: Mapping = {}
+
+    def update(self, families: Mapping, now: float) -> None:
+        """Ingest one snapshot taken at wall-clock ``now``."""
+        self._last_families = families
+        jobs_metric, _, queue_metric = self._layer(families)
+        total_jobs = series_value(families, jobs_metric)
+        self._samples.append((now, total_jobs))
+        if len(self._samples) >= 2:
+            (t0, j0), (t1, j1) = self._samples[-2], self._samples[-1]
+            elapsed = t1 - t0
+            self._rates.append((j1 - j0) / elapsed if elapsed > 0 else 0.0)
+            self._rates = self._rates[-240:]
+        self._queue_depths.append(series_value(families, queue_metric))
+        self._queue_depths = self._queue_depths[-240:]
+
+    def _layer(self, families: Mapping) -> Tuple[str, str, str]:
+        for layer in _LAYERS:
+            if layer[0] in families:
+                return layer
+        return _LAYERS[0]
+
+    @property
+    def throughput(self) -> float:
+        """Jobs/s over the sample window (0 until two samples exist)."""
+        if len(self._samples) < 2:
+            return 0.0
+        (t0, j0), (t1, j1) = self._samples[0], self._samples[-1]
+        elapsed = t1 - t0
+        return (j1 - j0) / elapsed if elapsed > 0 else 0.0
+
+    def rows(self) -> List[Tuple[str, str]]:
+        """The (key, rendered value) rows of the current frame."""
+        families = self._last_families
+        jobs_metric, latency_metric, queue_metric = self._layer(families)
+        rows: List[Tuple[str, str]] = []
+
+        total_jobs = series_value(families, jobs_metric)
+        status_bits = []
+        family = families.get(jobs_metric)
+        if family is not None:
+            for series in family["series"]:
+                status = series["labels"].get("status", "")
+                if status and series["value"]:
+                    status_bits.append(f"{status}={int(series['value'])}")
+        jobs_text = f"{int(total_jobs)}"
+        if status_bits:
+            jobs_text += "  (" + " ".join(sorted(status_bits)) + ")"
+        rows.append(("jobs", jobs_text))
+        rows.append(
+            ("throughput",
+             f"{self.throughput:8.2f} jobs/s  {sparkline(self._rates)}")
+        )
+        queue_depth = series_value(families, queue_metric)
+        rows.append(
+            ("queue",
+             f"{int(queue_depth):8d} active  {sparkline(self._queue_depths)}")
+        )
+
+        workers = series_value(families, "repro_serve_subscribers", default=-1)
+        restarts = series_value(
+            families, "repro_serve_pool_restarts_total", default=0.0
+        ) + series_value(
+            families, "repro_engine_pool_restarts_total", default=0.0
+        )
+        rows.append(
+            ("workers",
+             f"restarts={int(restarts)}"
+             + (f"  subscribers={int(workers)}" if workers >= 0 else ""))
+        )
+
+        hits = series_value(
+            families, "repro_cache_requests_total", {"result": "hit"}
+        )
+        misses = series_value(
+            families, "repro_cache_requests_total", {"result": "miss"}
+        )
+        lookups = hits + misses
+        rate = (hits / lookups * 100.0) if lookups else 0.0
+        rows.append(
+            ("cache",
+             f"{rate:6.1f}% hit  ({int(hits)}/{int(lookups)} lookups)")
+        )
+
+        submitted = series_value(
+            families, "repro_serve_submissions_total", {"outcome": "submitted"}
+        )
+        deduped = series_value(
+            families, "repro_serve_submissions_total", {"outcome": "coalesced"}
+        ) + series_value(
+            families,
+            "repro_serve_submissions_total",
+            {"outcome": "served_cached"},
+        )
+        dedupe = (deduped / submitted * 100.0) if submitted else 0.0
+        rows.append(
+            ("dedupe",
+             f"{dedupe:6.1f}%  ({int(deduped)}/{int(submitted)} submissions)")
+        )
+
+        stats = histogram_stats(families, latency_metric)
+        if stats is not None and stats["count"]:
+            p50 = histogram_quantile(stats, 0.50)
+            p99 = histogram_quantile(stats, 0.99)
+            rows.append(
+                ("latency",
+                 f"p50<={_fmt_seconds(p50)}  p99<={_fmt_seconds(p99)}  "
+                 f"n={int(stats['count'])}")
+            )
+        else:
+            rows.append(("latency", "no observations"))
+
+        drops = series_value(
+            families, "repro_serve_events_dropped_total", default=0.0
+        )
+        rows.append(("drops", f"{int(drops)} events dropped"))
+        return rows
+
+    def render(self, title: str = "repro telemetry") -> str:
+        """A full text frame (pure; no ANSI escapes)."""
+        rows = self.rows()
+        width = max(len(key) for key, _ in rows)
+        lines = [title, "=" * len(title)]
+        lines.extend(f"{key:<{width}}  {value}" for key, value in rows)
+        return "\n".join(lines)
+
+    def render_line(self) -> str:
+        """One compact status line for non-TTY output."""
+        rows = dict(self.rows())
+        return (
+            f"jobs={rows['jobs'].split()[0]} "
+            f"rate={self.throughput:.2f}/s "
+            f"queue={rows['queue'].split()[0]} "
+            f"cache={rows['cache'].split('%')[0].strip()}% "
+            f"dedupe={rows['dedupe'].split('%')[0].strip()}%"
+        )
+
+
+def _fmt_seconds(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if value >= 1.0:
+        return f"{value:.3g}s"
+    return f"{value * 1000:.3g}ms"
+
+
+def run_dashboard(
+    poll: Callable[[], Mapping],
+    *,
+    interval: float = 1.0,
+    title: str = "repro telemetry",
+    stop: Optional[Callable[[], bool]] = None,
+    stream=None,
+    clock: Callable[[], float] = time.monotonic,
+    sleep: Callable[[float], None] = time.sleep,
+    max_frames: Optional[int] = None,
+) -> DashboardModel:
+    """Poll ``poll()`` for snapshots and repaint until ``stop()``.
+
+    On a TTY each frame clears the screen; otherwise one compact line
+    per tick is printed.  Returns the model (tests inspect it).
+    """
+    out = stream if stream is not None else sys.stdout
+    is_tty = bool(getattr(out, "isatty", lambda: False)())
+    model = DashboardModel()
+    frames = 0
+    while True:
+        try:
+            families = poll()
+        except Exception as exc:  # noqa: BLE001 - dashboard must not kill the run
+            out.write(f"telemetry poll failed: {exc}\n")
+            out.flush()
+            families = None
+        if families is not None:
+            model.update(families, clock())
+            if is_tty:
+                out.write("\x1b[2J\x1b[H" + model.render(title) + "\n")
+            else:
+                out.write(model.render_line() + "\n")
+            out.flush()
+        frames += 1
+        if stop is not None and stop():
+            break
+        if max_frames is not None and frames >= max_frames:
+            break
+        sleep(interval)
+    return model
+
+
+__all__ = ["DashboardModel", "run_dashboard", "sparkline"]

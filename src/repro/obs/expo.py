@@ -1,0 +1,418 @@
+"""Prometheus text exposition: renderer, strict parser, query helpers.
+
+:func:`render_exposition` turns a registry families snapshot
+(:meth:`repro.obs.telemetry.MetricsRegistry.collect`) into Prometheus
+text format 0.0.4; :func:`parse_exposition` inverts it *strictly* —
+every structural rule the renderer guarantees (HELP before TYPE before
+samples, valid names, escaped labels, cumulative non-decreasing
+histogram buckets ending at ``+Inf``, ``_count`` equal to the ``+Inf``
+bucket, no duplicate series) is enforced, so a scrape that parses is a
+scrape whose numbers can be trusted.  The parser returns the same
+families shape the registry produces, which is what lets the SLO
+evaluator and the dashboard consume live registries and saved scrapes
+interchangeably.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, List, Mapping, Optional, Tuple
+
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>\S+)$"
+)
+_LABEL_PAIR_RE = re.compile(
+    r'\s*(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"\s*(?P<sep>,|$)'
+)
+
+
+class ExpositionError(ValueError):
+    """A scrape violated the text exposition format."""
+
+
+# ---------------------------------------------------------------------------
+# rendering
+# ---------------------------------------------------------------------------
+
+def _format_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _label_block(labels: Mapping[str, str], extra: Optional[Tuple[str, str]] = None) -> str:
+    pairs = [(name, labels[name]) for name in labels]
+    if extra is not None:
+        pairs.append(extra)
+    if not pairs:
+        return ""
+    body = ",".join(
+        f'{name}="{_escape_label_value(str(value))}"' for name, value in pairs
+    )
+    return "{" + body + "}"
+
+
+def render_exposition(families: Mapping[str, Mapping]) -> str:
+    """Render a families snapshot as Prometheus text format 0.0.4."""
+    lines: List[str] = []
+    for name in sorted(families):
+        family = families[name]
+        kind = family["type"]
+        lines.append(f"# HELP {name} {_escape_help(family.get('help', ''))}")
+        lines.append(f"# TYPE {name} {kind}")
+        for series in family["series"]:
+            labels = series["labels"]
+            if kind == "histogram":
+                for le, cumulative in series["buckets"]:
+                    block = _label_block(labels, ("le", _format_value(le)))
+                    lines.append(
+                        f"{name}_bucket{block} {_format_value(cumulative)}"
+                    )
+                lines.append(
+                    f"{name}_sum{_label_block(labels)} "
+                    f"{_format_value(series['sum'])}"
+                )
+                lines.append(
+                    f"{name}_count{_label_block(labels)} "
+                    f"{_format_value(series['count'])}"
+                )
+            else:
+                lines.append(
+                    f"{name}{_label_block(labels)} "
+                    f"{_format_value(series['value'])}"
+                )
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# strict parsing
+# ---------------------------------------------------------------------------
+
+def _parse_value(token: str, where: str) -> float:
+    if token == "+Inf":
+        return float("inf")
+    if token == "-Inf":
+        return float("-inf")
+    if token == "NaN":
+        return float("nan")
+    try:
+        return float(token)
+    except ValueError:
+        raise ExpositionError(f"{where}: bad value {token!r}") from None
+
+
+def _parse_labels(raw: Optional[str], where: str) -> Dict[str, str]:
+    labels: Dict[str, str] = {}
+    if raw is None:
+        return labels
+    if raw.strip() == "":
+        raise ExpositionError(f"{where}: empty label block")
+    position = 0
+    while position < len(raw):
+        match = _LABEL_PAIR_RE.match(raw, position)
+        if not match:
+            raise ExpositionError(f"{where}: malformed labels {raw!r}")
+        name = match.group("name")
+        if name in labels:
+            raise ExpositionError(f"{where}: duplicate label {name!r}")
+        value = match.group("value")
+        value = (
+            value.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
+        )
+        labels[name] = value
+        position = match.end()
+        if match.group("sep") == "" and position < len(raw):
+            raise ExpositionError(f"{where}: malformed labels {raw!r}")
+    return labels
+
+
+def _base_name(sample_name: str, declared: str, kind: str, where: str) -> Tuple[str, str]:
+    """Map a sample name onto (declared family, histogram part)."""
+    if kind == "histogram":
+        for suffix in ("_bucket", "_sum", "_count"):
+            if sample_name == declared + suffix:
+                return declared, suffix
+        raise ExpositionError(
+            f"{where}: sample {sample_name!r} does not belong to "
+            f"histogram {declared!r}"
+        )
+    if sample_name != declared:
+        raise ExpositionError(
+            f"{where}: sample {sample_name!r} under metric {declared!r}"
+        )
+    return declared, ""
+
+
+def parse_exposition(text: str) -> Dict[str, Dict]:
+    """Parse text exposition strictly back into a families snapshot.
+
+    Raises :class:`ExpositionError` on any violation; on success the
+    return value has the same shape as
+    :meth:`~repro.obs.telemetry.MetricsRegistry.collect`.
+    """
+    families: Dict[str, Dict] = {}
+    current: Optional[str] = None          # declared metric name
+    have_type = False
+    # per-family accumulation: label-key -> series dict
+    collected: Dict[str, Dict[Tuple, Dict]] = {}
+
+    for line_number, line in enumerate(text.split("\n"), start=1):
+        where = f"line {line_number}"
+        if line == "":
+            continue
+        if line != line.strip() or "\t" in line:
+            raise ExpositionError(f"{where}: stray whitespace")
+        if line.startswith("# HELP "):
+            parts = line[len("# HELP "):].split(" ", 1)
+            name = parts[0]
+            if not _METRIC_NAME_RE.match(name):
+                raise ExpositionError(f"{where}: bad metric name {name!r}")
+            if name in families:
+                raise ExpositionError(f"{where}: duplicate HELP for {name!r}")
+            help_text = parts[1] if len(parts) > 1 else ""
+            help_text = (
+                help_text.replace("\\n", "\n").replace("\\\\", "\\")
+            )
+            families[name] = {
+                "type": None,
+                "help": help_text,
+                "label_names": [],
+                "series": [],
+            }
+            collected[name] = {}
+            current = name
+            have_type = False
+            continue
+        if line.startswith("# TYPE "):
+            parts = line[len("# TYPE "):].split(" ")
+            if len(parts) != 2:
+                raise ExpositionError(f"{where}: malformed TYPE")
+            name, kind = parts
+            if name != current:
+                raise ExpositionError(
+                    f"{where}: TYPE for {name!r} must follow its HELP"
+                )
+            if have_type:
+                raise ExpositionError(f"{where}: duplicate TYPE for {name!r}")
+            if kind not in ("counter", "gauge", "histogram"):
+                raise ExpositionError(f"{where}: bad type {kind!r}")
+            families[name]["type"] = kind
+            have_type = True
+            continue
+        if line.startswith("#"):
+            raise ExpositionError(f"{where}: unexpected comment {line!r}")
+
+        # sample line
+        if current is None or not have_type:
+            raise ExpositionError(f"{where}: sample before HELP/TYPE")
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            raise ExpositionError(f"{where}: malformed sample {line!r}")
+        kind = families[current]["type"]
+        _, part = _base_name(match.group("name"), current, kind, where)
+        labels = _parse_labels(match.group("labels"), where)
+        value = _parse_value(match.group("value"), where)
+
+        if kind == "histogram":
+            if part == "_bucket":
+                if "le" not in labels:
+                    raise ExpositionError(f"{where}: bucket without le")
+                le = _parse_value(labels.pop("le"), where)
+            else:
+                if "le" in labels:
+                    raise ExpositionError(f"{where}: le outside _bucket")
+                le = None
+        else:
+            if "le" in labels:
+                raise ExpositionError(f"{where}: reserved label le")
+            le = None
+        for label_name in labels:
+            if not _LABEL_NAME_RE.match(label_name):
+                raise ExpositionError(
+                    f"{where}: bad label name {label_name!r}"
+                )
+
+        key = tuple(sorted(labels.items()))
+        bucket_map = collected[current]
+        if kind == "histogram":
+            series = bucket_map.setdefault(
+                key, {"labels": labels, "buckets": [], "sum": None, "count": None}
+            )
+            if part == "_bucket":
+                series["buckets"].append([le, value])
+            elif part == "_sum":
+                if series["sum"] is not None:
+                    raise ExpositionError(f"{where}: duplicate _sum")
+                series["sum"] = value
+            else:
+                if series["count"] is not None:
+                    raise ExpositionError(f"{where}: duplicate _count")
+                series["count"] = value
+        else:
+            if key in bucket_map:
+                raise ExpositionError(
+                    f"{where}: duplicate series {current}{dict(key)!r}"
+                )
+            bucket_map[key] = {"labels": labels, "value": value}
+
+    # finalize: validate histograms, freeze label_names, order series
+    for name, family in families.items():
+        if family["type"] is None:
+            raise ExpositionError(f"metric {name!r} has HELP but no TYPE")
+        series_list = []
+        label_names: Optional[Tuple[str, ...]] = None
+        for key in sorted(collected[name]):
+            series = collected[name][key]
+            names = tuple(sorted(series["labels"]))
+            if label_names is None:
+                label_names = names
+            elif names != label_names:
+                raise ExpositionError(
+                    f"metric {name!r}: inconsistent label sets "
+                    f"{names!r} vs {label_names!r}"
+                )
+            if family["type"] == "histogram":
+                _validate_histogram_series(name, series)
+            series_list.append(series)
+        family["label_names"] = list(label_names or ())
+        family["series"] = series_list
+        if family["type"] == "histogram" and series_list:
+            family["buckets"] = [
+                le for le, _ in series_list[0]["buckets"]
+                if le != float("inf")
+            ]
+    return families
+
+
+def _validate_histogram_series(name: str, series: Dict) -> None:
+    buckets = series["buckets"]
+    if not buckets:
+        raise ExpositionError(f"histogram {name!r}: series without buckets")
+    les = [le for le, _ in buckets]
+    if les != sorted(les):
+        raise ExpositionError(f"histogram {name!r}: buckets out of order")
+    if len(set(les)) != len(les):
+        raise ExpositionError(f"histogram {name!r}: duplicate le")
+    if les[-1] != float("inf"):
+        raise ExpositionError(f"histogram {name!r}: missing +Inf bucket")
+    counts = [count for _, count in buckets]
+    if any(b > a for b, a in zip(counts, counts[1:])):
+        raise ExpositionError(
+            f"histogram {name!r}: bucket counts not cumulative"
+        )
+    if series["sum"] is None or series["count"] is None:
+        raise ExpositionError(f"histogram {name!r}: missing _sum or _count")
+    if series["count"] != counts[-1]:
+        raise ExpositionError(
+            f"histogram {name!r}: _count {series['count']} != "
+            f"+Inf bucket {counts[-1]}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# family queries (shared by slo.py, dash.py, the CLI)
+# ---------------------------------------------------------------------------
+
+def _matching_series(
+    families: Mapping[str, Mapping],
+    metric: str,
+    labels: Optional[Mapping[str, str]] = None,
+) -> List[Mapping]:
+    family = families.get(metric)
+    if family is None:
+        return []
+    wanted = {k: str(v) for k, v in (labels or {}).items()}
+    out = []
+    for series in family["series"]:
+        if all(series["labels"].get(k) == v for k, v in wanted.items()):
+            out.append(series)
+    return out
+
+
+def series_value(
+    families: Mapping[str, Mapping],
+    metric: str,
+    labels: Optional[Mapping[str, str]] = None,
+    default: float = 0.0,
+) -> float:
+    """Sum of matching counter/gauge series values (label subset match)."""
+    matches = _matching_series(families, metric, labels)
+    if not matches:
+        return default
+    return sum(series["value"] for series in matches)
+
+
+def histogram_stats(
+    families: Mapping[str, Mapping],
+    metric: str,
+    labels: Optional[Mapping[str, str]] = None,
+) -> Optional[Dict[str, float]]:
+    """Merged ``sum``/``count``/cumulative buckets of matching series."""
+    matches = _matching_series(families, metric, labels)
+    matches = [series for series in matches if "buckets" in series]
+    if not matches:
+        return None
+    les = [le for le, _ in matches[0]["buckets"]]
+    merged = [0.0] * len(les)
+    total_sum = 0.0
+    total_count = 0.0
+    for series in matches:
+        if [le for le, _ in series["buckets"]] != les:
+            raise ExpositionError(f"{metric}: mismatched bucket layouts")
+        for position, (_, cumulative) in enumerate(series["buckets"]):
+            merged[position] += cumulative
+        total_sum += series["sum"]
+        total_count += series["count"]
+    return {
+        "buckets": list(zip(les, merged)),
+        "sum": total_sum,
+        "count": total_count,
+    }
+
+
+def histogram_quantile(stats: Mapping, quantile: float) -> float:
+    """Upper-bound estimate of a quantile from cumulative buckets.
+
+    Returns the smallest bucket boundary whose cumulative count covers
+    the quantile rank (conservative: true value is <= the estimate).
+    """
+    if not 0.0 <= quantile <= 1.0:
+        raise ValueError(f"quantile {quantile} outside [0, 1]")
+    count = stats["count"]
+    if count == 0:
+        return 0.0
+    rank = quantile * count
+    for le, cumulative in stats["buckets"]:
+        if cumulative >= rank:
+            return le
+    return stats["buckets"][-1][0]
+
+
+__all__ = [
+    "CONTENT_TYPE",
+    "ExpositionError",
+    "histogram_quantile",
+    "histogram_stats",
+    "parse_exposition",
+    "render_exposition",
+    "series_value",
+]

@@ -1,0 +1,296 @@
+"""Declarative service-level objectives evaluated from a scrape.
+
+An SLO spec is a small JSON document gating on telemetry the same way
+``engine check`` gates on benchmark metric drift::
+
+    {
+      "schema": 1,
+      "name": "serve-ci",
+      "objectives": [
+        {"id": "submit-p99",
+         "metric": "repro_serve_request_latency_seconds",
+         "labels": {"endpoint": "/submit"},
+         "stat": "p99", "op": "<=", "threshold": 2.5},
+        {"id": "dedupe-floor",
+         "ratio": {
+           "num": {"metric": "repro_serve_submissions_total",
+                   "labels": {"outcome": "coalesced"}},
+           "den": {"metric": "repro_serve_submissions_total",
+                   "labels": {"outcome": "submitted"}}},
+         "op": ">=", "threshold": 0.2},
+        {"id": "no-restarts",
+         "metric": "repro_serve_pool_restarts_total",
+         "stat": "value", "op": "==", "threshold": 0}
+      ]
+    }
+
+Objectives select series by metric name plus a label *subset* (matching
+series are summed), reduce them with a ``stat`` — ``value`` (counters
+and gauges), ``sum`` / ``count`` / ``mean`` / ``p50`` / ``p90`` /
+``p99`` (histograms) — or a ``ratio`` of two selectors, and compare
+against ``threshold`` with ``op``.  Histogram quantiles are
+conservative upper bounds (the bucket boundary covering the rank).
+Evaluation consumes a families snapshot, so a live registry and a saved
+``/metrics`` scrape are interchangeable inputs.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional
+
+from repro.obs.expo import histogram_quantile, histogram_stats, series_value
+
+SLO_SCHEMA_VERSION = 1
+
+_OPS = {
+    "<=": lambda a, b: a <= b,
+    ">=": lambda a, b: a >= b,
+    "<": lambda a, b: a < b,
+    ">": lambda a, b: a > b,
+    "==": lambda a, b: a == b,
+}
+
+_HIST_STATS = ("sum", "count", "mean", "p50", "p90", "p99")
+_QUANTILES = {"p50": 0.50, "p90": 0.90, "p99": 0.99}
+
+
+class SLOSpecError(ValueError):
+    """The SLO spec file is malformed."""
+
+
+@dataclass
+class Objective:
+    id: str
+    op: str
+    threshold: float
+    description: str = ""
+    metric: Optional[str] = None
+    labels: Dict[str, str] = field(default_factory=dict)
+    stat: str = "value"
+    ratio: Optional[Dict[str, Dict]] = None
+
+
+@dataclass
+class ObjectiveResult:
+    objective: Objective
+    observed: Optional[float]
+    ok: bool
+    note: str = ""
+
+
+@dataclass
+class SLOReport:
+    name: str
+    results: List[ObjectiveResult]
+
+    @property
+    def ok(self) -> bool:
+        return all(result.ok for result in self.results)
+
+    def table(self) -> str:
+        lines = [f"SLO report: {self.name}"]
+        header = f"{'objective':<24} {'observed':>12} {'target':>16} verdict"
+        lines.append(header)
+        lines.append("-" * len(header))
+        for result in self.results:
+            objective = result.objective
+            observed = (
+                "absent" if result.observed is None
+                else _fmt(result.observed)
+            )
+            target = f"{objective.op} {_fmt(objective.threshold)}"
+            verdict = "ok" if result.ok else "FAIL"
+            if result.note:
+                verdict += f"  ({result.note})"
+            lines.append(
+                f"{objective.id:<24} {observed:>12} {target:>16} {verdict}"
+            )
+        lines.append(
+            f"{len(self.results)} objectives, "
+            f"{sum(1 for r in self.results if not r.ok)} failing"
+        )
+        return "\n".join(lines)
+
+
+def _fmt(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if float(value).is_integer() and abs(value) < 1e12:
+        return str(int(value))
+    return f"{value:.6g}"
+
+
+def _parse_selector(raw: Mapping, where: str) -> Dict:
+    if not isinstance(raw, dict) or "metric" not in raw:
+        raise SLOSpecError(f"{where}: selector needs a 'metric'")
+    labels = raw.get("labels", {})
+    if not isinstance(labels, dict):
+        raise SLOSpecError(f"{where}: labels must be an object")
+    return {
+        "metric": str(raw["metric"]),
+        "labels": {str(k): str(v) for k, v in labels.items()},
+    }
+
+
+def load_slo_spec(path: Path) -> Dict:
+    """Load and validate an SLO spec file; returns the parsed spec."""
+    try:
+        raw = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SLOSpecError(f"cannot read SLO spec {path}: {exc}") from exc
+    return validate_slo_spec(raw)
+
+
+def validate_slo_spec(raw: Mapping) -> Dict:
+    if not isinstance(raw, Mapping):
+        raise SLOSpecError("spec must be a JSON object")
+    if raw.get("schema") != SLO_SCHEMA_VERSION:
+        raise SLOSpecError(
+            f"unsupported schema {raw.get('schema')!r} "
+            f"(expected {SLO_SCHEMA_VERSION})"
+        )
+    objectives_raw = raw.get("objectives")
+    if not isinstance(objectives_raw, list) or not objectives_raw:
+        raise SLOSpecError("spec needs a non-empty 'objectives' list")
+    seen_ids = set()
+    objectives: List[Objective] = []
+    for index, entry in enumerate(objectives_raw):
+        where = f"objectives[{index}]"
+        if not isinstance(entry, Mapping):
+            raise SLOSpecError(f"{where}: must be an object")
+        objective_id = str(entry.get("id", ""))
+        if not objective_id:
+            raise SLOSpecError(f"{where}: missing id")
+        if objective_id in seen_ids:
+            raise SLOSpecError(f"{where}: duplicate id {objective_id!r}")
+        seen_ids.add(objective_id)
+        op = entry.get("op")
+        if op not in _OPS:
+            raise SLOSpecError(f"{where}: bad op {op!r}")
+        if "threshold" not in entry:
+            raise SLOSpecError(f"{where}: missing threshold")
+        threshold = float(entry["threshold"])
+        if "ratio" in entry:
+            if "metric" in entry:
+                raise SLOSpecError(f"{where}: metric and ratio are exclusive")
+            ratio_raw = entry["ratio"]
+            if not isinstance(ratio_raw, Mapping) or set(ratio_raw) != {"num", "den"}:
+                raise SLOSpecError(f"{where}: ratio needs num and den")
+            objectives.append(
+                Objective(
+                    id=objective_id,
+                    op=op,
+                    threshold=threshold,
+                    description=str(entry.get("description", "")),
+                    ratio={
+                        "num": _parse_selector(ratio_raw["num"], where),
+                        "den": _parse_selector(ratio_raw["den"], where),
+                    },
+                )
+            )
+            continue
+        selector = _parse_selector(entry, where)
+        stat = str(entry.get("stat", "value"))
+        if stat != "value" and stat not in _HIST_STATS:
+            raise SLOSpecError(f"{where}: bad stat {stat!r}")
+        objectives.append(
+            Objective(
+                id=objective_id,
+                op=op,
+                threshold=threshold,
+                description=str(entry.get("description", "")),
+                metric=selector["metric"],
+                labels=selector["labels"],
+                stat=stat,
+            )
+        )
+    return {
+        "schema": SLO_SCHEMA_VERSION,
+        "name": str(raw.get("name", "slo")),
+        "objectives": objectives,
+    }
+
+
+def _observe(objective: Objective, families: Mapping) -> ObjectiveResult:
+    if objective.ratio is not None:
+        numerator = series_value(
+            families,
+            objective.ratio["num"]["metric"],
+            objective.ratio["num"]["labels"],
+        )
+        denominator = series_value(
+            families,
+            objective.ratio["den"]["metric"],
+            objective.ratio["den"]["labels"],
+        )
+        if denominator == 0:
+            # a ratio over nothing is vacuously healthy: no traffic
+            # means the floor cannot have been violated
+            return ObjectiveResult(
+                objective, None, True, note="denominator 0, skipped"
+            )
+        return _compare(objective, numerator / denominator)
+
+    family = families.get(objective.metric)
+    if family is None:
+        return ObjectiveResult(
+            objective, None, False, note="metric absent from scrape"
+        )
+    if objective.stat == "value":
+        return _compare(
+            objective,
+            series_value(families, objective.metric, objective.labels),
+        )
+    stats = histogram_stats(families, objective.metric, objective.labels)
+    if stats is None:
+        if family["type"] != "histogram":
+            return ObjectiveResult(
+                objective, None, False,
+                note=f"stat {objective.stat!r} needs a histogram",
+            )
+        # declared histogram with zero observations: vacuously healthy
+        return ObjectiveResult(
+            objective, None, True, note="no observations, skipped"
+        )
+    if objective.stat == "sum":
+        return _compare(objective, stats["sum"])
+    if objective.stat == "count":
+        return _compare(objective, stats["count"])
+    if objective.stat == "mean":
+        if stats["count"] == 0:
+            return ObjectiveResult(
+                objective, None, True, note="no observations, skipped"
+            )
+        return _compare(objective, stats["sum"] / stats["count"])
+    return _compare(
+        objective, histogram_quantile(stats, _QUANTILES[objective.stat])
+    )
+
+
+def _compare(objective: Objective, observed: float) -> ObjectiveResult:
+    return ObjectiveResult(
+        objective, observed, _OPS[objective.op](observed, objective.threshold)
+    )
+
+
+def evaluate_slos(spec: Mapping, families: Mapping) -> SLOReport:
+    """Evaluate every objective of a validated spec against a snapshot."""
+    return SLOReport(
+        name=spec["name"],
+        results=[_observe(obj, families) for obj in spec["objectives"]],
+    )
+
+
+__all__ = [
+    "Objective",
+    "ObjectiveResult",
+    "SLOReport",
+    "SLOSpecError",
+    "SLO_SCHEMA_VERSION",
+    "evaluate_slos",
+    "load_slo_spec",
+    "validate_slo_spec",
+]

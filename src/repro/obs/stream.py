@@ -269,12 +269,26 @@ class EventFanout:
         self._retained_start: Optional[Dict] = None
         self._maxsize = maxsize
         self._closed = False
+        self._dropped_detached = 0
 
     @property
     def subscribers(self) -> int:
         """Live subscriber count (queues + callbacks)."""
         with self._lock:
             return len(self._subscriptions) + len(self._callbacks)
+
+    @property
+    def dropped(self) -> int:
+        """Lifetime count of events lost to bounded subscriber queues.
+
+        Sums the live subscriptions' drop counts plus those of every
+        subscriber that has since detached, so the total survives
+        subscriber churn (``/stats`` exposes it as ``dropped_events``).
+        """
+        with self._lock:
+            return self._dropped_detached + sum(
+                subscription.dropped for subscription in self._subscriptions
+            )
 
     def attach(self, stream: EventStream) -> "EventFanout":
         """Add a file sink; every future event is appended to it."""
@@ -315,6 +329,7 @@ class EventFanout:
         """Detach a subscriber (idempotent)."""
         with self._lock:
             if handle in self._subscriptions:
+                self._dropped_detached += handle.dropped
                 self._subscriptions.remove(handle)
             elif handle in self._callbacks:
                 self._callbacks.remove(handle)
@@ -352,6 +367,9 @@ class EventFanout:
             self._closed = True
             streams = list(self._streams)
             subscriptions = list(self._subscriptions)
+            self._dropped_detached += sum(
+                subscription.dropped for subscription in subscriptions
+            )
             self._streams.clear()
             self._subscriptions.clear()
             self._callbacks.clear()

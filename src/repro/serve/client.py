@@ -116,6 +116,29 @@ class ServeClient:
         """``GET /stats`` — scheduler counters and queue state."""
         return self._request("GET", "/stats")
 
+    def metrics(self) -> str:
+        """``GET /metrics`` — raw Prometheus text exposition.
+
+        Unlike the JSON endpoints this returns the body verbatim;
+        feed it to :func:`repro.obs.expo.parse_exposition`.
+        """
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            conn.request("GET", "/metrics", headers=self._headers())
+            response = conn.getresponse()
+            raw = response.read()
+            if response.status != 200:
+                raise ServeError(
+                    f"HTTP {response.status} on /metrics: "
+                    f"{raw.decode('utf-8', 'replace')[:200]}",
+                    status=response.status,
+                )
+            return raw.decode("utf-8")
+        finally:
+            conn.close()
+
     def submit(
         self,
         request: Union[RunRequest, Dict],

@@ -51,6 +51,9 @@ from repro.engine.pool import WorkerPool, _pool_supported
 from repro.engine.shards import ShardedRunStore
 from repro.engine.stats import StatsAccumulator
 from repro.engine.store import RunStore, make_record, new_run_id
+from repro.obs import telemetry
+from repro.obs.expo import CONTENT_TYPE as _METRICS_CONTENT_TYPE
+from repro.obs.expo import render_exposition
 from repro.obs.stream import EventFanout, EventStream
 from repro.serve.protocol import (
     API_VERSION,
@@ -123,7 +126,15 @@ class ServeApp:
         self.counters = ServerCounters()
         self.fanout = EventFanout()
         self.jobs: Dict[str, Job] = {}
-        self.pool = WorkerPool(self.config.workers)
+        # each app owns its registry (not the process-global one) so
+        # GET /metrics describes exactly this server instance even with
+        # several apps in one test process; the pool drains worker-side
+        # charge metrics into it
+        self.telemetry = telemetry.MetricsRegistry()
+        self._init_telemetry()
+        self.pool = WorkerPool(
+            self.config.workers, telemetry=self.telemetry
+        )
         self.cache = (
             ResultCache(self.config.cache_dir)
             if self.config.cache_dir is not None
@@ -169,6 +180,113 @@ class ServeApp:
         if p.is_file():
             return RunStore(p)
         return ShardedRunStore(p)
+
+    # -- telemetry ------------------------------------------------------
+    _ENDPOINTS = (
+        "/healthz", "/stats", "/submit", "/result", "/events",
+        "/shutdown", "/metrics",
+    )
+
+    def _init_telemetry(self) -> None:
+        registry = self.telemetry
+        self._m_requests = registry.counter(
+            "repro_serve_requests_total",
+            "HTTP requests handled, by endpoint.",
+            ["endpoint"],
+        )
+        self._m_latency = registry.histogram(
+            "repro_serve_request_latency_seconds",
+            "Request wall time by endpoint, seconds.",
+            ["endpoint"],
+        )
+        self._m_submissions = registry.counter(
+            "repro_serve_submissions_total",
+            "Submission outcomes; mirrors the /stats counters.",
+            ["outcome"],
+        )
+        self._m_dedupe_rate = registry.gauge(
+            "repro_serve_dedupe_hit_rate",
+            "Fraction of admitted submissions served without executing.",
+        )
+        self._m_queue_depth = registry.gauge(
+            "repro_serve_queue_depth",
+            "Admitted jobs executing or awaiting a dispatch slot.",
+        )
+        self._m_jobs = registry.counter(
+            "repro_serve_jobs_total",
+            "Completed jobs by final status.",
+            ["status"],
+        )
+        self._m_dispatch = registry.histogram(
+            "repro_serve_dispatch_latency_seconds",
+            "Queue wait (wall minus compute) per executed job, seconds.",
+        )
+        self._m_timeouts = registry.counter(
+            "repro_serve_timeouts_total",
+            "Job attempts abandoned at the per-attempt timeout.",
+        )
+        self._m_retries = registry.counter(
+            "repro_serve_retries_total",
+            "Job attempts re-dispatched after a failure or timeout.",
+        )
+        self._m_subscribers = registry.gauge(
+            "repro_serve_subscribers",
+            "Live event-stream subscribers.",
+        )
+        self._m_dropped = registry.counter(
+            "repro_serve_events_dropped_total",
+            "Events lost to bounded subscriber queues.",
+        )
+        self._m_restarts = registry.counter(
+            "repro_serve_pool_restarts_total",
+            "Worker-pool restarts forced by timed-out jobs.",
+        )
+        self._m_cache = registry.counter(
+            "repro_cache_requests_total",
+            "Result-cache lookups by outcome.",
+            ["result"],
+        )
+        self._m_evicted_files = registry.counter(
+            "repro_cache_evicted_files_total",
+            "Files evicted from the result cache by pruning.",
+        )
+        self._m_evicted_bytes = registry.counter(
+            "repro_cache_evicted_bytes_total",
+            "Bytes evicted from the result cache by pruning.",
+        )
+        registry.add_collector(self._collect_telemetry)
+
+    def _collect_telemetry(self) -> None:
+        # Derived series are set from the authoritative scheduler state
+        # at collect time, so a /metrics scrape reconciles exactly (==)
+        # with /stats by construction — there is no second tally that
+        # could drift under concurrency.
+        counters = self.counters.to_dict()
+        for outcome in (
+            "submitted", "executed", "coalesced", "served_cached",
+            "rejected_queue", "rejected_rate",
+        ):
+            self._m_submissions.labels(outcome=outcome).set(
+                counters[outcome]
+            )
+        self._m_dedupe_rate.set(counters["dedupe_hit_rate"])
+        self._m_queue_depth.set(self._active_count)
+        self._m_subscribers.set(self.fanout.subscribers)
+        self._m_dropped.set(self.fanout.dropped)
+        self._m_restarts.set(max(0, self.pool.generation - 1))
+
+    @classmethod
+    def _endpoint_label(cls, path: str) -> str:
+        """Normalized, bounded endpoint label for request metrics.
+
+        ``/result/<hash>`` collapses to ``/result`` and unknown paths
+        to ``other`` — label cardinality must never scale with traffic.
+        """
+        if path.startswith("/result/"):
+            return "/result"
+        if path in cls._ENDPOINTS:
+            return path
+        return "other"
 
     # -- lifecycle ------------------------------------------------------
     async def serve(
@@ -249,7 +367,16 @@ class ServeApp:
             query = {
                 k: v[-1] for k, v in parse_qs(split.query).items()
             }
-            await self._route(writer, method, path, query, headers, body)
+            started = time.monotonic()
+            try:
+                await self._route(writer, method, path, query, headers, body)
+            finally:
+                if telemetry.enabled():
+                    endpoint = self._endpoint_label(path)
+                    self._m_requests.labels(endpoint=endpoint).inc()
+                    self._m_latency.labels(endpoint=endpoint).observe(
+                        time.monotonic() - started
+                    )
         except (
             ConnectionResetError,
             BrokenPipeError,
@@ -309,11 +436,37 @@ class ServeApp:
         writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1"))
         writer.write(body)
 
+    def _respond_text(
+        self,
+        writer,
+        status: int,
+        text: str,
+        *,
+        content_type: str = "text/plain; charset=utf-8",
+    ) -> None:
+        """Plain-text response path (the ``/metrics`` exposition)."""
+        body = text.encode("utf-8")
+        lines = [
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+            f"Content-Type: {content_type}",
+            f"Content-Length: {len(body)}",
+            "Connection: close",
+        ]
+        writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1"))
+        writer.write(body)
+
     async def _route(self, writer, method, path, query, headers, body) -> None:
         if path == "/healthz" and method == "GET":
             self._respond(writer, 200, self._healthz())
         elif path == "/stats" and method == "GET":
             self._respond(writer, 200, self._stats())
+        elif path == "/metrics" and method == "GET":
+            self._respond_text(
+                writer,
+                200,
+                render_exposition(self.telemetry.collect()),
+                content_type=_METRICS_CONTENT_TYPE,
+            )
         elif path == "/submit" and method == "POST":
             await self._submit(writer, headers, body)
         elif path.startswith("/result/") and method == "GET":
@@ -325,7 +478,8 @@ class ServeApp:
             await writer.drain()
             self._shutdown.set()
         elif path in (
-            "/healthz", "/stats", "/submit", "/events", "/shutdown",
+            "/healthz", "/stats", "/metrics", "/submit", "/events",
+            "/shutdown",
         ) or path.startswith("/result/"):
             self._respond(
                 writer, 405, error_payload(f"{method} not allowed on {path}")
@@ -355,6 +509,7 @@ class ServeApp:
             "active": self._active(),
             "max_queue": self.config.max_queue,
             "subscribers": self.fanout.subscribers,
+            "dropped_events": self.fanout.dropped,
             "workers": self.pool.workers,
             "pool_generation": self.pool.generation,
             "store": str(self.config.store) if self.config.store else None,
@@ -475,7 +630,12 @@ class ServeApp:
         if self.cache is None:
             return None
         hit = self.cache.get(request)
-        return self._materialize(request, request_hash, hit)
+        job = self._materialize(request, request_hash, hit)
+        if telemetry.enabled():
+            self._m_cache.labels(
+                result="hit" if job is not None else "miss"
+            ).inc()
+        return job
 
     def _from_cache_hash(self, request_hash: str) -> Optional[Job]:
         """Rematerialize an evicted hash from the disk cache.
@@ -486,14 +646,20 @@ class ServeApp:
         """
         if self.cache is None:
             return None
+        job = None
         hit = self.cache.get_by_hash(request_hash)
-        if hit is None or not isinstance(hit.get("request"), dict):
-            return None
-        try:
-            request = RunRequest.from_dict(hit["request"])
-        except (TypeError, ValueError, KeyError):
-            return None
-        return self._materialize(request, request_hash, hit)
+        if hit is not None and isinstance(hit.get("request"), dict):
+            try:
+                request = RunRequest.from_dict(hit["request"])
+            except (TypeError, ValueError, KeyError):
+                request = None
+            if request is not None:
+                job = self._materialize(request, request_hash, hit)
+        if telemetry.enabled():
+            self._m_cache.labels(
+                result="hit" if job is not None else "miss"
+            ).inc()
+        return job
 
     def _materialize(self, request, request_hash: str, hit) -> Optional[Job]:
         """Turn one cache record into a completed, recorded job."""
@@ -573,6 +739,8 @@ class ServeApp:
                     # the stuck worker cannot be reclaimed; abandon the
                     # executor so the pool is healthy for the next job
                     self.pool.restart()
+                    if telemetry.enabled():
+                        self._m_timeouts.inc()
                 except Exception as exc:
                     spent = time.monotonic() - started
                     wall += spent
@@ -589,6 +757,8 @@ class ServeApp:
                     # final bookkeeping never hold a worker hostage
                     self._slots.release()
                 if attempt <= config.retries:
+                    if telemetry.enabled():
+                        self._m_retries.inc()
                     await asyncio.sleep(config.backoff * (2 ** (attempt - 1)))
                     continue
                 break
@@ -607,6 +777,8 @@ class ServeApp:
             job.state = "done"
             job.finished_at = time.monotonic()
             self._active_count -= 1
+            if telemetry.enabled():
+                self._m_dispatch.observe(max(0.0, wall - compute))
             try:
                 if status == "ok" and self.cache is not None:
                     self.cache.put(
@@ -631,6 +803,13 @@ class ServeApp:
                     == 0
                 ):
                     self.cache.prune(max_bytes=config.cache_max_bytes)
+                    if telemetry.enabled():
+                        self._m_evicted_files.inc(
+                            self.cache.last_prune["files"]
+                        )
+                        self._m_evicted_bytes.inc(
+                            self.cache.last_prune["bytes"]
+                        )
             except Exception as exc:  # persistence must not strand waiters
                 job.error = job.error or f"persist: {exc}"
             if job.future is not None and not job.future.done():
@@ -655,6 +834,8 @@ class ServeApp:
             spans=job.spans,
         )
         self._stats_acc.add(result)
+        if telemetry.enabled():
+            self._m_jobs.labels(status=job.status or "failed").inc()
         self._recorded += 1
         self._done_order.append(job.request_hash)
         self._evict_done()

@@ -1,0 +1,149 @@
+"""Roofline SVG plot tests: structure, determinism, golden file, CLI.
+
+The renderer promises deterministic output for a given report document
+(no timestamps, no dict-order dependence, fixed float formatting).
+``tests/data/roofline_golden.svg`` pins the exact bytes for a small
+synthetic document; regenerate it deliberately with::
+
+    PYTHONPATH=src python -c "
+    from tests.test_campaign_plot import GOLDEN_DOC
+    from repro.campaign import render_roofline_svg
+    open('tests/data/roofline_golden.svg', 'w').write(
+        render_roofline_svg(GOLDEN_DOC))"
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.campaign import render_roofline_svg, validate_roofline_svg
+from repro.cli import main
+
+GOLDEN = Path(__file__).parent / "data" / "roofline_golden.svg"
+
+
+def _point(benchmark, intensity, achieved, *, nodes=32, reconciled=True,
+           network_bytes=1024, request_hash="deadbeef"):
+    return {
+        "benchmark": benchmark,
+        "machine": "cm5",
+        "nodes": nodes,
+        "tier": "basic",
+        "params": {},
+        "request_hash": request_hash,
+        "flop_count": 1000,
+        "network_bytes": network_bytes,
+        "flop_kinds": {},
+        "busy_time_s": 0.001,
+        "achieved_mflops": achieved,
+        "peak_mflops": 4096.0,
+        "network_bandwidth_bytes_s": 1.28e9,
+        "intensity": intensity,
+        "attainable_mflops": achieved,
+        "bound": "communication" if intensity is not None else "compute",
+        "reconciled": reconciled,
+    }
+
+
+GOLDEN_DOC = {
+    "kind": "roofline",
+    "schema": 1,
+    "campaign": "golden",
+    "n_points": 4,
+    "reconciled": False,
+    "benchmarks": {},
+    "points": [
+        _point("fft", 0.128, 26.8, request_hash="a1"),
+        _point("fft", 0.5, 110.0, nodes=64, request_hash="a2"),
+        _point("diff-3d", 2.0, 480.0, request_hash="b1",
+               reconciled=False),
+        # no network traffic: listed in the legend, not plotted
+        _point("diff-3d", None, 51.0, network_bytes=0,
+               request_hash="b2"),
+    ],
+}
+
+
+class TestRenderer:
+    def test_render_is_valid_and_counts_match(self):
+        svg = render_roofline_svg(GOLDEN_DOC)
+        summary = validate_roofline_svg(svg)
+        assert summary["points"] == 3  # the no-traffic point is skipped
+        assert summary["roofs"] >= 1
+        assert summary["legend_entries"] >= 2
+
+    def test_render_is_deterministic(self):
+        assert render_roofline_svg(GOLDEN_DOC) == (
+            render_roofline_svg(GOLDEN_DOC)
+        )
+
+    def test_golden_file(self):
+        assert GOLDEN.is_file(), "golden plot missing; see module docstring"
+        assert render_roofline_svg(GOLDEN_DOC) == GOLDEN.read_text()
+
+    def test_empty_report_still_validates(self):
+        doc = {
+            "kind": "roofline", "schema": 1, "campaign": "empty",
+            "n_points": 0, "reconciled": True, "benchmarks": {},
+            "points": [],
+        }
+        svg = render_roofline_svg(doc)
+        assert validate_roofline_svg(svg)["points"] == 0
+        assert "no plottable points" in svg
+
+    def test_rejects_non_roofline_documents(self):
+        with pytest.raises(ValueError):
+            render_roofline_svg({"kind": "scaling"})
+
+    def test_title_and_labels_are_escaped(self):
+        doc = dict(GOLDEN_DOC, campaign="a<b>&c")
+        svg = render_roofline_svg(doc)
+        validate_roofline_svg(svg)
+        assert "a<b>&c" not in svg
+
+
+class TestValidator:
+    def test_rejects_non_xml(self):
+        with pytest.raises(ValueError):
+            validate_roofline_svg("this is not xml")
+
+    def test_rejects_wrong_root(self):
+        with pytest.raises(ValueError):
+            validate_roofline_svg("<html></html>")
+
+    def test_rejects_missing_groups(self):
+        with pytest.raises(ValueError, match="missing group"):
+            validate_roofline_svg(
+                '<svg xmlns="http://www.w3.org/2000/svg" width="10" '
+                'height="10"><g id="roofline-axes"/></svg>'
+            )
+
+    def test_rejects_escaped_points(self):
+        svg = render_roofline_svg(GOLDEN_DOC).replace(
+            'cx="', 'cx="9999', 1
+        )
+        with pytest.raises(ValueError, match="escapes the canvas"):
+            validate_roofline_svg(svg)
+
+
+class TestCLI:
+    def test_campaign_report_plot(self, tmp_path, capsys):
+        spec = {
+            "schema": 1,
+            "name": "plot-cli",
+            "groups": [
+                {"benchmarks": ["fft"], "nodes": [32],
+                 "param_grid": {"n": [256]}},
+            ],
+        }
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(spec))
+        root = str(tmp_path / "camp")
+        assert main(["campaign", "run", str(spec_path), "--root", root]) == 0
+        out_svg = tmp_path / "roof.svg"
+        assert main(["campaign", "report", str(spec_path), "--root", root,
+                     "--plot", str(out_svg)]) == 0
+        assert "roofline plot written" in capsys.readouterr().out
+        summary = validate_roofline_svg(out_svg.read_text())
+        assert summary["points"] == 1

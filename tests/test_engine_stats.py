@@ -347,3 +347,39 @@ class TestTrajectoryPoint:
     def test_bare_mapping_accepted_as_baseline(self):
         bare = {"fft": {"busy_time_s": 1.0}}
         assert baseline_benchmarks(bare) == bare
+
+
+class TestLatencyHistogramSection:
+    def test_table_has_queue_wait_and_compute_histograms(self, tmp_path):
+        engine, _, _ = run_with_store(tmp_path)
+        table = engine.last_run_stats.table()
+        assert "queue-wait histogram" in table
+        assert "compute histogram" in table
+        assert "#" in table  # at least one bar drawn
+
+    def test_cached_only_run_skips_the_section(self, tmp_path):
+        from repro.engine import EngineConfig, plan_suite
+
+        cache_dir = tmp_path / "cache"
+        Engine(EngineConfig(cache_dir=cache_dir)).run(
+            plan_suite(SUBSET, params=SUBSET_PARAMS)
+        )
+        engine = Engine(EngineConfig(cache_dir=cache_dir))
+        engine.run(plan_suite(SUBSET, params=SUBSET_PARAMS))
+        stats = engine.last_run_stats
+        assert stats.status_counts == {"cached": 3}
+        assert "queue-wait histogram" not in stats.table()
+
+    def test_histogram_lines_share_exposition_buckets(self):
+        from repro.engine.stats import latency_histogram_lines
+
+        lines = latency_histogram_lines(
+            "queue-wait histogram", [0.0002, 0.0002, 0.004, 120.0]
+        )
+        assert lines[0] == "  queue-wait histogram (4 jobs)"
+        body = "\n".join(lines)
+        assert "<=0.00025s" in body
+        assert "<=0.005s" in body
+        assert ">60s" in body
+        # empty buckets are skipped: only 3 bucket rows + header
+        assert len(lines) == 4

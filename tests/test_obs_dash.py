@@ -1,0 +1,151 @@
+"""Dashboard model tests: derived rows, stable keys, the poll loop.
+
+The model is pure — snapshots in, text frames out — so every derived
+quantity (throughput from jobs_total deltas, cache/dedupe rates,
+latency quantiles) is pinned against hand-fed snapshots with a fake
+clock.  ``run_dashboard`` runs with injected clock/sleep/stream, so
+the loop is tested deterministically without a TTY.
+"""
+
+import io
+
+import pytest
+
+from repro.obs.dash import DashboardModel, run_dashboard, sparkline
+from repro.obs.telemetry import MetricsRegistry
+
+#: The documented frame contract (docs/TELEMETRY.md).
+STABLE_KEYS = [
+    "jobs", "throughput", "queue", "workers", "cache", "dedupe",
+    "latency", "drops",
+]
+
+
+def _serve_registry():
+    reg = MetricsRegistry()
+    jobs = reg.counter(
+        "repro_serve_jobs_total", "jobs", labels=("status",)
+    )
+    lat = reg.histogram("repro_serve_request_latency_seconds", "lat")
+    queue = reg.gauge("repro_serve_queue_depth", "depth")
+    cache = reg.counter(
+        "repro_cache_requests_total", "cache", labels=("result",)
+    )
+    sub = reg.counter(
+        "repro_serve_submissions_total", "sub", labels=("outcome",)
+    )
+    drops = reg.counter("repro_serve_events_dropped_total", "drops")
+    return reg, jobs, lat, queue, cache, sub, drops
+
+
+class TestSparkline:
+    def test_empty_and_flat(self):
+        assert sparkline([]) == ""
+        assert sparkline([0.0, 0.0]) == "▁▁"
+
+    def test_scales_to_max_and_truncates_to_width(self):
+        line = sparkline([1.0, 2.0, 4.0], width=2)
+        assert len(line) == 2
+        assert line[-1] == "█"
+
+
+class TestModel:
+    def test_row_keys_are_stable(self):
+        reg, *_ = _serve_registry()
+        model = DashboardModel()
+        model.update(reg.collect(), 0.0)
+        assert [key for key, _ in model.rows()] == STABLE_KEYS
+
+    def test_throughput_from_jobs_deltas(self):
+        reg, jobs, *_ = _serve_registry()
+        model = DashboardModel()
+        model.update(reg.collect(), 0.0)
+        jobs.labels(status="ok").inc(10)
+        model.update(reg.collect(), 2.0)
+        assert model.throughput == pytest.approx(5.0)
+
+    def test_rates_and_latency_render(self):
+        reg, jobs, lat, queue, cache, sub, drops = _serve_registry()
+        jobs.labels(status="ok").inc(3)
+        jobs.labels(status="failed").inc(1)
+        queue.set(2)
+        cache.labels(result="hit").inc(3)
+        cache.labels(result="miss").inc(1)
+        sub.labels(outcome="submitted").inc(8)
+        sub.labels(outcome="coalesced").inc(1)
+        sub.labels(outcome="served_cached").inc(1)
+        drops.inc(7)
+        lat.observe(0.002)
+        model = DashboardModel()
+        model.update(reg.collect(), 0.0)
+        rows = dict(model.rows())
+        assert rows["jobs"].startswith("4")
+        assert "failed=1" in rows["jobs"] and "ok=3" in rows["jobs"]
+        assert "75.0% hit" in rows["cache"]
+        assert "25.0%" in rows["dedupe"]
+        assert "p99<=" in rows["latency"]
+        assert rows["drops"] == "7 events dropped"
+        assert rows["queue"].split()[0] == "2"
+
+    def test_engine_layer_autodetected(self):
+        reg = MetricsRegistry()
+        reg.counter(
+            "repro_engine_jobs_total", "jobs", labels=("status",)
+        ).labels(status="ok").inc(5)
+        model = DashboardModel()
+        model.update(reg.collect(), 0.0)
+        rows = dict(model.rows())
+        assert rows["jobs"].startswith("5")
+
+    def test_render_frame_and_line(self):
+        reg, jobs, *_ = _serve_registry()
+        jobs.labels(status="ok").inc(2)
+        model = DashboardModel()
+        model.update(reg.collect(), 0.0)
+        frame = model.render("title-here")
+        assert frame.splitlines()[0] == "title-here"
+        assert "\x1b" not in frame
+        line = model.render_line()
+        assert line.startswith("jobs=2 ")
+
+
+class TestLoop:
+    def test_deterministic_loop_with_injected_clock(self):
+        reg, jobs, *_ = _serve_registry()
+        ticks = {"n": 0}
+
+        def poll():
+            jobs.labels(status="ok").inc()
+            return reg.collect()
+
+        def clock():
+            ticks["n"] += 1
+            return float(ticks["n"])
+
+        stream = io.StringIO()
+        model = run_dashboard(
+            poll, interval=0.0, stream=stream,
+            clock=clock, sleep=lambda _s: None, max_frames=3,
+        )
+        assert stream.getvalue().count("\n") == 3
+        assert model.throughput == pytest.approx(1.0)
+
+    def test_poll_failure_does_not_kill_the_loop(self):
+        calls = {"n": 0}
+        reg, *_ = _serve_registry()
+
+        def poll():
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise OSError("server away")
+            return reg.collect()
+
+        stream = io.StringIO()
+        run_dashboard(
+            poll, interval=0.0, stream=stream,
+            clock=lambda: float(calls["n"]), sleep=lambda _s: None,
+            max_frames=2,
+        )
+        out = stream.getvalue()
+        assert "telemetry poll failed: server away" in out
+        assert "jobs=" in out  # the second frame still rendered

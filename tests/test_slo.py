@@ -1,0 +1,239 @@
+"""SLO module tests: spec validation, evaluation semantics, CLI gate.
+
+Objectives evaluate against a parsed exposition snapshot.  The
+important semantics pinned here: vacuous passes (a ratio over zero
+traffic or an empty histogram cannot have violated its floor), hard
+failure when a referenced metric is absent from the scrape, and the
+conservative upper-bucket-bound quantile.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.expo import render_exposition
+from repro.obs.slo import (
+    SLOSpecError,
+    evaluate_slos,
+    load_slo_spec,
+    validate_slo_spec,
+)
+from repro.obs.telemetry import MetricsRegistry
+
+
+def _families():
+    reg = MetricsRegistry()
+    sub = reg.counter("serve_submissions_total", "s", labels=("outcome",))
+    sub.labels(outcome="submitted").inc(10)
+    sub.labels(outcome="coalesced").inc(4)
+    lat = reg.histogram("submit_latency_seconds", "l")
+    for v in (0.001, 0.002, 0.003, 0.4):
+        lat.observe(v)
+    reg.histogram("idle_latency_seconds", "empty histogram")
+    # force the empty histogram family to exist in the snapshot
+    reg.counter("restarts_total", "r").inc(0)
+    return reg.collect()
+
+
+def _spec(*objectives):
+    return validate_slo_spec(
+        {"schema": 1, "name": "t", "objectives": list(objectives)}
+    )
+
+
+class TestSpecValidation:
+    def test_minimal_spec_loads_from_file(self, tmp_path):
+        path = tmp_path / "slo.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "schema": 1,
+                    "name": "ci",
+                    "objectives": [
+                        {
+                            "id": "a",
+                            "metric": "m_total",
+                            "op": "<=",
+                            "threshold": 3,
+                        }
+                    ],
+                }
+            )
+        )
+        spec = load_slo_spec(path)
+        assert spec["name"] == "ci"
+        assert spec["objectives"][0].id == "a"
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            {"schema": 2, "name": "x", "objectives": [{}]},
+            {"schema": 1, "objectives": []},
+            {"schema": 1, "objectives": [{"id": "", "op": "<=",
+                                          "threshold": 1, "metric": "m"}]},
+            {"schema": 1, "objectives": [{"id": "a", "op": "~",
+                                          "threshold": 1, "metric": "m"}]},
+            {"schema": 1, "objectives": [{"id": "a", "op": "<=",
+                                          "metric": "m"}]},
+            {"schema": 1, "objectives": [{"id": "a", "op": "<=",
+                                          "threshold": 1, "metric": "m",
+                                          "stat": "p42"}]},
+            # duplicate ids
+            {"schema": 1, "objectives": [
+                {"id": "a", "op": "<=", "threshold": 1, "metric": "m"},
+                {"id": "a", "op": "<=", "threshold": 2, "metric": "m"},
+            ]},
+            # metric and ratio are exclusive
+            {"schema": 1, "objectives": [
+                {"id": "a", "op": "<=", "threshold": 1, "metric": "m",
+                 "ratio": {"num": {"metric": "x"}, "den": {"metric": "y"}}},
+            ]},
+            # ratio needs exactly num and den
+            {"schema": 1, "objectives": [
+                {"id": "a", "op": "<=", "threshold": 1,
+                 "ratio": {"num": {"metric": "x"}}},
+            ]},
+        ],
+    )
+    def test_bad_specs_rejected(self, bad):
+        with pytest.raises(SLOSpecError):
+            validate_slo_spec(bad)
+
+
+class TestEvaluation:
+    def test_value_stat_with_labels(self):
+        spec = _spec(
+            {"id": "traffic", "metric": "serve_submissions_total",
+             "labels": {"outcome": "submitted"}, "op": ">=",
+             "threshold": 10}
+        )
+        report = evaluate_slos(spec, _families())
+        assert report.ok
+        assert report.results[0].observed == 10
+
+    def test_histogram_stats_and_quantiles(self):
+        spec = _spec(
+            {"id": "count", "metric": "submit_latency_seconds",
+             "stat": "count", "op": "==", "threshold": 4},
+            {"id": "mean", "metric": "submit_latency_seconds",
+             "stat": "mean", "op": "<=", "threshold": 0.2},
+            {"id": "p50", "metric": "submit_latency_seconds",
+             "stat": "p50", "op": "<=", "threshold": 0.0025},
+            {"id": "p99", "metric": "submit_latency_seconds",
+             "stat": "p99", "op": "<=", "threshold": 0.5},
+        )
+        report = evaluate_slos(spec, _families())
+        assert report.ok, report.table()
+
+    def test_failing_objective_flips_report(self):
+        spec = _spec(
+            {"id": "p99", "metric": "submit_latency_seconds",
+             "stat": "p99", "op": "<=", "threshold": 0.01}
+        )
+        report = evaluate_slos(spec, _families())
+        assert not report.ok
+        assert "FAIL" in report.table()
+
+    def test_ratio_objective(self):
+        spec = _spec(
+            {"id": "dedupe-floor", "op": ">=", "threshold": 0.25,
+             "ratio": {
+                 "num": {"metric": "serve_submissions_total",
+                         "labels": {"outcome": "coalesced"}},
+                 "den": {"metric": "serve_submissions_total",
+                         "labels": {"outcome": "submitted"}},
+             }}
+        )
+        report = evaluate_slos(spec, _families())
+        assert report.ok
+        assert report.results[0].observed == pytest.approx(0.4)
+
+    def test_ratio_over_no_traffic_is_vacuously_ok(self):
+        spec = _spec(
+            {"id": "r", "op": ">=", "threshold": 0.5,
+             "ratio": {
+                 "num": {"metric": "serve_submissions_total",
+                         "labels": {"outcome": "coalesced"}},
+                 "den": {"metric": "serve_submissions_total",
+                         "labels": {"outcome": "nonexistent"}},
+             }}
+        )
+        result = evaluate_slos(spec, _families()).results[0]
+        assert result.ok and result.observed is None
+        assert "skipped" in result.note
+
+    def test_empty_histogram_is_vacuously_ok(self):
+        spec = _spec(
+            {"id": "idle", "metric": "idle_latency_seconds",
+             "stat": "p99", "op": "<=", "threshold": 0.1}
+        )
+        result = evaluate_slos(spec, _families()).results[0]
+        assert result.ok and result.observed is None
+
+    def test_absent_metric_fails_hard(self):
+        spec = _spec(
+            {"id": "gone", "metric": "no_such_metric_total",
+             "op": "<=", "threshold": 1}
+        )
+        result = evaluate_slos(spec, _families()).results[0]
+        assert not result.ok
+        assert "absent" in result.note
+
+    def test_stat_on_scalar_metric_fails(self):
+        spec = _spec(
+            {"id": "x", "metric": "restarts_total", "stat": "p99",
+             "op": "<=", "threshold": 1}
+        )
+        result = evaluate_slos(spec, _families()).results[0]
+        assert not result.ok
+
+
+class TestCLIGate:
+    def _write(self, tmp_path, ok: bool):
+        scrape = tmp_path / "scrape.txt"
+        scrape.write_text(render_exposition(_families()))
+        spec = tmp_path / "slo.json"
+        spec.write_text(
+            json.dumps(
+                {
+                    "schema": 1,
+                    "name": "gate",
+                    "objectives": [
+                        {
+                            "id": "p99",
+                            "metric": "submit_latency_seconds",
+                            "stat": "p99",
+                            "op": "<=",
+                            "threshold": 0.5 if ok else 0.01,
+                        }
+                    ],
+                }
+            )
+        )
+        return spec, scrape
+
+    def test_engine_check_slo_pass_and_fail(self, tmp_path, capsys):
+        spec, scrape = self._write(tmp_path, ok=True)
+        assert main(["engine", "check", "--slo", str(spec),
+                     "--scrape", str(scrape)]) == 0
+        assert "SLO report" in capsys.readouterr().out
+        spec, scrape = self._write(tmp_path, ok=False)
+        assert main(["engine", "check", "--slo", str(spec),
+                     "--scrape", str(scrape)]) == 1
+
+    def test_engine_check_slo_requires_scrape(self, tmp_path):
+        spec, _ = self._write(tmp_path, ok=True)
+        with pytest.raises(SystemExit):
+            main(["engine", "check", "--slo", str(spec)])
+
+    def test_engine_check_requires_baseline_or_slo(self):
+        with pytest.raises(SystemExit):
+            main(["engine", "check"])
+
+    def test_telemetry_cli_slo_gate(self, tmp_path, capsys):
+        spec, scrape = self._write(tmp_path, ok=True)
+        assert main(["telemetry", "--file", str(scrape),
+                     "--slo", str(spec)]) == 0
+        out = capsys.readouterr().out
+        assert "metric families" in out and "SLO report" in out
